@@ -1,0 +1,99 @@
+"""Examples 1 and 3 (§3/§4): the worked completion-time arithmetic.
+
+These reproduce the paper's pedagogical numbers exactly (in t_c units)
+and benchmark the analytic pipeline that derives them — tiling, schedule
+construction, communication volume and cost model end to end.
+"""
+
+from repro.experiments.examples_paper import example1, example3
+from repro.kernels.workloads import example1_workload
+from repro.model.machine import example1_machine
+from repro.runtime.executor import run_tiled
+from repro.util.tables import format_kv
+
+from conftest import write_result
+
+
+def test_example1_numbers(benchmark):
+    e = benchmark.pedantic(example1, rounds=3, iterations=1)
+    write_result(
+        "example1",
+        format_kv(
+            [
+                ("grain g", e.grain),
+                ("tile", f"{e.tile_side}x{e.tile_side}"),
+                ("tiled space", f"{e.tiled_extents[0]}x{e.tiled_extents[1]}"),
+                ("V_comm", e.v_comm),
+                ("T_comp (t_c)", e.t_comp_tc),
+                ("T_startup (t_c)", e.t_startup_tc),
+                ("T_transmit (t_c)", e.t_transmit_tc),
+                ("P", e.schedule_length),
+                ("total (t_c)", e.total_tc),
+                ("total (s)", e.total_seconds),
+            ]
+        ),
+    )
+    assert e.schedule_length == 1099
+    assert round(e.total_tc) == 400036
+    assert abs(e.total_seconds - 0.4) < 1e-3
+
+
+def test_example3_numbers(benchmark):
+    e = benchmark.pedantic(example3, rounds=3, iterations=1)
+    write_result(
+        "example3",
+        format_kv(
+            [
+                ("Π", e.pi),
+                ("P", e.schedule_length),
+                ("CPU side (t_c)", e.cpu_side_tc),
+                ("comm side (t_c)", e.comm_side_tc),
+                ("CPU bound", e.cpu_bound),
+                ("total, paper accounting (t_c)", e.total_tc_paper_style),
+                ("total, paper accounting (s)", e.total_seconds_paper_style),
+            ]
+        ),
+    )
+    assert e.pi == (1, 2)
+    assert e.schedule_length == 1198
+    assert round(e.total_tc_paper_style) == 179700
+    # Example 3 beats Example 1 (0.18 s vs 0.40 s with the paper's own
+    # arithmetic; the paper prints 0.24 s for the same product).
+    assert e.total_seconds_paper_style < 0.4 * 0.6
+
+
+def test_examples_simulated(benchmark):
+    """Examples 1 and 3 run on the simulated cluster at the paper's own
+    scale: the 10000×1000 loop, 10×10 tiles, one tile column per
+    processor (100 ranks), Example-1 machine constants.
+
+    The simulated non-overlapping run lands near the paper's analytic
+    0.4 s (below it — eq. (3) serialises components a warm pipeline
+    hides), and the simulated *overlapping* run lands at ~0.247 s —
+    essentially the 0.24 s the paper prints for Example 3."""
+    w = example1_workload(processors=100)
+    m = example1_machine()
+
+    def run_pair():
+        non = run_tiled(w, 10, m, blocking=True)
+        ovl = run_tiled(w, 10, m, blocking=False)
+        return non, ovl
+
+    non, ovl = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    write_result(
+        "examples_simulated",
+        format_kv(
+            [
+                ("workload", "10000x1000, 10x10 tiles, 100 ranks"),
+                ("paper Example 1 (analytic)", "0.400036 s"),
+                ("simulated non-overlapping", f"{non.completion_time:.6f} s"),
+                ("paper Example 3 (printed)", "0.24 s"),
+                ("simulated overlapping", f"{ovl.completion_time:.6f} s"),
+                ("simulated improvement",
+                 f"{1 - ovl.completion_time / non.completion_time:.1%}"),
+            ]
+        ),
+    )
+    assert 0.30 < non.completion_time < 0.42
+    assert 0.22 < ovl.completion_time < 0.27
+    assert ovl.completion_time < non.completion_time

@@ -1,0 +1,45 @@
+"""Figure 10: completion time vs tile height V, 16×16×32768 space."""
+
+from repro.experiments.report import render_sweep, render_sweep_summary
+from repro.runtime.executor import run_tiled
+from repro.viz.ascii_plots import plot_sweep
+
+from repro.viz.svg import sweep_svg
+
+from conftest import write_result, write_svg
+
+
+def test_fig10_sweep(benchmark, paper_sweeps, workloads, machine):
+    result = paper_sweeps.get("ii")
+
+    text = "\n\n".join(
+        [
+            render_sweep(result, title="Figure 10 — 16x16x32768, 4x4 processors"),
+            render_sweep_summary(result),
+            plot_sweep(result),
+        ]
+    )
+    write_result("fig10", text)
+    write_svg("fig10", sweep_svg(result, include_model=True,
+                                  title="Figure 10 reproduction"))
+
+    for p in result.points:
+        assert p.t_overlap_sim < p.t_nonoverlap_sim
+    ovl = [p.t_overlap_sim for p in result.points]
+    non = [p.t_nonoverlap_sim for p in result.points]
+    assert 0 < ovl.index(min(ovl)) < len(ovl) - 1
+    assert 0 < non.index(min(non)) < len(non) - 1
+    assert 0.25 < result.optimal_improvement_sim < 0.50
+
+    # The doubled depth roughly doubles the optimum time vs Figure 9
+    # (paper: 0.468 s vs 0.234 s).
+    fig9_best = paper_sweeps.get("i").best(overlap=True).t_overlap_sim
+    ratio = result.best(overlap=True).t_overlap_sim / fig9_best
+    assert 1.6 < ratio < 2.4
+
+    best_v = result.best(overlap=True).v
+    benchmark.pedantic(
+        lambda: run_tiled(workloads["ii"], best_v, machine, blocking=False),
+        rounds=1,
+        iterations=1,
+    )

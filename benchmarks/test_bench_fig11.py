@@ -1,0 +1,49 @@
+"""Figure 11: completion time vs tile height V, 32×32×4096 space.
+
+The widest cross-section (8×8 per processor) and the shallowest pipeline
+of the three experiments — the configuration where the paper's
+improvement is smallest (32 %).
+"""
+
+from repro.experiments.report import render_sweep, render_sweep_summary
+from repro.runtime.executor import run_tiled
+from repro.viz.ascii_plots import plot_sweep
+
+from repro.viz.svg import sweep_svg
+
+from conftest import write_result, write_svg
+
+
+def test_fig11_sweep(benchmark, paper_sweeps, workloads, machine):
+    result = paper_sweeps.get("iii")
+
+    text = "\n\n".join(
+        [
+            render_sweep(result, title="Figure 11 — 32x32x4096, 4x4 processors"),
+            render_sweep_summary(result),
+            plot_sweep(result),
+        ]
+    )
+    write_result("fig11", text)
+    write_svg("fig11", sweep_svg(result, include_model=True,
+                                  title="Figure 11 reproduction"))
+
+    for p in result.points:
+        assert p.t_overlap_sim < p.t_nonoverlap_sim
+    ovl = [p.t_overlap_sim for p in result.points]
+    non = [p.t_nonoverlap_sim for p in result.points]
+    assert 0 < ovl.index(min(ovl)) < len(ovl) - 1
+    assert 0 < non.index(min(non)) < len(non) - 1
+    # Paper improvement for iii: 32 % — the smallest of the three.
+    assert 0.15 < result.optimal_improvement_sim < 0.45
+
+    # Its optimal V is the smallest of the three experiments (paper: 164
+    # vs 444/538) since tiles are 4× wider in cross-section.
+    assert result.best(overlap=True).v < paper_sweeps.get("i").best(overlap=True).v
+
+    best_v = result.best(overlap=True).v
+    benchmark.pedantic(
+        lambda: run_tiled(workloads["iii"], best_v, machine, blocking=False),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,47 @@
+"""Figure 9: completion time vs tile height V, 16×16×16384 space.
+
+Regenerates both curves (overlapping and non-overlapping, simulated and
+analytic) over the paper's V sweep and checks the reproduction's shape
+criteria; the pytest-benchmark measurement times one simulated cluster
+run at the overlap optimum (the paper's headline configuration).
+"""
+
+from repro.experiments.report import render_sweep, render_sweep_summary
+from repro.runtime.executor import run_tiled
+from repro.viz.ascii_plots import plot_sweep
+
+from repro.viz.svg import sweep_svg
+
+from conftest import write_result, write_svg
+
+
+def test_fig9_sweep(benchmark, paper_sweeps, workloads, machine):
+    result = paper_sweeps.get("i")
+
+    text = "\n\n".join(
+        [
+            render_sweep(result, title="Figure 9 — 16x16x16384, 4x4 processors"),
+            render_sweep_summary(result),
+            plot_sweep(result),
+        ]
+    )
+    write_result("fig9", text)
+    write_svg("fig9", sweep_svg(result, include_model=True,
+                                  title="Figure 9 reproduction"))
+
+    # Shape criteria (DESIGN.md): overlap below non-overlap everywhere,
+    # interior minima, improvement at optima in the paper's band.
+    for p in result.points:
+        assert p.t_overlap_sim < p.t_nonoverlap_sim
+    ovl = [p.t_overlap_sim for p in result.points]
+    non = [p.t_nonoverlap_sim for p in result.points]
+    assert 0 < ovl.index(min(ovl)) < len(ovl) - 1
+    assert 0 < non.index(min(non)) < len(non) - 1
+    assert 0.25 < result.optimal_improvement_sim < 0.50
+
+    best_v = result.best(overlap=True).v
+    benchmark.pedantic(
+        lambda: run_tiled(workloads["i"], best_v, machine, blocking=False),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,78 @@
+"""Kernel-library sweep: how the overlap advantage tracks the
+communication-to-computation ratio across different stencils.
+
+Not a paper table — an extension bench: the §4 analysis says the win
+equals the communication share a step can hide, so kernels with heavier
+faces (higher dependence weight per dimension) should gain more at equal
+geometry.  Verified here across the bundled kernels.
+"""
+
+from repro.experiments.figures import sweep
+from repro.ir.loopnest import IterationSpace
+from repro.kernels.library import anisotropic_3d
+from repro.kernels.stencil import sqrt_kernel_3d
+from repro.kernels.workloads import StencilWorkload
+from repro.model.machine import pentium_cluster
+from repro.tiling.communication import communication_fraction
+from repro.util.tables import format_table
+
+from conftest import write_result
+
+HEIGHTS = [32, 64, 128, 256]
+
+
+def _workload(kernel):
+    return StencilWorkload(
+        kernel.name, IterationSpace.from_extents([16, 16, 2048]),
+        kernel, (4, 4, 1), 2,
+    )
+
+
+def test_kernel_comparison(benchmark):
+    m = pentium_cluster()
+    kernels = [sqrt_kernel_3d(), anisotropic_3d()]
+
+    def run_all():
+        rows = []
+        for kernel in kernels:
+            w = _workload(kernel)
+            result = sweep(w, m, heights=HEIGHTS)
+            best = result.best(overlap=True)
+            ratio = float(
+                communication_fraction(
+                    w.tiling(best.v), w.deps, mapped_dim=2
+                )
+            )
+            rows.append(
+                (
+                    kernel.name,
+                    best.v,
+                    round(best.t_overlap_sim, 5),
+                    round(result.best(overlap=False).t_nonoverlap_sim, 5),
+                    ratio,
+                    result.optimal_improvement_sim,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    write_result(
+        "kernels",
+        format_table(
+            ["kernel", "V_opt", "overlap t (s)", "non-ovl t (s)",
+             "comm/comp ratio", "improvement"],
+            [
+                (n, v, a, b, round(r, 4), f"{i:.1%}")
+                for n, v, a, b, r, i in rows
+            ],
+            title="kernel comparison — 16x16x2048, 4x4 processors",
+        ),
+    )
+
+    by_name = {r[0]: r for r in rows}
+    for _, _, t_ovl, t_non, _, impr in rows:
+        assert t_ovl < t_non
+        assert impr > 0.1
+    # The anisotropic kernel moves twice the data in dimension i (c_0 = 2)
+    # and so has the larger communication ratio at its optimum.
+    assert by_name["anisotropic_3d"][4] > by_name["sqrt3d"][4]

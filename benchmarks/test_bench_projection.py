@@ -1,0 +1,66 @@
+"""§6 future-work projection: the overlap schedule on better hardware.
+
+The paper closes by proposing DMA-enabled SCI drivers for concurrent
+send/receive.  This benchmark runs the (reduced) experiment-i workload on
+the calibrated FastEthernet cluster, the projected SCI machine
+(multichannel DMA, user-level messaging) and the idealised
+zero-transmission machine, tabulating how much completion time and
+overlap advantage each hardware step buys.
+"""
+
+from repro.experiments.campaign import ExperimentConfig, compare_machines
+from repro.sim.mpi import World
+
+from conftest import write_result
+
+
+def test_projection_machines(benchmark):
+    cfg = ExperimentConfig(
+        name="exp-i-reduced",
+        extents=(16, 16, 2048),
+        procs_per_dim=(4, 4, 1),
+        mapped_dim=2,
+        kernel="sqrt3d",
+        machine="pentium",
+        heights=(32, 64, 128, 192, 256),
+    )
+    records, table = benchmark.pedantic(
+        lambda: compare_machines(cfg, ["pentium", "sci", "ideal"]),
+        rounds=1,
+        iterations=1,
+    )
+    write_result("projection", table)
+
+    by = {r.config.machine: r for r in records}
+    # Better hardware improves the overlap optimum over FastEthernet.
+    assert by["sci"].t_opt_overlap < by["pentium"].t_opt_overlap
+    assert by["ideal"].t_opt_overlap < by["pentium"].t_opt_overlap
+    # With cheaper communication there is less to hide: the *relative*
+    # improvement shrinks on both projected machines.
+    assert by["sci"].improvement < by["pentium"].improvement
+    assert by["ideal"].improvement < by["pentium"].improvement
+
+
+def test_simulator_event_rate(benchmark):
+    """Throughput microbenchmark of the DES + SimMPI core: a ping-pong
+    exchange of 2×500 messages between two ranks (the engine's hot
+    path).  Guards against accidental slowdowns of the event loop."""
+    from repro.model.machine import pentium_cluster
+
+    def ping_pong() -> float:
+        world = World(pentium_cluster(), 2)
+
+        def rank0(ctx):
+            for _ in range(500):
+                yield ctx.send(1, 1024)
+                yield ctx.recv(1, 1024)
+
+        def rank1(ctx):
+            for _ in range(500):
+                data = yield ctx.recv(0, 1024)
+                yield ctx.send(0, 1024, data)
+
+        return world.run([rank0, rank1])
+
+    result = benchmark(ping_pong)
+    assert result > 0

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""The paper's §5 experiment at reduced scale, end to end.
+
+Sweeps the tile height V for the 3-D square-root stencil on a simulated
+16-node cluster (4×4 grid), exactly like Figures 9–11, then:
+
+* prints the completion-time table and an ASCII rendition of the figure,
+* reports the optima and the overlap improvement (the paper's Fig. 12),
+* verifies numerical correctness of the distributed pipeline against the
+  sequential reference on a small instance.
+
+Run:  python examples/cluster_stencil3d.py          (reduced, ~15 s)
+      python examples/cluster_stencil3d.py --full   (paper scale, minutes)
+"""
+
+import sys
+
+from repro import IterationSpace, StencilWorkload, pentium_cluster, sqrt_kernel_3d
+from repro.experiments import render_sweep, render_sweep_summary, sweep
+from repro.experiments.figures import default_heights
+from repro.kernels import paper_experiment_i
+from repro.runtime import verify_workload
+from repro.viz import plot_sweep
+
+
+def main() -> None:
+    full = "--full" in sys.argv
+    machine = pentium_cluster()
+
+    if full:
+        workload = paper_experiment_i()
+        heights = default_heights(workload, max_points=14)
+    else:
+        workload = StencilWorkload(
+            "16x16x2048 (reduced)",
+            IterationSpace.from_extents([16, 16, 2048]),
+            sqrt_kernel_3d(),
+            procs_per_dim=(4, 4, 1),
+            mapped_dim=2,
+        )
+        heights = [8, 16, 32, 64, 96, 128, 192, 256, 384, 512]
+
+    print(f"sweeping tile height V over {heights} on "
+          f"{workload.num_processors} simulated processors...\n")
+    result = sweep(workload, machine, heights=heights)
+
+    print(render_sweep(result, title=f"Completion time vs V — {workload.name}"))
+    print()
+    print(plot_sweep(result))
+    print()
+    print(render_sweep_summary(result))
+
+    # Functional check: the pipelined program computes the right array.
+    small = StencilWorkload(
+        "verify",
+        IterationSpace.from_extents([8, 8, 32]),
+        sqrt_kernel_3d(),
+        procs_per_dim=(4, 2, 1),
+        mapped_dim=2,
+    )
+    print("\nnumerical verification on 8x8x32:")
+    for report in verify_workload(small, 8, machine):
+        print(" ", report.describe())
+
+
+if __name__ == "__main__":
+    main()

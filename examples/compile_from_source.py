@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""A mini tiling compiler: loop text in, tiled programs out.
+
+Takes the paper's Example-1 loop *as text*, and drives the whole
+compilation pipeline:
+
+1. parse the loop nest and extract its uniform dependences,
+2. pick a communication-minimal legal tile shape at a machine-derived
+   grain (Hodzic–Shang's g = c·t_s/t_c),
+3. generate an *executable* tiled Python function and check it against
+   the untiled reference,
+4. emit the SPMD MPI listings (ProcB and ProcNB) a user would deploy,
+5. report the predicted completion times of both schedules.
+
+Run:  python examples/compile_from_source.py
+"""
+
+import numpy as np
+
+from repro.codegen import compile_tiled_loops, generate_proc_nb
+from repro.ir import DependenceSet, IterationSpace, parse_loop_nest
+from repro.kernels import StencilWorkload, allocate_with_halo, sum_kernel_2d
+from repro.kernels.stencil import sequential_reference
+from repro.model import example1_machine, hodzic_shang_optimal_grain, pentium_cluster
+from repro.experiments.figures import analytic_times
+from repro.tiling import (
+    communication_volume,
+    optimal_rectangular_sides,
+    rectangular_tiling,
+)
+
+SOURCE = """
+# the paper's Example 1, shrunk for the demo
+for i1 = 0 to 255
+  for i2 = 0 to 63
+    A(i1, i2) = A(i1-1, i2-1) + A(i1-1, i2) + A(i1, i2-1)
+  endfor
+endfor
+"""
+
+
+def main() -> None:
+    # 1. Front end --------------------------------------------------------
+    nest = parse_loop_nest(SOURCE)
+    deps = DependenceSet(nest.dependence_vectors())
+    print(f"parsed {nest.space} with D = {deps}")
+
+    # 2. Tile selection ----------------------------------------------------
+    machine = example1_machine()
+    grain = round(hodzic_shang_optimal_grain(machine, num_neighbors=1))
+    sides = optimal_rectangular_sides(deps, grain)
+    tiling = rectangular_tiling(sides)
+    print(f"grain g = {grain} -> tile {sides[0]}x{sides[1]}, "
+          f"V_comm = {communication_volume(tiling, deps, mapped_dim=0)}")
+
+    # 3. Generated tiled code, validated -----------------------------------
+    kernel = sum_kernel_2d()  # the parsed statement's semantics
+    fn = compile_tiled_loops(kernel, nest.space, tiling, order="wavefront")
+    data, halo = allocate_with_halo(kernel, nest.space)
+    fn(data)
+    ref = sequential_reference(kernel, nest.space)
+    ok = np.array_equal(data[1:, 1:], ref)
+    print(f"generated wavefront-tiled code matches reference: {ok}")
+
+    # 4. SPMD listings ------------------------------------------------------
+    workload = StencilWorkload(
+        "example1-mini", IterationSpace.from_extents([256, 64]),
+        kernel, procs_per_dim=(1, 8), mapped_dim=0,
+    )
+    listing = generate_proc_nb(workload, sides[0])
+    print("\n--- ProcNB listing (first 12 lines) ---")
+    print("\n".join(listing.splitlines()[:12]))
+
+    # 5. Predicted schedule times -------------------------------------------
+    t_non, t_ovl = analytic_times(workload, pentium_cluster(), sides[0])
+    print("\npredicted completion on the calibrated cluster:")
+    print(f"  non-overlapping: {t_non:.4f} s")
+    print(f"  overlapping:     {t_ovl:.4f} s  "
+          f"({1 - t_ovl / t_non:.1%} better)")
+
+    if not ok:
+        raise SystemExit("generated code mismatch!")
+
+
+if __name__ == "__main__":
+    main()

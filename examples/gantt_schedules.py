@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Visualise both schedules as Gantt charts (the paper's Figures 1–4).
+
+Runs a small 3-D stencil on a 2×2 processor grid under the blocking and
+the pipelined programs, then renders each rank's CPU timeline.  The
+non-overlapping chart shows the receive → compute → send triplets with
+blocked gaps; the overlapping chart shows the dense compute band with
+communication hidden underneath.
+
+Run:  python examples/gantt_schedules.py
+"""
+
+from repro import IterationSpace, StencilWorkload, pentium_cluster, sqrt_kernel_3d
+from repro.runtime import run_tiled
+from repro.viz import render_gantt, render_utilization
+
+
+def main() -> None:
+    workload = StencilWorkload(
+        "gantt-demo",
+        IterationSpace.from_extents([8, 8, 2048]),
+        sqrt_kernel_3d(),
+        procs_per_dim=(2, 2, 1),
+        mapped_dim=2,
+    )
+    machine = pentium_cluster()
+    v = 256
+
+    for blocking, figure in ((True, "Figure 1 (non-overlapping)"),
+                             (False, "Figure 2 (overlapping)")):
+        run = run_tiled(workload, v, machine, blocking=blocking, trace=True)
+        print(f"=== {figure}: {run.schedule_name} schedule, "
+              f"completion {run.completion_time:.4f} s ===")
+        print(render_gantt(run.trace, width=100))
+        print(render_utilization(run.trace))
+        print()
+
+    print("Reading the charts: '#' marks tile computation, 's'/'r' the")
+    print("CPU-bound MPI buffer fills (A1/A3), '.' time the CPU spends")
+    print("blocked in MPI_Recv/MPI_Send/MPI_Wait.  The overlapping run")
+    print("turns most '.' into '#': the B-side of every message (kernel")
+    print("copies, wire time) rides on the DMA engine and the NIC while")
+    print("the CPU computes the next tile.")
+
+
+if __name__ == "__main__":
+    main()

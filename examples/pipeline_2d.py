@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""A 2-D wavefront pipeline with a diagonal dependence, three substrates.
+
+The Example-1 kernel ``A(i,j) = A(i-1,j-1) + A(i-1,j) + A(i,j-1)`` has a
+*diagonal* dependence (1,1), so the distributed runtime must route corner
+values across tiles — the case the persistent full-column halo handles.
+This example runs the same SPMD program on:
+
+1. the sequential reference (golden model),
+2. the discrete-event cluster simulator (timing + values),
+3. real Python threads with queues (independent concurrency check),
+
+and confirms all three agree bit-for-bit, then compares the two
+schedules' simulated times.
+
+Run:  python examples/pipeline_2d.py
+"""
+
+import numpy as np
+
+from repro import (
+    IterationSpace,
+    StencilWorkload,
+    pentium_cluster,
+    sequential_reference,
+    sum_kernel_2d,
+)
+from repro.runtime import run_threaded, run_tiled
+
+
+def main() -> None:
+    workload = StencilWorkload(
+        "pipeline2d",
+        IterationSpace.from_extents([256, 64]),
+        sum_kernel_2d(),
+        procs_per_dim=(1, 8),
+        mapped_dim=0,
+    )
+    machine = pentium_cluster()
+    v = 32
+
+    print("1) sequential reference ...")
+    golden = sequential_reference(workload.kernel, workload.space)
+    print(f"   checksum: {golden.sum():.6e}")
+
+    print("2) simulated cluster (8 ranks, pipelined ProcNB) ...")
+    sim = run_tiled(workload, v, machine, blocking=False, numeric=True)
+    assert sim.result is not None
+    same = np.array_equal(sim.result, golden)
+    print(f"   simulated completion: {sim.completion_time:.4f} s  "
+          f"(matches reference: {same})")
+
+    print("3) thread backend (real concurrency) ...")
+    thr = run_threaded(workload, v, machine, blocking=False)
+    print(f"   matches reference: {np.array_equal(thr.result, golden)}")
+
+    print("\nschedule comparison on the simulator:")
+    non = run_tiled(workload, v, machine, blocking=True)
+    ovl = run_tiled(workload, v, machine, blocking=False)
+    print(f"   non-overlapping: {non.completion_time:.4f} s")
+    print(f"   overlapping:     {ovl.completion_time:.4f} s  "
+          f"({1 - ovl.completion_time / non.completion_time:.1%} better)")
+
+    if not same:
+        raise SystemExit("mismatch against the sequential reference!")
+
+
+if __name__ == "__main__":
+    main()

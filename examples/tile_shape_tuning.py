@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Tile shape and grain selection (paper §2.4, §3, §4).
+
+Shows the two knobs the paper separates:
+
+* **shape** — at fixed volume, the communication-minimal rectangular tile
+  has sides proportional to the per-dimension dependence weight
+  (Boulet et al.; formula (1) is minimised independently of volume);
+* **grain** — the volume itself trades fewer steps against heavier steps;
+  the optimum differs between the two schedules (g = c·t_s/t_c for
+  Hodzic–Shang, T'(g) = 0 for the overlap model).
+
+Run:  python examples/tile_shape_tuning.py
+"""
+
+from repro.ir import DependenceSet
+from repro.model import example1_machine, lemma1_p0, pentium_cluster
+from repro.model.completion import hodzic_shang_optimal_grain
+from repro.tiling import (
+    communication_minimal_rectangular_tiling,
+    communication_volume,
+    optimal_rectangular_sides,
+    tune_grain,
+)
+from repro.util.tables import format_table
+
+
+def shape_demo() -> None:
+    print("— tile shape at fixed volume —")
+    cases = [
+        ("symmetric 2-D", DependenceSet([(1, 0), (0, 1)]), 100),
+        ("Example 1", DependenceSet([(1, 1), (1, 0), (0, 1)]), 100),
+        ("skewed weights", DependenceSet([(4, 0), (0, 1)]), 64),
+        ("3-D stencil", DependenceSet([(1, 0, 0), (0, 1, 0), (0, 0, 1)]), 512),
+    ]
+    rows = []
+    for name, deps, volume in cases:
+        sides = optimal_rectangular_sides(deps, volume)
+        tiling = communication_minimal_rectangular_tiling(deps, volume)
+        rows.append(
+            (
+                name,
+                "x".join(map(str, sides)),
+                volume,
+                float(communication_volume(tiling, deps)),
+            )
+        )
+    print(format_table(
+        ["dependences", "optimal sides", "volume budget", "V_comm"], rows
+    ))
+    print("sides track the dependence column sums: dimension k gets side")
+    print("proportional to c_k = sum of the k-th components of D.\n")
+
+
+def grain_demo() -> None:
+    print("— tile grain (volume) per schedule —")
+    deps = DependenceSet([(1, 0, 0), (0, 1, 0), (0, 0, 1)])
+    machine = pentium_cluster()
+    # Anchor Lemma 1 on the paper's experiment i: 53 hyperplanes at g=7104.
+    p0 = lemma1_p0(53, 7104, 3)
+    rows = []
+    for overlap in (False, True):
+        g_opt, t_opt = tune_grain(
+            machine, deps, overlap=overlap, mapped_dim=2, p0=p0, ndim=3,
+            lower=64, upper=1e6,
+        )
+        rows.append(
+            ("overlapping" if overlap else "non-overlapping",
+             round(g_opt), f"{t_opt:.4f} s")
+        )
+    print(format_table(["schedule", "optimal grain g", "model T(g*)"], rows))
+
+    hs = hodzic_shang_optimal_grain(example1_machine(), num_neighbors=1)
+    print(f"\nExample 1 closed form g = c*t_s/t_c = {hs:.0f}  (paper: 100)")
+
+
+if __name__ == "__main__":
+    shape_demo()
+    grain_demo()

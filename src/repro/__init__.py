@@ -1,0 +1,86 @@
+"""repro — reproduction of Goumas, Sotiropoulos & Koziris (IPPS 2001),
+"Minimizing Completion Time for Loop Tiling with Computation and
+Communication Overlapping".
+
+Public API layers (see DESIGN.md for the full inventory):
+
+* :mod:`repro.ir` — perfectly-nested loops, uniform dependences;
+* :mod:`repro.tiling` — supernode transformation H/P, legality,
+  communication volumes, shape and grain selection;
+* :mod:`repro.schedule` — linear hyperplanes, processor mapping, the
+  non-overlapping (Hodzic–Shang) and overlapping (this paper) schedules;
+* :mod:`repro.model` — machine parameters and completion-time formulas;
+* :mod:`repro.sim` — deterministic discrete-event cluster simulator with
+  MPI-like primitives (the stand-in for the paper's Pentium cluster);
+* :mod:`repro.runtime` — SPMD tile programs (ProcB/ProcNB) and their
+  execution/verification;
+* :mod:`repro.kernels` — stencil kernels and the paper's workloads;
+* :mod:`repro.uetuct` — the UET-UCT grid scheduling theory of [1];
+* :mod:`repro.experiments` — Figures 9–11 sweeps and the Fig. 12 table;
+* :mod:`repro.viz` — ASCII Gantt charts and sweep plots.
+"""
+
+from repro.ir import (
+    ArrayAccess,
+    DependenceSet,
+    IterationSpace,
+    LoopNest,
+    Statement,
+    stencil_statement,
+)
+from repro.kernels import (
+    StencilKernel,
+    StencilWorkload,
+    paper_experiments,
+    sequential_reference,
+    sqrt_kernel_3d,
+    sum_kernel_2d,
+)
+from repro.model import Machine, example1_machine, pentium_cluster
+from repro.runtime import run_schedule_pair, run_tiled, verify_workload
+from repro.schedule import (
+    NonoverlapSchedule,
+    OverlapSchedule,
+    ProcessorMapping,
+    choose_mapping_dimension,
+)
+from repro.tiling import (
+    TilingTransformation,
+    communication_volume,
+    rectangular_tiling,
+    supernode_dependence_set,
+    tile_space,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "ArrayAccess",
+    "DependenceSet",
+    "IterationSpace",
+    "LoopNest",
+    "Machine",
+    "NonoverlapSchedule",
+    "OverlapSchedule",
+    "ProcessorMapping",
+    "Statement",
+    "StencilKernel",
+    "StencilWorkload",
+    "TilingTransformation",
+    "__version__",
+    "choose_mapping_dimension",
+    "communication_volume",
+    "example1_machine",
+    "paper_experiments",
+    "pentium_cluster",
+    "rectangular_tiling",
+    "run_schedule_pair",
+    "run_tiled",
+    "sequential_reference",
+    "sqrt_kernel_3d",
+    "stencil_statement",
+    "sum_kernel_2d",
+    "supernode_dependence_set",
+    "tile_space",
+    "verify_workload",
+]

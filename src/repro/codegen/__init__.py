@@ -1,0 +1,34 @@
+"""Source-code generation: executable tiled loops and SPMD MPI listings."""
+
+from repro.codegen.emitter import CodeWriter
+from repro.codegen.fake_mpi import (
+    FakeComm,
+    FakeWorld,
+    fake_mpi_module,
+    run_generated_script,
+)
+from repro.codegen.loops import (
+    compile_tiled_loops,
+    generate_tiled_loops,
+    kernel_expression,
+)
+from repro.codegen.mpi4py_gen import generate_mpi4py_program
+from repro.codegen.mpi_c import (
+    generate_proc_b,
+    generate_proc_nb,
+    generate_spmd_program,
+)
+
+__all__ = [
+    "CodeWriter",
+    "FakeComm",
+    "FakeWorld",
+    "compile_tiled_loops",
+    "fake_mpi_module",
+    "generate_mpi4py_program",
+    "generate_proc_b",
+    "generate_proc_nb",
+    "generate_spmd_program",
+    "generate_tiled_loops",
+    "kernel_expression",
+]

@@ -1,0 +1,70 @@
+"""A small indentation-aware source-code emitter.
+
+Shared by the Python tiled-loop generator and the C-flavoured SPMD
+pseudocode generator; keeps generated sources readable (consistent
+indentation, blank-line control) without string surgery at call sites.
+"""
+
+from __future__ import annotations
+
+__all__ = ["CodeWriter"]
+
+
+class CodeWriter:
+    """Accumulates lines at a managed indentation level."""
+
+    def __init__(self, indent_unit: str = "    "):
+        self._lines: list[str] = []
+        self._level = 0
+        self._indent_unit = indent_unit
+
+    def line(self, text: str = "") -> "CodeWriter":
+        """Emit one line at the current level (empty -> blank line)."""
+        if text:
+            self._lines.append(self._indent_unit * self._level + text)
+        else:
+            self._lines.append("")
+        return self
+
+    def lines(self, *texts: str) -> "CodeWriter":
+        for t in texts:
+            self.line(t)
+        return self
+
+    def indent(self) -> "CodeWriter":
+        self._level += 1
+        return self
+
+    def dedent(self) -> "CodeWriter":
+        if self._level == 0:
+            raise ValueError("cannot dedent below level 0")
+        self._level -= 1
+        return self
+
+    class _Block:
+        def __init__(self, writer: "CodeWriter", close: str | None):
+            self.writer = writer
+            self.close = close
+
+        def __enter__(self):
+            self.writer.indent()
+            return self.writer
+
+        def __exit__(self, *exc):
+            self.writer.dedent()
+            if self.close is not None:
+                self.writer.line(self.close)
+            return False
+
+    def block(self, opener: str, close: str | None = None) -> "_Block":
+        """Context manager: emit ``opener``, indent, then optionally a
+        closing line (e.g. ``}``) on exit."""
+        self.line(opener)
+        return CodeWriter._Block(self, close)
+
+    @property
+    def level(self) -> int:
+        return self._level
+
+    def source(self) -> str:
+        return "\n".join(self._lines) + "\n"

@@ -1,0 +1,192 @@
+"""Run generated mpi4py programs without MPI: an in-process fake.
+
+Implements exactly the slice of the mpi4py API the generated scripts use
+— ``COMM_WORLD``-style communicators with ``send/recv/isend/irecv``,
+``MPI.Request.waitall`` and ``gather`` — over threads and queues, and
+executes a generated script with one thread per rank.  This turns
+"generated code looks right" into "generated code *computes the right
+array*" in environments (like this one) without an MPI installation;
+on a real cluster the same script runs unmodified under mpiexec.
+"""
+
+from __future__ import annotations
+
+import queue
+import sys
+import threading
+import types
+from typing import Any
+
+import numpy as np
+
+__all__ = ["FakeComm", "FakeWorld", "fake_mpi_module", "run_generated_script"]
+
+_TIMEOUT_S = 60.0
+
+
+class _SendRequest:
+    def wait(self) -> None:
+        return None
+
+
+class _RecvRequest:
+    def __init__(self, world: "FakeWorld", dst: int, src: int, tag: int):
+        self.world = world
+        self.dst = dst
+        self.src = src
+        self.tag = tag
+
+    def wait(self) -> Any:
+        return self.world.take(self.src, self.dst, self.tag)
+
+
+class _RequestNamespace:
+    """Stand-in for ``MPI.Request`` (only ``waitall`` is used)."""
+
+    @staticmethod
+    def waitall(requests: list) -> list:
+        return [r.wait() for r in requests]
+
+
+class FakeWorld:
+    """Shared state of one fake MPI job."""
+
+    def __init__(self, size: int):
+        if size <= 0:
+            raise ValueError("size must be positive")
+        self.size = size
+        self._channels: dict[tuple[int, int, int], queue.Queue] = {}
+        self._lock = threading.Lock()
+        self._gathered: dict[int, Any] = {}
+        self._gather_cv = threading.Condition()
+
+    def channel(self, src: int, dst: int, tag: int) -> queue.Queue:
+        key = (src, dst, tag)
+        with self._lock:
+            ch = self._channels.get(key)
+            if ch is None:
+                ch = queue.Queue()
+                self._channels[key] = ch
+            return ch
+
+    def put(self, src: int, dst: int, tag: int, payload: Any) -> None:
+        if isinstance(payload, np.ndarray):
+            payload = payload.copy()
+        self.channel(src, dst, tag).put(payload)
+
+    def take(self, src: int, dst: int, tag: int) -> Any:
+        try:
+            return self.channel(src, dst, tag).get(timeout=_TIMEOUT_S)
+        except queue.Empty:
+            raise RuntimeError(
+                f"fake MPI: rank {dst} timed out receiving from {src} "
+                f"(tag {tag})"
+            ) from None
+
+    def gather(self, rank: int, value: Any, root: int) -> list | None:
+        with self._gather_cv:
+            self._gathered[rank] = value
+            self._gather_cv.notify_all()
+            if rank != root:
+                return None
+            ok = self._gather_cv.wait_for(
+                lambda: len(self._gathered) == self.size, timeout=_TIMEOUT_S
+            )
+            if not ok:
+                raise RuntimeError("fake MPI: gather timed out")
+            out = [self._gathered[r] for r in range(self.size)]
+            self._gathered = {}
+            return out
+
+
+class FakeComm:
+    """Per-rank communicator handle."""
+
+    def __init__(self, world: FakeWorld, rank: int):
+        self.world = world
+        self.rank = rank
+
+    def Get_rank(self) -> int:  # noqa: N802 - mpi4py naming
+        return self.rank
+
+    def Get_size(self) -> int:  # noqa: N802 - mpi4py naming
+        return self.world.size
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        self.world.put(self.rank, dest, tag, obj)
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        return self.world.take(source, self.rank, tag)
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> _SendRequest:
+        self.world.put(self.rank, dest, tag, obj)
+        return _SendRequest()
+
+    def irecv(self, source: int, tag: int = 0) -> _RecvRequest:
+        return _RecvRequest(self.world, self.rank, source, tag)
+
+    def gather(self, value: Any, root: int = 0) -> list | None:
+        return self.world.gather(self.rank, value, root)
+
+
+def fake_mpi_module() -> types.ModuleType:
+    """A module object usable as ``mpi4py`` (``from mpi4py import MPI``)."""
+    mpi = types.ModuleType("mpi4py.MPI")
+    mpi.Request = _RequestNamespace
+    mpi.COMM_WORLD = None  # scripts receive their comm via main(comm=...)
+    pkg = types.ModuleType("mpi4py")
+    pkg.MPI = mpi
+    return pkg
+
+
+def run_generated_script(source: str, num_ranks: int) -> np.ndarray:
+    """Execute a generated mpi4py program on the fake backend.
+
+    Returns rank 0's gathered global array.  The script is exec'd once
+    (its functions are stateless); each rank runs ``main(comm=...)`` on
+    its own thread.  A fake ``mpi4py`` is injected into ``sys.modules``
+    for the exec and restored afterwards.
+    """
+    pkg = fake_mpi_module()
+    saved = {k: sys.modules.get(k) for k in ("mpi4py", "mpi4py.MPI")}
+    sys.modules["mpi4py"] = pkg
+    sys.modules["mpi4py.MPI"] = pkg.MPI
+    try:
+        namespace: dict[str, Any] = {"__name__": "__generated__"}
+        exec(compile(source, "<generated-mpi4py>", "exec"), namespace)
+    finally:
+        for k, v in saved.items():
+            if v is None:
+                sys.modules.pop(k, None)
+            else:
+                sys.modules[k] = v
+
+    world = FakeWorld(num_ranks)
+    results: dict[int, Any] = {}
+    errors: list[tuple[int, BaseException]] = []
+
+    def runner(rank: int) -> None:
+        try:
+            results[rank] = namespace["main"](comm=FakeComm(world, rank))
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append((rank, exc))
+
+    threads = [
+        threading.Thread(target=runner, args=(r,), name=f"fake-rank{r}",
+                         daemon=True)
+        for r in range(num_ranks)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=_TIMEOUT_S + 5)
+    if errors:
+        rank, exc = errors[0]
+        raise RuntimeError(f"generated program failed on rank {rank}") from exc
+    alive = [t.name for t in threads if t.is_alive()]
+    if alive:
+        raise RuntimeError(f"generated program hung: {alive}")
+    result = results.get(0)
+    if result is None:
+        raise RuntimeError("rank 0 returned no array")
+    return result

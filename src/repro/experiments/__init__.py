@@ -1,0 +1,62 @@
+"""Experiment harness regenerating the paper's figures and tables."""
+
+from repro.experiments.campaign import (
+    CampaignRecord,
+    ExperimentConfig,
+    RecordDelta,
+    compare_machines,
+    diff_records,
+    load_records,
+    render_deltas,
+    run_campaign,
+    save_records,
+)
+from repro.experiments.examples_paper import (
+    Example1Numbers,
+    Example3Numbers,
+    example1,
+    example3,
+)
+from repro.experiments.figures import (
+    SweepPoint,
+    SweepResult,
+    analytic_step,
+    analytic_times,
+    default_heights,
+    sweep,
+)
+from repro.experiments.report import render_sweep, render_sweep_summary
+from repro.experiments.table12 import (
+    Table12Row,
+    render_table12,
+    table12,
+    table12_row,
+)
+
+__all__ = [
+    "CampaignRecord",
+    "Example1Numbers",
+    "ExperimentConfig",
+    "RecordDelta",
+    "compare_machines",
+    "diff_records",
+    "load_records",
+    "render_deltas",
+    "run_campaign",
+    "save_records",
+    "Example3Numbers",
+    "SweepPoint",
+    "SweepResult",
+    "Table12Row",
+    "analytic_step",
+    "analytic_times",
+    "default_heights",
+    "example1",
+    "example3",
+    "render_sweep",
+    "render_sweep_summary",
+    "render_table12",
+    "sweep",
+    "table12",
+    "table12_row",
+]

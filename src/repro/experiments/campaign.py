@@ -1,0 +1,288 @@
+"""Config-driven experiment campaigns with JSON persistence.
+
+A *campaign* is a list of declarative experiment configurations (space,
+processor grid, kernel, machine, tile heights); running one produces
+serialisable results that can be saved, reloaded and diffed across code
+versions — the regression-tracking layer on top of the one-off sweep
+harness.
+
+Registries map names to kernel factories and machine presets so configs
+stay pure data (JSON-roundtrippable).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Callable, Sequence
+
+from repro.experiments.figures import SweepResult, sweep
+from repro.ir.loopnest import IterationSpace
+from repro.kernels.library import (
+    anisotropic_3d,
+    binomial_2d,
+    gauss_seidel_2d,
+    lcs_kernel_2d,
+    sum_kernel_4d,
+)
+from repro.kernels.stencil import StencilKernel, sqrt_kernel_3d, sum_kernel_2d
+from repro.kernels.workloads import StencilWorkload
+from repro.model.machine import (
+    Machine,
+    example1_machine,
+    ideal_overlap_machine,
+    pentium_cluster,
+    sci_cluster,
+)
+from repro.util.tables import format_table
+
+__all__ = [
+    "KERNELS",
+    "MACHINES",
+    "ExperimentConfig",
+    "CampaignRecord",
+    "RecordDelta",
+    "run_campaign",
+    "save_records",
+    "load_records",
+    "diff_records",
+    "render_deltas",
+    "compare_machines",
+]
+
+KERNELS: dict[str, Callable[[], StencilKernel]] = {
+    "sum2d": sum_kernel_2d,
+    "sqrt3d": sqrt_kernel_3d,
+    "gauss_seidel_2d": gauss_seidel_2d,
+    "binomial_2d": binomial_2d,
+    "lcs_2d": lcs_kernel_2d,
+    "anisotropic_3d": anisotropic_3d,
+    "sum_4d": sum_kernel_4d,
+}
+
+MACHINES: dict[str, Callable[[], Machine]] = {
+    "pentium": pentium_cluster,
+    "sci": sci_cluster,
+    "example1": example1_machine,
+    "ideal": ideal_overlap_machine,
+}
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One experiment as pure data."""
+
+    name: str
+    extents: tuple[int, ...]
+    procs_per_dim: tuple[int, ...]
+    mapped_dim: int
+    kernel: str
+    machine: str
+    heights: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.kernel not in KERNELS:
+            raise ValueError(
+                f"unknown kernel {self.kernel!r}; choose from {sorted(KERNELS)}"
+            )
+        if self.machine not in MACHINES:
+            raise ValueError(
+                f"unknown machine {self.machine!r}; choose from {sorted(MACHINES)}"
+            )
+        if not self.heights:
+            raise ValueError("heights must be non-empty")
+
+    def workload(self) -> StencilWorkload:
+        return StencilWorkload(
+            self.name,
+            IterationSpace.from_extents(list(self.extents)),
+            KERNELS[self.kernel](),
+            tuple(self.procs_per_dim),
+            self.mapped_dim,
+        )
+
+    def machine_instance(self) -> Machine:
+        return MACHINES[self.machine]()
+
+
+@dataclass(frozen=True)
+class CampaignRecord:
+    """Serialisable outcome of one config."""
+
+    config: ExperimentConfig
+    points: tuple[dict, ...]
+    v_opt_overlap: int
+    t_opt_overlap: float
+    v_opt_nonoverlap: int
+    t_opt_nonoverlap: float
+    improvement: float
+
+    @staticmethod
+    def from_sweep(config: ExperimentConfig, result: SweepResult) -> "CampaignRecord":
+        best_ovl = result.best(overlap=True)
+        best_non = result.best(overlap=False)
+        return CampaignRecord(
+            config=config,
+            points=tuple(
+                {
+                    "v": p.v,
+                    "grain": p.grain,
+                    "t_nonoverlap_sim": p.t_nonoverlap_sim,
+                    "t_overlap_sim": p.t_overlap_sim,
+                    "t_nonoverlap_model": p.t_nonoverlap_model,
+                    "t_overlap_model": p.t_overlap_model,
+                }
+                for p in result.points
+            ),
+            v_opt_overlap=best_ovl.v,
+            t_opt_overlap=best_ovl.t_overlap_sim,
+            v_opt_nonoverlap=best_non.v,
+            t_opt_nonoverlap=best_non.t_nonoverlap_sim,
+            improvement=result.optimal_improvement_sim,
+        )
+
+
+def run_campaign(configs: Sequence[ExperimentConfig]) -> list[CampaignRecord]:
+    """Run every config's sweep; order preserved."""
+    records = []
+    for cfg in configs:
+        result = sweep(cfg.workload(), cfg.machine_instance(),
+                       heights=list(cfg.heights))
+        records.append(CampaignRecord.from_sweep(cfg, result))
+    return records
+
+
+def save_records(records: Sequence[CampaignRecord], path: str) -> None:
+    """Persist records as JSON."""
+    payload = [asdict(r) for r in records]
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+
+
+def load_records(path: str) -> list[CampaignRecord]:
+    """Reload records saved by :func:`save_records`."""
+    with open(path) as fh:
+        payload = json.load(fh)
+    out = []
+    for item in payload:
+        cfg_dict = dict(item["config"])
+        cfg = ExperimentConfig(
+            name=cfg_dict["name"],
+            extents=tuple(cfg_dict["extents"]),
+            procs_per_dim=tuple(cfg_dict["procs_per_dim"]),
+            mapped_dim=cfg_dict["mapped_dim"],
+            kernel=cfg_dict["kernel"],
+            machine=cfg_dict["machine"],
+            heights=tuple(cfg_dict["heights"]),
+        )
+        out.append(
+            CampaignRecord(
+                config=cfg,
+                points=tuple(item["points"]),
+                v_opt_overlap=item["v_opt_overlap"],
+                t_opt_overlap=item["t_opt_overlap"],
+                v_opt_nonoverlap=item["v_opt_nonoverlap"],
+                t_opt_nonoverlap=item["t_opt_nonoverlap"],
+                improvement=item["improvement"],
+            )
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class RecordDelta:
+    """Per-config change between two campaign runs."""
+
+    name: str
+    overlap_delta: float
+    nonoverlap_delta: float
+    improvement_delta: float
+    regressed: bool
+
+
+def diff_records(
+    baseline: Sequence[CampaignRecord],
+    current: Sequence[CampaignRecord],
+    *,
+    tolerance: float = 0.02,
+) -> list[RecordDelta]:
+    """Relative completion-time deltas between two runs of the same
+    campaign; a config is flagged ``regressed`` when either schedule's
+    optimum slowed down by more than ``tolerance`` (relative).
+
+    Configs are matched by name; mismatched campaigns raise.
+    """
+    base_by_name = {r.config.name: r for r in baseline}
+    cur_by_name = {r.config.name: r for r in current}
+    if base_by_name.keys() != cur_by_name.keys():
+        missing = base_by_name.keys() ^ cur_by_name.keys()
+        raise ValueError(f"campaigns do not match; differing configs: {missing}")
+    deltas = []
+    for name in base_by_name:
+        b, c = base_by_name[name], cur_by_name[name]
+        ovl = c.t_opt_overlap / b.t_opt_overlap - 1.0
+        non = c.t_opt_nonoverlap / b.t_opt_nonoverlap - 1.0
+        deltas.append(
+            RecordDelta(
+                name=name,
+                overlap_delta=ovl,
+                nonoverlap_delta=non,
+                improvement_delta=c.improvement - b.improvement,
+                regressed=ovl > tolerance or non > tolerance,
+            )
+        )
+    return deltas
+
+
+def render_deltas(deltas: Sequence[RecordDelta]) -> str:
+    """Text table of campaign deltas (+ = slower than baseline)."""
+    return format_table(
+        ["config", "overlap Δ", "non-overlap Δ", "improvement Δ", "regressed"],
+        [
+            (
+                d.name,
+                f"{d.overlap_delta:+.1%}",
+                f"{d.nonoverlap_delta:+.1%}",
+                f"{d.improvement_delta:+.1%}",
+                d.regressed,
+            )
+            for d in deltas
+        ],
+        title="campaign comparison vs baseline",
+    )
+
+
+def compare_machines(
+    base: ExperimentConfig, machines: Sequence[str]
+) -> tuple[list[CampaignRecord], str]:
+    """Run one workload on several machine presets; returns the records
+    and a rendered comparison table (the §6 hardware-projection view)."""
+    configs = [
+        ExperimentConfig(
+            name=f"{base.name}@{m}",
+            extents=base.extents,
+            procs_per_dim=base.procs_per_dim,
+            mapped_dim=base.mapped_dim,
+            kernel=base.kernel,
+            machine=m,
+            heights=base.heights,
+        )
+        for m in machines
+    ]
+    records = run_campaign(configs)
+    table = format_table(
+        ["machine", "V_opt", "overlap t_opt (s)", "non-ovl t_opt (s)",
+         "improvement"],
+        [
+            (
+                r.config.machine,
+                r.v_opt_overlap,
+                round(r.t_opt_overlap, 6),
+                round(r.t_opt_nonoverlap, 6),
+                f"{r.improvement:.1%}",
+            )
+            for r in records
+        ],
+        title=f"machine comparison — {base.name}",
+    )
+    return records, table

@@ -1,0 +1,356 @@
+"""Command-line interface: regenerate any paper artefact from a shell.
+
+    python -m repro figure i            # Figure 9 sweep (reduced depth)
+    python -m repro figure ii --full    # Figure 10 at paper scale
+    python -m repro table12             # the Fig. 12 summary table
+    python -m repro examples            # Examples 1 & 3 worked numbers
+    python -m repro verify              # distributed-vs-sequential check
+    python -m repro gantt               # both schedules as Gantt charts
+    python -m repro codegen mpi --schedule overlap
+    python -m repro codegen loops
+
+Reduced variants shrink the mapped dimension 8× (same cross-section and
+per-step costs, fewer steps) so every command finishes in seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.experiments.examples_paper import example1, example3
+from repro.experiments.figures import default_heights, sweep
+from repro.experiments.report import render_sweep, render_sweep_summary
+from repro.experiments.table12 import render_table12, table12
+from repro.ir.loopnest import IterationSpace
+from repro.kernels.stencil import sqrt_kernel_3d, sum_kernel_2d
+from repro.kernels.workloads import (
+    StencilWorkload,
+    paper_experiment_i,
+    paper_experiment_ii,
+    paper_experiment_iii,
+)
+from repro.model.machine import pentium_cluster, sci_cluster
+from repro.runtime.executor import run_tiled
+from repro.runtime.verify import verify_workload
+from repro.util.tables import format_kv
+from repro.viz.ascii_plots import plot_sweep
+from repro.viz.gantt import render_gantt, render_utilization
+
+__all__ = ["main", "build_parser"]
+
+_FULL = {
+    "i": paper_experiment_i,
+    "ii": paper_experiment_ii,
+    "iii": paper_experiment_iii,
+}
+
+
+def _workload(key: str, full: bool) -> StencilWorkload:
+    w = _FULL[key]()
+    if full:
+        return w
+    extents = list(w.space.extents)
+    extents[w.mapped_dim] //= 8
+    return StencilWorkload(
+        f"{w.name} (reduced)", IterationSpace.from_extents(extents),
+        w.kernel, w.procs_per_dim, w.mapped_dim,
+    )
+
+
+def _machine(name: str):
+    if name == "pentium":
+        return pentium_cluster()
+    if name == "sci":
+        return sci_cluster()
+    raise SystemExit(f"unknown machine {name!r} (choose pentium or sci)")
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    w = _workload(args.experiment, args.full)
+    m = _machine(args.machine)
+    heights = (
+        [int(h) for h in args.heights.split(",")]
+        if args.heights
+        else default_heights(w, max_points=args.points)
+    )
+    print(f"sweeping V over {heights} for {w.name} ...", file=sys.stderr)
+    result = sweep(w, m, heights=heights)
+    print(render_sweep(result))
+    print()
+    print(plot_sweep(result))
+    print()
+    print(render_sweep_summary(result))
+    if args.svg:
+        from repro.viz.svg import sweep_svg
+
+        with open(args.svg, "w") as fh:
+            fh.write(sweep_svg(result, include_model=True))
+        print(f"\nSVG figure written to {args.svg}", file=sys.stderr)
+    return 0
+
+
+def _cmd_table12(args: argparse.Namespace) -> int:
+    m = _machine(args.machine)
+    workloads = [_workload(k, args.full) for k in ("i", "ii", "iii")]
+    sweeps = []
+    for w in workloads:
+        print(f"sweeping {w.name} ...", file=sys.stderr)
+        sweeps.append(sweep(w, m, heights=default_heights(w, max_points=args.points)))
+    print(render_table12(table12(workloads, m, sweeps)))
+    return 0
+
+
+def _cmd_examples(_args: argparse.Namespace) -> int:
+    e1 = example1()
+    print("Example 1 (non-overlapping schedule):")
+    print(format_kv([
+        ("g", e1.grain), ("V_comm", e1.v_comm), ("P", e1.schedule_length),
+        ("total (t_c)", e1.total_tc), ("total (s)", e1.total_seconds),
+    ]))
+    e3 = example3()
+    print("\nExample 3 (overlapping schedule):")
+    print(format_kv([
+        ("Π", e3.pi), ("P", e3.schedule_length),
+        ("total (t_c)", e3.total_tc_paper_style),
+        ("total (s)", e3.total_seconds_paper_style),
+    ]))
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    w3 = StencilWorkload(
+        "verify-3d", IterationSpace.from_extents([8, 8, 32]),
+        sqrt_kernel_3d(), (4, 2, 1), 2,
+    )
+    w2 = StencilWorkload(
+        "verify-2d", IterationSpace.from_extents([32, 16]),
+        sum_kernel_2d(), (1, 4), 0,
+    )
+    m = _machine(args.machine)
+    failed = 0
+    for w in (w3, w2):
+        for report in verify_workload(w, args.v, m):
+            print(report.describe())
+            failed += 0 if report.passed else 1
+    return 1 if failed else 0
+
+
+def _cmd_gantt(args: argparse.Namespace) -> int:
+    w = StencilWorkload(
+        "gantt", IterationSpace.from_extents([8, 8, 2048]),
+        sqrt_kernel_3d(), (2, 2, 1), 2,
+    )
+    m = _machine(args.machine)
+    for blocking in (True, False):
+        run = run_tiled(w, args.v, m, blocking=blocking, trace=True)
+        print(f"== {run.schedule_name}: {run.completion_time:.4f} s ==")
+        print(render_gantt(run.trace, width=args.width))
+        print(render_utilization(run.trace))
+        print()
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.experiments.campaign import KERNELS
+    from repro.runtime.planner import plan_distribution
+
+    if args.kernel not in KERNELS:
+        raise SystemExit(
+            f"unknown kernel {args.kernel!r}; choose from {sorted(KERNELS)}"
+        )
+    extents = [int(x) for x in args.extents.split(",")]
+    kernel = KERNELS[args.kernel]()
+    plan = plan_distribution(
+        IterationSpace.from_extents(extents), kernel,
+        _machine(args.machine), args.processors,
+        overlap=args.schedule == "overlap",
+    )
+    print(plan.describe())
+    if args.run:
+        run = run_tiled(plan.workload, plan.v, _machine(args.machine),
+                        blocking=not plan.overlap)
+        print(f"simulated: {run.completion_time:.6f} s "
+              f"(prediction was {plan.predicted_time:.6f} s)")
+    return 0
+
+
+def _cmd_codegen(args: argparse.Namespace) -> int:
+    from repro.codegen import generate_spmd_program, generate_tiled_loops
+    from repro.tiling.transform import rectangular_tiling
+
+    if args.kind == "mpi":
+        w = _workload("i", full=False)
+        print(generate_spmd_program(w, args.v, blocking=args.schedule == "nonoverlap"))
+    elif args.kind == "mpi4py":
+        from repro.codegen import generate_mpi4py_program
+
+        w = _workload("i", full=False)
+        print(generate_mpi4py_program(w, args.v,
+                                      blocking=args.schedule == "nonoverlap"))
+    else:
+        kernel = sum_kernel_2d()
+        print(
+            generate_tiled_loops(
+                kernel,
+                IterationSpace.from_extents([64, 32]),
+                rectangular_tiling([8, 8]),
+                order=args.order,
+            )
+        )
+    return 0
+
+
+def _default_campaign(machine: str) -> list:
+    from repro.experiments.campaign import ExperimentConfig
+
+    return [
+        ExperimentConfig(
+            name="exp-i-reduced",
+            extents=(16, 16, 2048),
+            procs_per_dim=(4, 4, 1),
+            mapped_dim=2,
+            kernel="sqrt3d",
+            machine=machine,
+            heights=(32, 64, 128, 192, 256),
+        ),
+        ExperimentConfig(
+            name="exp-iii-reduced",
+            extents=(32, 32, 512),
+            procs_per_dim=(4, 4, 1),
+            mapped_dim=2,
+            kernel="sqrt3d",
+            machine=machine,
+            heights=(16, 32, 64, 100, 128),
+        ),
+    ]
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.experiments.campaign import (
+        diff_records,
+        load_records,
+        render_deltas,
+        run_campaign,
+        save_records,
+    )
+
+    if args.action == "run":
+        print("running default campaign ...", file=sys.stderr)
+        records = run_campaign(_default_campaign(args.machine))
+        save_records(records, args.out)
+        for r in records:
+            print(
+                f"{r.config.name}: overlap {r.t_opt_overlap:.5f}s "
+                f"(V={r.v_opt_overlap}), non-overlap "
+                f"{r.t_opt_nonoverlap:.5f}s, improvement {r.improvement:.1%}"
+            )
+        print(f"saved to {args.out}")
+        return 0
+
+    baseline = load_records(args.baseline)
+    current = load_records(args.out)
+    deltas = diff_records(baseline, current, tolerance=args.tolerance)
+    print(render_deltas(deltas))
+    return 1 if any(d.regressed for d in deltas) else 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    w = StencilWorkload(
+        "trace", IterationSpace.from_extents([8, 8, 1024]),
+        sqrt_kernel_3d(), (2, 2, 1), 2,
+    )
+    run = run_tiled(
+        w, args.v, _machine(args.machine),
+        blocking=args.schedule == "nonoverlap", trace=True,
+    )
+    run.trace.dump_chrome_trace(args.out)
+    print(
+        f"{run.schedule_name} run: {run.completion_time:.4f} s; "
+        f"{len(run.trace.records)} events -> {args.out} "
+        "(open in chrome://tracing or Perfetto)"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the paper's figures, tables and listings.",
+    )
+    parser.add_argument(
+        "--machine", default="pentium", choices=("pentium", "sci"),
+        help="calibrated machine preset (default: pentium)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig = sub.add_parser("figure", help="Figure 9/10/11 V-sweep")
+    fig.add_argument("experiment", choices=("i", "ii", "iii"))
+    fig.add_argument("--full", action="store_true", help="paper-scale depth")
+    fig.add_argument("--points", type=int, default=10)
+    fig.add_argument("--heights", help="comma-separated explicit V values")
+    fig.add_argument("--svg", help="also write an SVG figure to this path")
+    fig.set_defaults(func=_cmd_figure)
+
+    t12 = sub.add_parser("table12", help="the Fig. 12 summary table")
+    t12.add_argument("--full", action="store_true")
+    t12.add_argument("--points", type=int, default=8)
+    t12.set_defaults(func=_cmd_table12)
+
+    ex = sub.add_parser("examples", help="Examples 1 and 3 worked numbers")
+    ex.set_defaults(func=_cmd_examples)
+
+    ver = sub.add_parser("verify", help="distributed-vs-sequential check")
+    ver.add_argument("--v", type=int, default=8, help="tile height")
+    ver.set_defaults(func=_cmd_verify)
+
+    gantt = sub.add_parser("gantt", help="Gantt charts of both schedules")
+    gantt.add_argument("--v", type=int, default=256)
+    gantt.add_argument("--width", type=int, default=100)
+    gantt.set_defaults(func=_cmd_gantt)
+
+    plan = sub.add_parser(
+        "plan", help="choose grid/mapping/V for a loop on a machine"
+    )
+    plan.add_argument("--extents", default="16,16,16384",
+                      help="comma-separated iteration-space extents")
+    plan.add_argument("--kernel", default="sqrt3d")
+    plan.add_argument("--processors", type=int, default=16)
+    plan.add_argument("--schedule", default="overlap",
+                      choices=("overlap", "nonoverlap"))
+    plan.add_argument("--run", action="store_true",
+                      help="also simulate the planned configuration")
+    plan.set_defaults(func=_cmd_plan)
+
+    camp = sub.add_parser("campaign", help="run/compare regression campaigns")
+    camp.add_argument("action", choices=("run", "compare"))
+    camp.add_argument("--out", default="campaign.json",
+                      help="records file to write (run) or compare")
+    camp.add_argument("--baseline", default="campaign-baseline.json",
+                      help="baseline records file (compare)")
+    camp.add_argument("--tolerance", type=float, default=0.02)
+    camp.set_defaults(func=_cmd_campaign)
+
+    tr = sub.add_parser("trace", help="dump a Chrome-tracing JSON of a run")
+    tr.add_argument("--v", type=int, default=128)
+    tr.add_argument("--schedule", default="overlap",
+                    choices=("overlap", "nonoverlap"))
+    tr.add_argument("--out", default="trace.json")
+    tr.set_defaults(func=_cmd_trace)
+
+    cg = sub.add_parser("codegen", help="emit tiled-loop / SPMD source")
+    cg.add_argument("kind", choices=("loops", "mpi", "mpi4py"))
+    cg.add_argument("--schedule", default="overlap",
+                    choices=("overlap", "nonoverlap"))
+    cg.add_argument("--order", default="lexicographic",
+                    choices=("lexicographic", "wavefront"))
+    cg.add_argument("--v", type=int, default=128)
+    cg.set_defaults(func=_cmd_codegen)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)

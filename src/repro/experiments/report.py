@@ -1,0 +1,59 @@
+"""Text rendering of sweep results (the Figures 9–11 series).
+
+Produces the rows the paper's figures plot, plus an ASCII chart via
+:mod:`repro.viz.ascii_plots`, suitable for terminals and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import SweepResult
+from repro.util.tables import format_kv, format_table
+
+__all__ = ["render_sweep", "render_sweep_summary"]
+
+
+def render_sweep(result: SweepResult, *, title: str | None = None) -> str:
+    """Tabulate a V-sweep: both schedules, simulated and analytic."""
+    headers = [
+        "V",
+        "grain",
+        "non-ovl sim (s)",
+        "overlap sim (s)",
+        "non-ovl model (s)",
+        "overlap model (s)",
+        "improv (sim)",
+    ]
+    rows = [
+        [
+            p.v,
+            p.grain,
+            round(p.t_nonoverlap_sim, 6),
+            round(p.t_overlap_sim, 6),
+            round(p.t_nonoverlap_model, 6),
+            round(p.t_overlap_model, 6),
+            f"{p.improvement_sim:.1%}",
+        ]
+        for p in result.points
+    ]
+    return format_table(
+        headers, rows, title=title or f"Sweep — {result.workload_name}"
+    )
+
+
+def render_sweep_summary(result: SweepResult) -> str:
+    """The headline numbers of one figure: optima and improvement."""
+    best_non = result.best(overlap=False)
+    best_ovl = result.best(overlap=True)
+    pairs = [
+        ("workload", result.workload_name),
+        ("V_opt (non-overlapping)", best_non.v),
+        ("t_opt (non-overlapping)", best_non.t_nonoverlap_sim),
+        ("V_opt (overlapping)", best_ovl.v),
+        ("t_opt (overlapping)", best_ovl.t_overlap_sim),
+        ("improvement at optima", f"{result.optimal_improvement_sim:.1%}"),
+        (
+            "model t_opt (overlapping)",
+            result.best(overlap=True, simulated=False).t_overlap_model,
+        ),
+    ]
+    return format_kv(pairs)

@@ -1,0 +1,135 @@
+"""The paper's Figure 12 summary table, regenerated.
+
+For each of the three §5 workloads, tabulates: optimal tile height
+``V_optimal``; the per-neighbour packet size in bytes (the row the paper
+labels ``g_optimal`` — 7104 = 4·444·4 bytes for experiment i, i.e. the
+*message* size, not the tile volume; we report both); the overlap
+optimum from the simulator ("experimental"); ``T_fill_MPI_buffer`` at
+that packet size; the paper's approximate step count ``P(g)``; the
+eq.-(5) theoretical overlap time; the experimental-vs-theoretical gap;
+the non-overlap optimum; and the improvement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.figures import SweepResult, default_heights, sweep
+from repro.kernels.workloads import StencilWorkload
+from repro.model.completion import improvement, overlap_steps
+from repro.model.machine import Machine
+from repro.tiling.grain import messages_per_step
+from repro.util.tables import format_table
+
+__all__ = ["Table12Row", "table12_row", "table12", "render_table12"]
+
+
+@dataclass(frozen=True)
+class Table12Row:
+    """One column of the paper's Fig. 12, as a row."""
+
+    workload_name: str
+    v_optimal: int
+    grain_optimal: int
+    packet_bytes: float
+    t_overlap_sim: float
+    t_fill_mpi_buffer: float
+    steps_paper_approx: float
+    t_overlap_theoretical: float
+    sim_vs_theory: float
+    t_nonoverlap_sim: float
+    improvement: float
+
+
+def table12_row(
+    workload: StencilWorkload,
+    machine: Machine,
+    sweep_result: SweepResult | None = None,
+) -> Table12Row:
+    """Build one row; reuses a precomputed sweep when given."""
+    sr = sweep_result if sweep_result is not None else sweep(
+        workload, machine, default_heights(workload)
+    )
+    best_ovl = sr.best(overlap=True)
+    best_non = sr.best(overlap=False)
+    v = best_ovl.v
+    faces = workload.face_elements(v)
+    packet = machine.message_bytes(max(faces)) if faces else 0.0
+    fill = machine.fill_mpi_buffer_time(packet)
+
+    # Paper §5 theoretical overlap time: P(g) × (fills + g·t_c), with one
+    # fill per send and per receive (2 sends + 2 receives for the 3-D
+    # stencil) and the tile-count form of P(g).
+    nmsgs = messages_per_step(workload.deps, workload.mapped_dim)
+    upper = workload.tiled_space(v).normalized_upper()
+    p_approx = overlap_steps(upper, workload.mapped_dim, paper_approximation=True)
+    t_theory = p_approx * (
+        2 * nmsgs * fill + machine.compute_time(workload.grain(v))
+    )
+
+    t_sim = best_ovl.t_overlap_sim
+    return Table12Row(
+        workload_name=workload.name,
+        v_optimal=v,
+        grain_optimal=workload.grain(v),
+        packet_bytes=packet,
+        t_overlap_sim=t_sim,
+        t_fill_mpi_buffer=fill,
+        steps_paper_approx=p_approx,
+        t_overlap_theoretical=t_theory,
+        sim_vs_theory=abs(t_sim - t_theory) / t_sim,
+        t_nonoverlap_sim=best_non.t_nonoverlap_sim,
+        improvement=improvement(best_non.t_nonoverlap_sim, t_sim),
+    )
+
+
+def table12(
+    workloads: list[StencilWorkload],
+    machine: Machine,
+    sweeps: list[SweepResult] | None = None,
+) -> list[Table12Row]:
+    """All rows, optionally reusing precomputed sweeps (same order)."""
+    if sweeps is not None and len(sweeps) != len(workloads):
+        raise ValueError("sweeps must align with workloads")
+    return [
+        table12_row(w, machine, sweeps[k] if sweeps is not None else None)
+        for k, w in enumerate(workloads)
+    ]
+
+
+def render_table12(rows: list[Table12Row]) -> str:
+    """Text rendering in the paper's layout (workloads as columns)."""
+    labels = [
+        "index set size",
+        "V_optimal",
+        "g_optimal (tile points)",
+        "packet size (bytes)",
+        "t_optimal overlapping simulated (s)",
+        "T_fill_MPI_buf (ms)",
+        "P(g) (paper approx.)",
+        "t_optimal overlapping theoretical (s)",
+        "difference simulated vs theoretical",
+        "t_optimal non-overlapping simulated (s)",
+        "improvement overlapping vs non-overlapping",
+    ]
+    headers = ["quantity"] + [r.workload_name for r in rows]
+    def col(r: Table12Row) -> list[object]:
+        return [
+            r.workload_name,
+            r.v_optimal,
+            r.grain_optimal,
+            r.packet_bytes,
+            round(r.t_overlap_sim, 6),
+            round(r.t_fill_mpi_buffer * 1e3, 4),
+            round(r.steps_paper_approx, 1),
+            round(r.t_overlap_theoretical, 6),
+            f"{r.sim_vs_theory:.1%}",
+            round(r.t_nonoverlap_sim, 6),
+            f"{r.improvement:.1%}",
+        ]
+
+    cols = [col(r) for r in rows]
+    table_rows = [
+        [labels[i]] + [c[i] for c in cols] for i in range(len(labels))
+    ]
+    return format_table(headers, table_rows, title="Figure 12 — experimental results")

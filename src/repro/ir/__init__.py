@@ -1,0 +1,18 @@
+"""Loop-nest intermediate representation: spaces, statements, dependences."""
+
+from repro.ir.dependence import DependenceSet, lexicographically_positive
+from repro.ir.loopnest import IterationSpace, LoopNest
+from repro.ir.parser import ParseError, parse_loop_nest
+from repro.ir.statement import ArrayAccess, Statement, stencil_statement
+
+__all__ = [
+    "ArrayAccess",
+    "DependenceSet",
+    "IterationSpace",
+    "LoopNest",
+    "ParseError",
+    "Statement",
+    "lexicographically_positive",
+    "parse_loop_nest",
+    "stencil_statement",
+]

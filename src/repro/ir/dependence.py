@@ -1,0 +1,112 @@
+"""Dependence sets of uniform-dependence algorithms (paper §2.2).
+
+A :class:`DependenceSet` wraps the matrix ``D`` whose *columns* are the
+dependence vectors ``d_1 .. d_m``.  It provides the validity predicates
+the tiling and scheduling layers rely on:
+
+* every dependence must be lexicographically positive (the loop is
+  sequentially executable);
+* a schedule vector ``Π`` is valid iff ``Π · d > 0`` for every ``d``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.util.intmat import FractionMatrix
+from repro.util.validation import require_int_vector
+
+__all__ = ["DependenceSet", "lexicographically_positive"]
+
+
+def lexicographically_positive(vector: Sequence[int]) -> bool:
+    """True iff the first non-zero component of ``vector`` is positive."""
+    for x in vector:
+        if x != 0:
+            return x > 0
+    return False
+
+
+@dataclass(frozen=True)
+class DependenceSet:
+    """An ordered set of uniform dependence vectors.
+
+    Vectors are stored deduplicated in first-seen order.  ``n`` is the
+    loop depth, ``m`` the number of vectors.
+    """
+
+    vectors: tuple[tuple[int, ...], ...]
+
+    def __init__(self, vectors: Sequence[Sequence[int]]):
+        seen: dict[tuple[int, ...], None] = {}
+        ndim: int | None = None
+        for k, v in enumerate(vectors):
+            tv = require_int_vector(v, f"vectors[{k}]")
+            if ndim is None:
+                ndim = len(tv)
+            elif len(tv) != ndim:
+                raise ValueError(
+                    f"dependence vectors must share a dimension; "
+                    f"got lengths {ndim} and {len(tv)}"
+                )
+            if not any(tv):
+                raise ValueError("zero dependence vector is not allowed")
+            seen.setdefault(tv, None)
+        if not seen:
+            raise ValueError("dependence set must contain at least one vector")
+        object.__setattr__(self, "vectors", tuple(seen.keys()))
+
+    @property
+    def ndim(self) -> int:
+        return len(self.vectors[0])
+
+    @property
+    def count(self) -> int:
+        return len(self.vectors)
+
+    def __iter__(self) -> Iterator[tuple[int, ...]]:
+        return iter(self.vectors)
+
+    def __len__(self) -> int:
+        return len(self.vectors)
+
+    def __contains__(self, v: object) -> bool:
+        return v in self.vectors
+
+    def matrix(self) -> FractionMatrix:
+        """The n-by-m matrix ``D`` with dependence vectors as columns."""
+        return FractionMatrix.from_columns(self.vectors)
+
+    def as_array(self) -> np.ndarray:
+        """``D`` as an ``(n, m)`` integer numpy array (columns = vectors)."""
+        return np.array(self.vectors, dtype=np.int64).T
+
+    def all_lexicographically_positive(self) -> bool:
+        """True iff the defining loop order executes every dependence."""
+        return all(lexicographically_positive(v) for v in self.vectors)
+
+    def admits_schedule(self, pi: Sequence[float]) -> bool:
+        """True iff ``Π · d > 0`` for every dependence vector ``d``."""
+        if len(pi) != self.ndim:
+            raise ValueError(
+                f"schedule vector has {len(pi)} dims, dependences have {self.ndim}"
+            )
+        return all(
+            sum(p * x for p, x in zip(pi, v)) > 0 for v in self.vectors
+        )
+
+    def displacement(self, pi: Sequence[float]) -> float:
+        """``dispΠ = min_d Π · d`` (paper §2.5); requires a valid Π."""
+        if not self.admits_schedule(pi):
+            raise ValueError(f"Π={tuple(pi)} is not valid for this dependence set")
+        return min(sum(p * x for p, x in zip(pi, v)) for v in self.vectors)
+
+    def is_unitary(self) -> bool:
+        """True iff every vector is 0/1-valued (the tiled-space property)."""
+        return all(all(x in (0, 1) for x in v) for v in self.vectors)
+
+    def __str__(self) -> str:
+        return "D{" + ", ".join(str(v) for v in self.vectors) + "}"

@@ -1,0 +1,150 @@
+"""Rectangular perfectly-nested loop model (paper §2.1–2.2).
+
+The algorithm model is
+
+    FOR i1 = l1 TO u1 DO
+      ...
+      FOR in = ln TO un DO
+        AS_1(i) ... AS_k(i)
+
+with integer constant bounds, i.e. the index set ``J^n`` is an
+``n``-dimensional box of integer points.  :class:`IterationSpace` captures
+that box; :class:`LoopNest` pairs it with the statements of the loop body.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence, TYPE_CHECKING
+
+from repro.util.validation import require_int_vector, require_same_length
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ir.statement import Statement
+
+__all__ = ["IterationSpace", "LoopNest"]
+
+
+@dataclass(frozen=True)
+class IterationSpace:
+    """The integer box ``J^n = { j : lower <= j <= upper }`` (inclusive).
+
+    Parameters
+    ----------
+    lower, upper:
+        Integer bounds per dimension; ``lower[k] <= upper[k]`` for all k.
+    """
+
+    lower: tuple[int, ...]
+    upper: tuple[int, ...]
+
+    def __init__(self, lower: Sequence[int], upper: Sequence[int]):
+        lo = require_int_vector(lower, "lower")
+        up = require_int_vector(upper, "upper")
+        require_same_length(lo, up, "lower", "upper")
+        for k, (a, b) in enumerate(zip(lo, up)):
+            if a > b:
+                raise ValueError(
+                    f"empty iteration space: lower[{k}]={a} > upper[{k}]={b}"
+                )
+        object.__setattr__(self, "lower", lo)
+        object.__setattr__(self, "upper", up)
+
+    @staticmethod
+    def from_extents(extents: Sequence[int]) -> "IterationSpace":
+        """Box ``0 <= j_k < extents[k]`` (the common 0-based loop)."""
+        ex = require_int_vector(extents, "extents")
+        if any(e <= 0 for e in ex):
+            raise ValueError(f"extents must be positive, got {ex}")
+        return IterationSpace([0] * len(ex), [e - 1 for e in ex])
+
+    @property
+    def ndim(self) -> int:
+        return len(self.lower)
+
+    @property
+    def extents(self) -> tuple[int, ...]:
+        """Number of integer points per dimension."""
+        return tuple(u - l + 1 for l, u in zip(self.lower, self.upper))
+
+    @property
+    def size(self) -> int:
+        """Total number of iteration points."""
+        total = 1
+        for e in self.extents:
+            total *= e
+        return total
+
+    def contains(self, point: Sequence[int]) -> bool:
+        if len(point) != self.ndim:
+            return False
+        return all(l <= p <= u for l, p, u in zip(self.lower, point, self.upper))
+
+    def points(self) -> Iterator[tuple[int, ...]]:
+        """Iterate all integer points in lexicographic order.
+
+        Intended for small spaces (tests, references); the size is the
+        product of extents.
+        """
+
+        def rec(dim: int, prefix: tuple[int, ...]) -> Iterator[tuple[int, ...]]:
+            if dim == self.ndim:
+                yield prefix
+                return
+            for v in range(self.lower[dim], self.upper[dim] + 1):
+                yield from rec(dim + 1, prefix + (v,))
+
+        return rec(0, ())
+
+    def corner_points(self) -> list[tuple[int, ...]]:
+        """The 2^n corners of the box (used for image-bound computations)."""
+        corners: list[tuple[int, ...]] = [()]
+        for l, u in zip(self.lower, self.upper):
+            corners = [c + (v,) for c in corners for v in ((l, u) if l != u else (l,))]
+        return corners
+
+    def __str__(self) -> str:
+        parts = ", ".join(
+            f"{l}<=i{k + 1}<={u}" for k, (l, u) in enumerate(zip(self.lower, self.upper))
+        )
+        return f"IterationSpace({parts})"
+
+
+@dataclass(frozen=True)
+class LoopNest:
+    """A perfectly nested loop: an iteration space plus body statements.
+
+    The dependence set of the nest is the union of the uniform dependence
+    vectors of its statements (see :mod:`repro.ir.dependence`).
+    """
+
+    space: IterationSpace
+    statements: tuple["Statement", ...] = field(default_factory=tuple)
+
+    def __init__(self, space: IterationSpace, statements: Sequence["Statement"] = ()):
+        if not isinstance(space, IterationSpace):
+            raise TypeError("space must be an IterationSpace")
+        stmts = tuple(statements)
+        for s in stmts:
+            if s.ndim != space.ndim:
+                raise ValueError(
+                    f"statement {s!r} has {s.ndim} index dims, "
+                    f"loop nest has {space.ndim}"
+                )
+        object.__setattr__(self, "space", space)
+        object.__setattr__(self, "statements", stmts)
+
+    @property
+    def ndim(self) -> int:
+        return self.space.ndim
+
+    def dependence_vectors(self) -> tuple[tuple[int, ...], ...]:
+        """Union of the uniform flow-dependence vectors of all statements.
+
+        Deduplicated, in first-seen order.
+        """
+        seen: dict[tuple[int, ...], None] = {}
+        for s in self.statements:
+            for d in s.dependence_vectors():
+                seen.setdefault(d, None)
+        return tuple(seen.keys())

@@ -1,0 +1,151 @@
+"""Parse the paper's textual algorithm form into the IR (§2.1).
+
+Accepts loop nests written the way the paper writes them::
+
+    for i1 = 0 to 9999
+      for i2 = 0 to 999
+        A(i1, i2) = A(i1-1, i2-1) + A(i1-1, i2) + A(i1, i2-1)
+
+Also accepted: ``..`` range syntax (``for i = 0..99``), ``endfor`` lines
+(ignored), blank lines and ``#`` comments.  Index variables may have any
+identifier names; their nesting order defines the dimension order.  Every
+right-hand-side array reference must use the loop variables plus constant
+offsets (the uniform-dependence model); anything else is a parse error.
+
+The parser returns a :class:`~repro.ir.loopnest.LoopNest`, from which the
+dependence vectors fall out via the IR — the front door for users who
+want to start from source text rather than build IR objects by hand.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.ir.loopnest import IterationSpace, LoopNest
+from repro.ir.statement import ArrayAccess, Statement
+
+__all__ = ["ParseError", "parse_loop_nest"]
+
+_FOR_RE = re.compile(
+    r"^for\s+([A-Za-z_]\w*)\s*=\s*(-?\d+)\s*(?:to|\.\.)\s*(-?\d+)\s*(?:do)?$",
+    re.IGNORECASE,
+)
+_ASSIGN_RE = re.compile(
+    r"^([A-Za-z_]\w*)\s*\(([^)]*)\)\s*=\s*(.+)$"
+)
+_REF_RE = re.compile(r"([A-Za-z_]\w*)\s*\(([^)]*)\)")
+_INDEX_RE = re.compile(
+    r"^\s*([A-Za-z_]\w*)\s*(?:([+-])\s*(\d+))?\s*$"
+)
+
+
+class ParseError(ValueError):
+    """Raised with a line number and reason on malformed input."""
+
+    def __init__(self, lineno: int, reason: str):
+        super().__init__(f"line {lineno}: {reason}")
+        self.lineno = lineno
+        self.reason = reason
+
+
+def _parse_index(expr: str, variables: list[str], lineno: int) -> int:
+    """``i2-1`` → offset -1 in the dimension of i2 (returned via index)."""
+    m = _INDEX_RE.match(expr)
+    if not m:
+        raise ParseError(
+            lineno, f"index expression {expr!r} is not 'var', 'var+c' or 'var-c'"
+        )
+    var, sign, mag = m.group(1), m.group(2), m.group(3)
+    if var not in variables:
+        raise ParseError(lineno, f"unknown loop variable {var!r} in index")
+    offset = 0
+    if sign is not None:
+        offset = int(mag) * (1 if sign == "+" else -1)
+    return variables.index(var), offset
+
+
+def _parse_access(
+    name: str, index_text: str, variables: list[str], lineno: int
+) -> ArrayAccess:
+    parts = [p for p in index_text.split(",")]
+    if len(parts) != len(variables):
+        raise ParseError(
+            lineno,
+            f"{name}(...) has {len(parts)} indices, loop nest has "
+            f"{len(variables)} dimensions",
+        )
+    offsets = [0] * len(variables)
+    seen_dims = set()
+    for part in parts:
+        dim, off = _parse_index(part, variables, lineno)
+        if dim in seen_dims:
+            raise ParseError(
+                lineno, f"loop variable used twice in one reference: {part!r}"
+            )
+        seen_dims.add(dim)
+        offsets[dim] = off
+    # Indices must appear in dimension order (the paper's model indexes
+    # V by i directly).
+    order = [
+        _parse_index(p, variables, lineno)[0] for p in parts
+    ]
+    if order != sorted(order):
+        raise ParseError(
+            lineno, f"indices of {name}(...) are not in loop order"
+        )
+    return ArrayAccess(name, offsets)
+
+
+def parse_loop_nest(text: str) -> LoopNest:
+    """Parse the paper-style loop text into a :class:`LoopNest`."""
+    variables: list[str] = []
+    lowers: list[int] = []
+    uppers: list[int] = []
+    statements: list[Statement] = []
+    in_body = False
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip().rstrip(":")
+        if not line or line.lower() in ("endfor", "end"):
+            continue
+        m = _FOR_RE.match(line)
+        if m:
+            if in_body:
+                raise ParseError(
+                    lineno,
+                    "loop header after body statements — only perfectly "
+                    "nested loops are supported",
+                )
+            var, lo, hi = m.group(1), int(m.group(2)), int(m.group(3))
+            if var in variables:
+                raise ParseError(lineno, f"duplicate loop variable {var!r}")
+            variables.append(var)
+            lowers.append(lo)
+            uppers.append(hi)
+            continue
+
+        am = _ASSIGN_RE.match(line)
+        if am:
+            if not variables:
+                raise ParseError(lineno, "assignment before any loop header")
+            in_body = True
+            write = _parse_access(am.group(1), am.group(2), variables, lineno)
+            rhs = am.group(3)
+            reads = [
+                _parse_access(name, idx, variables, lineno)
+                for name, idx in _REF_RE.findall(rhs)
+            ]
+            if not reads:
+                raise ParseError(
+                    lineno, "right-hand side references no arrays"
+                )
+            statements.append(Statement(write, reads))
+            continue
+
+        raise ParseError(lineno, f"cannot parse {line!r}")
+
+    if not variables:
+        raise ParseError(0, "no loop headers found")
+    if not statements:
+        raise ParseError(0, "no assignment statements found")
+    return LoopNest(IterationSpace(lowers, uppers), statements)

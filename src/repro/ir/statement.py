@@ -1,0 +1,116 @@
+"""Assignment statements with uniform array accesses (paper §2.1).
+
+A statement has the form ``V0[i + w] = E(V1[i + r1], ..., Vl[i + rl])``
+where the write offset ``w`` and read offsets ``rk`` are constant integer
+vectors.  In the paper all accesses are of exactly this shifted-identity
+form, which is what makes every dependence *uniform* (independent of the
+iteration point).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.util.validation import require_int_vector
+
+__all__ = ["ArrayAccess", "Statement"]
+
+
+@dataclass(frozen=True)
+class ArrayAccess:
+    """An access ``array[i + offset]`` at iteration point ``i``."""
+
+    array: str
+    offset: tuple[int, ...]
+
+    def __init__(self, array: str, offset: Sequence[int]):
+        if not array or not isinstance(array, str):
+            raise ValueError("array name must be a non-empty string")
+        object.__setattr__(self, "array", array)
+        object.__setattr__(self, "offset", require_int_vector(offset, "offset"))
+
+    @property
+    def ndim(self) -> int:
+        return len(self.offset)
+
+    def at(self, point: Sequence[int]) -> tuple[int, ...]:
+        """The concrete array index touched at iteration ``point``."""
+        if len(point) != self.ndim:
+            raise ValueError(
+                f"point has {len(point)} dims, access has {self.ndim}"
+            )
+        return tuple(p + o for p, o in zip(point, self.offset))
+
+    def __str__(self) -> str:
+        idx = ", ".join(
+            f"i{k + 1}{o:+d}" if o else f"i{k + 1}" for k, o in enumerate(self.offset)
+        )
+        return f"{self.array}({idx})"
+
+
+@dataclass(frozen=True)
+class Statement:
+    """``write = E(reads...)`` with uniform (constant-offset) accesses."""
+
+    write: ArrayAccess
+    reads: tuple[ArrayAccess, ...]
+
+    def __init__(self, write: ArrayAccess, reads: Sequence[ArrayAccess]):
+        if not isinstance(write, ArrayAccess):
+            raise TypeError("write must be an ArrayAccess")
+        rs = tuple(reads)
+        for r in rs:
+            if not isinstance(r, ArrayAccess):
+                raise TypeError("reads must be ArrayAccess instances")
+            if r.ndim != write.ndim:
+                raise ValueError(
+                    f"read {r} has {r.ndim} dims, write has {write.ndim}"
+                )
+        object.__setattr__(self, "write", write)
+        object.__setattr__(self, "reads", rs)
+
+    @property
+    def ndim(self) -> int:
+        return self.write.ndim
+
+    def dependence_vectors(self) -> tuple[tuple[int, ...], ...]:
+        """Uniform flow-dependence vectors of this statement.
+
+        A read ``A[i + r]`` of the array written as ``A[i + w]`` depends on
+        the iteration that wrote that element: ``i + r = i' + w`` gives
+        ``d = i - i' = w - r``.  Only same-array read/write pairs create
+        dependences; zero vectors (same-iteration reuse) are dropped.
+        Anti/output dependences do not arise in the paper's single-assign
+        model and are not modelled.
+        """
+        out: dict[tuple[int, ...], None] = {}
+        for r in self.reads:
+            if r.array != self.write.array:
+                continue
+            d = tuple(w - x for w, x in zip(self.write.offset, r.offset))
+            if any(d):
+                out.setdefault(d, None)
+        return tuple(out.keys())
+
+    def __str__(self) -> str:
+        rhs = ", ".join(str(r) for r in self.reads)
+        return f"{self.write} = E({rhs})"
+
+
+def stencil_statement(array: str, read_offsets: Sequence[Sequence[int]]) -> Statement:
+    """Convenience: ``array[i] = E(array[i + r] for r in read_offsets)``.
+
+    Matches the paper's example kernels, e.g. Example 1 uses read offsets
+    ``(-1,-1), (-1,0), (0,-1)`` giving dependence vectors
+    ``(1,1), (1,0), (0,1)``.
+    """
+    offs = [tuple(require_int_vector(o, "read_offsets[k]")) for o in read_offsets]
+    if not offs:
+        raise ValueError("need at least one read offset")
+    ndim = len(offs[0])
+    write = ArrayAccess(array, (0,) * ndim)
+    return Statement(write, [ArrayAccess(array, o) for o in offs])
+
+
+__all__.append("stencil_statement")

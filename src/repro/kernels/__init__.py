@@ -1,0 +1,47 @@
+"""Stencil kernels, sequential references, and the paper's workloads."""
+
+from repro.kernels.library import (
+    all_library_kernels,
+    anisotropic_3d,
+    binomial_2d,
+    gauss_seidel_2d,
+    lcs_kernel_2d,
+    sum_kernel_4d,
+    weighted_stencil,
+)
+from repro.kernels.stencil import (
+    StencilKernel,
+    allocate_with_halo,
+    sequential_reference,
+    sqrt_kernel_3d,
+    sum_kernel_2d,
+)
+from repro.kernels.workloads import (
+    StencilWorkload,
+    example1_workload,
+    paper_experiment_i,
+    paper_experiment_ii,
+    paper_experiment_iii,
+    paper_experiments,
+)
+
+__all__ = [
+    "StencilKernel",
+    "StencilWorkload",
+    "all_library_kernels",
+    "allocate_with_halo",
+    "anisotropic_3d",
+    "binomial_2d",
+    "gauss_seidel_2d",
+    "lcs_kernel_2d",
+    "sum_kernel_4d",
+    "weighted_stencil",
+    "example1_workload",
+    "paper_experiment_i",
+    "paper_experiment_ii",
+    "paper_experiment_iii",
+    "paper_experiments",
+    "sequential_reference",
+    "sqrt_kernel_3d",
+    "sum_kernel_2d",
+]

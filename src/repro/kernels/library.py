@@ -1,0 +1,166 @@
+"""A library of uniform-dependence kernels beyond the paper's two.
+
+All fit the paper's algorithm model (§2.1): perfectly nested loops,
+constant lexicographically-positive dependences, one assignment.  They
+exercise different corners of the stack:
+
+* :func:`gauss_seidel_2d` — relaxation sweep, deps {(1,0),(0,1)};
+* :func:`binomial_2d` — Pascal-style DP, deps {(1,0),(1,1)} (diagonal
+  crossing the mapped dimension);
+* :func:`lcs_kernel_2d` — max/plus dynamic program, deps
+  {(1,0),(0,1),(1,1)} (same D as Example 1, non-linear combine);
+* :func:`anisotropic_3d` — 3-D stencil with the extra dependence
+  (1,0,1) that couples a cross dimension with the mapped one;
+* :func:`sum_kernel_4d` — unit dependences in four dimensions (n = 4
+  paths through tiling/scheduling);
+* :func:`weighted_stencil` — arbitrary per-offset weights.
+
+Every kernel carries a ``combine_source`` so :mod:`repro.codegen` can
+emit executable tiled loops for it.
+"""
+
+from __future__ import annotations
+
+from math import sqrt
+from typing import Sequence
+
+from repro.kernels.stencil import StencilKernel
+
+__all__ = [
+    "gauss_seidel_2d",
+    "binomial_2d",
+    "lcs_kernel_2d",
+    "anisotropic_3d",
+    "sum_kernel_4d",
+    "weighted_stencil",
+    "all_library_kernels",
+]
+
+
+def gauss_seidel_2d(omega: float = 0.5) -> StencilKernel:
+    """In-place relaxation sweep ``A(i,j) = ω·(A(i-1,j) + A(i,j-1))``.
+
+    The in-place (Gauss–Seidel-ordered) update is what makes the
+    dependences flow dependences; ``ω = 0.5`` keeps values bounded.
+    """
+    if not 0 < omega <= 1:
+        raise ValueError("omega must be in (0, 1]")
+    return StencilKernel(
+        name=f"gauss_seidel_2d(omega={omega})",
+        read_offsets=((-1, 0), (0, -1)),
+        combine=lambda v, _w=omega: _w * (v[0] + v[1]),
+        boundary_value=1.0,
+        combine_source=lambda reads, _w=omega: f"{_w} * ({reads[0]} + {reads[1]})",
+    )
+
+
+def binomial_2d() -> StencilKernel:
+    """Pascal's-triangle DP: ``A(i,j) = A(i-1,j) + A(i-1,j-1)``.
+
+    Dependence (1,1) steps the diagonal; with the usual row mapping this
+    exercises the corner routing through the mapped dimension.
+    """
+    return StencilKernel(
+        name="binomial_2d",
+        read_offsets=((-1, 0), (-1, -1)),
+        combine=lambda v: v[0] + v[1],
+        boundary_value=1.0,
+        combine_source=lambda reads: f"{reads[0]} + {reads[1]}",
+    )
+
+
+def lcs_kernel_2d(match_bonus: float = 1.0) -> StencilKernel:
+    """Longest-common-subsequence-shaped DP:
+    ``A(i,j) = max(A(i-1,j), A(i,j-1), A(i-1,j-1) + bonus)``.
+
+    Same dependence set as the paper's Example 1 but with a non-linear
+    (max) combine — tiling and scheduling treat both identically, which
+    the verification tests confirm.
+    """
+    return StencilKernel(
+        name="lcs_2d",
+        read_offsets=((-1, 0), (0, -1), (-1, -1)),
+        combine=lambda v, _b=match_bonus: max(v[0], v[1], v[2] + _b),
+        boundary_value=0.0,
+        combine_source=lambda reads, _b=match_bonus: (
+            f"max({reads[0]}, {reads[1]}, {reads[2]} + {_b})"
+        ),
+    )
+
+
+def anisotropic_3d() -> StencilKernel:
+    """3-D sweep with an extra skewed dependence (1,0,1):
+    ``A(i,j,k) = sqrt(A(i-1,j,k)) + sqrt(A(i,j-1,k)) + sqrt(A(i,j,k-1))
+    + 0.5·A(i-1,j,k-1)``.
+
+    The (1,0,1) dependence couples cross dimension i with the mapped
+    dimension k; its supernode image is still 0/1 for tiles taller than
+    one, and the runtime routes it through the persistent column halo.
+    """
+    return StencilKernel(
+        name="anisotropic_3d",
+        read_offsets=((-1, 0, 0), (0, -1, 0), (0, 0, -1), (-1, 0, -1)),
+        combine=lambda v: sqrt(v[0]) + sqrt(v[1]) + sqrt(v[2]) + 0.5 * v[3],
+        boundary_value=1.0,
+        combine_source=lambda reads: (
+            f"math.sqrt({reads[0]}) + math.sqrt({reads[1]}) + "
+            f"math.sqrt({reads[2]}) + 0.5 * {reads[3]}"
+        ),
+    )
+
+
+def sum_kernel_4d() -> StencilKernel:
+    """Unit-dependence sum in four dimensions — exercises every n = 4
+    code path (tiling legality, D^S, both schedules, the simulator)."""
+    return StencilKernel(
+        name="sum_4d",
+        read_offsets=(
+            (-1, 0, 0, 0),
+            (0, -1, 0, 0),
+            (0, 0, -1, 0),
+            (0, 0, 0, -1),
+        ),
+        combine=lambda v: 0.25 * (v[0] + v[1] + v[2] + v[3]),
+        boundary_value=1.0,
+        combine_source=lambda reads: "0.25 * (" + " + ".join(reads) + ")",
+    )
+
+
+def weighted_stencil(
+    offsets: Sequence[Sequence[int]],
+    weights: Sequence[float],
+    *,
+    name: str = "weighted",
+    boundary_value: float = 1.0,
+) -> StencilKernel:
+    """A linear stencil with arbitrary per-offset weights.
+
+    Offsets follow the usual convention (reads at ``i + offset``); each
+    ``-offset`` must be lexicographically positive.
+    """
+    offs = tuple(tuple(int(x) for x in o) for o in offsets)
+    ws = tuple(float(x) for x in weights)
+    if len(offs) != len(ws):
+        raise ValueError("offsets and weights must align")
+    if not offs:
+        raise ValueError("need at least one offset")
+    return StencilKernel(
+        name=name,
+        read_offsets=offs,
+        combine=lambda v, _ws=ws: sum(w * x for w, x in zip(_ws, v)),
+        boundary_value=boundary_value,
+        combine_source=lambda reads, _ws=ws: " + ".join(
+            f"{w} * {r}" for w, r in zip(_ws, reads)
+        ),
+    )
+
+
+def all_library_kernels() -> tuple[StencilKernel, ...]:
+    """One instance of every parameter-free library kernel."""
+    return (
+        gauss_seidel_2d(),
+        binomial_2d(),
+        lcs_kernel_2d(),
+        anisotropic_3d(),
+        sum_kernel_4d(),
+    )

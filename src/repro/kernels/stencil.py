@@ -1,0 +1,181 @@
+"""Uniform-dependence stencil kernels and their sequential references.
+
+The paper's test application is
+
+    A(i,j,k) = sqrt(A(i-1,j,k)) + sqrt(A(i,j-1,k)) + sqrt(A(i,j,k-1))
+
+and Example 1 uses the 2-D sum stencil with reads at (-1,-1), (-1,0),
+(0,-1).  A :class:`StencilKernel` holds the read offsets (defining the
+dependence vectors) plus the combining function, and can evaluate any
+rectangular region of the iteration space *in lexicographic order* —
+legal because all dependence vectors are lexicographically positive, so
+every read refers to an already-computed (or boundary) value.
+
+Arrays carry a halo of boundary values on the low side of each dimension
+so that reads falling outside the iteration space hit well-defined
+initial conditions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from math import sqrt
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.ir.dependence import DependenceSet, lexicographically_positive
+from repro.ir.loopnest import IterationSpace
+from repro.ir.statement import stencil_statement
+
+__all__ = [
+    "StencilKernel",
+    "sum_kernel_2d",
+    "sqrt_kernel_3d",
+    "allocate_with_halo",
+    "sequential_reference",
+]
+
+
+@dataclass(frozen=True)
+class StencilKernel:
+    """A pointwise recurrence with constant read offsets.
+
+    ``combine`` maps the tuple of neighbour values (in ``read_offsets``
+    order) to the new value.  All offsets must make the corresponding
+    dependence vector ``-offset`` lexicographically positive, so a
+    lexicographic sweep is always a valid execution order.
+    """
+
+    name: str
+    read_offsets: tuple[tuple[int, ...], ...]
+    combine: Callable[[tuple[float, ...]], float]
+    boundary_value: float = 1.0
+    # Optional source-expression builder for repro.codegen: maps the list
+    # of rendered read expressions to the RHS source string.
+    combine_source: Callable[[list[str]], str] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.read_offsets:
+            raise ValueError("kernel needs at least one read offset")
+        ndim = len(self.read_offsets[0])
+        for off in self.read_offsets:
+            if len(off) != ndim:
+                raise ValueError("read offsets must share a dimension")
+            if not lexicographically_positive([-x for x in off]):
+                raise ValueError(
+                    f"read offset {off} gives a non-positive dependence "
+                    f"{tuple(-x for x in off)}; lexicographic sweeps would "
+                    "read uncomputed values"
+                )
+
+    @property
+    def ndim(self) -> int:
+        return len(self.read_offsets[0])
+
+    @property
+    def halo(self) -> tuple[int, ...]:
+        """Low-side halo depth per dimension: how far reads reach back."""
+        return tuple(
+            max(0, max(-off[k] for off in self.read_offsets))
+            for k in range(self.ndim)
+        )
+
+    def dependence_set(self) -> DependenceSet:
+        """Dependence vectors ``d = -offset`` (write at i, read at i+off)."""
+        return DependenceSet([tuple(-x for x in off) for off in self.read_offsets])
+
+    def statement(self, array: str = "A"):
+        """The kernel as an IR :class:`~repro.ir.statement.Statement`."""
+        return stencil_statement(array, self.read_offsets)
+
+    # -- evaluation ------------------------------------------------------------
+
+    def compute_region(
+        self,
+        data: np.ndarray,
+        halo: Sequence[int],
+        lo: Sequence[int],
+        hi: Sequence[int],
+    ) -> None:
+        """Evaluate points ``lo..hi`` (inclusive, iteration-space coords)
+        in lexicographic order, in place.
+
+        ``data`` is halo-padded: iteration point ``j`` lives at
+        ``data[j + halo]``.  Reads outside the already-computed region
+        must have been initialised (boundary or received ghost values).
+        """
+        if len(lo) != self.ndim or len(hi) != self.ndim:
+            raise ValueError("region bounds must match kernel dimension")
+        h = tuple(halo)
+        offs = self.read_offsets
+        combine = self.combine
+        for point in product(*(range(a, b + 1) for a, b in zip(lo, hi))):
+            idx = tuple(p + hh for p, hh in zip(point, h))
+            vals = tuple(
+                data[tuple(i + o for i, o in zip(idx, off))] for off in offs
+            )
+            data[idx] = combine(vals)
+
+
+def sum_kernel_2d() -> StencilKernel:
+    """Example 1's kernel: ``A(i1,i2) = A(i1-1,i2-1)+A(i1-1,i2)+A(i1,i2-1)``."""
+    return StencilKernel(
+        name="sum2d",
+        read_offsets=((-1, -1), (-1, 0), (0, -1)),
+        combine=lambda v: v[0] + v[1] + v[2],
+        boundary_value=1.0,
+    )
+
+
+def sqrt_kernel_3d() -> StencilKernel:
+    """The paper's §5 kernel: sum of square roots of the three backward
+    neighbours ("square roots and floats to increase t_c")."""
+    return StencilKernel(
+        name="sqrt3d",
+        read_offsets=((-1, 0, 0), (0, -1, 0), (0, 0, -1)),
+        combine=lambda v: sqrt(v[0]) + sqrt(v[1]) + sqrt(v[2]),
+        boundary_value=1.0,
+    )
+
+
+def allocate_with_halo(
+    kernel: StencilKernel, space: IterationSpace
+) -> tuple[np.ndarray, tuple[int, ...]]:
+    """A float64 array covering ``space`` plus the kernel's low-side halo,
+    halo cells initialised to the kernel's boundary value, interior zeroed.
+
+    Returns ``(data, halo)``; iteration point ``j`` (0-based within the
+    space) lives at ``data[j - space.lower + halo]``.
+    """
+    halo = kernel.halo
+    shape = tuple(e + h for e, h in zip(space.extents, halo))
+    data = np.zeros(shape, dtype=np.float64)
+    # Initialise every halo slab (low side of each dimension).
+    for k, h in enumerate(halo):
+        if h == 0:
+            continue
+        sl: list[slice] = [slice(None)] * len(shape)
+        sl[k] = slice(0, h)
+        data[tuple(sl)] = kernel.boundary_value
+    return data, halo
+
+
+def sequential_reference(
+    kernel: StencilKernel, space: IterationSpace
+) -> np.ndarray:
+    """Golden single-node execution of the kernel over the whole space.
+
+    Returns the array *without* halo (exactly ``space.extents``).  This is
+    what every distributed execution is verified against.
+    """
+    if kernel.ndim != space.ndim:
+        raise ValueError("kernel/space dimension mismatch")
+    data, halo = allocate_with_halo(kernel, space)
+    lo = tuple(0 for _ in range(space.ndim))
+    hi = tuple(e - 1 for e in space.extents)
+    # compute_region works in iteration coords relative to data[halo].
+    kernel.compute_region(data, halo, lo, hi)
+    interior = tuple(slice(h, None) for h in halo)
+    return data[interior].copy()

@@ -1,0 +1,56 @@
+"""Analytic machine and completion-time models (paper §2.6, §3, §4)."""
+
+from repro.model.analysis import (
+    ScheduleModel,
+    continuous_optimum,
+    cpu_comm_crossover,
+    parameter_sensitivity,
+    workload_step,
+)
+from repro.model.completion import (
+    hodzic_shang_optimal_grain,
+    improvement,
+    lemma1_p0,
+    lemma1_steps,
+    minimize_completion_over_grain,
+    nonoverlap_completion_time,
+    nonoverlap_steps,
+    overlap_completion_time,
+    overlap_optimal_grain_case2_closed_form,
+    overlap_optimal_grain_closed_form,
+    overlap_steps,
+)
+from repro.model.costs import StepCosts, step_costs
+from repro.model.machine import (
+    Machine,
+    example1_machine,
+    ideal_overlap_machine,
+    pentium_cluster,
+    sci_cluster,
+)
+
+__all__ = [
+    "Machine",
+    "ScheduleModel",
+    "StepCosts",
+    "continuous_optimum",
+    "cpu_comm_crossover",
+    "parameter_sensitivity",
+    "workload_step",
+    "example1_machine",
+    "hodzic_shang_optimal_grain",
+    "ideal_overlap_machine",
+    "improvement",
+    "lemma1_p0",
+    "lemma1_steps",
+    "minimize_completion_over_grain",
+    "nonoverlap_completion_time",
+    "nonoverlap_steps",
+    "overlap_completion_time",
+    "overlap_optimal_grain_case2_closed_form",
+    "overlap_optimal_grain_closed_form",
+    "overlap_steps",
+    "pentium_cluster",
+    "sci_cluster",
+    "step_costs",
+]

@@ -1,0 +1,31 @@
+"""SPMD tile programs and their execution backends (simulator, threads)."""
+
+from repro.runtime.buffers import BufferRequirements, buffer_requirements
+from repro.runtime.executor import ExecutionResult, run_schedule_pair, run_tiled
+from repro.runtime.planner import DistributionPlan, factor_grid, plan_distribution
+from repro.runtime.program import RankState, TiledProgram
+from repro.runtime.threads import ThreadRank, ThreadRunResult, run_threaded
+from repro.runtime.verify import (
+    VerificationReport,
+    verify_against_reference,
+    verify_workload,
+)
+
+__all__ = [
+    "BufferRequirements",
+    "DistributionPlan",
+    "ExecutionResult",
+    "buffer_requirements",
+    "factor_grid",
+    "plan_distribution",
+    "RankState",
+    "ThreadRank",
+    "ThreadRunResult",
+    "TiledProgram",
+    "VerificationReport",
+    "run_schedule_pair",
+    "run_threaded",
+    "run_tiled",
+    "verify_against_reference",
+    "verify_workload",
+]

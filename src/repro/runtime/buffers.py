@@ -1,0 +1,136 @@
+"""Per-processor buffer requirements (paper §5, Fig. 6).
+
+"In order to achieve overlapping of computation and communication, we
+need extra space, besides the tile space, on each node in order to buffer
+the surfaces that are received or being sent to every neighboring node."
+
+This module quantifies that: for a workload and tile height it reports,
+per rank, the bytes needed for
+
+* the owned data column (+ halo slabs),
+* the MPI send/receive surface buffers per schedule — the blocking
+  schedule needs one surface per neighbour direction at a time, the
+  pipelined schedule needs *two* per direction (the surface in flight
+  for tile m−1 and the one being filled for tile m+1, Fig. 6's extra
+  buffering),
+
+so users can check a configuration against per-node memory before
+running, exactly the budgeting the paper's 128 MB nodes needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kernels.workloads import StencilWorkload
+from repro.model.machine import Machine
+from repro.util.validation import require_positive_int
+
+__all__ = ["BufferRequirements", "buffer_requirements"]
+
+
+@dataclass(frozen=True)
+class BufferRequirements:
+    """Bytes per rank for one (workload, V, schedule) configuration."""
+
+    workload_name: str
+    v: int
+    blocking: bool
+    data_bytes: int
+    halo_bytes: int
+    send_surface_bytes: int
+    recv_surface_bytes: int
+
+    @property
+    def surface_bytes(self) -> int:
+        return self.send_surface_bytes + self.recv_surface_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.data_bytes + self.halo_bytes + self.surface_bytes
+
+    @property
+    def overlap_overhead(self) -> float:
+        """Surface bytes as a fraction of the owned-data bytes."""
+        if self.data_bytes == 0:
+            return 0.0
+        return self.surface_bytes / self.data_bytes
+
+    def describe(self) -> str:
+        sched = "blocking" if self.blocking else "pipelined"
+        return (
+            f"{self.workload_name} V={self.v} ({sched}): "
+            f"data {self.data_bytes} B + halo {self.halo_bytes} B + "
+            f"surfaces {self.surface_bytes} B = {self.total_bytes} B "
+            f"({self.overlap_overhead:.1%} surface overhead)"
+        )
+
+
+def buffer_requirements(
+    workload: StencilWorkload,
+    v: int,
+    machine: Machine,
+    *,
+    blocking: bool,
+) -> BufferRequirements:
+    """Per-rank memory budget of the §5 distribution.
+
+    Each rank owns one tile column (full mapped extent × its cross
+    section); halo slabs sit on the low side of every dimension with
+    depth equal to the kernel's reach.
+    """
+    require_positive_int(v, "v")
+    b = machine.bytes_per_element
+    sides = workload.tile_sides(v)
+    halo = workload.kernel.halo
+
+    owned = []
+    for k, s in enumerate(sides):
+        owned.append(
+            workload.space.extents[k] if k == workload.mapped_dim else s
+        )
+
+    data_elems = 1
+    for e in owned:
+        data_elems *= e
+
+    padded = 1
+    for e, h in zip(owned, halo):
+        padded *= e + h
+    halo_elems = padded - data_elems
+
+    # Surface per communicating direction: the face of one tile (height
+    # V, the full cross extent of the other dimensions, kernel depth in
+    # the faced dimension).
+    c = [sum(d[k] for d in workload.deps.vectors)
+         for k in range(workload.space.ndim)]
+    send_elems = 0
+    recv_elems = 0
+    for k, s in enumerate(sides):
+        if k == workload.mapped_dim or c[k] == 0:
+            continue
+        face = halo[k]
+        for j, e in enumerate(owned):
+            if j == k:
+                continue
+            face *= v if j == workload.mapped_dim else e
+        if blocking:
+            # One receive surface resident at a time; sends go straight
+            # from the data column (MPI buffers the copy).
+            recv_elems += face
+            send_elems += face
+        else:
+            # Fig. 6: double-buffer both directions — the m−1 surface in
+            # flight plus the m+1 surface being received.
+            recv_elems += 2 * face
+            send_elems += 2 * face
+
+    return BufferRequirements(
+        workload_name=workload.name,
+        v=v,
+        blocking=blocking,
+        data_bytes=data_elems * b,
+        halo_bytes=halo_elems * b,
+        send_surface_bytes=send_elems * b,
+        recv_surface_bytes=recv_elems * b,
+    )

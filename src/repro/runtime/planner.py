@@ -1,0 +1,176 @@
+"""Distribution planning: from (loop, machine, processor budget) to a
+ready-to-run configuration.
+
+Automates the decisions the paper makes by hand in §5:
+
+1. **mapping dimension** — the largest extent (the [1] rule);
+2. **processor grid** — factor the processor budget across the non-mapped
+   dimensions, as square as possible, subject to divisibility of the
+   extents (the paper's 4×4 over 16×16);
+3. **tile height V** — minimise the analytic completion time of the
+   chosen schedule over valid heights;
+4. the resulting predicted times, speedup and per-rank memory budget.
+
+The output is a :class:`DistributionPlan` whose ``workload`` plugs
+directly into :func:`repro.runtime.executor.run_tiled`, the code
+generators, and the benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.dependence import DependenceSet
+from repro.ir.loopnest import IterationSpace
+from repro.kernels.stencil import StencilKernel
+from repro.kernels.workloads import StencilWorkload
+from repro.model.completion import nonoverlap_steps, overlap_steps
+from repro.model.machine import Machine
+from repro.runtime.buffers import BufferRequirements, buffer_requirements
+from repro.schedule.mapping import choose_mapping_dimension
+from repro.util.validation import require_positive_int
+
+__all__ = ["DistributionPlan", "plan_distribution", "factor_grid"]
+
+
+def factor_grid(budget: int, extents: list[int]) -> tuple[int, ...] | None:
+    """Split a processor budget across dimensions, as balanced as possible.
+
+    Returns per-dimension processor counts whose product is the largest
+    achievable ``<= budget`` with every count dividing its extent; None
+    when even a single processor per dimension fails (cannot happen for
+    positive extents, kept for symmetry).
+
+    Exhaustive over divisor combinations — extents and budgets are tiny.
+    """
+    require_positive_int(budget, "budget")
+    divisor_lists = [
+        [d for d in range(1, min(e, budget) + 1) if e % d == 0]
+        for e in extents
+    ]
+
+    best: tuple[int, ...] | None = None
+    best_key: tuple | None = None
+
+    def rec(k: int, chosen: tuple[int, ...], product: int) -> None:
+        nonlocal best, best_key
+        if product > budget:
+            return
+        if k == len(divisor_lists):
+            # Prefer more processors, then squarer grids (smaller spread).
+            spread = max(chosen) / min(chosen) if chosen else 1.0
+            key = (-product, spread, chosen)
+            if best_key is None or key < best_key:
+                best_key, best = key, chosen
+            return
+        for d in divisor_lists[k]:
+            rec(k + 1, chosen + (d,), product * d)
+
+    rec(0, (), 1)
+    return best
+
+
+@dataclass(frozen=True)
+class DistributionPlan:
+    """A complete run configuration plus its predicted performance."""
+
+    workload: StencilWorkload
+    v: int
+    overlap: bool
+    predicted_time: float
+    predicted_time_other_schedule: float
+    buffers: BufferRequirements
+
+    @property
+    def predicted_improvement(self) -> float:
+        """Fraction saved vs the other schedule (negative if it loses)."""
+        return 1.0 - self.predicted_time / self.predicted_time_other_schedule
+
+    def describe(self) -> str:
+        w = self.workload
+        grid = "x".join(str(p) for p in w.procs_per_dim if p > 1) or "1"
+        sched = "overlapping" if self.overlap else "non-overlapping"
+        return (
+            f"{w.name}: {grid} processors, mapped dim {w.mapped_dim}, "
+            f"tile height V={self.v} ({sched}); predicted "
+            f"{self.predicted_time:.4g} s vs {self.predicted_time_other_schedule:.4g} s "
+            f"({self.predicted_improvement:+.1%}); "
+            f"{self.buffers.total_bytes / 1024:.0f} KiB/rank"
+        )
+
+
+def plan_distribution(
+    space: IterationSpace,
+    kernel: StencilKernel,
+    machine: Machine,
+    max_processors: int,
+    *,
+    overlap: bool = True,
+    name: str = "planned",
+    heights: list[int] | None = None,
+) -> DistributionPlan:
+    """Choose grid, mapping and tile height for a loop on a machine.
+
+    ``heights`` defaults to every height from 1 to half the mapped
+    extent (thinned geometrically past 64 candidates).  The analytic
+    models (pipelined step for overlap, warm serialized step for
+    blocking) do the ranking; run the plan through the simulator for the
+    exact figure.
+    """
+    deps: DependenceSet = kernel.dependence_set()
+    if space.ndim != kernel.ndim:
+        raise ValueError("space/kernel dimension mismatch")
+    require_positive_int(max_processors, "max_processors")
+
+    mapped = choose_mapping_dimension(space.extents)
+    cross_extents = [
+        e for k, e in enumerate(space.extents) if k != mapped
+    ]
+    grid = factor_grid(max_processors, cross_extents)
+    if grid is None:  # pragma: no cover - factor_grid always finds (1,…,1)
+        raise ValueError("no feasible processor grid")
+    procs = []
+    it = iter(grid)
+    for k in range(space.ndim):
+        procs.append(1 if k == mapped else next(it))
+    workload = StencilWorkload(name, space, kernel, tuple(procs), mapped)
+
+    mapped_extent = space.extents[mapped]
+    if heights is None:
+        candidates = list(range(1, max(2, mapped_extent // 2 + 1)))
+        if len(candidates) > 64:
+            out = []
+            v = 1.0
+            ratio = (candidates[-1]) ** (1.0 / 63)
+            for _ in range(64):
+                iv = round(v)
+                if not out or iv > out[-1]:
+                    out.append(iv)
+                v *= ratio
+            candidates = out
+    else:
+        candidates = sorted(set(heights))
+        if any(v < 1 or v > mapped_extent for v in candidates):
+            raise ValueError("heights must lie within the mapped extent")
+
+    from repro.experiments.figures import analytic_step  # late: avoids cycle
+
+    def predicted(v: int, use_overlap: bool) -> float:
+        sc = analytic_step(workload, machine, v)
+        upper = workload.tiled_space(v).normalized_upper()
+        if use_overlap:
+            return overlap_steps(upper, mapped) * sc.pipelined_step
+        return nonoverlap_steps(upper) * sc.warm_serialized_step
+
+    best_v = min(candidates, key=lambda v: predicted(v, overlap))
+    t_best = predicted(best_v, overlap)
+    t_other = min(predicted(v, not overlap) for v in candidates)
+    return DistributionPlan(
+        workload=workload,
+        v=best_v,
+        overlap=overlap,
+        predicted_time=t_best,
+        predicted_time_other_schedule=t_other,
+        buffers=buffer_requirements(workload, best_v, machine,
+                                    blocking=not overlap),
+    )

@@ -1,0 +1,394 @@
+"""SPMD tile programs — the paper's ``ProcB`` / ``ProcNB`` pseudocode (§5).
+
+Builds one generator program per processor from a workload, a tile
+height ``V`` and a machine:
+
+* **blocking** (non-overlapping schedule, §3): per tile, a serialized
+  receive → compute → send triplet with ``MPI_Recv`` / ``MPI_Send``;
+* **non-blocking** (overlapping schedule, §4): per tile ``m``,
+  ``MPI_Isend`` the results of tile ``m−1``, ``MPI_Irecv`` the ghosts for
+  tile ``m+1``, compute tile ``m``, then ``MPI_Wait`` all four — the
+  pipelined data flow of Fig. 2, plus the prologue receive for tile 0 and
+  the epilogue send of the last tile that the paper's pseudocode leaves
+  implicit.
+
+Programs run in *synthetic* mode (timing only: payloads are ``None`` and
+computation is charged analytically) or *numeric* mode (real numpy tile
+computations and ghost-face exchange, verified against the sequential
+reference).  Numeric mode requires every cross-processor dependence to
+touch at most one non-mapped dimension — true of both paper kernels; the
+scheduling/tiling layers have no such restriction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generator
+
+import numpy as np
+
+from repro.kernels.stencil import StencilKernel
+from repro.kernels.workloads import StencilWorkload
+from repro.model.machine import Machine
+from repro.sim.core import Effect
+from repro.sim.mpi import Rank
+
+__all__ = ["RankState", "TiledProgram"]
+
+
+@dataclass
+class RankState:
+    """Numeric-mode per-rank data: the full owned tile column plus halo.
+
+    ``data[local + halo]`` holds iteration point ``owned_lo + local``.
+    Halo slabs sit on the low side of every dimension; ghost faces from
+    neighbours are written into them as they arrive and persist for the
+    rest of the run (so diagonal reads into earlier tiles' ghosts work).
+    """
+
+    kernel: StencilKernel
+    owned_lo: tuple[int, ...]
+    owned_extents: tuple[int, ...]
+    halo: tuple[int, ...]
+    data: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        shape = tuple(e + h for e, h in zip(self.owned_extents, self.halo))
+        self.data = np.zeros(shape, dtype=np.float64)
+        for k, h in enumerate(self.halo):
+            if h == 0:
+                continue
+            sl: list[slice] = [slice(None)] * len(shape)
+            sl[k] = slice(0, h)
+            self.data[tuple(sl)] = self.kernel.boundary_value
+
+    # -- region helpers (local iteration coordinates, 0-based) ---------------
+
+    def compute_tile(self, mapped_dim: int, mrange: tuple[int, int]) -> None:
+        """Evaluate the tile covering mapped rows ``mrange`` (inclusive)."""
+        lo = [0] * len(self.owned_extents)
+        hi = [e - 1 for e in self.owned_extents]
+        lo[mapped_dim], hi[mapped_dim] = mrange
+        self.kernel.compute_region(self.data, self.halo, tuple(lo), tuple(hi))
+
+    def _face_slices(self, dim: int, mapped_dim: int, mrange: tuple[int, int],
+                     side: str) -> tuple[slice, ...]:
+        """Array slices of a tile's face in dimension ``dim``.
+
+        ``side='high'``: the owned slab a rank sends (its last ``halo[dim]``
+        planes); ``side='low'``: the halo slab where a rank stores ghosts.
+        """
+        sl: list[slice] = []
+        for k, (e, h) in enumerate(zip(self.owned_extents, self.halo)):
+            if k == dim:
+                if side == "high":
+                    sl.append(slice(h + e - h, h + e))
+                else:
+                    sl.append(slice(0, h))
+            elif k == mapped_dim:
+                sl.append(slice(h + mrange[0], h + mrange[1] + 1))
+            else:
+                sl.append(slice(h, h + e))
+        return tuple(sl)
+
+    def extract_face(self, dim: int, mapped_dim: int,
+                     mrange: tuple[int, int]) -> np.ndarray:
+        """The boundary slab of one tile to send across dimension ``dim``."""
+        return self.data[self._face_slices(dim, mapped_dim, mrange, "high")].copy()
+
+    def inject_face(self, dim: int, mapped_dim: int, mrange: tuple[int, int],
+                    face: np.ndarray) -> None:
+        """Store a received ghost slab for one tile in dimension ``dim``."""
+        target = self._face_slices(dim, mapped_dim, mrange, "low")
+        if self.data[target].shape != face.shape:
+            raise ValueError(
+                f"ghost face shape {face.shape} does not match halo slab "
+                f"{self.data[target].shape}"
+            )
+        self.data[target] = face
+
+    def owned_interior(self) -> np.ndarray:
+        """The rank's computed block, without halo."""
+        sl = tuple(slice(h, None) for h in self.halo)
+        return self.data[sl].copy()
+
+
+@dataclass(frozen=True)
+class _Neighbors:
+    """Per-rank communication structure: one entry per communicating
+    cross dimension: (dim, src_rank_or_None, dst_rank_or_None)."""
+
+    entries: tuple[tuple[int, int | None, int | None], ...]
+
+
+class TiledProgram:
+    """Builds and holds the SPMD programs for one (workload, V) run."""
+
+    def __init__(
+        self,
+        workload: StencilWorkload,
+        v: int,
+        machine: Machine,
+        *,
+        blocking: bool,
+        numeric: bool = False,
+    ):
+        self.workload = workload
+        self.v = v
+        self.machine = machine
+        self.blocking = blocking
+        self.numeric = numeric
+
+        self.mapping = workload.mapping(v)
+        self.tiled = self.mapping.tiled_space
+        self.mapped_dim = workload.mapped_dim
+        self.tile_sides = workload.tile_sides(v)
+        self.grain = workload.grain(v)
+        # Inclusive mapped-dimension ranges of each tile in a rank's column;
+        # the last one may be shorter (V need not divide the extent).
+        self.mapped_ranges = workload.mapped_tile_ranges(v)
+        self.tiles_per_rank = len(self.mapped_ranges)
+        if self.tiles_per_rank != self.mapping.tiles_per_processor:
+            raise AssertionError("tile range / tiled space disagreement")
+
+        deps = workload.deps
+        n = workload.space.ndim
+        self._col_sums = [sum(d[k] for d in deps.vectors) for k in range(n)]
+        self.comm_dims = [
+            k for k in range(n) if k != self.mapped_dim and self._col_sums[k] > 0
+        ]
+        if numeric:
+            for d in deps.vectors:
+                crossing = [k for k in self.comm_dims if d[k] != 0]
+                if len(crossing) > 1:
+                    raise ValueError(
+                        f"numeric mode cannot route dependence {d}: it "
+                        "crosses more than one non-mapped dimension"
+                    )
+        self.states: list[RankState] | None = None
+        if numeric:
+            self.states = [self._make_state(r) for r in range(self.num_ranks)]
+
+    def tile_points(self, m: int) -> int:
+        """Iteration points of a rank's m-th tile (last tile clipped)."""
+        lo, hi = self.mapped_ranges[m]
+        points = hi - lo + 1
+        for k, s in enumerate(self.tile_sides):
+            if k != self.mapped_dim:
+                points *= s
+        return points
+
+    def face_bytes(self, dim: int, m: int) -> float:
+        """Message bytes for the m-th tile's face in dimension ``dim``
+        (the paper's c_k-weighted boundary volume, formula (2) restricted
+        to one row of H D)."""
+        elements = self._col_sums[dim] * self.tile_points(m) // self.tile_sides[dim]
+        return self.machine.message_bytes(elements)
+
+    @property
+    def num_ranks(self) -> int:
+        return self.mapping.num_processors
+
+    # -- structure -------------------------------------------------------------
+
+    def _grid_coords(self, rank: int) -> dict[int, int]:
+        """Processor coordinate per non-mapped dimension."""
+        coords = self.mapping.coords_of_rank(rank)
+        dims = [k for k in range(self.tiled.ndim) if k != self.mapped_dim]
+        return dict(zip(dims, coords))
+
+    def _neighbors(self, rank: int) -> _Neighbors:
+        coords = self._grid_coords(rank)
+        shape = dict(
+            zip(
+                [k for k in range(self.tiled.ndim) if k != self.mapped_dim],
+                self.mapping.grid_shape,
+            )
+        )
+        entries = []
+        for k in self.comm_dims:
+            c = coords[k]
+            src = dst = None
+            if c - 1 >= 0:
+                src = self._rank_at(coords, k, c - 1)
+            if c + 1 < shape[k]:
+                dst = self._rank_at(coords, k, c + 1)
+            entries.append((k, src, dst))
+        return _Neighbors(tuple(entries))
+
+    def _rank_at(self, coords: dict[int, int], dim: int, value: int) -> int:
+        new = dict(coords)
+        new[dim] = value
+        ordered = [
+            new[k] for k in sorted(new.keys())
+        ]
+        return self.mapping.rank_of_coords(ordered)
+
+    def _make_state(self, rank: int) -> RankState:
+        coords = self._grid_coords(rank)
+        lo = []
+        extents = []
+        for k in range(self.tiled.ndim):
+            if k == self.mapped_dim:
+                lo.append(0)
+                extents.append(self.workload.space.extents[k])
+            else:
+                side = self.tile_sides[k]
+                lo.append(coords[k] * side)
+                extents.append(side)
+        return RankState(
+            kernel=self.workload.kernel,
+            owned_lo=tuple(lo),
+            owned_extents=tuple(extents),
+            halo=self.workload.kernel.halo,
+        )
+
+    # -- program generators ------------------------------------------------------
+
+    def programs(self) -> list[Callable[[Rank], Generator[Effect, object, object]]]:
+        builder = self._blocking_program if self.blocking else self._pipelined_program
+        return [builder(rank) for rank in range(self.num_ranks)]
+
+    def _blocking_program(self, rank: int):
+        """The paper's ProcB: for each tile, Recv* ; compute ; Send*."""
+        neigh = self._neighbors(rank)
+        state = self.states[rank] if self.numeric else None
+        M = self.tiles_per_rank
+        md = self.mapped_dim
+        ranges = self.mapped_ranges
+
+        def program(ctx: Rank):
+            for m in range(M):
+                for dim, src, _dst in neigh.entries:
+                    if src is None:
+                        continue
+                    face = yield ctx.recv(src, self.face_bytes(dim, m), tag=dim)
+                    if state is not None:
+                        state.inject_face(dim, md, ranges[m], face)
+
+                if state is not None:
+                    yield ctx.compute_points(
+                        self.tile_points(m),
+                        fn=lambda m=m: state.compute_tile(md, ranges[m]),
+                        label=f"tile{m}",
+                    )
+                else:
+                    yield ctx.compute_points(self.tile_points(m), label=f"tile{m}")
+
+                for dim, _src, dst in neigh.entries:
+                    if dst is None:
+                        continue
+                    payload = (
+                        state.extract_face(dim, md, ranges[m])
+                        if state is not None
+                        else None
+                    )
+                    yield ctx.send(dst, self.face_bytes(dim, m), payload, tag=dim)
+            return None
+
+        return program
+
+    def _pipelined_program(self, rank: int):
+        """The paper's ProcNB: per tile m, Isend(m−1), Irecv(m+1),
+        compute(m), Wait*, with explicit prologue/epilogue."""
+        neigh = self._neighbors(rank)
+        state = self.states[rank] if self.numeric else None
+        M = self.tiles_per_rank
+        md = self.mapped_dim
+        ranges = self.mapped_ranges
+
+        def program(ctx: Rank):
+            # Prologue: ghosts for tile 0 must be in place before computing.
+            pro_reqs = []
+            pro_dims = []
+            for dim, src, _dst in neigh.entries:
+                if src is None:
+                    continue
+                pro_reqs.append(
+                    (yield ctx.irecv(src, self.face_bytes(dim, 0), tag=dim))
+                )
+                pro_dims.append(dim)
+            if pro_reqs:
+                faces = yield ctx.waitall(pro_reqs)
+                if state is not None:
+                    for dim, face in zip(pro_dims, faces):
+                        state.inject_face(dim, md, ranges[0], face)
+
+            for m in range(M):
+                reqs = []
+                recv_slots: list[tuple[int, int]] = []  # (result index, dim)
+                # Isend the results of tile m-1.
+                if m >= 1:
+                    for dim, _src, dst in neigh.entries:
+                        if dst is None:
+                            continue
+                        payload = (
+                            state.extract_face(dim, md, ranges[m - 1])
+                            if state is not None
+                            else None
+                        )
+                        reqs.append(
+                            (yield ctx.isend(dst, self.face_bytes(dim, m - 1),
+                                             payload, tag=dim))
+                        )
+                # Irecv the ghosts for tile m+1.
+                if m + 1 < M:
+                    for dim, src, _dst in neigh.entries:
+                        if src is None:
+                            continue
+                        reqs.append(
+                            (yield ctx.irecv(src, self.face_bytes(dim, m + 1),
+                                             tag=dim))
+                        )
+                        recv_slots.append((len(reqs) - 1, dim))
+
+                if state is not None:
+                    yield ctx.compute_points(
+                        self.tile_points(m),
+                        fn=lambda m=m: state.compute_tile(md, ranges[m]),
+                        label=f"tile{m}",
+                    )
+                else:
+                    yield ctx.compute_points(self.tile_points(m), label=f"tile{m}")
+
+                if reqs:
+                    results = yield ctx.waitall(reqs)
+                    if state is not None:
+                        for idx, dim in recv_slots:
+                            state.inject_face(dim, md, ranges[m + 1], results[idx])
+
+            # Epilogue: the last tile's results still have consumers.
+            epi_reqs = []
+            for dim, _src, dst in neigh.entries:
+                if dst is None:
+                    continue
+                payload = (
+                    state.extract_face(dim, md, ranges[M - 1])
+                    if state is not None
+                    else None
+                )
+                epi_reqs.append(
+                    (yield ctx.isend(dst, self.face_bytes(dim, M - 1), payload,
+                                     tag=dim))
+                )
+            if epi_reqs:
+                yield ctx.waitall(epi_reqs)
+            return None
+
+        return program
+
+    # -- numeric results -----------------------------------------------------------
+
+    def gather(self) -> np.ndarray:
+        """Assemble the global result array from all rank states."""
+        if self.states is None:
+            raise ValueError("gather() requires numeric mode")
+        out = np.zeros(self.workload.space.extents, dtype=np.float64)
+        for state in self.states:
+            block = state.owned_interior()
+            sl = tuple(
+                slice(lo, lo + e)
+                for lo, e in zip(state.owned_lo, state.owned_extents)
+            )
+            out[sl] = block
+        return out

@@ -1,0 +1,216 @@
+"""Functional thread-based backend for the SPMD programs.
+
+Runs the *same* program generators as the simulator, but interprets the
+yielded effects with real OS threads and queues instead of virtual time.
+This gives an independent check that the message-passing programs are
+functionally correct (no deadlock, right data flow) on a genuinely
+concurrent substrate — the closest offline stand-in for running the
+paper's MPI code, per the reproduction's substitution note.  Timing is
+meaningless here (GIL); use the simulator for timing.
+
+The backend duck-types :class:`repro.sim.mpi.Rank`: programs yield the
+command objects built by this module's ``ThreadRank`` and the per-rank
+interpreter executes them.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.kernels.workloads import StencilWorkload
+from repro.model.machine import Machine
+from repro.runtime.program import TiledProgram
+
+__all__ = ["ThreadRank", "run_threaded", "ThreadRunResult"]
+
+_DEADLOCK_TIMEOUT_S = 60.0
+
+
+@dataclass
+class _Cmd:
+    kind: str
+    src: int = -1
+    dst: int = -1
+    tag: int = 0
+    payload: object = None
+    fn: Callable[[], object] | None = None
+
+
+@dataclass
+class _ThreadRecvRequest:
+    src: int
+    tag: int
+
+    @property
+    def is_recv(self) -> bool:
+        return True
+
+
+class _ThreadSendRequest:
+    """Sends complete immediately (unbounded queues = eager buffering)."""
+
+    @property
+    def is_recv(self) -> bool:
+        return False
+
+
+class ThreadRank:
+    """Duck-typed stand-in for :class:`repro.sim.mpi.Rank`."""
+
+    def __init__(self, backend: "_Backend", rank: int):
+        self.backend = backend
+        self.rank = rank
+
+    def compute_points(self, points: float, fn=None, label: str = "") -> _Cmd:
+        return _Cmd("compute", fn=fn)
+
+    def compute_seconds(self, seconds: float, fn=None, label: str = "") -> _Cmd:
+        return _Cmd("compute", fn=fn)
+
+    def isend(self, dst: int, nbytes: float, payload: object = None,
+              tag: int = 0) -> _Cmd:
+        return _Cmd("isend", dst=dst, tag=tag, payload=payload)
+
+    def irecv(self, src: int, nbytes: float = 0.0, tag: int = 0) -> _Cmd:
+        return _Cmd("irecv", src=src, tag=tag)
+
+    def send(self, dst: int, nbytes: float, payload: object = None,
+             tag: int = 0) -> _Cmd:
+        return _Cmd("send", dst=dst, tag=tag, payload=payload)
+
+    def recv(self, src: int, nbytes: float = 0.0, tag: int = 0) -> _Cmd:
+        return _Cmd("recv", src=src, tag=tag)
+
+    def wait(self, request) -> _Cmd:
+        return _Cmd("wait", payload=[request])
+
+    def waitall(self, requests) -> _Cmd:
+        return _Cmd("waitall", payload=list(requests))
+
+    def barrier(self) -> _Cmd:
+        return _Cmd("barrier")
+
+
+class _Backend:
+    def __init__(self, num_ranks: int):
+        self.num_ranks = num_ranks
+        self.channels: dict[tuple[int, int, int], queue.Queue] = {}
+        self.lock = threading.Lock()
+        self.barrier = threading.Barrier(num_ranks)
+
+    def channel(self, src: int, dst: int, tag: int) -> queue.Queue:
+        key = (src, dst, tag)
+        with self.lock:
+            q = self.channels.get(key)
+            if q is None:
+                q = queue.Queue()
+                self.channels[key] = q
+            return q
+
+    def put(self, src: int, dst: int, tag: int, payload: object) -> None:
+        if isinstance(payload, np.ndarray):
+            payload = payload.copy()
+        self.channel(src, dst, tag).put(payload)
+
+    def get(self, src: int, dst: int, tag: int) -> object:
+        try:
+            return self.channel(src, dst, tag).get(timeout=_DEADLOCK_TIMEOUT_S)
+        except queue.Empty:
+            raise RuntimeError(
+                f"thread backend: rank {dst} timed out receiving from "
+                f"{src} (tag {tag}) — likely deadlock"
+            ) from None
+
+
+def _interpret(backend: _Backend, rank: int, program, errors: list) -> None:
+    gen = program(ThreadRank(backend, rank))
+    try:
+        value: object = None
+        while True:
+            try:
+                cmd = gen.send(value)
+            except StopIteration:
+                return
+            value = _execute(backend, rank, cmd)
+    except BaseException as exc:  # noqa: BLE001 - propagate to main thread
+        errors.append((rank, exc))
+
+
+def _execute(backend: _Backend, rank: int, cmd: _Cmd) -> object:
+    if cmd.kind == "compute":
+        return cmd.fn() if cmd.fn is not None else None
+    if cmd.kind == "isend":
+        backend.put(rank, cmd.dst, cmd.tag, cmd.payload)
+        return _ThreadSendRequest()
+    if cmd.kind == "send":
+        backend.put(rank, cmd.dst, cmd.tag, cmd.payload)
+        return None
+    if cmd.kind == "irecv":
+        return _ThreadRecvRequest(cmd.src, cmd.tag)
+    if cmd.kind == "recv":
+        return backend.get(cmd.src, rank, cmd.tag)
+    if cmd.kind in ("wait", "waitall"):
+        results = []
+        for req in cmd.payload:  # type: ignore[union-attr]
+            if isinstance(req, _ThreadRecvRequest):
+                results.append(backend.get(req.src, rank, req.tag))
+            else:
+                results.append(None)
+        return results[0] if cmd.kind == "wait" else results
+    if cmd.kind == "barrier":
+        backend.barrier.wait(timeout=_DEADLOCK_TIMEOUT_S)
+        return None
+    raise ValueError(f"unknown command {cmd.kind!r}")
+
+
+@dataclass(frozen=True)
+class ThreadRunResult:
+    """Outcome of a threaded functional run."""
+
+    workload_name: str
+    v: int
+    blocking: bool
+    result: np.ndarray
+
+
+def run_threaded(
+    workload: StencilWorkload,
+    v: int,
+    machine: Machine,
+    *,
+    blocking: bool,
+) -> ThreadRunResult:
+    """Execute the tiled program on real threads (numeric mode only).
+
+    Raises the first per-rank exception, including the deadlock timeout.
+    """
+    prog = TiledProgram(workload, v, machine, blocking=blocking, numeric=True)
+    backend = _Backend(prog.num_ranks)
+    errors: list[tuple[int, BaseException]] = []
+    threads = [
+        threading.Thread(
+            target=_interpret,
+            args=(backend, rank, program, errors),
+            name=f"rank{rank}",
+            daemon=True,
+        )
+        for rank, program in enumerate(prog.programs())
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=_DEADLOCK_TIMEOUT_S + 5)
+    if errors:
+        rank, exc = errors[0]
+        raise RuntimeError(f"rank {rank} failed in thread backend") from exc
+    alive = [t.name for t in threads if t.is_alive()]
+    if alive:
+        raise RuntimeError(f"thread backend hung: {alive}")
+    return ThreadRunResult(
+        workload_name=workload.name, v=v, blocking=blocking, result=prog.gather()
+    )

@@ -1,0 +1,83 @@
+"""Numerical verification of distributed runs against the golden model.
+
+Tiling + scheduling must not change *what* is computed, only *when and
+where*.  These helpers run both schedules in numeric mode on small
+instances and compare every element against the single-node sequential
+reference — the functional-correctness half of the reproduction (the
+timing half is the benchmark harness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.kernels.stencil import sequential_reference
+from repro.kernels.workloads import StencilWorkload
+from repro.model.machine import Machine
+from repro.runtime.executor import run_tiled
+
+__all__ = ["VerificationReport", "verify_against_reference", "verify_workload"]
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """Result of comparing one distributed run with the reference."""
+
+    workload_name: str
+    v: int
+    blocking: bool
+    max_abs_error: float
+    mismatches: int
+    total_points: int
+
+    @property
+    def passed(self) -> bool:
+        return self.mismatches == 0
+
+    def describe(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        sched = "blocking" if self.blocking else "pipelined"
+        return (
+            f"[{status}] {self.workload_name} V={self.v} ({sched}): "
+            f"{self.mismatches}/{self.total_points} mismatches, "
+            f"max |err| = {self.max_abs_error:.3e}"
+        )
+
+
+def verify_against_reference(
+    workload: StencilWorkload,
+    v: int,
+    machine: Machine,
+    *,
+    blocking: bool,
+    rtol: float = 1e-12,
+    atol: float = 1e-12,
+) -> VerificationReport:
+    """Run numerically and compare with the sequential reference."""
+    run = run_tiled(workload, v, machine, blocking=blocking, numeric=True)
+    assert run.result is not None
+    ref = sequential_reference(workload.kernel, workload.space)
+    close = np.isclose(run.result, ref, rtol=rtol, atol=atol)
+    return VerificationReport(
+        workload_name=workload.name,
+        v=v,
+        blocking=blocking,
+        max_abs_error=float(np.max(np.abs(run.result - ref))),
+        mismatches=int(close.size - int(np.count_nonzero(close))),
+        total_points=int(close.size),
+    )
+
+
+def verify_workload(
+    workload: StencilWorkload,
+    v: int,
+    machine: Machine,
+) -> tuple[VerificationReport, VerificationReport]:
+    """Verify both schedules at the same tile height; returns
+    ``(blocking_report, pipelined_report)``."""
+    return (
+        verify_against_reference(workload, v, machine, blocking=True),
+        verify_against_reference(workload, v, machine, blocking=False),
+    )

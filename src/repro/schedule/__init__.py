@@ -1,0 +1,39 @@
+"""Tile scheduling: linear hyperplanes, processor mapping, both schedules."""
+
+from repro.schedule.events import StepEvents, cross_processor_deps, expand_events
+from repro.schedule.linear import LinearSchedule
+from repro.schedule.mapping import ProcessorMapping, choose_mapping_dimension
+from repro.schedule.nonoverlap import NonoverlapSchedule
+from repro.schedule.optimize import (
+    ScheduleSearchResult,
+    overlap_schedule_length,
+    schedule_length,
+    search_linear_schedule,
+    search_overlap_schedule,
+)
+from repro.schedule.overlap import OverlapSchedule, overlap_pi
+from repro.schedule.validate import (
+    ValidationIssue,
+    validate_builtin,
+    validate_schedule,
+)
+
+__all__ = [
+    "LinearSchedule",
+    "NonoverlapSchedule",
+    "OverlapSchedule",
+    "ProcessorMapping",
+    "ScheduleSearchResult",
+    "StepEvents",
+    "ValidationIssue",
+    "choose_mapping_dimension",
+    "validate_builtin",
+    "validate_schedule",
+    "cross_processor_deps",
+    "expand_events",
+    "overlap_pi",
+    "overlap_schedule_length",
+    "schedule_length",
+    "search_linear_schedule",
+    "search_overlap_schedule",
+]

@@ -1,0 +1,130 @@
+"""Processor mapping of tiles (paper §1, §4).
+
+The paper assigns all tiles along one chosen dimension to the same
+processor — the dimension with the *largest tiled-space boundary*, which
+[1] proves optimal for UET-UCT grids.  A tile's processor is then its
+coordinate vector with the mapped dimension removed, laid out on an
+(n−1)-dimensional processor grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.tiling.tiledspace import TiledSpace
+
+__all__ = ["ProcessorMapping", "choose_mapping_dimension"]
+
+
+def choose_mapping_dimension(extents: Sequence[int]) -> int:
+    """Index of the dimension with the largest extent (ties: lowest index).
+
+    This is the paper's rule: "the dimension with the larger boundary
+    defines the processor mapping, thus all tiles along this dimension are
+    mapped to the same processor".
+    """
+    ext = list(extents)
+    if not ext:
+        raise ValueError("extents must be non-empty")
+    if any(e <= 0 for e in ext):
+        raise ValueError("extents must be positive")
+    return max(range(len(ext)), key=lambda k: (ext[k], -k))
+
+
+@dataclass(frozen=True)
+class ProcessorMapping:
+    """Tiles → processors by dropping the mapped dimension.
+
+    Processor coordinates are the remaining tile coordinates normalised to
+    start at 0; ranks are row-major over the processor grid.
+    """
+
+    tiled_space: TiledSpace
+    mapped_dim: int
+
+    def __init__(self, tiled_space: TiledSpace, mapped_dim: int | None = None):
+        if mapped_dim is None:
+            mapped_dim = choose_mapping_dimension(tiled_space.extents)
+        if not 0 <= mapped_dim < tiled_space.ndim:
+            raise ValueError(
+                f"mapped_dim must be in [0, {tiled_space.ndim}), got {mapped_dim}"
+            )
+        object.__setattr__(self, "tiled_space", tiled_space)
+        object.__setattr__(self, "mapped_dim", mapped_dim)
+
+    @property
+    def grid_shape(self) -> tuple[int, ...]:
+        """Extents of the processor grid (tiled extents minus mapped dim)."""
+        return tuple(
+            e
+            for k, e in enumerate(self.tiled_space.extents)
+            if k != self.mapped_dim
+        )
+
+    @property
+    def num_processors(self) -> int:
+        total = 1
+        for e in self.grid_shape:
+            total *= e
+        return total
+
+    @property
+    def tiles_per_processor(self) -> int:
+        """Number of tiles each processor executes (the mapped extent)."""
+        return self.tiled_space.extents[self.mapped_dim]
+
+    def processor_coords(self, tile: Sequence[int]) -> tuple[int, ...]:
+        """Processor grid coordinates owning ``tile``."""
+        if not self.tiled_space.contains(tile):
+            raise ValueError(f"tile {tuple(tile)} outside the tiled space")
+        return tuple(
+            t - l
+            for k, (t, l) in enumerate(zip(tile, self.tiled_space.lower))
+            if k != self.mapped_dim
+        )
+
+    def rank_of_coords(self, coords: Sequence[int]) -> int:
+        """Row-major rank of processor ``coords``; -1-style errors raised."""
+        shape = self.grid_shape
+        if len(coords) != len(shape):
+            raise ValueError("processor coords/grid dimension mismatch")
+        rank = 0
+        for c, e in zip(coords, shape):
+            if not 0 <= c < e:
+                raise ValueError(f"processor coords {tuple(coords)} outside grid {shape}")
+            rank = rank * e + c
+        return rank
+
+    def coords_of_rank(self, rank: int) -> tuple[int, ...]:
+        shape = self.grid_shape
+        if not 0 <= rank < self.num_processors:
+            raise ValueError(f"rank {rank} outside [0, {self.num_processors})")
+        coords = []
+        for e in reversed(shape):
+            coords.append(rank % e)
+            rank //= e
+        return tuple(reversed(coords))
+
+    def rank_of_tile(self, tile: Sequence[int]) -> int:
+        return self.rank_of_coords(self.processor_coords(tile))
+
+    def tiles_of_rank(self, rank: int) -> list[tuple[int, ...]]:
+        """All tiles of ``rank``, ordered along the mapped dimension."""
+        coords = self.coords_of_rank(rank)
+        lo = self.tiled_space.lower
+        hi = self.tiled_space.upper
+        out = []
+        for m in range(lo[self.mapped_dim], hi[self.mapped_dim] + 1):
+            tile = []
+            it = iter(coords)
+            for k in range(self.tiled_space.ndim):
+                if k == self.mapped_dim:
+                    tile.append(m)
+                else:
+                    tile.append(next(it) + lo[k])
+            out.append(tuple(tile))
+        return out
+
+    def same_processor(self, a: Sequence[int], b: Sequence[int]) -> bool:
+        return self.processor_coords(a) == self.processor_coords(b)

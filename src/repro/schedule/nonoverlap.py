@@ -1,0 +1,81 @@
+"""The non-overlapping (Hodzic–Shang) tile schedule (paper §3).
+
+Because the tiled space has only unitary dependences (containment
+assumption), the optimal linear time schedule is ``Π = (1, 1, …, 1)``;
+each time step is a serialized receive → compute → send triplet and all
+tiles along the mapping dimension run on one processor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.ir.dependence import DependenceSet
+from repro.ir.loopnest import IterationSpace
+from repro.schedule.linear import LinearSchedule
+from repro.schedule.mapping import ProcessorMapping
+from repro.tiling.tiledspace import TiledSpace
+
+__all__ = ["NonoverlapSchedule"]
+
+
+@dataclass(frozen=True)
+class NonoverlapSchedule:
+    """Π = (1,…,1) over the tiled space with a processor mapping."""
+
+    tiled_space: TiledSpace
+    mapping: ProcessorMapping
+    supernode_deps: DependenceSet
+    linear: LinearSchedule
+
+    def __init__(
+        self,
+        tiled_space: TiledSpace,
+        supernode_deps: DependenceSet,
+        mapping: ProcessorMapping | None = None,
+    ):
+        if not supernode_deps.is_unitary():
+            raise ValueError(
+                "non-overlapping schedule expects unitary supernode "
+                "dependences (paper containment assumption)"
+            )
+        if mapping is None:
+            mapping = ProcessorMapping(tiled_space)
+        if mapping.tiled_space is not tiled_space and mapping.tiled_space != tiled_space:
+            raise ValueError("mapping was built for a different tiled space")
+        pi = (1,) * tiled_space.ndim
+        box = IterationSpace(tiled_space.lower, tiled_space.upper)
+        linear = LinearSchedule(pi, box, supernode_deps)
+        object.__setattr__(self, "tiled_space", tiled_space)
+        object.__setattr__(self, "mapping", mapping)
+        object.__setattr__(self, "supernode_deps", supernode_deps)
+        object.__setattr__(self, "linear", linear)
+
+    @property
+    def pi(self) -> tuple[int, ...]:
+        return self.linear.pi
+
+    @property
+    def mapped_dim(self) -> int:
+        return self.mapping.mapped_dim
+
+    def step_of(self, tile: Sequence[int]) -> int:
+        """Time step of ``tile`` (0-based)."""
+        return self.linear.step_of(tile)
+
+    @property
+    def num_steps(self) -> int:
+        """Schedule length ``P = Π·u^S − Π·l^S + 1``."""
+        return self.linear.num_steps
+
+    def is_valid(self) -> bool:
+        """Every supernode dependence advances the step: with unit deps and
+        Π = 1 this is ``step(j + d) = step(j) + Π·d >= step(j) + 1``."""
+        return self.linear.respects_dependences_strictly()
+
+    def __str__(self) -> str:
+        return (
+            f"NonoverlapSchedule(Π={self.pi}, P={self.num_steps}, "
+            f"mapped_dim={self.mapped_dim})"
+        )

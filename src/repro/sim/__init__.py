@@ -1,0 +1,35 @@
+"""Deterministic discrete-event cluster simulator with MPI-like messaging."""
+
+from repro.sim.core import AllOf, Effect, Event, Process, Simulator, Timeout, WaitEvent
+from repro.sim.deadlock import BlockedRank, DeadlockReport, diagnose
+from repro.sim.mpi import Rank, RecvRequest, SendRequest, World
+from repro.sim.network import Network
+from repro.sim.resources import FifoResource
+from repro.sim.steady import SteadyStateReport, analyze, compute_starts, steady_period
+from repro.sim.tracing import CPU_BUSY_KINDS, Trace, TraceRecord
+
+__all__ = [
+    "AllOf",
+    "BlockedRank",
+    "CPU_BUSY_KINDS",
+    "DeadlockReport",
+    "Effect",
+    "Event",
+    "FifoResource",
+    "Network",
+    "Process",
+    "Rank",
+    "RecvRequest",
+    "SendRequest",
+    "Simulator",
+    "SteadyStateReport",
+    "Timeout",
+    "Trace",
+    "TraceRecord",
+    "WaitEvent",
+    "World",
+    "analyze",
+    "compute_starts",
+    "diagnose",
+    "steady_period",
+]

@@ -1,0 +1,220 @@
+"""Deterministic discrete-event simulation engine.
+
+The engine is deliberately small: a time-ordered heap of callbacks, plus
+generator-coroutine *processes*.  A process yields :class:`Effect`
+objects; each effect knows how to arrange the process's resumption (after
+a virtual-time delay, when an event fires, when an MPI request completes,
+…).  Determinism comes from the (time, sequence) heap ordering — equal
+timestamps resolve in submission order, so repeated runs are bit-identical.
+
+Every simulated cluster node's CPU *is* its process coroutine: charging
+CPU time is yielding a :class:`Timeout`, blocking on communication is
+yielding a wait on an :class:`Event`.  Hardware that runs concurrently
+with the CPU (DMA engines, NICs) is modelled as FIFO resources
+(:mod:`repro.sim.resources`) that schedule their own completions.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Generator, Iterable
+
+__all__ = ["Simulator", "Process", "Effect", "Timeout", "WaitEvent", "AllOf", "Event"]
+
+
+class Effect:
+    """Base class for things a process generator may yield."""
+
+    def start(self, process: "Process") -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class Event:
+    """A one-shot level-triggered event carrying a value.
+
+    Waiters registered after the trigger resume immediately (at the
+    current simulation time).
+    """
+
+    __slots__ = ("sim", "triggered", "value", "_waiters", "name")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.triggered = False
+        self.value: object = None
+        self._waiters: list[Callable[[object], None]] = []
+        self.name = name
+
+    def trigger(self, value: object = None) -> None:
+        if self.triggered:
+            raise RuntimeError(f"event {self.name!r} triggered twice")
+        self.triggered = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for w in waiters:
+            # Resume via the heap so ordering stays deterministic.
+            self.sim.schedule(0.0, lambda w=w: w(self.value))
+
+    def add_callback(self, fn: Callable[[object], None]) -> None:
+        if self.triggered:
+            self.sim.schedule(0.0, lambda: fn(self.value))
+        else:
+            self._waiters.append(fn)
+
+
+class Timeout(Effect):
+    """Resume the process after ``duration`` of virtual time.
+
+    Used both for pure waiting and for charging CPU time; the
+    ``annotation`` lets tracers distinguish the two.
+    """
+
+    __slots__ = ("duration", "annotation", "result")
+
+    def __init__(self, duration: float, annotation: str = "", result: object = None):
+        if duration < 0:
+            raise ValueError(f"negative timeout: {duration}")
+        self.duration = duration
+        self.annotation = annotation
+        self.result = result
+
+    def start(self, process: "Process") -> None:
+        process.waiting_on = self.annotation or f"timeout({self.duration:g})"
+        process.sim.schedule(self.duration, lambda: process.resume(self.result))
+
+
+class WaitEvent(Effect):
+    """Resume the process when ``event`` triggers, with the event value."""
+
+    __slots__ = ("event", "annotation")
+
+    def __init__(self, event: Event, annotation: str = ""):
+        self.event = event
+        self.annotation = annotation
+
+    def start(self, process: "Process") -> None:
+        process.waiting_on = self.annotation or f"event({self.event.name})"
+        self.event.add_callback(process.resume)
+
+
+class AllOf(Effect):
+    """Resume when all events have triggered; value is the list of event
+    values in the given order."""
+
+    __slots__ = ("events", "annotation")
+
+    def __init__(self, events: Iterable[Event], annotation: str = ""):
+        self.events = list(events)
+
+    def start(self, process: "Process") -> None:
+        process.waiting_on = f"all_of({len(self.events)})"
+        remaining = len(self.events)
+        if remaining == 0:
+            process.sim.schedule(0.0, lambda: process.resume([]))
+            return
+        state = {"remaining": remaining}
+
+        def on_one(_value: object) -> None:
+            state["remaining"] -= 1
+            if state["remaining"] == 0:
+                process.resume([e.value for e in self.events])
+
+        for e in self.events:
+            e.add_callback(on_one)
+
+
+class Process:
+    """A generator-coroutine process driven by the simulator."""
+
+    __slots__ = ("sim", "name", "gen", "finished", "finish_time", "result",
+                 "waiting_on", "done_event")
+
+    def __init__(self, sim: "Simulator", name: str,
+                 gen: Generator[Effect, object, object]):
+        self.sim = sim
+        self.name = name
+        self.gen = gen
+        self.finished = False
+        self.finish_time: float | None = None
+        self.result: object = None
+        self.waiting_on: str = "start"
+        self.done_event = Event(sim, name=f"{name}.done")
+
+    def resume(self, value: object = None) -> None:
+        if self.finished:
+            raise RuntimeError(f"resuming finished process {self.name}")
+        try:
+            effect = self.gen.send(value)
+        except StopIteration as stop:
+            self.finished = True
+            self.finish_time = self.sim.now
+            self.result = stop.value
+            self.done_event.trigger(stop.value)
+            return
+        if not isinstance(effect, Effect):
+            raise TypeError(
+                f"process {self.name} yielded {effect!r}, expected an Effect"
+            )
+        effect.start(self)
+
+
+class Simulator:
+    """The event loop: a heap of (time, seq, callback)."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self.processes: list[Process] = []
+        self.event_count = 0
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> None:
+        """Run ``fn`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        heapq.heappush(self._heap, (self.now + delay, self._seq, fn))
+        self._seq += 1
+
+    def spawn(self, name: str, gen: Generator[Effect, object, object]) -> Process:
+        """Register and start a process at the current time."""
+        p = Process(self, name, gen)
+        self.processes.append(p)
+        self.schedule(0.0, lambda: p.resume(None))
+        return p
+
+    def run(self, until: float | None = None, max_events: int = 50_000_000) -> float:
+        """Drain the event heap; returns the final simulation time.
+
+        Stops early at ``until`` if given.  ``max_events`` is a runaway
+        guard; exceeding it raises ``RuntimeError``.
+        """
+        count = 0
+        while self._heap:
+            t, _seq, fn = self._heap[0]
+            if until is not None and t > until:
+                self.now = until
+                break
+            heapq.heappop(self._heap)
+            self.now = t
+            fn()
+            count += 1
+            if count > max_events:
+                raise RuntimeError(
+                    f"exceeded {max_events} events; likely a livelock"
+                )
+        self.event_count += count
+        return self.now
+
+    def unfinished_processes(self) -> list[Process]:
+        return [p for p in self.processes if not p.finished]
+
+    def check_all_finished(self) -> None:
+        """Raise with a blocked-process report if any process is stuck.
+
+        An empty heap with unfinished processes is a deadlock: every
+        stuck process is blocked on an event nobody will trigger.
+        """
+        stuck = self.unfinished_processes()
+        if stuck:
+            detail = "; ".join(f"{p.name} waiting on {p.waiting_on}" for p in stuck)
+            raise RuntimeError(f"deadlock: {len(stuck)} process(es) blocked: {detail}")

@@ -1,0 +1,78 @@
+"""Deadlock diagnosis for simulated SPMD runs.
+
+The engine already detects the *fact* of a deadlock (empty event heap
+with unfinished processes); this module turns the blocked-process state
+into a structured report: who is blocked, on what primitive, and which
+pending receives have no matching in-flight message.  The paper's §3
+blocking pseudocode is exactly the kind of program that deadlocks when
+the schedule is wrong (e.g. two neighbours both in ``MPI_Recv``), so the
+report is part of the library's debugging surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.mpi import World
+
+__all__ = ["BlockedRank", "DeadlockReport", "diagnose"]
+
+
+@dataclass(frozen=True)
+class BlockedRank:
+    """One stuck process: its rank name and the primitive it waits in."""
+
+    name: str
+    waiting_on: str
+
+
+@dataclass(frozen=True)
+class DeadlockReport:
+    """Snapshot of a deadlocked world."""
+
+    blocked: tuple[BlockedRank, ...]
+    unmatched_receives: tuple[tuple[int, int, int], ...]
+    undelivered_messages: tuple[tuple[int, int, int], ...]
+
+    @property
+    def is_deadlocked(self) -> bool:
+        return bool(self.blocked)
+
+    def describe(self) -> str:
+        if not self.is_deadlocked:
+            return "no deadlock: all processes finished"
+        lines = [f"deadlock: {len(self.blocked)} process(es) blocked"]
+        for b in self.blocked:
+            lines.append(f"  {b.name}: {b.waiting_on}")
+        if self.unmatched_receives:
+            lines.append("posted receives never matched (dst, src, tag):")
+            for dst, src, tag in self.unmatched_receives:
+                lines.append(f"  rank {dst} <- rank {src} tag {tag}")
+        if self.undelivered_messages:
+            lines.append("delivered messages never received (dst, src, tag):")
+            for dst, src, tag in self.undelivered_messages:
+                lines.append(f"  rank {dst} <- rank {src} tag {tag}")
+        return "\n".join(lines)
+
+
+def diagnose(world: World) -> DeadlockReport:
+    """Inspect a world after :meth:`Simulator.run` returned.
+
+    Call when ``check_all_finished`` raised (or instead of it) to get a
+    structured report of the blockage.
+    """
+    blocked = tuple(
+        BlockedRank(p.name, p.waiting_on)
+        for p in world.sim.unfinished_processes()
+    )
+    unmatched = tuple(
+        (dst, req.src, req.tag)
+        for dst, posted in enumerate(world._posted)
+        for req in posted
+    )
+    undelivered = tuple(
+        (dst, msg.src, msg.tag)
+        for dst, arrived in enumerate(world._arrived)
+        for msg in arrived
+    )
+    return DeadlockReport(blocked, unmatched, undelivered)

@@ -1,0 +1,586 @@
+"""MPI-like message passing on the simulated cluster (paper §4.1, Figs. 4–8).
+
+Implements the primitives the paper's pseudocode uses — ``MPI_Send`` /
+``MPI_Recv`` (blocking, Fig. 7) and ``MPI_Isend`` / ``MPI_Irecv`` /
+``MPI_Wait`` (non-blocking, Fig. 8) — with the paper's cost decomposition
+charged to the right hardware:
+
+========  =============================================  ==============
+term      meaning                                        charged to
+========  =============================================  ==============
+A1        fill MPI system buffer (send side)             sender CPU
+A3        prepare MPI receive buffer                     receiver CPU
+B3        kernel-buffer copy, send side                  sender DMA [*]
+B4        wire time, send side                           sender NIC TX
+B1        wire time, receive side                        receiver NIC RX
+B2        kernel-buffer copy, receive side               receiver DMA [*]
+========  =============================================  ==============
+
+[*] With ``machine.dma=False`` the kernel copies steal CPU cycles
+instead: B3 extends the send call's CPU charge and B2 is paid by the CPU
+inside ``wait``/``recv`` — the "no DMA support" ablation of §4's
+discussion of modern-hardware capabilities.
+
+Semantics:
+
+* ``isend`` returns once the MPI buffer is filled (A1); the request
+  completes when the kernel copy (B3) finishes — the user buffer is then
+  reusable (eager protocol, infinite kernel buffers, like MPICH at the
+  paper's message sizes).
+* ``send`` (blocking) additionally blocks the caller until the sender-
+  side transmission (B4) completes — Fig. 7's "until the message has been
+  completely sent".
+* ``irecv`` charges A3 and registers the match; the request completes
+  when the matching message has finished its receive-side kernel copy
+  (B2).  Messages arriving before the post are buffered (eager).
+* ``recv`` (blocking) charges A3 then blocks until the message is
+  delivered.
+* Matching is FIFO per (source, tag) — MPI's non-overtaking rule.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Iterable, Sequence
+
+import numpy as np
+
+from repro.model.machine import Machine
+from repro.sim.core import Effect, Event, Process, Simulator, Timeout
+from repro.sim.network import Network
+from repro.sim.resources import FifoResource
+from repro.sim.tracing import Trace
+
+__all__ = ["World", "Rank", "SendRequest", "RecvRequest"]
+
+
+def _copy_payload(payload: object) -> object:
+    """Value semantics at the send call, like MPI's buffered sends."""
+    if payload is None:
+        return None
+    if isinstance(payload, np.ndarray):
+        return payload.copy()
+    import copy
+
+    return copy.deepcopy(payload)
+
+
+class _Message:
+    __slots__ = ("src", "dst", "tag", "payload", "nbytes", "seq", "stream_seq")
+
+    def __init__(self, src: int, dst: int, tag: int, payload: object, nbytes: float,
+                 seq: int, stream_seq: int):
+        self.src = src
+        self.dst = dst
+        self.tag = tag
+        self.payload = payload
+        self.nbytes = nbytes
+        self.seq = seq
+        self.stream_seq = stream_seq
+
+    @property
+    def stream(self) -> tuple[int, int, int]:
+        return (self.src, self.dst, self.tag)
+
+
+class SendRequest:
+    """Handle for a non-blocking send; complete when the user buffer is
+    reusable (kernel copy done)."""
+
+    __slots__ = ("complete_event", "post_cpu_cost")
+
+    def __init__(self, sim: Simulator, name: str):
+        self.complete_event = Event(sim, name=name)
+        self.post_cpu_cost = 0.0
+
+    @property
+    def is_recv(self) -> bool:
+        return False
+
+
+class RecvRequest:
+    """Handle for a non-blocking receive; complete when the matching
+    message sits in the MPI receive buffer."""
+
+    __slots__ = ("src", "tag", "complete_event", "payload", "post_cpu_cost",
+                 "post_paid")
+
+    def __init__(self, sim: Simulator, src: int, tag: int, name: str):
+        self.src = src
+        self.tag = tag
+        self.complete_event = Event(sim, name=name)
+        self.payload: object = None
+        self.post_cpu_cost = 0.0
+        self.post_paid = False
+
+    @property
+    def is_recv(self) -> bool:
+        return True
+
+
+class World:
+    """A simulated cluster of ``num_ranks`` nodes running SPMD programs."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        num_ranks: int,
+        *,
+        trace: bool = False,
+        drop_every_nth: int = 0,
+    ):
+        """``drop_every_nth > 0`` silently discards every n-th message
+        after its sender-side kernel copy — a fault-injection knob for
+        exercising deadlock detection and diagnosis (a lost message in a
+        tile pipeline deterministically wedges the downstream ranks)."""
+        if num_ranks <= 0:
+            raise ValueError("num_ranks must be positive")
+        if drop_every_nth < 0:
+            raise ValueError("drop_every_nth must be non-negative")
+        self.machine = machine
+        self.num_ranks = num_ranks
+        self.sim = Simulator()
+        self.network = Network(self.sim, machine, num_ranks)
+        self.dma = [
+            FifoResource(self.sim, f"node{r}.dma", servers=machine.dma_channels)
+            for r in range(num_ranks)
+        ]
+        self.trace = Trace(enabled=trace)
+        # Unmatched delivered messages and posted receives, per destination.
+        self._arrived: list[list[_Message]] = [[] for _ in range(num_ranks)]
+        self._posted: list[list[RecvRequest]] = [[] for _ in range(num_ranks)]
+        self._msg_seq = 0
+        self._barrier_waiting: list[Process] = []
+        self.messages_sent = 0
+        self.drop_every_nth = drop_every_nth
+        self.messages_dropped = 0
+        # MPI non-overtaking: per-(src, dst, tag) stream bookkeeping so
+        # messages whose pipelines complete out of order (possible with
+        # multichannel DMA and unequal sizes) are still delivered FIFO.
+        self._stream_next_seq: dict[tuple[int, int, int], int] = {}
+        self._stream_expected: dict[tuple[int, int, int], int] = {}
+        self._stream_held: dict[tuple[int, int, int], dict[int, _Message]] = {}
+
+    # -- program execution ---------------------------------------------------
+
+    def context(self, rank: int) -> "Rank":
+        if not 0 <= rank < self.num_ranks:
+            raise ValueError(f"rank {rank} outside [0, {self.num_ranks})")
+        return Rank(self, rank)
+
+    def run(
+        self,
+        programs: Sequence[Callable[["Rank"], Generator[Effect, object, object]]],
+        *,
+        max_events: int = 50_000_000,
+    ) -> float:
+        """Spawn one program per rank, run to completion, return makespan.
+
+        Raises ``RuntimeError`` with a blocked-process report on deadlock.
+        """
+        if len(programs) != self.num_ranks:
+            raise ValueError(
+                f"need {self.num_ranks} programs, got {len(programs)}"
+            )
+        for rank, prog in enumerate(programs):
+            ctx = self.context(rank)
+            self.sim.spawn(f"rank{rank}", prog(ctx))
+        end = self.sim.run(max_events=max_events)
+        self.sim.check_all_finished()
+        return end
+
+    # -- message pipeline -----------------------------------------------------
+
+    def _launch_message(self, msg: _Message, send_req: SendRequest | None,
+                        on_sent: Callable[[tuple[float, float]], None] | None) -> None:
+        """Start the B3 → B4/B1 → B2 pipeline for a prepared message."""
+        m = self.machine
+        b3 = m.fill_kernel_buffer_time(msg.nbytes) if m.dma else 0.0
+        kcopy = self.dma[msg.src].submit(b3)
+
+        def after_kernel_copy(_interval: object) -> None:
+            if send_req is not None:
+                send_req.complete_event.trigger(None)
+            if (
+                self.drop_every_nth
+                and msg.seq % self.drop_every_nth == 0
+            ):
+                # Fault injection: the message vanishes on the wire.  A
+                # blocking send still "completes" (it left the node).
+                self.messages_dropped += 1
+                if on_sent is not None:
+                    now = self.sim.now
+                    self.sim.schedule(0.0, lambda: on_sent((now, now)))
+                return
+            arrival = self.network.transmit(
+                msg.src, msg.dst, msg.nbytes, on_sent=on_sent
+            )
+
+            def after_arrival(_a: object) -> None:
+                b2 = m.fill_kernel_buffer_time(msg.nbytes) if m.dma else 0.0
+                rx_copy = self.dma[msg.dst].submit(b2)
+                rx_copy.add_callback(lambda _i: self._deliver(msg))
+
+            arrival.add_callback(after_arrival)
+
+        kcopy.add_callback(after_kernel_copy)
+
+    def _deliver(self, msg: _Message) -> None:
+        """Message pipeline finished: release in stream order, then match.
+
+        A message whose predecessors on the same (src, dst, tag) stream
+        are still in flight is held back until they land — the
+        non-overtaking rule.
+        """
+        key = msg.stream
+        expected = self._stream_expected.get(key, 1)
+        if msg.stream_seq != expected:
+            self._stream_held.setdefault(key, {})[msg.stream_seq] = msg
+            return
+        self._release(msg)
+        held = self._stream_held.get(key)
+        while held:
+            nxt = self._stream_expected[key]
+            successor = held.pop(nxt, None)
+            if successor is None:
+                break
+            self._release(successor)
+
+    def _release(self, msg: _Message) -> None:
+        self._stream_expected[msg.stream] = msg.stream_seq + 1
+        posted = self._posted[msg.dst]
+        for k, req in enumerate(posted):
+            if req.src == msg.src and req.tag == msg.tag:
+                del posted[k]
+                req.payload = msg.payload
+                req.complete_event.trigger(msg.payload)
+                return
+        self._arrived[msg.dst].append(msg)
+
+    def _post_receive(self, req: RecvRequest, rank: int) -> None:
+        arrived = self._arrived[rank]
+        for k, msg in enumerate(arrived):
+            if msg.src == req.src and msg.tag == req.tag:
+                del arrived[k]
+                req.payload = msg.payload
+                req.complete_event.trigger(msg.payload)
+                return
+        self._posted[rank].append(req)
+
+    def _make_message(self, src: int, dst: int, tag: int, payload: object,
+                      nbytes: float) -> _Message:
+        if not 0 <= dst < self.num_ranks:
+            raise ValueError(f"dst {dst} outside [0, {self.num_ranks})")
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        self._msg_seq += 1
+        self.messages_sent += 1
+        key = (src, dst, tag)
+        stream_seq = self._stream_next_seq.get(key, 0) + 1
+        self._stream_next_seq[key] = stream_seq
+        return _Message(
+            src, dst, tag, _copy_payload(payload), nbytes, self._msg_seq,
+            stream_seq,
+        )
+
+
+class Rank:
+    """Per-rank API handed to SPMD program generators.
+
+    Programs yield the effect objects these methods build, e.g.::
+
+        def program(ctx):
+            req = yield ctx.isend(dst=1, nbytes=1024, payload=faces)
+            yield ctx.compute_points(tile_points)
+            data = yield ctx.recv(src=0)
+            yield ctx.wait(req)
+    """
+
+    __slots__ = ("world", "rank")
+
+    def __init__(self, world: World, rank: int):
+        self.world = world
+        self.rank = rank
+
+    # -- computation ----------------------------------------------------------
+
+    def compute_points(self, points: float, fn: Callable[[], object] | None = None,
+                       label: str = "") -> Effect:
+        """Charge ``points`` loop iterations of CPU time; ``fn`` (the real
+        numeric tile computation, when running in numeric mode) executes
+        at the start of the interval and its value is returned."""
+        return self.compute_seconds(
+            self.world.machine.compute_time(points), fn, label
+        )
+
+    def compute_seconds(self, seconds: float, fn: Callable[[], object] | None = None,
+                        label: str = "") -> Effect:
+        return _ComputeEffect(self, seconds, fn, label)
+
+    # -- non-blocking ----------------------------------------------------------
+
+    def isend(self, dst: int, nbytes: float, payload: object = None,
+              tag: int = 0) -> Effect:
+        """Non-blocking send; yields a :class:`SendRequest` after A1."""
+        return _IsendEffect(self, dst, nbytes, payload, tag)
+
+    def irecv(self, src: int, nbytes: float = 0.0, tag: int = 0) -> Effect:
+        """Non-blocking receive; yields a :class:`RecvRequest` after A3.
+
+        ``nbytes`` sizes the A3/B2 buffer-preparation costs (the paper
+        assumes the receive fill equals the send fill for equal sizes).
+        """
+        return _IrecvEffect(self, src, nbytes, tag)
+
+    def wait(self, request: SendRequest | RecvRequest) -> Effect:
+        """Block until one request completes; recv requests yield payload."""
+        return _WaitEffect(self, [request], single=True)
+
+    def waitall(self, requests: Iterable[SendRequest | RecvRequest]) -> Effect:
+        """Block until all requests complete; yields list of payloads/None."""
+        return _WaitEffect(self, list(requests), single=False)
+
+    # -- blocking --------------------------------------------------------------
+
+    def send(self, dst: int, nbytes: float, payload: object = None,
+             tag: int = 0) -> Effect:
+        """Blocking send: CPU held through A1 (+B3 without DMA) and then
+        blocked until the sender-side wire time B4 completes."""
+        return _SendEffect(self, dst, nbytes, payload, tag)
+
+    def recv(self, src: int, nbytes: float = 0.0, tag: int = 0) -> Effect:
+        """Blocking receive: A3 then blocked until delivery; yields payload."""
+        return _RecvEffect(self, src, nbytes, tag)
+
+    def barrier(self) -> Effect:
+        """Synchronise all ranks of the world."""
+        return _BarrierEffect(self)
+
+    # -- internals --------------------------------------------------------------
+
+    @property
+    def _sim(self) -> Simulator:
+        return self.world.sim
+
+    def _trace(self, kind: str, start: float, end: float, label: str = "") -> None:
+        self.world.trace.add(self.rank, kind, start, end, label)
+
+
+class _ComputeEffect(Effect):
+    __slots__ = ("ctx", "seconds", "fn", "label")
+
+    def __init__(self, ctx: Rank, seconds: float, fn, label: str):
+        if seconds < 0:
+            raise ValueError("compute time must be non-negative")
+        self.ctx = ctx
+        self.seconds = seconds
+        self.fn = fn
+        self.label = label
+
+    def start(self, process: Process) -> None:
+        now = self.ctx._sim.now
+        self.ctx._trace("compute", now, now + self.seconds, self.label)
+        result = self.fn() if self.fn is not None else None
+        Timeout(self.seconds, annotation="compute", result=result).start(process)
+
+
+class _IsendEffect(Effect):
+    __slots__ = ("ctx", "dst", "nbytes", "payload", "tag")
+
+    def __init__(self, ctx: Rank, dst: int, nbytes: float, payload: object, tag: int):
+        self.ctx = ctx
+        self.dst = dst
+        self.nbytes = nbytes
+        self.payload = payload
+        self.tag = tag
+
+    def start(self, process: Process) -> None:
+        w = self.ctx.world
+        m = w.machine
+        msg = w._make_message(self.ctx.rank, self.dst, self.tag, self.payload,
+                              self.nbytes)
+        cpu = m.fill_mpi_buffer_time(self.nbytes)
+        if not m.dma:
+            cpu += m.fill_kernel_buffer_time(self.nbytes)
+        now = self.ctx._sim.now
+        self.ctx._trace("fill_mpi_send", now, now + cpu, f"->{self.dst}")
+        req = SendRequest(w.sim, f"isend{msg.seq}")
+
+        def after_cpu() -> None:
+            w._launch_message(msg, req, on_sent=None)
+            process.resume(req)
+
+        process.waiting_on = "isend.fill_mpi_buffer"
+        w.sim.schedule(cpu, after_cpu)
+
+
+class _SendEffect(Effect):
+    __slots__ = ("ctx", "dst", "nbytes", "payload", "tag")
+
+    def __init__(self, ctx: Rank, dst: int, nbytes: float, payload: object, tag: int):
+        self.ctx = ctx
+        self.dst = dst
+        self.nbytes = nbytes
+        self.payload = payload
+        self.tag = tag
+
+    def start(self, process: Process) -> None:
+        w = self.ctx.world
+        m = w.machine
+        msg = w._make_message(self.ctx.rank, self.dst, self.tag, self.payload,
+                              self.nbytes)
+        cpu = m.fill_mpi_buffer_time(self.nbytes)
+        if not m.dma:
+            cpu += m.fill_kernel_buffer_time(self.nbytes)
+        now = self.ctx._sim.now
+        self.ctx._trace("fill_mpi_send", now, now + cpu, f"->{self.dst}")
+        blocked_from = now + cpu
+
+        def on_sent(interval: tuple[float, float]) -> None:
+            _start, end = interval
+            self.ctx._trace("blocked_send", blocked_from, end, f"->{self.dst}")
+            process.resume(None)
+
+        def after_cpu() -> None:
+            w._launch_message(msg, None, on_sent=on_sent)
+
+        process.waiting_on = "send(blocking)"
+        w.sim.schedule(cpu, after_cpu)
+
+
+class _IrecvEffect(Effect):
+    __slots__ = ("ctx", "src", "nbytes", "tag")
+
+    def __init__(self, ctx: Rank, src: int, nbytes: float, tag: int):
+        self.ctx = ctx
+        self.src = src
+        self.nbytes = nbytes
+        self.tag = tag
+
+    def start(self, process: Process) -> None:
+        w = self.ctx.world
+        m = w.machine
+        cpu = m.fill_mpi_buffer_time(self.nbytes)
+        now = self.ctx._sim.now
+        self.ctx._trace("fill_mpi_recv", now, now + cpu, f"<-{self.src}")
+        req = RecvRequest(w.sim, self.src, self.tag,
+                          f"irecv@{self.ctx.rank}<-{self.src}")
+        if not m.dma:
+            # B2 will be paid by the CPU inside wait() once the message is in.
+            req.post_cpu_cost = m.fill_kernel_buffer_time(self.nbytes)
+
+        def after_cpu() -> None:
+            w._post_receive(req, self.ctx.rank)
+            process.resume(req)
+
+        process.waiting_on = "irecv.prepare_buffer"
+        w.sim.schedule(cpu, after_cpu)
+
+
+class _RecvEffect(Effect):
+    __slots__ = ("ctx", "src", "nbytes", "tag")
+
+    def __init__(self, ctx: Rank, src: int, nbytes: float, tag: int):
+        self.ctx = ctx
+        self.src = src
+        self.nbytes = nbytes
+        self.tag = tag
+
+    def start(self, process: Process) -> None:
+        w = self.ctx.world
+        m = w.machine
+        cpu = m.fill_mpi_buffer_time(self.nbytes)
+        now = self.ctx._sim.now
+        self.ctx._trace("fill_mpi_recv", now, now + cpu, f"<-{self.src}")
+        req = RecvRequest(w.sim, self.src, self.tag,
+                          f"recv@{self.ctx.rank}<-{self.src}")
+        post_cost = m.fill_kernel_buffer_time(self.nbytes) if not m.dma else 0.0
+        blocked_from = now + cpu
+
+        def after_delivery(payload: object) -> None:
+            t = self.ctx._sim.now
+            self.ctx._trace("blocked_recv", blocked_from, t, f"<-{self.src}")
+            if post_cost > 0:
+                self.ctx._trace("fill_mpi_recv", t, t + post_cost, "B2-on-CPU")
+                w.sim.schedule(post_cost, lambda: process.resume(payload))
+            else:
+                process.resume(payload)
+
+        def after_cpu() -> None:
+            w._post_receive(req, self.ctx.rank)
+            req.complete_event.add_callback(after_delivery)
+
+        process.waiting_on = f"recv(blocking)<-{self.src}"
+        w.sim.schedule(cpu, after_cpu)
+
+
+class _WaitEffect(Effect):
+    __slots__ = ("ctx", "requests", "single")
+
+    def __init__(self, ctx: Rank, requests: list, single: bool):
+        for r in requests:
+            if not isinstance(r, (SendRequest, RecvRequest)):
+                raise TypeError(f"cannot wait on {type(r).__name__}")
+        self.ctx = ctx
+        self.requests = requests
+        self.single = single
+
+    def start(self, process: Process) -> None:
+        w = self.ctx.world
+        wait_from = self.ctx._sim.now
+
+        def after_all(_values: object) -> None:
+            t = self.ctx._sim.now
+            if t > wait_from:
+                self.ctx._trace("blocked_wait", wait_from, t,
+                                f"{len(self.requests)} reqs")
+            post = 0.0
+            for r in self.requests:
+                if r.is_recv and not r.post_paid:
+                    post += r.post_cpu_cost
+                    r.post_paid = True
+            results = [
+                (r.payload if r.is_recv else None) for r in self.requests
+            ]
+            value = results[0] if self.single else results
+
+            if post > 0:
+                self.ctx._trace("fill_mpi_recv", t, t + post, "B2-on-CPU")
+                w.sim.schedule(post, lambda: process.resume(value))
+            else:
+                process.resume(value)
+
+        process.waiting_on = f"waitall({len(self.requests)})"
+        _when_all([r.complete_event for r in self.requests], after_all, w.sim)
+
+
+def _when_all(events: list[Event], callback, sim: Simulator) -> None:
+    """Invoke ``callback(values)`` once every event has triggered."""
+    remaining = len(events)
+    if remaining == 0:
+        sim.schedule(0.0, lambda: callback([]))
+        return
+    state = {"remaining": remaining}
+
+    def on_one(_value: object) -> None:
+        state["remaining"] -= 1
+        if state["remaining"] == 0:
+            callback([e.value for e in events])
+
+    for e in events:
+        e.add_callback(on_one)
+
+
+class _BarrierEffect(Effect):
+    __slots__ = ("ctx",)
+
+    def __init__(self, ctx: Rank):
+        self.ctx = ctx
+
+    def start(self, process: Process) -> None:
+        w = self.ctx.world
+        process.waiting_on = "barrier"
+        w._barrier_waiting.append(process)
+        if len(w._barrier_waiting) == w.num_ranks:
+            waiting, w._barrier_waiting = w._barrier_waiting, []
+            for p in waiting:
+                w.sim.schedule(0.0, lambda p=p: p.resume(None))

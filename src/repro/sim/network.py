@@ -1,0 +1,120 @@
+"""Point-to-point network model.
+
+Each node has a transmit (TX) and a receive (RX) unit; a message occupies
+the sender's TX for its wire time (the paper's B4), then — after the
+switch latency — the receiver's RX for its wire time (B1).  With
+``duplex=False`` TX and RX share one unit (half-duplex Ethernet), which
+serialises a node's concurrent send and receive: one of the ablation
+knobs for §4's "ideal scheme" discussion (Fig. 3b vs 3c).
+
+The fabric itself is non-blocking (full crossbar, like a switched
+cluster): only the endpoints contend.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.model.machine import Machine
+from repro.sim.core import Event, Simulator
+from repro.sim.resources import FifoResource
+
+__all__ = ["Network"]
+
+
+class Network:
+    """Switched cluster fabric between ``num_nodes`` endpoints."""
+
+    def __init__(self, sim: Simulator, machine: Machine, num_nodes: int):
+        if num_nodes <= 0:
+            raise ValueError("num_nodes must be positive")
+        self.sim = sim
+        self.machine = machine
+        self.num_nodes = num_nodes
+        self.tx: list[FifoResource] = []
+        self.rx: list[FifoResource] = []
+        for node in range(num_nodes):
+            tx = FifoResource(sim, f"node{node}.tx")
+            rx = tx if not machine.duplex else FifoResource(sim, f"node{node}.rx")
+            self.tx.append(tx)
+            self.rx.append(rx)
+        self.messages_carried = 0
+        self.bytes_carried = 0.0
+        self.tx_bytes = [0.0] * num_nodes
+        self.rx_bytes = [0.0] * num_nodes
+        self._latencies: list[float] = []
+
+    def transmit(
+        self,
+        src: int,
+        dst: int,
+        nbytes: float,
+        *,
+        on_sent: Callable[[tuple[float, float]], None] | None = None,
+    ) -> Event:
+        """Carry ``nbytes`` from ``src`` to ``dst``.
+
+        Returns the *arrival* event (RX side complete).  ``on_sent`` fires
+        when the sender-side transmission (TX) finishes — what a blocking
+        send waits for.  Self-sends are free (local memory), completing
+        immediately.
+        """
+        self._check_node(src, "src")
+        self._check_node(dst, "dst")
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        self.messages_carried += 1
+        self.bytes_carried += nbytes
+        self.tx_bytes[src] += nbytes
+        self.rx_bytes[dst] += nbytes
+        submitted_at = self.sim.now
+
+        if src == dst:
+            done = Event(self.sim, name=f"loopback{self.messages_carried}")
+            if on_sent is not None:
+                self.sim.schedule(0.0, lambda: on_sent((self.sim.now, self.sim.now)))
+            self.sim.schedule(0.0, lambda: done.trigger((self.sim.now, self.sim.now)))
+            return done
+
+        wire = self.machine.transmit_time(nbytes)
+        tx_done = self.tx[src].submit(wire)
+        arrival = Event(self.sim, name=f"msg{self.messages_carried}.arrival")
+
+        def after_tx(interval: object) -> None:
+            start, end = interval  # type: ignore[misc]
+            if on_sent is not None:
+                on_sent((start, end))
+            rx_done = self.rx[dst].submit(
+                wire, not_before=end + self.machine.network_latency
+            )
+
+            def on_arrival(interval: object) -> None:
+                _s, arr_end = interval  # type: ignore[misc]
+                self._latencies.append(arr_end - submitted_at)
+                arrival.trigger(interval)
+
+            rx_done.add_callback(on_arrival)
+
+        tx_done.add_callback(after_tx)
+        return arrival
+
+    def stats(self) -> dict:
+        """Aggregate traffic statistics: totals, per-node bytes, and the
+        wire-level message latency distribution (submission → arrival)."""
+        lat = sorted(self._latencies)
+        n = len(lat)
+        return {
+            "messages": self.messages_carried,
+            "bytes": self.bytes_carried,
+            "tx_bytes": tuple(self.tx_bytes),
+            "rx_bytes": tuple(self.rx_bytes),
+            "latency_min": lat[0] if n else 0.0,
+            "latency_median": lat[n // 2] if n else 0.0,
+            "latency_max": lat[-1] if n else 0.0,
+        }
+
+    def _check_node(self, node: int, name: str) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(
+                f"{name}={node} outside [0, {self.num_nodes})"
+            )

@@ -1,0 +1,90 @@
+"""Steady-state analysis of simulated pipelines.
+
+The analytic models (§3/§4) describe the *steady state* of the tile
+pipeline: once every processor is past the fill wavefront, tiles issue at
+a fixed period.  This module extracts that period from execution traces
+(median inter-compute gap after discarding the warm-up/drain ends), plus
+the fill time itself — letting tests assert the simulator's emergent
+period against ``StepCosts`` predictions and users diagnose where their
+completion time goes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import median
+
+from repro.sim.tracing import Trace
+
+__all__ = ["SteadyStateReport", "compute_starts", "steady_period", "analyze"]
+
+
+def compute_starts(trace: Trace, rank: int) -> list[float]:
+    """Start times of the rank's compute intervals, in order."""
+    return [r.start for r in trace.for_rank(rank) if r.kind == "compute"]
+
+
+def steady_period(
+    trace: Trace, rank: int, *, discard_fraction: float = 0.25
+) -> float:
+    """Median gap between consecutive compute starts, middle portion only.
+
+    ``discard_fraction`` of the gaps is dropped at *each* end to exclude
+    pipeline fill and drain.  Needs at least four compute intervals.
+    """
+    if not 0 <= discard_fraction < 0.5:
+        raise ValueError("discard_fraction must be in [0, 0.5)")
+    starts = compute_starts(trace, rank)
+    if len(starts) < 4:
+        raise ValueError(
+            f"rank {rank} has only {len(starts)} compute intervals; "
+            "need at least 4 for a period estimate"
+        )
+    gaps = [b - a for a, b in zip(starts, starts[1:])]
+    k = int(len(gaps) * discard_fraction)
+    middle = gaps[k: len(gaps) - k] if len(gaps) > 2 * k else gaps
+    return median(middle)
+
+
+@dataclass(frozen=True)
+class SteadyStateReport:
+    """Pipeline timing decomposition of one traced run."""
+
+    fill_time: float
+    mean_period: float
+    per_rank_period: dict[int, float]
+    completion_time: float
+
+    @property
+    def steady_fraction(self) -> float:
+        """Fraction of the run spent past the fill wavefront."""
+        if self.completion_time <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.fill_time / self.completion_time)
+
+
+def analyze(trace: Trace, *, discard_fraction: float = 0.25) -> SteadyStateReport:
+    """Fill time + per-rank steady periods for a traced run."""
+    ranks = trace.ranks()
+    if not ranks:
+        raise ValueError("empty trace")
+    first_computes = []
+    periods: dict[int, float] = {}
+    for rank in ranks:
+        starts = compute_starts(trace, rank)
+        if starts:
+            first_computes.append(starts[0])
+        try:
+            periods[rank] = steady_period(
+                trace, rank, discard_fraction=discard_fraction
+            )
+        except ValueError:
+            continue
+    if not periods:
+        raise ValueError("no rank has enough compute intervals to analyze")
+    return SteadyStateReport(
+        fill_time=max(first_computes),
+        mean_period=sum(periods.values()) / len(periods),
+        per_rank_period=periods,
+        completion_time=trace.end_time(),
+    )

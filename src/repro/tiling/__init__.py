@@ -1,0 +1,63 @@
+"""Supernode/tiling transformation layer (paper §2.3–2.4)."""
+
+from repro.tiling.cones import (
+    cone_contains_dependences,
+    extreme_vectors,
+    in_cone,
+    tiling_from_extremes,
+)
+from repro.tiling.communication import (
+    communication_bytes,
+    communication_fraction,
+    communication_volume,
+    face_communication_volume,
+)
+from repro.tiling.dependences import (
+    first_tile_points,
+    supernode_dependence_set,
+    supernode_dependences,
+)
+from repro.tiling.optimize_h import optimize_general_tiling
+from repro.tiling.grain import (
+    face_elements_for_sides,
+    messages_per_step,
+    tune_grain,
+)
+from repro.tiling.shape import (
+    communication_minimal_rectangular_tiling,
+    communication_ratio,
+    continuous_optimal_sides,
+    dependence_column_sums,
+    optimal_rectangular_sides,
+    rectangular_communication_volume,
+)
+from repro.tiling.tiledspace import TiledSpace, tile_space
+from repro.tiling.transform import TilingTransformation, rectangular_tiling
+
+__all__ = [
+    "TiledSpace",
+    "TilingTransformation",
+    "communication_bytes",
+    "communication_fraction",
+    "communication_minimal_rectangular_tiling",
+    "communication_ratio",
+    "communication_volume",
+    "cone_contains_dependences",
+    "extreme_vectors",
+    "in_cone",
+    "tiling_from_extremes",
+    "continuous_optimal_sides",
+    "dependence_column_sums",
+    "face_communication_volume",
+    "face_elements_for_sides",
+    "first_tile_points",
+    "messages_per_step",
+    "optimal_rectangular_sides",
+    "optimize_general_tiling",
+    "rectangular_communication_volume",
+    "rectangular_tiling",
+    "supernode_dependence_set",
+    "supernode_dependences",
+    "tile_space",
+    "tune_grain",
+]

@@ -1,0 +1,97 @@
+"""Per-tile communication volume, formulas (1) and (2) of the paper.
+
+Formula (1):
+
+    V_comm(H) = (1 / |det H|) * sum_{i,k,j} h_{i,k} d_{k,j}
+
+i.e. ``|det P|`` times the sum of all entries of ``H D``.  Each entry
+``h_i . d_j`` is the *fraction* of a tile's points whose instance of
+dependence ``d_j`` crosses the tile face with normal ``h_i``; multiplying
+by the tile volume turns fractions into point counts.
+
+Formula (2) drops the row of ``H`` normal to the processor-mapping
+dimension ``x``: dependences crossing that face stay on the same
+processor (successive tiles of the same rank) and cost no messages.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.ir.dependence import DependenceSet
+from repro.tiling.transform import TilingTransformation
+
+__all__ = [
+    "communication_fraction",
+    "communication_volume",
+    "face_communication_volume",
+    "communication_bytes",
+]
+
+
+def face_communication_volume(
+    tiling: TilingTransformation, deps: DependenceSet, dim: int
+) -> Fraction:
+    """Points of one tile sending across the face normal to ``h_dim``.
+
+    ``|det P| * sum_j (H D)[dim, j]``.  This is the per-neighbour message
+    volume in dimension ``dim`` (in index points, not bytes).
+    """
+    if not 0 <= dim < tiling.ndim:
+        raise ValueError(f"dim must be in [0, {tiling.ndim}), got {dim}")
+    tiling.check_legal(deps)
+    hd = tiling.H @ deps.matrix()
+    total = sum((hd[dim, j] for j in range(hd.ncols)), Fraction(0))
+    return tiling.tile_volume() * total
+
+
+def communication_fraction(
+    tiling: TilingTransformation,
+    deps: DependenceSet,
+    mapped_dim: int | None = None,
+) -> Fraction:
+    """Sum of entries of ``H D`` over the communicating rows.
+
+    This is formula (1)/(2) without the ``1/|det H|`` scaling — the
+    communication-to-computation *ratio* per tile, useful because tile
+    shape optimisation minimises it independently of tile volume
+    (Boulet et al.).
+    """
+    tiling.check_legal(deps)
+    hd = tiling.H @ deps.matrix()
+    rows = range(tiling.ndim)
+    if mapped_dim is not None:
+        if not 0 <= mapped_dim < tiling.ndim:
+            raise ValueError(
+                f"mapped_dim must be in [0, {tiling.ndim}), got {mapped_dim}"
+            )
+        rows = [i for i in rows if i != mapped_dim]
+    return sum(
+        (hd[i, j] for i in rows for j in range(hd.ncols)), Fraction(0)
+    )
+
+
+def communication_volume(
+    tiling: TilingTransformation,
+    deps: DependenceSet,
+    mapped_dim: int | None = None,
+) -> Fraction:
+    """Per-tile communication volume in index points.
+
+    With ``mapped_dim=None`` this is formula (1); with a mapping dimension
+    it is formula (2) (tiles along that dimension share a processor, so
+    the corresponding face is free).
+    """
+    return tiling.tile_volume() * communication_fraction(tiling, deps, mapped_dim)
+
+
+def communication_bytes(
+    tiling: TilingTransformation,
+    deps: DependenceSet,
+    bytes_per_element: int,
+    mapped_dim: int | None = None,
+) -> Fraction:
+    """Per-tile communication volume in bytes (``b * V_comm``)."""
+    if bytes_per_element <= 0:
+        raise ValueError("bytes_per_element must be positive")
+    return bytes_per_element * communication_volume(tiling, deps, mapped_dim)

@@ -1,0 +1,114 @@
+"""Supernode dependence matrix ``D^S`` (paper §2.3).
+
+``D^S = { floor(H (j0 + d)) : d in D, j0 in the first complete tile }``
+where ``j0`` ranges over the index points of the tile at the origin
+(``0 <= H j0 < 1``).  Under the paper's containment assumption
+(``floor(H D) < 1``), ``D^S`` contains only 0/1 vectors: each tile
+depends at most on its nearest neighbour per dimension, which is what
+lets the tiled space be scheduled with unitary-dependence hyperplanes.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from math import ceil, floor
+from typing import Iterator
+
+from repro.ir.dependence import DependenceSet
+from repro.tiling.transform import TilingTransformation
+
+__all__ = ["first_tile_points", "supernode_dependences", "supernode_dependence_set"]
+
+_MAX_ENUMERATED_TILE = 2_000_000
+
+
+def first_tile_points(tiling: TilingTransformation) -> Iterator[tuple[int, ...]]:
+    """Integer points ``j0`` of the origin tile: ``0 <= H j0 < 1``.
+
+    Rectangular tilings enumerate the box directly; general tilings scan
+    the bounding box of the fundamental parallelepiped (columns of P) and
+    filter.  Guarded against absurdly large enumerations.
+    """
+    n = tiling.ndim
+    if tiling.is_rectangular():
+        sides = [int(s) for s in tiling.tile_sides()]
+        vol = 1
+        for s in sides:
+            vol *= s
+        if vol > _MAX_ENUMERATED_TILE:
+            raise ValueError(
+                f"refusing to enumerate {vol} points of a single tile"
+            )
+        yield from product(*(range(s) for s in sides))
+        return
+
+    # Bounding box of the parallelepiped spanned by the columns of P from
+    # the origin: every point is P @ f with f in [0,1)^n.
+    corners = [tiling.P.matvec(c) for c in product((0, 1), repeat=n)]
+    lo = [floor(min(c[k] for c in corners)) for k in range(n)]
+    hi = [ceil(max(c[k] for c in corners)) for k in range(n)]
+    vol = 1
+    for a, b in zip(lo, hi):
+        vol *= b - a + 1
+    if vol > _MAX_ENUMERATED_TILE:
+        raise ValueError(f"refusing to scan {vol} candidate points of a tile")
+    for j0 in product(*(range(a, b + 1) for a, b in zip(lo, hi))):
+        img = tiling.H.matvec(j0)
+        if all(0 <= x < 1 for x in img):
+            yield j0
+
+
+def supernode_dependences(
+    tiling: TilingTransformation, deps: DependenceSet
+) -> tuple[tuple[int, ...], ...]:
+    """All distinct supernode dependence vectors, including the zero vector
+    when some dependence stays inside a tile.
+
+    For rectangular tilings the per-dimension reachability is independent,
+    so the set is built combinatorially without enumerating tile points:
+    dimension ``k`` of ``floor((j0 + d) / s)`` is 1 iff ``j0_k + d_k >=
+    s_k`` for some in-tile ``j0_k`` in ``[0, s_k)``, and 0 iff
+    ``0 <= j0_k + d_k < s_k`` for some such ``j0_k``.
+    """
+    if tiling.ndim != deps.ndim:
+        raise ValueError("tiling and dependence set dimensions differ")
+    tiling.check_legal(deps)
+
+    out: dict[tuple[int, ...], None] = {}
+    if tiling.is_rectangular():
+        sides = [int(s) for s in tiling.tile_sides()]
+        for d in deps.vectors:
+            per_dim: list[tuple[int, ...]] = []
+            for dk, s in zip(d, sides):
+                # floor((j0 + dk) / s) for j0 in [0, s): the achievable set
+                # of values is the integer range [floor(dk/s), floor((s-1+dk)/s)].
+                lo = floor(dk / s)
+                hi = floor((s - 1 + dk) / s)
+                per_dim.append(tuple(range(lo, hi + 1)))
+            for combo in product(*per_dim):
+                out.setdefault(combo, None)
+    else:
+        for d in deps.vectors:
+            for j0 in first_tile_points(tiling):
+                shifted = tuple(a + b for a, b in zip(j0, d))
+                ds = tiling.tile_of(shifted)
+                out.setdefault(ds, None)
+    return tuple(out.keys())
+
+
+def supernode_dependence_set(
+    tiling: TilingTransformation, deps: DependenceSet
+) -> DependenceSet:
+    """``D^S`` as a :class:`DependenceSet` (zero vector dropped).
+
+    The zero vector corresponds to dependences satisfied inside a tile and
+    carries no inter-tile constraint.  Raises if *every* supernode
+    dependence is zero (then tiles are fully independent and no schedule
+    constraint exists — callers should special-case that).
+    """
+    vectors = [v for v in supernode_dependences(tiling, deps) if any(v)]
+    if not vectors:
+        raise ValueError(
+            "all dependences are intra-tile; the tiled space is dependence-free"
+        )
+    return DependenceSet(vectors)

@@ -1,0 +1,130 @@
+"""Tile-size (grain) selection coupling tiling with the machine model.
+
+Ties together §2.4's communication volumes, §3's Hodzic–Shang grain rule
+and §4's overlap-optimal grain: given a dependence set, a machine and the
+workload geometry, produce the tile volume ``g`` that the respective
+schedule's completion-time formula prefers.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.ir.dependence import DependenceSet
+from repro.model.completion import (
+    lemma1_steps,
+    minimize_completion_over_grain,
+)
+from repro.model.costs import step_costs
+from repro.model.machine import Machine
+from repro.tiling.shape import (
+    continuous_optimal_sides,
+    dependence_column_sums,
+)
+from repro.util.validation import require_positive_float, require_positive_int
+
+__all__ = [
+    "messages_per_step",
+    "face_elements_for_sides",
+    "nonoverlap_grain_curve_point",
+    "overlap_grain_curve_point",
+    "tune_grain",
+]
+
+
+def messages_per_step(deps: DependenceSet, mapped_dim: int) -> int:
+    """Number of distinct neighbours a tile sends to per step, excluding
+    the in-processor mapping dimension.
+
+    With the paper's containment assumption every communicating dimension
+    contributes exactly one neighbour, so this is the count of dimensions
+    (other than ``mapped_dim``) with non-zero dependence weight.
+    """
+    c = dependence_column_sums(deps)
+    if not 0 <= mapped_dim < len(c):
+        raise ValueError(f"mapped_dim must be in [0, {len(c)})")
+    return sum(1 for k, ck in enumerate(c) if k != mapped_dim and ck > 0)
+
+
+def face_elements_for_sides(
+    sides: Sequence[float], deps: DependenceSet, mapped_dim: int
+) -> list[float]:
+    """Per-neighbour message sizes (in elements) of a rectangular tile.
+
+    Face ``k`` carries ``c_k · prod_{j≠k} s_j`` elements, where ``c_k`` is
+    the dependence weight of dimension ``k`` (formula (2) restricted to a
+    single row of ``H D``).
+    """
+    c = dependence_column_sums(deps)
+    if len(sides) != len(c):
+        raise ValueError("sides/dependence dimension mismatch")
+    vol = 1.0
+    for s in sides:
+        if s <= 0:
+            raise ValueError("sides must be positive")
+        vol *= float(s)
+    out = []
+    for k, (ck, sk) in enumerate(zip(c, sides)):
+        if k == mapped_dim or ck == 0:
+            continue
+        out.append(ck * vol / float(sk))
+    return out
+
+
+def nonoverlap_grain_curve_point(
+    machine: Machine,
+    deps: DependenceSet,
+    grain: float,
+    mapped_dim: int,
+    p0: float,
+    ndim: int,
+) -> float:
+    """Analytic eq.-(3) completion time at tile volume ``grain``, using the
+    communication-minimal continuous tile shape at that volume and
+    Lemma 1 for the step count."""
+    require_positive_float(grain, "grain")
+    sides = continuous_optimal_sides(deps, grain, mapped_dim)
+    faces = face_elements_for_sides(sides, deps, mapped_dim)
+    sizes = [machine.message_bytes(f) for f in faces]
+    sc = step_costs(machine, grain, sizes)
+    return lemma1_steps(p0, grain, ndim) * sc.serialized_step
+
+
+def overlap_grain_curve_point(
+    machine: Machine,
+    deps: DependenceSet,
+    grain: float,
+    mapped_dim: int,
+    p0: float,
+    ndim: int,
+) -> float:
+    """Analytic eq.-(4)/(5) completion time at tile volume ``grain``."""
+    require_positive_float(grain, "grain")
+    sides = continuous_optimal_sides(deps, grain, mapped_dim)
+    faces = face_elements_for_sides(sides, deps, mapped_dim)
+    sizes = [machine.message_bytes(f) for f in faces]
+    sc = step_costs(machine, grain, sizes)
+    return lemma1_steps(p0, grain, ndim) * sc.overlapped_step
+
+
+def tune_grain(
+    machine: Machine,
+    deps: DependenceSet,
+    *,
+    overlap: bool,
+    mapped_dim: int,
+    p0: float,
+    ndim: int,
+    lower: float = 1.0,
+    upper: float = 1e7,
+) -> tuple[float, float]:
+    """Numerically find the analytic optimal grain ``(g_opt, T_opt)`` for
+    either schedule (the paper tunes experimentally; this is the model's
+    counterpart)."""
+    require_positive_int(ndim, "ndim")
+    point = overlap_grain_curve_point if overlap else nonoverlap_grain_curve_point
+
+    def completion(g: float) -> float:
+        return point(machine, deps, g, mapped_dim, p0, ndim)
+
+    return minimize_completion_over_grain(completion, lower, upper)

@@ -1,0 +1,180 @@
+"""Communication-minimal tile shape at fixed volume (paper §2.4, [2], [11]).
+
+For rectangular tiles with sides ``s_1..s_n`` and dependence column sums
+``c_k = sum_j d_{k,j}``, formula (1) specialises to
+
+    V_comm = g * sum_k c_k / s_k          with   g = prod_k s_k,
+
+so the continuous minimiser under ``prod s_k = g`` is (by Lagrange
+multipliers, ``c_k / s_k`` constant across k):
+
+    s_k = c_k * (g / prod_k c_k)^(1/n).
+
+Dimensions whose ``c_k`` is 0 (or which are mapped to the same processor,
+formula (2)) do not appear in the objective; their side length is a free
+factor that only controls the number of tiles along that axis, so we
+assign them the residual volume.
+
+The integer solution is found by local search around the rounded
+continuous one, which is exact for the small ``n`` of interest.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import product
+from typing import Sequence
+
+from repro.ir.dependence import DependenceSet
+from repro.tiling.transform import TilingTransformation, rectangular_tiling
+from repro.util.validation import require_positive_int
+
+__all__ = [
+    "dependence_column_sums",
+    "continuous_optimal_sides",
+    "optimal_rectangular_sides",
+    "communication_minimal_rectangular_tiling",
+    "rectangular_communication_volume",
+]
+
+
+def dependence_column_sums(deps: DependenceSet) -> tuple[int, ...]:
+    """``c_k = sum_j d_{k,j}`` — total dependence weight per dimension."""
+    n = deps.ndim
+    return tuple(sum(v[k] for v in deps.vectors) for k in range(n))
+
+
+def rectangular_communication_volume(
+    sides: Sequence[float], deps: DependenceSet, mapped_dim: int | None = None
+) -> float:
+    """``V_comm`` of a rectangular tile with (possibly fractional) sides."""
+    c = dependence_column_sums(deps)
+    if len(sides) != len(c):
+        raise ValueError("sides/dependence dimension mismatch")
+    if any(s <= 0 for s in sides):
+        raise ValueError("sides must be positive")
+    g = 1.0
+    for s in sides:
+        g *= float(s)
+    return g * sum(
+        ck / float(sk)
+        for k, (ck, sk) in enumerate(zip(c, sides))
+        if k != mapped_dim
+    )
+
+
+def continuous_optimal_sides(
+    deps: DependenceSet,
+    volume: float,
+    mapped_dim: int | None = None,
+) -> tuple[float, ...]:
+    """The real-valued optimal sides at fixed ``volume``.
+
+    Free dimensions (zero column sum, or the mapped dimension) absorb the
+    residual volume, split evenly among themselves in log space.
+    """
+    if volume <= 0:
+        raise ValueError("volume must be positive")
+    c = dependence_column_sums(deps)
+    n = len(c)
+    if mapped_dim is not None and not 0 <= mapped_dim < n:
+        raise ValueError(f"mapped_dim must be in [0, {n})")
+    active = [
+        k for k in range(n) if k != mapped_dim and c[k] > 0
+    ]
+    free = [k for k in range(n) if k not in active]
+    if not active:
+        # no communicating dimension: any shape of the right volume works
+        side = volume ** (1.0 / n)
+        return tuple(side for _ in range(n))
+
+    # Within the active dimensions the shape is s_k proportional to c_k; the
+    # sub-volume assigned to active dims is a free choice when free dims
+    # exist.  We split volume evenly in log space between the groups by
+    # giving every dimension (active or free) an equal geometric share,
+    # then skewing the active shares to the proportional solution.
+    per_dim = volume ** (1.0 / n)
+    active_volume = per_dim ** len(active)
+    prod_c = 1.0
+    for k in active:
+        prod_c *= c[k]
+    scale = (active_volume / prod_c) ** (1.0 / len(active))
+    sides = [0.0] * n
+    for k in active:
+        sides[k] = c[k] * scale
+    for k in free:
+        sides[k] = per_dim
+    return tuple(sides)
+
+
+def optimal_rectangular_sides(
+    deps: DependenceSet,
+    volume: int,
+    mapped_dim: int | None = None,
+    search_radius: int = 2,
+) -> tuple[int, ...]:
+    """Integer tile sides minimising ``V_comm`` with ``prod(sides) <= volume``.
+
+    Local search in a ``(2*search_radius+1)^n`` neighbourhood of the
+    rounded continuous optimum, keeping candidates whose volume does not
+    exceed the budget; ties favour larger volume (more computation per
+    message), then smaller communication.
+    """
+    volume = require_positive_int(volume, "volume")
+    cont = continuous_optimal_sides(deps, float(volume), mapped_dim)
+    n = len(cont)
+
+    candidate_ranges = []
+    for s in cont:
+        base = max(1, round(s))
+        lo = max(1, base - search_radius)
+        hi = base + search_radius
+        candidate_ranges.append(range(lo, hi + 1))
+
+    best: tuple[int, ...] | None = None
+    best_key: tuple[float, float] | None = None
+    for cand in product(*candidate_ranges):
+        vol = 1
+        for s in cand:
+            vol *= s
+        if vol > volume:
+            continue
+        comm = rectangular_communication_volume(cand, deps, mapped_dim)
+        # Normalise communication per unit computation for fairness across
+        # volumes, then prefer bigger volume.
+        key = (comm / vol, -vol)
+        if best_key is None or key < best_key:
+            best_key = key
+            best = cand
+    if best is None:
+        # budget smaller than any candidate: degenerate all-ones tile
+        return (1,) * n
+    return best
+
+
+def communication_minimal_rectangular_tiling(
+    deps: DependenceSet,
+    volume: int,
+    mapped_dim: int | None = None,
+) -> TilingTransformation:
+    """Convenience wrapper returning the tiling for the optimal sides."""
+    sides = optimal_rectangular_sides(deps, volume, mapped_dim)
+    tiling = rectangular_tiling(sides)
+    if not tiling.is_legal(deps):
+        raise ValueError(
+            "rectangular tiling is illegal for this dependence set; "
+            "dependences must be non-negative per dimension"
+        )
+    return tiling
+
+
+def communication_ratio(
+    tiling: TilingTransformation, deps: DependenceSet, mapped_dim: int | None = None
+) -> Fraction:
+    """Communication-to-computation ratio ``V_comm / V_comp`` of a tile."""
+    from repro.tiling.communication import communication_fraction
+
+    return communication_fraction(tiling, deps, mapped_dim)
+
+
+__all__.append("communication_ratio")

@@ -1,0 +1,151 @@
+"""The tiled space ``J^S = { floor(H j) : j in J^n }`` (paper §2.3).
+
+For the rectangular tilings the paper's experiments use, the tiled space
+is itself an exact integer box and every tile's slice of the index space
+is computable in closed form (including boundary/partial tiles).  For a
+general ``H`` we compute the bounding box of the image of the index-space
+corners, which is a superset of ``J^S``; callers that need exact
+enumeration of non-empty tiles can ask for it point-wise on small spaces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import floor
+from typing import Iterator, Sequence
+
+from repro.ir.loopnest import IterationSpace
+from repro.tiling.transform import TilingTransformation
+
+__all__ = ["TiledSpace", "tile_space"]
+
+
+@dataclass(frozen=True)
+class TiledSpace:
+    """Bounding description of ``J^S`` for a (space, tiling) pair.
+
+    Attributes
+    ----------
+    space:
+        The original index space ``J^n``.
+    tiling:
+        The supernode transformation.
+    lower, upper:
+        Inclusive integer bounds of the tiled space.  Exact when
+        ``exact`` is True (always the case for rectangular tilings of a
+        box), otherwise a bounding box that may include empty tiles.
+    exact:
+        Whether every coordinate in the box corresponds to a non-empty
+        tile.
+    """
+
+    space: IterationSpace
+    tiling: TilingTransformation
+    lower: tuple[int, ...]
+    upper: tuple[int, ...]
+    exact: bool
+
+    @property
+    def ndim(self) -> int:
+        return len(self.lower)
+
+    @property
+    def extents(self) -> tuple[int, ...]:
+        """Number of tile coordinates per dimension."""
+        return tuple(u - l + 1 for l, u in zip(self.lower, self.upper))
+
+    @property
+    def tile_count(self) -> int:
+        total = 1
+        for e in self.extents:
+            total *= e
+        return total
+
+    @property
+    def last_tile(self) -> tuple[int, ...]:
+        """Coordinates ``(u1^S, ..., un^S)`` of the lexicographically last
+        tile corner; with ``lower`` shifted to the origin this is the
+        paper's "last tile"."""
+        return self.upper
+
+    def normalized_upper(self) -> tuple[int, ...]:
+        """Upper bounds after translating ``lower`` to the origin."""
+        return tuple(u - l for l, u in zip(self.lower, self.upper))
+
+    def contains(self, tile: Sequence[int]) -> bool:
+        if len(tile) != self.ndim:
+            return False
+        return all(l <= t <= u for l, t, u in zip(self.lower, tile, self.upper))
+
+    def tiles(self) -> Iterator[tuple[int, ...]]:
+        """Iterate all tile coordinates in lexicographic order."""
+        def rec(dim: int, prefix: tuple[int, ...]) -> Iterator[tuple[int, ...]]:
+            if dim == self.ndim:
+                yield prefix
+                return
+            for v in range(self.lower[dim], self.upper[dim] + 1):
+                yield from rec(dim + 1, prefix + (v,))
+
+        return rec(0, ())
+
+    # -- per-tile index slices (rectangular only) ----------------------------
+
+    def tile_index_bounds(
+        self, tile: Sequence[int]
+    ) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """Inclusive index-space bounds of the points in ``tile``.
+
+        Only defined for rectangular tilings; clips tiles at the iteration
+        space boundary, so edge tiles may be smaller than ``det(P)``.
+        """
+        if not self.tiling.is_rectangular():
+            raise ValueError("per-tile index bounds require a rectangular tiling")
+        if not self.contains(tile):
+            raise ValueError(f"tile {tuple(tile)} is outside the tiled space")
+        sides = [int(s) for s in self.tiling.tile_sides()]
+        lo = []
+        hi = []
+        for t, s, l, u in zip(tile, sides, self.space.lower, self.space.upper):
+            a = max(l, t * s)
+            b = min(u, (t + 1) * s - 1)
+            lo.append(a)
+            hi.append(b)
+        return tuple(lo), tuple(hi)
+
+    def tile_point_count(self, tile: Sequence[int]) -> int:
+        """Number of index points in ``tile`` (partial tiles clipped)."""
+        lo, hi = self.tile_index_bounds(tile)
+        total = 1
+        for a, b in zip(lo, hi):
+            if b < a:
+                return 0
+            total *= b - a + 1
+        return total
+
+    def is_full_tile(self, tile: Sequence[int]) -> bool:
+        """True when ``tile`` contains exactly ``det(P)`` points."""
+        return self.tile_point_count(tile) == int(self.tiling.tile_volume())
+
+
+def tile_space(space: IterationSpace, tiling: TilingTransformation) -> TiledSpace:
+    """Compute the tiled-space bounds for ``space`` under ``tiling``.
+
+    Rectangular tilings of a box give exact bounds
+    ``floor(l_k / s_k) .. floor(u_k / s_k)``; general tilings get the
+    floor-bounding box of the corner images (a superset of ``J^S``).
+    """
+    if space.ndim != tiling.ndim:
+        raise ValueError(
+            f"space is {space.ndim}-D but tiling is {tiling.ndim}-D"
+        )
+    if tiling.is_rectangular():
+        sides = [int(s) for s in tiling.tile_sides()]
+        lower = tuple(floor(l / s) for l, s in zip(space.lower, sides))
+        upper = tuple(floor(u / s) for u, s in zip(space.upper, sides))
+        return TiledSpace(space, tiling, lower, upper, exact=True)
+
+    images = [tiling.H.matvec(c) for c in space.corner_points()]
+    n = space.ndim
+    lower = tuple(min(floor(img[k]) for img in images) for k in range(n))
+    upper = tuple(max(floor(img[k]) for img in images) for k in range(n))
+    return TiledSpace(space, tiling, lower, upper, exact=False)

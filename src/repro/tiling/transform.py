@@ -1,0 +1,166 @@
+"""Supernode (tiling) transformation ``H`` / ``P`` (paper §2.3).
+
+A tiling is given by the n-by-n nonsingular matrix ``H`` whose rows are
+normals of the hyperplane families that cut the index space into tiles,
+or dually by ``P = H^{-1}`` whose columns are the tile side vectors.  The
+transformation maps an index point ``j`` to
+
+    r(j) = ( floor(H j),  j - P floor(H j) )
+
+i.e. the coordinates of its tile in the tiled space ``J^S`` plus its
+position within the tile.  Legality with respect to a dependence set D
+requires ``H D >= 0`` (atomic, deadlock-free tiles, Irigoin–Triolet /
+Ramanujam–Sadayappan); the paper additionally assumes dependences are
+contained within one tile step, ``floor(H D) < 1`` elementwise, so the
+supernode dependence matrix is 0/1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Sequence
+
+from repro.ir.dependence import DependenceSet
+from repro.util.intmat import (
+    FractionMatrix,
+    as_fraction_vector,
+    diagonal,
+    floor_vector,
+)
+from repro.util.validation import require_positive_int
+
+__all__ = ["TilingTransformation", "rectangular_tiling"]
+
+
+@dataclass(frozen=True)
+class TilingTransformation:
+    """An invertible tiling transformation.
+
+    Construct from either ``H`` (hyperplane normals as rows) or ``P``
+    (tile sides as columns); the other is derived exactly.
+    """
+
+    H: FractionMatrix
+    P: FractionMatrix
+
+    def __init__(self, H: FractionMatrix | None = None, P: FractionMatrix | None = None):
+        if (H is None) == (P is None):
+            raise ValueError("provide exactly one of H or P")
+        if H is not None:
+            if not isinstance(H, FractionMatrix):
+                H = FractionMatrix(H)  # type: ignore[arg-type]
+            if not H.is_square():
+                raise ValueError("H must be square")
+            if H.determinant() == 0:
+                raise ValueError("H must be nonsingular")
+            P_ = H.inverse()
+        else:
+            assert P is not None
+            if not isinstance(P, FractionMatrix):
+                P = FractionMatrix(P)  # type: ignore[arg-type]
+            if not P.is_square():
+                raise ValueError("P must be square")
+            if P.determinant() == 0:
+                raise ValueError("P must be nonsingular")
+            H = P.inverse()
+            P_ = P
+        object.__setattr__(self, "H", H)
+        object.__setattr__(self, "P", P_)
+
+    # -- structure ----------------------------------------------------------
+
+    @property
+    def ndim(self) -> int:
+        return self.H.nrows
+
+    def tile_volume(self) -> Fraction:
+        """Number of index points per full tile: ``V_comp = |det P|``."""
+        d = self.P.determinant()
+        return d if d >= 0 else -d
+
+    def is_rectangular(self) -> bool:
+        """True iff every tile side vector is axis-aligned (P diagonal)."""
+        return all(
+            self.P[i, j] == 0
+            for i in range(self.ndim)
+            for j in range(self.ndim)
+            if i != j
+        )
+
+    def tile_sides(self) -> tuple[Fraction, ...]:
+        """Diagonal of P for rectangular tilings (side length per axis)."""
+        if not self.is_rectangular():
+            raise ValueError("tile_sides is defined only for rectangular tilings")
+        return tuple(self.P[i, i] for i in range(self.ndim))
+
+    # -- the transformation itself -------------------------------------------
+
+    def tile_of(self, j: Sequence[int]) -> tuple[int, ...]:
+        """Tile coordinates ``floor(H j)`` of index point ``j``."""
+        return floor_vector(self.H.matvec(j))
+
+    def local_of(self, j: Sequence[int]) -> tuple[Fraction, ...]:
+        """In-tile offset ``j - P floor(H j)`` (rational in general)."""
+        tile = self.tile_of(j)
+        origin = self.P.matvec(tile)
+        jf = as_fraction_vector(j)
+        return tuple(a - b for a, b in zip(jf, origin))
+
+    def transform(self, j: Sequence[int]) -> tuple[tuple[int, ...], tuple[Fraction, ...]]:
+        """The full map ``r(j) = (floor(Hj), j - P floor(Hj))``."""
+        return self.tile_of(j), self.local_of(j)
+
+    def tile_origin(self, tile: Sequence[int]) -> tuple[Fraction, ...]:
+        """The index-space point ``P @ tile`` (tile's lattice origin)."""
+        return self.P.matvec(tile)
+
+    # -- legality -----------------------------------------------------------
+
+    def is_legal(self, deps: DependenceSet) -> bool:
+        """Tiling legality ``H D >= 0`` (all entries non-negative)."""
+        hd = self.H @ deps.matrix()
+        return hd.is_nonnegative()
+
+    def contains_dependences(self, deps: DependenceSet) -> bool:
+        """Paper's containment assumption: ``floor(H D) < 1`` elementwise.
+
+        Equivalently every entry of ``H D`` is in ``[0, 1)`` given
+        legality, so the supernode dependence matrix is 0/1 and each tile
+        communicates only with its nearest neighbour per dimension.
+        """
+        hd = self.H @ deps.matrix()
+        return all(
+            0 <= hd[i, j] < 1
+            for i in range(hd.nrows)
+            for j in range(hd.ncols)
+        )
+
+    def check_legal(self, deps: DependenceSet) -> None:
+        """Raise ``ValueError`` with the offending entry if illegal."""
+        hd = self.H @ deps.matrix()
+        for col, d in enumerate(deps.vectors):
+            for row in range(hd.nrows):
+                if hd[row, col] < 0:
+                    raise ValueError(
+                        f"illegal tiling: (H d)[{row}] = {hd[row, col]} < 0 "
+                        f"for dependence {d}"
+                    )
+
+    def __str__(self) -> str:
+        if self.is_rectangular():
+            sides = "x".join(str(s) for s in self.tile_sides())
+            return f"TilingTransformation(rectangular {sides})"
+        return f"TilingTransformation(H={self.H!r})"
+
+
+def rectangular_tiling(sides: Sequence[int]) -> TilingTransformation:
+    """Axis-aligned tiling with the given integer side lengths.
+
+    ``P = diag(sides)``, ``H = diag(1/side)``.  This is the tile shape the
+    paper's experiments use (cubic/rectangular tiles on a processor grid).
+    """
+    s = [require_positive_int(x, "sides[k]") for x in sides]
+    if not s:
+        raise ValueError("sides must be non-empty")
+    return TilingTransformation(P=diagonal(s))

@@ -1,0 +1,28 @@
+"""UET / UET-UCT grid scheduling theory underlying the overlap schedule."""
+
+from repro.uetuct.dag import build_grid_dag, critical_path_makespan
+from repro.uetuct.grid import (
+    generalized_hyperplane,
+    generalized_optimal_makespan,
+    optimal_mapping_dimension,
+    uet_makespan_dp,
+    uet_optimal_makespan,
+    uet_uct_hyperplane,
+    uet_uct_makespan_dp,
+    uet_uct_optimal_makespan,
+    unit_dependence_vectors,
+)
+
+__all__ = [
+    "build_grid_dag",
+    "generalized_hyperplane",
+    "generalized_optimal_makespan",
+    "critical_path_makespan",
+    "optimal_mapping_dimension",
+    "uet_makespan_dp",
+    "uet_optimal_makespan",
+    "uet_uct_hyperplane",
+    "uet_uct_makespan_dp",
+    "uet_uct_optimal_makespan",
+    "unit_dependence_vectors",
+]

@@ -1,0 +1,44 @@
+"""Shared utilities: exact rational matrices, validation, text tables."""
+
+from repro.util.intmat import (
+    FractionMatrix,
+    as_fraction,
+    as_fraction_vector,
+    diagonal,
+    floor_vector,
+    identity,
+)
+from repro.util.lattice import (
+    column_hermite_normal_form,
+    is_unimodular,
+    same_lattice,
+)
+from repro.util.tables import format_kv, format_table
+from repro.util.validation import (
+    require_int_vector,
+    require_nonnegative_float,
+    require_nonnegative_int,
+    require_positive_float,
+    require_positive_int,
+    require_same_length,
+)
+
+__all__ = [
+    "FractionMatrix",
+    "as_fraction",
+    "as_fraction_vector",
+    "column_hermite_normal_form",
+    "diagonal",
+    "is_unimodular",
+    "same_lattice",
+    "floor_vector",
+    "identity",
+    "format_kv",
+    "format_table",
+    "require_int_vector",
+    "require_nonnegative_float",
+    "require_nonnegative_int",
+    "require_positive_float",
+    "require_positive_int",
+    "require_same_length",
+]

@@ -1,0 +1,321 @@
+"""Exact rational linear algebra for tiling transformations.
+
+Tiling theory manipulates two mutually inverse matrices: ``P`` whose
+columns are the tile side vectors (integer entries in practice) and
+``H = P^{-1}`` whose rows are normal vectors of the tile hyperplane
+families.  ``H`` generically has *fractional* entries (e.g. ``0.1`` for a
+side-10 square tile), and legality tests such as ``HD >= 0`` and
+``floor(HD) < 1`` must be decided exactly — floating point rounding at a
+tile boundary silently flips legality.  This module therefore implements
+the small amount of dense linear algebra the library needs over
+``fractions.Fraction``.
+
+Matrices are represented as tuples of row tuples of ``Fraction``; the
+:class:`FractionMatrix` wrapper provides the named operations.  Sizes here
+are the loop-nest depth ``n`` (2–4 in practice), so asymptotics are
+irrelevant and clarity wins.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import floor
+from typing import Iterable, Sequence, Union
+
+Number = Union[int, float, Fraction, str]
+
+__all__ = [
+    "FractionMatrix",
+    "as_fraction",
+    "as_fraction_vector",
+    "identity",
+    "diagonal",
+    "floor_vector",
+]
+
+
+def as_fraction(x: Number) -> Fraction:
+    """Convert ``x`` to an exact :class:`~fractions.Fraction`.
+
+    ``float`` inputs are converted via ``Fraction(x).limit_denominator``
+    only when they are not exactly representable, which would hide user
+    error; instead we require floats to be exact binary fractions or
+    convert via their repr to catch values like ``0.1`` the way a user
+    means them.
+    """
+    if isinstance(x, Fraction):
+        return x
+    if isinstance(x, bool):  # bool is an int subclass; reject explicitly
+        raise TypeError("bool is not a valid matrix entry")
+    if isinstance(x, int):
+        return Fraction(x)
+    if isinstance(x, str):
+        return Fraction(x)
+    if isinstance(x, float):
+        # Use the decimal repr so 0.1 means 1/10, not 0x1.999...p-4.
+        return Fraction(repr(x))
+    raise TypeError(f"cannot convert {type(x).__name__} to Fraction")
+
+
+def as_fraction_vector(v: Iterable[Number]) -> tuple[Fraction, ...]:
+    """Convert an iterable of numbers to a tuple of exact fractions."""
+    return tuple(as_fraction(x) for x in v)
+
+
+def floor_vector(v: Iterable[Fraction]) -> tuple[int, ...]:
+    """Componentwise exact floor of a rational vector."""
+    return tuple(floor(x) for x in v)
+
+
+class FractionMatrix:
+    """A small dense matrix over exact rationals.
+
+    Immutable; all operations return new matrices.  Row-major layout.
+    """
+
+    __slots__ = ("rows",)
+
+    def __init__(self, rows: Sequence[Sequence[Number]]):
+        converted = tuple(tuple(as_fraction(x) for x in row) for row in rows)
+        if not converted:
+            raise ValueError("matrix must have at least one row")
+        width = len(converted[0])
+        if width == 0:
+            raise ValueError("matrix must have at least one column")
+        if any(len(r) != width for r in converted):
+            raise ValueError("ragged rows in matrix literal")
+        self.rows: tuple[tuple[Fraction, ...], ...] = converted
+
+    # -- basic structure ---------------------------------------------------
+
+    @property
+    def nrows(self) -> int:
+        return len(self.rows)
+
+    @property
+    def ncols(self) -> int:
+        return len(self.rows[0])
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.nrows, self.ncols)
+
+    def is_square(self) -> bool:
+        return self.nrows == self.ncols
+
+    def __getitem__(self, idx: tuple[int, int]) -> Fraction:
+        i, j = idx
+        return self.rows[i][j]
+
+    def row(self, i: int) -> tuple[Fraction, ...]:
+        return self.rows[i]
+
+    def col(self, j: int) -> tuple[Fraction, ...]:
+        return tuple(r[j] for r in self.rows)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FractionMatrix):
+            return NotImplemented
+        return self.rows == other.rows
+
+    def __hash__(self) -> int:
+        return hash(self.rows)
+
+    def __repr__(self) -> str:
+        body = ", ".join("[" + ", ".join(str(x) for x in r) + "]" for r in self.rows)
+        return f"FractionMatrix([{body}])"
+
+    # -- arithmetic --------------------------------------------------------
+
+    def __add__(self, other: "FractionMatrix") -> "FractionMatrix":
+        self._check_same_shape(other)
+        return FractionMatrix(
+            [
+                [a + b for a, b in zip(ra, rb)]
+                for ra, rb in zip(self.rows, other.rows)
+            ]
+        )
+
+    def __sub__(self, other: "FractionMatrix") -> "FractionMatrix":
+        self._check_same_shape(other)
+        return FractionMatrix(
+            [
+                [a - b for a, b in zip(ra, rb)]
+                for ra, rb in zip(self.rows, other.rows)
+            ]
+        )
+
+    def __neg__(self) -> "FractionMatrix":
+        return FractionMatrix([[-x for x in r] for r in self.rows])
+
+    def scale(self, k: Number) -> "FractionMatrix":
+        kf = as_fraction(k)
+        return FractionMatrix([[kf * x for x in r] for r in self.rows])
+
+    def matmul(self, other: "FractionMatrix") -> "FractionMatrix":
+        if self.ncols != other.nrows:
+            raise ValueError(
+                f"shape mismatch for matmul: {self.shape} @ {other.shape}"
+            )
+        ocols = other.ncols
+        return FractionMatrix(
+            [
+                [
+                    sum((self.rows[i][k] * other.rows[k][j] for k in range(self.ncols)),
+                        Fraction(0))
+                    for j in range(ocols)
+                ]
+                for i in range(self.nrows)
+            ]
+        )
+
+    def __matmul__(self, other: "FractionMatrix") -> "FractionMatrix":
+        return self.matmul(other)
+
+    def matvec(self, v: Iterable[Number]) -> tuple[Fraction, ...]:
+        vf = as_fraction_vector(v)
+        if len(vf) != self.ncols:
+            raise ValueError(
+                f"vector length {len(vf)} does not match matrix width {self.ncols}"
+            )
+        return tuple(
+            sum((r[k] * vf[k] for k in range(self.ncols)), Fraction(0))
+            for r in self.rows
+        )
+
+    def transpose(self) -> "FractionMatrix":
+        return FractionMatrix(
+            [[self.rows[i][j] for i in range(self.nrows)] for j in range(self.ncols)]
+        )
+
+    # -- solved forms --------------------------------------------------------
+
+    def determinant(self) -> Fraction:
+        """Exact determinant by fraction-free-ish Gaussian elimination."""
+        if not self.is_square():
+            raise ValueError("determinant of a non-square matrix")
+        n = self.nrows
+        a = [list(r) for r in self.rows]
+        det = Fraction(1)
+        for col in range(n):
+            pivot_row = next(
+                (r for r in range(col, n) if a[r][col] != 0), None
+            )
+            if pivot_row is None:
+                return Fraction(0)
+            if pivot_row != col:
+                a[col], a[pivot_row] = a[pivot_row], a[col]
+                det = -det
+            pivot = a[col][col]
+            det *= pivot
+            for r in range(col + 1, n):
+                factor = a[r][col] / pivot
+                if factor == 0:
+                    continue
+                for c in range(col, n):
+                    a[r][c] -= factor * a[col][c]
+        return det
+
+    def inverse(self) -> "FractionMatrix":
+        """Exact inverse by Gauss–Jordan elimination.
+
+        Raises ``ZeroDivisionError`` for singular input, mirroring what
+        exact division would hit, but with a clear message.
+        """
+        if not self.is_square():
+            raise ValueError("inverse of a non-square matrix")
+        n = self.nrows
+        a = [list(r) + [Fraction(int(i == j)) for j in range(n)]
+             for i, r in enumerate(self.rows)]
+        for col in range(n):
+            pivot_row = next((r for r in range(col, n) if a[r][col] != 0), None)
+            if pivot_row is None:
+                raise ZeroDivisionError("matrix is singular, cannot invert")
+            if pivot_row != col:
+                a[col], a[pivot_row] = a[pivot_row], a[col]
+            pivot = a[col][col]
+            a[col] = [x / pivot for x in a[col]]
+            for r in range(n):
+                if r == col:
+                    continue
+                factor = a[r][col]
+                if factor == 0:
+                    continue
+                a[r] = [x - factor * y for x, y in zip(a[r], a[col])]
+        return FractionMatrix([row[n:] for row in a])
+
+    def rank(self) -> int:
+        """Exact rank via Gaussian elimination."""
+        a = [list(r) for r in self.rows]
+        nr, nc = self.nrows, self.ncols
+        rank = 0
+        row = 0
+        for col in range(nc):
+            pivot_row = next((r for r in range(row, nr) if a[r][col] != 0), None)
+            if pivot_row is None:
+                continue
+            a[row], a[pivot_row] = a[pivot_row], a[row]
+            pivot = a[row][col]
+            for r in range(row + 1, nr):
+                factor = a[r][col] / pivot
+                if factor == 0:
+                    continue
+                for c in range(col, nc):
+                    a[r][c] -= factor * a[row][c]
+            rank += 1
+            row += 1
+            if row == nr:
+                break
+        return rank
+
+    # -- predicates and conversions ---------------------------------------
+
+    def is_integer(self) -> bool:
+        """True when every entry has denominator 1."""
+        return all(x.denominator == 1 for r in self.rows for x in r)
+
+    def is_nonnegative(self) -> bool:
+        return all(x >= 0 for r in self.rows for x in r)
+
+    def floor(self) -> "FractionMatrix":
+        return FractionMatrix([[Fraction(floor(x)) for x in r] for r in self.rows])
+
+    def to_int_rows(self) -> tuple[tuple[int, ...], ...]:
+        """Integer row tuples; raises if any entry is fractional."""
+        if not self.is_integer():
+            raise ValueError("matrix has non-integer entries")
+        return tuple(tuple(int(x) for x in r) for r in self.rows)
+
+    def to_float_rows(self) -> tuple[tuple[float, ...], ...]:
+        return tuple(tuple(float(x) for x in r) for r in self.rows)
+
+    # -- helpers -----------------------------------------------------------
+
+    def _check_same_shape(self, other: "FractionMatrix") -> None:
+        if self.shape != other.shape:
+            raise ValueError(f"shape mismatch: {self.shape} vs {other.shape}")
+
+    @staticmethod
+    def from_columns(cols: Sequence[Sequence[Number]]) -> "FractionMatrix":
+        """Build a matrix whose *columns* are the given vectors."""
+        return FractionMatrix(cols).transpose()
+
+
+def identity(n: int) -> FractionMatrix:
+    """The n-by-n identity matrix."""
+    if n <= 0:
+        raise ValueError("identity size must be positive")
+    return FractionMatrix(
+        [[Fraction(int(i == j)) for j in range(n)] for i in range(n)]
+    )
+
+
+def diagonal(entries: Sequence[Number]) -> FractionMatrix:
+    """Diagonal matrix from the given entries."""
+    ef = as_fraction_vector(entries)
+    n = len(ef)
+    if n == 0:
+        raise ValueError("diagonal needs at least one entry")
+    return FractionMatrix(
+        [[ef[i] if i == j else Fraction(0) for j in range(n)] for i in range(n)]
+    )

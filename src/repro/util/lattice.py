@@ -1,0 +1,92 @@
+"""Integer lattice utilities: Hermite normal form and unimodularity.
+
+Two tile-side matrices generate the same family of tiles exactly when
+their columns span the same integer lattice — i.e. when they differ by a
+unimodular column transformation, equivalently when their (column-style)
+Hermite normal forms coincide.  These helpers make that decidable, which
+lets the tiling layer recognise equivalent tilings written differently
+(e.g. a skewed basis vs its reduced form).
+
+Conventions: column-style HNF ``H = A·U`` with ``U`` unimodular, ``H``
+lower triangular, positive diagonal, and entries left of each diagonal
+reduced into ``[0, diag)``.  Only nonsingular square integer matrices are
+handled (the tiling use case).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+from repro.util.intmat import FractionMatrix
+
+__all__ = ["column_hermite_normal_form", "is_unimodular", "same_lattice"]
+
+
+def _to_int_matrix(m: FractionMatrix) -> list[list[int]]:
+    if not m.is_square():
+        raise ValueError("lattice operations need a square matrix")
+    if not m.is_integer():
+        raise ValueError("lattice operations need integer entries")
+    return [[int(x) for x in row] for row in m.rows]
+
+
+def is_unimodular(m: FractionMatrix) -> bool:
+    """Integer square matrix with determinant ±1."""
+    if not m.is_square() or not m.is_integer():
+        return False
+    return abs(m.determinant()) == 1
+
+
+def column_hermite_normal_form(m: FractionMatrix) -> FractionMatrix:
+    """The column-style HNF of a nonsingular integer matrix.
+
+    Computed by integer column operations (Euclidean reduction on each
+    row's entries to the right of the pivot, then sign/offset
+    normalisation) — the classical algorithm; exact throughout.
+    """
+    a = _to_int_matrix(m)
+    n = len(a)
+    if m.determinant() == 0:
+        raise ValueError("HNF here requires a nonsingular matrix")
+
+    # Work column-wise: for each row r, zero the entries a[r][c] for
+    # c > r using gcd column operations, keeping a[r][r] as the pivot.
+    for r in range(n):
+        # Euclidean elimination among columns r..n-1 on row r.
+        c = r + 1
+        while c < n:
+            if a[r][c] == 0:
+                c += 1
+                continue
+            if a[r][r] == 0:
+                for row in a:
+                    row[r], row[c] = row[c], row[r]
+                continue
+            q = a[r][c] // a[r][r]
+            for row in a:
+                row[c] -= q * row[r]
+            if a[r][c] != 0:
+                for row in a:
+                    row[r], row[c] = row[c], row[r]
+            else:
+                c += 1
+        # Positive pivot.
+        if a[r][r] < 0:
+            for row in a:
+                row[r] = -row[r]
+        # Reduce the entries *left* of the pivot into [0, pivot).
+        for c in range(r):
+            q = a[r][c] // a[r][r]
+            if q:
+                for row in a:
+                    row[c] -= q * row[r]
+    return FractionMatrix([[Fraction(x) for x in row] for row in a])
+
+
+def same_lattice(a: FractionMatrix, b: FractionMatrix) -> bool:
+    """Do the columns of ``a`` and ``b`` generate the same integer
+    lattice?  Decided by comparing Hermite normal forms."""
+    if a.shape != b.shape:
+        return False
+    return column_hermite_normal_form(a) == column_hermite_normal_form(b)

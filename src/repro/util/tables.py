@@ -1,0 +1,70 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness prints the same rows the paper's Figure 12 table
+reports; this module renders those rows as aligned monospace tables so the
+output is readable both on a terminal and inside EXPERIMENTS.md code
+blocks.  No third-party table library is used.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_kv"]
+
+
+def _cell(value: object, float_digits: int) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{float_digits}g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    float_digits: int = 6,
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned text table.
+
+    Floats are shown with ``float_digits`` significant digits.  Every row
+    must have the same arity as ``headers``.
+    """
+    if not headers:
+        raise ValueError("headers must be non-empty")
+    str_rows = []
+    for r in rows:
+        if len(r) != len(headers):
+            raise ValueError(
+                f"row {r!r} has {len(r)} cells, expected {len(headers)}"
+            )
+        str_rows.append([_cell(v, float_digits) for v in r])
+
+    widths = [len(h) for h in headers]
+    for r in str_rows:
+        for i, cell in enumerate(r):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(headers))
+    lines.append(fmt_row(["-" * w for w in widths]))
+    lines.extend(fmt_row(r) for r in str_rows)
+    return "\n".join(lines)
+
+
+def format_kv(pairs: Sequence[tuple[str, object]], *, float_digits: int = 6) -> str:
+    """Render key/value pairs with aligned keys, one per line."""
+    if not pairs:
+        return ""
+    key_width = max(len(k) for k, _ in pairs)
+    return "\n".join(
+        f"{k.ljust(key_width)} : {_cell(v, float_digits)}" for k, v in pairs
+    )

@@ -1,0 +1,100 @@
+"""Small argument-validation helpers shared across the library.
+
+These keep error messages uniform ("<name> must be ...") and make the
+public constructors short.  All raise ``ValueError``/``TypeError`` on bad
+input; they never coerce silently except for the documented int cast.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = [
+    "require_positive_int",
+    "require_nonnegative_int",
+    "require_positive_float",
+    "require_nonnegative_float",
+    "require_int_vector",
+    "require_same_length",
+]
+
+
+def require_positive_int(value: object, name: str) -> int:
+    """Return ``value`` as int, requiring an integral value > 0."""
+    iv = _as_int(value, name)
+    if iv <= 0:
+        raise ValueError(f"{name} must be positive, got {iv}")
+    return iv
+
+
+def require_nonnegative_int(value: object, name: str) -> int:
+    """Return ``value`` as int, requiring an integral value >= 0."""
+    iv = _as_int(value, name)
+    if iv < 0:
+        raise ValueError(f"{name} must be non-negative, got {iv}")
+    return iv
+
+
+def require_positive_float(value: object, name: str) -> float:
+    fv = _as_float(value, name)
+    if not fv > 0:
+        raise ValueError(f"{name} must be positive, got {fv}")
+    return fv
+
+
+def require_nonnegative_float(value: object, name: str) -> float:
+    fv = _as_float(value, name)
+    if fv < 0:
+        raise ValueError(f"{name} must be non-negative, got {fv}")
+    return fv
+
+
+def require_int_vector(values: Iterable[object], name: str) -> tuple[int, ...]:
+    """Convert an iterable of integral values to a tuple of ints."""
+    out = []
+    for k, v in enumerate(values):
+        out.append(_as_int(v, f"{name}[{k}]"))
+    if not out:
+        raise ValueError(f"{name} must be non-empty")
+    return tuple(out)
+
+
+def require_same_length(a: Sequence, b: Sequence, name_a: str, name_b: str) -> None:
+    if len(a) != len(b):
+        raise ValueError(
+            f"{name_a} (length {len(a)}) and {name_b} (length {len(b)}) "
+            "must have the same length"
+        )
+
+
+def _as_int(value: object, name: str) -> int:
+    if isinstance(value, bool):
+        raise TypeError(f"{name} must be an integer, got bool")
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    # numpy integer scalars
+    try:
+        import numpy as np
+
+        if isinstance(value, np.integer):
+            return int(value)
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        pass
+    raise TypeError(f"{name} must be an integer, got {value!r}")
+
+
+def _as_float(value: object, name: str) -> float:
+    if isinstance(value, bool):
+        raise TypeError(f"{name} must be a real number, got bool")
+    if isinstance(value, (int, float)):
+        return float(value)
+    try:
+        import numpy as np
+
+        if isinstance(value, (np.integer, np.floating)):
+            return float(value)
+    except ImportError:  # pragma: no cover
+        pass
+    raise TypeError(f"{name} must be a real number, got {value!r}")

@@ -1,0 +1,16 @@
+"""Text-mode visualisation: Gantt charts and sweep plots."""
+
+from repro.viz.ascii_plots import ascii_xy_plot, plot_sweep
+from repro.viz.gantt import GANTT_GLYPHS, render_gantt, render_utilization
+from repro.viz.svg import GANTT_COLORS, gantt_svg, sweep_svg
+
+__all__ = [
+    "GANTT_COLORS",
+    "GANTT_GLYPHS",
+    "ascii_xy_plot",
+    "gantt_svg",
+    "plot_sweep",
+    "render_gantt",
+    "render_utilization",
+    "sweep_svg",
+]

@@ -1,0 +1,102 @@
+"""Minimal ASCII line plots for completion-time-vs-V series.
+
+Renders the shape of Figures 9–11 in a terminal: log-x (tile heights are
+swept geometrically), linear-y, one glyph per series.  Not a plotting
+library — just enough to eyeball U-curves and crossovers in CI logs and
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from math import log
+from typing import Sequence
+
+__all__ = ["ascii_xy_plot", "plot_sweep"]
+
+
+def ascii_xy_plot(
+    series: Sequence[tuple[str, Sequence[float], Sequence[float]]],
+    *,
+    width: int = 72,
+    height: int = 20,
+    logx: bool = True,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Plot ``(name, xs, ys)`` series on one canvas.
+
+    Each series gets the glyph of its name's first character; overlapping
+    points keep the earlier series' glyph.
+    """
+    if width < 10 or height < 4:
+        raise ValueError("canvas too small")
+    pts = [
+        (name, list(xs), list(ys))
+        for name, xs, ys in series
+        if len(list(xs)) > 0
+    ]
+    if not pts:
+        return "(no data)"
+    for name, xs, ys in pts:
+        if len(xs) != len(ys):
+            raise ValueError(f"series {name!r} has mismatched x/y lengths")
+        if logx and any(x <= 0 for x in xs):
+            raise ValueError("log-x plot requires positive x values")
+
+    def tx(x: float) -> float:
+        return log(x) if logx else x
+
+    all_x = [tx(x) for _, xs, _ in pts for x in xs]
+    all_y = [y for _, _, ys in pts for y in ys]
+    x0, x1 = min(all_x), max(all_x)
+    y0, y1 = min(all_y), max(all_y)
+    xr = (x1 - x0) or 1.0
+    yr = (y1 - y0) or 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for name, xs, ys in pts:
+        g = name[0]
+        for x, y in zip(xs, ys):
+            cx = int((tx(x) - x0) / xr * (width - 1))
+            cy = int((y - y0) / yr * (height - 1))
+            row = height - 1 - cy
+            if canvas[row][cx] == " ":
+                canvas[row][cx] = g
+
+    raw_x = [x for _, xs, _ in pts for x in xs]
+    lines = [f"{y_label}  max={y1:.6g}"]
+    lines.extend("  |" + "".join(row) for row in canvas)
+    lines.append("  +" + "-" * width)
+    lines.append(
+        f"   min={y0:.6g}   {x_label}: {min(raw_x):g} .. {max(raw_x):g}"
+        + ("  (log scale)" if logx else "")
+    )
+    lines.append(
+        "   series: " + ", ".join(f"{name[0]}={name}" for name, _, _ in pts)
+    )
+    return "\n".join(lines)
+
+
+def plot_sweep(sweep_result, *, width: int = 72, height: int = 18,
+               include_model: bool = False) -> str:
+    """Figure-9-style plot of one sweep: both simulated curves, plus the
+    analytic eq.-(3)/(4) curves with ``include_model=True``."""
+    pts = sweep_result.points
+    xs = [p.v for p in pts]
+    series = [
+        ("non-overlapping (sim)", xs, [p.t_nonoverlap_sim for p in pts]),
+        ("overlapping (sim)", xs, [p.t_overlap_sim for p in pts]),
+    ]
+    if include_model:
+        series += [
+            ("Model non-overlap", xs, [p.t_nonoverlap_model for p in pts]),
+            ("Theory overlap", xs, [p.t_overlap_model for p in pts]),
+        ]
+    return ascii_xy_plot(
+        series,
+        width=width,
+        height=height,
+        logx=True,
+        x_label="tile height V",
+        y_label="completion time (s)",
+    )

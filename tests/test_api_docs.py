@@ -1,0 +1,23 @@
+"""The checked-in API reference must match the code's public surface."""
+
+import pathlib
+import subprocess
+import sys
+
+
+def test_api_docs_current():
+    script = pathlib.Path(__file__).parent.parent / "scripts" / "gen_api_docs.py"
+    result = subprocess.run(
+        [sys.executable, str(script), "--check"],
+        capture_output=True, text=True,
+    )
+    assert result.returncode == 0, result.stderr
+
+
+def test_api_docs_cover_all_subpackages():
+    api = (pathlib.Path(__file__).parent.parent / "docs" / "api.md").read_text()
+    for mod in ("repro.ir", "repro.tiling", "repro.schedule", "repro.model",
+                "repro.sim", "repro.runtime", "repro.kernels",
+                "repro.codegen", "repro.experiments", "repro.uetuct",
+                "repro.viz", "repro.util"):
+        assert f"## `{mod}`" in api

@@ -1,0 +1,102 @@
+"""Smoke tests of the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure_args(self):
+        args = build_parser().parse_args(["figure", "i", "--points", "4"])
+        assert args.experiment == "i"
+        assert args.points == 4
+        assert not args.full
+
+    def test_machine_choice(self):
+        args = build_parser().parse_args(["--machine", "sci", "examples"])
+        assert args.machine == "sci"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--machine", "cray", "examples"])
+
+
+class TestCommands:
+    def test_examples(self, capsys):
+        assert main(["examples"]) == 0
+        out = capsys.readouterr().out
+        assert "400036" in out
+        assert "179700" in out
+
+    def test_verify(self, capsys):
+        assert main(["verify", "--v", "8"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("[PASS]") == 4
+
+    def test_figure_reduced_with_explicit_heights(self, capsys):
+        assert main(["figure", "iii", "--heights", "32,64"]) == 0
+        out = capsys.readouterr().out
+        assert "improvement at optima" in out
+        assert "32" in out
+
+    def test_gantt(self, capsys):
+        assert main(["gantt", "--v", "512", "--width", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "non-overlapping" in out and "overlapping" in out
+        assert "#" in out
+
+    def test_codegen_mpi(self, capsys):
+        assert main(["codegen", "mpi", "--schedule", "overlap"]) == 0
+        out = capsys.readouterr().out
+        assert "ProcNB" in out and "MPI_Isend" in out
+
+    def test_codegen_mpi_blocking(self, capsys):
+        assert main(["codegen", "mpi", "--schedule", "nonoverlap"]) == 0
+        assert "ProcB" in capsys.readouterr().out
+
+    def test_codegen_loops(self, capsys):
+        assert main(["codegen", "loops", "--order", "wavefront"]) == 0
+        out = capsys.readouterr().out
+        assert "def run(data):" in out
+        assert "for step in range(" in out
+
+    def test_sci_machine_examples(self, capsys):
+        assert main(["--machine", "sci", "verify"]) == 0
+        assert capsys.readouterr().out.count("[PASS]") == 4
+
+
+class TestCampaignAndTrace:
+    def test_campaign_run_and_compare(self, tmp_path, capsys):
+        out = str(tmp_path / "camp.json")
+        assert main(["campaign", "run", "--out", out]) == 0
+        text = capsys.readouterr().out
+        assert "saved to" in text
+        # Self-comparison: no regressions, exit 0.
+        assert main(["campaign", "compare", "--baseline", out, "--out", out]) == 0
+        text = capsys.readouterr().out
+        assert "campaign comparison" in text
+        assert "+0.0%" in text
+
+    def test_trace_dump(self, tmp_path, capsys):
+        import json
+
+        out = str(tmp_path / "tr.json")
+        assert main(["trace", "--v", "256", "--out", out]) == 0
+        assert "Perfetto" in capsys.readouterr().out
+        events = json.loads(open(out).read())["traceEvents"]
+        assert events
+        assert {"name", "ph", "ts", "dur", "tid"} <= set(events[0])
+
+
+class TestPlanCommand:
+    def test_plan_and_run(self, capsys):
+        assert main(["plan", "--extents", "16,16,1024", "--processors", "16",
+                     "--run"]) == 0
+        out = capsys.readouterr().out
+        assert "V=" in out and "simulated:" in out
+
+    def test_plan_bad_kernel(self):
+        with pytest.raises(SystemExit):
+            main(["plan", "--kernel", "nope"])

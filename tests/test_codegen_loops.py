@@ -1,0 +1,157 @@
+"""Generated tiled loops must compute exactly what the reference does."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codegen.emitter import CodeWriter
+from repro.codegen.loops import (
+    compile_tiled_loops,
+    generate_tiled_loops,
+    kernel_expression,
+)
+from repro.ir.loopnest import IterationSpace
+from repro.kernels.library import lcs_kernel_2d, sum_kernel_4d
+from repro.kernels.stencil import (
+    StencilKernel,
+    allocate_with_halo,
+    sequential_reference,
+    sqrt_kernel_3d,
+    sum_kernel_2d,
+)
+from repro.tiling.transform import rectangular_tiling
+from repro.util.intmat import FractionMatrix
+from repro.tiling.transform import TilingTransformation
+
+
+def _run_generated(kernel, extents, sides, **kwargs):
+    space = IterationSpace.from_extents(extents)
+    fn = compile_tiled_loops(kernel, space, rectangular_tiling(sides), **kwargs)
+    data, halo = allocate_with_halo(kernel, space)
+    fn(data)
+    interior = tuple(slice(h, None) for h in halo)
+    return data[interior], sequential_reference(kernel, space)
+
+
+class TestCodeWriter:
+    def test_indentation(self):
+        w = CodeWriter()
+        w.line("a")
+        with w.block("if x:"):
+            w.line("b")
+        w.line("c")
+        assert w.source() == "a\nif x:\n    b\nc\n"
+
+    def test_block_close(self):
+        w = CodeWriter()
+        with w.block("void f() {", close="}"):
+            w.line("x;")
+        assert w.source() == "void f() {\n    x;\n}\n"
+
+    def test_dedent_guard(self):
+        with pytest.raises(ValueError):
+            CodeWriter().dedent()
+
+    def test_blank_line(self):
+        w = CodeWriter()
+        w.indent()
+        w.line()
+        assert w.source() == "\n"
+
+
+class TestKernelExpression:
+    def test_known_kernels(self):
+        assert kernel_expression(sum_kernel_2d(), ["a", "b", "c"]) == "a + b + c"
+        assert "math.sqrt(a)" in kernel_expression(sqrt_kernel_3d(), ["a", "b", "c"])
+
+    def test_combine_source_kernels(self):
+        expr = kernel_expression(lcs_kernel_2d(), ["a", "b", "c"])
+        assert expr.startswith("max(")
+
+    def test_unknown_kernel_rejected(self):
+        k = StencilKernel("mystery", ((-1,),), lambda v: v[0])
+        with pytest.raises(ValueError, match="no source expression"):
+            kernel_expression(k, ["a"])
+
+
+class TestGeneratedCorrectness:
+    @pytest.mark.parametrize("sides", [(1, 1), (4, 3), (5, 8), (13, 9)])
+    def test_2d_lexicographic(self, sides):
+        got, ref = _run_generated(sum_kernel_2d(), [13, 9], list(sides))
+        assert np.array_equal(got, ref)
+
+    @pytest.mark.parametrize("pi", [(1, 1), (1, 2), (3, 1)])
+    def test_2d_wavefront_any_valid_pi(self, pi):
+        got, ref = _run_generated(
+            sum_kernel_2d(), [12, 10], [4, 3], order="wavefront", pi=pi
+        )
+        assert np.array_equal(got, ref)
+
+    def test_3d(self):
+        got, ref = _run_generated(sqrt_kernel_3d(), [6, 6, 10], [2, 3, 4])
+        assert np.allclose(got, ref)
+
+    def test_4d(self):
+        got, ref = _run_generated(sum_kernel_4d(), [4, 4, 4, 6], [2, 2, 2, 3])
+        assert np.allclose(got, ref)
+
+    def test_nonlinear_kernel(self):
+        got, ref = _run_generated(lcs_kernel_2d(), [9, 9], [3, 4])
+        assert np.array_equal(got, ref)
+
+    @given(
+        st.integers(1, 10), st.integers(1, 10),
+        st.integers(1, 5), st.integers(1, 5),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_any_tile_size_matches(self, e1, e2, s1, s2):
+        got, ref = _run_generated(sum_kernel_2d(), [e1, e2], [s1, s2])
+        assert np.array_equal(got, ref)
+
+
+class TestGeneratedSource:
+    def test_header_and_function(self):
+        src = generate_tiled_loops(
+            sum_kernel_2d(), IterationSpace.from_extents([8, 8]),
+            rectangular_tiling([4, 4]),
+        )
+        assert "Auto-generated" in src
+        assert "def run(data):" in src
+        assert src.count("for t") == 2
+        assert src.count("for i") == 2
+
+    def test_custom_function_name(self):
+        src = generate_tiled_loops(
+            sum_kernel_2d(), IterationSpace.from_extents([8, 8]),
+            rectangular_tiling([4, 4]), function_name="tiled_sum",
+        )
+        assert "def tiled_sum(data):" in src
+
+    def test_wavefront_emits_step_loop(self):
+        src = generate_tiled_loops(
+            sum_kernel_2d(), IterationSpace.from_extents([8, 8]),
+            rectangular_tiling([4, 4]), order="wavefront",
+        )
+        assert "for step in range(" in src
+
+    def test_validation(self):
+        space = IterationSpace.from_extents([8, 8])
+        skewed = TilingTransformation(P=FractionMatrix([[2, 1], [0, 2]]))
+        with pytest.raises(ValueError, match="rectangular"):
+            generate_tiled_loops(sum_kernel_2d(), space, skewed)
+        with pytest.raises(ValueError, match="unknown order"):
+            generate_tiled_loops(
+                sum_kernel_2d(), space, rectangular_tiling([4, 4]),
+                order="spiral",
+            )
+        with pytest.raises(ValueError, match="0-based"):
+            generate_tiled_loops(
+                sum_kernel_2d(), IterationSpace([1, 0], [8, 8]),
+                rectangular_tiling([4, 4]),
+            )
+        with pytest.raises(ValueError, match="positive"):
+            generate_tiled_loops(
+                sum_kernel_2d(), space, rectangular_tiling([4, 4]),
+                order="wavefront", pi=(1, 0),
+            )

@@ -1,0 +1,107 @@
+"""Structural tests of the emitted SPMD MPI listings."""
+
+import re
+
+import pytest
+
+from repro.codegen.mpi_c import (
+    generate_proc_b,
+    generate_proc_nb,
+    generate_spmd_program,
+)
+from repro.ir.loopnest import IterationSpace
+from repro.kernels.stencil import sqrt_kernel_3d, sum_kernel_2d
+from repro.kernels.workloads import StencilWorkload, paper_experiment_i
+
+
+def _w3d():
+    return StencilWorkload(
+        "w", IterationSpace.from_extents([8, 8, 64]),
+        sqrt_kernel_3d(), (2, 2, 1), 2,
+    )
+
+
+class TestProcB:
+    def test_order_recv_compute_send(self):
+        src = generate_proc_b(_w3d(), 8)
+        recv = src.index("MPI_Recv")
+        comp = src.index("compute(")
+        send = src.index("MPI_Send")
+        assert recv < comp < send
+
+    def test_one_primitive_per_direction(self):
+        src = generate_proc_b(_w3d(), 8)
+        assert src.count("MPI_Recv") == 2  # two communicating dims
+        assert src.count("MPI_Send") == 2
+        assert "MPI_Isend" not in src
+        assert "MPI_Wait" not in src
+
+    def test_tags_are_dimensions(self):
+        src = generate_proc_b(_w3d(), 8)
+        assert "/*tag=*/0" in src and "/*tag=*/1" in src
+
+    def test_tile_count_in_loop(self):
+        src = generate_proc_b(_w3d(), 8)
+        assert "m < 8" in src  # 64 / 8 tiles
+
+
+class TestProcNB:
+    def test_paper_ordering_isend_irecv_compute_wait(self):
+        """The pipelined loop body: Isend(m-1), Irecv(m+1), compute(m),
+        Waitall — the paper's ProcNB order."""
+        src = generate_proc_nb(_w3d(), 8)
+        body = src.split("for (int m", 1)[1]
+        isend = body.index("MPI_Isend")
+        irecv = body.index("MPI_Irecv")
+        comp = body.index("compute(")
+        wait = body.index("MPI_Waitall")
+        assert isend < irecv < comp < wait
+
+    def test_prologue_and_epilogue_present(self):
+        src = generate_proc_nb(_w3d(), 8)
+        assert "prologue" in src
+        assert "epilogue" in src
+        pro = src.split("for (int m")[0]
+        assert "MPI_Irecv" in pro and "MPI_Waitall" in pro
+
+    def test_m_offsets(self):
+        src = generate_proc_nb(_w3d(), 8)
+        assert "tiles[m-1]" in src  # sends previous tile's results
+        assert "ghost[0](m+1)" in src  # receives next tile's ghosts
+
+    def test_blocking_primitives_absent(self):
+        src = generate_proc_nb(_w3d(), 8)
+        assert "MPI_Recv(" not in src.replace("MPI_Irecv(", "")
+        assert re.search(r"\bMPI_Send\(", src) is None
+
+    def test_request_array_size(self):
+        src = generate_proc_nb(_w3d(), 8)
+        assert "MPI_Request req[4];" in src  # 2 dims × (send + recv)
+
+
+class TestFullProgram:
+    def test_contains_main_and_routine(self):
+        for blocking, name in ((True, "ProcB"), (False, "ProcNB")):
+            src = generate_spmd_program(_w3d(), 8, blocking=blocking)
+            assert f"void {name}(" in src
+            assert "int main(" in src
+            assert "MPI_Init" in src and "MPI_Finalize" in src
+            assert f"{name}(coords" in src
+
+    def test_paper_workload_header(self):
+        src = generate_spmd_program(paper_experiment_i(), 444, blocking=False)
+        assert "16x16x16384" in src
+        assert "4x4x444" in src
+        assert "4x4" in src
+
+    def test_2d_single_neighbor(self):
+        w = StencilWorkload(
+            "w2", IterationSpace.from_extents([64, 16]),
+            sum_kernel_2d(), (1, 2), 0,
+        )
+        src = generate_proc_nb(w, 8)
+        # One communicating dimension → one Isend + one Irecv per step.
+        body = src.split("for (int m", 1)[1].split("epilogue", 1)[0]
+        assert body.count("MPI_Isend") == 1
+        assert body.count("MPI_Irecv") == 1
+        assert "MPI_Request req[2];" in src

@@ -1,0 +1,175 @@
+"""Generated mpi4py programs: executed on the fake backend, verified
+against the sequential golden model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codegen.fake_mpi import (
+    FakeComm,
+    FakeWorld,
+    fake_mpi_module,
+    run_generated_script,
+)
+from repro.codegen.mpi4py_gen import generate_mpi4py_program
+from repro.ir.loopnest import IterationSpace
+from repro.kernels.library import anisotropic_3d, lcs_kernel_2d
+from repro.kernels.stencil import sequential_reference, sqrt_kernel_3d, sum_kernel_2d
+from repro.kernels.workloads import StencilWorkload
+
+
+def _w3d():
+    return StencilWorkload(
+        "g3", IterationSpace.from_extents([8, 8, 32]),
+        sqrt_kernel_3d(), (2, 2, 1), 2,
+    )
+
+
+def _w2d():
+    return StencilWorkload(
+        "g2", IterationSpace.from_extents([32, 16]),
+        sum_kernel_2d(), (1, 4), 0,
+    )
+
+
+class TestGeneratedSource:
+    def test_compiles(self):
+        src = generate_mpi4py_program(_w3d(), 8, blocking=False)
+        compile(src, "<gen>", "exec")
+
+    def test_self_contained_imports(self):
+        src = generate_mpi4py_program(_w3d(), 8, blocking=False)
+        assert "from mpi4py import MPI" in src
+        assert "import numpy as np" in src
+        assert "repro" not in src  # no dependence on this library
+
+    def test_blocking_uses_blocking_primitives(self):
+        src = generate_mpi4py_program(_w3d(), 8, blocking=True)
+        assert "comm.recv(" in src and "comm.send(" in src
+        assert "comm.irecv(" not in src
+
+    def test_pipelined_uses_nonblocking_primitives(self):
+        src = generate_mpi4py_program(_w3d(), 8, blocking=False)
+        assert "comm.isend(" in src and "comm.irecv(" in src
+        assert "MPI.Request.waitall" in src
+        assert "prologue" in src and "epilogue" in src
+
+    def test_mpiexec_hint(self):
+        src = generate_mpi4py_program(_w3d(), 8, blocking=False)
+        assert "mpiexec -n 4" in src
+
+    def test_multi_cross_dependence_rejected(self):
+        from repro.kernels.stencil import StencilKernel
+
+        k = StencilKernel(
+            "bad", ((0, -1, -1), (-1, 0, 0)), lambda v: v[0] + v[1],
+            combine_source=lambda r: " + ".join(r),
+        )
+        w = StencilWorkload(
+            "bad", IterationSpace.from_extents([8, 8, 8]), k, (1, 2, 2), 0,
+        )
+        with pytest.raises(ValueError, match="crosses more than one"):
+            generate_mpi4py_program(w, 4, blocking=False)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_mpi4py_program(_w3d(), 0, blocking=True)
+
+
+class TestExecutedOnFakeMpi:
+    @pytest.mark.parametrize("blocking", [True, False])
+    def test_3d_matches_reference(self, blocking):
+        w = _w3d()
+        src = generate_mpi4py_program(w, 8, blocking=blocking)
+        out = run_generated_script(src, w.num_processors)
+        assert np.array_equal(out, sequential_reference(w.kernel, w.space))
+
+    @pytest.mark.parametrize("blocking", [True, False])
+    def test_2d_diagonal_matches_reference(self, blocking):
+        w = _w2d()
+        src = generate_mpi4py_program(w, 4, blocking=blocking)
+        out = run_generated_script(src, w.num_processors)
+        assert np.array_equal(out, sequential_reference(w.kernel, w.space))
+
+    def test_non_dividing_height(self):
+        w = _w3d()
+        src = generate_mpi4py_program(w, 7, blocking=False)
+        out = run_generated_script(src, w.num_processors)
+        assert np.array_equal(out, sequential_reference(w.kernel, w.space))
+
+    def test_library_kernels(self):
+        for kernel, extents, procs, md in (
+            (lcs_kernel_2d(), (16, 16), (1, 4), 0),
+            (anisotropic_3d(), (8, 8, 16), (2, 2, 1), 2),
+        ):
+            w = StencilWorkload("lib", IterationSpace.from_extents(list(extents)),
+                                kernel, procs, md)
+            src = generate_mpi4py_program(w, 4, blocking=False)
+            out = run_generated_script(src, w.num_processors)
+            assert np.array_equal(
+                out, sequential_reference(w.kernel, w.space)
+            ), kernel.name
+
+    def test_matches_simulator_numeric_run(self):
+        from repro.model.machine import pentium_cluster
+        from repro.runtime.executor import run_tiled
+
+        w = _w3d()
+        src = generate_mpi4py_program(w, 8, blocking=False)
+        gen = run_generated_script(src, w.num_processors)
+        sim = run_tiled(w, 8, pentium_cluster(), blocking=False, numeric=True)
+        assert np.array_equal(gen, sim.result)
+
+
+class TestFakeMpiPrimitives:
+    def test_point_to_point(self):
+        world = FakeWorld(2)
+        c0, c1 = FakeComm(world, 0), FakeComm(world, 1)
+        c0.send({"x": 1}, dest=1, tag=3)
+        assert c1.recv(source=0, tag=3) == {"x": 1}
+
+    def test_isend_irecv_waitall(self):
+        world = FakeWorld(2)
+        c0, c1 = FakeComm(world, 0), FakeComm(world, 1)
+        c0.isend("a", dest=1).wait()
+        req = c1.irecv(source=0)
+        mpi = fake_mpi_module().MPI
+        assert mpi.Request.waitall([req]) == ["a"]
+
+    def test_numpy_payload_copied(self):
+        world = FakeWorld(2)
+        c0, c1 = FakeComm(world, 0), FakeComm(world, 1)
+        arr = np.ones(3)
+        c0.send(arr, dest=1)
+        arr[0] = 99
+        assert c1.recv(source=0)[0] == 1.0
+
+    def test_size_rank(self):
+        world = FakeWorld(3)
+        assert FakeComm(world, 2).Get_rank() == 2
+        assert FakeComm(world, 2).Get_size() == 3
+
+    def test_world_validation(self):
+        with pytest.raises(ValueError):
+            FakeWorld(0)
+
+
+class TestRandomizedGeneratedPrograms:
+    @given(
+        st.integers(2, 4),   # processors
+        st.integers(2, 4),   # tiles of cross extent per processor
+        st.integers(6, 24),  # mapped extent
+        st.integers(1, 24),  # tile height (clipped to extent below)
+        st.booleans(),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_random_2d_geometry(self, procs, per, depth, v, blocking):
+        v = min(v, depth)
+        w = StencilWorkload(
+            "rand", IterationSpace.from_extents([depth, procs * per]),
+            sum_kernel_2d(), (1, procs), 0,
+        )
+        src = generate_mpi4py_program(w, v, blocking=blocking)
+        out = run_generated_script(src, w.num_processors)
+        assert np.array_equal(out, sequential_reference(w.kernel, w.space))

@@ -1,0 +1,47 @@
+"""Smoke tests: the fast example scripts must run cleanly end to end.
+
+The two long-running examples (cluster_stencil3d, machine_projection)
+are exercised by the benchmarks instead; here we keep the suite quick.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "tile_shape_tuning.py",
+    "compile_from_source.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True, text=True, timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()
+
+
+def test_quickstart_shows_improvement():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True, text=True, timeout=120,
+    )
+    assert "improvement" in result.stdout
+    assert "V_comm" in result.stdout or "20" in result.stdout
+
+
+def test_all_examples_exist():
+    present = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {
+        "quickstart.py", "cluster_stencil3d.py", "pipeline_2d.py",
+        "gantt_schedules.py", "tile_shape_tuning.py",
+        "machine_projection.py", "compile_from_source.py",
+    } <= present

@@ -1,0 +1,147 @@
+"""Campaign framework: configs, runs, persistence, machine comparison."""
+
+import pytest
+
+from repro.experiments.campaign import (
+    KERNELS,
+    MACHINES,
+    CampaignRecord,
+    ExperimentConfig,
+    compare_machines,
+    load_records,
+    run_campaign,
+    save_records,
+)
+
+
+def _cfg(**overrides) -> ExperimentConfig:
+    base = dict(
+        name="camp",
+        extents=(8, 8, 512),
+        procs_per_dim=(2, 2, 1),
+        mapped_dim=2,
+        kernel="sqrt3d",
+        machine="pentium",
+        heights=(32, 64, 128),
+    )
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+class TestConfig:
+    def test_registries_cover_all_library_kernels(self):
+        assert {"sum2d", "sqrt3d", "lcs_2d", "binomial_2d",
+                "gauss_seidel_2d", "anisotropic_3d", "sum_4d"} <= set(KERNELS)
+        assert {"pentium", "sci", "example1", "ideal"} <= set(MACHINES)
+
+    def test_workload_construction(self):
+        w = _cfg().workload()
+        assert w.space.extents == (8, 8, 512)
+        assert w.kernel.name == "sqrt3d"
+
+    def test_unknown_kernel(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            _cfg(kernel="nope")
+
+    def test_unknown_machine(self):
+        with pytest.raises(ValueError, match="unknown machine"):
+            _cfg(machine="nope")
+
+    def test_empty_heights(self):
+        with pytest.raises(ValueError):
+            _cfg(heights=())
+
+
+class TestRunAndPersist:
+    @pytest.fixture(scope="class")
+    def records(self):
+        return run_campaign([_cfg(), _cfg(name="camp2", kernel="anisotropic_3d")])
+
+    def test_records_structure(self, records):
+        assert len(records) == 2
+        r = records[0]
+        assert isinstance(r, CampaignRecord)
+        assert len(r.points) == 3
+        assert r.v_opt_overlap in (32, 64, 128)
+        assert 0 < r.improvement < 1
+
+    def test_kernel_affects_results(self, records):
+        # The anisotropic kernel has an extra dependence and thus a
+        # different time profile (at minimum, identical is suspicious).
+        assert records[0].t_opt_overlap != records[1].t_opt_overlap
+
+    def test_json_roundtrip(self, records, tmp_path):
+        path = str(tmp_path / "records.json")
+        save_records(records, path)
+        loaded = load_records(path)
+        assert len(loaded) == len(records)
+        assert loaded[0].config == records[0].config
+        assert loaded[0].improvement == pytest.approx(records[0].improvement)
+        assert loaded[0].points[0]["v"] == records[0].points[0]["v"]
+
+
+class TestCompareMachines:
+    def test_sci_projection(self):
+        records, table = compare_machines(_cfg(), ["pentium", "sci"])
+        assert len(records) == 2
+        by_machine = {r.config.machine: r for r in records}
+        # SCI's faster fabric beats FastEthernet at the optimum.
+        assert by_machine["sci"].t_opt_overlap < (
+            by_machine["pentium"].t_opt_overlap
+        )
+        assert "machine comparison" in table
+        assert "sci" in table and "pentium" in table
+
+
+class TestDiffRecords:
+    def _record(self, name, t_ovl, t_non):
+        from repro.experiments.campaign import CampaignRecord
+
+        return CampaignRecord(
+            config=_cfg(name=name),
+            points=(),
+            v_opt_overlap=64,
+            t_opt_overlap=t_ovl,
+            v_opt_nonoverlap=64,
+            t_opt_nonoverlap=t_non,
+            improvement=1 - t_ovl / t_non,
+        )
+
+    def test_no_change_no_regression(self):
+        from repro.experiments.campaign import diff_records
+
+        base = [self._record("a", 0.10, 0.15)]
+        deltas = diff_records(base, base)
+        assert len(deltas) == 1
+        assert not deltas[0].regressed
+        assert deltas[0].overlap_delta == pytest.approx(0.0)
+
+    def test_slowdown_flagged(self):
+        from repro.experiments.campaign import diff_records
+
+        base = [self._record("a", 0.10, 0.15)]
+        cur = [self._record("a", 0.12, 0.15)]
+        deltas = diff_records(base, cur, tolerance=0.05)
+        assert deltas[0].regressed
+        assert deltas[0].overlap_delta == pytest.approx(0.2)
+
+    def test_speedup_not_flagged(self):
+        from repro.experiments.campaign import diff_records
+
+        base = [self._record("a", 0.10, 0.15)]
+        cur = [self._record("a", 0.08, 0.14)]
+        assert not diff_records(base, cur)[0].regressed
+
+    def test_mismatched_campaigns(self):
+        from repro.experiments.campaign import diff_records
+
+        with pytest.raises(ValueError, match="differing configs"):
+            diff_records([self._record("a", 1, 2)], [self._record("b", 1, 2)])
+
+    def test_render(self):
+        from repro.experiments.campaign import diff_records, render_deltas
+
+        base = [self._record("a", 0.10, 0.15)]
+        out = render_deltas(diff_records(base, base))
+        assert "campaign comparison" in out
+        assert "a" in out

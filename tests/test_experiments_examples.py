@@ -1,0 +1,62 @@
+"""The paper's worked examples must reproduce exactly."""
+
+import pytest
+
+from repro.experiments.examples_paper import example1, example3
+
+
+class TestExample1:
+    """§3 Example 1, every intermediate number."""
+
+    def setup_method(self):
+        self.e = example1()
+
+    def test_grain(self):
+        assert self.e.grain == pytest.approx(100.0)
+        assert self.e.tile_side == 10
+
+    def test_tiled_space(self):
+        assert self.e.tiled_extents == (1000, 100)
+        assert self.e.mapped_dim == 0
+
+    def test_communication_volume(self):
+        assert self.e.v_comm == pytest.approx(20.0)
+
+    def test_step_components_in_tc(self):
+        assert self.e.t_comp_tc == pytest.approx(100.0)
+        assert self.e.t_startup_tc == pytest.approx(200.0)
+        assert self.e.t_transmit_tc == pytest.approx(64.0)  # 20·4·0.8
+
+    def test_schedule_length(self):
+        assert self.e.schedule_length == 1099
+
+    def test_total(self):
+        assert self.e.total_tc == pytest.approx(400036.0)
+        assert self.e.total_seconds == pytest.approx(0.400036)
+
+
+class TestExample3:
+    """§4 Example 3: the overlapping schedule on the same loop."""
+
+    def setup_method(self):
+        self.e = example3()
+
+    def test_pi(self):
+        assert self.e.pi == (1, 2)
+
+    def test_schedule_length(self):
+        assert self.e.schedule_length == 1198
+
+    def test_cpu_bound(self):
+        assert self.e.cpu_bound
+        assert self.e.comm_side_tc < self.e.cpu_side_tc
+
+    def test_paper_total(self):
+        assert self.e.total_tc_paper_style == pytest.approx(179700.0)
+        # The paper prints "0.24 secs" but 179 700 µs is 0.1797 s; we keep
+        # the arithmetic and note the slip in EXPERIMENTS.md.
+        assert self.e.total_seconds_paper_style == pytest.approx(0.1797)
+
+    def test_overlap_beats_example1(self):
+        e1 = example1()
+        assert self.e.total_tc_paper_style < e1.total_tc

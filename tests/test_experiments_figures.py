@@ -1,0 +1,121 @@
+"""Tests for the V-sweep harness on reduced-size workloads."""
+
+import pytest
+
+from repro.experiments.figures import (
+    SweepPoint,
+    analytic_step,
+    analytic_times,
+    default_heights,
+    sweep,
+)
+from repro.ir.loopnest import IterationSpace
+from repro.kernels.stencil import sqrt_kernel_3d
+from repro.kernels.workloads import StencilWorkload, paper_experiment_i
+from repro.model.machine import pentium_cluster
+
+
+def _small():
+    return StencilWorkload(
+        "small", IterationSpace.from_extents([8, 8, 1024]),
+        sqrt_kernel_3d(), (2, 2, 1), 2,
+    )
+
+
+class TestDefaultHeights:
+    def test_paper_range(self):
+        w = paper_experiment_i()
+        hs = default_heights(w, max_points=10)
+        assert hs[0] == 4
+        assert hs[-1] == 16384 // 4
+        assert all(a < b for a, b in zip(hs, hs[1:]))
+        assert len(hs) <= 11
+
+    def test_small_extent(self):
+        w = StencilWorkload(
+            "tiny", IterationSpace.from_extents([4, 4, 8]),
+            sqrt_kernel_3d(), (2, 2, 1), 2,
+        )
+        hs = default_heights(w)
+        # extent/4 = 2 < minimum 4: a single clipped height is returned.
+        assert hs == [4]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            default_heights(_small(), max_points=1)
+
+
+class TestAnalytic:
+    def test_step_costs_positive(self):
+        sc = analytic_step(_small(), pentium_cluster(), 64)
+        assert sc.a2_compute > 0
+        assert sc.b4_transmit > 0
+
+    def test_times_positive_and_ordered(self):
+        t_non, t_ovl = analytic_times(_small(), pentium_cluster(), 64)
+        assert 0 < t_ovl
+        assert 0 < t_non
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return sweep(_small(), pentium_cluster(), heights=[8, 32, 64, 128, 256])
+
+    def test_points_structure(self, result):
+        assert len(result.points) == 5
+        for p in result.points:
+            assert isinstance(p, SweepPoint)
+            assert p.t_overlap_sim > 0
+            assert p.grain == 16 * p.v
+
+    def test_overlap_below_nonoverlap_everywhere(self, result):
+        for p in result.points:
+            assert p.t_overlap_sim < p.t_nonoverlap_sim
+            assert 0 < p.improvement_sim < 1
+
+    def test_u_shape(self, result):
+        """Interior optimum: the ends of the sweep are worse than the best."""
+        times = [p.t_overlap_sim for p in result.points]
+        best = min(times)
+        assert times[0] > best
+        assert times[-1] > best
+
+    def test_best_and_improvement(self, result):
+        b_ovl = result.best(overlap=True)
+        b_non = result.best(overlap=False)
+        assert b_ovl.t_overlap_sim == min(p.t_overlap_sim for p in result.points)
+        assert b_non.t_nonoverlap_sim == min(
+            p.t_nonoverlap_sim for p in result.points
+        )
+        assert 0 < result.optimal_improvement_sim < 1
+
+    def test_model_curves_bound_sim(self, result):
+        """The paper's eq.-(3)/(4) models charge every processor the
+        interior-processor step, so on this 2×2 grid (corner ranks only)
+        they are conservative upper bounds — within a factor of 2."""
+        for p in result.points:
+            assert p.t_nonoverlap_sim <= p.t_nonoverlap_model * 1.05
+            assert p.t_nonoverlap_sim >= p.t_nonoverlap_model * 0.4
+            assert p.t_overlap_sim <= p.t_overlap_model * 1.05
+            assert p.t_overlap_sim >= p.t_overlap_model * 0.4
+
+    def test_model_best(self, result):
+        b = result.best(overlap=True, simulated=False)
+        assert b.t_overlap_model == min(p.t_overlap_model for p in result.points)
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ValueError):
+            sweep(_small(), pentium_cluster(), heights=[])
+
+
+class TestRenderers:
+    def test_render_sweep(self):
+        from repro.experiments.report import render_sweep, render_sweep_summary
+
+        r = sweep(_small(), pentium_cluster(), heights=[32, 128])
+        table = render_sweep(r)
+        assert "overlap sim" in table
+        assert "32" in table
+        summary = render_sweep_summary(r)
+        assert "improvement at optima" in summary

@@ -1,0 +1,69 @@
+"""Tests for the Figure 12 table assembly (on a reduced workload)."""
+
+import pytest
+
+from repro.experiments.figures import sweep
+from repro.experiments.table12 import render_table12, table12, table12_row
+from repro.ir.loopnest import IterationSpace
+from repro.kernels.stencil import sqrt_kernel_3d
+from repro.kernels.workloads import StencilWorkload
+from repro.model.machine import pentium_cluster
+
+
+def _small(name="small"):
+    """A 4×4 processor grid (like the paper) so interior ranks exist and
+    the interior-processor theory applies; reduced depth for speed."""
+    return StencilWorkload(
+        name, IterationSpace.from_extents([16, 16, 1024]),
+        sqrt_kernel_3d(), (4, 4, 1), 2,
+    )
+
+
+@pytest.fixture(scope="module")
+def row():
+    w = _small()
+    m = pentium_cluster()
+    sr = sweep(w, m, heights=[16, 64, 128, 256])
+    return table12_row(w, m, sr)
+
+
+class TestTable12Row:
+    def test_v_optimal_from_sweep(self, row):
+        assert row.v_optimal in (16, 64, 128, 256)
+
+    def test_grain_and_packet(self, row):
+        assert row.grain_optimal == 16 * row.v_optimal
+        assert row.packet_bytes == 4 * row.v_optimal * 4
+
+    def test_improvement_in_sane_band(self, row):
+        assert 0.05 < row.improvement < 0.6
+
+    def test_theory_close_to_simulation(self, row):
+        """The paper reports 2.5–12 % gaps; allow a wider but bounded band."""
+        assert row.sim_vs_theory < 0.30
+
+    def test_fill_time_positive(self, row):
+        assert row.t_fill_mpi_buffer > 0
+        assert row.steps_paper_approx > 0
+
+    def test_overlap_beats_nonoverlap(self, row):
+        assert row.t_overlap_sim < row.t_nonoverlap_sim
+
+
+class TestTable12Assembly:
+    def test_multiple_rows_and_render(self):
+        w1, w2 = _small("a"), _small("b")
+        m = pentium_cluster()
+        sweeps = [sweep(w, m, heights=[64, 128]) for w in (w1, w2)]
+        rows = table12(workloads=[w1, w2], machine=m, sweeps=sweeps)
+        assert [r.workload_name for r in rows] == ["a", "b"]
+        text = render_table12(rows)
+        assert "V_optimal" in text
+        assert "improvement" in text
+        assert "a" in text and "b" in text
+
+    def test_sweep_alignment_checked(self):
+        w = _small()
+        m = pentium_cluster()
+        with pytest.raises(ValueError):
+            table12([w], m, sweeps=[])

@@ -1,0 +1,109 @@
+"""End-to-end reproduction checks at reduced scale.
+
+These are the tests that tie the whole stack together: paper-shaped
+workloads (shrunk along the mapped dimension for CI speed) must show the
+paper's qualitative results — U-curves, overlap dominance, improvement in
+a sensible band, and the theoretical model tracking the simulation.  The
+full-size runs live in benchmarks/.
+"""
+
+import pytest
+
+from repro.experiments.figures import sweep
+from repro.experiments.table12 import table12_row
+from repro.ir.loopnest import IterationSpace
+from repro.kernels.stencil import sqrt_kernel_3d
+from repro.kernels.workloads import StencilWorkload
+from repro.model.machine import pentium_cluster
+from repro.runtime.verify import verify_workload
+
+
+def _reduced_experiment_i(depth=2048):
+    """Experiment i with the k-extent shrunk 8×: same cross-section,
+    same per-step costs, fewer steps."""
+    return StencilWorkload(
+        "reduced-i", IterationSpace.from_extents([16, 16, depth]),
+        sqrt_kernel_3d(), (4, 4, 1), 2,
+    )
+
+
+HEIGHTS = [8, 16, 32, 64, 128, 256]
+
+
+@pytest.fixture(scope="module")
+def sweep_result():
+    return sweep(_reduced_experiment_i(), pentium_cluster(), heights=HEIGHTS)
+
+
+class TestFigure9Shape:
+    def test_overlap_strictly_better_at_every_height(self, sweep_result):
+        for p in sweep_result.points:
+            assert p.t_overlap_sim < p.t_nonoverlap_sim
+
+    def test_u_curves_have_interior_minima(self, sweep_result):
+        for curve in (
+            [p.t_overlap_sim for p in sweep_result.points],
+            [p.t_nonoverlap_sim for p in sweep_result.points],
+        ):
+            best_idx = curve.index(min(curve))
+            assert 0 < best_idx < len(curve) - 1
+
+    def test_improvement_in_paper_band(self, sweep_result):
+        """Paper Fig. 12: 32–38 % at full scale; the reduced depth keeps
+        the same steady-state step costs, so the band holds loosely."""
+        impr = sweep_result.optimal_improvement_sim
+        assert 0.20 < impr < 0.50
+
+    def test_theory_tracks_simulation_at_optimum(self, sweep_result):
+        row = table12_row(
+            _reduced_experiment_i(), pentium_cluster(), sweep_result
+        )
+        assert row.sim_vs_theory < 0.25
+
+
+class TestNumericCorrectnessAtScale:
+    """A mid-size numeric run through the full 4×4-processor pipeline."""
+
+    def test_16_processors_numeric(self):
+        w = StencilWorkload(
+            "numeric-16p", IterationSpace.from_extents([16, 16, 48]),
+            sqrt_kernel_3d(), (4, 4, 1), 2,
+        )
+        rb, rp = verify_workload(w, 12, pentium_cluster())
+        assert rb.passed, rb.describe()
+        assert rp.passed, rp.describe()
+
+
+class TestMachineSensitivity:
+    def test_free_communication_removes_advantage(self):
+        """With zero communication cost both schedules degenerate to pure
+        compute pipelines; overlap loses its edge (and its longer
+        hyperplane makes it no better)."""
+        free = pentium_cluster().with_(
+            t_s=0.0, t_t=0.0, fill_mpi_per_byte=0.0, fill_kernel_per_byte=0.0,
+            network_latency=0.0,
+        )
+        w = _reduced_experiment_i(depth=512)
+        r = sweep(w, free, heights=[32, 128])
+        for p in r.points:
+            assert p.t_overlap_sim >= p.t_nonoverlap_sim * 0.999
+
+    def test_higher_startup_favours_larger_tiles(self):
+        """Raising t_s moves the optimal V upward (classic grain trade)."""
+        w = _reduced_experiment_i(depth=1024)
+        cheap = pentium_cluster()
+        pricey = cheap.with_(t_s=cheap.t_s * 8)
+        heights = [8, 16, 32, 64, 128, 256]
+        v_cheap = sweep(w, cheap, heights=heights).best(overlap=True).v
+        v_pricey = sweep(w, pricey, heights=heights).best(overlap=True).v
+        assert v_pricey >= v_cheap
+
+    def test_overlap_advantage_grows_with_transmission_cost(self):
+        """More overlappable work → bigger win for the pipelined schedule."""
+        w = _reduced_experiment_i(depth=512)
+        slow_wire = pentium_cluster().with_(t_t=pentium_cluster().t_t * 2)
+        base = sweep(w, pentium_cluster(), heights=[32, 64, 128])
+        slow = sweep(w, slow_wire, heights=[32, 64, 128])
+        assert (
+            slow.optimal_improvement_sim >= base.optimal_improvement_sim - 0.02
+        )

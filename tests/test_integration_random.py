@@ -1,0 +1,127 @@
+"""Randomised end-to-end properties across the whole stack.
+
+Hypothesis generates workload geometries, tile heights and kernels; every
+combination must (a) verify numerically against the sequential golden
+model under both schedules, and (b) execute tiles on each rank in
+exactly the order the schedule theory prescribes.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.loopnest import IterationSpace
+from repro.kernels.library import binomial_2d, gauss_seidel_2d, lcs_kernel_2d
+from repro.kernels.stencil import sequential_reference, sqrt_kernel_3d, sum_kernel_2d
+from repro.kernels.workloads import StencilWorkload
+from repro.model.machine import pentium_cluster
+from repro.runtime.executor import run_tiled
+from repro.runtime.program import TiledProgram
+
+_KERNELS_2D = [sum_kernel_2d, gauss_seidel_2d, binomial_2d, lcs_kernel_2d]
+
+
+@st.composite
+def _workload_2d(draw):
+    kernel = draw(st.sampled_from(_KERNELS_2D))()
+    procs = draw(st.integers(2, 4))
+    cross = procs * draw(st.integers(2, 4))
+    depth = draw(st.integers(6, 40))
+    v = draw(st.integers(1, depth))
+    w = StencilWorkload(
+        "rand2d", IterationSpace.from_extents([depth, cross]),
+        kernel, (1, procs), 0,
+    )
+    return w, v
+
+
+@st.composite
+def _workload_3d(draw):
+    p1, p2 = draw(st.integers(1, 2)), draw(st.integers(1, 3))
+    c1 = p1 * draw(st.integers(2, 3))
+    c2 = p2 * draw(st.integers(2, 3))
+    depth = draw(st.integers(4, 24))
+    v = draw(st.integers(1, depth))
+    w = StencilWorkload(
+        "rand3d", IterationSpace.from_extents([c1, c2, depth]),
+        sqrt_kernel_3d(), (p1, p2, 1), 2,
+    )
+    return w, v
+
+
+class TestRandomizedVerification:
+    @given(_workload_2d())
+    @settings(max_examples=25, deadline=None)
+    def test_2d_both_schedules_bit_exact(self, wv):
+        w, v = wv
+        ref = sequential_reference(w.kernel, w.space)
+        for blocking in (True, False):
+            run = run_tiled(w, v, pentium_cluster(), blocking=blocking,
+                            numeric=True)
+            assert np.array_equal(run.result, ref), (
+                f"{w.kernel.name} V={v} blocking={blocking}"
+            )
+
+    @given(_workload_3d())
+    @settings(max_examples=15, deadline=None)
+    def test_3d_both_schedules_bit_exact(self, wv):
+        w, v = wv
+        ref = sequential_reference(w.kernel, w.space)
+        for blocking in (True, False):
+            run = run_tiled(w, v, pentium_cluster(), blocking=blocking,
+                            numeric=True)
+            assert np.array_equal(run.result, ref)
+
+    @given(_workload_3d())
+    @settings(max_examples=10, deadline=None)
+    def test_schedules_agree_with_each_other(self, wv):
+        w, v = wv
+        non = run_tiled(w, v, pentium_cluster(), blocking=True, numeric=True)
+        ovl = run_tiled(w, v, pentium_cluster(), blocking=False, numeric=True)
+        assert np.array_equal(non.result, ovl.result)
+
+
+class TestSimulatedOrderMatchesScheduleTheory:
+    def _trace_compute_order(self, w, v, blocking):
+        run = run_tiled(w, v, pentium_cluster(), blocking=blocking, trace=True)
+        prog = TiledProgram(w, v, pentium_cluster(), blocking=blocking)
+        orders = {}
+        for rank in range(prog.num_ranks):
+            computes = [
+                r for r in run.trace.for_rank(rank) if r.kind == "compute"
+            ]
+            orders[rank] = [r.label for r in computes]
+        return orders, prog
+
+    @pytest.mark.parametrize("blocking", [True, False])
+    def test_each_rank_executes_its_column_in_order(self, blocking):
+        w = StencilWorkload(
+            "order", IterationSpace.from_extents([8, 8, 32]),
+            sqrt_kernel_3d(), (2, 2, 1), 2,
+        )
+        orders, prog = self._trace_compute_order(w, 8, blocking)
+        expected = [f"tile{m}" for m in range(prog.tiles_per_rank)]
+        for rank, labels in orders.items():
+            assert labels == expected
+
+    def test_wavefront_start_times_respect_hyperplane(self):
+        """Rank (i,j) starts its first tile no earlier than its schedule
+        offset demands relative to rank (0,0)."""
+        w = StencilWorkload(
+            "wave", IterationSpace.from_extents([8, 8, 256]),
+            sqrt_kernel_3d(), (2, 2, 1), 2,
+        )
+        run = run_tiled(w, 64, pentium_cluster(), blocking=False, trace=True)
+        prog = TiledProgram(w, 64, pentium_cluster(), blocking=False)
+        first = {
+            rank: min(
+                r.start for r in run.trace.for_rank(rank) if r.kind == "compute"
+            )
+            for rank in range(prog.num_ranks)
+        }
+        for rank in range(prog.num_ranks):
+            coords = prog.mapping.coords_of_rank(rank)
+            offset = sum(coords)  # schedule distance from the corner
+            if offset > 0:
+                assert first[rank] > first[0]

@@ -1,0 +1,106 @@
+"""Tests for dependence sets and schedule validity predicates."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.dependence import DependenceSet, lexicographically_positive
+
+
+class TestLexPositive:
+    def test_positive_first(self):
+        assert lexicographically_positive((1, -5))
+
+    def test_leading_zero(self):
+        assert lexicographically_positive((0, 1))
+        assert not lexicographically_positive((0, -1))
+
+    def test_zero_vector(self):
+        assert not lexicographically_positive((0, 0))
+
+
+class TestConstruction:
+    def test_basic(self):
+        d = DependenceSet([(1, 0), (0, 1)])
+        assert d.ndim == 2
+        assert d.count == 2
+        assert len(d) == 2
+        assert (1, 0) in d
+
+    def test_dedup_preserves_order(self):
+        d = DependenceSet([(1, 1), (1, 0), (1, 1)])
+        assert d.vectors == ((1, 1), (1, 0))
+
+    def test_zero_vector_rejected(self):
+        with pytest.raises(ValueError):
+            DependenceSet([(0, 0)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            DependenceSet([])
+
+    def test_mixed_dims_rejected(self):
+        with pytest.raises(ValueError):
+            DependenceSet([(1, 0), (1,)])
+
+    def test_matrix_columns_are_vectors(self):
+        d = DependenceSet([(1, 2), (3, 4)])
+        m = d.matrix()
+        assert m.col(0) == (1, 2)
+        assert m.col(1) == (3, 4)
+
+    def test_as_array(self):
+        d = DependenceSet([(1, 2), (3, 4)])
+        a = d.as_array()
+        assert a.shape == (2, 2)
+        assert np.array_equal(a[:, 0], [1, 2])
+
+
+class TestSchedulePredicates:
+    def test_example1_admits_unit_schedule(self):
+        d = DependenceSet([(1, 1), (1, 0), (0, 1)])
+        assert d.admits_schedule((1, 1))
+        assert not d.admits_schedule((1, -1))
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            DependenceSet([(1, 0)]).admits_schedule((1,))
+
+    def test_displacement(self):
+        d = DependenceSet([(1, 1), (1, 0), (0, 1)])
+        assert d.displacement((1, 1)) == 1
+        assert d.displacement((2, 3)) == 2
+
+    def test_displacement_requires_validity(self):
+        d = DependenceSet([(1, 0), (0, 1)])
+        with pytest.raises(ValueError):
+            d.displacement((1, 0))
+
+    def test_lexicographic_check(self):
+        assert DependenceSet([(1, -1)]).all_lexicographically_positive()
+        assert not DependenceSet([(-1, 1)]).all_lexicographically_positive()
+
+    def test_is_unitary(self):
+        assert DependenceSet([(1, 0), (1, 1)]).is_unitary()
+        assert not DependenceSet([(2, 0)]).is_unitary()
+        assert not DependenceSet([(1, -1)]).is_unitary()
+
+
+_vec = st.tuples(st.integers(0, 3), st.integers(0, 3), st.integers(0, 3)).filter(any)
+
+
+class TestProperties:
+    @given(st.lists(_vec, min_size=1, max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_positive_orthant_always_unit_schedulable(self, vecs):
+        """Non-negative non-zero dependences always admit Π = (1,…,1)."""
+        d = DependenceSet(vecs)
+        assert d.admits_schedule((1, 1, 1))
+        assert d.displacement((1, 1, 1)) == min(sum(v) for v in d.vectors)
+
+    @given(st.lists(_vec, min_size=1, max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_scaling_pi_scales_displacement(self, vecs):
+        d = DependenceSet(vecs)
+        assert d.displacement((2, 2, 2)) == 2 * d.displacement((1, 1, 1))

@@ -1,0 +1,104 @@
+"""Tests for iteration spaces and loop nests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.loopnest import IterationSpace, LoopNest
+from repro.ir.statement import stencil_statement
+
+
+class TestIterationSpace:
+    def test_basic(self):
+        s = IterationSpace([0, 0], [9, 4])
+        assert s.ndim == 2
+        assert s.extents == (10, 5)
+        assert s.size == 50
+
+    def test_from_extents(self):
+        s = IterationSpace.from_extents([3, 4])
+        assert s.lower == (0, 0)
+        assert s.upper == (2, 3)
+
+    def test_from_extents_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            IterationSpace.from_extents([3, 0])
+
+    def test_negative_lower_allowed(self):
+        s = IterationSpace([-2, -2], [2, 2])
+        assert s.size == 25
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty iteration space"):
+            IterationSpace([1], [0])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            IterationSpace([0], [1, 2])
+
+    def test_contains(self):
+        s = IterationSpace.from_extents([3, 3])
+        assert s.contains((0, 0))
+        assert s.contains((2, 2))
+        assert not s.contains((3, 0))
+        assert not s.contains((0, -1))
+        assert not s.contains((0,))
+
+    def test_points_lexicographic(self):
+        s = IterationSpace.from_extents([2, 2])
+        assert list(s.points()) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_points_count_matches_size(self):
+        s = IterationSpace([1, -1], [3, 1])
+        assert len(list(s.points())) == s.size
+
+    def test_corner_points(self):
+        s = IterationSpace.from_extents([2, 3])
+        corners = s.corner_points()
+        assert len(corners) == 4
+        assert (0, 0) in corners and (1, 2) in corners
+
+    def test_corner_points_degenerate_dim(self):
+        s = IterationSpace([0, 5], [3, 5])
+        assert len(s.corner_points()) == 2
+
+    def test_str(self):
+        assert "0<=i1<=2" in str(IterationSpace.from_extents([3]))
+
+    @given(st.lists(st.integers(min_value=1, max_value=6), min_size=1, max_size=3))
+    @settings(max_examples=40, deadline=None)
+    def test_size_is_product_of_extents(self, extents):
+        s = IterationSpace.from_extents(extents)
+        prod = 1
+        for e in extents:
+            prod *= e
+        assert s.size == prod
+        assert all(s.contains(p) for p in s.points())
+
+
+class TestLoopNest:
+    def test_dependences_from_statements(self):
+        space = IterationSpace.from_extents([4, 4])
+        nest = LoopNest(space, [stencil_statement("A", [(-1, 0), (0, -1)])])
+        assert set(nest.dependence_vectors()) == {(1, 0), (0, 1)}
+
+    def test_dimension_mismatch(self):
+        space = IterationSpace.from_extents([4])
+        with pytest.raises(ValueError):
+            LoopNest(space, [stencil_statement("A", [(-1, 0)])])
+
+    def test_type_check(self):
+        with pytest.raises(TypeError):
+            LoopNest("not a space")
+
+    def test_union_deduplicates(self):
+        space = IterationSpace.from_extents([4, 4])
+        s1 = stencil_statement("A", [(-1, 0)])
+        s2 = stencil_statement("A", [(-1, 0), (0, -1)])
+        nest = LoopNest(space, [s1, s2])
+        assert nest.dependence_vectors() == ((1, 0), (0, 1))
+
+    def test_empty_body(self):
+        nest = LoopNest(IterationSpace.from_extents([2]))
+        assert nest.dependence_vectors() == ()
+        assert nest.ndim == 1

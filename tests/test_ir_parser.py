@@ -1,0 +1,141 @@
+"""Tests for the paper-style loop-nest parser."""
+
+import pytest
+
+from repro.ir.parser import ParseError, parse_loop_nest
+
+EXAMPLE1 = """
+for i1 = 0 to 9999
+  for i2 = 0 to 999
+    A(i1, i2) = A(i1-1, i2-1) + A(i1-1, i2) + A(i1, i2-1)
+  endfor
+endfor
+"""
+
+
+class TestHappyPath:
+    def test_example1(self):
+        nest = parse_loop_nest(EXAMPLE1)
+        assert nest.space.extents == (10000, 1000)
+        assert set(nest.dependence_vectors()) == {(1, 1), (1, 0), (0, 1)}
+
+    def test_dotdot_syntax_and_colons(self):
+        nest = parse_loop_nest(
+            "for i = 0..7:\n for j = 2..5:\n  B(i, j) = B(i-1, j)"
+        )
+        assert nest.space.lower == (0, 2)
+        assert nest.space.upper == (7, 5)
+        assert nest.dependence_vectors() == ((1, 0),)
+
+    def test_negative_bounds(self):
+        nest = parse_loop_nest("for i = -3 to 3\n A(i) = A(i-2)")
+        assert nest.space.lower == (-3,)
+        assert nest.dependence_vectors() == ((2,),)
+
+    def test_positive_offsets_in_reads(self):
+        # Read at i+1 of a *different* array: no self dependence.
+        nest = parse_loop_nest("for i = 0 to 9\n A(i) = B(i+1)")
+        assert nest.dependence_vectors() == ()
+
+    def test_multiple_statements(self):
+        nest = parse_loop_nest(
+            "for i = 0 to 9\n for j = 0 to 9\n"
+            "  A(i, j) = A(i-1, j)\n"
+            "  B(i, j) = B(i, j-1) + A(i, j)\n"
+        )
+        assert set(nest.dependence_vectors()) == {(1, 0), (0, 1)}
+
+    def test_comments_and_blanks(self):
+        nest = parse_loop_nest(
+            "# header comment\nfor i = 0 to 3\n\n"
+            " A(i) = A(i-1)  # trailing comment\n"
+        )
+        assert nest.space.extents == (4,)
+
+    def test_3d(self):
+        nest = parse_loop_nest(
+            "for i = 0 to 15\n for j = 0 to 15\n  for k = 0 to 999\n"
+            "   A(i, j, k) = A(i-1, j, k) + A(i, j-1, k) + A(i, j, k-1)\n"
+        )
+        assert set(nest.dependence_vectors()) == {
+            (1, 0, 0), (0, 1, 0), (0, 0, 1)
+        }
+
+    def test_do_keyword_and_case(self):
+        nest = parse_loop_nest("FOR i = 0 TO 5 DO\n A(i) = A(i-1)\nENDFOR")
+        assert nest.space.extents == (6,)
+
+
+class TestErrors:
+    def test_empty(self):
+        with pytest.raises(ParseError, match="no loop headers"):
+            parse_loop_nest("")
+
+    def test_no_statements(self):
+        with pytest.raises(ParseError, match="no assignment"):
+            parse_loop_nest("for i = 0 to 3")
+
+    def test_statement_before_loop(self):
+        with pytest.raises(ParseError, match="before any loop"):
+            parse_loop_nest("A(i) = A(i-1)\nfor i = 0 to 3")
+
+    def test_imperfect_nesting(self):
+        with pytest.raises(ParseError, match="perfectly nested"):
+            parse_loop_nest(
+                "for i = 0 to 3\n A(i) = A(i-1)\n"
+                "for j = 0 to 3\n A(j) = A(j-1)"
+            )
+
+    def test_duplicate_variable(self):
+        with pytest.raises(ParseError, match="duplicate"):
+            parse_loop_nest("for i = 0 to 3\n for i = 0 to 3\n  A(i, i) = A(i-1, i)")
+
+    def test_unknown_variable_in_index(self):
+        with pytest.raises(ParseError, match="unknown loop variable"):
+            parse_loop_nest("for i = 0 to 3\n A(i) = A(z-1)")
+
+    def test_arity_mismatch(self):
+        with pytest.raises(ParseError, match="indices"):
+            parse_loop_nest("for i = 0 to 3\n for j = 0 to 3\n  A(i) = A(i-1)")
+
+    def test_nonlinear_index(self):
+        with pytest.raises(ParseError, match="index expression"):
+            parse_loop_nest("for i = 0 to 3\n A(2*i) = A(i-1)")
+
+    def test_out_of_order_indices(self):
+        with pytest.raises(ParseError, match="loop order"):
+            parse_loop_nest(
+                "for i = 0 to 3\n for j = 0 to 3\n  A(j, i) = A(i-1, j)"
+            )
+
+    def test_repeated_variable_in_reference(self):
+        with pytest.raises(ParseError, match="twice"):
+            parse_loop_nest(
+                "for i = 0 to 3\n for j = 0 to 3\n  A(i, i) = A(i-1, j)"
+            )
+
+    def test_gibberish_line(self):
+        with pytest.raises(ParseError, match="cannot parse"):
+            parse_loop_nest("for i = 0 to 3\n while true")
+
+    def test_line_number_in_error(self):
+        with pytest.raises(ParseError, match="line 2"):
+            parse_loop_nest("for i = 0 to 3\n ???")
+
+
+class TestEndToEnd:
+    def test_parsed_nest_drives_the_tiling_pipeline(self):
+        """Text → IR → tiling → schedules, the full front door."""
+        from repro.ir.dependence import DependenceSet
+        from repro.schedule.nonoverlap import NonoverlapSchedule
+        from repro.tiling.dependences import supernode_dependence_set
+        from repro.tiling.tiledspace import tile_space
+        from repro.tiling.transform import rectangular_tiling
+
+        nest = parse_loop_nest(EXAMPLE1)
+        deps = DependenceSet(nest.dependence_vectors())
+        tiling = rectangular_tiling([10, 10])
+        assert tiling.is_legal(deps)
+        ts = tile_space(nest.space, tiling)
+        sched = NonoverlapSchedule(ts, supernode_dependence_set(tiling, deps))
+        assert sched.num_steps == 1099

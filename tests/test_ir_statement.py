@@ -1,0 +1,62 @@
+"""Tests for array accesses and statements."""
+
+import pytest
+
+from repro.ir.statement import ArrayAccess, Statement, stencil_statement
+
+
+class TestArrayAccess:
+    def test_at(self):
+        a = ArrayAccess("A", (-1, 2))
+        assert a.at((5, 5)) == (4, 7)
+
+    def test_at_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            ArrayAccess("A", (0,)).at((1, 2))
+
+    def test_name_validation(self):
+        with pytest.raises(ValueError):
+            ArrayAccess("", (0,))
+
+    def test_str(self):
+        assert str(ArrayAccess("A", (-1, 0, 2))) == "A(i1-1, i2, i3+2)"
+
+
+class TestStatement:
+    def test_dependences_example1(self):
+        # A(i1,i2) = A(i1-1,i2-1) + A(i1-1,i2) + A(i1,i2-1)
+        s = stencil_statement("A", [(-1, -1), (-1, 0), (0, -1)])
+        assert set(s.dependence_vectors()) == {(1, 1), (1, 0), (0, 1)}
+
+    def test_dependences_only_same_array(self):
+        w = ArrayAccess("A", (0, 0))
+        s = Statement(w, [ArrayAccess("B", (-1, 0)), ArrayAccess("A", (0, -1))])
+        assert s.dependence_vectors() == ((0, 1),)
+
+    def test_zero_vector_dropped(self):
+        w = ArrayAccess("A", (0,))
+        s = Statement(w, [ArrayAccess("A", (0,))])
+        assert s.dependence_vectors() == ()
+
+    def test_duplicates_dropped(self):
+        s = stencil_statement("A", [(-1, 0), (-1, 0)])
+        assert s.dependence_vectors() == ((1, 0),)
+
+    def test_dimension_mismatch(self):
+        w = ArrayAccess("A", (0, 0))
+        with pytest.raises(ValueError):
+            Statement(w, [ArrayAccess("A", (0,))])
+
+    def test_type_checks(self):
+        with pytest.raises(TypeError):
+            Statement("x", [])
+        with pytest.raises(TypeError):
+            Statement(ArrayAccess("A", (0,)), ["bad"])
+
+    def test_stencil_statement_requires_offsets(self):
+        with pytest.raises(ValueError):
+            stencil_statement("A", [])
+
+    def test_str(self):
+        s = stencil_statement("A", [(-1,)])
+        assert str(s) == "A(i1) = E(A(i1-1))"

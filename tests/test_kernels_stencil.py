@@ -1,0 +1,134 @@
+"""Tests for stencil kernels and sequential references."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.loopnest import IterationSpace
+from repro.kernels.stencil import (
+    StencilKernel,
+    allocate_with_halo,
+    sequential_reference,
+    sqrt_kernel_3d,
+    sum_kernel_2d,
+)
+
+
+class TestKernelConstruction:
+    def test_sum2d_properties(self):
+        k = sum_kernel_2d()
+        assert k.ndim == 2
+        assert k.halo == (1, 1)
+        assert set(k.dependence_set().vectors) == {(1, 1), (1, 0), (0, 1)}
+
+    def test_sqrt3d_properties(self):
+        k = sqrt_kernel_3d()
+        assert k.ndim == 3
+        assert k.halo == (1, 1, 1)
+        assert k.dependence_set().count == 3
+
+    def test_statement_roundtrip(self):
+        s = sum_kernel_2d().statement("A")
+        assert set(s.dependence_vectors()) == {(1, 1), (1, 0), (0, 1)}
+
+    def test_rejects_forward_offsets(self):
+        with pytest.raises(ValueError, match="non-positive dependence"):
+            StencilKernel("bad", ((1, 0),), lambda v: v[0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            StencilKernel("bad", (), lambda v: 0.0)
+
+    def test_rejects_mixed_dims(self):
+        with pytest.raises(ValueError):
+            StencilKernel("bad", ((-1, 0), (-1,)), lambda v: v[0])
+
+
+class TestHaloAllocation:
+    def test_shape_and_boundary(self):
+        k = sum_kernel_2d()
+        space = IterationSpace.from_extents([3, 4])
+        data, halo = allocate_with_halo(k, space)
+        assert halo == (1, 1)
+        assert data.shape == (4, 5)
+        assert np.all(data[0, :] == 1.0)
+        assert np.all(data[:, 0] == 1.0)
+        assert np.all(data[1:, 1:] == 0.0)
+
+
+class TestSequentialReference:
+    def test_sum2d_small_values(self):
+        """Hand-checked: with all-ones boundary, A[0,0] = 3, A[0,1] = 1+3+1."""
+        space = IterationSpace.from_extents([2, 2])
+        ref = sequential_reference(sum_kernel_2d(), space)
+        assert ref[0, 0] == 3.0
+        assert ref[0, 1] == 5.0
+        assert ref[1, 0] == 5.0
+        assert ref[1, 1] == 3 + 5 + 5  # (0,0)+(0,1)+(1,0)
+
+    def test_sqrt3d_first_point(self):
+        space = IterationSpace.from_extents([2, 2, 2])
+        ref = sequential_reference(sqrt_kernel_3d(), space)
+        assert ref[0, 0, 0] == pytest.approx(3.0)  # 3 × sqrt(1)
+        assert ref[1, 0, 0] == pytest.approx(math.sqrt(3.0) + 2.0)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            sequential_reference(sum_kernel_2d(), IterationSpace.from_extents([2]))
+
+    def test_deterministic(self):
+        space = IterationSpace.from_extents([5, 5])
+        a = sequential_reference(sum_kernel_2d(), space)
+        b = sequential_reference(sum_kernel_2d(), space)
+        assert np.array_equal(a, b)
+
+
+class TestComputeRegion:
+    def test_region_bounds_validation(self):
+        k = sum_kernel_2d()
+        data, halo = allocate_with_halo(k, IterationSpace.from_extents([4, 4]))
+        with pytest.raises(ValueError):
+            k.compute_region(data, halo, (0,), (3,))
+
+    def test_tilewise_equals_full_sweep(self):
+        """Computing tile by tile in lexicographic tile order gives the
+        same result as one full sweep — the atomicity property tiling
+        relies on."""
+        k = sum_kernel_2d()
+        space = IterationSpace.from_extents([6, 6])
+        full = sequential_reference(k, space)
+
+        data, halo = allocate_with_halo(k, space)
+        for ti in range(3):
+            for tj in range(3):
+                k.compute_region(
+                    data, halo,
+                    (ti * 2, tj * 2), (ti * 2 + 1, tj * 2 + 1),
+                )
+        assert np.array_equal(data[1:, 1:], full)
+
+    @given(st.integers(1, 5), st.integers(1, 5), st.integers(1, 3), st.integers(1, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_any_legal_tile_decomposition_matches(self, e1, e2, s1, s2):
+        k = sum_kernel_2d()
+        space = IterationSpace.from_extents([e1, e2])
+        full = sequential_reference(k, space)
+        data, halo = allocate_with_halo(k, space)
+        for lo1 in range(0, e1, s1):
+            for lo2 in range(0, e2, s2):
+                k.compute_region(
+                    data, halo,
+                    (lo1, lo2),
+                    (min(lo1 + s1, e1) - 1, min(lo2 + s2, e2) - 1),
+                )
+        assert np.array_equal(data[1:, 1:], full)
+
+    def test_custom_boundary_value(self):
+        k = StencilKernel(
+            "sum1d", ((-1,),), lambda v: v[0] + 1.0, boundary_value=10.0
+        )
+        ref = sequential_reference(k, IterationSpace.from_extents([3]))
+        assert list(ref) == [11.0, 12.0, 13.0]

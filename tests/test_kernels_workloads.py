@@ -1,0 +1,124 @@
+"""Tests for the paper's experiment workloads."""
+
+import pytest
+
+from repro.ir.loopnest import IterationSpace
+from repro.kernels.stencil import sqrt_kernel_3d
+from repro.kernels.workloads import (
+    StencilWorkload,
+    example1_workload,
+    paper_experiment_i,
+    paper_experiment_ii,
+    paper_experiment_iii,
+    paper_experiments,
+)
+
+
+class TestPaperWorkloads:
+    def test_experiment_i_geometry(self):
+        w = paper_experiment_i()
+        assert w.space.extents == (16, 16, 16384)
+        assert w.num_processors == 16
+        assert w.mapped_dim == 2
+        assert w.tile_sides(444) == (4, 4, 444)
+        assert w.grain(444) == 7104
+
+    def test_experiment_i_packet_size_matches_fig12(self):
+        """Fig. 12: packet 7104 bytes at V = 444 (4·444 elements × 4 B)."""
+        w = paper_experiment_i()
+        faces = w.face_elements(444)
+        assert faces == [4 * 444, 4 * 444]
+        assert faces[0] * 4 == 7104
+
+    def test_experiment_ii_geometry(self):
+        w = paper_experiment_ii()
+        assert w.space.extents == (16, 16, 32768)
+        assert w.tile_sides(538 // 2 * 2) == (4, 4, 538)
+
+    def test_experiment_iii_geometry(self):
+        w = paper_experiment_iii()
+        assert w.space.extents == (32, 32, 4096)
+        assert w.tile_sides(164) == (8, 8, 164)
+        assert w.grain(164) == 10496  # the paper's 10996 is a typo
+
+    def test_all_three(self):
+        names = [w.name for w in paper_experiments()]
+        assert names == ["16x16x16384", "16x16x32768", "32x32x4096"]
+
+    def test_example1_workload(self):
+        w = example1_workload()
+        assert w.space.extents == (10000, 1000)
+        assert w.mapped_dim == 0
+        assert set(w.deps.vectors) == {(1, 1), (1, 0), (0, 1)}
+
+
+class TestWorkloadMechanics:
+    def _small(self):
+        return StencilWorkload(
+            "small",
+            IterationSpace.from_extents([8, 8, 64]),
+            sqrt_kernel_3d(),
+            (2, 2, 1),
+            2,
+        )
+
+    def test_tiled_space_and_mapping(self):
+        w = self._small()
+        ts = w.tiled_space(16)
+        assert ts.extents == (2, 2, 4)
+        m = w.mapping(16)
+        assert m.num_processors == 4
+        assert m.tiles_per_processor == 4
+
+    def test_valid_heights(self):
+        w = self._small()
+        assert w.valid_heights() == [1, 2, 4, 8, 16, 32, 64]
+        assert w.valid_heights(minimum=4) == [4, 8, 16, 32, 64]
+
+    def test_non_dividing_height_clips_last_tile(self):
+        w = self._small()
+        assert w.tile_sides(5) == (4, 4, 5)
+        ranges = w.mapped_tile_ranges(5)
+        assert ranges[0] == (0, 4)
+        assert ranges[-1] == (60, 63)
+        assert len(ranges) == 13
+
+    def test_height_exceeding_extent_rejected(self):
+        w = self._small()
+        with pytest.raises(ValueError, match="exceeds"):
+            w.tile_sides(65)
+
+    def test_extent_must_divide_processors(self):
+        with pytest.raises(ValueError, match="not divisible"):
+            StencilWorkload(
+                "bad",
+                IterationSpace.from_extents([9, 8, 64]),
+                sqrt_kernel_3d(),
+                (2, 2, 1),
+                2,
+            )
+
+    def test_mapped_dim_unsplit(self):
+        with pytest.raises(ValueError, match="mapped dimension"):
+            StencilWorkload(
+                "bad",
+                IterationSpace.from_extents([8, 8, 64]),
+                sqrt_kernel_3d(),
+                (2, 2, 2),
+                2,
+            )
+
+    def test_kernel_space_mismatch(self):
+        with pytest.raises(ValueError):
+            StencilWorkload(
+                "bad",
+                IterationSpace.from_extents([8, 8]),
+                sqrt_kernel_3d(),
+                (2, 1),
+                1,
+            )
+
+    def test_face_elements_scale_with_v(self):
+        w = self._small()
+        assert w.face_elements(8) == [4 * 8, 4 * 8]
+        assert w.face_elements(16) == [4 * 16, 4 * 16]

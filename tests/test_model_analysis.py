@@ -1,0 +1,109 @@
+"""Tests for crossover/sensitivity/continuous-optimum analysis."""
+
+import pytest
+
+from repro.ir.loopnest import IterationSpace
+from repro.kernels.stencil import sqrt_kernel_3d
+from repro.kernels.workloads import StencilWorkload, paper_experiment_i
+from repro.model.analysis import (
+    continuous_optimum,
+    cpu_comm_crossover,
+    parameter_sensitivity,
+    workload_step,
+)
+from repro.model.machine import pentium_cluster
+
+
+def _w():
+    return paper_experiment_i()
+
+
+class TestWorkloadStep:
+    def test_matches_figures_analytic_step(self):
+        from repro.experiments.figures import analytic_step
+
+        w, m = _w(), pentium_cluster()
+        a = workload_step(w, m, 128)
+        b = analytic_step(w, m, 128)
+        assert a.cpu_side == pytest.approx(b.cpu_side)
+        assert a.comm_side == pytest.approx(b.comm_side)
+
+    def test_fractional_v(self):
+        w, m = _w(), pentium_cluster()
+        sc = workload_step(w, m, 100.5)
+        assert sc.a2_compute == pytest.approx(16 * 100.5 * m.t_c)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            workload_step(_w(), pentium_cluster(), 0)
+
+
+class TestCrossover:
+    def test_paper_machine_is_cpu_bound_everywhere(self):
+        """The calibrated cluster is CPU-bound at every height, so the §4
+        case split lands in case 1 for all V (no crossover)."""
+        assert cpu_comm_crossover(_w(), pentium_cluster()) is None
+
+    def test_wire_heavy_machine_has_crossover(self):
+        """A machine whose fixed cost is CPU-heavy but whose per-byte cost
+        is wire-heavy flips from case 1 to case 2 as V grows."""
+        m = pentium_cluster().with_(fill_mpi_fraction=0.9, t_t=5e-7)
+        v_cross = cpu_comm_crossover(_w(), m)
+        assert v_cross is not None
+        sc_lo = workload_step(_w(), m, max(1.0, v_cross / 4))
+        sc_hi = workload_step(_w(), m, v_cross * 4)
+        assert sc_lo.cpu_bound and not sc_hi.cpu_bound
+
+
+class TestContinuousOptimum:
+    def test_tracks_simulated_optimum(self):
+        """The continuous model optimum must sit near the simulator's
+        discrete one (Fig. 9: V_opt 192, t_opt 0.259)."""
+        w, m = _w(), pentium_cluster()
+        ovl = continuous_optimum(w, m, overlap=True)
+        assert 100 < ovl.v_opt < 350
+        assert ovl.t_opt == pytest.approx(0.259, rel=0.1)
+
+    def test_overlap_beats_nonoverlap(self):
+        w, m = _w(), pentium_cluster()
+        ovl = continuous_optimum(w, m, overlap=True)
+        non = continuous_optimum(w, m, overlap=False)
+        assert ovl.t_opt < non.t_opt
+        improvement = 1 - ovl.t_opt / non.t_opt
+        assert 0.2 < improvement < 0.5
+
+    def test_interior_optimum(self):
+        w, m = _w(), pentium_cluster()
+        res = continuous_optimum(w, m, overlap=True, lo=4.0, hi=4096.0)
+        assert 4.0 < res.v_opt < 4096.0
+
+
+class TestSensitivity:
+    def test_startup_widens_advantage(self):
+        s = parameter_sensitivity(_w(), pentium_cluster(), 128, parameter="t_s")
+        assert s > 0
+
+    def test_compute_cost_narrows_advantage(self):
+        s = parameter_sensitivity(_w(), pentium_cluster(), 128, parameter="t_c")
+        assert s < 0
+
+    def test_wire_cost_widens_advantage(self):
+        s = parameter_sensitivity(_w(), pentium_cluster(), 128, parameter="t_t")
+        assert s > 0
+
+    def test_rejects_non_float_parameter(self):
+        with pytest.raises(ValueError):
+            parameter_sensitivity(
+                _w(), pentium_cluster(), 128, parameter="bytes_per_element"
+            )
+
+
+class TestSmallWorkload:
+    def test_shallow_space(self):
+        w = StencilWorkload(
+            "small", IterationSpace.from_extents([8, 8, 256]),
+            sqrt_kernel_3d(), (2, 2, 1), 2,
+        )
+        m = pentium_cluster()
+        res = continuous_optimum(w, m, overlap=True)
+        assert res.t_opt > 0

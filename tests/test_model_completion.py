@@ -1,0 +1,201 @@
+"""Tests for the completion-time formulas (eqs. 3–5, Lemma 1, optimal g)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.completion import (
+    hodzic_shang_optimal_grain,
+    improvement,
+    lemma1_p0,
+    lemma1_steps,
+    minimize_completion_over_grain,
+    nonoverlap_completion_time,
+    nonoverlap_steps,
+    overlap_completion_time,
+    overlap_optimal_grain_closed_form,
+    overlap_steps,
+)
+from repro.model.costs import step_costs
+from repro.model.machine import Machine, example1_machine
+
+
+class TestStepCounts:
+    def test_nonoverlap(self):
+        assert nonoverlap_steps((999, 99)) == 1099
+        assert nonoverlap_steps((0, 0)) == 1
+
+    def test_overlap_exact(self):
+        assert overlap_steps((999, 99), mapped_dim=0) == 999 + 198 + 1
+        assert overlap_steps((3, 3, 36), mapped_dim=2) == 6 + 6 + 36 + 1
+
+    def test_overlap_paper_approximation(self):
+        """§5: P(g) = 2·i_max + 2·j_max + k_max/V with tile counts — for
+        experiment i, 2·4 + 2·4 + 16384/444 ≈ 53."""
+        p = overlap_steps((3, 3, int(16384 / 444) - 1 + 1), mapped_dim=2,
+                          paper_approximation=True)
+        # tiled counts (4, 4, ~37): 8 + 8 + 37 = 53
+        assert p == pytest.approx(53, abs=1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            nonoverlap_steps((-1,))
+        with pytest.raises(ValueError):
+            overlap_steps((1, 1), mapped_dim=2)
+        with pytest.raises(ValueError):
+            overlap_steps((-1, 1), mapped_dim=0)
+
+
+class TestCompletionTimes:
+    def test_example1_total(self):
+        """Example 1 end-to-end: 1099 × 364 t_c = 400 036 t_c = 0.4 s."""
+        m = example1_machine()
+        sc = step_costs(m, 100, [80])
+        t = nonoverlap_completion_time(1099, sc)
+        assert t / m.t_c == pytest.approx(400036.0)
+        assert t == pytest.approx(0.400036)
+
+    def test_overlap_uses_max(self):
+        m = example1_machine()
+        sc = step_costs(m, 100, [80])
+        assert overlap_completion_time(10, sc) == pytest.approx(
+            10 * sc.overlapped_step
+        )
+
+    def test_validation(self):
+        m = example1_machine()
+        sc = step_costs(m, 1, [])
+        with pytest.raises(ValueError):
+            nonoverlap_completion_time(-1, sc)
+        with pytest.raises(ValueError):
+            overlap_completion_time(-1, sc)
+
+
+class TestLemma1:
+    def test_roundtrip(self):
+        p0 = lemma1_p0(100, 1000.0, 3)
+        assert lemma1_steps(p0, 1000.0, 3) == pytest.approx(100.0)
+
+    def test_scaling_exponent(self):
+        """Doubling g in 3-D shrinks P by 2^(1/3)."""
+        p0 = lemma1_p0(100, 1000.0, 3)
+        assert lemma1_steps(p0, 2000.0, 3) == pytest.approx(
+            100.0 / 2 ** (1 / 3)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lemma1_p0(0, 1.0, 2)
+        with pytest.raises(ValueError):
+            lemma1_steps(1.0, -1.0, 2)
+
+
+class TestOptimalGrain:
+    def test_hodzic_shang(self):
+        m = example1_machine()
+        assert hodzic_shang_optimal_grain(m, 1) == pytest.approx(100.0)
+        assert hodzic_shang_optimal_grain(m, 2) == pytest.approx(200.0)
+        with pytest.raises(ValueError):
+            hodzic_shang_optimal_grain(m, 0)
+
+    def test_closed_form_matches_numeric(self):
+        """g* = F/((n−1)·t_c) must be the minimiser of
+        T(g) = P0 (F g^{-1/n} + t_c g^{(n-1)/n})."""
+        m = Machine(t_c=1e-6, t_s=100e-6, t_t=0.0)
+        n = 3
+        fill = 400e-6
+        g_closed = overlap_optimal_grain_closed_form(m, n, fill)
+
+        def completion(g: float) -> float:
+            return fill * g ** (-1 / n) + m.t_c * g ** ((n - 1) / n)
+
+        g_num, _ = minimize_completion_over_grain(completion, 1.0, 1e9)
+        assert g_closed == pytest.approx(g_num, rel=1e-3)
+
+    def test_closed_form_validation(self):
+        m = example1_machine()
+        with pytest.raises(ValueError):
+            overlap_optimal_grain_closed_form(m, 1, 1e-4)
+        with pytest.raises(ValueError):
+            overlap_optimal_grain_closed_form(m, 3, 0.0)
+
+    def test_minimize_validation(self):
+        with pytest.raises(ValueError):
+            minimize_completion_over_grain(lambda g: g, 10.0, 1.0)
+
+
+class TestImprovement:
+    def test_paper_band(self):
+        assert improvement(0.376637, 0.233923) == pytest.approx(0.379, abs=0.01)
+
+    def test_zero_when_equal(self):
+        assert improvement(1.0, 1.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            improvement(0.0, 1.0)
+
+
+class TestProperties:
+    @given(
+        st.integers(0, 50),
+        st.integers(0, 50),
+        st.integers(0, 500),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_overlap_steps_at_least_nonoverlap(self, u1, u2, u3):
+        upper = (u1, u2, u3)
+        for md in range(3):
+            assert overlap_steps(upper, md) >= nonoverlap_steps(upper)
+
+    @given(st.integers(0, 50), st.integers(0, 50), st.integers(0, 500))
+    @settings(max_examples=60, deadline=None)
+    def test_overlap_steps_minimised_by_largest_dim(self, u1, u2, u3):
+        """Choosing the largest dimension as the mapped one minimises P."""
+        upper = (u1, u2, u3)
+        best = min(overlap_steps(upper, md) for md in range(3))
+        largest = max(range(3), key=lambda k: upper[k])
+        assert overlap_steps(upper, largest) == best
+
+
+class TestCase2OptimalGrain:
+    def test_closed_form_matches_numeric(self):
+        """g* = K/((n−2)·W) minimises T(g) = K g^{-1/n} + W g^{(n-2)/n}."""
+        from repro.model.completion import (
+            overlap_optimal_grain_case2_closed_form,
+        )
+
+        n = 3
+        kernel_fill = 2e-4
+        wire = 1e-6
+        g_closed = overlap_optimal_grain_case2_closed_form(n, kernel_fill, wire)
+
+        def completion(g: float) -> float:
+            return kernel_fill * g ** (-1 / n) + wire * g ** ((n - 2) / n)
+
+        g_num, _ = minimize_completion_over_grain(completion, 1.0, 1e9)
+        assert g_closed == pytest.approx(g_num, rel=1e-3)
+
+    def test_4d(self):
+        from repro.model.completion import (
+            overlap_optimal_grain_case2_closed_form,
+        )
+
+        n = 4
+        g_closed = overlap_optimal_grain_case2_closed_form(n, 1e-4, 1e-6)
+
+        def completion(g: float) -> float:
+            return 1e-4 * g ** (-1 / n) + 1e-6 * g ** ((n - 2) / n)
+
+        g_num, _ = minimize_completion_over_grain(completion, 1.0, 1e9)
+        assert g_closed == pytest.approx(g_num, rel=1e-3)
+
+    def test_validation(self):
+        from repro.model.completion import (
+            overlap_optimal_grain_case2_closed_form,
+        )
+
+        with pytest.raises(ValueError, match="ndim >= 3"):
+            overlap_optimal_grain_case2_closed_form(2, 1e-4, 1e-6)
+        with pytest.raises(ValueError):
+            overlap_optimal_grain_case2_closed_form(3, 0.0, 1e-6)

@@ -1,0 +1,100 @@
+"""Tests for the per-step A/B cost decomposition."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.costs import StepCosts, step_costs
+from repro.model.machine import Machine, pentium_cluster
+
+
+def _machine():
+    return Machine(
+        t_c=1e-6, t_s=100e-6, t_t=1e-7,
+        fill_mpi_fraction=0.5,
+        fill_mpi_per_byte=0.0,
+        fill_kernel_per_byte=0.0,
+    )
+
+
+class TestStepCosts:
+    def test_components(self):
+        sc = step_costs(_machine(), 1000, [4000, 4000])
+        assert sc.a1_fill_mpi_send == pytest.approx(100e-6)  # 2 × 50 µs
+        assert sc.a2_compute == pytest.approx(1000e-6)
+        assert sc.a3_fill_mpi_recv == pytest.approx(100e-6)
+        assert sc.b4_transmit == pytest.approx(800e-6)
+        assert sc.b1_receive == pytest.approx(800e-6)
+        assert sc.b2_fill_kernel_recv == pytest.approx(100e-6)
+        assert sc.b3_fill_kernel_send == pytest.approx(100e-6)
+
+    def test_sides(self):
+        sc = step_costs(_machine(), 1000, [4000, 4000])
+        assert sc.cpu_side == pytest.approx(1200e-6)
+        assert sc.comm_side == pytest.approx(1800e-6)
+        assert not sc.cpu_bound
+        assert sc.overlapped_step == pytest.approx(sc.comm_side)
+
+    def test_serialized_counts_wire_once(self):
+        """Paper Example 1 convention: T_transmit once per message pair."""
+        sc = step_costs(_machine(), 1000, [4000, 4000])
+        assert sc.serialized_step == pytest.approx(
+            sc.cpu_side + sc.b2_fill_kernel_recv + sc.b3_fill_kernel_send
+            + sc.b4_transmit
+        )
+
+    def test_asymmetric_recv_sizes(self):
+        sc = step_costs(_machine(), 10, [1000], [2000, 3000])
+        assert sc.b1_receive == pytest.approx(500e-6)
+        assert sc.b4_transmit == pytest.approx(100e-6)
+
+    def test_no_messages(self):
+        sc = step_costs(_machine(), 500, [])
+        assert sc.comm_side == 0.0
+        assert sc.cpu_bound
+        assert sc.overlapped_step == sc.serialized_step == sc.a2_compute
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            step_costs(_machine(), -1, [])
+        with pytest.raises(ValueError):
+            step_costs(_machine(), 1, [-5])
+        with pytest.raises(ValueError):
+            step_costs(_machine(), 1, [1], [-5])
+
+
+class TestExample1Numbers:
+    def test_nonoverlap_step_is_364_tc(self):
+        """Example 1: T = T_comp + T_comm = 100 + 200 + 64 t_c per step."""
+        from repro.model.machine import example1_machine
+
+        m = example1_machine()
+        sc = step_costs(m, 100, [80])  # V_comm = 20 elements × 4 bytes
+        assert sc.serialized_step / m.t_c == pytest.approx(364.0)
+
+
+_bytes = st.floats(min_value=0, max_value=1e6, allow_nan=False)
+
+
+class TestProperties:
+    @given(st.floats(0, 1e6), st.lists(_bytes, max_size=4))
+    @settings(max_examples=60, deadline=None)
+    def test_step_orderings(self, points, sizes):
+        """max(A, B) <= A + B always; the serialized step lies between the
+        CPU side and A + B; in the CPU-bound regime (the paper's case 1)
+        the overlapped step never exceeds the serialized one."""
+        sc = step_costs(pentium_cluster(), points, sizes)
+        assert sc.overlapped_step <= sc.cpu_side + sc.comm_side + 1e-15
+        assert sc.cpu_side <= sc.serialized_step + 1e-15
+        assert sc.serialized_step <= sc.cpu_side + sc.comm_side + 1e-15
+        if sc.cpu_bound:
+            assert sc.overlapped_step <= sc.serialized_step + 1e-15
+
+    @given(st.floats(0, 1e6), st.lists(_bytes, max_size=4))
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_compute(self, points, sizes):
+        m = pentium_cluster()
+        sc1 = step_costs(m, points, sizes)
+        sc2 = step_costs(m, points + 100, sizes)
+        assert sc2.cpu_side >= sc1.cpu_side
+        assert sc2.overlapped_step >= sc1.overlapped_step

@@ -1,0 +1,94 @@
+"""Tests for machine parameter models."""
+
+import pytest
+
+from repro.model.machine import (
+    Machine,
+    example1_machine,
+    ideal_overlap_machine,
+    pentium_cluster,
+)
+
+
+class TestValidation:
+    def test_rejects_nonpositive_tc(self):
+        with pytest.raises(ValueError):
+            Machine(t_c=0.0, t_s=1e-4, t_t=1e-7)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            Machine(t_c=1e-6, t_s=1e-4, t_t=0, fill_mpi_fraction=1.5)
+
+    def test_rejects_negative_rates(self):
+        with pytest.raises(ValueError):
+            Machine(t_c=1e-6, t_s=1e-4, t_t=-1e-7)
+        with pytest.raises(ValueError):
+            Machine(t_c=1e-6, t_s=1e-4, t_t=0, fill_mpi_per_byte=-1)
+
+    def test_rejects_bad_bytes(self):
+        with pytest.raises(ValueError):
+            Machine(t_c=1e-6, t_s=1e-4, t_t=0, bytes_per_element=0)
+
+
+class TestCostComponents:
+    def setup_method(self):
+        self.m = Machine(
+            t_c=1e-6, t_s=100e-6, t_t=1e-7,
+            fill_mpi_fraction=0.5,
+            fill_mpi_per_byte=1e-8,
+            fill_kernel_per_byte=2e-8,
+        )
+
+    def test_compute_time(self):
+        assert self.m.compute_time(100) == pytest.approx(100e-6)
+        with pytest.raises(ValueError):
+            self.m.compute_time(-1)
+
+    def test_fill_mpi_buffer(self):
+        assert self.m.fill_mpi_buffer_time(0) == pytest.approx(50e-6)
+        assert self.m.fill_mpi_buffer_time(1000) == pytest.approx(60e-6)
+        with pytest.raises(ValueError):
+            self.m.fill_mpi_buffer_time(-1)
+
+    def test_fill_kernel_buffer(self):
+        assert self.m.fill_kernel_buffer_time(0) == pytest.approx(50e-6)
+        assert self.m.fill_kernel_buffer_time(1000) == pytest.approx(70e-6)
+
+    def test_paper_startup_split(self):
+        """§4's assumption: fill_MPI + fill_kernel = t_s at zero bytes."""
+        total = self.m.fill_mpi_buffer_time(0) + self.m.fill_kernel_buffer_time(0)
+        assert total == pytest.approx(self.m.t_s)
+
+    def test_transmit(self):
+        assert self.m.transmit_time(1000) == pytest.approx(1e-4)
+
+    def test_message_bytes(self):
+        assert self.m.message_bytes(10) == 40
+        with pytest.raises(ValueError):
+            self.m.message_bytes(-1)
+
+    def test_with_(self):
+        m2 = self.m.with_(dma=False, t_c=2e-6)
+        assert not m2.dma
+        assert m2.t_c == 2e-6
+        assert self.m.dma  # original untouched
+
+
+class TestPresets:
+    def test_pentium_cluster_matches_paper_tc(self):
+        assert pentium_cluster().t_c == pytest.approx(0.441e-6)
+
+    def test_pentium_fill_matches_fig12_measurement(self):
+        """Fig. 12 exp. i: T_fill_MPI_buffer ≈ 0.627 ms at 7104 bytes."""
+        m = pentium_cluster()
+        assert m.fill_mpi_buffer_time(7104) == pytest.approx(0.627e-3, rel=0.15)
+
+    def test_example1_machine_ratios(self):
+        """Example 1: t_s = 100 t_c, t_t = 0.8 t_c per byte."""
+        m = example1_machine()
+        assert m.t_s / m.t_c == pytest.approx(100.0)
+        assert m.t_t / m.t_c == pytest.approx(0.8)
+
+    def test_ideal_overlap_machine_has_no_per_byte_cost(self):
+        m = ideal_overlap_machine()
+        assert m.transmit_time(10_000) == 0.0

@@ -1,0 +1,76 @@
+"""Buffer budgeting (paper Fig. 6's extra space for overlapping)."""
+
+import pytest
+
+from repro.ir.loopnest import IterationSpace
+from repro.kernels.stencil import sqrt_kernel_3d, sum_kernel_2d
+from repro.kernels.workloads import StencilWorkload, paper_experiment_i
+from repro.model.machine import pentium_cluster
+from repro.runtime.buffers import buffer_requirements
+
+
+def _w():
+    return StencilWorkload(
+        "buf", IterationSpace.from_extents([8, 8, 64]),
+        sqrt_kernel_3d(), (2, 2, 1), 2,
+    )
+
+
+class TestBufferRequirements:
+    def test_data_bytes(self):
+        r = buffer_requirements(_w(), 8, pentium_cluster(), blocking=True)
+        # Owned column: 4 × 4 × 64 floats of 4 bytes.
+        assert r.data_bytes == 4 * 4 * 64 * 4
+
+    def test_halo_bytes(self):
+        r = buffer_requirements(_w(), 8, pentium_cluster(), blocking=True)
+        assert r.halo_bytes == (5 * 5 * 65 - 4 * 4 * 64) * 4
+
+    def test_blocking_surfaces(self):
+        r = buffer_requirements(_w(), 8, pentium_cluster(), blocking=True)
+        # Two directions, face = 1 × 4 × 8 elements each way.
+        assert r.send_surface_bytes == 2 * 32 * 4
+        assert r.recv_surface_bytes == 2 * 32 * 4
+
+    def test_pipelined_doubles_surfaces(self):
+        b = buffer_requirements(_w(), 8, pentium_cluster(), blocking=True)
+        p = buffer_requirements(_w(), 8, pentium_cluster(), blocking=False)
+        assert p.send_surface_bytes == 2 * b.send_surface_bytes
+        assert p.recv_surface_bytes == 2 * b.recv_surface_bytes
+        assert p.data_bytes == b.data_bytes
+
+    def test_surfaces_scale_with_v(self):
+        r1 = buffer_requirements(_w(), 8, pentium_cluster(), blocking=False)
+        r2 = buffer_requirements(_w(), 16, pentium_cluster(), blocking=False)
+        assert r2.surface_bytes == 2 * r1.surface_bytes
+
+    def test_totals_and_overhead(self):
+        r = buffer_requirements(_w(), 8, pentium_cluster(), blocking=False)
+        assert r.total_bytes == r.data_bytes + r.halo_bytes + r.surface_bytes
+        assert 0 < r.overlap_overhead < 1
+
+    def test_describe(self):
+        r = buffer_requirements(_w(), 8, pentium_cluster(), blocking=False)
+        assert "pipelined" in r.describe()
+        assert "buf" in r.describe()
+
+    def test_paper_scale_fits_128mb_nodes(self):
+        """The paper's nodes had 128 MB; experiment i at the optimal tile
+        height must use only a small fraction of that."""
+        r = buffer_requirements(
+            paper_experiment_i(), 444, pentium_cluster(), blocking=False
+        )
+        assert r.total_bytes < 8 * 1024 * 1024
+
+    def test_2d_single_direction(self):
+        w = StencilWorkload(
+            "buf2", IterationSpace.from_extents([64, 16]),
+            sum_kernel_2d(), (1, 2), 0,
+        )
+        r = buffer_requirements(w, 8, pentium_cluster(), blocking=True)
+        # One communicating direction (dim 1); face = 8 × 1 elements.
+        assert r.send_surface_bytes == 8 * 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            buffer_requirements(_w(), 0, pentium_cluster(), blocking=True)

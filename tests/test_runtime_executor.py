@@ -1,0 +1,157 @@
+"""Tests for simulated execution of tiled programs."""
+
+import pytest
+
+from repro.ir.loopnest import IterationSpace
+from repro.kernels.stencil import sqrt_kernel_3d
+from repro.kernels.workloads import StencilWorkload
+from repro.model.machine import Machine, pentium_cluster
+from repro.runtime.executor import run_schedule_pair, run_tiled
+
+
+def _workload(extents=(8, 8, 64), procs=(2, 2, 1)):
+    return StencilWorkload(
+        "x", IterationSpace.from_extents(list(extents)), sqrt_kernel_3d(),
+        procs, 2,
+    )
+
+
+class TestRunTiled:
+    def test_result_fields(self):
+        r = run_tiled(_workload(), 16, pentium_cluster(), blocking=True)
+        assert r.workload_name == "x"
+        assert r.v == 16
+        assert r.grain == 4 * 4 * 16
+        assert r.schedule_name == "non-overlapping"
+        assert r.completion_time > 0
+        assert r.messages_sent > 0
+        assert r.result is None
+
+    def test_overlap_beats_blocking_on_calibrated_machine(self):
+        non, ovl = run_schedule_pair(_workload(), 16, pentium_cluster())
+        assert ovl.completion_time < non.completion_time
+        assert ovl.schedule_name == "overlapping"
+
+    def test_single_processor_no_messages(self):
+        w = _workload(procs=(1, 1, 1))
+        r = run_tiled(w, 16, pentium_cluster(), blocking=True)
+        assert r.messages_sent == 0
+        # Pure compute: extents product × t_c.
+        m = pentium_cluster()
+        assert r.completion_time == pytest.approx(8 * 8 * 64 * m.t_c)
+
+    def test_single_processor_both_schedules_equal(self):
+        w = _workload(procs=(1, 1, 1))
+        non, ovl = run_schedule_pair(w, 16, pentium_cluster())
+        assert non.completion_time == pytest.approx(ovl.completion_time)
+
+    def test_message_counts(self):
+        """2×2 grid: interior edges carry one message per tile per
+        direction, plus the epilogue/prologue alignment."""
+        w = _workload()
+        tiles = 64 // 16
+        r = run_tiled(w, 16, pentium_cluster(), blocking=True)
+        # Edges in the processor graph: 4 directed (0,0)->(1,0),(0,1) etc.
+        # Ranks with a successor in dim0: 2; dim1: 2 → 4 edges × tiles msgs.
+        assert r.messages_sent == 4 * tiles
+
+    def test_blocking_and_pipelined_send_same_messages(self):
+        w = _workload()
+        non, ovl = run_schedule_pair(w, 16, pentium_cluster())
+        assert non.messages_sent == ovl.messages_sent
+
+    def test_trace_collection(self):
+        r = run_tiled(_workload(), 16, pentium_cluster(), blocking=False,
+                      trace=True)
+        assert r.trace.records
+        assert 0 < r.mean_cpu_utilization <= 1.0
+
+    def test_no_trace_by_default(self):
+        r = run_tiled(_workload(), 16, pentium_cluster(), blocking=False)
+        assert not r.trace.records
+
+    def test_overlap_utilization_higher(self):
+        """The paper's headline: overlap keeps CPUs busier."""
+        non = run_tiled(_workload(), 16, pentium_cluster(), blocking=True,
+                        trace=True)
+        ovl = run_tiled(_workload(), 16, pentium_cluster(), blocking=False,
+                        trace=True)
+        assert ovl.mean_cpu_utilization > non.mean_cpu_utilization
+
+    def test_numeric_mode_returns_array(self):
+        r = run_tiled(_workload((4, 4, 8), (2, 2, 1)), 4, pentium_cluster(),
+                      blocking=True, numeric=True)
+        assert r.result is not None
+        assert r.result.shape == (4, 4, 8)
+
+
+class TestAgainstAnalyticModel:
+    """Deep pipelines with interior processors (3×3 grid) must converge to
+    the analytic per-step costs."""
+
+    def _deep(self):
+        return _workload((12, 12, 4096), (3, 3, 1)), pentium_cluster(), 128
+
+    def test_overlap_steady_state_matches_pipelined_step(self):
+        from repro.experiments.figures import analytic_step
+        from repro.model.completion import overlap_steps
+
+        w, m, v = self._deep()
+        ovl = run_tiled(w, v, m, blocking=False)
+        sc = analytic_step(w, m, v)
+        steps = overlap_steps(w.tiled_space(v).normalized_upper(), 2)
+        assert ovl.completion_time == pytest.approx(
+            steps * sc.pipelined_step, rel=0.06
+        )
+
+    def test_overlap_never_exceeds_paper_eq4(self):
+        """Eq. (4) serialises the B chain, so it upper-bounds the sim."""
+        from repro.experiments.figures import analytic_times
+
+        w, m, v = self._deep()
+        ovl = run_tiled(w, v, m, blocking=False)
+        _, t_eq4 = analytic_times(w, m, v)
+        assert ovl.completion_time <= t_eq4 * 1.02
+
+    def test_nonoverlap_between_cpu_and_serialized_bounds(self):
+        """The blocking run's interior step is a1+a3+compute+b3+b4 (recv
+        waits vanish once the pipeline is warm; B2 is absorbed by the
+        DMA); eq. (3)'s serialized step adds B2 and upper-bounds it."""
+        from repro.experiments.figures import analytic_step
+        from repro.model.completion import nonoverlap_steps
+
+        w, m, v = self._deep()
+        non = run_tiled(w, v, m, blocking=True)
+        sc = analytic_step(w, m, v)
+        steps = nonoverlap_steps(w.tiled_space(v).normalized_upper())
+        warm_step = (
+            sc.cpu_side + sc.b3_fill_kernel_send + sc.b4_transmit
+        )
+        assert non.completion_time == pytest.approx(steps * warm_step, rel=0.12)
+        assert non.completion_time <= steps * sc.serialized_step * 1.02
+
+
+class TestNoDmaAblation:
+    def test_no_dma_hurts_overlap_more(self):
+        """Without DMA the kernel copies steal CPU time, shrinking the
+        overlap advantage (§4's modern-hardware discussion)."""
+        w = _workload((8, 8, 512), (2, 2, 1))
+        m = pentium_cluster()
+        m_nodma = m.with_(dma=False)
+        ovl_dma = run_tiled(w, 64, m, blocking=False).completion_time
+        ovl_nodma = run_tiled(w, 64, m_nodma, blocking=False).completion_time
+        assert ovl_nodma > ovl_dma
+
+
+class TestNetworkStatsExposure:
+    def test_stats_populated(self):
+        r = run_tiled(_workload(), 16, pentium_cluster(), blocking=False)
+        s = r.network_stats
+        assert s["messages"] == r.messages_sent
+        assert s["bytes"] > 0
+        assert len(s["tx_bytes"]) == 4
+        assert s["latency_median"] > 0
+
+    def test_both_schedules_move_same_bytes(self):
+        non, ovl = run_schedule_pair(_workload(), 16, pentium_cluster())
+        assert non.network_stats["bytes"] == ovl.network_stats["bytes"]

@@ -1,0 +1,132 @@
+"""Distribution planning: grid factoring, V choice, prediction quality."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.loopnest import IterationSpace
+from repro.kernels.stencil import sqrt_kernel_3d, sum_kernel_2d
+from repro.model.machine import pentium_cluster
+from repro.runtime.executor import run_tiled
+from repro.runtime.planner import factor_grid, plan_distribution
+
+
+class TestFactorGrid:
+    def test_paper_grid(self):
+        assert factor_grid(16, [16, 16]) == (4, 4)
+
+    def test_prefers_more_processors(self):
+        assert factor_grid(12, [16, 16]) == (2, 4)  # 8 > any squarer option
+
+    def test_divisibility_respected(self):
+        grid = factor_grid(6, [9, 4])
+        assert grid == (3, 2)
+
+    def test_single_dimension(self):
+        assert factor_grid(8, [32]) == (8,)
+        assert factor_grid(5, [32]) == (4,)
+
+    def test_budget_one(self):
+        assert factor_grid(1, [16, 16]) == (1, 1)
+
+    def test_prime_extents(self):
+        assert factor_grid(16, [7, 13]) == (7, 1) or factor_grid(16, [7, 13]) == (1, 13)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            factor_grid(0, [4])
+
+    @given(
+        st.integers(1, 20),
+        st.lists(st.integers(2, 24), min_size=1, max_size=3),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_always_feasible_and_within_budget(self, budget, extents):
+        grid = factor_grid(budget, extents)
+        assert grid is not None
+        product = 1
+        for g, e in zip(grid, extents):
+            assert e % g == 0
+            product *= g
+        assert product <= budget
+
+
+class TestPlanDistribution:
+    def test_recovers_paper_setup(self):
+        """16 processors on 16×16×16384 → the paper's 4×4 grid mapped
+        along k, with V in the U-curve's plateau."""
+        plan = plan_distribution(
+            IterationSpace.from_extents([16, 16, 16384]),
+            sqrt_kernel_3d(), pentium_cluster(), 16,
+        )
+        assert plan.workload.procs_per_dim == (4, 4, 1)
+        assert plan.workload.mapped_dim == 2
+        assert 64 <= plan.v <= 512
+        assert 0.25 < plan.predicted_improvement < 0.45
+
+    def test_prediction_matches_simulation(self):
+        plan = plan_distribution(
+            IterationSpace.from_extents([16, 16, 2048]),
+            sqrt_kernel_3d(), pentium_cluster(), 16,
+        )
+        run = run_tiled(plan.workload, plan.v, pentium_cluster(),
+                        blocking=False)
+        assert run.completion_time == pytest.approx(
+            plan.predicted_time, rel=0.1
+        )
+
+    def test_nonoverlap_plan(self):
+        plan = plan_distribution(
+            IterationSpace.from_extents([16, 16, 1024]),
+            sqrt_kernel_3d(), pentium_cluster(), 16, overlap=False,
+        )
+        assert not plan.overlap
+        # The other schedule (overlap) is predicted to win.
+        assert plan.predicted_improvement < 0
+
+    def test_explicit_heights(self):
+        plan = plan_distribution(
+            IterationSpace.from_extents([16, 16, 1024]),
+            sqrt_kernel_3d(), pentium_cluster(), 16, heights=[64, 128],
+        )
+        assert plan.v in (64, 128)
+        with pytest.raises(ValueError, match="heights"):
+            plan_distribution(
+                IterationSpace.from_extents([16, 16, 1024]),
+                sqrt_kernel_3d(), pentium_cluster(), 16, heights=[4096],
+            )
+
+    def test_2d_plan(self):
+        plan = plan_distribution(
+            IterationSpace.from_extents([2000, 100]),
+            sum_kernel_2d(), pentium_cluster(), 10,
+        )
+        assert plan.workload.mapped_dim == 0
+        assert plan.workload.procs_per_dim == (1, 10)
+
+    def test_describe(self):
+        plan = plan_distribution(
+            IterationSpace.from_extents([16, 16, 512]),
+            sqrt_kernel_3d(), pentium_cluster(), 4,
+        )
+        text = plan.describe()
+        assert "V=" in text and "KiB/rank" in text
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            plan_distribution(
+                IterationSpace.from_extents([8, 8]),
+                sqrt_kernel_3d(), pentium_cluster(), 4,
+            )
+
+    def test_plan_runs_numerically_correct(self):
+        from repro.runtime.verify import verify_against_reference
+
+        plan = plan_distribution(
+            IterationSpace.from_extents([8, 8, 64]),
+            sqrt_kernel_3d(), pentium_cluster(), 4,
+        )
+        report = verify_against_reference(
+            plan.workload, plan.v, pentium_cluster(), blocking=False
+        )
+        assert report.passed

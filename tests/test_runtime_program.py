@@ -1,0 +1,133 @@
+"""Tests for SPMD program construction (ProcB/ProcNB structure)."""
+
+import numpy as np
+import pytest
+
+from repro.ir.loopnest import IterationSpace
+from repro.kernels.stencil import sqrt_kernel_3d, sum_kernel_2d
+from repro.kernels.workloads import StencilWorkload
+from repro.model.machine import pentium_cluster
+from repro.runtime.program import RankState, TiledProgram
+
+
+def _workload(extents=(8, 8, 32), procs=(2, 2, 1), kernel=None):
+    return StencilWorkload(
+        "t", IterationSpace.from_extents(list(extents)),
+        kernel or sqrt_kernel_3d(), procs, len(extents) - 1,
+    )
+
+
+class TestTiledProgramStructure:
+    def test_counts(self):
+        p = TiledProgram(_workload(), 8, pentium_cluster(), blocking=True)
+        assert p.num_ranks == 4
+        assert p.tiles_per_rank == 4
+        assert p.grain == 4 * 4 * 8
+        assert len(p.programs()) == 4
+
+    def test_tile_points_clipped_last(self):
+        p = TiledProgram(_workload(), 5, pentium_cluster(), blocking=True)
+        assert p.tiles_per_rank == 7
+        assert p.tile_points(0) == 4 * 4 * 5
+        assert p.tile_points(6) == 4 * 4 * 2
+
+    def test_face_bytes(self):
+        p = TiledProgram(_workload(), 8, pentium_cluster(), blocking=True)
+        # face = 4 × 8 elements × 4 bytes
+        assert p.face_bytes(0, 0) == 128.0
+        assert p.face_bytes(1, 0) == 128.0
+
+    def test_neighbors_grid_corner(self):
+        p = TiledProgram(_workload(), 8, pentium_cluster(), blocking=True)
+        n00 = p._neighbors(0)  # coords (0, 0)
+        assert [(d, s) for d, s, _ in n00.entries] == [(0, None), (1, None)]
+        dsts = [dst for _, _, dst in n00.entries]
+        assert dsts == [p.mapping.rank_of_coords((1, 0)),
+                        p.mapping.rank_of_coords((0, 1))]
+
+    def test_neighbors_grid_interior(self):
+        w = _workload((12, 12, 16), (3, 3, 1))
+        p = TiledProgram(w, 4, pentium_cluster(), blocking=False)
+        center = p.mapping.rank_of_coords((1, 1))
+        n = p._neighbors(center)
+        srcs = {s for _, s, _ in n.entries}
+        dsts = {d for _, _, d in n.entries}
+        assert srcs == {p.mapping.rank_of_coords((0, 1)),
+                        p.mapping.rank_of_coords((1, 0))}
+        assert dsts == {p.mapping.rank_of_coords((2, 1)),
+                        p.mapping.rank_of_coords((1, 2))}
+
+    def test_numeric_rejects_multi_cross_dependence(self):
+        from repro.kernels.stencil import StencilKernel
+
+        # Dependence (0,1,1) crosses both non-mapped dimensions — the
+        # corner would need routing through a diagonal processor.
+        kernel = StencilKernel(
+            "diag", ((0, -1, -1), (-1, 0, 0)), lambda v: v[0] + v[1]
+        )
+        w = StencilWorkload(
+            "bad3d", IterationSpace.from_extents([8, 8, 8]), kernel,
+            (1, 2, 2), 0,
+        )
+        with pytest.raises(ValueError, match="crosses more than one"):
+            TiledProgram(w, 4, pentium_cluster(), blocking=True, numeric=True)
+        # Synthetic (timing-only) mode has no such restriction.
+        TiledProgram(w, 4, pentium_cluster(), blocking=True, numeric=False)
+
+    def test_numeric_diagonal_within_one_cross_dim_allowed(self):
+        w = StencilWorkload(
+            "diag2d",
+            IterationSpace.from_extents([16, 8]),
+            sum_kernel_2d(),
+            (1, 2),
+            0,
+        )
+        p = TiledProgram(w, 4, pentium_cluster(), blocking=True, numeric=True)
+        assert p.comm_dims == [1]
+
+    def test_gather_requires_numeric(self):
+        p = TiledProgram(_workload(), 8, pentium_cluster(), blocking=True)
+        with pytest.raises(ValueError):
+            p.gather()
+
+
+class TestRankState:
+    def _state(self):
+        return RankState(
+            kernel=sqrt_kernel_3d(),
+            owned_lo=(0, 4, 0),
+            owned_extents=(4, 4, 16),
+            halo=(1, 1, 1),
+        )
+
+    def test_halo_initialised(self):
+        s = self._state()
+        assert s.data.shape == (5, 5, 17)
+        assert np.all(s.data[0] == 1.0)
+        assert np.all(s.data[:, 0, :] == 1.0)
+        assert np.all(s.data[:, :, 0] == 1.0)
+        assert np.all(s.data[1:, 1:, 1:] == 0.0)
+
+    def test_face_roundtrip(self):
+        s = self._state()
+        s.data[1:, 1:, 1:] = np.arange(4 * 4 * 16).reshape(4, 4, 16)
+        face = s.extract_face(0, 2, (0, 7))
+        assert face.shape == (1, 4, 8)
+        t = self._state()
+        t.inject_face(0, 2, (0, 7), face)
+        assert np.array_equal(t.data[0:1, 1:, 1:9], face)
+
+    def test_inject_shape_mismatch(self):
+        s = self._state()
+        with pytest.raises(ValueError, match="shape"):
+            s.inject_face(0, 2, (0, 7), np.zeros((2, 4, 8)))
+
+    def test_owned_interior_shape(self):
+        s = self._state()
+        assert s.owned_interior().shape == (4, 4, 16)
+
+    def test_compute_tile_only_touches_range(self):
+        s = self._state()
+        s.compute_tile(2, (0, 3))
+        assert np.any(s.data[1:, 1:, 1:5] != 0.0)
+        assert np.all(s.data[1:, 1:, 5:] == 0.0)

@@ -1,0 +1,117 @@
+"""Tests for per-step event expansion (the pipelined data flow)."""
+
+from repro.ir.dependence import DependenceSet
+from repro.ir.loopnest import IterationSpace
+from repro.schedule.events import cross_processor_deps, expand_events
+from repro.schedule.mapping import ProcessorMapping
+from repro.schedule.nonoverlap import NonoverlapSchedule
+from repro.schedule.overlap import OverlapSchedule
+from repro.tiling.tiledspace import tile_space
+from repro.tiling.transform import rectangular_tiling
+
+UNIT3 = DependenceSet([(1, 0, 0), (0, 1, 0), (0, 0, 1)])
+
+
+def _schedules(extents=(8, 8, 32), sides=(4, 4, 4)):
+    ts = tile_space(IterationSpace.from_extents(list(extents)),
+                    rectangular_tiling(list(sides)))
+    return (
+        NonoverlapSchedule(ts, UNIT3),
+        OverlapSchedule(ts, UNIT3),
+    )
+
+
+class TestCrossProcessorDeps:
+    def test_mapped_dim_excluded(self):
+        non, _ = _schedules()
+        assert set(cross_processor_deps(non)) == {(1, 0, 0), (0, 1, 0)}
+
+    def test_diagonal_dep_crossing(self):
+        ts = tile_space(IterationSpace.from_extents([8, 8]),
+                        rectangular_tiling([4, 4]))
+        s = OverlapSchedule(ts, DependenceSet([(1, 0), (0, 1), (1, 1)]),
+                            ProcessorMapping(ts, mapped_dim=0))
+        assert set(cross_processor_deps(s)) == {(0, 1), (1, 1)}
+
+
+class TestNonoverlapEvents:
+    def test_triplet_in_same_step(self):
+        non, _ = _schedules()
+        events = expand_events(non)
+        for (rank, step), ev in events.items():
+            # Everything a processor does in a step concerns the tile it
+            # computes that step.
+            if ev.compute is not None:
+                for _, produced, _ in ev.sends:
+                    assert produced == ev.compute
+                for _, _, consumer in ev.recvs:
+                    assert consumer == ev.compute
+
+    def test_send_recv_pairing(self):
+        non, _ = _schedules()
+        events = expand_events(non)
+        sends = [(ev.rank, s) for ev in events.values() for s in ev.sends]
+        recvs = [(ev.rank, r) for ev in events.values() for r in ev.recvs]
+        assert len(sends) == len(recvs)
+        # Every send (src, (dst, produced, consumer)) has the mirrored recv.
+        recv_set = {(dst_rank := r[0], rank, r[1], r[2]) for rank, r in recvs}
+        for rank, (dst, produced, consumer) in sends:
+            assert (rank, dst, produced, consumer) in recv_set
+
+
+class TestOverlapEvents:
+    def test_compute_send_offset_by_one(self):
+        _, ovl = _schedules()
+        events = expand_events(ovl)
+        step_of = ovl.step_of
+        for ev in events.values():
+            for _, produced, _ in ev.sends:
+                assert ev.step == step_of(produced) + 1
+
+    def test_recv_one_step_before_consumption(self):
+        _, ovl = _schedules()
+        events = expand_events(ovl)
+        for ev in events.values():
+            for _, _, consumer in ev.recvs:
+                assert ev.step == ovl.step_of(consumer) - 1
+
+    def test_send_and_recv_of_one_message_share_a_step(self):
+        """The paper's in-step pipelining: producer sends during the same
+        time step in which the consumer's processor receives."""
+        _, ovl = _schedules()
+        events = expand_events(ovl)
+        sends = {
+            (ev.rank, dst, produced, consumer): ev.step
+            for ev in events.values()
+            for dst, produced, consumer in ev.sends
+        }
+        recvs = {
+            (src, ev.rank, produced, consumer): ev.step
+            for ev in events.values()
+            for src, produced, consumer in ev.recvs
+        }
+        assert sends.keys() == recvs.keys()
+        for key, step in sends.items():
+            assert recvs[key] == step
+
+    def test_steady_state_processor_does_all_three(self):
+        """In the pipeline's steady state a processor computes, sends and
+        receives within one step (Fig. 2's P3 at step k)."""
+        _, ovl = _schedules()
+        events = expand_events(ovl)
+        full = [
+            ev for ev in events.values()
+            if ev.compute is not None and ev.sends and ev.recvs
+        ]
+        assert full, "no steady-state step found"
+
+    def test_example2_dataflow_chain(self):
+        """Example 2: data computed at k−1 is sent during k, received at k,
+        and consumed at k+1 by the neighbour."""
+        _, ovl = _schedules()
+        events = expand_events(ovl)
+        for ev in events.values():
+            for dst, produced, consumer in ev.sends:
+                assert ovl.step_of(produced) == ev.step - 1
+                assert ovl.step_of(consumer) == ev.step + 1
+                assert ovl.mapping.rank_of_tile(consumer) == dst

@@ -1,0 +1,138 @@
+"""Tests for linear hyperplane schedules (paper §2.5)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.dependence import DependenceSet
+from repro.ir.loopnest import IterationSpace
+from repro.schedule.linear import LinearSchedule
+
+
+class TestConstruction:
+    def test_valid(self):
+        s = LinearSchedule(
+            (1, 1),
+            IterationSpace.from_extents([4, 4]),
+            DependenceSet([(1, 0), (0, 1)]),
+        )
+        assert s.pi == (1, 1)
+
+    def test_invalid_pi_rejected(self):
+        with pytest.raises(ValueError, match="not a valid schedule"):
+            LinearSchedule(
+                (1, 0),
+                IterationSpace.from_extents([4, 4]),
+                DependenceSet([(1, 0), (0, 1)]),
+            )
+
+    def test_dimension_mismatches(self):
+        with pytest.raises(ValueError):
+            LinearSchedule(
+                (1,),
+                IterationSpace.from_extents([4, 4]),
+                DependenceSet([(1, 0)]),
+            )
+        with pytest.raises(ValueError):
+            LinearSchedule(
+                (1, 1),
+                IterationSpace.from_extents([4, 4]),
+                DependenceSet([(1,)]),
+            )
+
+
+class TestScheduling:
+    def test_example1_length(self):
+        """Paper Example 1: Π = (1,1) over 1000×100 tiles → P = 1099."""
+        s = LinearSchedule(
+            (1, 1),
+            IterationSpace.from_extents([1000, 100]),
+            DependenceSet([(1, 1), (1, 0), (0, 1)]),
+        )
+        assert s.num_steps == 999 + 99 + 1 == 1099
+        assert s.step_of((0, 0)) == 0
+        assert s.step_of((999, 99)) == 1098
+
+    def test_example3_length(self):
+        """Paper Example 3: Π = (1,2) over the same space → P = 1198."""
+        s = LinearSchedule(
+            (1, 2),
+            IterationSpace.from_extents([1000, 100]),
+            DependenceSet([(1, 0), (0, 1)]),
+        )
+        assert s.num_steps == 999 + 2 * 99 + 1 == 1198
+
+    def test_t0_normalises_first_step_to_zero(self):
+        s = LinearSchedule(
+            (1, 1),
+            IterationSpace([-3, 5], [0, 9]),
+            DependenceSet([(1, 0), (0, 1)]),
+        )
+        steps = [s.step_of(p) for p in s.space.points()]
+        assert min(steps) == 0
+        assert max(steps) == s.num_steps - 1
+
+    def test_negative_pi_component(self):
+        """Π may have negative entries when dependences allow it."""
+        s = LinearSchedule(
+            (1, -1),
+            IterationSpace.from_extents([5, 5]),
+            DependenceSet([(2, 1)]),
+        )
+        steps = [s.step_of(p) for p in s.space.points()]
+        assert min(steps) == 0
+
+    def test_displacement_divides_steps(self):
+        s = LinearSchedule(
+            (2, 2),
+            IterationSpace.from_extents([4, 4]),
+            DependenceSet([(1, 0), (0, 1)]),
+        )
+        assert s.displacement == 2
+        # steps collapse by the displacement: length equals the Π range / disp
+        assert s.num_steps == (2 * 3 + 2 * 3) // 2 + 1
+
+    def test_respects_dependences_strictly(self):
+        s = LinearSchedule(
+            (1, 2),
+            IterationSpace.from_extents([4, 4]),
+            DependenceSet([(1, 0), (0, 1)]),
+        )
+        assert s.respects_dependences_strictly()
+
+    def test_str(self):
+        s = LinearSchedule(
+            (1, 1),
+            IterationSpace.from_extents([2, 2]),
+            DependenceSet([(1, 0), (0, 1)]),
+        )
+        assert "Π=(1, 1)" in str(s)
+
+
+_pi = st.tuples(st.integers(1, 3), st.integers(1, 3))
+_ext = st.tuples(st.integers(1, 6), st.integers(1, 6))
+
+
+class TestProperties:
+    @given(_pi, _ext)
+    @settings(max_examples=60, deadline=None)
+    def test_dependences_always_advance_time(self, pi, ext):
+        """For any valid Π, j+d is scheduled strictly after j."""
+        deps = DependenceSet([(1, 0), (0, 1)])
+        space = IterationSpace.from_extents(list(ext))
+        s = LinearSchedule(pi, space, deps)
+        for p in space.points():
+            for d in deps.vectors:
+                q = tuple(a + b for a, b in zip(p, d))
+                if space.contains(q):
+                    assert s.step_of(q) > s.step_of(p)
+
+    @given(_pi, _ext)
+    @settings(max_examples=60, deadline=None)
+    def test_steps_cover_0_to_P_minus_1(self, pi, ext):
+        deps = DependenceSet([(1, 0), (0, 1)])
+        space = IterationSpace.from_extents(list(ext))
+        s = LinearSchedule(pi, space, deps)
+        steps = sorted({s.step_of(p) for p in space.points()})
+        assert steps[0] == 0
+        assert steps[-1] == s.num_steps - 1

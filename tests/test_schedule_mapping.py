@@ -1,0 +1,94 @@
+"""Tests for processor mapping of tiles."""
+
+import pytest
+
+from repro.ir.loopnest import IterationSpace
+from repro.schedule.mapping import ProcessorMapping, choose_mapping_dimension
+from repro.tiling.tiledspace import tile_space
+from repro.tiling.transform import rectangular_tiling
+
+
+def _tiled(extents, sides):
+    return tile_space(IterationSpace.from_extents(extents), rectangular_tiling(sides))
+
+
+class TestChooseMappingDimension:
+    def test_largest_wins(self):
+        assert choose_mapping_dimension((4, 4, 64)) == 2
+
+    def test_tie_breaks_to_lowest_index(self):
+        assert choose_mapping_dimension((8, 8)) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            choose_mapping_dimension(())
+        with pytest.raises(ValueError):
+            choose_mapping_dimension((4, 0))
+
+
+class TestProcessorMapping:
+    def test_default_mapped_dim_is_largest(self):
+        ts = _tiled([16, 16, 1024], [4, 4, 64])  # tiled extents (4, 4, 16)
+        m = ProcessorMapping(ts)
+        assert m.mapped_dim == 2
+
+    def test_grid_shape_and_count(self):
+        ts = _tiled([16, 16, 1024], [4, 4, 64])
+        m = ProcessorMapping(ts, mapped_dim=2)
+        assert m.grid_shape == (4, 4)
+        assert m.num_processors == 16
+        assert m.tiles_per_processor == 16
+
+    def test_rank_coords_roundtrip(self):
+        ts = _tiled([16, 16, 1024], [4, 4, 64])
+        m = ProcessorMapping(ts, mapped_dim=2)
+        for rank in range(m.num_processors):
+            assert m.rank_of_coords(m.coords_of_rank(rank)) == rank
+
+    def test_tiles_of_rank_are_a_column(self):
+        ts = _tiled([8, 8, 64], [4, 4, 8])
+        m = ProcessorMapping(ts, mapped_dim=2)
+        tiles = m.tiles_of_rank(0)
+        assert len(tiles) == m.tiles_per_processor
+        assert all(t[:2] == (0, 0) for t in tiles)
+        assert [t[2] for t in tiles] == list(range(8))
+
+    def test_every_tile_owned_exactly_once(self):
+        ts = _tiled([8, 8, 16], [4, 4, 4])
+        m = ProcessorMapping(ts, mapped_dim=2)
+        owned = [t for r in range(m.num_processors) for t in m.tiles_of_rank(r)]
+        assert len(owned) == ts.tile_count
+        assert len(set(owned)) == ts.tile_count
+
+    def test_same_processor(self):
+        ts = _tiled([8, 8, 16], [4, 4, 4])
+        m = ProcessorMapping(ts, mapped_dim=2)
+        assert m.same_processor((0, 0, 0), (0, 0, 3))
+        assert not m.same_processor((0, 0, 0), (1, 0, 0))
+
+    def test_rank_of_tile_consistent_with_coords(self):
+        ts = _tiled([8, 8, 16], [4, 4, 4])
+        m = ProcessorMapping(ts, mapped_dim=2)
+        for t in ts.tiles():
+            assert m.rank_of_tile(t) == m.rank_of_coords(m.processor_coords(t))
+
+    def test_negative_lower_normalised(self):
+        space = IterationSpace([-4, 0], [3, 7])
+        ts = tile_space(space, rectangular_tiling([4, 4]))
+        m = ProcessorMapping(ts, mapped_dim=1)
+        assert m.processor_coords((-1, 0)) == (0,)
+        assert m.processor_coords((0, 0)) == (1,)
+
+    def test_validation(self):
+        ts = _tiled([8, 8], [4, 4])
+        with pytest.raises(ValueError):
+            ProcessorMapping(ts, mapped_dim=2)
+        m = ProcessorMapping(ts, mapped_dim=0)
+        with pytest.raises(ValueError):
+            m.processor_coords((9, 9))
+        with pytest.raises(ValueError):
+            m.rank_of_coords((5,))
+        with pytest.raises(ValueError):
+            m.coords_of_rank(99)
+        with pytest.raises(ValueError):
+            m.rank_of_coords((0, 0))

@@ -1,0 +1,143 @@
+"""Exhaustive schedule search must confirm the paper's optimality claims."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.dependence import DependenceSet
+from repro.schedule.optimize import (
+    overlap_schedule_length,
+    schedule_length,
+    search_linear_schedule,
+    search_overlap_schedule,
+)
+from repro.uetuct.grid import uet_uct_optimal_makespan
+
+UNIT2 = DependenceSet([(1, 0), (0, 1)])
+UNIT3 = DependenceSet([(1, 0, 0), (0, 1, 0), (0, 0, 1)])
+
+
+class TestScheduleLength:
+    def test_unit_pi(self):
+        assert schedule_length((1, 1), (999, 99), UNIT2) == 1099
+
+    def test_displacement_normalisation(self):
+        """Π = (2,2) is the same schedule as (1,1) after dividing by
+        dispΠ = 2."""
+        assert schedule_length((2, 2), (9, 9), UNIT2) == schedule_length(
+            (1, 1), (9, 9), UNIT2
+        )
+
+    def test_invalid_pi(self):
+        with pytest.raises(ValueError):
+            schedule_length((1, 0), (9, 9), UNIT2)
+
+
+class TestLinearSearch:
+    def test_all_ones_optimal_for_unit_deps(self):
+        """§3's claim: Π = (1,…,1) is the optimal linear schedule for a
+        tiled space with unitary dependences."""
+        res = search_linear_schedule((9, 5), UNIT2, max_coeff=3)
+        assert res.pi == (1, 1)
+        assert res.num_steps == 15
+
+    def test_3d(self):
+        res = search_linear_schedule((3, 3, 36), UNIT3, max_coeff=2)
+        assert res.pi == (1, 1, 1)
+        assert res.num_steps == 3 + 3 + 36 + 1
+
+    def test_skewed_deps_prefer_skewed_pi(self):
+        """With d = (1,-1) present, (1,1) is invalid and the search finds
+        a legal alternative."""
+        deps = DependenceSet([(1, -1), (0, 1)])
+        res = search_linear_schedule((5, 5), deps, max_coeff=3,
+                                     allow_negative=False)
+        assert deps.admits_schedule(res.pi)
+        assert res.pi[0] > res.pi[1]
+
+    def test_no_valid_schedule(self):
+        deps = DependenceSet([(1, -1)])
+        # With strictly positive coefficients up to 1, (1,1)·(1,-1) = 0.
+        with pytest.raises(ValueError):
+            search_linear_schedule((3, 3), deps, max_coeff=1)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            search_linear_schedule((3,), UNIT2)
+        with pytest.raises(ValueError):
+            search_linear_schedule((3, 3), UNIT2, max_coeff=0)
+
+    def test_examined_counter(self):
+        res = search_linear_schedule((3, 3), UNIT2, max_coeff=2)
+        assert res.candidates_examined == 4  # all positive Π are valid
+
+
+class TestOverlapLength:
+    def test_paper_pi(self):
+        assert overlap_schedule_length((2, 2, 1), (3, 3, 36), UNIT3, 2) == (
+            6 + 6 + 36 + 1
+        )
+
+    def test_cross_processor_rule_enforced(self):
+        # Π = (1,1,1): cross-processor deps advance only 1 step -> invalid.
+        with pytest.raises(ValueError, match="pipelined validity"):
+            overlap_schedule_length((1, 1, 1), (3, 3, 36), UNIT3, 2)
+
+    def test_local_dep_needs_only_one(self):
+        # Along the mapped dim, coefficient 1 suffices.
+        assert overlap_schedule_length((2, 1), (3, 9), UNIT2, 1) == 6 + 9 + 1
+
+    def test_bad_mapped_dim(self):
+        with pytest.raises(ValueError):
+            overlap_schedule_length((2, 1), (3, 3), UNIT2, 5)
+
+
+class TestOverlapSearch:
+    def test_paper_hyperplane_and_mapping_win(self):
+        """§4 via [1]: Π_ov with the largest dimension mapped minimises the
+        pipelined schedule length."""
+        res = search_overlap_schedule((3, 3, 36), UNIT3, max_coeff=3)
+        assert res.mapped_dim == 2
+        assert res.pi == (2, 2, 1)
+        assert res.num_steps == uet_uct_optimal_makespan((3, 3, 36))
+
+    def test_2d(self):
+        res = search_overlap_schedule((999, 99), UNIT2, max_coeff=2)
+        assert res.mapped_dim == 0
+        assert res.pi == (1, 2)
+        assert res.num_steps == 1198
+
+    def test_fixed_mapping(self):
+        res = search_overlap_schedule((9, 9), UNIT2, max_coeff=2, mapped_dim=1)
+        assert res.mapped_dim == 1
+        assert res.pi == (2, 1)
+
+    def test_diagonal_dependence_still_handled(self):
+        deps = DependenceSet([(1, 0), (0, 1), (1, 1)])
+        res = search_overlap_schedule((9, 4), deps, max_coeff=2)
+        # (1,1) crosses processors (changes dim 1 when mapped along 0);
+        # Π=(1,2) gives Π·(1,1)=3 >= 2: still the winner.
+        assert res.pi == (1, 2)
+        assert res.mapped_dim == 0
+
+    def test_no_candidate(self):
+        with pytest.raises(ValueError):
+            search_overlap_schedule((3, 3), UNIT2, max_coeff=1)
+
+
+_upper3 = st.tuples(st.integers(0, 6), st.integers(0, 6), st.integers(0, 12))
+
+
+class TestProperties:
+    @given(_upper3)
+    @settings(max_examples=25, deadline=None)
+    def test_search_matches_uetuct_formula(self, upper):
+        res = search_overlap_schedule(upper, UNIT3, max_coeff=2)
+        assert res.num_steps == uet_uct_optimal_makespan(upper)
+
+    @given(_upper3)
+    @settings(max_examples=25, deadline=None)
+    def test_linear_search_at_most_overlap_search(self, upper):
+        lin = search_linear_schedule(upper, UNIT3, max_coeff=2)
+        ovl = search_overlap_schedule(upper, UNIT3, max_coeff=2)
+        assert lin.num_steps <= ovl.num_steps

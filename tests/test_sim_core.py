@@ -1,0 +1,205 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.core import AllOf, Event, Simulator, Timeout, WaitEvent
+
+
+class TestScheduling:
+    def test_time_ordering(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(3.0, lambda: order.append("c"))
+        assert sim.run() == 3.0
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_at_equal_times(self):
+        sim = Simulator()
+        order = []
+        for k in range(5):
+            sim.schedule(1.0, lambda k=k: order.append(k))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_run_until(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, lambda: fired.append(1))
+        assert sim.run(until=2.0) == 2.0
+        assert not fired
+        sim.run()
+        assert fired
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def reschedule():
+            sim.schedule(0.0, reschedule)
+
+        sim.schedule(0.0, reschedule)
+        with pytest.raises(RuntimeError, match="livelock"):
+            sim.run(max_events=100)
+
+    def test_nested_scheduling_advances_time(self):
+        sim = Simulator()
+        times = []
+
+        def first():
+            times.append(sim.now)
+            sim.schedule(2.0, lambda: times.append(sim.now))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert times == [1.0, 3.0]
+
+
+class TestEvents:
+    def test_trigger_resumes_waiters(self):
+        sim = Simulator()
+        ev = Event(sim, "e")
+        got = []
+        ev.add_callback(got.append)
+        sim.schedule(1.0, lambda: ev.trigger(42))
+        sim.run()
+        assert got == [42]
+
+    def test_late_waiter_fires_immediately(self):
+        sim = Simulator()
+        ev = Event(sim, "e")
+        ev.trigger("v")
+        got = []
+        ev.add_callback(got.append)
+        sim.run()
+        assert got == ["v"]
+
+    def test_double_trigger_rejected(self):
+        sim = Simulator()
+        ev = Event(sim)
+        ev.trigger()
+        with pytest.raises(RuntimeError):
+            ev.trigger()
+
+
+class TestProcesses:
+    def test_timeout_sequence(self):
+        sim = Simulator()
+        ticks = []
+
+        def proc():
+            yield Timeout(1.0)
+            ticks.append(sim.now)
+            yield Timeout(2.5)
+            ticks.append(sim.now)
+            return "done"
+
+        p = sim.spawn("p", proc())
+        sim.run()
+        assert ticks == [1.0, 3.5]
+        assert p.finished and p.result == "done"
+        assert p.finish_time == 3.5
+
+    def test_timeout_result_passthrough(self):
+        sim = Simulator()
+        seen = []
+
+        def proc():
+            value = yield Timeout(1.0, result="payload")
+            seen.append(value)
+
+        sim.spawn("p", proc())
+        sim.run()
+        assert seen == ["payload"]
+
+    def test_wait_event(self):
+        sim = Simulator()
+        ev = Event(sim)
+        seen = []
+
+        def waiter():
+            v = yield WaitEvent(ev)
+            seen.append((sim.now, v))
+
+        sim.spawn("w", waiter())
+        sim.schedule(4.0, lambda: ev.trigger("x"))
+        sim.run()
+        assert seen == [(4.0, "x")]
+
+    def test_all_of(self):
+        sim = Simulator()
+        evs = [Event(sim) for _ in range(3)]
+        seen = []
+
+        def waiter():
+            vals = yield AllOf(evs)
+            seen.append((sim.now, vals))
+
+        sim.spawn("w", waiter())
+        for k, ev in enumerate(evs):
+            sim.schedule(float(k + 1), lambda ev=ev, k=k: ev.trigger(k))
+        sim.run()
+        assert seen == [(3.0, [0, 1, 2])]
+
+    def test_all_of_empty(self):
+        sim = Simulator()
+        seen = []
+
+        def waiter():
+            vals = yield AllOf([])
+            seen.append(vals)
+
+        sim.spawn("w", waiter())
+        sim.run()
+        assert seen == [[]]
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            Timeout(-1.0)
+
+    def test_non_effect_yield_rejected(self):
+        sim = Simulator()
+
+        def proc():
+            yield "not an effect"
+
+        sim.spawn("p", proc())
+        with pytest.raises(TypeError, match="expected an Effect"):
+            sim.run()
+
+    def test_deadlock_detection(self):
+        sim = Simulator()
+        ev = Event(sim, "never")
+
+        def stuck():
+            yield WaitEvent(ev, annotation="waiting forever")
+
+        sim.spawn("s", stuck())
+        sim.run()
+        with pytest.raises(RuntimeError, match="deadlock.*waiting forever"):
+            sim.check_all_finished()
+
+    def test_determinism(self):
+        """Two identical runs produce identical event interleavings."""
+
+        def build():
+            sim = Simulator()
+            log = []
+
+            def proc(name, delay):
+                yield Timeout(delay)
+                log.append((name, sim.now))
+                yield Timeout(delay)
+                log.append((name, sim.now))
+
+            for k in range(4):
+                sim.spawn(f"p{k}", proc(f"p{k}", 1.0 + k * 0.5))
+            sim.run()
+            return log
+
+        assert build() == build()

@@ -1,0 +1,180 @@
+"""Edge cases of the simulator and SimMPI layer."""
+
+import pytest
+
+from repro.model.machine import Machine
+from repro.sim.mpi import World
+
+
+def _machine(**kw):
+    defaults = dict(t_c=1.0, t_s=2.0, t_t=1e-3)
+    defaults.update(kw)
+    return Machine(**defaults)
+
+
+class TestZeroCosts:
+    def test_zero_byte_message(self):
+        w = World(_machine(), 2)
+        got = []
+
+        def sender(ctx):
+            yield ctx.isend(1, 0, payload="tiny")
+
+        def receiver(ctx):
+            got.append((yield ctx.recv(0, 0)))
+
+        w.run([sender, receiver])
+        assert got == ["tiny"]
+
+    def test_zero_compute(self):
+        w = World(_machine(), 1)
+        done = []
+
+        def prog(ctx):
+            yield ctx.compute_seconds(0.0)
+            done.append(ctx.world.sim.now)
+
+        w.run([prog])
+        assert done == [0.0]
+
+    def test_free_machine_still_ordered(self):
+        free = Machine(t_c=1e-9, t_s=0.0, t_t=0.0)
+        w = World(free, 2)
+        got = []
+
+        def sender(ctx):
+            for k in range(5):
+                yield ctx.isend(1, 0, payload=k)
+
+        def receiver(ctx):
+            for _ in range(5):
+                got.append((yield ctx.recv(0, 0)))
+
+        w.run([sender, receiver])
+        assert got == [0, 1, 2, 3, 4]
+
+
+class TestSelfMessaging:
+    def test_loopback_send_recv(self):
+        w = World(_machine(), 1)
+        got = []
+
+        def prog(ctx):
+            yield ctx.send(0, 100, payload="self")
+            got.append((yield ctx.recv(0, 100)))
+
+        w.run([prog])
+        assert got == ["self"]
+
+    def test_loopback_isend(self):
+        w = World(_machine(), 1)
+        got = []
+
+        def prog(ctx):
+            req = yield ctx.isend(0, 100, payload=42)
+            yield ctx.wait(req)
+            got.append((yield ctx.recv(0, 100)))
+
+        w.run([prog])
+        assert got == [42]
+
+
+class TestBarrierReuse:
+    def test_two_consecutive_barriers(self):
+        w = World(_machine(), 3)
+        times = []
+
+        def prog(delay):
+            def program(ctx):
+                yield ctx.compute_seconds(delay)
+                yield ctx.barrier()
+                yield ctx.compute_seconds(delay)
+                yield ctx.barrier()
+                times.append(ctx.world.sim.now)
+
+            return program
+
+        w.run([prog(1.0), prog(2.0), prog(3.0)])
+        assert times == [pytest.approx(6.0)] * 3
+
+
+class TestTagInterleaving:
+    def test_out_of_order_tag_consumption(self):
+        """Messages on different tags can be consumed in any order even
+        when they arrived interleaved."""
+        w = World(_machine(), 2)
+        got = []
+
+        def sender(ctx):
+            for k in range(3):
+                yield ctx.isend(1, 10, payload=f"a{k}", tag=0)
+                yield ctx.isend(1, 10, payload=f"b{k}", tag=1)
+
+        def receiver(ctx):
+            for k in range(3):
+                got.append((yield ctx.recv(0, 10, tag=1)))
+            for k in range(3):
+                got.append((yield ctx.recv(0, 10, tag=0)))
+
+        w.run([sender, receiver])
+        assert got == ["b0", "b1", "b2", "a0", "a1", "a2"]
+
+
+class TestRunGuards:
+    def test_max_events_guard_on_world(self):
+        w = World(_machine(t_s=0.0), 2)
+
+        def chatter(ctx):
+            while True:
+                yield ctx.isend(1, 0)
+
+        def sink(ctx):
+            while True:
+                yield ctx.recv(0, 0)
+
+        with pytest.raises(RuntimeError, match="livelock"):
+            w.run([chatter, sink], max_events=5000)
+
+    def test_world_not_reusable_across_runs(self):
+        """A second run() on the same world with new programs works only
+        through fresh spawns; finished processes stay finished."""
+        w = World(_machine(), 1)
+
+        def prog(ctx):
+            yield ctx.compute_seconds(1.0)
+
+        w.run([prog])
+        first = [p.finished for p in w.sim.processes]
+        assert first == [True]
+
+
+class TestPayloadEdge:
+    def test_none_payload_roundtrip(self):
+        w = World(_machine(), 2)
+        got = []
+
+        def sender(ctx):
+            yield ctx.isend(1, 10)  # payload defaults to None
+
+        def receiver(ctx):
+            got.append((yield ctx.recv(0, 10)))
+
+        w.run([sender, receiver])
+        assert got == [None]
+
+    def test_large_fan_in(self):
+        w = World(_machine(), 5)
+        got = []
+
+        def make_sender(rank):
+            def sender(ctx):
+                yield ctx.isend(4, 10, payload=rank)
+
+            return sender
+
+        def receiver(ctx):
+            for src in range(4):
+                got.append((yield ctx.recv(src, 10)))
+
+        w.run([make_sender(r) for r in range(4)] + [receiver])
+        assert got == [0, 1, 2, 3]

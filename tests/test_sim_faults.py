@@ -1,0 +1,96 @@
+"""Fault injection: dropped messages must wedge pipelines detectably."""
+
+import pytest
+
+from repro.ir.loopnest import IterationSpace
+from repro.kernels.stencil import sqrt_kernel_3d
+from repro.kernels.workloads import StencilWorkload
+from repro.model.machine import Machine, pentium_cluster
+from repro.runtime.program import TiledProgram
+from repro.sim.deadlock import diagnose
+from repro.sim.mpi import World
+
+
+def _machine():
+    return Machine(t_c=1.0, t_s=2.0, t_t=1e-3)
+
+
+class TestDropKnob:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            World(_machine(), 2, drop_every_nth=-1)
+
+    def test_no_drops_by_default(self):
+        w = World(_machine(), 2)
+
+        def sender(ctx):
+            yield ctx.isend(1, 10)
+
+        def receiver(ctx):
+            yield ctx.recv(0, 10)
+
+        w.run([sender, receiver])
+        assert w.messages_dropped == 0
+
+    def test_dropped_message_never_arrives(self):
+        w = World(_machine(), 2, drop_every_nth=1)
+        got = []
+
+        def sender(ctx):
+            yield ctx.send(1, 10)  # blocking send still completes
+
+        def receiver(ctx):
+            got.append((yield ctx.recv(0, 10)))
+
+        with pytest.raises(RuntimeError, match="deadlock"):
+            w.run([sender, receiver])
+        assert w.messages_dropped == 1
+        assert not got
+
+    def test_only_nth_dropped(self):
+        w = World(_machine(), 2, drop_every_nth=2)
+        got = []
+
+        def sender(ctx):
+            yield ctx.isend(1, 10, payload="a")  # seq 1: delivered
+            yield ctx.isend(1, 10, payload="b")  # seq 2: dropped
+
+        def receiver(ctx):
+            got.append((yield ctx.recv(0, 10)))
+
+        w.run([sender, receiver])
+        assert got == ["a"]
+        assert w.messages_dropped == 1
+
+
+class TestPipelineWedge:
+    def test_dropped_message_wedges_tiled_run_with_diagnosis(self):
+        """Losing one ghost message deterministically deadlocks the tile
+        pipeline; the diagnosis names blocked ranks and the unmatched
+        receive."""
+        workload = StencilWorkload(
+            "fault", IterationSpace.from_extents([8, 8, 32]),
+            sqrt_kernel_3d(), (2, 2, 1), 2,
+        )
+        prog = TiledProgram(workload, 8, pentium_cluster(), blocking=False)
+        world = World(pentium_cluster(), prog.num_ranks, drop_every_nth=5)
+        with pytest.raises(RuntimeError, match="deadlock"):
+            world.run(prog.programs())
+        report = diagnose(world)
+        assert report.is_deadlocked
+        assert report.blocked
+        assert report.unmatched_receives
+        text = report.describe()
+        assert "blocked" in text and "never matched" in text
+
+    def test_healthy_run_diagnoses_clean(self):
+        workload = StencilWorkload(
+            "ok", IterationSpace.from_extents([8, 8, 32]),
+            sqrt_kernel_3d(), (2, 2, 1), 2,
+        )
+        prog = TiledProgram(workload, 8, pentium_cluster(), blocking=False)
+        world = World(pentium_cluster(), prog.num_ranks)
+        world.run(prog.programs())
+        report = diagnose(world)
+        assert not report.is_deadlocked
+        assert "no deadlock" in report.describe()

@@ -1,0 +1,364 @@
+"""Tests for the MPI-like primitives: timing semantics, matching, payloads."""
+
+import numpy as np
+import pytest
+
+from repro.model.machine import Machine
+from repro.sim.deadlock import diagnose
+from repro.sim.mpi import World
+
+
+def _machine(**kw):
+    """Round numbers so hand-computed timings stay readable:
+    fill_MPI = 1 s, fill_kernel = 1 s, wire = 1 s per 1000 bytes."""
+    defaults = dict(
+        t_c=1.0,
+        t_s=2.0,
+        t_t=1e-3,
+        fill_mpi_fraction=0.5,
+        dma=True,
+        duplex=True,
+        network_latency=0.0,
+    )
+    defaults.update(kw)
+    return Machine(**defaults)
+
+
+class TestIsendIrecvTiming:
+    def test_pipeline_stages(self):
+        """isend at t=0: A1 (1s CPU) → B3 (1s DMA) → TX (1s) → RX (1s) →
+        B2 (1s DMA) → delivered at t=5; receiver's wait returns then."""
+        w = World(_machine(), 2)
+        send_resumed = []
+        recv_done = []
+
+        def sender(ctx):
+            req = yield ctx.isend(1, 1000)
+            send_resumed.append(ctx.world.sim.now)
+            yield ctx.wait(req)
+            send_resumed.append(ctx.world.sim.now)
+
+        def receiver(ctx):
+            req = yield ctx.irecv(0, 1000)
+            yield ctx.wait(req)
+            recv_done.append(ctx.world.sim.now)
+
+        w.run([sender, receiver])
+        assert send_resumed[0] == pytest.approx(1.0)  # after A1
+        assert send_resumed[1] == pytest.approx(2.0)  # B3 done: buffer free
+        assert recv_done[0] == pytest.approx(5.0)
+
+    def test_compute_overlaps_communication(self):
+        """The whole point of the paper: compute during the B-chain."""
+        w = World(_machine(), 2)
+        finish = {}
+
+        def sender(ctx):
+            req = yield ctx.isend(1, 1000)
+            yield ctx.compute_seconds(10.0)
+            yield ctx.wait(req)
+            finish["s"] = ctx.world.sim.now
+
+        def receiver(ctx):
+            req = yield ctx.irecv(0, 1000)
+            yield ctx.compute_seconds(10.0)
+            yield ctx.wait(req)
+            finish["r"] = ctx.world.sim.now
+
+        w.run([sender, receiver])
+        # Sender: A1 (1) + compute (10); send completed long before.
+        assert finish["s"] == pytest.approx(11.0)
+        # Receiver: A3 (1) + compute (10) = 11 > delivery at 5.
+        assert finish["r"] == pytest.approx(11.0)
+
+    def test_blocking_send_holds_cpu_until_transmitted(self):
+        w = World(_machine(), 2)
+        t = {}
+
+        def sender(ctx):
+            yield ctx.send(1, 1000)
+            t["sent"] = ctx.world.sim.now
+
+        def receiver(ctx):
+            data = yield ctx.recv(0, 1000)
+            t["recv"] = ctx.world.sim.now
+
+        w.run([sender, receiver])
+        # A1 (1) + B3 (1) + TX (1) = 3.
+        assert t["sent"] == pytest.approx(3.0)
+        # Delivery: + RX (1) + B2 (1) = 5.
+        assert t["recv"] == pytest.approx(5.0)
+
+    def test_blocking_recv_blocks_until_delivery(self):
+        w = World(_machine(), 2)
+        t = {}
+
+        def sender(ctx):
+            yield ctx.compute_seconds(7.0)
+            yield ctx.send(1, 1000)
+
+        def receiver(ctx):
+            yield ctx.recv(0, 1000)
+            t["recv"] = ctx.world.sim.now
+
+        w.run([sender, receiver])
+        # Sender starts at 7: +A1+B3+TX+RX+B2 → delivery at 12.
+        assert t["recv"] == pytest.approx(12.0)
+
+    def test_message_arriving_before_post_is_buffered(self):
+        w = World(_machine(), 2)
+        t = {}
+
+        def sender(ctx):
+            yield ctx.isend(1, 1000)
+
+        def receiver(ctx):
+            yield ctx.compute_seconds(100.0)
+            data = yield ctx.recv(0, 1000)
+            t["recv"] = ctx.world.sim.now
+
+        w.run([sender, receiver])
+        # Message delivered at 5, receiver asks at 101 (after A3): immediate.
+        assert t["recv"] == pytest.approx(101.0)
+
+
+class TestNoDma:
+    def test_kernel_copies_charge_cpu(self):
+        """dma=False: B3 extends the isend CPU charge, B2 is paid in wait."""
+        w = World(_machine(dma=False), 2)
+        t = {}
+
+        def sender(ctx):
+            req = yield ctx.isend(1, 1000)
+            t["after_isend"] = ctx.world.sim.now
+            yield ctx.wait(req)
+
+        def receiver(ctx):
+            req = yield ctx.irecv(0, 1000)
+            t["after_irecv"] = ctx.world.sim.now
+            yield ctx.wait(req)
+            t["after_wait"] = ctx.world.sim.now
+
+        w.run([sender, receiver])
+        assert t["after_isend"] == pytest.approx(2.0)  # A1 + B3 on CPU
+        assert t["after_irecv"] == pytest.approx(1.0)  # A3 only
+        # Chain: send CPU 2 + TX 1 + RX 1 → arrival 4; B2 on CPU in wait: 5.
+        assert t["after_wait"] == pytest.approx(5.0)
+
+    def test_b2_paid_once_across_waits(self):
+        w = World(_machine(dma=False), 2)
+        t = {}
+
+        def sender(ctx):
+            yield ctx.isend(1, 1000)
+
+        def receiver(ctx):
+            req = yield ctx.irecv(0, 1000)
+            yield ctx.wait(req)
+            t1 = ctx.world.sim.now
+            yield ctx.wait(req)
+            t["delta"] = ctx.world.sim.now - t1
+
+        w.run([sender, receiver])
+        assert t["delta"] == pytest.approx(0.0)
+
+
+class TestMatching:
+    def test_fifo_non_overtaking(self):
+        w = World(_machine(), 2)
+        got = []
+
+        def sender(ctx):
+            yield ctx.isend(1, 10, payload="first")
+            yield ctx.isend(1, 10, payload="second")
+
+        def receiver(ctx):
+            a = yield ctx.recv(0, 10)
+            b = yield ctx.recv(0, 10)
+            got.extend([a, b])
+
+        w.run([sender, receiver])
+        assert got == ["first", "second"]
+
+    def test_tags_separate_streams(self):
+        w = World(_machine(), 2)
+        got = []
+
+        def sender(ctx):
+            yield ctx.isend(1, 10, payload="t1", tag=1)
+            yield ctx.isend(1, 10, payload="t0", tag=0)
+
+        def receiver(ctx):
+            a = yield ctx.recv(0, 10, tag=0)
+            b = yield ctx.recv(0, 10, tag=1)
+            got.extend([a, b])
+
+        w.run([sender, receiver])
+        assert got == ["t0", "t1"]
+
+    def test_sources_separate_streams(self):
+        w = World(_machine(), 3)
+        got = []
+
+        def s0(ctx):
+            yield ctx.isend(2, 10, payload="from0")
+
+        def s1(ctx):
+            yield ctx.isend(2, 10, payload="from1")
+
+        def receiver(ctx):
+            a = yield ctx.recv(1, 10)
+            b = yield ctx.recv(0, 10)
+            got.extend([a, b])
+
+        w.run([s0, s1, receiver])
+        assert got == ["from1", "from0"]
+
+    def test_waitall_returns_aligned_payloads(self):
+        w = World(_machine(), 2)
+        got = []
+
+        def sender(ctx):
+            r1 = yield ctx.isend(1, 10, payload="x")
+            r2 = yield ctx.isend(1, 10, payload="y")
+            yield ctx.waitall([r1, r2])
+
+        def receiver(ctx):
+            ra = yield ctx.irecv(0, 10)
+            rb = yield ctx.irecv(0, 10)
+            vals = yield ctx.waitall([ra, rb])
+            got.append(vals)
+
+        w.run([sender, receiver])
+        assert got == [["x", "y"]]
+
+
+class TestPayloads:
+    def test_numpy_payload_copied_at_send(self):
+        w = World(_machine(), 2)
+        got = []
+
+        def sender(ctx):
+            data = np.array([1.0, 2.0])
+            yield ctx.isend(1, 10, payload=data)
+            data[0] = 99.0  # mutation after isend must not be visible
+
+        def receiver(ctx):
+            got.append((yield ctx.recv(0, 10)))
+
+        w.run([sender, receiver])
+        assert got[0][0] == 1.0
+
+    def test_deepcopy_for_plain_objects(self):
+        w = World(_machine(), 2)
+        got = []
+
+        def sender(ctx):
+            data = {"k": [1, 2]}
+            yield ctx.isend(1, 10, payload=data)
+            data["k"].append(3)
+
+        def receiver(ctx):
+            got.append((yield ctx.recv(0, 10)))
+
+        w.run([sender, receiver])
+        assert got[0] == {"k": [1, 2]}
+
+
+class TestBarrierAndErrors:
+    def test_barrier_synchronises(self):
+        w = World(_machine(), 3)
+        times = []
+
+        def prog(delay):
+            def program(ctx):
+                yield ctx.compute_seconds(delay)
+                yield ctx.barrier()
+                times.append(ctx.world.sim.now)
+
+            return program
+
+        w.run([prog(1.0), prog(5.0), prog(3.0)])
+        assert times == [pytest.approx(5.0)] * 3
+
+    def test_deadlock_raises_and_diagnoses(self):
+        w = World(_machine(), 2)
+
+        def p0(ctx):
+            yield ctx.recv(1, 10)
+
+        def p1(ctx):
+            yield ctx.recv(0, 10)
+
+        with pytest.raises(RuntimeError, match="deadlock"):
+            w.run([p0, p1])
+        report = diagnose(w)
+        assert report.is_deadlocked
+        assert len(report.blocked) == 2
+        assert "recv" in report.describe()
+
+    def test_bad_destination(self):
+        w = World(_machine(), 2)
+
+        def p0(ctx):
+            yield ctx.isend(5, 10)
+
+        def idle(ctx):
+            yield ctx.compute_seconds(0.0)
+
+        with pytest.raises(ValueError):
+            w.run([p0, idle])
+
+    def test_program_count_mismatch(self):
+        w = World(_machine(), 2)
+        with pytest.raises(ValueError):
+            w.run([lambda ctx: iter(())])
+
+    def test_wait_on_non_request(self):
+        w = World(_machine(), 1)
+
+        def p0(ctx):
+            yield ctx.wait("nope")
+
+        with pytest.raises(TypeError):
+            w.run([p0])
+
+    def test_context_validation(self):
+        w = World(_machine(), 1)
+        with pytest.raises(ValueError):
+            w.context(3)
+        with pytest.raises(ValueError):
+            World(_machine(), 0)
+
+
+class TestTracing:
+    def test_trace_kinds_recorded(self):
+        w = World(_machine(), 2, trace=True)
+
+        def sender(ctx):
+            req = yield ctx.isend(1, 1000)
+            yield ctx.compute_seconds(2.0)
+            yield ctx.wait(req)
+
+        def receiver(ctx):
+            yield ctx.recv(0, 1000)
+
+        w.run([sender, receiver])
+        kinds0 = {r.kind for r in w.trace.for_rank(0)}
+        kinds1 = {r.kind for r in w.trace.for_rank(1)}
+        assert "fill_mpi_send" in kinds0 and "compute" in kinds0
+        assert "fill_mpi_recv" in kinds1 and "blocked_recv" in kinds1
+
+    def test_busy_time_excludes_blocked(self):
+        w = World(_machine(), 2, trace=True)
+
+        def sender(ctx):
+            yield ctx.compute_seconds(10.0)
+            yield ctx.send(1, 1000)
+
+        def receiver(ctx):
+            yield ctx.recv(0, 1000)
+
+        w.run([sender, receiver])
+        # Receiver CPU busy: A3 only (1 s); blocked the rest.
+        assert w.trace.busy_time(1) == pytest.approx(1.0)

@@ -1,0 +1,114 @@
+"""Tests for the point-to-point network model."""
+
+import pytest
+
+from repro.model.machine import Machine
+from repro.sim.core import Simulator
+from repro.sim.network import Network
+
+
+def _machine(**kw):
+    defaults = dict(t_c=1e-6, t_s=0.0, t_t=1e-6, network_latency=0.0)
+    defaults.update(kw)
+    return Machine(**defaults)
+
+
+class TestTransmit:
+    def test_arrival_after_tx_and_rx(self):
+        sim = Simulator()
+        net = Network(sim, _machine(), 2)
+        arrivals = []
+        net.transmit(0, 1, 1000).add_callback(arrivals.append)
+        sim.run()
+        # TX 1 ms then RX 1 ms (store-and-forward endpoints).
+        assert arrivals == [(0.001, 0.002)]
+
+    def test_latency_added_between_tx_and_rx(self):
+        sim = Simulator()
+        net = Network(sim, _machine(network_latency=0.5), 2)
+        arrivals = []
+        net.transmit(0, 1, 1000).add_callback(arrivals.append)
+        sim.run()
+        # TX 0..1 ms, then 0.5 s switch latency, then RX 1 ms.
+        assert arrivals == [(0.501, 0.502)]
+
+    def test_on_sent_fires_at_tx_completion(self):
+        sim = Simulator()
+        net = Network(sim, _machine(), 2)
+        sent = []
+        net.transmit(0, 1, 1000, on_sent=sent.append)
+        sim.run()
+        assert sent == [(0.0, 0.001)]
+
+    def test_tx_contention_serialises_sends(self):
+        sim = Simulator()
+        net = Network(sim, _machine(), 3)
+        arrivals = []
+        net.transmit(0, 1, 1000).add_callback(lambda i: arrivals.append(("a", i)))
+        net.transmit(0, 2, 1000).add_callback(lambda i: arrivals.append(("b", i)))
+        sim.run()
+        assert arrivals[0] == ("a", (0.001, 0.002))
+        # second message's TX waits for the first: TX 0.001-0.002, RX to 0.003
+        assert arrivals[1] == ("b", (0.002, 0.003))
+
+    def test_rx_contention(self):
+        sim = Simulator()
+        net = Network(sim, _machine(), 3)
+        arrivals = []
+        net.transmit(0, 2, 1000).add_callback(lambda i: arrivals.append(i))
+        net.transmit(1, 2, 1000).add_callback(lambda i: arrivals.append(i))
+        sim.run()
+        # Both TX in parallel (different senders); RX at node 2 serialises.
+        assert arrivals == [(0.001, 0.002), (0.002, 0.003)]
+
+    def test_duplex_resources_distinct(self):
+        sim = Simulator()
+        assert Network(sim, _machine(duplex=True), 2).tx[0] is not (
+            Network(sim, _machine(duplex=True), 2).rx[0]
+        )
+        half = Network(sim, _machine(duplex=False), 2)
+        assert half.tx[0] is half.rx[0]
+
+    def test_duplex_vs_half_duplex(self):
+        """Node 1 sends two messages while one arrives: full duplex
+        overlaps its RX with its TXs, half duplex serialises them."""
+        for duplex, expected_arrival in ((True, 0.002), (False, 0.003)):
+            sim = Simulator()
+            net = Network(sim, _machine(duplex=duplex), 3)
+            ends = []
+            net.transmit(1, 2, 1000)
+            net.transmit(1, 2, 1000)
+            net.transmit(0, 1, 1000).add_callback(lambda i: ends.append(i[1]))
+            sim.run()
+            assert ends == [pytest.approx(expected_arrival)]
+
+    def test_loopback_is_free(self):
+        sim = Simulator()
+        net = Network(sim, _machine(), 2)
+        arrivals = []
+        sent = []
+        net.transmit(1, 1, 10_000, on_sent=sent.append).add_callback(arrivals.append)
+        sim.run()
+        assert arrivals == [(0.0, 0.0)]
+        assert sent == [(0.0, 0.0)]
+
+    def test_counters(self):
+        sim = Simulator()
+        net = Network(sim, _machine(), 2)
+        net.transmit(0, 1, 100)
+        net.transmit(0, 1, 200)
+        sim.run()
+        assert net.messages_carried == 2
+        assert net.bytes_carried == 300
+
+    def test_validation(self):
+        sim = Simulator()
+        net = Network(sim, _machine(), 2)
+        with pytest.raises(ValueError):
+            net.transmit(0, 5, 10)
+        with pytest.raises(ValueError):
+            net.transmit(-1, 1, 10)
+        with pytest.raises(ValueError):
+            net.transmit(0, 1, -10)
+        with pytest.raises(ValueError):
+            Network(sim, _machine(), 0)

@@ -1,0 +1,72 @@
+"""Network traffic statistics and the warm-step model property."""
+
+import pytest
+
+from repro.model.costs import step_costs
+from repro.model.machine import Machine, pentium_cluster
+from repro.sim.core import Simulator
+from repro.sim.network import Network
+
+
+def _machine(**kw):
+    defaults = dict(t_c=1e-6, t_s=0.0, t_t=1e-6, network_latency=0.0)
+    defaults.update(kw)
+    return Machine(**defaults)
+
+
+class TestNetworkStats:
+    def test_per_node_byte_accounting(self):
+        sim = Simulator()
+        net = Network(sim, _machine(), 3)
+        net.transmit(0, 1, 100)
+        net.transmit(0, 2, 200)
+        net.transmit(2, 1, 50)
+        sim.run()
+        s = net.stats()
+        assert s["messages"] == 3
+        assert s["bytes"] == 350
+        assert s["tx_bytes"] == (300, 0, 50)
+        assert s["rx_bytes"] == (0, 150, 200)
+
+    def test_latency_distribution(self):
+        sim = Simulator()
+        net = Network(sim, _machine(network_latency=0.25), 2)
+        net.transmit(0, 1, 1000)  # TX 1 ms + 0.25 + RX 1 ms
+        net.transmit(0, 1, 1000)  # queues behind the first TX
+        sim.run()
+        s = net.stats()
+        assert s["latency_min"] == pytest.approx(0.252)
+        assert s["latency_max"] > s["latency_min"]
+        assert s["latency_min"] <= s["latency_median"] <= s["latency_max"]
+
+    def test_empty_stats(self):
+        sim = Simulator()
+        net = Network(sim, _machine(), 2)
+        s = net.stats()
+        assert s["messages"] == 0
+        assert s["latency_median"] == 0.0
+
+    def test_loopback_not_in_latencies(self):
+        sim = Simulator()
+        net = Network(sim, _machine(), 2)
+        net.transmit(1, 1, 1000)
+        sim.run()
+        s = net.stats()
+        assert s["messages"] == 1
+        assert s["latency_max"] == 0.0  # no wire latency recorded
+
+
+class TestWarmStepModel:
+    def test_between_cpu_and_serialized(self):
+        sc = step_costs(pentium_cluster(), 1000, [2048, 2048])
+        assert sc.cpu_side <= sc.warm_serialized_step <= sc.serialized_step
+
+    def test_difference_is_exactly_b2(self):
+        sc = step_costs(pentium_cluster(), 1000, [2048, 2048])
+        assert sc.serialized_step - sc.warm_serialized_step == pytest.approx(
+            sc.b2_fill_kernel_recv
+        )
+
+    def test_no_messages_degenerates_to_compute(self):
+        sc = step_costs(pentium_cluster(), 500, [])
+        assert sc.warm_serialized_step == sc.a2_compute

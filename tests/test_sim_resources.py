@@ -1,0 +1,82 @@
+"""Tests for FIFO hardware resources."""
+
+import pytest
+
+from repro.sim.core import Simulator
+from repro.sim.resources import FifoResource
+
+
+def _completions(sim, events):
+    done = []
+    for ev in events:
+        ev.add_callback(done.append)
+    sim.run()
+    return done
+
+
+class TestFifoResource:
+    def test_serialises_jobs(self):
+        sim = Simulator()
+        r = FifoResource(sim, "dma")
+        e1 = r.submit(2.0)
+        e2 = r.submit(3.0)
+        intervals = _completions(sim, [e1, e2])
+        assert intervals == [(0.0, 2.0), (2.0, 5.0)]
+
+    def test_not_before(self):
+        sim = Simulator()
+        r = FifoResource(sim, "nic")
+        e1 = r.submit(1.0, not_before=5.0)
+        intervals = _completions(sim, [e1])
+        assert intervals == [(5.0, 6.0)]
+
+    def test_not_before_after_queue(self):
+        sim = Simulator()
+        r = FifoResource(sim, "nic")
+        e1 = r.submit(4.0)
+        e2 = r.submit(1.0, not_before=2.0)  # must still wait for e1
+        intervals = _completions(sim, [e1, e2])
+        assert intervals == [(0.0, 4.0), (4.0, 5.0)]
+
+    def test_submission_respects_current_time(self):
+        sim = Simulator()
+        r = FifoResource(sim, "x")
+        captured = []
+        sim.schedule(10.0, lambda: captured.append(r.submit(1.0)))
+        sim.run()
+        done = []
+        captured[0].add_callback(done.append)
+        sim.run()
+        assert done == [(10.0, 11.0)]
+
+    def test_zero_duration_job(self):
+        sim = Simulator()
+        r = FifoResource(sim, "x")
+        e = r.submit(0.0)
+        assert _completions(sim, [e]) == [(0.0, 0.0)]
+
+    def test_negative_duration_rejected(self):
+        sim = Simulator()
+        r = FifoResource(sim, "x")
+        with pytest.raises(ValueError):
+            r.submit(-1.0)
+
+    def test_busy_time_and_utilization(self):
+        sim = Simulator()
+        r = FifoResource(sim, "x")
+        r.submit(2.0)
+        r.submit(3.0)
+        sim.run()
+        assert r.busy_time == 5.0
+        assert r.jobs_served == 2
+        assert r.utilization(10.0) == 0.5
+        assert r.utilization(2.0) == 1.0  # clipped
+        with pytest.raises(ValueError):
+            r.utilization(0.0)
+
+    def test_free_at(self):
+        sim = Simulator()
+        r = FifoResource(sim, "x")
+        assert r.free_at == 0.0
+        r.submit(7.0)
+        assert r.free_at == 7.0

@@ -1,0 +1,91 @@
+"""Steady-state period extraction and Chrome-trace export."""
+
+import json
+
+import pytest
+
+from repro.experiments.figures import analytic_step
+from repro.ir.loopnest import IterationSpace
+from repro.kernels.stencil import sqrt_kernel_3d
+from repro.kernels.workloads import StencilWorkload
+from repro.model.machine import pentium_cluster
+from repro.runtime.executor import run_tiled
+from repro.sim.steady import analyze, compute_starts, steady_period
+from repro.sim.tracing import Trace
+
+
+def _deep_run(blocking: bool):
+    w = StencilWorkload(
+        "deep", IterationSpace.from_extents([12, 12, 4096]),
+        sqrt_kernel_3d(), (3, 3, 1), 2,
+    )
+    m = pentium_cluster()
+    return w, m, run_tiled(w, 128, m, blocking=blocking, trace=True)
+
+
+class TestSteadyPeriod:
+    def test_overlap_period_matches_pipelined_step(self):
+        w, m, run = _deep_run(blocking=False)
+        sc = analytic_step(w, m, 128)
+        period = steady_period(run.trace, rank=4)  # interior rank
+        assert period == pytest.approx(sc.pipelined_step, rel=0.02)
+
+    def test_blocking_period_matches_warm_step(self):
+        w, m, run = _deep_run(blocking=True)
+        sc = analytic_step(w, m, 128)
+        warm = sc.cpu_side + sc.b3_fill_kernel_send + sc.b4_transmit
+        period = steady_period(run.trace, rank=4)
+        assert period == pytest.approx(warm, rel=0.05)
+
+    def test_analyze_report(self):
+        _, _, run = _deep_run(blocking=False)
+        rep = analyze(run.trace)
+        assert rep.fill_time > 0
+        assert rep.completion_time == pytest.approx(run.completion_time)
+        assert 0.5 < rep.steady_fraction <= 1.0
+        assert set(rep.per_rank_period) == set(run.trace.ranks())
+        assert rep.mean_period == pytest.approx(
+            sum(rep.per_rank_period.values()) / len(rep.per_rank_period)
+        )
+
+    def test_validation(self):
+        t = Trace()
+        t.add(0, "compute", 0.0, 1.0)
+        with pytest.raises(ValueError, match="at least 4"):
+            steady_period(t, 0)
+        with pytest.raises(ValueError):
+            steady_period(t, 0, discard_fraction=0.7)
+        with pytest.raises(ValueError, match="empty"):
+            analyze(Trace())
+
+    def test_compute_starts_ordering(self):
+        t = Trace()
+        for k in range(5):
+            t.add(0, "compute", float(k), float(k) + 0.5)
+            t.add(0, "blocked_recv", float(k) + 0.5, float(k) + 1.0)
+        assert compute_starts(t, 0) == [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert steady_period(t, 0) == pytest.approx(1.0)
+
+
+class TestChromeTraceExport:
+    def test_events_structure(self):
+        t = Trace()
+        t.add(1, "compute", 1e-6, 3e-6, "tile0")
+        t.add(0, "fill_mpi_send", 0.0, 1e-6)
+        events = t.to_chrome_trace()
+        assert len(events) == 2
+        ev = events[0]
+        assert ev["ph"] == "X"
+        assert ev["tid"] == 1
+        assert ev["name"] == "tile0"
+        assert ev["ts"] == pytest.approx(1.0)
+        assert ev["dur"] == pytest.approx(2.0)
+
+    def test_dump_roundtrip(self, tmp_path):
+        t = Trace()
+        t.add(0, "compute", 0.0, 1e-6)
+        path = tmp_path / "trace.json"
+        t.dump_chrome_trace(str(path))
+        loaded = json.loads(path.read_text())
+        assert len(loaded["traceEvents"]) == 1
+        assert loaded["traceEvents"][0]["cat"] == "compute"

@@ -1,0 +1,57 @@
+"""Tests for trace collection and utilisation accounting."""
+
+import pytest
+
+from repro.sim.tracing import CPU_BUSY_KINDS, Trace, TraceRecord
+
+
+class TestTrace:
+    def test_add_and_query(self):
+        t = Trace()
+        t.add(0, "compute", 0.0, 2.0, "tile0")
+        t.add(1, "compute", 0.0, 1.0)
+        t.add(0, "blocked_recv", 2.0, 3.0)
+        assert len(t.for_rank(0)) == 2
+        assert t.ranks() == [0, 1]
+        assert t.end_time() == 3.0
+
+    def test_record_duration(self):
+        r = TraceRecord(0, "compute", 1.0, 3.5)
+        assert r.duration == 2.5
+
+    def test_invalid_interval(self):
+        t = Trace()
+        with pytest.raises(ValueError):
+            t.add(0, "compute", 2.0, 1.0)
+
+    def test_disabled_trace_drops_records(self):
+        t = Trace(enabled=False)
+        t.add(0, "compute", 0.0, 1.0)
+        assert t.records == []
+        assert t.end_time() == 0.0
+
+    def test_busy_time_kinds(self):
+        t = Trace()
+        t.add(0, "compute", 0.0, 2.0)
+        t.add(0, "fill_mpi_send", 2.0, 3.0)
+        t.add(0, "blocked_recv", 3.0, 10.0)
+        assert t.busy_time(0) == 3.0
+        assert t.busy_time(0, kinds=["compute"]) == 2.0
+        assert "blocked_recv" not in CPU_BUSY_KINDS
+
+    def test_utilization(self):
+        t = Trace()
+        t.add(0, "compute", 0.0, 5.0)
+        assert t.utilization(0, 10.0) == 0.5
+        assert t.utilization(0, 4.0) == 1.0  # clipped
+        with pytest.raises(ValueError):
+            t.utilization(0, 0.0)
+
+    def test_mean_utilization(self):
+        t = Trace()
+        t.add(0, "compute", 0.0, 10.0)
+        t.add(1, "compute", 0.0, 5.0)
+        assert t.mean_utilization(10.0) == pytest.approx(0.75)
+
+    def test_mean_utilization_empty(self):
+        assert Trace().mean_utilization(1.0) == 0.0

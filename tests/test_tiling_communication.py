@@ -1,0 +1,128 @@
+"""Tests for communication-volume formulas (1) and (2)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.dependence import DependenceSet
+from repro.tiling.communication import (
+    communication_bytes,
+    communication_fraction,
+    communication_volume,
+    face_communication_volume,
+)
+from repro.tiling.transform import rectangular_tiling
+
+
+class TestPaperExample1:
+    """Example 1: 10×10 tiles, D = {(1,1),(1,0),(0,1)}, mapping along i1."""
+
+    def setup_method(self):
+        self.tiling = rectangular_tiling([10, 10])
+        self.deps = DependenceSet([(1, 1), (1, 0), (0, 1)])
+
+    def test_formula_2_gives_20(self):
+        assert communication_volume(self.tiling, self.deps, mapped_dim=0) == 20
+
+    def test_formula_1_counts_both_faces(self):
+        assert communication_volume(self.tiling, self.deps) == 40
+
+    def test_bytes(self):
+        assert communication_bytes(self.tiling, self.deps, 4, mapped_dim=0) == 80
+
+    def test_per_face(self):
+        assert face_communication_volume(self.tiling, self.deps, 0) == 20
+        assert face_communication_volume(self.tiling, self.deps, 1) == 20
+
+    def test_fraction_independent_of_volume_scaling(self):
+        """Boulet et al.: the ratio V_comm/V_comp depends on shape only."""
+        small = rectangular_tiling([10, 10])
+        large = rectangular_tiling([30, 30])
+        f_small = communication_fraction(small, self.deps)
+        f_large = communication_fraction(large, self.deps)
+        assert f_small == 3 * f_large  # ratio scales as 1/side
+
+
+class TestValidation:
+    def test_illegal_tiling_raises(self):
+        t = rectangular_tiling([4, 4])
+        d = DependenceSet([(1, -1)])
+        with pytest.raises(ValueError):
+            communication_volume(t, d)
+
+    def test_bad_mapped_dim(self):
+        t = rectangular_tiling([4, 4])
+        d = DependenceSet([(1, 0)])
+        with pytest.raises(ValueError):
+            communication_volume(t, d, mapped_dim=2)
+        with pytest.raises(ValueError):
+            communication_fraction(t, d, mapped_dim=-1)
+
+    def test_bad_face_dim(self):
+        t = rectangular_tiling([4, 4])
+        d = DependenceSet([(1, 0)])
+        with pytest.raises(ValueError):
+            face_communication_volume(t, d, 2)
+
+    def test_bad_bytes(self):
+        t = rectangular_tiling([4, 4])
+        d = DependenceSet([(1, 0)])
+        with pytest.raises(ValueError):
+            communication_bytes(t, d, 0)
+
+
+class TestExactness:
+    def test_3d_paper_tile(self):
+        """4×4×V tile of the §5 stencil sends 4V elements per face pair."""
+        d = DependenceSet([(1, 0, 0), (0, 1, 0), (0, 0, 1)])
+        v = 444
+        t = rectangular_tiling([4, 4, v])
+        assert face_communication_volume(t, d, 0) == 4 * v
+        assert face_communication_volume(t, d, 1) == 4 * v
+        assert face_communication_volume(t, d, 2) == 16
+        assert communication_volume(t, d, mapped_dim=2) == 8 * v
+
+    def test_diagonal_dependence_counts_both_rows(self):
+        d = DependenceSet([(1, 1)])
+        t = rectangular_tiling([5, 5])
+        assert communication_volume(t, d) == 10
+
+
+_side = st.integers(min_value=1, max_value=8)
+_dep = st.tuples(st.integers(0, 3), st.integers(0, 3)).filter(any)
+
+
+class TestProperties:
+    @given(st.tuples(_side, _side), st.lists(_dep, min_size=1, max_size=4))
+    @settings(max_examples=80, deadline=None)
+    def test_formula_matches_crossing_count(self, sides, vecs):
+        """Formula (1) literally counts dependence instances leaving the
+        tile: for each in-tile point and each dependence, count boundary
+        rows crossed."""
+        t = rectangular_tiling(list(sides))
+        d = DependenceSet(vecs)
+        expected = Fraction(0)
+        from repro.tiling.dependences import first_tile_points
+
+        for j0 in first_tile_points(t):
+            for vec in d.vectors:
+                dest = t.tile_of(tuple(a + b for a, b in zip(j0, vec)))
+                # one crossing per dimension stepped, weighted by steps
+                expected += sum(dest)
+        assert communication_volume(t, d) == expected
+
+    @given(st.tuples(_side, _side), st.lists(_dep, min_size=1, max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_mapped_volume_never_exceeds_total(self, sides, vecs):
+        t = rectangular_tiling(list(sides))
+        d = DependenceSet(vecs)
+        total = communication_volume(t, d)
+        assert communication_volume(t, d, mapped_dim=0) <= total
+        assert communication_volume(t, d, mapped_dim=1) <= total
+        assert (
+            communication_volume(t, d, mapped_dim=0)
+            + face_communication_volume(t, d, 0)
+            == total
+        )

@@ -1,0 +1,166 @@
+"""Cone membership, extreme vectors, and the [8] legality equivalence."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.dependence import DependenceSet
+from repro.tiling.cones import (
+    cone_contains_dependences,
+    extreme_vectors,
+    in_cone,
+    tiling_from_extremes,
+)
+from repro.tiling.transform import TilingTransformation, rectangular_tiling
+from repro.util.intmat import FractionMatrix
+
+
+class TestInCone:
+    def test_square_exact_case(self):
+        gens = [(1, 0), (0, 1)]
+        assert in_cone(gens, (3, 5))
+        assert not in_cone(gens, (-1, 0))
+
+    def test_boundary_rays(self):
+        gens = [(1, 0), (1, 1)]
+        assert in_cone(gens, (2, 0))
+        assert in_cone(gens, (3, 3))
+        assert in_cone(gens, (2, 1))
+        assert not in_cone(gens, (0, 1))
+
+    def test_redundant_generators_lp_path(self):
+        gens = [(1, 0), (0, 1), (1, 1)]
+        assert in_cone(gens, (5, 3))
+        assert not in_cone(gens, (-1, 2))
+
+    def test_underdetermined(self):
+        assert in_cone([(1, 1)], (2, 2))
+        assert not in_cone([(1, 1)], (2, 1))
+
+    def test_zero_point_always_in(self):
+        assert in_cone([(1, 0)], (0, 0))
+        assert in_cone([], (0, 0))
+        assert not in_cone([], (1, 0))
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            in_cone([(1, 0)], (1, 0, 0))
+
+
+class TestLegalityEquivalence:
+    """Ramanujam–Sadayappan: H D >= 0  ⟺  D ⊆ cone(columns of P)."""
+
+    def test_rectangular(self):
+        deps = DependenceSet([(1, 1), (1, 0), (0, 1)])
+        t = rectangular_tiling([10, 10])
+        assert t.is_legal(deps) == cone_contains_dependences(t, deps)
+
+    def test_illegal_case(self):
+        deps = DependenceSet([(1, -1)])
+        t = rectangular_tiling([4, 4])
+        assert not t.is_legal(deps)
+        assert not cone_contains_dependences(t, deps)
+
+    def test_skewed_tiling(self):
+        deps = DependenceSet([(1, -1), (0, 1)])
+        t = TilingTransformation(H=FractionMatrix([["1/4", 0], ["1/4", "1/4"]]))
+        assert t.is_legal(deps)
+        assert cone_contains_dependences(t, deps)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 3), st.integers(-3, 3)).filter(any),
+            min_size=1, max_size=4,
+        ),
+        st.integers(1, 5), st.integers(1, 5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_equivalence_random(self, vecs, s1, s2):
+        # Filter out lexicographically negative vectors for a valid set.
+        vecs = [v for v in vecs if v[0] > 0 or (v[0] == 0 and v[1] > 0)]
+        if not vecs:
+            return
+        deps = DependenceSet(vecs)
+        t = rectangular_tiling([s1, s2])
+        assert t.is_legal(deps) == cone_contains_dependences(t, deps)
+
+
+class TestExtremeVectors:
+    def test_example1(self):
+        """(1,1) lies in cone{(1,0),(0,1)}: the extremes are the units."""
+        deps = DependenceSet([(1, 1), (1, 0), (0, 1)])
+        assert set(extreme_vectors(deps)) == {(1, 0), (0, 1)}
+
+    def test_all_extreme(self):
+        deps = DependenceSet([(2, -1), (1, 2)])
+        assert set(extreme_vectors(deps)) == {(2, -1), (1, 2)}
+
+    def test_scalar_multiples_collapse(self):
+        deps = DependenceSet([(1, 1), (2, 2), (3, 3)])
+        ext = extreme_vectors(deps)
+        assert len(ext) == 1
+
+    def test_3d(self):
+        deps = DependenceSet(
+            [(1, 0, 0), (0, 1, 0), (0, 0, 1), (1, 1, 1), (1, 0, 1)]
+        )
+        assert set(extreme_vectors(deps)) == {(1, 0, 0), (0, 1, 0), (0, 0, 1)}
+
+
+class TestTilingFromExtremes:
+    def test_unit_extremes_give_rectangular(self):
+        deps = DependenceSet([(1, 1), (1, 0), (0, 1)])
+        t = tiling_from_extremes(deps, scale=10)
+        assert t.is_legal(deps)
+        assert t.tile_volume() == 100
+
+    def test_skewed_extremes(self):
+        deps = DependenceSet([(1, -1), (1, 1), (1, 0)])
+        t = tiling_from_extremes(deps, scale=4)
+        assert t.is_legal(deps)
+        assert not t.is_rectangular()
+
+    def test_scaling_contains_dependences(self):
+        deps = DependenceSet([(1, 1), (1, 0), (0, 1)])
+        assert tiling_from_extremes(deps, scale=4).contains_dependences(deps)
+
+    def test_wrong_extreme_count(self):
+        deps = DependenceSet([(1, 1)])
+        with pytest.raises(ValueError, match="extreme vectors"):
+            tiling_from_extremes(deps)
+
+    def test_bad_scale(self):
+        deps = DependenceSet([(1, 0), (0, 1)])
+        with pytest.raises(ValueError):
+            tiling_from_extremes(deps, scale=0)
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 4), st.integers(0, 4)).filter(any),
+            min_size=1, max_size=5,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_extremes_generate_the_same_cone(self, vecs):
+        deps = DependenceSet(vecs)
+        ext = extreme_vectors(deps)
+        assert ext  # never empty
+        for v in deps.vectors:
+            assert in_cone(ext, v)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 4), st.integers(0, 4)).filter(any),
+            min_size=1, max_size=5,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_extremes_are_irredundant(self, vecs):
+        deps = DependenceSet(vecs)
+        ext = list(extreme_vectors(deps))
+        for k, v in enumerate(ext):
+            others = ext[:k] + ext[k + 1:]
+            if others:
+                assert not in_cone(others, v)

@@ -1,0 +1,119 @@
+"""Tests for the supernode dependence matrix D^S (paper §2.3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.dependence import DependenceSet
+from repro.util.intmat import FractionMatrix
+from repro.tiling.dependences import (
+    first_tile_points,
+    supernode_dependence_set,
+    supernode_dependences,
+)
+from repro.tiling.transform import TilingTransformation, rectangular_tiling
+
+
+class TestFirstTilePoints:
+    def test_rectangular(self):
+        pts = list(first_tile_points(rectangular_tiling([2, 3])))
+        assert len(pts) == 6
+        assert (0, 0) in pts and (1, 2) in pts
+
+    def test_skewed_count_equals_volume(self):
+        t = TilingTransformation(P=FractionMatrix([[2, 1], [0, 2]]))
+        pts = list(first_tile_points(t))
+        assert len(pts) == int(t.tile_volume()) == 4
+        for p in pts:
+            assert all(0 <= x < 1 for x in t.H.matvec(p))
+
+
+class TestSupernodeDependences:
+    def test_contained_dependences_give_unit_vectors(self):
+        d = DependenceSet([(1, 1), (1, 0), (0, 1)])
+        t = rectangular_tiling([10, 10])
+        ds = set(supernode_dependences(t, d))
+        # Every unit combination reachable, including intra-tile zero.
+        assert ds == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+    def test_supernode_set_drops_zero(self):
+        d = DependenceSet([(1, 0), (0, 1)])
+        t = rectangular_tiling([4, 4])
+        s = supernode_dependence_set(t, d)
+        assert set(s.vectors) == {(0, 0 + 1), (1, 0)}
+        assert s.is_unitary()
+
+    def test_large_dependence_not_unitary(self):
+        d = DependenceSet([(5,)])
+        t = rectangular_tiling([4])
+        ds = supernode_dependences(t, d)
+        assert set(ds) == {(1,), (2,)}
+
+    def test_exactly_tile_sized_dependence(self):
+        d = DependenceSet([(4,)])
+        t = rectangular_tiling([4])
+        assert set(supernode_dependences(t, d)) == {(1,)}
+
+    def test_all_intra_tile_raises(self):
+        # A dependence of (1,) within tiles of size 100 still crosses a
+        # boundary for the last in-tile point, so build a genuinely
+        # intra-tile-only case via a legal-but-contained check instead:
+        # there is none for nonzero uniform deps on an infinite lattice,
+        # so the error path needs a dependence filtered to zero — not
+        # constructible; assert supernode_dependence_set never returns
+        # an empty set for unit deps.
+        d = DependenceSet([(1, 0)])
+        t = rectangular_tiling([3, 3])
+        s = supernode_dependence_set(t, d)
+        assert len(s) >= 1
+
+    def test_illegal_tiling_raises(self):
+        d = DependenceSet([(1, -1)])
+        t = rectangular_tiling([4, 4])
+        with pytest.raises(ValueError):
+            supernode_dependences(t, d)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            supernode_dependences(rectangular_tiling([4]), DependenceSet([(1, 0)]))
+
+    def test_skewed_tiling_matches_rectangular_on_diagonal_free_deps(self):
+        d = DependenceSet([(1, 0), (0, 1)])
+        t = TilingTransformation(P=FractionMatrix([[2, 0], [0, 2]]))
+        assert set(supernode_dependences(t, d)) == {(0, 0), (1, 0), (0, 1)}
+
+
+def _brute_force(tiling, deps):
+    out = set()
+    for d in deps.vectors:
+        for j0 in first_tile_points(tiling):
+            shifted = tuple(a + b for a, b in zip(j0, d))
+            out.add(tiling.tile_of(shifted))
+    return out
+
+
+_side = st.integers(min_value=1, max_value=6)
+_dep = st.tuples(st.integers(0, 4), st.integers(0, 4)).filter(any)
+
+
+class TestAgainstBruteForce:
+    @given(st.tuples(_side, _side), st.lists(_dep, min_size=1, max_size=4))
+    @settings(max_examples=80, deadline=None)
+    def test_combinatorial_equals_enumeration(self, sides, vecs):
+        """The fast per-dimension construction for rectangular tilings must
+        agree with literal enumeration of the first tile."""
+        t = rectangular_tiling(list(sides))
+        d = DependenceSet(vecs)
+        assert set(supernode_dependences(t, d)) == _brute_force(t, d)
+
+    @given(st.tuples(_side, _side), st.lists(_dep, min_size=1, max_size=4))
+    @settings(max_examples=60, deadline=None)
+    def test_containment_implies_unitary(self, sides, vecs):
+        """Paper §2.3: floor(H D) < 1 ⟹ D^S is 0/1."""
+        t = rectangular_tiling(list(sides))
+        d = DependenceSet(vecs)
+        if t.contains_dependences(d):
+            assert all(
+                all(x in (0, 1) for x in v)
+                for v in supernode_dependences(t, d)
+            )

@@ -1,0 +1,97 @@
+"""Tests for grain (tile-size) selection coupled to the machine model."""
+
+import pytest
+
+from repro.ir.dependence import DependenceSet
+from repro.model.machine import example1_machine, pentium_cluster
+from repro.model.completion import hodzic_shang_optimal_grain, lemma1_p0
+from repro.tiling.grain import (
+    face_elements_for_sides,
+    messages_per_step,
+    nonoverlap_grain_curve_point,
+    overlap_grain_curve_point,
+    tune_grain,
+)
+
+
+class TestMessagesPerStep:
+    def test_example1(self):
+        d = DependenceSet([(1, 1), (1, 0), (0, 1)])
+        assert messages_per_step(d, mapped_dim=0) == 1
+
+    def test_3d_stencil(self):
+        d = DependenceSet([(1, 0, 0), (0, 1, 0), (0, 0, 1)])
+        assert messages_per_step(d, mapped_dim=2) == 2
+
+    def test_non_communicating_dim(self):
+        d = DependenceSet([(1, 0, 0), (0, 0, 1)])
+        assert messages_per_step(d, mapped_dim=2) == 1
+
+    def test_bad_dim(self):
+        d = DependenceSet([(1, 0)])
+        with pytest.raises(ValueError):
+            messages_per_step(d, mapped_dim=5)
+
+
+class TestFaceElements:
+    def test_paper_tile(self):
+        d = DependenceSet([(1, 0, 0), (0, 1, 0), (0, 0, 1)])
+        faces = face_elements_for_sides((4, 4, 444), d, mapped_dim=2)
+        assert faces == [4 * 444, 4 * 444]
+
+    def test_weighted_by_column_sum(self):
+        d = DependenceSet([(1, 1), (1, 0), (0, 1)])  # c = (2, 2)
+        faces = face_elements_for_sides((10, 10), d, mapped_dim=0)
+        assert faces == [2 * 100 / 10]
+
+    def test_validation(self):
+        d = DependenceSet([(1, 0)])
+        with pytest.raises(ValueError):
+            face_elements_for_sides((4,), DependenceSet([(1, 0)]), mapped_dim=0)
+        with pytest.raises(ValueError):
+            face_elements_for_sides((0, 1), d, mapped_dim=0)
+
+
+class TestGrainTuning:
+    def test_hodzic_shang_example1(self):
+        """Example 1: g = c·t_s/t_c = 100 for one neighbour."""
+        assert hodzic_shang_optimal_grain(example1_machine(), 1) == pytest.approx(100.0)
+
+    def test_curves_positive_and_finite(self):
+        m = pentium_cluster()
+        d = DependenceSet([(1, 0, 0), (0, 1, 0), (0, 0, 1)])
+        p0 = lemma1_p0(100, 1000.0, 3)
+        for g in (10.0, 100.0, 10000.0):
+            t_non = nonoverlap_grain_curve_point(m, d, g, 2, p0, 3)
+            t_ovl = overlap_grain_curve_point(m, d, g, 2, p0, 3)
+            assert t_non > 0 and t_ovl > 0
+
+    def test_overlap_curve_below_nonoverlap(self):
+        """At equal grain and step count, max(A,B) <= serialized A+B'."""
+        m = pentium_cluster()
+        d = DependenceSet([(1, 0, 0), (0, 1, 0), (0, 0, 1)])
+        p0 = lemma1_p0(100, 1000.0, 3)
+        for g in (100.0, 1000.0, 100000.0):
+            assert overlap_grain_curve_point(m, d, g, 2, p0, 3) <= (
+                nonoverlap_grain_curve_point(m, d, g, 2, p0, 3)
+            )
+
+    def test_tune_grain_interior_optimum(self):
+        m = pentium_cluster()
+        d = DependenceSet([(1, 0, 0), (0, 1, 0), (0, 0, 1)])
+        p0 = lemma1_p0(100, 1000.0, 3)
+        g_opt, t_opt = tune_grain(
+            m, d, overlap=True, mapped_dim=2, p0=p0, ndim=3,
+            lower=8.0, upper=1e6,
+        )
+        assert 8.0 < g_opt < 1e6
+        # Optimum beats both endpoints.
+        assert t_opt <= overlap_grain_curve_point(m, d, 8.0, 2, p0, 3)
+        assert t_opt <= overlap_grain_curve_point(m, d, 1e6, 2, p0, 3)
+
+    def test_tune_grain_rejects_bad_bounds(self):
+        m = pentium_cluster()
+        d = DependenceSet([(1, 0)])
+        with pytest.raises(ValueError):
+            tune_grain(m, d, overlap=False, mapped_dim=0, p0=10.0, ndim=2,
+                       lower=10.0, upper=5.0)

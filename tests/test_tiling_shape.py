@@ -1,0 +1,136 @@
+"""Tests for communication-minimal tile shape selection."""
+
+import math
+from itertools import product
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.dependence import DependenceSet
+from repro.tiling.shape import (
+    communication_minimal_rectangular_tiling,
+    communication_ratio,
+    continuous_optimal_sides,
+    dependence_column_sums,
+    optimal_rectangular_sides,
+    rectangular_communication_volume,
+)
+
+
+class TestColumnSums:
+    def test_example1(self):
+        d = DependenceSet([(1, 1), (1, 0), (0, 1)])
+        assert dependence_column_sums(d) == (2, 2)
+
+    def test_3d(self):
+        d = DependenceSet([(1, 0, 0), (0, 1, 0), (0, 0, 1)])
+        assert dependence_column_sums(d) == (1, 1, 1)
+
+
+class TestRectangularVolume:
+    def test_matches_formula(self):
+        d = DependenceSet([(1, 0), (0, 1)])
+        # 4x8 tile: comm = g*(1/4 + 1/8) = 32*(0.375) = 12
+        assert rectangular_communication_volume((4, 8), d) == pytest.approx(12.0)
+
+    def test_mapped_dim_excluded(self):
+        d = DependenceSet([(1, 0), (0, 1)])
+        assert rectangular_communication_volume((4, 8), d, mapped_dim=0) == (
+            pytest.approx(4.0)
+        )
+
+    def test_validation(self):
+        d = DependenceSet([(1, 0)])
+        with pytest.raises(ValueError):
+            rectangular_communication_volume((4,), d)
+        with pytest.raises(ValueError):
+            rectangular_communication_volume((0, 1), d)
+
+
+class TestContinuousOptimum:
+    def test_symmetric_deps_give_square(self):
+        d = DependenceSet([(1, 0), (0, 1)])
+        s = continuous_optimal_sides(d, 100.0)
+        assert s[0] == pytest.approx(s[1])
+        assert s[0] * s[1] == pytest.approx(100.0)
+
+    def test_sides_proportional_to_column_sums(self):
+        d = DependenceSet([(2, 0), (0, 1)])  # c = (2, 1)
+        s = continuous_optimal_sides(d, 128.0)
+        assert s[0] / s[1] == pytest.approx(2.0)
+        assert s[0] * s[1] == pytest.approx(128.0)
+
+    def test_mapped_dim_gets_free_share(self):
+        d = DependenceSet([(1, 0), (0, 1)])
+        s = continuous_optimal_sides(d, 64.0, mapped_dim=0)
+        assert s[0] > 0 and s[1] > 0
+        assert s[0] * s[1] == pytest.approx(64.0)
+
+    def test_no_communicating_dims(self):
+        d = DependenceSet([(0, 1)])
+        s = continuous_optimal_sides(d, 49.0, mapped_dim=1)
+        assert s[0] * s[1] == pytest.approx(49.0)
+
+    def test_validation(self):
+        d = DependenceSet([(1, 0)])
+        with pytest.raises(ValueError):
+            continuous_optimal_sides(d, -1.0)
+        with pytest.raises(ValueError):
+            continuous_optimal_sides(d, 10.0, mapped_dim=7)
+
+
+class TestIntegerOptimum:
+    def test_square_for_symmetric(self):
+        d = DependenceSet([(1, 1), (1, 0), (0, 1)])
+        assert optimal_rectangular_sides(d, 100) == (10, 10)
+
+    def test_respects_budget(self):
+        d = DependenceSet([(1, 0), (0, 1)])
+        sides = optimal_rectangular_sides(d, 37)
+        assert sides[0] * sides[1] <= 37
+
+    def test_degenerate_budget(self):
+        d = DependenceSet([(1, 0), (0, 1)])
+        assert optimal_rectangular_sides(d, 1) == (1, 1)
+
+    def test_tiling_wrapper_legal(self):
+        d = DependenceSet([(1, 1), (1, 0), (0, 1)])
+        t = communication_minimal_rectangular_tiling(d, 100)
+        assert t.is_legal(d)
+        assert t.tile_sides() == (10, 10)
+
+    def test_ratio_helper(self):
+        d = DependenceSet([(1, 0), (0, 1)])
+        t = communication_minimal_rectangular_tiling(d, 16)
+        assert communication_ratio(t, d) == 0.5  # 2/side at side 4
+
+
+def _brute_best(deps, volume, mapped_dim):
+    best = None
+    best_key = None
+    for cand in product(range(1, volume + 1), repeat=deps.ndim):
+        vol = math.prod(cand)
+        if vol > volume:
+            continue
+        comm = rectangular_communication_volume(cand, deps, mapped_dim)
+        key = (comm / vol, -vol)
+        if best_key is None or key < best_key:
+            best_key, best = key, cand
+    return best_key
+
+
+_dep2 = st.tuples(st.integers(0, 2), st.integers(0, 2)).filter(any)
+
+
+class TestAgainstBruteForce:
+    @given(st.lists(_dep2, min_size=1, max_size=3), st.integers(4, 36))
+    @settings(max_examples=40, deadline=None)
+    def test_local_search_matches_exhaustive(self, vecs, volume):
+        """With a generous search radius the local search finds the same
+        quality as exhaustive search on small budgets."""
+        d = DependenceSet(vecs)
+        sides = optimal_rectangular_sides(d, volume, search_radius=volume)
+        vol = math.prod(sides)
+        key = (rectangular_communication_volume(sides, d) / vol, -vol)
+        assert key == _brute_best(d, volume, None)

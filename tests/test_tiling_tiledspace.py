@@ -1,0 +1,120 @@
+"""Tests for tiled-space bounds and per-tile index slices."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.loopnest import IterationSpace
+from repro.util.intmat import FractionMatrix
+from repro.tiling.tiledspace import tile_space
+from repro.tiling.transform import TilingTransformation, rectangular_tiling
+
+
+class TestRectangularBounds:
+    def test_example1_tiled_space(self):
+        """Paper Example 1: 10000×1000 with 10×10 tiles → 1000×100 tiles."""
+        space = IterationSpace.from_extents([10000, 1000])
+        ts = tile_space(space, rectangular_tiling([10, 10]))
+        assert ts.lower == (0, 0)
+        assert ts.upper == (999, 99)
+        assert ts.extents == (1000, 100)
+        assert ts.tile_count == 100000
+        assert ts.exact
+
+    def test_partial_tiles(self):
+        space = IterationSpace.from_extents([10])
+        ts = tile_space(space, rectangular_tiling([4]))
+        assert ts.extents == (3,)
+        assert ts.tile_point_count((0,)) == 4
+        assert ts.tile_point_count((2,)) == 2
+        assert ts.is_full_tile((0,)) and not ts.is_full_tile((2,))
+
+    def test_tile_index_bounds(self):
+        space = IterationSpace.from_extents([10])
+        ts = tile_space(space, rectangular_tiling([4]))
+        assert ts.tile_index_bounds((1,)) == ((4,), (7,))
+        assert ts.tile_index_bounds((2,)) == ((8,), (9,))
+
+    def test_negative_lower(self):
+        space = IterationSpace([-5], [5])
+        ts = tile_space(space, rectangular_tiling([4]))
+        assert ts.lower == (-2,)
+        assert ts.upper == (1,)
+
+    def test_outside_tile_rejected(self):
+        space = IterationSpace.from_extents([10])
+        ts = tile_space(space, rectangular_tiling([4]))
+        with pytest.raises(ValueError):
+            ts.tile_index_bounds((5,))
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            tile_space(IterationSpace.from_extents([4]), rectangular_tiling([2, 2]))
+
+    def test_normalized_upper_and_last_tile(self):
+        space = IterationSpace([-5], [5])
+        ts = tile_space(space, rectangular_tiling([4]))
+        assert ts.last_tile == (1,)
+        assert ts.normalized_upper() == (3,)
+
+    def test_tiles_enumeration(self):
+        space = IterationSpace.from_extents([4, 4])
+        ts = tile_space(space, rectangular_tiling([2, 2]))
+        tiles = list(ts.tiles())
+        assert len(tiles) == ts.tile_count == 4
+        assert tiles[0] == (0, 0) and tiles[-1] == (1, 1)
+
+    def test_contains(self):
+        space = IterationSpace.from_extents([4, 4])
+        ts = tile_space(space, rectangular_tiling([2, 2]))
+        assert ts.contains((1, 1))
+        assert not ts.contains((2, 0))
+        assert not ts.contains((0,))
+
+
+class TestGeneralBounds:
+    def test_skewed_bounding_box_covers_all_tiles(self):
+        space = IterationSpace.from_extents([8, 8])
+        t = TilingTransformation(P=FractionMatrix([[2, 1], [0, 2]]))
+        ts = tile_space(space, t)
+        assert not ts.exact
+        for p in space.points():
+            assert ts.contains(t.tile_of(p))
+
+    def test_general_tiling_rejects_index_bounds(self):
+        space = IterationSpace.from_extents([8, 8])
+        t = TilingTransformation(P=FractionMatrix([[2, 1], [0, 2]]))
+        ts = tile_space(space, t)
+        with pytest.raises(ValueError):
+            ts.tile_index_bounds((0, 0))
+
+
+_extent = st.integers(min_value=1, max_value=30)
+_side = st.integers(min_value=1, max_value=9)
+
+
+class TestProperties:
+    @given(st.lists(st.tuples(_extent, _side), min_size=1, max_size=3))
+    @settings(max_examples=60, deadline=None)
+    def test_tile_point_counts_partition_the_space(self, dims):
+        """Every index point belongs to exactly one tile, so per-tile
+        counts sum to the space size."""
+        extents = [e for e, _ in dims]
+        sides = [s for _, s in dims]
+        space = IterationSpace.from_extents(extents)
+        ts = tile_space(space, rectangular_tiling(sides))
+        assert sum(ts.tile_point_count(t) for t in ts.tiles()) == space.size
+
+    @given(st.lists(st.tuples(_extent, _side), min_size=1, max_size=2))
+    @settings(max_examples=40, deadline=None)
+    def test_every_point_maps_into_bounds(self, dims):
+        extents = [e for e, _ in dims]
+        sides = [s for _, s in dims]
+        space = IterationSpace.from_extents(extents)
+        tiling = rectangular_tiling(sides)
+        ts = tile_space(space, tiling)
+        for p in space.points():
+            tile = tiling.tile_of(p)
+            assert ts.contains(tile)
+            lo, hi = ts.tile_index_bounds(tile)
+            assert all(a <= x <= b for a, x, b in zip(lo, p, hi))

@@ -1,0 +1,160 @@
+"""Tests for the supernode transformation H/P (paper §2.3)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.dependence import DependenceSet
+from repro.util.intmat import FractionMatrix
+from repro.tiling.transform import TilingTransformation, rectangular_tiling
+
+
+class TestConstruction:
+    def test_from_p(self):
+        t = TilingTransformation(P=FractionMatrix([[10, 0], [0, 10]]))
+        assert t.H[0, 0] == Fraction(1, 10)
+
+    def test_from_h(self):
+        t = TilingTransformation(H=FractionMatrix([["1/10", 0], [0, "1/10"]]))
+        assert t.P[0, 0] == 10
+
+    def test_exactly_one_argument(self):
+        m = FractionMatrix([[1, 0], [0, 1]])
+        with pytest.raises(ValueError):
+            TilingTransformation()
+        with pytest.raises(ValueError):
+            TilingTransformation(H=m, P=m)
+
+    def test_singular_rejected(self):
+        with pytest.raises(ValueError):
+            TilingTransformation(P=FractionMatrix([[1, 1], [1, 1]]))
+        with pytest.raises(ValueError):
+            TilingTransformation(H=FractionMatrix([[1, 1], [1, 1]]))
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(ValueError):
+            TilingTransformation(P=FractionMatrix([[1, 0, 0], [0, 1, 0]]))
+
+    def test_hp_mutually_inverse(self):
+        t = rectangular_tiling([3, 5])
+        assert t.H @ t.P == FractionMatrix([[1, 0], [0, 1]])
+
+
+class TestRectangular:
+    def test_sides_and_volume(self):
+        t = rectangular_tiling([4, 4, 100])
+        assert t.is_rectangular()
+        assert t.tile_sides() == (4, 4, 100)
+        assert t.tile_volume() == 1600
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            rectangular_tiling([4, 0])
+        with pytest.raises(ValueError):
+            rectangular_tiling([])
+
+    def test_nonrectangular_detected(self):
+        t = TilingTransformation(P=FractionMatrix([[2, 1], [0, 2]]))
+        assert not t.is_rectangular()
+        with pytest.raises(ValueError):
+            t.tile_sides()
+
+    def test_str(self):
+        assert "10x10" in str(rectangular_tiling([10, 10]))
+
+
+class TestTransformMap:
+    def test_tile_of(self):
+        t = rectangular_tiling([10, 10])
+        assert t.tile_of((0, 0)) == (0, 0)
+        assert t.tile_of((9, 9)) == (0, 0)
+        assert t.tile_of((10, 9)) == (1, 0)
+        assert t.tile_of((-1, 0)) == (-1, 0)
+
+    def test_local_of(self):
+        t = rectangular_tiling([10, 10])
+        assert t.local_of((13, 7)) == (3, 7)
+        assert t.local_of((-1, 0)) == (9, 0)
+
+    def test_transform_pair(self):
+        t = rectangular_tiling([4, 4])
+        tile, local = t.transform((5, 2))
+        assert tile == (1, 0)
+        assert local == (1, 2)
+
+    def test_tile_origin(self):
+        t = rectangular_tiling([4, 8])
+        assert t.tile_origin((2, 1)) == (8, 8)
+
+    def test_skewed_tiling(self):
+        # P columns (2,0) and (1,2): a parallelogram tile of area 4.
+        t = TilingTransformation(P=FractionMatrix([[2, 1], [0, 2]]))
+        assert t.tile_volume() == 4
+        assert t.tile_of((0, 0)) == (0, 0)
+        # j = P @ (1, 1) = (3, 2) is the origin of tile (1, 1).
+        assert t.tile_of((3, 2)) == (1, 1)
+        assert t.local_of((3, 2)) == (0, 0)
+
+
+class TestLegality:
+    def test_example1_legal(self):
+        d = DependenceSet([(1, 1), (1, 0), (0, 1)])
+        t = rectangular_tiling([10, 10])
+        assert t.is_legal(d)
+        assert t.contains_dependences(d)
+        t.check_legal(d)
+
+    def test_negative_dependence_illegal_for_rectangular(self):
+        d = DependenceSet([(1, -1)])
+        t = rectangular_tiling([10, 10])
+        assert not t.is_legal(d)
+        with pytest.raises(ValueError, match="illegal tiling"):
+            t.check_legal(d)
+
+    def test_skewed_tiling_legalises_negative_dependence(self):
+        # d = (1, -1) is illegal for rectangular tiles but legal for a
+        # tiling whose H rows are (1,0) and (1,1) scaled: H d >= 0.
+        d = DependenceSet([(1, -1), (0, 1)])
+        h = FractionMatrix([["1/4", 0], ["1/4", "1/4"]])
+        t = TilingTransformation(H=h)
+        assert t.is_legal(d)
+
+    def test_containment_fails_for_large_dependence(self):
+        d = DependenceSet([(5, 0)])
+        t = rectangular_tiling([4, 4])
+        assert t.is_legal(d)
+        assert not t.contains_dependences(d)
+
+
+_sides = st.lists(st.integers(min_value=1, max_value=9), min_size=2, max_size=3)
+_point3 = st.tuples(
+    st.integers(-30, 30), st.integers(-30, 30), st.integers(-30, 30)
+)
+
+
+class TestProperties:
+    @given(_sides, _point3)
+    @settings(max_examples=80, deadline=None)
+    def test_transform_roundtrip(self, sides, point):
+        """r(j) decomposes j exactly: j = P·tile + local with local in the
+        fundamental half-open box (0 <= H·local < 1)."""
+        p = point[: len(sides)]
+        t = rectangular_tiling(sides)
+        tile, local = t.transform(p)
+        origin = t.tile_origin(tile)
+        assert tuple(o + l for o, l in zip(origin, local)) == tuple(
+            Fraction(x) for x in p
+        )
+        h_local = t.H.matvec([float(x) for x in local])
+        assert all(0 <= x < 1 for x in h_local)
+
+    @given(_sides)
+    @settings(max_examples=40, deadline=None)
+    def test_volume_is_product_of_sides(self, sides):
+        t = rectangular_tiling(sides)
+        prod = 1
+        for s in sides:
+            prod *= s
+        assert t.tile_volume() == prod

@@ -1,0 +1,189 @@
+"""Tests for the UET/UET-UCT grid scheduling theory ([1])."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.uetuct.dag import build_grid_dag, critical_path_makespan
+from repro.uetuct.grid import (
+    optimal_mapping_dimension,
+    uet_makespan_dp,
+    uet_optimal_makespan,
+    uet_uct_hyperplane,
+    uet_uct_makespan_dp,
+    uet_uct_optimal_makespan,
+    unit_dependence_vectors,
+)
+
+
+class TestBasics:
+    def test_unit_vectors(self):
+        assert unit_dependence_vectors(2) == ((1, 0), (0, 1))
+        with pytest.raises(ValueError):
+            unit_dependence_vectors(0)
+
+    def test_uet_formula(self):
+        assert uet_optimal_makespan((3, 4)) == 8
+        assert uet_optimal_makespan((0, 0)) == 1
+
+    def test_mapping_dimension(self):
+        assert optimal_mapping_dimension((2, 9, 4)) == 1
+        assert optimal_mapping_dimension((5, 5)) == 0
+
+    def test_hyperplane(self):
+        assert uet_uct_hyperplane(3, 1) == (2, 1, 2)
+        with pytest.raises(ValueError):
+            uet_uct_hyperplane(2, 2)
+
+    def test_uct_formula(self):
+        # map along dim 1 (largest): 2·3 + 9 + 1
+        assert uet_uct_optimal_makespan((3, 9)) == 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            uet_optimal_makespan((-1, 2))
+        with pytest.raises(ValueError):
+            uet_uct_makespan_dp((2, 2), 5)
+
+
+class TestDPvsFormulas:
+    def test_uet_dp_matches_formula(self):
+        for upper in [(0,), (3,), (2, 2), (3, 4), (2, 3, 4)]:
+            assert uet_makespan_dp(upper) == uet_optimal_makespan(upper)
+
+    def test_uct_dp_matches_formula_on_optimal_dim(self):
+        for upper in [(3, 9), (2, 2), (4, 1), (2, 3, 5)]:
+            i = optimal_mapping_dimension(upper)
+            assert uet_uct_makespan_dp(upper, i) == uet_uct_optimal_makespan(upper)
+
+    def test_largest_dimension_is_optimal_choice(self):
+        """[1]'s space-schedule theorem, checked exhaustively."""
+        for upper in [(3, 9), (5, 2), (2, 3, 5), (4, 4, 1)]:
+            spans = [uet_uct_makespan_dp(upper, d) for d in range(len(upper))]
+            i = optimal_mapping_dimension(upper)
+            assert spans[i] == min(spans)
+
+    def test_grid_size_guard(self):
+        with pytest.raises(ValueError, match="too large"):
+            uet_makespan_dp((300, 300, 300))
+
+
+class TestNetworkxCrossCheck:
+    def test_uet(self):
+        for upper in [(3,), (2, 3), (2, 2, 2)]:
+            assert critical_path_makespan(upper) == uet_makespan_dp(upper)
+
+    def test_uct(self):
+        for upper in [(3, 9), (2, 3, 4)]:
+            for d in range(len(upper)):
+                assert critical_path_makespan(upper, d) == (
+                    uet_uct_makespan_dp(upper, d)
+                )
+
+    def test_dag_structure(self):
+        g = build_grid_dag((1, 1))
+        # 4 grid nodes + source
+        assert g.number_of_nodes() == 5
+        assert g.has_edge((0, 0), (0, 1))
+        assert g.has_edge((0, 0), (1, 0))
+        assert not g.has_edge((0, 0), (1, 1))
+
+    def test_dag_validation(self):
+        with pytest.raises(ValueError):
+            build_grid_dag((-1,))
+        with pytest.raises(ValueError):
+            build_grid_dag((2, 2), 5)
+
+
+class TestOverlapScheduleConnection:
+    def test_overlap_pi_equals_uetuct_hyperplane(self):
+        from repro.schedule.overlap import overlap_pi
+
+        assert overlap_pi(3, 2) == uet_uct_hyperplane(3, 2)
+
+
+_upper = st.tuples(st.integers(0, 4), st.integers(0, 4), st.integers(0, 4))
+
+
+class TestProperties:
+    @given(_upper)
+    @settings(max_examples=30, deadline=None)
+    def test_dp_formula_networkx_triple_agreement(self, upper):
+        i = optimal_mapping_dimension(upper)
+        formula = uet_uct_optimal_makespan(upper)
+        assert uet_uct_makespan_dp(upper, i) == formula
+        assert critical_path_makespan(upper, i) == formula
+
+    @given(_upper)
+    @settings(max_examples=30, deadline=None)
+    def test_uct_at_least_uet(self, upper):
+        """Communication can only lengthen the schedule."""
+        for d in range(3):
+            assert uet_uct_makespan_dp(upper, d) >= uet_makespan_dp(upper)
+
+    @given(_upper)
+    @settings(max_examples=30, deadline=None)
+    def test_formula_is_lower_bound_over_mappings(self, upper):
+        best = min(uet_uct_makespan_dp(upper, d) for d in range(3))
+        assert uet_uct_optimal_makespan(upper) == best
+
+
+class TestGeneralizedCommDelay:
+    """The delay-c generalisation: UET-UCT is c = 1, UET is c = 0."""
+
+    def test_reduces_to_special_cases(self):
+        from repro.uetuct.grid import (
+            generalized_hyperplane,
+            generalized_optimal_makespan,
+        )
+
+        u = (3, 7, 2)
+        assert generalized_optimal_makespan(u, 0) == uet_optimal_makespan(u)
+        assert generalized_optimal_makespan(u, 1) == uet_uct_optimal_makespan(u)
+        assert generalized_hyperplane(3, 1, 1) == uet_uct_hyperplane(3, 1)
+        assert generalized_hyperplane(3, 1, 0) == (1, 1, 1)
+
+    def test_validation(self):
+        from repro.uetuct.grid import (
+            generalized_hyperplane,
+            generalized_optimal_makespan,
+        )
+
+        with pytest.raises(ValueError):
+            generalized_hyperplane(3, 1, -1)
+        with pytest.raises(ValueError):
+            generalized_optimal_makespan((2, 2), -1)
+
+    @given(
+        st.tuples(st.integers(0, 4), st.integers(0, 4), st.integers(0, 4)),
+        st.integers(0, 4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_formula_matches_dp_for_any_delay(self, upper, c):
+        from repro.uetuct.grid import generalized_optimal_makespan
+
+        i = optimal_mapping_dimension(upper)
+        assert uet_uct_makespan_dp(upper, i, c) == (
+            generalized_optimal_makespan(upper, c)
+        )
+
+    @given(
+        st.tuples(st.integers(0, 4), st.integers(0, 4), st.integers(0, 4)),
+        st.integers(0, 3),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_largest_dim_optimal_for_any_delay(self, upper, c):
+        spans = [uet_uct_makespan_dp(upper, d, c) for d in range(3)]
+        i = optimal_mapping_dimension(upper)
+        assert spans[i] == min(spans)
+
+    @given(
+        st.tuples(st.integers(0, 4), st.integers(0, 4)),
+        st.integers(0, 4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_makespan_monotone_in_delay(self, upper, c):
+        i = optimal_mapping_dimension(upper)
+        assert uet_uct_makespan_dp(upper, i, c + 1) >= (
+            uet_uct_makespan_dp(upper, i, c)
+        )

@@ -1,0 +1,238 @@
+"""Unit and property tests for exact rational matrices."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.intmat import (
+    FractionMatrix,
+    as_fraction,
+    as_fraction_vector,
+    diagonal,
+    floor_vector,
+    identity,
+)
+
+
+class TestAsFraction:
+    def test_int(self):
+        assert as_fraction(3) == Fraction(3)
+
+    def test_fraction_passthrough(self):
+        f = Fraction(3, 7)
+        assert as_fraction(f) is f
+
+    def test_float_uses_decimal_repr(self):
+        assert as_fraction(0.1) == Fraction(1, 10)
+
+    def test_string(self):
+        assert as_fraction("2/3") == Fraction(2, 3)
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            as_fraction(True)
+
+    def test_other_types_rejected(self):
+        with pytest.raises(TypeError):
+            as_fraction(object())
+
+    def test_vector(self):
+        assert as_fraction_vector([1, 0.5]) == (Fraction(1), Fraction(1, 2))
+
+
+class TestFloorVector:
+    def test_mixed(self):
+        assert floor_vector([Fraction(7, 2), Fraction(-1, 2)]) == (3, -1)
+
+    def test_integers_unchanged(self):
+        assert floor_vector([Fraction(4), Fraction(-4)]) == (4, -4)
+
+
+class TestConstruction:
+    def test_shape(self):
+        m = FractionMatrix([[1, 2, 3], [4, 5, 6]])
+        assert m.shape == (2, 3)
+        assert m.nrows == 2 and m.ncols == 3
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ValueError):
+            FractionMatrix([[1, 2], [3]])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            FractionMatrix([])
+        with pytest.raises(ValueError):
+            FractionMatrix([[]])
+
+    def test_getitem_row_col(self):
+        m = FractionMatrix([[1, 2], [3, 4]])
+        assert m[1, 0] == 3
+        assert m.row(0) == (1, 2)
+        assert m.col(1) == (2, 4)
+
+    def test_equality_and_hash(self):
+        a = FractionMatrix([[1, 2], [3, 4]])
+        b = FractionMatrix([["1", "2"], [3.0, 4]])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_from_columns(self):
+        m = FractionMatrix.from_columns([[1, 2], [3, 4]])
+        assert m.col(0) == (1, 2)
+        assert m.col(1) == (3, 4)
+
+
+class TestArithmetic:
+    def test_add_sub_neg(self):
+        a = FractionMatrix([[1, 2], [3, 4]])
+        b = FractionMatrix([[4, 3], [2, 1]])
+        assert (a + b).rows == ((5, 5), (5, 5))
+        assert (a - a).rows == ((0, 0), (0, 0))
+        assert (-a).rows == ((-1, -2), (-3, -4))
+
+    def test_shape_mismatch(self):
+        a = FractionMatrix([[1, 2]])
+        b = FractionMatrix([[1], [2]])
+        with pytest.raises(ValueError):
+            a + b
+
+    def test_scale(self):
+        a = FractionMatrix([[2, 4]])
+        assert a.scale("1/2").rows == ((1, 2),)
+
+    def test_matmul(self):
+        a = FractionMatrix([[1, 2], [3, 4]])
+        i = identity(2)
+        assert a @ i == a
+        assert (a @ a).rows == ((7, 10), (15, 22))
+
+    def test_matmul_shape_mismatch(self):
+        a = FractionMatrix([[1, 2]])
+        with pytest.raises(ValueError):
+            a @ a
+
+    def test_matvec(self):
+        a = FractionMatrix([[1, 2], [3, 4]])
+        assert a.matvec([1, 1]) == (3, 7)
+
+    def test_matvec_length_mismatch(self):
+        a = FractionMatrix([[1, 2]])
+        with pytest.raises(ValueError):
+            a.matvec([1, 2, 3])
+
+    def test_transpose(self):
+        a = FractionMatrix([[1, 2, 3], [4, 5, 6]])
+        assert a.transpose().shape == (3, 2)
+        assert a.transpose().transpose() == a
+
+
+class TestDeterminantInverse:
+    def test_det_identity(self):
+        assert identity(4).determinant() == 1
+
+    def test_det_2x2(self):
+        assert FractionMatrix([[1, 2], [3, 4]]).determinant() == -2
+
+    def test_det_singular(self):
+        assert FractionMatrix([[1, 2], [2, 4]]).determinant() == 0
+
+    def test_det_nonsquare(self):
+        with pytest.raises(ValueError):
+            FractionMatrix([[1, 2, 3]]).determinant()
+
+    def test_det_with_zero_pivot_requires_swap(self):
+        m = FractionMatrix([[0, 1], [1, 0]])
+        assert m.determinant() == -1
+
+    def test_inverse_diagonal(self):
+        d = diagonal([2, 4])
+        inv = d.inverse()
+        assert inv[0, 0] == Fraction(1, 2)
+        assert inv[1, 1] == Fraction(1, 4)
+
+    def test_inverse_singular(self):
+        with pytest.raises(ZeroDivisionError):
+            FractionMatrix([[1, 1], [1, 1]]).inverse()
+
+    def test_inverse_nonsquare(self):
+        with pytest.raises(ValueError):
+            FractionMatrix([[1, 2, 3]]).inverse()
+
+    def test_rank(self):
+        assert FractionMatrix([[1, 2], [2, 4]]).rank() == 1
+        assert identity(3).rank() == 3
+        assert FractionMatrix([[0, 0], [0, 0]]).rank() == 0
+        assert FractionMatrix([[1, 2, 3], [4, 5, 6]]).rank() == 2
+
+
+class TestPredicates:
+    def test_is_integer(self):
+        assert FractionMatrix([[1, 2]]).is_integer()
+        assert not FractionMatrix([[0.5]]).is_integer()
+
+    def test_is_nonnegative(self):
+        assert FractionMatrix([[0, 1]]).is_nonnegative()
+        assert not FractionMatrix([[0, -1]]).is_nonnegative()
+
+    def test_floor(self):
+        m = FractionMatrix([["7/2", "-1/2"]]).floor()
+        assert m.rows == ((3, -1),)
+
+    def test_to_int_rows(self):
+        assert FractionMatrix([[1, 2]]).to_int_rows() == ((1, 2),)
+        with pytest.raises(ValueError):
+            FractionMatrix([[0.5]]).to_int_rows()
+
+    def test_to_float_rows(self):
+        assert FractionMatrix([["1/2"]]).to_float_rows() == ((0.5,),)
+
+
+class TestFactories:
+    def test_identity_validation(self):
+        with pytest.raises(ValueError):
+            identity(0)
+
+    def test_diagonal(self):
+        d = diagonal([1, 2, 3])
+        assert d[2, 2] == 3
+        assert d[0, 1] == 0
+
+    def test_diagonal_empty(self):
+        with pytest.raises(ValueError):
+            diagonal([])
+
+
+_small_entries = st.integers(min_value=-6, max_value=6)
+
+
+def _square_matrix(n: int):
+    return st.lists(
+        st.lists(_small_entries, min_size=n, max_size=n), min_size=n, max_size=n
+    ).map(FractionMatrix)
+
+
+class TestProperties:
+    @given(_square_matrix(3))
+    @settings(max_examples=60, deadline=None)
+    def test_inverse_roundtrip(self, m):
+        if m.determinant() == 0:
+            return
+        assert m @ m.inverse() == identity(3)
+        assert m.inverse() @ m == identity(3)
+
+    @given(_square_matrix(3), _square_matrix(3))
+    @settings(max_examples=60, deadline=None)
+    def test_det_multiplicative(self, a, b):
+        assert (a @ b).determinant() == a.determinant() * b.determinant()
+
+    @given(_square_matrix(3))
+    @settings(max_examples=60, deadline=None)
+    def test_det_transpose_invariant(self, m):
+        assert m.determinant() == m.transpose().determinant()
+
+    @given(_square_matrix(3))
+    @settings(max_examples=60, deadline=None)
+    def test_rank_full_iff_nonsingular(self, m):
+        assert (m.rank() == 3) == (m.determinant() != 0)

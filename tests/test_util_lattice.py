@@ -1,0 +1,148 @@
+"""Hermite normal form, unimodularity, lattice equivalence."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.intmat import FractionMatrix, identity
+from repro.util.lattice import (
+    column_hermite_normal_form,
+    is_unimodular,
+    same_lattice,
+)
+
+
+class TestUnimodular:
+    def test_identity(self):
+        assert is_unimodular(identity(3))
+
+    def test_shear(self):
+        assert is_unimodular(FractionMatrix([[1, 5], [0, 1]]))
+
+    def test_negative_det(self):
+        assert is_unimodular(FractionMatrix([[0, 1], [1, 0]]))
+
+    def test_non_unimodular(self):
+        assert not is_unimodular(FractionMatrix([[2, 0], [0, 1]]))
+
+    def test_fractional_rejected(self):
+        assert not is_unimodular(FractionMatrix([["1/2", 0], [0, 2]]))
+
+    def test_nonsquare(self):
+        assert not is_unimodular(FractionMatrix([[1, 0, 0], [0, 1, 0]]))
+
+
+class TestHNF:
+    def test_already_diagonal(self):
+        d = FractionMatrix([[4, 0], [0, 6]])
+        assert column_hermite_normal_form(d) == d
+
+    def test_lower_triangular_with_reduced_entries(self):
+        m = FractionMatrix([[4, 4], [0, 4]])
+        h = column_hermite_normal_form(m)
+        assert h == FractionMatrix([[4, 0], [0, 4]])
+
+    def test_negative_columns_normalised(self):
+        m = FractionMatrix([[-3, 0], [0, -5]])
+        h = column_hermite_normal_form(m)
+        assert h == FractionMatrix([[3, 0], [0, 5]])
+
+    def test_shape_properties(self):
+        m = FractionMatrix([[6, 4, 2], [2, 8, 5], [0, 2, 9]])
+        h = column_hermite_normal_form(m)
+        # Lower triangular with positive diagonal.
+        for i in range(3):
+            assert h[i, i] > 0
+            for j in range(i + 1, 3):
+                assert h[i, j] == 0
+        # Entries left of each diagonal reduced into [0, diag).
+        for i in range(3):
+            for j in range(i):
+                assert 0 <= h[i, j] < h[i, i]
+
+    def test_determinant_preserved_up_to_sign(self):
+        m = FractionMatrix([[6, 4], [2, 8]])
+        h = column_hermite_normal_form(m)
+        assert abs(h.determinant()) == abs(m.determinant())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            column_hermite_normal_form(FractionMatrix([[1, 1], [1, 1]]))
+        with pytest.raises(ValueError):
+            column_hermite_normal_form(FractionMatrix([["1/2", 0], [0, 1]]))
+        with pytest.raises(ValueError):
+            column_hermite_normal_form(FractionMatrix([[1, 0, 0], [0, 1, 0]]))
+
+
+class TestSameLattice:
+    def test_rebasis_detected(self):
+        a = FractionMatrix([[4, 0], [0, 4]])
+        b = FractionMatrix([[4, 4], [0, 4]])  # second column re-based
+        assert same_lattice(a, b)
+
+    def test_sublattice_rejected(self):
+        a = FractionMatrix([[4, 0], [0, 4]])
+        c = FractionMatrix([[4, 2], [0, 4]])  # contains (2,4): finer
+        assert not same_lattice(a, c)
+
+    def test_shape_mismatch(self):
+        assert not same_lattice(identity(2), identity(3))
+
+
+_entries = st.integers(-5, 5)
+
+
+def _matrix2():
+    return st.lists(
+        st.lists(_entries, min_size=2, max_size=2), min_size=2, max_size=2
+    ).map(FractionMatrix).filter(lambda m: m.determinant() != 0)
+
+
+def _unimodular2():
+    """Random products of elementary unimodular matrices."""
+    shear = st.integers(-3, 3).map(
+        lambda k: FractionMatrix([[1, k], [0, 1]])
+    )
+    shear_t = st.integers(-3, 3).map(
+        lambda k: FractionMatrix([[1, 0], [k, 1]])
+    )
+    swap = st.just(FractionMatrix([[0, 1], [1, 0]]))
+    neg = st.just(FractionMatrix([[-1, 0], [0, 1]]))
+    factor = st.one_of(shear, shear_t, swap, neg)
+    return st.lists(factor, min_size=1, max_size=4).map(
+        lambda fs: _prod(fs)
+    )
+
+
+def _prod(factors):
+    out = identity(2)
+    for f in factors:
+        out = out @ f
+    return out
+
+
+class TestProperties:
+    @given(_matrix2(), _unimodular2())
+    @settings(max_examples=60, deadline=None)
+    def test_hnf_invariant_under_unimodular_column_ops(self, m, u):
+        """HNF(A·U) = HNF(A) for unimodular U — the defining property."""
+        assert is_unimodular(u)
+        assert column_hermite_normal_form(m @ u) == (
+            column_hermite_normal_form(m)
+        )
+
+    @given(_matrix2(), _unimodular2())
+    @settings(max_examples=60, deadline=None)
+    def test_same_lattice_closed_under_rebasis(self, m, u):
+        assert same_lattice(m, m @ u)
+
+    @given(_matrix2())
+    @settings(max_examples=60, deadline=None)
+    def test_hnf_idempotent(self, m):
+        h = column_hermite_normal_form(m)
+        assert column_hermite_normal_form(h) == h
+
+    @given(_matrix2())
+    @settings(max_examples=60, deadline=None)
+    def test_scaling_changes_lattice(self, m):
+        assert not same_lattice(m, m.scale(2))

@@ -1,0 +1,49 @@
+"""Tests for text table rendering."""
+
+import pytest
+
+from repro.util.tables import format_kv, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["name", "v"], [["alpha", 1], ["b", 22]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        # Columns line up: 'v' header column position matches values.
+        assert lines[0].index("v") == lines[2].index("1")
+
+    def test_title(self):
+        out = format_table(["a"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_float_digits(self):
+        out = format_table(["x"], [[1.23456789]], float_digits=3)
+        assert "1.23" in out and "1.2345" not in out
+
+    def test_bool_rendering(self):
+        out = format_table(["x"], [[True], [False]])
+        assert "yes" in out and "no" in out
+
+    def test_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_headers(self):
+        with pytest.raises(ValueError):
+            format_table([], [])
+
+    def test_no_rows(self):
+        out = format_table(["a"], [])
+        assert len(out.splitlines()) == 2
+
+
+class TestFormatKV:
+    def test_aligned_keys(self):
+        out = format_kv([("short", 1), ("a-much-longer-key", 2)])
+        lines = out.splitlines()
+        assert lines[0].index(":") == lines[1].index(":")
+
+    def test_empty(self):
+        assert format_kv([]) == ""

@@ -1,0 +1,94 @@
+"""Tests for the shared argument validators."""
+
+import numpy as np
+import pytest
+
+from repro.util.validation import (
+    require_int_vector,
+    require_nonnegative_float,
+    require_nonnegative_int,
+    require_positive_float,
+    require_positive_int,
+    require_same_length,
+)
+
+
+class TestPositiveInt:
+    def test_accepts_int(self):
+        assert require_positive_int(3, "x") == 3
+
+    def test_accepts_integral_float(self):
+        assert require_positive_int(3.0, "x") == 3
+
+    def test_accepts_numpy_integer(self):
+        assert require_positive_int(np.int64(5), "x") == 5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="x must be positive"):
+            require_positive_int(0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            require_positive_int(-1, "x")
+
+    def test_rejects_fractional_float(self):
+        with pytest.raises(TypeError):
+            require_positive_int(1.5, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            require_positive_int(True, "x")
+
+    def test_rejects_string(self):
+        with pytest.raises(TypeError):
+            require_positive_int("3", "x")
+
+
+class TestNonnegativeInt:
+    def test_accepts_zero(self):
+        assert require_nonnegative_int(0, "x") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            require_nonnegative_int(-1, "x")
+
+
+class TestFloats:
+    def test_positive(self):
+        assert require_positive_float(0.5, "x") == 0.5
+
+    def test_positive_rejects_zero(self):
+        with pytest.raises(ValueError):
+            require_positive_float(0.0, "x")
+
+    def test_nonnegative_accepts_zero(self):
+        assert require_nonnegative_float(0, "x") == 0.0
+
+    def test_nonnegative_rejects_negative(self):
+        with pytest.raises(ValueError):
+            require_nonnegative_float(-0.1, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            require_positive_float(True, "x")
+
+    def test_accepts_numpy_floating(self):
+        assert require_positive_float(np.float64(1.5), "x") == 1.5
+
+
+class TestVectors:
+    def test_int_vector(self):
+        assert require_int_vector([1, 2.0, np.int32(3)], "v") == (1, 2, 3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            require_int_vector([], "v")
+
+    def test_element_error_names_index(self):
+        with pytest.raises(TypeError, match=r"v\[1\]"):
+            require_int_vector([1, "a"], "v")
+
+    def test_same_length(self):
+        require_same_length([1], [2], "a", "b")
+        with pytest.raises(ValueError, match="a.*b"):
+            require_same_length([1], [2, 3], "a", "b")

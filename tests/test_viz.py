@@ -1,0 +1,103 @@
+"""Tests for ASCII Gantt charts and sweep plots."""
+
+import pytest
+
+from repro.sim.tracing import Trace
+from repro.viz.ascii_plots import ascii_xy_plot, plot_sweep
+from repro.viz.gantt import render_gantt, render_utilization
+
+
+def _trace():
+    t = Trace()
+    t.add(0, "compute", 0.0, 5.0, "tile0")
+    t.add(0, "fill_mpi_send", 5.0, 6.0)
+    t.add(0, "blocked_recv", 6.0, 10.0)
+    t.add(1, "compute", 2.0, 10.0)
+    return t
+
+
+class TestGantt:
+    def test_row_per_rank(self):
+        out = render_gantt(_trace(), width=20)
+        lines = out.splitlines()
+        assert lines[0].startswith("P0")
+        assert lines[1].startswith("P1")
+
+    def test_glyphs_present(self):
+        out = render_gantt(_trace(), width=40)
+        row0 = out.splitlines()[0]
+        assert "#" in row0 and "s" in row0 and "." in row0
+
+    def test_priority_compute_wins(self):
+        t = Trace()
+        t.add(0, "blocked_recv", 0.0, 10.0)
+        t.add(0, "compute", 0.0, 10.0)
+        row = render_gantt(t, width=10, legend=False).splitlines()[0]
+        assert "#" in row and "." not in row
+
+    def test_empty_trace(self):
+        assert render_gantt(Trace()) == "(empty trace)"
+
+    def test_legend_toggle(self):
+        assert "compute" in render_gantt(_trace())
+        assert "compute" not in render_gantt(_trace(), legend=False)
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            render_gantt(_trace(), width=0)
+
+    def test_utilization_report(self):
+        out = render_utilization(_trace())
+        assert "P0" in out and "mean" in out
+        assert render_utilization(Trace()) == "(empty trace)"
+
+
+class TestAsciiPlot:
+    def test_basic_plot(self):
+        out = ascii_xy_plot(
+            [("alpha", [1, 10, 100], [3.0, 1.0, 2.0]),
+             ("beta", [1, 10, 100], [4.0, 2.0, 3.0])],
+            width=30, height=10,
+        )
+        assert "a" in out and "b" in out
+        assert "a=alpha" in out
+        assert "log scale" in out
+
+    def test_linear_x(self):
+        out = ascii_xy_plot([("s", [0, 1, 2], [1.0, 2.0, 3.0])], logx=False)
+        assert "log scale" not in out
+
+    def test_logx_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ascii_xy_plot([("s", [0, 1], [1.0, 2.0])], logx=True)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            ascii_xy_plot([("s", [1, 2], [1.0])])
+
+    def test_empty(self):
+        assert ascii_xy_plot([]) == "(no data)"
+
+    def test_canvas_validation(self):
+        with pytest.raises(ValueError):
+            ascii_xy_plot([("s", [1], [1.0])], width=5, height=2)
+
+    def test_flat_series(self):
+        out = ascii_xy_plot([("s", [1, 10], [2.0, 2.0])])
+        assert "max=2" in out
+
+    def test_plot_sweep(self):
+        from repro.experiments.figures import sweep
+        from repro.ir.loopnest import IterationSpace
+        from repro.kernels.stencil import sqrt_kernel_3d
+        from repro.kernels.workloads import StencilWorkload
+        from repro.model.machine import pentium_cluster
+
+        w = StencilWorkload(
+            "p", IterationSpace.from_extents([4, 4, 256]),
+            sqrt_kernel_3d(), (2, 2, 1), 2,
+        )
+        r = sweep(w, pentium_cluster(), heights=[8, 32, 64])
+        out = plot_sweep(r)
+        assert "tile height V" in out
+        assert "n=non-overlapping (sim)" in out

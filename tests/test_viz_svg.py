@@ -1,0 +1,99 @@
+"""SVG figure rendering: valid XML, right structure, right content."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.experiments.figures import sweep
+from repro.ir.loopnest import IterationSpace
+from repro.kernels.stencil import sqrt_kernel_3d
+from repro.kernels.workloads import StencilWorkload
+from repro.model.machine import pentium_cluster
+from repro.runtime.executor import run_tiled
+from repro.sim.tracing import Trace
+from repro.viz.svg import GANTT_COLORS, gantt_svg, sweep_svg
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+@pytest.fixture(scope="module")
+def sweep_result():
+    w = StencilWorkload(
+        "svg", IterationSpace.from_extents([8, 8, 512]),
+        sqrt_kernel_3d(), (2, 2, 1), 2,
+    )
+    return sweep(w, pentium_cluster(), heights=[16, 64, 128])
+
+
+class TestSweepSvg:
+    def test_valid_xml(self, sweep_result):
+        root = ET.fromstring(sweep_svg(sweep_result))
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_two_series_by_default(self, sweep_result):
+        root = ET.fromstring(sweep_svg(sweep_result))
+        paths = root.findall(f"{SVG_NS}path")
+        assert len(paths) == 2
+        # One marker per point per series.
+        circles = root.findall(f"{SVG_NS}circle")
+        assert len(circles) == 2 * 3
+
+    def test_model_curves_dashed(self, sweep_result):
+        svg = sweep_svg(sweep_result, include_model=True)
+        root = ET.fromstring(svg)
+        dashed = [
+            p for p in root.findall(f"{SVG_NS}path")
+            if p.get("stroke-dasharray")
+        ]
+        assert len(dashed) == 2
+
+    def test_labels_present(self, sweep_result):
+        svg = sweep_svg(sweep_result, title="My Figure")
+        assert "My Figure" in svg
+        assert "tile height V" in svg
+        assert "completion time" in svg
+
+    def test_empty_rejected(self, sweep_result):
+        from repro.experiments.figures import SweepResult
+
+        empty = SweepResult("x", pentium_cluster(), ())
+        with pytest.raises(ValueError):
+            sweep_svg(empty)
+
+
+class TestGanttSvg:
+    def _trace(self):
+        w = StencilWorkload(
+            "g", IterationSpace.from_extents([8, 8, 256]),
+            sqrt_kernel_3d(), (2, 2, 1), 2,
+        )
+        return run_tiled(w, 64, pentium_cluster(), blocking=False,
+                         trace=True).trace
+
+    def test_valid_xml_with_rows(self):
+        trace = self._trace()
+        root = ET.fromstring(gantt_svg(trace, title="Overlap"))
+        texts = [t.text for t in root.iter(f"{SVG_NS}text")]
+        assert "P0" in texts and "P3" in texts
+        rects = root.findall(f"{SVG_NS}rect")
+        assert len(rects) > 20  # background + many activity bars
+
+    def test_activity_colors_used(self):
+        svg = gantt_svg(self._trace())
+        assert GANTT_COLORS["compute"] in svg
+        assert GANTT_COLORS["fill_mpi_send"] in svg
+
+    def test_tooltips_carry_timing(self):
+        svg = gantt_svg(self._trace())
+        assert "<title>compute" in svg
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            gantt_svg(Trace())
+
+    def test_label_escaping(self):
+        t = Trace()
+        t.add(0, "compute", 0.0, 1.0, label="<&>")
+        svg = gantt_svg(t)
+        assert "&lt;&amp;&gt;" in svg
+        ET.fromstring(svg)  # still valid XML
