@@ -2,17 +2,23 @@
 
 The three §5 sweeps are expensive (hundreds of simulated cluster runs),
 so they are computed once per session and shared between the figure
-benchmarks and the Figure 12 table benchmark.  Every benchmark writes its
-rendered output to ``benchmarks/results/`` and prints it, so the paper's
-rows/series are inspectable after a run.
+benchmarks and the Figure 12 table benchmark, and executed through the
+fast sweep engine (parallel fan-out + persistent result cache — see
+``docs/performance.md``).  Set ``REPRO_BENCH_NO_CACHE=1`` to force fresh
+simulations, ``REPRO_BENCH_JOBS=N`` to bound the worker pool.  Every
+benchmark writes its rendered output to ``benchmarks/results/`` and
+prints it, so the paper's rows/series are inspectable after a run.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
 
+from repro.experiments.cache import SimCache, default_cache_dir
+from repro.experiments.engine import Engine
 from repro.experiments.figures import SweepResult, sweep
 from repro.kernels.workloads import (
     paper_experiment_i,
@@ -58,16 +64,28 @@ def workloads():
     }
 
 
+def _bench_engine() -> Engine:
+    jobs = int(os.environ["REPRO_BENCH_JOBS"]) if "REPRO_BENCH_JOBS" in os.environ else None
+    cache = (
+        None
+        if os.environ.get("REPRO_BENCH_NO_CACHE")
+        else SimCache(default_cache_dir())
+    )
+    return Engine(jobs=jobs, cache=cache)
+
+
 class _SweepCache:
     def __init__(self, workloads, machine):
         self.workloads = workloads
         self.machine = machine
+        self.engine = _bench_engine()
         self._cache: dict[str, SweepResult] = {}
 
     def get(self, key: str) -> SweepResult:
         if key not in self._cache:
             self._cache[key] = sweep(
-                self.workloads[key], self.machine, heights=HEIGHTS[key]
+                self.workloads[key], self.machine, heights=HEIGHTS[key],
+                engine=self.engine,
             )
         return self._cache[key]
 

@@ -1,5 +1,7 @@
 """Figure 10: completion time vs tile height V, 16×16×32768 space."""
 
+import pytest
+
 from repro.experiments.report import render_sweep, render_sweep_summary
 from repro.runtime.executor import run_tiled
 from repro.viz.ascii_plots import plot_sweep
@@ -9,6 +11,7 @@ from repro.viz.svg import sweep_svg
 from conftest import write_result, write_svg
 
 
+@pytest.mark.slow
 def test_fig10_sweep(benchmark, paper_sweeps, workloads, machine):
     result = paper_sweeps.get("ii")
 

@@ -5,6 +5,8 @@ of the three experiments — the configuration where the paper's
 improvement is smallest (32 %).
 """
 
+import pytest
+
 from repro.experiments.report import render_sweep, render_sweep_summary
 from repro.runtime.executor import run_tiled
 from repro.viz.ascii_plots import plot_sweep
@@ -14,6 +16,7 @@ from repro.viz.svg import sweep_svg
 from conftest import write_result, write_svg
 
 
+@pytest.mark.slow
 def test_fig11_sweep(benchmark, paper_sweeps, workloads, machine):
     result = paper_sweeps.get("iii")
 

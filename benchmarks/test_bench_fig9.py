@@ -6,6 +6,8 @@ criteria; the pytest-benchmark measurement times one simulated cluster
 run at the overlap optimum (the paper's headline configuration).
 """
 
+import pytest
+
 from repro.experiments.report import render_sweep, render_sweep_summary
 from repro.runtime.executor import run_tiled
 from repro.viz.ascii_plots import plot_sweep
@@ -15,6 +17,7 @@ from repro.viz.svg import sweep_svg
 from conftest import write_result, write_svg
 
 
+@pytest.mark.slow
 def test_fig9_sweep(benchmark, paper_sweeps, workloads, machine):
     result = paper_sweeps.get("i")
 

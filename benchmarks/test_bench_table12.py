@@ -6,6 +6,8 @@ theoretical time, simulated-vs-theoretical gap and the improvement) from
 the cached sweeps.
 """
 
+import pytest
+
 from repro.experiments.table12 import render_table12, table12
 from repro.model.completion import improvement
 
@@ -19,6 +21,7 @@ PAPER = {
 }
 
 
+@pytest.mark.slow
 def test_table12(benchmark, paper_sweeps, workloads, machine):
     sweeps = [paper_sweeps.get(k) for k in ("i", "ii", "iii")]
     rows = benchmark.pedantic(

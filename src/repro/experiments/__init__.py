@@ -1,5 +1,11 @@
 """Experiment harness regenerating the paper's figures and tables."""
 
+from repro.experiments.cache import (
+    CacheStats,
+    SimCache,
+    default_cache_dir,
+    run_key,
+)
 from repro.experiments.campaign import (
     CampaignRecord,
     ExperimentConfig,
@@ -11,6 +17,7 @@ from repro.experiments.campaign import (
     run_campaign,
     save_records,
 )
+from repro.experiments.engine import Engine, register_kernel, registered_kernels
 from repro.experiments.examples_paper import (
     Example1Numbers,
     Example3Numbers,
@@ -34,15 +41,22 @@ from repro.experiments.table12 import (
 )
 
 __all__ = [
+    "CacheStats",
     "CampaignRecord",
+    "Engine",
     "Example1Numbers",
     "ExperimentConfig",
     "RecordDelta",
+    "SimCache",
     "compare_machines",
+    "default_cache_dir",
     "diff_records",
     "load_records",
+    "register_kernel",
+    "registered_kernels",
     "render_deltas",
     "run_campaign",
+    "run_key",
     "save_records",
     "Example3Numbers",
     "SweepPoint",

@@ -142,12 +142,19 @@ class CampaignRecord:
         )
 
 
-def run_campaign(configs: Sequence[ExperimentConfig]) -> list[CampaignRecord]:
-    """Run every config's sweep; order preserved."""
+def run_campaign(
+    configs: Sequence[ExperimentConfig], *, engine=None
+) -> list[CampaignRecord]:
+    """Run every config's sweep; order preserved.
+
+    ``engine`` (a :class:`repro.experiments.engine.Engine`) parallelises
+    and caches each config's simulations; record order and values match
+    the serial path.
+    """
     records = []
     for cfg in configs:
         result = sweep(cfg.workload(), cfg.machine_instance(),
-                       heights=list(cfg.heights))
+                       heights=list(cfg.heights), engine=engine)
         records.append(CampaignRecord.from_sweep(cfg, result))
     return records
 
@@ -253,7 +260,7 @@ def render_deltas(deltas: Sequence[RecordDelta]) -> str:
 
 
 def compare_machines(
-    base: ExperimentConfig, machines: Sequence[str]
+    base: ExperimentConfig, machines: Sequence[str], *, engine=None
 ) -> tuple[list[CampaignRecord], str]:
     """Run one workload on several machine presets; returns the records
     and a rendered comparison table (the §6 hardware-projection view)."""
@@ -269,7 +276,7 @@ def compare_machines(
         )
         for m in machines
     ]
-    records = run_campaign(configs)
+    records = run_campaign(configs, engine=engine)
     table = format_table(
         ["machine", "V_opt", "overlap t_opt (s)", "non-ovl t_opt (s)",
          "improvement"],

@@ -67,6 +67,15 @@ def _machine(name: str):
     raise SystemExit(f"unknown machine {name!r} (choose pentium or sci)")
 
 
+def _engine(args: argparse.Namespace):
+    """The sweep engine configured by the global CLI flags."""
+    from repro.experiments.cache import SimCache, default_cache_dir
+    from repro.experiments.engine import Engine
+
+    cache = None if args.no_cache else SimCache(default_cache_dir())
+    return Engine(jobs=args.jobs, cache=cache, fastforward=args.fast_forward)
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     w = _workload(args.experiment, args.full)
     m = _machine(args.machine)
@@ -76,7 +85,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         else default_heights(w, max_points=args.points)
     )
     print(f"sweeping V over {heights} for {w.name} ...", file=sys.stderr)
-    result = sweep(w, m, heights=heights)
+    result = sweep(w, m, heights=heights, engine=_engine(args))
     print(render_sweep(result))
     print()
     print(plot_sweep(result))
@@ -93,11 +102,13 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
 def _cmd_table12(args: argparse.Namespace) -> int:
     m = _machine(args.machine)
+    engine = _engine(args)
     workloads = [_workload(k, args.full) for k in ("i", "ii", "iii")]
     sweeps = []
     for w in workloads:
         print(f"sweeping {w.name} ...", file=sys.stderr)
-        sweeps.append(sweep(w, m, heights=default_heights(w, max_points=args.points)))
+        sweeps.append(sweep(w, m, heights=default_heights(w, max_points=args.points),
+                            engine=engine))
     print(render_table12(table12(workloads, m, sweeps)))
     return 0
 
@@ -238,7 +249,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
     if args.action == "run":
         print("running default campaign ...", file=sys.stderr)
-        records = run_campaign(_default_campaign(args.machine))
+        records = run_campaign(_default_campaign(args.machine),
+                               engine=_engine(args))
         save_records(records, args.out)
         for r in records:
             print(
@@ -274,6 +286,16 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be at least 1")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -282,6 +304,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--machine", default="pentium", choices=("pentium", "sci"),
         help="calibrated machine preset (default: pentium)",
+    )
+    parser.add_argument(
+        "--jobs", type=_positive_int, default=None, metavar="N",
+        help="worker processes for sweep fan-out (default: all cores)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent simulation result cache",
+    )
+    parser.add_argument(
+        "--fast-forward", action="store_true",
+        help="extrapolate deep pipelines from steady state "
+             "(approximate on non-periodic pipelines)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 

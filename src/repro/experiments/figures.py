@@ -96,11 +96,14 @@ def default_heights(workload: StencilWorkload, max_points: int = 12,
     out: list[int] = []
     v = float(lo)
     for _ in range(max_points):
-        iv = round(v)
+        # Clamp before comparing: float accumulation can land round(v) on
+        # (or past) hi before the last step, which would otherwise leave a
+        # duplicate or out-of-order hi at the end of the grid.
+        iv = min(round(v), hi)
         if not out or iv > out[-1]:
             out.append(iv)
         v *= ratio
-    if out[-1] != hi:
+    if out[-1] < hi:
         out.append(hi)
     return out
 
@@ -130,16 +133,34 @@ def sweep(
     workload: StencilWorkload,
     machine: Machine,
     heights: list[int] | None = None,
+    *,
+    engine=None,
 ) -> SweepResult:
-    """Run the full V-sweep (both schedules, simulated + analytic)."""
+    """Run the full V-sweep (both schedules, simulated + analytic).
+
+    ``engine`` (a :class:`repro.experiments.engine.Engine`) fans the
+    2×len(heights) independent simulations across worker processes and/or
+    serves them from the persistent result cache; without one, runs are
+    executed serially in-process.  Engine results are bit-identical to
+    the serial path unless the engine enables fast-forwarding.
+    """
     if heights is None:
         heights = default_heights(workload)
     if not heights:
         raise ValueError("no tile heights to sweep")
+    if engine is not None:
+        pairs = [(v, blocking) for v in heights for blocking in (True, False)]
+        runs = engine.run_batch(workload, machine, pairs)
+        sim = {(v, blocking): r for (v, blocking), r in zip(pairs, runs)}
+    else:
+        sim = None
     points = []
     for v in heights:
-        non = run_tiled(workload, v, machine, blocking=True)
-        ovl = run_tiled(workload, v, machine, blocking=False)
+        if sim is not None:
+            non, ovl = sim[(v, True)], sim[(v, False)]
+        else:
+            non = run_tiled(workload, v, machine, blocking=True)
+            ovl = run_tiled(workload, v, machine, blocking=False)
         t_non_m, t_ovl_m = analytic_times(workload, machine, v)
         points.append(
             SweepPoint(

@@ -45,10 +45,16 @@ def table12_row(
     workload: StencilWorkload,
     machine: Machine,
     sweep_result: SweepResult | None = None,
+    *,
+    engine=None,
 ) -> Table12Row:
-    """Build one row; reuses a precomputed sweep when given."""
+    """Build one row; reuses a precomputed sweep when given.
+
+    ``engine`` accelerates the fallback sweep (parallel fan-out and
+    persistent caching); ignored when ``sweep_result`` is supplied.
+    """
     sr = sweep_result if sweep_result is not None else sweep(
-        workload, machine, default_heights(workload)
+        workload, machine, default_heights(workload), engine=engine
     )
     best_ovl = sr.best(overlap=True)
     best_non = sr.best(overlap=False)
@@ -87,12 +93,15 @@ def table12(
     workloads: list[StencilWorkload],
     machine: Machine,
     sweeps: list[SweepResult] | None = None,
+    *,
+    engine=None,
 ) -> list[Table12Row]:
     """All rows, optionally reusing precomputed sweeps (same order)."""
     if sweeps is not None and len(sweeps) != len(workloads):
         raise ValueError("sweeps must align with workloads")
     return [
-        table12_row(w, machine, sweeps[k] if sweeps is not None else None)
+        table12_row(w, machine, sweeps[k] if sweeps is not None else None,
+                    engine=engine)
         for k, w in enumerate(workloads)
     ]
 

@@ -50,6 +50,7 @@ def run_tiled(
     numeric: bool = False,
     trace: bool = False,
     max_events: int = 50_000_000,
+    engine=None,
 ) -> ExecutionResult:
     """Simulate the workload at tile height ``v`` under one schedule.
 
@@ -57,7 +58,16 @@ def run_tiled(
     ``blocking=False`` runs ProcNB (overlapping schedule).  ``numeric``
     additionally performs the real stencil arithmetic and returns the
     gathered global array for verification.
+
+    ``engine`` (a :class:`repro.experiments.engine.Engine`) routes the
+    run through the fast sweep engine — persistent result cache and
+    optional steady-state fast-forward; numeric and traced runs always
+    execute directly.
     """
+    if engine is not None and not (numeric or trace):
+        return engine.run_tiled(
+            workload, v, machine, blocking=blocking, max_events=max_events
+        )
     prog = TiledProgram(workload, v, machine, blocking=blocking, numeric=numeric)
     world = World(machine, prog.num_ranks, trace=trace)
     completion = world.run(prog.programs(), max_events=max_events)

@@ -2,6 +2,11 @@
 
 from repro.sim.core import AllOf, Effect, Event, Process, Simulator, Timeout, WaitEvent
 from repro.sim.deadlock import BlockedRank, DeadlockReport, diagnose
+from repro.sim.fastforward import (
+    FastForwardReport,
+    fastforward_eligible,
+    fastforward_run,
+)
 from repro.sim.mpi import Rank, RecvRequest, SendRequest, World
 from repro.sim.network import Network
 from repro.sim.resources import FifoResource
@@ -15,6 +20,7 @@ __all__ = [
     "DeadlockReport",
     "Effect",
     "Event",
+    "FastForwardReport",
     "FifoResource",
     "Network",
     "Process",
@@ -31,5 +37,7 @@ __all__ = [
     "analyze",
     "compute_starts",
     "diagnose",
+    "fastforward_eligible",
+    "fastforward_run",
     "steady_period",
 ]

@@ -1,0 +1,326 @@
+"""Steady-state fast-forward: predict deep-pipeline completion times.
+
+The paper's §3/§4 analysis rests on the tile pipeline being *periodic*
+past the fill wavefront: every processor issues tiles at a fixed rhythm.
+The simulator exhibits exactly that behaviour (``repro.sim.steady``
+extracts the emergent period from traces), which makes full simulation of
+a deep mapped extent redundant — past the fill transient, each extra
+*block* of tile rows adds one identical increment to the makespan.
+
+The rhythm need not have a one-tile period: resource granularities (DMA
+engines, link turnaround) can make the per-tile increment cycle through
+a short repeating pattern, so the makespan is affine only when sampled
+every ``L`` tiles for some small super-period ``L``.  This module
+therefore simulates a *ladder* of prefix depths spaced ``S = 36`` tiles
+apart — a multiple of every super-period observed in practice (1, 2, 3,
+4, 6, 9, 12, 18, 36) — with every rung phase-aligned with the true
+depth ``M`` (``k ≡ M (mod S)``) and each probe preserving the clipped
+final tile so the drain matches.  Once two consecutive ladder
+differences agree the pipeline is past its transient, and the makespan
+extrapolates from the deepest rung ``k``:
+
+    T(M) = T(k) + ((M - k) / S) * (T(k) - T(k - S))
+
+For a pipeline whose super-period divides ``S`` this is exact up to
+floating-point round-off (the tests assert 1e-9 relative).  Pipelines
+with rare aperiodic phase slips (some overlapping schedules under heavy
+backpressure) extrapolate to ~1e-4 relative — which is why fast-forward
+is opt-in and the engine offers a ``validate`` mode.  When no agreement
+emerges within the probe budget, message counts fail to grow linearly,
+or the trace-level steady estimate from :mod:`repro.sim.steady`
+contradicts the ladder slope, the fast-forward refuses and falls back to
+full simulation.
+
+The fill transient can reach far past the fill wavefront (queue
+backpressure settles slowly — roughly a fixed number of *iterations*,
+i.e. more tiles the shorter the tile).  Callers sweeping one workload
+over many tile heights can exploit this: ``start_hint_tiles`` warm-starts
+the ladder at a depth learned from a previous run (the engine feeds the
+``settled_tiles × v`` of one height into the next), skipping the rungs
+that would be spent rediscovering the transient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kernels.workloads import StencilWorkload
+from repro.model.machine import Machine
+from repro.sim.steady import analyze
+
+__all__ = ["FastForwardReport", "fastforward_eligible", "fastforward_run"]
+
+# Bump when the probe/extrapolation strategy changes in a way that can
+# alter results; cache keys include it.
+FASTFORWARD_VERSION = 1
+
+# Ladder stride, in tiles: a common multiple of every super-period the
+# simulated machines exhibit.  Pipelines with other periods fail the
+# agreement check and fall back to full simulation.
+_SUPER = 36
+
+# Tiles past the fill wavefront before the first ladder rung.
+_SETTLE = 8
+
+
+@dataclass(frozen=True)
+class FastForwardReport:
+    """How a fast-forwarded completion time was obtained."""
+
+    used_fastforward: bool
+    completion_time: float
+    messages_sent: int
+    period: float
+    steady_period: float
+    fill_tiles: int
+    probe_tiles: tuple[int, ...]
+    total_tiles: int
+    settled_tiles: int = 0
+    reason: str = ""
+
+
+def _fill_depth_tiles(workload: StencilWorkload) -> int:
+    """Upper bound on the fill wavefront depth, in tiles.
+
+    The wavefront reaches the farthest processor after at most the sum of
+    grid hops along every communicating dimension; one extra tile per hop
+    is a safe over-estimate for both schedules.
+    """
+    deps = workload.deps
+    n = workload.space.ndim
+    hops = 0
+    for k in range(n):
+        if k == workload.mapped_dim:
+            continue
+        if sum(d[k] for d in deps.vectors) > 0:
+            hops += workload.procs_per_dim[k] - 1
+    return hops
+
+
+def _align(k: int, total: int) -> int:
+    """Smallest phase-aligned rung depth >= ``k`` (``≡ total mod S``)."""
+    return k + (total - k) % _SUPER
+
+
+def fastforward_eligible(
+    workload: StencilWorkload, v: int, *, cost_margin: float = 1.5
+) -> bool:
+    """Whether fast-forwarding (workload, v) can pay off.
+
+    The minimal three-rung ladder must fit below the true depth *and*
+    its combined simulated tile count — the actual work fast-forward
+    does — must undercut the full run by ``cost_margin`` (covering probe
+    overhead and possible ladder extensions).
+    """
+    total = len(workload.mapped_tile_ranges(v))
+    start = _align(_fill_depth_tiles(workload) + _SETTLE, total)
+    if start + 2 * _SUPER >= total:
+        return False
+    return total >= cost_margin * (3 * start + 3 * _SUPER)
+
+
+def _truncated(workload: StencilWorkload, v: int, tiles: int) -> StencilWorkload:
+    """A prefix of the workload with ``tiles`` tiles along the mapped
+    dimension, ending with a tile of the same (possibly clipped) size as
+    the full workload's final tile — so probe drains match the real one."""
+    ranges = workload.mapped_tile_ranges(v)
+    last_lo, last_hi = ranges[-1]
+    last_size = last_hi - last_lo + 1
+    extent = (tiles - 1) * v + last_size
+    extents = list(workload.space.extents)
+    extents[workload.mapped_dim] = extent
+    from repro.ir.loopnest import IterationSpace
+
+    return StencilWorkload(
+        name=f"{workload.name}~ff{tiles}",
+        space=IterationSpace.from_extents(extents),
+        kernel=workload.kernel,
+        procs_per_dim=workload.procs_per_dim,
+        mapped_dim=workload.mapped_dim,
+    )
+
+
+def fastforward_run(
+    workload: StencilWorkload,
+    v: int,
+    machine: Machine,
+    *,
+    blocking: bool,
+    rel_tolerance: float = 1e-6,
+    quasi_rel_tolerance: float = 5e-3,
+    steady_rel_tolerance: float = 0.25,
+    start_hint_tiles: int = 0,
+    max_probes: int = 16,
+    max_probe_fraction: float = 0.75,
+    max_events: int = 50_000_000,
+) -> FastForwardReport:
+    """Fast-forwarded completion time for one (workload, V, schedule) run.
+
+    Simulates a ladder of phase-aligned probe prefixes until two
+    consecutive ladder differences agree, then extrapolates from the
+    deepest rung.  Returns ``used_fastforward=False`` (with a full-run
+    result) when the run is too shallow to pay off or the pipeline fails
+    the periodicity checks — callers can use the returned numbers either
+    way.
+
+    Acceptance has two tiers.  The *exact* tier needs two consecutive
+    ladder differences within ``rel_tolerance`` and exactly matching
+    message-count differences: for pipelines whose super-period divides
+    the ladder stride the extrapolation is then exact to float round-off.
+    When the probe budget runs out before that happens, the *quasi* tier
+    may still accept: pipelines whose super-period exceeds the stride (or
+    that carry persistent sub-percent jitter) show ladder differences
+    scattered tightly around a stable mean, and a secant slope across the
+    last few rungs averages the scatter out.  Quasi extrapolations are
+    flagged in ``reason`` and are typically accurate to ~1e-3 relative —
+    good enough for sweep curves, not for round-off-level comparisons.
+
+    ``steady_rel_tolerance`` gates the loose sanity cross-check against
+    the trace-level steady period — loose because
+    :func:`repro.sim.steady.analyze` reports the *median* per-tile gap,
+    which legitimately differs from the mean when the pipeline has a
+    multi-tile super-period.  ``start_hint_tiles`` warm-starts the ladder
+    past a transient already observed at another tile height (see the
+    module docstring); it is a performance hint only — every acceptance
+    is still verified.  ``max_probes`` caps the ladder length, and
+    ``max_probe_fraction`` caps the combined probe depth as a fraction of
+    the full run — the most that can be wasted before falling back.
+    """
+    from repro.runtime.executor import run_tiled
+
+    total = len(workload.mapped_tile_ranges(v))
+    fill = _fill_depth_tiles(workload)
+
+    def full(reason: str) -> FastForwardReport:
+        res = run_tiled(workload, v, machine, blocking=blocking,
+                        max_events=max_events)
+        return FastForwardReport(
+            used_fastforward=False,
+            completion_time=res.completion_time,
+            messages_sent=res.messages_sent,
+            period=0.0,
+            steady_period=0.0,
+            fill_tiles=fill,
+            probe_tiles=(),
+            total_tiles=total,
+            reason=reason,
+        )
+
+    if not fastforward_eligible(workload, v):
+        return full("too few tiles to amortise the probes")
+
+    start = _align(max(fill + _SETTLE, start_hint_tiles), total)
+    if start + 2 * _SUPER >= total:
+        # An overgrown hint would push the ladder past the full depth;
+        # fall back to the unhinted start.
+        start = _align(fill + _SETTLE, total)
+
+    ks: list[int] = []
+    cs: list[float] = []
+    ms: list[int] = []
+    last_run = None
+    probed_tiles = 0
+    budget = max_probe_fraction * total
+
+    def steady_check(period: float):
+        """Trace-level steady period, or None when it contradicts the
+        ladder slope (the caller then falls back to full simulation)."""
+        try:
+            steady = analyze(last_run.trace)
+        except ValueError:
+            return None
+        if abs(steady.mean_period - period) > steady_rel_tolerance * period:
+            return None
+        return steady.mean_period
+
+    def quasi_accept() -> FastForwardReport | None:
+        # Last-resort tier: the budget is spent, but if the recent ladder
+        # differences scatter tightly around a stable mean the pipeline
+        # is (quasi-)periodic with a super-period beyond the stride, and
+        # a secant across those rungs gives the mean slope directly.
+        wlen = min(4, len(ks) - 1)
+        if wlen < 2:
+            return None
+        window = [cs[-j] - cs[-j - 1] for j in range(wlen, 0, -1)]
+        if any(d <= 0 for d in window):
+            return None
+        mwindow = {ms[-j] - ms[-j - 1] for j in range(wlen, 0, -1)}
+        if len(mwindow) != 1:
+            return None
+        mean = sum(window) / wlen
+        if any(abs(d - mean) > quasi_rel_tolerance * mean for d in window):
+            return None
+        slope = (cs[-1] - cs[-1 - wlen]) / (ks[-1] - ks[-1 - wlen])
+        steady_period = steady_check(slope)
+        if steady_period is None:
+            return None
+        blocks = (total - ks[-1]) // _SUPER
+        return FastForwardReport(
+            used_fastforward=True,
+            completion_time=cs[-1] + (total - ks[-1]) * slope,
+            messages_sent=ms[-1] + blocks * mwindow.pop(),
+            period=slope,
+            steady_period=steady_period,
+            fill_tiles=fill,
+            probe_tiles=tuple(ks),
+            total_tiles=total,
+            settled_tiles=ks[-1 - wlen],
+            reason=f"quasi-periodic: secant over last {wlen} ladder blocks",
+        )
+
+    while True:
+        k = start + len(ks) * _SUPER
+        # Extending the ladder must stay cheaper than just simulating
+        # the full depth; once it would not be, take the quasi tier if
+        # the recent rungs support it, else fall back.
+        if len(ks) >= max_probes or k >= total or probed_tiles + k > budget:
+            report = quasi_accept()
+            if report is not None:
+                return report
+            return full("probe budget exhausted before periodicity emerged")
+        last_run = run_tiled(_truncated(workload, v, k), v, machine,
+                             blocking=blocking, trace=True,
+                             max_events=max_events)
+        ks.append(k)
+        cs.append(last_run.completion_time)
+        ms.append(last_run.messages_sent)
+        probed_tiles += k
+        if len(ks) < 3:
+            continue
+
+        d_prev = cs[-2] - cs[-3]
+        d_last = cs[-1] - cs[-2]
+        if d_last <= 0:
+            return full("non-positive ladder difference")
+        if (abs(d_last - d_prev) > rel_tolerance * d_last
+                or ms[-1] - ms[-2] != ms[-2] - ms[-3]):
+            # Exact tier not converged.  On a long ladder that is still
+            # visibly cycling (not closing in on exact agreement), stop
+            # paying for deeper rungs and take the quasi tier now.
+            if (len(ks) >= 5
+                    and abs(d_last - d_prev) > 10 * rel_tolerance * d_last):
+                report = quasi_accept()
+                if report is not None:
+                    return report
+            continue
+
+        period = d_last / _SUPER
+        steady_period = steady_check(period)
+        if steady_period is None:
+            return full(
+                f"steady estimate grossly disagrees with ladder slope "
+                f"{period:.3e}"
+            )
+
+        blocks = (total - ks[-1]) // _SUPER
+        return FastForwardReport(
+            used_fastforward=True,
+            completion_time=cs[-1] + blocks * d_last,
+            messages_sent=ms[-1] + blocks * (ms[-1] - ms[-2]),
+            period=period,
+            steady_period=steady_period,
+            fill_tiles=fill,
+            probe_tiles=tuple(ks),
+            total_tiles=total,
+            settled_tiles=ks[-3],
+        )

@@ -209,7 +209,7 @@ class World:
                 self.messages_dropped += 1
                 if on_sent is not None:
                     now = self.sim.now
-                    self.sim.schedule(0.0, lambda: on_sent((now, now)))
+                    self.sim.schedule_call(0.0, on_sent, (now, now))
                 return
             arrival = self.network.transmit(
                 msg.src, msg.dst, msg.nbytes, on_sent=on_sent
@@ -501,7 +501,7 @@ class _RecvEffect(Effect):
             self.ctx._trace("blocked_recv", blocked_from, t, f"<-{self.src}")
             if post_cost > 0:
                 self.ctx._trace("fill_mpi_recv", t, t + post_cost, "B2-on-CPU")
-                w.sim.schedule(post_cost, lambda: process.resume(payload))
+                w.sim.schedule_call(post_cost, process.resume, payload)
             else:
                 process.resume(payload)
 
@@ -545,7 +545,7 @@ class _WaitEffect(Effect):
 
             if post > 0:
                 self.ctx._trace("fill_mpi_recv", t, t + post, "B2-on-CPU")
-                w.sim.schedule(post, lambda: process.resume(value))
+                w.sim.schedule_call(post, process.resume, value)
             else:
                 process.resume(value)
 
@@ -583,4 +583,4 @@ class _BarrierEffect(Effect):
         if len(w._barrier_waiting) == w.num_ranks:
             waiting, w._barrier_waiting = w._barrier_waiting, []
             for p in waiting:
-                w.sim.schedule(0.0, lambda p=p: p.resume(None))
+                w.sim.schedule_call(0.0, p.resume, None)

@@ -56,7 +56,7 @@ class FifoResource:
         self.busy_time += duration
         self.jobs_served += 1
         done = Event(self.sim, name=f"{self.name}.job{self.jobs_served}")
-        self.sim.schedule(end - self.sim.now, lambda: done.trigger((start, end)))
+        self.sim.schedule_call(end - self.sim.now, done.trigger, (start, end))
         return done
 
     @property

@@ -1,0 +1,172 @@
+"""Tests for the fast sweep engine (fan-out, caching, fast-forward)."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.cache import SimCache
+from repro.experiments.engine import Engine, registered_kernels
+from repro.experiments.figures import sweep
+from repro.ir.loopnest import IterationSpace
+from repro.kernels.stencil import sqrt_kernel_3d
+from repro.kernels.workloads import StencilWorkload
+from repro.model.machine import pentium_cluster
+from repro.runtime.executor import run_tiled
+
+PAIRS = [(16, True), (16, False), (64, True), (64, False)]
+
+
+def _workload(name="engine-w"):
+    return StencilWorkload(
+        name, IterationSpace.from_extents([8, 8, 1024]),
+        sqrt_kernel_3d(), (2, 2, 1), 2,
+    )
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return pentium_cluster()
+
+
+@pytest.fixture(scope="module")
+def serial_results(machine):
+    w = _workload()
+    return [run_tiled(w, v, machine, blocking=blocking)
+            for v, blocking in PAIRS]
+
+
+def _assert_identical(results, reference):
+    assert len(results) == len(reference)
+    for got, ref in zip(results, reference):
+        assert got.completion_time == ref.completion_time  # bit-identical
+        assert got.messages_sent == ref.messages_sent
+        assert got.v == ref.v
+        assert got.blocking == ref.blocking
+        assert got.grain == ref.grain
+
+
+class TestBitIdentical:
+    def test_in_process_matches_serial(self, machine, serial_results):
+        engine = Engine(jobs=1)
+        _assert_identical(
+            engine.run_batch(_workload(), machine, PAIRS), serial_results
+        )
+
+    def test_parallel_pool_matches_serial(self, machine, serial_results):
+        engine = Engine(jobs=2)
+        _assert_identical(
+            engine.run_batch(_workload(), machine, PAIRS), serial_results
+        )
+
+    def test_run_tiled_drop_in(self, machine, serial_results):
+        engine = Engine(jobs=1)
+        got = engine.run_tiled(_workload(), 16, machine, blocking=True)
+        ref = serial_results[0]
+        assert got.completion_time == ref.completion_time
+        assert got.messages_sent == ref.messages_sent
+
+    def test_sweep_through_engine_matches_serial(self, machine):
+        w = _workload()
+        heights = [16, 64, 256]
+        serial = sweep(w, machine, heights)
+        fast = sweep(w, machine, heights, engine=Engine(jobs=2))
+        for a, b in zip(serial.points, fast.points):
+            assert a.t_overlap_sim == b.t_overlap_sim
+            assert a.t_nonoverlap_sim == b.t_nonoverlap_sim
+            assert a.grain == b.grain
+
+    def test_unregistered_kernel_falls_back_in_process(
+        self, machine, serial_results
+    ):
+        kernel = dataclasses.replace(sqrt_kernel_3d(), name="not-registered")
+        assert kernel.name not in registered_kernels()
+        w = dataclasses.replace(_workload(), kernel=kernel)
+        engine = Engine(jobs=2)
+        _assert_identical(engine.run_batch(w, machine, PAIRS), serial_results)
+
+
+class TestCacheIntegration:
+    def test_second_batch_served_from_cache(self, tmp_path, machine,
+                                            serial_results):
+        engine = Engine(jobs=1, cache=SimCache(tmp_path))
+        first = engine.run_batch(_workload(), machine, PAIRS)
+        assert engine.cache.stats.misses == len(PAIRS)
+        second = engine.run_batch(_workload(), machine, PAIRS)
+        assert engine.cache.stats.hits == len(PAIRS)
+        _assert_identical(first, serial_results)
+        _assert_identical(second, serial_results)
+
+    def test_cache_shared_across_engines(self, tmp_path, machine,
+                                         serial_results):
+        Engine(jobs=1, cache=SimCache(tmp_path)).run_batch(
+            _workload(), machine, PAIRS
+        )
+        warm = Engine(jobs=1, cache=SimCache(tmp_path))
+        _assert_identical(
+            warm.run_batch(_workload(), machine, PAIRS), serial_results
+        )
+        assert warm.cache.stats.hits == len(PAIRS)
+        assert warm.cache.stats.misses == 0
+
+    def test_fastforward_results_keyed_separately(self, tmp_path, machine):
+        w = StencilWorkload(
+            "deep", IterationSpace.from_extents([8, 8, 8192]),
+            sqrt_kernel_3d(), (2, 2, 1), 2,
+        )
+        pairs = [(16, True)]
+        plain = Engine(jobs=1, cache=SimCache(tmp_path))
+        fast = Engine(jobs=1, cache=SimCache(tmp_path), fastforward=True)
+        a = plain.run_batch(w, machine, pairs)[0]
+        b = fast.run_batch(w, machine, pairs)[0]
+        # Both simulated (no cross-served entries despite the shared dir):
+        assert plain.cache.stats.misses == 1
+        assert fast.cache.stats.misses == 1
+        assert abs(a.completion_time - b.completion_time) < 1e-9 * a.completion_time
+
+
+class TestFastForwardEngine:
+    def test_shallow_runs_unaffected(self, machine, serial_results):
+        # Every PAIRS run is too shallow for fast-forward: results stay
+        # bit-identical even with it enabled.
+        engine = Engine(jobs=1, fastforward=True)
+        _assert_identical(
+            engine.run_batch(_workload(), machine, PAIRS), serial_results
+        )
+
+    def test_deep_run_accelerated_and_accurate(self, machine):
+        w = StencilWorkload(
+            "deep", IterationSpace.from_extents([8, 8, 8192]),
+            sqrt_kernel_3d(), (2, 2, 1), 2,
+        )
+        ref = run_tiled(w, 16, machine, blocking=True)
+        got = Engine(jobs=1, fastforward=True).run_tiled(
+            w, 16, machine, blocking=True
+        )
+        rel = abs(got.completion_time - ref.completion_time) / ref.completion_time
+        assert rel < 1e-9
+
+    def test_validate_mode_guards_extrapolation(self, machine):
+        w = StencilWorkload(
+            "deep", IterationSpace.from_extents([8, 8, 8192]),
+            sqrt_kernel_3d(), (2, 2, 1), 2,
+        )
+        ref = run_tiled(w, 16, machine, blocking=True)
+        engine = Engine(jobs=1, fastforward=True, validate=True,
+                        validate_max_tiles=1024)
+        got = engine.run_tiled(w, 16, machine, blocking=True)
+        # Validation re-simulates and falls back on mismatch, so the
+        # result is within the validation tolerance by construction.
+        rel = abs(got.completion_time - ref.completion_time) / ref.completion_time
+        assert rel <= engine.validate_rtol
+
+
+class TestArguments:
+    def test_jobs_validation(self):
+        with pytest.raises(ValueError):
+            Engine(jobs=0)
+
+    def test_default_jobs_positive(self):
+        assert Engine().jobs >= 1
+
+    def test_registered_kernels_contains_seed_kernels(self):
+        assert "sqrt3d" in registered_kernels()

@@ -44,6 +44,22 @@ class TestDefaultHeights:
         with pytest.raises(ValueError):
             default_heights(_small(), max_points=1)
 
+    def test_grid_invariants_across_shapes(self):
+        """Regression: float-ratio accumulation could round a midpoint
+        onto (or past) hi, leaving a duplicate or out-of-order final
+        entry.  For every shape the grid must be strictly increasing and
+        end exactly at extent // 4."""
+        for extent in (64, 96, 1000, 4096, 12288, 16384, 16400):
+            for max_points in (2, 3, 5, 8, 12, 15):
+                w = StencilWorkload(
+                    "g", IterationSpace.from_extents([4, 4, extent]),
+                    sqrt_kernel_3d(), (2, 2, 1), 2,
+                )
+                hs = default_heights(w, max_points=max_points)
+                assert all(a < b for a, b in zip(hs, hs[1:])), (extent, max_points)
+                assert hs[0] == 4
+                assert hs[-1] == extent // 4, (extent, max_points)
+
 
 class TestAnalytic:
     def test_step_costs_positive(self):

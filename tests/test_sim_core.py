@@ -146,6 +146,32 @@ class TestProcesses:
         sim.run()
         assert seen == [(3.0, [0, 1, 2])]
 
+    def test_all_of_annotation_reported(self):
+        """Regression: AllOf accepted an annotation but dropped it, so
+        deadlock diagnostics showed the generic all_of(n) label."""
+        sim = Simulator()
+        evs = [Event(sim) for _ in range(2)]
+
+        def stuck():
+            yield AllOf(evs, annotation="gathering both halves")
+
+        p = sim.spawn("s", stuck())
+        sim.run()
+        assert p.waiting_on == "gathering both halves"
+        with pytest.raises(RuntimeError, match="gathering both halves"):
+            sim.check_all_finished()
+
+    def test_all_of_default_annotation(self):
+        sim = Simulator()
+        evs = [Event(sim) for _ in range(3)]
+
+        def stuck():
+            yield AllOf(evs)
+
+        p = sim.spawn("s", stuck())
+        sim.run()
+        assert p.waiting_on == "all_of(3)"
+
     def test_all_of_empty(self):
         sim = Simulator()
         seen = []

@@ -1,0 +1,176 @@
+"""Tests for steady-state fast-forward extrapolation."""
+
+import pytest
+
+from repro.ir.loopnest import IterationSpace
+from repro.kernels.library import gauss_seidel_2d
+from repro.kernels.stencil import sqrt_kernel_3d, sum_kernel_2d
+from repro.kernels.workloads import StencilWorkload
+from repro.model.machine import pentium_cluster
+from repro.runtime.executor import run_tiled
+from repro.sim.fastforward import (
+    FastForwardReport,
+    fastforward_eligible,
+    fastforward_run,
+)
+
+
+def _sqrt3d(extent=8192):
+    return StencilWorkload(
+        "sqrt3d-deep", IterationSpace.from_extents([8, 8, extent]),
+        sqrt_kernel_3d(), (2, 2, 1), 2,
+    )
+
+
+def _gs2d():
+    return StencilWorkload(
+        "gs2d-deep", IterationSpace.from_extents([64, 16384]),
+        gauss_seidel_2d(), (4, 1), 1,
+    )
+
+
+def _sum2d():
+    return StencilWorkload(
+        "sum2d-deep", IterationSpace.from_extents([64, 16384]),
+        sum_kernel_2d(), (4, 1), 1,
+    )
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return pentium_cluster()
+
+
+class TestEligibility:
+    def test_deep_pipeline_eligible(self):
+        assert fastforward_eligible(_sqrt3d(), 16)
+
+    def test_shallow_pipeline_not_eligible(self):
+        # 8192/32 = 256 tiles: the three-rung ladder cannot undercut the
+        # full run by the required margin.
+        assert not fastforward_eligible(_sqrt3d(), 32)
+
+    def test_tiny_workload_not_eligible(self):
+        w = StencilWorkload(
+            "tiny", IterationSpace.from_extents([8, 8, 256]),
+            sqrt_kernel_3d(), (2, 2, 1), 2,
+        )
+        assert not fastforward_eligible(w, 16)
+
+
+class TestExactExtrapolation:
+    """On pipelines whose super-period divides the ladder stride the
+    extrapolated completion time matches full simulation to round-off."""
+
+    @pytest.mark.parametrize("make,v,blocking", [
+        (_sqrt3d, 16, False),
+        (_sqrt3d, 16, True),
+        (_gs2d, 16, True),
+        (_gs2d, 32, True),
+        (_sum2d, 16, True),
+    ])
+    def test_completion_time_within_1e9(self, machine, make, v, blocking):
+        w = make()
+        ref = run_tiled(w, v, machine, blocking=blocking)
+        rep = fastforward_run(w, v, machine, blocking=blocking)
+        assert rep.used_fastforward
+        assert rep.reason == ""  # exact tier, not quasi
+        rel = abs(rep.completion_time - ref.completion_time) / ref.completion_time
+        assert rel < 1e-9
+        assert rep.messages_sent == ref.messages_sent
+
+    def test_clipped_final_tile(self, machine):
+        # Extent not divisible by V: probes must reproduce the clipped
+        # drain, or the extrapolation would be off by a partial tile.
+        w = _sqrt3d(extent=8200)
+        ref = run_tiled(w, 16, machine, blocking=True)
+        rep = fastforward_run(w, 16, machine, blocking=True)
+        assert rep.used_fastforward
+        rel = abs(rep.completion_time - ref.completion_time) / ref.completion_time
+        assert rel < 1e-9
+        assert rep.messages_sent == ref.messages_sent
+
+    def test_report_fields(self, machine):
+        w = _sqrt3d()
+        rep = fastforward_run(w, 16, machine, blocking=True)
+        assert isinstance(rep, FastForwardReport)
+        assert rep.total_tiles == 512
+        assert rep.probe_tiles  # ladder actually ran
+        assert all(k < rep.total_tiles for k in rep.probe_tiles)
+        assert sum(rep.probe_tiles) < rep.total_tiles  # cheaper than full
+        assert rep.period > 0
+        assert rep.steady_period > 0
+        assert 0 < rep.settled_tiles <= rep.probe_tiles[-1]
+
+
+class TestFallback:
+    def test_probe_cap_falls_back_to_full_sim(self, machine):
+        w = _sqrt3d()
+        ref = run_tiled(w, 16, machine, blocking=True)
+        rep = fastforward_run(w, 16, machine, blocking=True, max_probes=0)
+        assert not rep.used_fastforward
+        assert rep.completion_time == ref.completion_time  # bit-identical
+        assert rep.messages_sent == ref.messages_sent
+        assert "budget" in rep.reason
+
+    def test_budget_fraction_falls_back(self, machine):
+        w = _sqrt3d()
+        ref = run_tiled(w, 16, machine, blocking=True)
+        rep = fastforward_run(w, 16, machine, blocking=True,
+                              max_probe_fraction=0.01)
+        assert not rep.used_fastforward
+        assert rep.completion_time == ref.completion_time
+
+    def test_ineligible_runs_full_sim(self, machine):
+        w = _sqrt3d()
+        ref = run_tiled(w, 32, machine, blocking=True)
+        rep = fastforward_run(w, 32, machine, blocking=True)
+        assert not rep.used_fastforward
+        assert rep.completion_time == ref.completion_time
+        assert "too few tiles" in rep.reason
+
+
+class TestQuasiTier:
+    def test_long_super_period_accepted_loosely(self, machine):
+        # The paper's 16x16x16384 workload at V=32 under the blocking
+        # schedule cycles with a super-period beyond the ladder stride:
+        # the exact tier never locks, the quasi secant does.
+        from repro.kernels.workloads import paper_experiment_i
+
+        w = paper_experiment_i()
+        ref = run_tiled(w, 32, machine, blocking=True)
+        rep = fastforward_run(w, 32, machine, blocking=True)
+        assert rep.used_fastforward
+        assert "quasi" in rep.reason
+        rel = abs(rep.completion_time - ref.completion_time) / ref.completion_time
+        assert rel < 5e-3
+
+    def test_quasi_tier_can_be_disabled(self, machine):
+        from repro.kernels.workloads import paper_experiment_i
+
+        w = paper_experiment_i()
+        ref = run_tiled(w, 32, machine, blocking=True)
+        rep = fastforward_run(w, 32, machine, blocking=True,
+                              quasi_rel_tolerance=0.0)
+        assert not rep.used_fastforward
+        assert rep.completion_time == ref.completion_time
+
+
+class TestStartHint:
+    def test_hint_moves_ladder_and_stays_exact(self, machine):
+        w = _sqrt3d(extent=16384)
+        ref = run_tiled(w, 16, machine, blocking=True)
+        rep = fastforward_run(w, 16, machine, blocking=True,
+                              start_hint_tiles=100)
+        assert rep.used_fastforward
+        assert rep.probe_tiles[0] >= 100
+        rel = abs(rep.completion_time - ref.completion_time) / ref.completion_time
+        assert rel < 1e-9
+
+    def test_overgrown_hint_ignored(self, machine):
+        w = _sqrt3d()
+        rep = fastforward_run(w, 16, machine, blocking=True,
+                              start_hint_tiles=10_000)
+        # A hint beyond the run depth falls back to the default start.
+        assert rep.used_fastforward
+        assert rep.probe_tiles[0] < 512
