@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Benchmark completion-time inflation under injected faults.
+
+Runs a chaos campaign on a mid-size stencil workload: both schedules
+(non-overlapping and overlapping) at a grid of drop rates, with reliable
+delivery recovering every loss.  For each completed run the campaign
+verifies the numerical result is bit-identical to the fault-free golden,
+then records how much the recovery protocol inflated the completion
+time.
+
+Writes ``BENCH_chaos.json`` at the repository root with, per drop rate
+and schedule: the simulated completion time, the inflation factor over
+that schedule's golden, and the retransmit/duplicate counters.  The
+headline question the artifact answers: does the overlapping schedule
+keep its edge over the blocking one when the network starts dropping
+messages?
+
+Usage:  PYTHONPATH=src python scripts/bench_chaos.py [--quick]
+
+``--quick`` shrinks the workload and the rate grid (for smoke-testing
+the script itself); published numbers should come from a full run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+from repro.experiments.chaos import chaos_sweep
+from repro.ir.loopnest import IterationSpace
+from repro.kernels.stencil import sqrt_kernel_3d
+from repro.kernels.workloads import StencilWorkload
+from repro.model.machine import pentium_cluster
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+DROP_RATES = (0.0, 0.005, 0.01, 0.02, 0.05, 0.1)
+
+
+def _workload(depth):
+    return StencilWorkload(
+        "chaos-bench", IterationSpace.from_extents([16, 16, depth]),
+        sqrt_kernel_3d(), (2, 2, 1), 2,
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small workload + thin rate grid (smoke test)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_chaos.json"))
+    args = parser.parse_args(argv)
+
+    depth = 64 if args.quick else 1024
+    rates = DROP_RATES[::3] if args.quick else DROP_RATES
+    workload = _workload(depth)
+    machine = pentium_cluster()
+
+    print(f"chaos campaign: {workload.name} depth={depth}, "
+          f"{len(rates)} drop rates x 2 schedules", file=sys.stderr)
+    t0 = time.perf_counter()
+    report = chaos_sweep(workload, 8, machine, seed=args.seed,
+                         drop_rates=rates)
+    wall = time.perf_counter() - t0
+
+    points = []
+    for p in report.points:
+        points.append({
+            "drop_rate": p.drop_rate,
+            "schedule": p.schedule_name,
+            "status": p.status,
+            "completion_time": p.completion_time,
+            "inflation_vs_golden": round(report.inflation(p), 4),
+            "messages_dropped": p.messages_dropped,
+            "retransmits": p.retransmits,
+            "duplicates_suppressed": p.duplicates_suppressed,
+            "bit_identical": p.bit_identical,
+        })
+
+    overlap_still_wins = all(
+        a["completion_time"] < b["completion_time"]
+        for a, b in zip(points[1::2], points[0::2])
+        if a["status"] != "deadlocked" and b["status"] != "deadlocked"
+    )
+
+    artifact = {
+        "workload": workload.name,
+        "machine": "pentium_cluster",
+        "v": 8,
+        "seed": args.seed,
+        "drop_rates": list(rates),
+        "golden_time_blocking": report.golden_time_blocking,
+        "golden_time_overlapping": report.golden_time_overlapping,
+        "all_completed_bit_identical": report.all_safe,
+        "overlap_faster_at_every_rate": overlap_still_wins,
+        "points": points,
+        "wall_seconds": round(wall, 3),
+        "quick": args.quick,
+    }
+    pathlib.Path(args.out).write_text(json.dumps(artifact, indent=2) + "\n")
+    print(json.dumps(artifact, indent=2))
+    ok = report.all_safe and all(
+        p["status"] != "deadlocked" for p in points
+    )
+    print("PASS" if ok else "FAIL: divergence or unrecovered runs",
+          file=sys.stderr)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,6 +17,15 @@ from repro.experiments.campaign import (
     run_campaign,
     save_records,
 )
+from repro.experiments.chaos import (
+    ChaosPoint,
+    ChaosReport,
+    chaos_payload,
+    chaos_spec,
+    chaos_sweep,
+    default_retransmit_timeout,
+    render_chaos,
+)
 from repro.experiments.engine import Engine, register_kernel, registered_kernels
 from repro.experiments.examples_paper import (
     Example1Numbers,
@@ -43,6 +52,8 @@ from repro.experiments.table12 import (
 __all__ = [
     "CacheStats",
     "CampaignRecord",
+    "ChaosPoint",
+    "ChaosReport",
     "Engine",
     "Example1Numbers",
     "ExperimentConfig",
@@ -64,9 +75,14 @@ __all__ = [
     "Table12Row",
     "analytic_step",
     "analytic_times",
+    "chaos_payload",
+    "chaos_spec",
+    "chaos_sweep",
     "default_heights",
+    "default_retransmit_timeout",
     "example1",
     "example3",
+    "render_chaos",
     "render_sweep",
     "render_sweep_summary",
     "render_table12",

@@ -55,14 +55,18 @@ def run_key(
     *,
     blocking: bool,
     method: str = "sim",
+    extra: dict | None = None,
 ) -> dict:
     """The pure-data key spec of one simulated run.
 
     ``method`` distinguishes result provenance ("sim" for full
-    simulation, "ff<version>" for fast-forwarded) so near-identical
-    numbers from different engines never collide.
+    simulation, "ff<version>" for fast-forwarded, "chaos<version>" for
+    fault-injected) so near-identical numbers from different engines
+    never collide.  ``extra`` merges additional determining data (e.g. a
+    fault plan) into the key; ``None`` adds nothing, so keys without it
+    keep their pre-existing digests.
     """
-    return {
+    spec = {
         "schema": CACHE_SCHEMA_VERSION,
         "kernel": workload.kernel.name,
         "read_offsets": [list(o) for o in workload.kernel.read_offsets],
@@ -75,6 +79,9 @@ def run_key(
         "blocking": blocking,
         "method": method,
     }
+    if extra is not None:
+        spec["extra"] = extra
+    return spec
 
 
 def _digest(spec: dict) -> str:

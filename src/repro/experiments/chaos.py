@@ -1,0 +1,325 @@
+"""Chaos campaigns: fault-rate sweeps over both schedules.
+
+A chaos campaign answers two questions about the tiled pipelines that a
+clean benchmark cannot:
+
+1. **Correctness under faults** — with the reliability layer on, does a
+   run that completes still compute *exactly* the fault-free answer?
+   Numeric results are compared by SHA-256 digest of the raw array
+   bytes, so "bit-identical" means bit-identical.
+2. **Cost of unreliability** — how much does each schedule's completion
+   time inflate as the drop rate rises?  The overlapping schedule hides
+   communication behind compute, so it also hides much of the
+   retransmission cost — an effect the paper's ideal-network model
+   cannot show.
+
+Every point is deterministic: the :class:`~repro.sim.faults.FaultPlan`
+seed fixes the fault stream, so a sweep reproduces the same numbers
+serially, under ``--jobs N`` fan-out, and across runs.  Points flow
+through the PR-1 :class:`~repro.experiments.engine.Engine` (pure-data
+specs, content-addressed cache, process-pool fan-out) via
+:meth:`Engine.run_chaos_batch`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import asdict, dataclass
+
+from repro.kernels.workloads import StencilWorkload
+from repro.model.machine import Machine
+from repro.runtime.executor import run_tiled_robust
+from repro.sim.faults import FaultPlan
+from repro.sim.reliable import ReliableConfig
+
+__all__ = [
+    "CHAOS_VERSION",
+    "ChaosPoint",
+    "ChaosReport",
+    "chaos_payload",
+    "chaos_spec",
+    "chaos_sweep",
+    "default_retransmit_timeout",
+    "render_chaos",
+]
+
+# Bump when chaos-run semantics change, so cached points are orphaned.
+CHAOS_VERSION = 1
+
+
+def default_retransmit_timeout(
+    workload: StencilWorkload, v: int, machine: Machine
+) -> float:
+    """A retransmission timeout a healthy exchange cannot trip: ~4× the
+    full round trip of the largest face message (send-side fills, both
+    wire legs, the ack frame, switch latency both ways)."""
+    face = max(workload.face_elements(v), default=0)
+    nbytes = machine.message_bytes(face)
+    rtt = (
+        machine.fill_mpi_buffer_time(nbytes)
+        + 2.0 * machine.fill_kernel_buffer_time(nbytes)
+        + 2.0 * machine.transmit_time(nbytes)
+        + 2.0 * machine.network_latency
+        + machine.transmit_time(ReliableConfig().ack_bytes)
+    )
+    return 4.0 * max(rtt, 1e-9)
+
+
+def chaos_spec(
+    *,
+    blocking: bool,
+    faults: FaultPlan | None = None,
+    reliable: ReliableConfig | None = None,
+    numeric: bool = True,
+) -> dict:
+    """Pure-data description of one chaos run (pickles to workers,
+    hashes into cache keys)."""
+    return {
+        "blocking": blocking,
+        "faults": faults.to_dict() if faults is not None else None,
+        "reliable": asdict(reliable) if reliable is not None else None,
+        "numeric": numeric,
+    }
+
+
+def chaos_payload(
+    workload: StencilWorkload,
+    v: int,
+    machine: Machine,
+    spec: dict,
+    *,
+    max_events: int = 50_000_000,
+) -> dict:
+    """Execute one chaos spec; returns the scalar outcome dict (the unit
+    the engine's cache stores and its pool workers return).
+
+    ``result_digest`` is the SHA-256 of the gathered array's raw bytes —
+    present only when the run completed in numeric mode — so bit-exact
+    comparison against the golden run needs no array shipping.
+    """
+    fault_data = spec.get("faults")
+    reliable_data = spec.get("reliable")
+    res = run_tiled_robust(
+        workload,
+        v,
+        machine,
+        blocking=spec["blocking"],
+        faults=FaultPlan.from_dict(fault_data) if fault_data else None,
+        reliable=ReliableConfig(**reliable_data) if reliable_data else None,
+        numeric=spec.get("numeric", True),
+        max_events=max_events,
+    )
+    out = res.outcome
+    digest = (
+        hashlib.sha256(res.result.tobytes()).hexdigest()
+        if res.result is not None
+        else None
+    )
+    return {
+        "status": out.status,
+        "completion_time": out.completion_time,
+        "grain": res.grain,
+        "messages_sent": out.messages_sent,
+        "messages_dropped": out.messages_dropped,
+        "messages_corrupted": out.messages_corrupted,
+        "retransmits": out.retransmits,
+        "duplicates_suppressed": out.duplicates_suppressed,
+        "gave_up": out.gave_up,
+        "result_digest": digest,
+        "reliable_stats": out.reliable_stats,
+    }
+
+
+@dataclass(frozen=True)
+class ChaosPoint:
+    """One (drop rate, schedule) cell of a chaos sweep."""
+
+    drop_rate: float
+    blocking: bool
+    status: str
+    completion_time: float
+    messages_dropped: int
+    retransmits: int
+    duplicates_suppressed: int
+    gave_up: int
+    result_digest: str | None
+    bit_identical: bool | None
+
+    @property
+    def schedule_name(self) -> str:
+        return "non-overlapping" if self.blocking else "overlapping"
+
+    @property
+    def completed(self) -> bool:
+        return self.status in ("completed", "degraded")
+
+
+@dataclass(frozen=True)
+class ChaosReport:
+    """A full fault-rate sweep over both schedules.
+
+    ``golden_digest`` is the fault-free numeric result's digest (the two
+    schedules must agree on it — checked at construction time by
+    :func:`chaos_sweep`); every completed point's ``bit_identical`` flag
+    compares against it.
+    """
+
+    workload_name: str
+    v: int
+    seed: int
+    golden_digest: str | None
+    golden_time_blocking: float
+    golden_time_overlapping: float
+    points: tuple[ChaosPoint, ...]
+
+    @property
+    def all_safe(self) -> bool:
+        """Every completed point reproduced the golden bits exactly."""
+        return all(p.bit_identical for p in self.points if p.completed)
+
+    def inflation(self, point: ChaosPoint) -> float:
+        """Completion-time inflation of one point over its schedule's
+        fault-free golden run (1.0 = no slowdown)."""
+        golden = (
+            self.golden_time_blocking
+            if point.blocking
+            else self.golden_time_overlapping
+        )
+        return point.completion_time / golden if golden > 0 else float("nan")
+
+
+def chaos_sweep(
+    workload: StencilWorkload,
+    v: int,
+    machine: Machine,
+    *,
+    seed: int = 0,
+    drop_rates: tuple[float, ...] = (0.0, 0.01, 0.05, 0.1),
+    duplicate_rate: float = 0.0,
+    corrupt_rate: float = 0.0,
+    jitter: float = 0.0,
+    timeout: float | None = None,
+    max_retries: int = 8,
+    retransmit: bool = True,
+    engine=None,
+    max_events: int = 50_000_000,
+) -> ChaosReport:
+    """Sweep fault rates over both schedules and verify bit-exactness.
+
+    Runs the fault-free golden pair first, then every ``(drop rate,
+    schedule)`` combination under a :class:`FaultPlan` seeded with
+    ``seed``.  With ``retransmit`` (the default) each faulted run uses
+    the reliable transport — timeout :func:`default_retransmit_timeout`
+    unless given — so dropped messages are recovered; without it any
+    drop deadlocks (and the watchdog reports it, bounded).
+
+    ``engine`` (an :class:`~repro.experiments.engine.Engine`) routes all
+    runs through the result cache and the process pool.
+    """
+    reliable = (
+        ReliableConfig(
+            timeout=(
+                timeout
+                if timeout is not None
+                else default_retransmit_timeout(workload, v, machine)
+            ),
+            max_retries=max_retries,
+        )
+        if retransmit
+        else None
+    )
+    cells: list[tuple[float, bool]] = [(-1.0, True), (-1.0, False)]
+    specs = [chaos_spec(blocking=True), chaos_spec(blocking=False)]
+    for rate in drop_rates:
+        plan = FaultPlan(
+            seed=seed,
+            drop_prob=rate,
+            duplicate_prob=duplicate_rate,
+            corrupt_prob=corrupt_rate,
+            jitter=jitter,
+        )
+        for blocking in (True, False):
+            cells.append((rate, blocking))
+            specs.append(
+                chaos_spec(blocking=blocking, faults=plan, reliable=reliable)
+            )
+
+    if engine is not None:
+        payloads = engine.run_chaos_batch(
+            workload, v, machine, specs, max_events=max_events
+        )
+    else:
+        payloads = [
+            chaos_payload(workload, v, machine, s, max_events=max_events)
+            for s in specs
+        ]
+
+    golden_blocking, golden_overlap = payloads[0], payloads[1]
+    if golden_blocking["status"] != "completed":
+        raise RuntimeError("fault-free non-overlapping golden run failed")
+    if golden_overlap["status"] != "completed":
+        raise RuntimeError("fault-free overlapping golden run failed")
+    golden_digest = golden_blocking["result_digest"]
+    if golden_digest != golden_overlap["result_digest"]:
+        raise RuntimeError(
+            "golden runs disagree: the two schedules computed different "
+            "bits on a fault-free network"
+        )
+
+    points = tuple(
+        ChaosPoint(
+            drop_rate=rate,
+            blocking=blocking,
+            status=p["status"],
+            completion_time=p["completion_time"],
+            messages_dropped=p["messages_dropped"],
+            retransmits=p["retransmits"],
+            duplicates_suppressed=p["duplicates_suppressed"],
+            gave_up=p["gave_up"],
+            result_digest=p["result_digest"],
+            bit_identical=(
+                p["result_digest"] == golden_digest
+                if p["status"] in ("completed", "degraded")
+                and golden_digest is not None
+                else None
+            ),
+        )
+        for (rate, blocking), p in zip(cells[2:], payloads[2:])
+    )
+    return ChaosReport(
+        workload_name=workload.name,
+        v=v,
+        seed=seed,
+        golden_digest=golden_digest,
+        golden_time_blocking=golden_blocking["completion_time"],
+        golden_time_overlapping=golden_overlap["completion_time"],
+        points=points,
+    )
+
+
+def render_chaos(report: ChaosReport) -> str:
+    """The sweep as a fixed-width table."""
+    lines = [
+        f"chaos sweep: {report.workload_name} V={report.v} "
+        f"seed={report.seed}",
+        f"golden: non-overlap {report.golden_time_blocking:.6f} s, "
+        f"overlap {report.golden_time_overlapping:.6f} s",
+        f"{'drop':>6}  {'schedule':<15} {'status':<11} {'time (s)':>10} "
+        f"{'inflation':>9} {'retx':>6} {'dropped':>8} {'bits':>5}",
+    ]
+    for p in report.points:
+        bits = "-" if p.bit_identical is None else (
+            "OK" if p.bit_identical else "DIFF"
+        )
+        lines.append(
+            f"{p.drop_rate:>6.2%}  {p.schedule_name:<15} {p.status:<11} "
+            f"{p.completion_time:>10.6f} {report.inflation(p):>8.2f}x "
+            f"{p.retransmits:>6} {p.messages_dropped:>8} {bits:>5}"
+        )
+    verdict = (
+        "all completed runs bit-identical to golden"
+        if report.all_safe
+        else "BIT MISMATCH: a completed run diverged from golden"
+    )
+    lines.append(verdict)
+    return "\n".join(lines)

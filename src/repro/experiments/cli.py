@@ -5,6 +5,7 @@
     python -m repro table12             # the Fig. 12 summary table
     python -m repro examples            # Examples 1 & 3 worked numbers
     python -m repro verify              # distributed-vs-sequential check
+    python -m repro chaos --seed 1 --drop-rate 0.0,0.05   # fault sweep
     python -m repro gantt               # both schedules as Gantt charts
     python -m repro codegen mpi --schedule overlap
     python -m repro codegen loops
@@ -146,6 +147,33 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             print(report.describe())
             failed += 0 if report.passed else 1
     return 1 if failed else 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.experiments.chaos import chaos_sweep, render_chaos
+
+    w = StencilWorkload(
+        "chaos-3d", IterationSpace.from_extents([8, 8, args.depth]),
+        sqrt_kernel_3d(), (2, 2, 1), 2,
+    )
+    drop_rates = tuple(float(r) for r in args.drop_rate.split(","))
+    print(
+        f"chaos sweep over drop rates {list(drop_rates)} "
+        f"(seed {args.seed}) ...", file=sys.stderr,
+    )
+    report = chaos_sweep(
+        w, args.v, _machine(args.machine),
+        seed=args.seed,
+        drop_rates=drop_rates,
+        duplicate_rate=args.duplicate_rate,
+        corrupt_rate=args.corrupt_rate,
+        jitter=args.jitter,
+        max_retries=args.max_retries,
+        retransmit=not args.no_retransmit,
+        engine=_engine(args),
+    )
+    print(render_chaos(report))
+    return 0 if report.all_safe else 1
 
 
 def _cmd_gantt(args: argparse.Namespace) -> int:
@@ -339,6 +367,25 @@ def build_parser() -> argparse.ArgumentParser:
     ver = sub.add_parser("verify", help="distributed-vs-sequential check")
     ver.add_argument("--v", type=int, default=8, help="tile height")
     ver.set_defaults(func=_cmd_verify)
+
+    chaos = sub.add_parser(
+        "chaos", help="fault-rate sweep with bit-exactness verification"
+    )
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="fault-plan seed (fixes the fault stream)")
+    chaos.add_argument("--drop-rate", default="0.0,0.01,0.05,0.1",
+                       help="comma-separated drop probabilities to sweep")
+    chaos.add_argument("--duplicate-rate", type=float, default=0.0)
+    chaos.add_argument("--corrupt-rate", type=float, default=0.0)
+    chaos.add_argument("--jitter", type=float, default=0.0,
+                       help="max extra switch latency per message (s)")
+    chaos.add_argument("--max-retries", type=int, default=8)
+    chaos.add_argument("--no-retransmit", action="store_true",
+                       help="disable the reliability layer (drops deadlock)")
+    chaos.add_argument("--v", type=int, default=8, help="tile height")
+    chaos.add_argument("--depth", type=int, default=64,
+                       help="mapped-dimension extent of the test workload")
+    chaos.set_defaults(func=_cmd_chaos)
 
     gantt = sub.add_parser("gantt", help="Gantt charts of both schedules")
     gantt.add_argument("--v", type=int, default=256)

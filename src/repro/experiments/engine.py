@@ -172,6 +172,20 @@ def _pool_worker(task: dict) -> dict:
     )
 
 
+def _chaos_pool_worker(task: dict) -> dict:
+    """Top-level pool target for chaos runs: rebuild, execute the chaos
+    spec, return the scalar outcome (digests instead of arrays)."""
+    from repro.experiments.chaos import chaos_payload
+
+    return chaos_payload(
+        _workload_from_task(task),
+        task["v"],
+        Machine(**task["machine"]),
+        task["spec"],
+        max_events=task["max_events"],
+    )
+
+
 # -- the engine --------------------------------------------------------------
 
 
@@ -277,6 +291,64 @@ class Engine:
             self._to_result(workload, v, blocking, payload)
             for (v, blocking), payload in zip(pairs, payloads)
         ]
+
+    def run_chaos_batch(
+        self,
+        workload: StencilWorkload,
+        v: int,
+        machine: Machine,
+        specs: Sequence[dict],
+        *,
+        max_events: int = 50_000_000,
+    ) -> list[dict]:
+        """Run every chaos spec (see :func:`repro.experiments.chaos.chaos_spec`);
+        payload dicts in input order.
+
+        Chaos runs are deterministic in the fault-plan seed, so they
+        cache and fan out exactly like clean runs; the spec itself is
+        folded into the cache key (``method="chaos<version>"``).  Numeric
+        results cross process boundaries as SHA-256 digests, never as
+        arrays.
+        """
+        from repro.experiments.chaos import CHAOS_VERSION, chaos_payload
+
+        keys = [
+            run_key(workload, v, machine, blocking=spec["blocking"],
+                    method=f"chaos{CHAOS_VERSION}", extra=spec)
+            for spec in specs
+        ]
+        payloads: list[dict | None] = [None] * len(specs)
+        if self.cache is not None:
+            for k, key in enumerate(keys):
+                payloads[k] = self.cache.get(key)
+
+        miss_idx = [k for k, p in enumerate(payloads) if p is None]
+        if (
+            self.jobs > 1
+            and len(miss_idx) > 1
+            and workload.kernel.name in _KERNEL_FACTORIES
+        ):
+            tasks = []
+            for k in miss_idx:
+                task = self._task(workload, machine, v, specs[k]["blocking"],
+                                  max_events)
+                task["spec"] = specs[k]
+                tasks.append(task)
+            workers = min(self.jobs, len(tasks))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [pool.submit(_chaos_pool_worker, t) for t in tasks]
+                fresh = [f.result() for f in futures]
+        else:
+            fresh = [
+                chaos_payload(workload, v, machine, specs[k],
+                              max_events=max_events)
+                for k in miss_idx
+            ]
+        for k, payload in zip(miss_idx, fresh):
+            payloads[k] = payload
+            if self.cache is not None:
+                self.cache.put(keys[k], payload)
+        return payloads  # type: ignore[return-value]
 
     # -- internals -----------------------------------------------------------
 

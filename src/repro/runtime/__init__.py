@@ -1,7 +1,14 @@
 """SPMD tile programs and their execution backends (simulator, threads)."""
 
 from repro.runtime.buffers import BufferRequirements, buffer_requirements
-from repro.runtime.executor import ExecutionResult, run_schedule_pair, run_tiled
+from repro.runtime.executor import (
+    ExecutionResult,
+    RobustResult,
+    default_watchdog,
+    run_schedule_pair,
+    run_tiled,
+    run_tiled_robust,
+)
 from repro.runtime.planner import DistributionPlan, factor_grid, plan_distribution
 from repro.runtime.program import RankState, TiledProgram
 from repro.runtime.threads import ThreadRank, ThreadRunResult, run_threaded
@@ -19,13 +26,16 @@ __all__ = [
     "factor_grid",
     "plan_distribution",
     "RankState",
+    "RobustResult",
     "ThreadRank",
     "ThreadRunResult",
     "TiledProgram",
     "VerificationReport",
+    "default_watchdog",
     "run_schedule_pair",
     "run_threaded",
     "run_tiled",
+    "run_tiled_robust",
     "verify_against_reference",
     "verify_workload",
 ]

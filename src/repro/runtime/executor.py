@@ -15,10 +15,20 @@ import numpy as np
 from repro.kernels.workloads import StencilWorkload
 from repro.model.machine import Machine
 from repro.runtime.program import TiledProgram
+from repro.sim.deadlock import RunOutcome, WatchdogConfig
+from repro.sim.faults import FaultPlan
 from repro.sim.mpi import World
+from repro.sim.reliable import ReliableConfig
 from repro.sim.tracing import Trace
 
-__all__ = ["ExecutionResult", "run_tiled", "run_schedule_pair"]
+__all__ = [
+    "ExecutionResult",
+    "RobustResult",
+    "default_watchdog",
+    "run_tiled",
+    "run_tiled_robust",
+    "run_schedule_pair",
+]
 
 
 @dataclass(frozen=True)
@@ -87,6 +97,119 @@ def run_tiled(
         trace=world.trace,
         network_stats=world.network.stats(),
         result=prog.gather() if numeric else None,
+    )
+
+
+@dataclass(frozen=True)
+class RobustResult:
+    """Outcome of one watched run under (possible) fault injection.
+
+    Unlike :class:`ExecutionResult`, the run may not have completed:
+    ``outcome.status`` distinguishes ``completed`` / ``degraded`` /
+    ``deadlocked``, and ``result`` is only populated for completed
+    numeric runs (a wedged pipeline has no trustworthy array)."""
+
+    workload_name: str
+    v: int
+    grain: int
+    blocking: bool
+    outcome: RunOutcome
+    trace: Trace
+    network_stats: dict
+    result: np.ndarray | None = None
+
+    @property
+    def status(self) -> str:
+        return self.outcome.status
+
+    @property
+    def completion_time(self) -> float:
+        return self.outcome.completion_time
+
+    @property
+    def schedule_name(self) -> str:
+        return "non-overlapping" if self.blocking else "overlapping"
+
+
+def default_watchdog(
+    workload: StencilWorkload,
+    v: int,
+    machine: Machine,
+    *,
+    reliable: ReliableConfig | None = None,
+    faults: FaultPlan | None = None,
+    safety: float = 4.0,
+) -> WatchdogConfig:
+    """A stall threshold the run cannot trip while healthy.
+
+    The watchdog must not fire during the longest legitimate no-progress
+    interval: one tile's compute charge, one face message's full
+    pipeline, a complete retransmission backoff ladder, or a fault-plan
+    pause/degradation window — whichever is largest, times ``safety``.
+    """
+    grain = workload.grain(v)
+    face = max(workload.face_elements(v), default=0)
+    nbytes = machine.message_bytes(face)
+    pipeline = (
+        machine.fill_mpi_buffer_time(nbytes)
+        + 2.0 * machine.fill_kernel_buffer_time(nbytes)
+        + 2.0 * machine.transmit_time(nbytes)
+        + machine.network_latency
+    )
+    floor = max(machine.compute_time(grain), pipeline, 1e-9)
+    if faults is not None:
+        wire_factor = max((d.factor for d in faults.degradations), default=1.0)
+        cpu_factor = max((s.factor for s in faults.stragglers), default=1.0)
+        pause = max((p.end - p.start for p in faults.pauses), default=0.0)
+        floor = floor * max(wire_factor, cpu_factor) + pause
+    if reliable is not None:
+        floor += reliable.worst_case_wait
+    return WatchdogConfig(stall_time=safety * floor)
+
+
+def run_tiled_robust(
+    workload: StencilWorkload,
+    v: int,
+    machine: Machine,
+    *,
+    blocking: bool,
+    faults: FaultPlan | None = None,
+    reliable: ReliableConfig | None = None,
+    watchdog: WatchdogConfig | None = None,
+    numeric: bool = False,
+    trace: bool = False,
+    max_events: int = 50_000_000,
+) -> RobustResult:
+    """Simulate the workload under fault injection with a live watchdog.
+
+    Like :func:`run_tiled`, but the world is built with ``faults`` (a
+    seeded :class:`~repro.sim.faults.FaultPlan`) and optionally
+    ``reliable`` (ack/timeout/retransmit delivery), and the run goes
+    through :meth:`World.run_outcome`: it finishes in bounded virtual
+    time with a structured status instead of hanging or raising on a
+    wedged pipeline.  ``watchdog`` defaults to :func:`default_watchdog`
+    scaled to this workload/machine/protocol.
+    """
+    prog = TiledProgram(workload, v, machine, blocking=blocking, numeric=numeric)
+    world = World(
+        machine, prog.num_ranks, trace=trace, faults=faults, reliable=reliable
+    )
+    if watchdog is None:
+        watchdog = default_watchdog(
+            workload, v, machine, reliable=reliable, faults=faults
+        )
+    outcome = world.run_outcome(
+        prog.programs(), max_events=max_events, watchdog=watchdog
+    )
+    return RobustResult(
+        workload_name=workload.name,
+        v=v,
+        grain=prog.grain,
+        blocking=blocking,
+        outcome=outcome,
+        trace=world.trace,
+        network_stats=world.network.stats(),
+        result=prog.gather() if numeric and outcome.completed else None,
     )
 
 

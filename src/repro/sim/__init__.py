@@ -1,14 +1,29 @@
 """Deterministic discrete-event cluster simulator with MPI-like messaging."""
 
 from repro.sim.core import AllOf, Effect, Event, Process, Simulator, Timeout, WaitEvent
-from repro.sim.deadlock import BlockedRank, DeadlockReport, diagnose
+from repro.sim.deadlock import (
+    BlockedRank,
+    DeadlockReport,
+    RunOutcome,
+    WatchdogConfig,
+    diagnose,
+)
 from repro.sim.fastforward import (
     FastForwardReport,
     fastforward_eligible,
     fastforward_run,
 )
+from repro.sim.faults import (
+    Degradation,
+    FaultPlan,
+    LinkFaults,
+    MessageFate,
+    NodePause,
+    Straggler,
+)
 from repro.sim.mpi import Rank, RecvRequest, SendRequest, World
 from repro.sim.network import Network
+from repro.sim.reliable import ReliableConfig, ReliableStats, ReliableTransport
 from repro.sim.resources import FifoResource
 from repro.sim.steady import SteadyStateReport, analyze, compute_starts, steady_period
 from repro.sim.tracing import CPU_BUSY_KINDS, Trace, TraceRecord
@@ -18,21 +33,32 @@ __all__ = [
     "BlockedRank",
     "CPU_BUSY_KINDS",
     "DeadlockReport",
+    "Degradation",
     "Effect",
     "Event",
     "FastForwardReport",
+    "FaultPlan",
     "FifoResource",
+    "LinkFaults",
+    "MessageFate",
     "Network",
+    "NodePause",
     "Process",
     "Rank",
     "RecvRequest",
+    "ReliableConfig",
+    "ReliableStats",
+    "ReliableTransport",
+    "RunOutcome",
     "SendRequest",
     "Simulator",
     "SteadyStateReport",
+    "Straggler",
     "Timeout",
     "Trace",
     "TraceRecord",
     "WaitEvent",
+    "WatchdogConfig",
     "World",
     "analyze",
     "compute_starts",

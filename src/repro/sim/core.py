@@ -149,6 +149,9 @@ class Process:
     def resume(self, value: object = None) -> None:
         if self.finished:
             raise RuntimeError(f"resuming finished process {self.name}")
+        # Any resume is forward progress of some rank: the signal the
+        # watchdog uses to tell retry churn from a wedged pipeline.
+        self.sim.last_progress = self.sim.now
         try:
             effect = self.gen.send(value)
         except StopIteration as stop:
@@ -173,6 +176,9 @@ class Simulator:
         self._seq = 0
         self.processes: list[Process] = []
         self.event_count = 0
+        # Virtual time of the most recent process resume — watchdogs
+        # compare this against ``now`` to detect no-progress intervals.
+        self.last_progress: float = 0.0
 
     def schedule(self, delay: float, fn: Callable[[], None]) -> None:
         """Run ``fn`` after ``delay`` simulated seconds."""

@@ -1,0 +1,345 @@
+"""Seeded, deterministic fault injection for the cluster simulator.
+
+A :class:`FaultPlan` describes everything unreliable about a cluster —
+message drop/duplicate/corrupt probabilities (globally or per link),
+link latency jitter, timed bandwidth-degradation windows, and per-node
+straggler/pause intervals — as pure data, so plans pickle cleanly into
+worker processes and hash stably into cache keys.
+
+Determinism is the whole point: every per-message decision is a pure
+function of ``(seed, message identity, attempt)``, where the identity is
+the logical ``(src, dst, tag, stream_seq)`` coordinate of the message,
+*not* any global event counter.  Two runs with the same seed therefore
+see the identical fault stream regardless of event interleaving, worker
+processes, or which schedule (overlapping or not) emitted the traffic —
+the same logical ghost-face message suffers the same fate under both
+Π_ov and Π=(1,…,1).  The decision hash is ``blake2b``, so it is also
+stable across Python processes and platforms (``PYTHONHASHSEED`` never
+enters).
+
+Fault semantics at the :class:`~repro.sim.network.Network` boundary:
+
+* **drop** — the message vanishes at the sender's NIC before occupying
+  the wire; a blocking send still completes (the data left the node).
+* **corrupt** — the receiver's checksum rejects the payload.  Without a
+  reliability layer this is indistinguishable from a drop; with one
+  (:mod:`repro.sim.reliable`) the wire time is charged but no ack is
+  returned, so the sender retransmits.
+* **duplicate** — the NIC emits a second copy of the same attempt.  The
+  reliability layer suppresses it at the receiver; without one the extra
+  copy is dropped at the receiving NIC (MPI matching must not see ghost
+  messages), but counted in :meth:`Network.stats`.
+* **jitter** — extra switch latency, uniform in ``[0, jitter)``.
+* **degradation windows** — wire time multiplied by ``factor`` for
+  messages submitted during ``[start, end)``.
+* **stragglers / pauses** — a node's compute charges are multiplied by
+  ``factor`` (straggler) or delayed until the window closes (pause).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import asdict, dataclass
+
+__all__ = [
+    "Degradation",
+    "FaultPlan",
+    "LinkFaults",
+    "MessageFate",
+    "NodePause",
+    "Straggler",
+]
+
+
+def _require_prob(value: float, name: str) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+@dataclass(frozen=True)
+class LinkFaults:
+    """Fault parameters for one link; ``None`` endpoints are wildcards.
+
+    The first matching override in :attr:`FaultPlan.links` replaces the
+    plan-level defaults entirely for that link.
+    """
+
+    src: int | None = None
+    dst: int | None = None
+    drop_prob: float = 0.0
+    duplicate_prob: float = 0.0
+    corrupt_prob: float = 0.0
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        _require_prob(self.drop_prob, "drop_prob")
+        _require_prob(self.duplicate_prob, "duplicate_prob")
+        _require_prob(self.corrupt_prob, "corrupt_prob")
+        if self.jitter < 0:
+            raise ValueError("jitter must be non-negative")
+
+    def matches(self, src: int, dst: int) -> bool:
+        return (self.src is None or self.src == src) and (
+            self.dst is None or self.dst == dst
+        )
+
+    @property
+    def quiet(self) -> bool:
+        return (
+            self.drop_prob == 0.0
+            and self.duplicate_prob == 0.0
+            and self.corrupt_prob == 0.0
+            and self.jitter == 0.0
+        )
+
+
+@dataclass(frozen=True)
+class Degradation:
+    """Bandwidth degradation: wire times on the matching link(s) are
+    multiplied by ``factor`` for messages submitted in ``[start, end)``."""
+
+    start: float
+    end: float
+    factor: float
+    src: int | None = None
+    dst: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError("degradation window must have end > start")
+        if self.factor < 1.0:
+            raise ValueError("degradation factor must be >= 1")
+
+
+@dataclass(frozen=True)
+class Straggler:
+    """Node ``node`` computes ``factor``× slower during ``[start, end)``."""
+
+    node: int
+    start: float
+    end: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError("straggler window must have end > start")
+        if self.factor < 1.0:
+            raise ValueError("straggler factor must be >= 1")
+
+
+@dataclass(frozen=True)
+class NodePause:
+    """Node ``node`` is frozen during ``[start, end)``: compute issued
+    inside the window waits for the window to close before starting."""
+
+    node: int
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError("pause window must have end > start")
+
+
+@dataclass(frozen=True)
+class MessageFate:
+    """The plan's verdict on one transmission attempt."""
+
+    dropped: bool = False
+    duplicated: bool = False
+    corrupted: bool = False
+    extra_latency: float = 0.0
+
+    @property
+    def clean(self) -> bool:
+        return not (self.dropped or self.duplicated or self.corrupted) and (
+            self.extra_latency == 0.0
+        )
+
+
+CLEAN_FATE = MessageFate()
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded description of everything unreliable about the cluster.
+
+    Plan-level ``drop_prob``/``duplicate_prob``/``corrupt_prob``/``jitter``
+    apply to every link unless a :class:`LinkFaults` override in ``links``
+    matches.  ``drop_every_nth`` reproduces the legacy deterministic knob
+    (every n-th message by global send order is dropped, independent of
+    the probabilistic faults).
+    """
+
+    seed: int = 0
+    drop_prob: float = 0.0
+    duplicate_prob: float = 0.0
+    corrupt_prob: float = 0.0
+    jitter: float = 0.0
+    links: tuple[LinkFaults, ...] = ()
+    degradations: tuple[Degradation, ...] = ()
+    stragglers: tuple[Straggler, ...] = ()
+    pauses: tuple[NodePause, ...] = ()
+    drop_every_nth: int = 0
+
+    def __post_init__(self) -> None:
+        _require_prob(self.drop_prob, "drop_prob")
+        _require_prob(self.duplicate_prob, "duplicate_prob")
+        _require_prob(self.corrupt_prob, "corrupt_prob")
+        if self.jitter < 0:
+            raise ValueError("jitter must be non-negative")
+        if self.drop_every_nth < 0:
+            raise ValueError("drop_every_nth must be non-negative")
+        # Tolerate lists (e.g. reconstruction from JSON) by freezing them.
+        for name in ("links", "degradations", "stragglers", "pauses"):
+            value = getattr(self, name)
+            if not isinstance(value, tuple):
+                object.__setattr__(self, name, tuple(value))
+
+    # -- deterministic decision stream ---------------------------------------
+
+    def _unit(self, *key: object) -> float:
+        """A uniform [0, 1) draw, pure in ``(seed, key)``."""
+        material = repr((self.seed,) + key).encode()
+        digest = hashlib.blake2b(material, digest_size=8).digest()
+        return int.from_bytes(digest, "big") / 2.0**64
+
+    def link_params(self, src: int, dst: int) -> LinkFaults:
+        """Effective fault parameters for one link (first matching
+        override, else the plan-level defaults)."""
+        for link in self.links:
+            if link.matches(src, dst):
+                return link
+        return LinkFaults(
+            drop_prob=self.drop_prob,
+            duplicate_prob=self.duplicate_prob,
+            corrupt_prob=self.corrupt_prob,
+            jitter=self.jitter,
+        )
+
+    def message_fate(
+        self,
+        src: int,
+        dst: int,
+        tag: int,
+        stream_seq: int,
+        *,
+        attempt: int = 0,
+        global_seq: int | None = None,
+    ) -> MessageFate:
+        """The fate of one transmission attempt of one logical message.
+
+        ``attempt`` numbers retransmissions (0 = original), so a retry of
+        a dropped message draws a fresh — but still deterministic — fate.
+        ``global_seq`` feeds the legacy ``drop_every_nth`` counter.
+        """
+        if (
+            self.drop_every_nth
+            and attempt == 0
+            and global_seq is not None
+            and global_seq % self.drop_every_nth == 0
+        ):
+            return MessageFate(dropped=True)
+        params = self.link_params(src, dst)
+        if params.quiet:
+            return CLEAN_FATE
+        key = (src, dst, tag, stream_seq, attempt)
+        return MessageFate(
+            dropped=self._unit("drop", *key) < params.drop_prob,
+            duplicated=self._unit("dup", *key) < params.duplicate_prob,
+            corrupted=self._unit("corrupt", *key) < params.corrupt_prob,
+            extra_latency=self._unit("jitter", *key) * params.jitter,
+        )
+
+    def ack_dropped(
+        self, src: int, dst: int, tag: int, stream_seq: int, nth_ack: int
+    ) -> bool:
+        """Whether the ``nth_ack``-th ack of message ``(src, dst, tag,
+        stream_seq)`` is lost.  Acks travel ``dst → src``, so the reverse
+        link's drop probability applies."""
+        params = self.link_params(dst, src)
+        if params.drop_prob == 0.0:
+            return False
+        return (
+            self._unit("ack", src, dst, tag, stream_seq, nth_ack)
+            < params.drop_prob
+        )
+
+    # -- time-dependent effects ----------------------------------------------
+
+    def wire_factor(self, src: int, dst: int, t: float) -> float:
+        """Wire-time multiplier for a message submitted on the link at
+        time ``t`` (product of all active degradation windows)."""
+        factor = 1.0
+        for d in self.degradations:
+            if (
+                d.start <= t < d.end
+                and (d.src is None or d.src == src)
+                and (d.dst is None or d.dst == dst)
+            ):
+                factor *= d.factor
+        return factor
+
+    def compute_factor(self, node: int, t: float) -> float:
+        """Compute-time multiplier for ``node`` at time ``t``."""
+        factor = 1.0
+        for s in self.stragglers:
+            if s.node == node and s.start <= t < s.end:
+                factor *= s.factor
+        return factor
+
+    def pause_delay(self, node: int, t: float) -> float:
+        """Extra delay before ``node`` may start compute issued at ``t``
+        (time until every overlapping pause window closes)."""
+        resume = t
+        for p in sorted(self.pauses, key=lambda p: p.start):
+            if p.node == node and p.start <= resume < p.end:
+                resume = p.end
+        return resume - t
+
+    # -- structure -----------------------------------------------------------
+
+    @property
+    def has_node_faults(self) -> bool:
+        return bool(self.stragglers or self.pauses)
+
+    @property
+    def active(self) -> bool:
+        """Whether the plan can perturb a run at all."""
+        return bool(
+            self.drop_prob
+            or self.duplicate_prob
+            or self.corrupt_prob
+            or self.jitter
+            or self.links
+            or self.degradations
+            or self.has_node_faults
+            or self.drop_every_nth
+        )
+
+    def to_dict(self) -> dict:
+        """Pure-data form (JSON-roundtrippable, cache-key-stable)."""
+        data = asdict(self)
+        for field in ("links", "degradations", "stragglers", "pauses"):
+            data[field] = list(data[field])
+        return data
+
+    @staticmethod
+    def from_dict(data: dict) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_dict` output."""
+        return FaultPlan(
+            seed=data.get("seed", 0),
+            drop_prob=data.get("drop_prob", 0.0),
+            duplicate_prob=data.get("duplicate_prob", 0.0),
+            corrupt_prob=data.get("corrupt_prob", 0.0),
+            jitter=data.get("jitter", 0.0),
+            links=tuple(LinkFaults(**l) for l in data.get("links", ())),
+            degradations=tuple(
+                Degradation(**d) for d in data.get("degradations", ())
+            ),
+            stragglers=tuple(
+                Straggler(**s) for s in data.get("stragglers", ())
+            ),
+            pauses=tuple(NodePause(**p) for p in data.get("pauses", ())),
+            drop_every_nth=data.get("drop_every_nth", 0),
+        )

@@ -40,17 +40,27 @@ Semantics:
 
 from __future__ import annotations
 
-from typing import Callable, Generator, Iterable, Sequence
+import warnings
+from typing import TYPE_CHECKING, Callable, Generator, Iterable, Sequence
 
 import numpy as np
 
 from repro.model.machine import Machine
 from repro.sim.core import Effect, Event, Process, Simulator, Timeout
+from repro.sim.faults import FaultPlan
 from repro.sim.network import Network
+from repro.sim.reliable import ReliableConfig, ReliableStats, ReliableTransport
 from repro.sim.resources import FifoResource
 from repro.sim.tracing import Trace
 
+if TYPE_CHECKING:  # pragma: no cover - deadlock imports this module
+    from repro.sim.deadlock import RunOutcome, WatchdogConfig
+
 __all__ = ["World", "Rank", "SendRequest", "RecvRequest"]
+
+
+class _StallDetected(Exception):
+    """Internal: raised out of the event loop by the watchdog tick."""
 
 
 def _copy_payload(payload: object) -> object:
@@ -127,19 +137,41 @@ class World:
         *,
         trace: bool = False,
         drop_every_nth: int = 0,
+        faults: FaultPlan | None = None,
+        reliable: ReliableConfig | None = None,
     ):
-        """``drop_every_nth > 0`` silently discards every n-th message
-        after its sender-side kernel copy — a fault-injection knob for
-        exercising deadlock detection and diagnosis (a lost message in a
-        tile pipeline deterministically wedges the downstream ranks)."""
+        """``faults`` injects seeded message drop/duplicate/corrupt,
+        latency jitter, bandwidth-degradation windows and node
+        straggler/pause intervals (:class:`~repro.sim.faults.FaultPlan`).
+        ``reliable`` layers ack/timeout/retransmit delivery
+        (:class:`~repro.sim.reliable.ReliableConfig`) over the unreliable
+        network so dropped messages are recovered instead of wedging the
+        pipeline.
+
+        ``drop_every_nth > 0`` is the deprecated legacy knob; it now
+        delegates to ``faults=FaultPlan(drop_every_nth=...)``."""
         if num_ranks <= 0:
             raise ValueError("num_ranks must be positive")
         if drop_every_nth < 0:
             raise ValueError("drop_every_nth must be non-negative")
+        if drop_every_nth:
+            warnings.warn(
+                "World(drop_every_nth=...) is deprecated; pass "
+                "faults=FaultPlan(drop_every_nth=...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if faults is not None:
+                raise ValueError("pass either drop_every_nth or faults, not both")
+            faults = FaultPlan(drop_every_nth=drop_every_nth)
         self.machine = machine
         self.num_ranks = num_ranks
         self.sim = Simulator()
-        self.network = Network(self.sim, machine, num_ranks)
+        self.faults = faults
+        self.network = Network(self.sim, machine, num_ranks, faults=faults)
+        self.transport = (
+            ReliableTransport(self, reliable) if reliable is not None else None
+        )
         self.dma = [
             FifoResource(self.sim, f"node{r}.dma", servers=machine.dma_channels)
             for r in range(num_ranks)
@@ -153,6 +185,7 @@ class World:
         self.messages_sent = 0
         self.drop_every_nth = drop_every_nth
         self.messages_dropped = 0
+        self.messages_corrupted = 0
         # MPI non-overtaking: per-(src, dst, tag) stream bookkeeping so
         # messages whose pipelines complete out of order (possible with
         # multichannel DMA and unequal sizes) are still delivered FIFO.
@@ -188,6 +221,95 @@ class World:
         self.sim.check_all_finished()
         return end
 
+    # -- structured outcomes ---------------------------------------------------
+
+    def run_outcome(
+        self,
+        programs: Sequence[Callable[["Rank"], Generator[Effect, object, object]]],
+        *,
+        max_events: int = 50_000_000,
+        watchdog: "WatchdogConfig | None" = None,
+    ) -> "RunOutcome":
+        """Run like :meth:`run`, but never hang and never raise on
+        deadlock: a live watchdog detects no-progress (quiescence or
+        ``stall_time`` of retry churn without any rank advancing),
+        triggers :func:`~repro.sim.deadlock.diagnose` automatically and
+        returns a structured :class:`~repro.sim.deadlock.RunOutcome`.
+        Retry/drop counters are also surfaced through ``trace.counters``.
+        """
+        from repro.sim.deadlock import RunOutcome, WatchdogConfig, diagnose
+
+        if len(programs) != self.num_ranks:
+            raise ValueError(
+                f"need {self.num_ranks} programs, got {len(programs)}"
+            )
+        wd = watchdog if watchdog is not None else WatchdogConfig()
+        for rank, prog in enumerate(programs):
+            ctx = self.context(rank)
+            self.sim.spawn(f"rank{rank}", prog(ctx))
+
+        def tick() -> None:
+            if not self.sim.unfinished_processes():
+                return  # all done; let the heap drain
+            if not self.sim._heap:
+                raise _StallDetected  # true quiescence: nothing can unblock
+            if self.sim.now - self.sim.last_progress >= wd.stall_time:
+                raise _StallDetected  # churn (timers firing) without progress
+            self.sim.schedule(wd.effective_interval, tick)
+
+        if wd.enabled:
+            self.sim.schedule(wd.effective_interval, tick)
+
+        deadlocked = False
+        try:
+            end = self.sim.run(max_events=max_events)
+        except _StallDetected:
+            deadlocked = True
+            end = self.sim.now
+        if not deadlocked and self.sim.unfinished_processes():
+            # Watchdog disabled and the heap drained with stuck ranks.
+            deadlocked = True
+        if not deadlocked:
+            # Watchdog ticks outlive the last rank; the makespan is when
+            # the ranks finished, not when the final tick fired.
+            end = max(
+                (p.finish_time for p in self.sim.processes
+                 if p.finish_time is not None),
+                default=end,
+            )
+        rstats = self.transport.stats if self.transport is not None \
+            else ReliableStats()
+        report = diagnose(self) if deadlocked else None
+        if deadlocked:
+            status = "deadlocked"
+        elif rstats.degraded or self.messages_dropped or self.messages_corrupted:
+            status = "degraded"
+        else:
+            status = "completed"
+        for name, value in (
+            ("messages_dropped", self.messages_dropped),
+            ("messages_corrupted", self.messages_corrupted),
+            ("retransmits", rstats.retransmits),
+            ("duplicates_suppressed", rstats.duplicates_suppressed),
+            ("acks_sent", rstats.acks_sent),
+            ("gave_up", rstats.gave_up),
+        ):
+            if value:
+                self.trace.bump(name, value)
+        return RunOutcome(
+            status=status,
+            completion_time=end,
+            messages_sent=self.messages_sent,
+            messages_dropped=self.messages_dropped,
+            messages_corrupted=self.messages_corrupted,
+            retransmits=rstats.retransmits,
+            duplicates_suppressed=rstats.duplicates_suppressed,
+            acks_sent=rstats.acks_sent,
+            gave_up=rstats.gave_up,
+            report=report,
+            reliable_stats=rstats.as_dict(),
+        )
+
     # -- message pipeline -----------------------------------------------------
 
     def _launch_message(self, msg: _Message, send_req: SendRequest | None,
@@ -200,29 +322,52 @@ class World:
         def after_kernel_copy(_interval: object) -> None:
             if send_req is not None:
                 send_req.complete_event.trigger(None)
-            if (
-                self.drop_every_nth
-                and msg.seq % self.drop_every_nth == 0
-            ):
-                # Fault injection: the message vanishes on the wire.  A
-                # blocking send still "completes" (it left the node).
-                self.messages_dropped += 1
-                if on_sent is not None:
-                    now = self.sim.now
-                    self.sim.schedule_call(0.0, on_sent, (now, now))
-                return
-            arrival = self.network.transmit(
-                msg.src, msg.dst, msg.nbytes, on_sent=on_sent
-            )
-
-            def after_arrival(_a: object) -> None:
-                b2 = m.fill_kernel_buffer_time(msg.nbytes) if m.dma else 0.0
-                rx_copy = self.dma[msg.dst].submit(b2)
-                rx_copy.add_callback(lambda _i: self._deliver(msg))
-
-            arrival.add_callback(after_arrival)
+            if self.transport is not None:
+                self.transport.start_transfer(msg, on_sent)
+            else:
+                self._unreliable_transmit(msg, on_sent)
 
         kcopy.add_callback(after_kernel_copy)
+
+    def _unreliable_transmit(
+        self, msg: _Message,
+        on_sent: Callable[[tuple[float, float]], None] | None,
+    ) -> None:
+        """Fire-and-forget wire leg: one attempt, faults are fatal."""
+        fate = None
+        if self.faults is not None:
+            fate = self.faults.message_fate(
+                msg.src, msg.dst, msg.tag, msg.stream_seq,
+                attempt=0, global_seq=msg.seq,
+            )
+        if fate is not None and (fate.dropped or fate.corrupted):
+            # The message vanishes (at the NIC, or rejected by the
+            # receiver's checksum).  A blocking send still "completes"
+            # (it left the node).
+            self.messages_dropped += 1
+            if fate.corrupted:
+                self.messages_corrupted += 1
+            if on_sent is not None:
+                now = self.sim.now
+                self.sim.schedule_call(0.0, on_sent, (now, now))
+            return
+        if fate is not None and fate.duplicated:
+            # Without a reliability layer there is no receiver-side
+            # dedup, so the extra copy is discarded at the NIC (MPI
+            # matching must not see ghost messages) but still counted.
+            self.network.duplicates += 1
+        arrival = self.network.transmit(
+            msg.src, msg.dst, msg.nbytes, on_sent=on_sent,
+            extra_latency=fate.extra_latency if fate is not None else 0.0,
+        )
+        arrival.add_callback(lambda _a: self._receive_copy(msg))
+
+    def _receive_copy(self, msg: _Message) -> None:
+        """Receive-side kernel copy (B2) then stream-ordered delivery."""
+        m = self.machine
+        b2 = m.fill_kernel_buffer_time(msg.nbytes) if m.dma else 0.0
+        rx_copy = self.dma[msg.dst].submit(b2)
+        rx_copy.add_callback(lambda _i: self._deliver(msg))
 
     def _deliver(self, msg: _Message) -> None:
         """Message pipeline finished: release in stream order, then match.
@@ -378,9 +523,16 @@ class _ComputeEffect(Effect):
 
     def start(self, process: Process) -> None:
         now = self.ctx._sim.now
-        self.ctx._trace("compute", now, now + self.seconds, self.label)
+        seconds = self.seconds
+        plan = self.ctx.world.faults
+        if plan is not None and plan.has_node_faults:
+            # Straggler windows stretch the charge; pause windows delay
+            # its start (the node is wedged until the pause ends).
+            seconds = seconds * plan.compute_factor(self.ctx.rank, now)
+            seconds += plan.pause_delay(self.ctx.rank, now)
+        self.ctx._trace("compute", now, now + seconds, self.label)
         result = self.fn() if self.fn is not None else None
-        Timeout(self.seconds, annotation="compute", result=result).start(process)
+        Timeout(seconds, annotation="compute", result=result).start(process)
 
 
 class _IsendEffect(Effect):

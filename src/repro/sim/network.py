@@ -9,28 +9,61 @@ knobs for §4's "ideal scheme" discussion (Fig. 3b vs 3c).
 
 The fabric itself is non-blocking (full crossbar, like a switched
 cluster): only the endpoints contend.
+
+An optional :class:`~repro.sim.faults.FaultPlan` perturbs the timing
+model: bandwidth-degradation windows scale a message's wire time (both
+sides, evaluated at submission) and callers may pass per-message latency
+``extra_latency`` (jitter).  Message *loss* is decided above this layer —
+at the :class:`~repro.sim.mpi.World` boundary or inside
+:class:`~repro.sim.reliable.ReliableTransport` — because it needs the
+logical message identity; the network only carries what it is given and
+counts what the upper layers report (``retransmits``, ``duplicates``).
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.model.machine import Machine
 from repro.sim.core import Event, Simulator
 from repro.sim.resources import FifoResource
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.faults import FaultPlan
+
 __all__ = ["Network"]
+
+
+def _quantile(sorted_values: list[float], q: float) -> float:
+    """Linear-interpolation quantile of an ascending list (numpy's
+    default method); 0 for an empty list."""
+    n = len(sorted_values)
+    if n == 0:
+        return 0.0
+    pos = q * (n - 1)
+    lo = int(pos)
+    hi = min(lo + 1, n - 1)
+    frac = pos - lo
+    return sorted_values[lo] + (sorted_values[hi] - sorted_values[lo]) * frac
 
 
 class Network:
     """Switched cluster fabric between ``num_nodes`` endpoints."""
 
-    def __init__(self, sim: Simulator, machine: Machine, num_nodes: int):
+    def __init__(
+        self,
+        sim: Simulator,
+        machine: Machine,
+        num_nodes: int,
+        *,
+        faults: "FaultPlan | None" = None,
+    ):
         if num_nodes <= 0:
             raise ValueError("num_nodes must be positive")
         self.sim = sim
         self.machine = machine
         self.num_nodes = num_nodes
+        self.faults = faults
         self.tx: list[FifoResource] = []
         self.rx: list[FifoResource] = []
         for node in range(num_nodes):
@@ -42,6 +75,9 @@ class Network:
         self.bytes_carried = 0.0
         self.tx_bytes = [0.0] * num_nodes
         self.rx_bytes = [0.0] * num_nodes
+        # Reliability-layer accounting (bumped by ReliableTransport).
+        self.retransmits = 0
+        self.duplicates = 0
         self._latencies: list[float] = []
 
     def transmit(
@@ -51,18 +87,22 @@ class Network:
         nbytes: float,
         *,
         on_sent: Callable[[tuple[float, float]], None] | None = None,
+        extra_latency: float = 0.0,
     ) -> Event:
         """Carry ``nbytes`` from ``src`` to ``dst``.
 
         Returns the *arrival* event (RX side complete).  ``on_sent`` fires
         when the sender-side transmission (TX) finishes — what a blocking
-        send waits for.  Self-sends are free (local memory), completing
-        immediately.
+        send waits for.  ``extra_latency`` adds per-message switch latency
+        (fault-plan jitter).  Self-sends are free (local memory),
+        completing immediately.
         """
         self._check_node(src, "src")
         self._check_node(dst, "dst")
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
+        if extra_latency < 0:
+            raise ValueError("extra_latency must be non-negative")
         self.messages_carried += 1
         self.bytes_carried += nbytes
         self.tx_bytes[src] += nbytes
@@ -77,6 +117,9 @@ class Network:
             return done
 
         wire = self.machine.transmit_time(nbytes)
+        if self.faults is not None:
+            wire *= self.faults.wire_factor(src, dst, submitted_at)
+        latency = self.machine.network_latency + extra_latency
         tx_done = self.tx[src].submit(wire)
         arrival = Event(self.sim, name=f"msg{self.messages_carried}.arrival")
 
@@ -84,9 +127,7 @@ class Network:
             start, end = interval  # type: ignore[misc]
             if on_sent is not None:
                 on_sent((start, end))
-            rx_done = self.rx[dst].submit(
-                wire, not_before=end + self.machine.network_latency
-            )
+            rx_done = self.rx[dst].submit(wire, not_before=end + latency)
 
             def on_arrival(interval: object) -> None:
                 _s, arr_end = interval  # type: ignore[misc]
@@ -99,8 +140,10 @@ class Network:
         return arrival
 
     def stats(self) -> dict:
-        """Aggregate traffic statistics: totals, per-node bytes, and the
-        wire-level message latency distribution (submission → arrival)."""
+        """Aggregate traffic statistics: totals, per-node bytes, the
+        wire-level message latency distribution (submission → arrival,
+        with interpolated median/p95/p99), and the reliability layer's
+        retransmit/duplicate counters."""
         lat = sorted(self._latencies)
         n = len(lat)
         return {
@@ -109,8 +152,12 @@ class Network:
             "tx_bytes": tuple(self.tx_bytes),
             "rx_bytes": tuple(self.rx_bytes),
             "latency_min": lat[0] if n else 0.0,
-            "latency_median": lat[n // 2] if n else 0.0,
+            "latency_median": _quantile(lat, 0.5),
+            "latency_p95": _quantile(lat, 0.95),
+            "latency_p99": _quantile(lat, 0.99),
             "latency_max": lat[-1] if n else 0.0,
+            "retransmits": self.retransmits,
+            "duplicates": self.duplicates,
         }
 
     def _check_node(self, node: int, name: str) -> None:

@@ -1,0 +1,263 @@
+"""Reliable delivery over the unreliable network.
+
+A thin ARQ (automatic repeat request) layer between
+:class:`~repro.sim.mpi.World` and :class:`~repro.sim.network.Network`:
+every data message is identified by its ``(src, dst, tag, stream_seq)``
+sequence coordinate, the receiver acks each copy it sees, and the sender
+retransmits on an exponential-backoff timer until acked or out of
+retries.  Duplicates — injected by the fault plan or created by an
+ack loss forcing a spurious retransmit — are suppressed at the receiver
+by sequence number, so the MPI matching layer above observes exactly-once
+delivery whenever delivery happens at all.
+
+Cost honesty: retransmissions and acks occupy the *same* simulated
+hardware as first transmissions — the sender's TX unit, the wire, the
+receiver's RX unit — so reliability overhead contends with (and delays)
+real traffic exactly as it would on a cluster.  The send-side kernel
+copy (B3) is charged once: retransmits resend the kernel buffer that is
+already filled.  The receive-side copy (B2) is charged only for the one
+copy that is actually delivered.  Acks are NIC-level frames
+(``ack_bytes``): they pay wire time but no MPI/kernel buffer fills.
+
+A message whose retries are exhausted is lost permanently (``gave_up``);
+the run then wedges downstream and the watchdog turns the hang into a
+structured deadlock outcome (:meth:`World.run_outcome`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.sim.faults import CLEAN_FATE
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (mpi imports us)
+    from repro.sim.mpi import World, _Message
+
+__all__ = ["ReliableConfig", "ReliableStats", "ReliableTransport"]
+
+
+@dataclass(frozen=True)
+class ReliableConfig:
+    """Parameters of the ack/timeout/retransmit protocol.
+
+    ``timeout`` is the first retransmission timeout; each retry multiplies
+    it by ``backoff``.  ``max_retries`` bounds the number of
+    retransmissions per message (so total attempts = ``max_retries + 1``
+    and the protocol always quiesces in bounded virtual time).
+    """
+
+    timeout: float = 5e-3
+    backoff: float = 2.0
+    max_retries: int = 8
+    ack_bytes: float = 64.0
+
+    def __post_init__(self) -> None:
+        if self.timeout <= 0:
+            raise ValueError("timeout must be positive")
+        if self.backoff < 1.0:
+            raise ValueError("backoff must be at least 1")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.ack_bytes < 0:
+            raise ValueError("ack_bytes must be non-negative")
+
+    @property
+    def worst_case_wait(self) -> float:
+        """Virtual time from first transmission to giving up (the sum of
+        the whole backoff ladder) — the bound the watchdog builds on."""
+        total = 0.0
+        t = self.timeout
+        for _ in range(self.max_retries + 1):
+            total += t
+            t *= self.backoff
+        return total
+
+
+@dataclass
+class ReliableStats:
+    """Counters of one transport instance (surfaced through
+    :class:`~repro.sim.tracing.Trace` counters and ``RunOutcome``)."""
+
+    transfers: int = 0
+    acked: int = 0
+    retransmits: int = 0
+    data_dropped: int = 0
+    corrupted: int = 0
+    duplicates_wire: int = 0
+    duplicates_suppressed: int = 0
+    acks_sent: int = 0
+    acks_dropped: int = 0
+    gave_up: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "transfers": self.transfers,
+            "acked": self.acked,
+            "retransmits": self.retransmits,
+            "data_dropped": self.data_dropped,
+            "corrupted": self.corrupted,
+            "duplicates_wire": self.duplicates_wire,
+            "duplicates_suppressed": self.duplicates_suppressed,
+            "acks_sent": self.acks_sent,
+            "acks_dropped": self.acks_dropped,
+            "gave_up": self.gave_up,
+        }
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the run needed the reliability layer at all."""
+        return bool(
+            self.retransmits
+            or self.data_dropped
+            or self.corrupted
+            or self.duplicates_suppressed
+            or self.acks_dropped
+            or self.gave_up
+        )
+
+
+class _Transfer:
+    """Sender-side state of one in-flight logical message."""
+
+    __slots__ = ("msg", "key", "acked", "failed", "next_timeout")
+
+    def __init__(self, msg: "_Message", key: tuple, timeout: float):
+        self.msg = msg
+        self.key = key
+        self.acked = False
+        self.failed = False
+        self.next_timeout = timeout
+
+
+@dataclass
+class ReliableTransport:
+    """The ARQ engine wired into one :class:`World`."""
+
+    world: "World"
+    config: ReliableConfig
+    stats: ReliableStats = field(default_factory=ReliableStats)
+
+    def __post_init__(self) -> None:
+        self._pending: dict[tuple, _Transfer] = {}
+        self._received: set[tuple] = set()
+        self._acks_sent_for: dict[tuple, int] = {}
+
+    # -- sender side ---------------------------------------------------------
+
+    def start_transfer(
+        self,
+        msg: "_Message",
+        on_sent: Callable[[tuple[float, float]], None] | None,
+    ) -> None:
+        """Take over a message whose send-side kernel copy is done."""
+        key = (msg.src, msg.dst, msg.tag, msg.stream_seq)
+        transfer = _Transfer(msg, key, self.config.timeout)
+        self._pending[key] = transfer
+        self.stats.transfers += 1
+        self._attempt(transfer, 0, on_sent)
+
+    def _attempt(
+        self,
+        transfer: _Transfer,
+        attempt: int,
+        on_sent: Callable[[tuple[float, float]], None] | None,
+    ) -> None:
+        world = self.world
+        msg = transfer.msg
+        plan = world.faults
+        fate = (
+            plan.message_fate(
+                msg.src, msg.dst, msg.tag, msg.stream_seq,
+                attempt=attempt, global_seq=msg.seq,
+            )
+            if plan is not None
+            else CLEAN_FATE
+        )
+        if attempt > 0:
+            self.stats.retransmits += 1
+            world.network.retransmits += 1
+        if fate.dropped:
+            # Lost at the NIC before the wire; a blocking send still
+            # completes (the data left the node's responsibility).
+            self.stats.data_dropped += 1
+            world.messages_dropped += 1
+            if on_sent is not None:
+                now = world.sim.now
+                world.sim.schedule_call(0.0, on_sent, (now, now))
+        else:
+            copies = 2 if fate.duplicated else 1
+            if fate.duplicated:
+                self.stats.duplicates_wire += 1
+                world.network.duplicates += 1
+            for c in range(copies):
+                arrival = world.network.transmit(
+                    msg.src, msg.dst, msg.nbytes,
+                    on_sent=on_sent if c == 0 else None,
+                    extra_latency=fate.extra_latency,
+                )
+                arrival.add_callback(
+                    lambda _a, corrupt=fate.corrupted: self._on_data(
+                        transfer, corrupt
+                    )
+                )
+
+        timeout = transfer.next_timeout
+        transfer.next_timeout = timeout * self.config.backoff
+
+        def on_timer() -> None:
+            if transfer.acked or transfer.failed:
+                return
+            if attempt >= self.config.max_retries:
+                transfer.failed = True
+                self._pending.pop(transfer.key, None)
+                self.stats.gave_up += 1
+                return
+            self._attempt(transfer, attempt + 1, None)
+
+        world.sim.schedule(timeout, on_timer)
+
+    # -- receiver side -------------------------------------------------------
+
+    def _on_data(self, transfer: _Transfer, corrupted: bool) -> None:
+        if corrupted:
+            # Checksum failure: the wire was paid for nothing; no ack, so
+            # the sender's timer fires and retransmits.
+            self.stats.corrupted += 1
+            self.world.messages_corrupted += 1
+            return
+        key = transfer.key
+        if key in self._received:
+            self.stats.duplicates_suppressed += 1
+        else:
+            self._received.add(key)
+            self.world._receive_copy(transfer.msg)
+        self._send_ack(key, transfer.msg)
+
+    def _send_ack(self, key: tuple, msg: "_Message") -> None:
+        world = self.world
+        nth = self._acks_sent_for.get(key, 0) + 1
+        self._acks_sent_for[key] = nth
+        self.stats.acks_sent += 1
+        plan = world.faults
+        if plan is not None and plan.ack_dropped(
+            msg.src, msg.dst, msg.tag, msg.stream_seq, nth
+        ):
+            self.stats.acks_dropped += 1
+            return
+        arrival = world.network.transmit(msg.dst, msg.src, self.config.ack_bytes)
+        arrival.add_callback(lambda _a: self._on_ack(key))
+
+    def _on_ack(self, key: tuple) -> None:
+        transfer = self._pending.pop(key, None)
+        if transfer is None or transfer.acked:
+            return
+        transfer.acked = True
+        self.stats.acked += 1
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def unacked(self) -> int:
+        """Transfers still waiting for an ack (pending, not failed)."""
+        return sum(1 for t in self._pending.values() if not t.failed)

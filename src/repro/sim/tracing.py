@@ -33,11 +33,19 @@ class TraceRecord:
 
 
 class Trace:
-    """Append-only trace of CPU activity intervals."""
+    """Append-only trace of CPU activity intervals, plus named run
+    counters (retransmits, drops, …) that robustness layers surface here
+    even when interval recording is disabled."""
 
     def __init__(self, enabled: bool = True):
         self.enabled = enabled
         self.records: list[TraceRecord] = []
+        self.counters: dict[str, int] = {}
+
+    def bump(self, name: str, n: int = 1) -> None:
+        """Increment a named counter (recorded regardless of ``enabled`` —
+        counters are cheap and drive the robustness reports)."""
+        self.counters[name] = self.counters.get(name, 0) + n
 
     def add(self, rank: int, kind: str, start: float, end: float, label: str = "") -> None:
         if not self.enabled:

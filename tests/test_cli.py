@@ -90,6 +90,25 @@ class TestCampaignAndTrace:
         assert {"name", "ph", "ts", "dur", "tid"} <= set(events[0])
 
 
+class TestChaosCommand:
+    def test_chaos_args(self):
+        args = build_parser().parse_args(
+            ["chaos", "--seed", "7", "--drop-rate", "0.1", "--no-retransmit"]
+        )
+        assert args.seed == 7
+        assert args.drop_rate == "0.1"
+        assert args.no_retransmit
+
+    def test_chaos_smoke(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert main(["--jobs", "1", "chaos", "--seed", "1",
+                     "--drop-rate", "0.0,0.05", "--depth", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "bit-identical" in out
+        assert "overlapping" in out
+        assert "deadlocked" not in out  # retransmission recovers all drops
+
+
 class TestPlanCommand:
     def test_plan_and_run(self, capsys):
         assert main(["plan", "--extents", "16,16,1024", "--processors", "16",

@@ -1,0 +1,191 @@
+"""Chaos campaigns: bit-exactness under faults, determinism, fan-out."""
+
+import pytest
+
+from repro.experiments.cache import SimCache, run_key
+from repro.experiments.chaos import (
+    chaos_payload,
+    chaos_spec,
+    chaos_sweep,
+    default_retransmit_timeout,
+    render_chaos,
+)
+from repro.experiments.engine import Engine
+from repro.ir.loopnest import IterationSpace
+from repro.kernels.stencil import sqrt_kernel_3d
+from repro.kernels.workloads import StencilWorkload
+from repro.model.machine import pentium_cluster
+from repro.runtime.executor import default_watchdog, run_tiled_robust
+from repro.sim.faults import FaultPlan
+from repro.sim.reliable import ReliableConfig
+
+
+def _workload(depth=32):
+    return StencilWorkload(
+        "chaos-test", IterationSpace.from_extents([8, 8, depth]),
+        sqrt_kernel_3d(), (2, 2, 1), 2,
+    )
+
+
+class TestRobustExecutor:
+    def test_default_watchdog_scales_with_protocol(self):
+        w = _workload()
+        m = pentium_cluster()
+        base = default_watchdog(w, 8, m)
+        cfg = ReliableConfig(timeout=1e-2, max_retries=4)
+        with_arq = default_watchdog(w, 8, m, reliable=cfg)
+        assert with_arq.stall_time > base.stall_time
+        assert with_arq.stall_time > cfg.worst_case_wait
+
+    def test_robust_matches_plain_on_clean_network(self):
+        from repro.runtime.executor import run_tiled
+
+        w = _workload()
+        m = pentium_cluster()
+        plain = run_tiled(w, 8, m, blocking=False)
+        robust = run_tiled_robust(w, 8, m, blocking=False)
+        assert robust.status == "completed"
+        assert robust.completion_time == pytest.approx(plain.completion_time)
+
+    def test_faulted_run_recovers_bit_identically(self):
+        import numpy as np
+
+        from repro.runtime.executor import run_tiled
+
+        w = _workload()
+        m = pentium_cluster()
+        golden = run_tiled(w, 8, m, blocking=False, numeric=True)
+        res = run_tiled_robust(
+            w, 8, m, blocking=False,
+            faults=FaultPlan(seed=5, drop_prob=0.05),
+            reliable=ReliableConfig(
+                timeout=default_retransmit_timeout(w, 8, m)
+            ),
+            numeric=True,
+        )
+        assert res.status == "degraded"
+        assert res.outcome.retransmits > 0
+        assert np.array_equal(res.result, golden.result)
+
+    def test_unrecovered_drop_returns_structured_deadlock(self):
+        w = _workload()
+        m = pentium_cluster()
+        res = run_tiled_robust(
+            w, 8, m, blocking=False,
+            faults=FaultPlan(seed=5, drop_prob=0.05),
+            numeric=True,
+        )
+        assert res.status == "deadlocked"
+        assert res.result is None
+        assert res.outcome.report is not None
+        assert res.outcome.report.blocked
+
+
+class TestChaosPayload:
+    def test_payload_digest_stable(self):
+        w = _workload()
+        m = pentium_cluster()
+        spec = chaos_spec(blocking=False)
+        a = chaos_payload(w, 8, m, spec)
+        b = chaos_payload(w, 8, m, spec)
+        assert a == b
+        assert a["status"] == "completed"
+        assert a["result_digest"]
+
+    def test_spec_is_json_pure(self):
+        import json
+
+        spec = chaos_spec(
+            blocking=True,
+            faults=FaultPlan(seed=1, drop_prob=0.1),
+            reliable=ReliableConfig(),
+        )
+        assert json.loads(json.dumps(spec)) == spec
+
+
+class TestChaosSweep:
+    def test_sweep_completes_bit_identical(self):
+        report = chaos_sweep(
+            _workload(), 8, pentium_cluster(),
+            seed=1, drop_rates=(0.0, 0.05),
+        )
+        assert report.all_safe
+        assert len(report.points) == 4
+        for p in report.points:
+            assert p.completed
+            assert p.bit_identical
+        text = render_chaos(report)
+        assert "bit-identical" in text
+
+    def test_sweep_deterministic_across_calls(self):
+        kwargs = dict(seed=3, drop_rates=(0.02,), duplicate_rate=0.05)
+        a = chaos_sweep(_workload(), 8, pentium_cluster(), **kwargs)
+        b = chaos_sweep(_workload(), 8, pentium_cluster(), **kwargs)
+        assert a == b
+
+    def test_no_retransmit_deadlocks_not_hangs(self):
+        report = chaos_sweep(
+            _workload(), 8, pentium_cluster(),
+            seed=1, drop_rates=(0.05,), retransmit=False,
+        )
+        for p in report.points:
+            assert p.status == "deadlocked"
+            assert p.bit_identical is None
+        assert report.all_safe  # vacuously: no completed faulted runs
+
+    def test_inflation_relative_to_schedule_golden(self):
+        report = chaos_sweep(
+            _workload(), 8, pentium_cluster(),
+            seed=1, drop_rates=(0.0,),
+        )
+        for p in report.points:
+            assert report.inflation(p) == pytest.approx(1.0)
+
+
+class TestEngineChaosBatch:
+    def test_cache_round_trip(self, tmp_path):
+        w = _workload()
+        m = pentium_cluster()
+        cache = SimCache(tmp_path / "cache")
+        engine = Engine(jobs=1, cache=cache)
+        specs = [chaos_spec(blocking=False)]
+        first = engine.run_chaos_batch(w, 8, m, specs)
+        assert cache.stats.stores == 1
+        again = engine.run_chaos_batch(w, 8, m, specs)
+        assert cache.stats.hits == 1
+        assert first == again
+
+    def test_chaos_key_distinct_from_clean_key(self):
+        w = _workload()
+        m = pentium_cluster()
+        spec = chaos_spec(blocking=False)
+        clean = run_key(w, 8, m, blocking=False)
+        chaotic = run_key(w, 8, m, blocking=False, method="chaos1",
+                          extra=spec)
+        assert clean != chaotic
+        # Omitted extra leaves the pre-existing key intact.
+        assert run_key(w, 8, m, blocking=False, extra=None) == clean
+
+    @pytest.mark.chaos
+    def test_pool_matches_serial(self, tmp_path):
+        w = _workload()
+        m = pentium_cluster()
+        plan = FaultPlan(seed=9, drop_prob=0.05)
+        cfg = ReliableConfig(timeout=default_retransmit_timeout(w, 8, m))
+        specs = [
+            chaos_spec(blocking=b, faults=plan, reliable=cfg)
+            for b in (True, False)
+        ]
+        serial = Engine(jobs=1).run_chaos_batch(w, 8, m, specs)
+        pooled = Engine(jobs=2).run_chaos_batch(w, 8, m, specs)
+        assert serial == pooled
+
+    @pytest.mark.chaos
+    def test_sweep_through_pooled_engine_matches_serial(self, tmp_path):
+        w = _workload()
+        m = pentium_cluster()
+        kwargs = dict(seed=1, drop_rates=(0.0, 0.05))
+        serial = chaos_sweep(w, 8, m, **kwargs)
+        pooled = chaos_sweep(w, 8, m, engine=Engine(jobs=2), **kwargs)
+        assert serial == pooled
+        assert pooled.all_safe

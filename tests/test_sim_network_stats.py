@@ -55,6 +55,79 @@ class TestNetworkStats:
         assert s["messages"] == 1
         assert s["latency_max"] == 0.0  # no wire latency recorded
 
+    def test_even_count_median_interpolates(self):
+        # Two serialized equal messages: latencies 0.002 and 0.003 (TX +
+        # RX legs; the second queues one wire time behind the first).
+        # The even-n median is their midpoint, not either sample.
+        sim = Simulator()
+        net = Network(sim, _machine(), 2)
+        net.transmit(0, 1, 1000)
+        net.transmit(0, 1, 1000)
+        sim.run()
+        s = net.stats()
+        assert s["latency_median"] == pytest.approx(0.0025)
+
+    def test_percentiles_ordered_and_interpolated(self):
+        sim = Simulator()
+        net = Network(sim, _machine(), 2)
+        for _ in range(20):  # queueing spreads the latency distribution
+            net.transmit(0, 1, 1000)
+        sim.run()
+        s = net.stats()
+        assert (
+            s["latency_min"]
+            <= s["latency_median"]
+            <= s["latency_p95"]
+            <= s["latency_p99"]
+            <= s["latency_max"]
+        )
+        assert s["latency_p95"] > s["latency_median"]
+
+    def test_percentiles_empty(self):
+        sim = Simulator()
+        net = Network(sim, _machine(), 2)
+        s = net.stats()
+        assert s["latency_p95"] == 0.0
+        assert s["latency_p99"] == 0.0
+
+    def test_reliability_counters_default_zero(self):
+        sim = Simulator()
+        net = Network(sim, _machine(), 2)
+        s = net.stats()
+        assert s["retransmits"] == 0
+        assert s["duplicates"] == 0
+
+    def test_reliability_counters_reported(self):
+        sim = Simulator()
+        net = Network(sim, _machine(), 2)
+        net.retransmits = 3
+        net.duplicates = 1
+        s = net.stats()
+        assert s["retransmits"] == 3
+        assert s["duplicates"] == 1
+
+
+class TestFaultyWire:
+    def test_degradation_window_scales_wire_time(self):
+        from repro.sim.faults import Degradation, FaultPlan
+
+        plan = FaultPlan(degradations=(Degradation(0.0, 10.0, 4.0),))
+        sim = Simulator()
+        net = Network(sim, _machine(), 2, faults=plan)
+        done = {}
+        net.transmit(0, 1, 1000).add_callback(
+            lambda iv: done.setdefault("t", sim.now)
+        )
+        sim.run()
+        # 4x both wire legs: 2 * 4 * 0.001
+        assert done["t"] == pytest.approx(0.008)
+
+    def test_extra_latency_validated(self):
+        sim = Simulator()
+        net = Network(sim, _machine(), 2)
+        with pytest.raises(ValueError):
+            net.transmit(0, 1, 10, extra_latency=-1.0)
+
 
 class TestWarmStepModel:
     def test_between_cpu_and_serialized(self):

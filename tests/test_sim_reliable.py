@@ -1,0 +1,227 @@
+"""Reliable delivery (ack/timeout/retransmit) and the run watchdog."""
+
+import pytest
+
+from repro.model.machine import Machine
+from repro.sim.deadlock import RunOutcome, WatchdogConfig
+from repro.sim.faults import FaultPlan, LinkFaults
+from repro.sim.mpi import World
+from repro.sim.reliable import ReliableConfig
+
+
+def _machine():
+    # Microsecond-scale costs so the default watchdog stall_time (1 s of
+    # virtual time) is far above any legitimate quiet phase.
+    return Machine(t_c=1e-6, t_s=2e-8, t_t=1e-7)
+
+
+def _relay(n=10):
+    """n messages 0 -> 1, then one summary message back."""
+
+    def sender(ctx):
+        for i in range(n):
+            yield ctx.send(1, 100.0, payload=i)
+        return (yield ctx.recv(1))
+
+    def receiver(ctx):
+        got = []
+        for _ in range(n):
+            got.append((yield ctx.recv(0, nbytes=100.0)))
+        yield ctx.send(0, 10.0, payload=sum(got))
+        return got
+
+    return [sender, receiver]
+
+
+class TestReliableConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReliableConfig(timeout=0.0)
+        with pytest.raises(ValueError):
+            ReliableConfig(backoff=0.5)
+        with pytest.raises(ValueError):
+            ReliableConfig(max_retries=-1)
+        with pytest.raises(ValueError):
+            ReliableConfig(ack_bytes=-1.0)
+
+    def test_worst_case_wait_is_backoff_ladder(self):
+        cfg = ReliableConfig(timeout=1.0, backoff=2.0, max_retries=2)
+        assert cfg.worst_case_wait == pytest.approx(1.0 + 2.0 + 4.0)
+
+
+class TestRecovery:
+    def test_clean_network_completes_unchanged_payloads(self):
+        w = World(_machine(), 2, reliable=ReliableConfig())
+        out = w.run_outcome(_relay())
+        assert out.status == "completed"
+        assert out.retransmits == 0
+        recv_proc = [p for p in w.sim.processes if p.name == "rank1"][0]
+        assert recv_proc.result == list(range(10))
+
+    def test_drops_recovered_by_retransmission(self):
+        w = World(
+            _machine(), 2,
+            faults=FaultPlan(seed=11, drop_prob=0.4),
+            reliable=ReliableConfig(timeout=1e-2),
+        )
+        out = w.run_outcome(_relay(), watchdog=WatchdogConfig(stall_time=2.0))
+        assert out.status == "degraded"
+        assert out.retransmits > 0
+        assert out.messages_dropped > 0
+        recv_proc = [p for p in w.sim.processes if p.name == "rank1"][0]
+        assert recv_proc.result == list(range(10))
+
+    def test_corruption_recovered(self):
+        w = World(
+            _machine(), 2,
+            faults=FaultPlan(seed=2, corrupt_prob=0.3),
+            reliable=ReliableConfig(timeout=1e-2),
+        )
+        out = w.run_outcome(_relay(), watchdog=WatchdogConfig(stall_time=2.0))
+        assert out.status == "degraded"
+        assert out.messages_corrupted > 0
+        assert out.completed
+
+    def test_duplicates_suppressed_exactly_once_delivery(self):
+        w = World(
+            _machine(), 2,
+            faults=FaultPlan(seed=3, duplicate_prob=1.0),
+            reliable=ReliableConfig(timeout=1e-2),
+        )
+        out = w.run_outcome(_relay(), watchdog=WatchdogConfig(stall_time=2.0))
+        assert out.completed
+        assert out.duplicates_suppressed > 0
+        recv_proc = [p for p in w.sim.processes if p.name == "rank1"][0]
+        assert recv_proc.result == list(range(10))  # no ghost deliveries
+
+    def test_ack_loss_causes_spurious_retransmit_not_redelivery(self):
+        # Drop only the reverse link: data always arrives, acks vanish at
+        # first, so the sender retransmits and the receiver suppresses.
+        w = World(
+            _machine(), 2,
+            faults=FaultPlan(
+                seed=8,
+                links=(
+                    LinkFaults(src=1, dst=0, drop_prob=0.8),
+                    LinkFaults(src=0, dst=1),
+                ),
+            ),
+            reliable=ReliableConfig(timeout=1e-2, max_retries=12),
+        )
+
+        def sender(ctx):
+            for i in range(5):
+                yield ctx.send(1, 100.0, payload=i)
+
+        def receiver(ctx):
+            got = []
+            for _ in range(5):
+                got.append((yield ctx.recv(0, nbytes=100.0)))
+            return got
+
+        out = w.run_outcome([sender, receiver],
+                            watchdog=WatchdogConfig(stall_time=5.0))
+        assert out.completed
+        assert out.retransmits > 0
+        assert out.duplicates_suppressed > 0
+        recv_proc = [p for p in w.sim.processes if p.name == "rank1"][0]
+        assert recv_proc.result == [0, 1, 2, 3, 4]
+
+    def test_retransmissions_charged_to_network(self):
+        w = World(
+            _machine(), 2,
+            faults=FaultPlan(seed=11, drop_prob=0.4),
+            reliable=ReliableConfig(timeout=1e-2),
+        )
+        out = w.run_outcome(_relay(), watchdog=WatchdogConfig(stall_time=2.0))
+        stats = w.network.stats()
+        assert stats["retransmits"] == out.retransmits
+        # Retransmitted copies occupy the wire: more carried than sent.
+        assert w.network.messages_carried > w.messages_sent
+
+
+class TestGiveUpAndWatchdog:
+    def test_total_loss_deadlocks_in_bounded_time(self):
+        cfg = ReliableConfig(timeout=1e-3, backoff=2.0, max_retries=3)
+        w = World(
+            _machine(), 2,
+            faults=FaultPlan(seed=1, drop_prob=1.0),
+            reliable=cfg,
+        )
+        out = w.run_outcome(_relay(2), watchdog=WatchdogConfig(stall_time=0.5))
+        assert out.status == "deadlocked"
+        assert out.gave_up > 0
+        assert out.report is not None and out.report.is_deadlocked
+        # Bounded virtual time: backoff ladder + stall detection window.
+        assert out.completion_time < cfg.worst_case_wait + 4 * 0.5
+
+    def test_deadlock_without_reliability_is_structured(self):
+        w = World(_machine(), 2, faults=FaultPlan(seed=1, drop_prob=1.0))
+        out = w.run_outcome(_relay(2), watchdog=WatchdogConfig(stall_time=0.5))
+        assert out.status == "deadlocked"
+        assert out.messages_dropped > 0
+        assert "deadlock" in out.describe()
+
+    def test_watchdog_disabled_still_detects_quiescent_deadlock(self):
+        w = World(_machine(), 2, faults=FaultPlan(seed=1, drop_prob=1.0))
+        out = w.run_outcome(
+            _relay(2), watchdog=WatchdogConfig(enabled=False)
+        )
+        assert out.status == "deadlocked"
+
+    def test_completed_makespan_not_extended_by_ticks(self):
+        w_plain = World(_machine(), 2)
+        t_plain = w_plain.run(_relay())
+        w_watched = World(_machine(), 2)
+        out = w_watched.run_outcome(
+            _relay(), watchdog=WatchdogConfig(stall_time=10.0)
+        )
+        assert out.status == "completed"
+        assert out.completion_time == pytest.approx(t_plain)
+
+    def test_outcome_counters_surface_in_trace(self):
+        w = World(
+            _machine(), 2,
+            faults=FaultPlan(seed=11, drop_prob=0.4),
+            reliable=ReliableConfig(timeout=1e-2),
+        )
+        out = w.run_outcome(_relay(), watchdog=WatchdogConfig(stall_time=2.0))
+        assert w.trace.counters["retransmits"] == out.retransmits
+        assert w.trace.counters["messages_dropped"] == out.messages_dropped
+
+    def test_watchdog_validation(self):
+        with pytest.raises(ValueError):
+            WatchdogConfig(stall_time=0.0)
+        with pytest.raises(ValueError):
+            WatchdogConfig(stall_time=1.0, interval=-1.0)
+        assert WatchdogConfig(stall_time=8.0).effective_interval == 2.0
+
+
+class TestDeterminism:
+    def test_same_seed_identical_outcome(self):
+        def make():
+            return World(
+                _machine(), 2,
+                faults=FaultPlan(seed=21, drop_prob=0.3, duplicate_prob=0.1),
+                reliable=ReliableConfig(timeout=1e-2),
+            )
+
+        outs = [
+            make().run_outcome(_relay(), watchdog=WatchdogConfig(stall_time=2.0))
+            for _ in range(3)
+        ]
+        assert outs[0] == outs[1] == outs[2]
+        assert isinstance(outs[0], RunOutcome)
+
+    def test_different_seeds_differ(self):
+        def run(seed):
+            w = World(
+                _machine(), 2,
+                faults=FaultPlan(seed=seed, drop_prob=0.3),
+                reliable=ReliableConfig(timeout=1e-2),
+            )
+            return w.run_outcome(
+                _relay(), watchdog=WatchdogConfig(stall_time=2.0)
+            )
+
+        assert any(run(s) != run(1) for s in (2, 3, 4))
