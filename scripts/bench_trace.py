@@ -1,0 +1,179 @@
+#!/usr/bin/env python
+"""Benchmark the observability layer: tracing overhead and measured terms.
+
+Two questions, answered on paper-scale runs:
+
+* **Overhead** — how much wall-clock does full resource-lane tracing add
+  over ``Trace(enabled=False)`` on experiment (i)'s overlap run at its
+  measured optimum?  (Tracing allocates one ``TraceRecord`` per interval
+  on every CPU/DMA/NIC lane, so this bounds the cost of leaving it on.)
+
+* **Measured sides** — for experiments (i)–(iii) at their measured
+  optimal tile heights, the per-step measured ``ΣA`` / ``ΣB`` of an
+  interior rank under both schedules, the critical-path verdict, the
+  overlap efficiency, and how the measurements sit against the analytic
+  eq. (4) sides and the eq. (3) serialized step.
+
+Writes ``BENCH_trace.json`` at the repository root.
+
+Usage:  PYTHONPATH=src python scripts/bench_trace.py [--quick]
+
+``--quick`` shrinks the mapped extent 8x (script smoke-test only); the
+published numbers should come from a full run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+from repro.experiments.figures import analytic_step
+from repro.ir.loopnest import IterationSpace
+from repro.kernels.workloads import (
+    StencilWorkload,
+    paper_experiment_i,
+    paper_experiment_ii,
+    paper_experiment_iii,
+)
+from repro.model.machine import pentium_cluster
+from repro.runtime.executor import run_tiled
+from repro.sim.steady import steady_period
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+# Measured V_opt per EXPERIMENTS.md.
+POINTS = [("i", paper_experiment_i, 192),
+          ("ii", paper_experiment_ii, 256),
+          ("iii", paper_experiment_iii, 64)]
+
+
+def _interior_rank(workload) -> int:
+    """A rank with the full neighbour set (all grid coords interior),
+    falling back to the middle rank for 1-wide grids."""
+    procs = workload.procs_per_dim
+    coords = [1 if p > 2 else 0 for p in procs]
+    rank = 0
+    for p, c in zip(procs, coords):
+        rank = rank * p + c
+    return rank
+
+
+def _reduced(w: StencilWorkload) -> StencilWorkload:
+    extents = list(w.space.extents)
+    extents[w.mapped_dim] //= 8
+    return StencilWorkload(
+        f"{w.name} (reduced)", IterationSpace.from_extents(extents),
+        w.kernel, w.procs_per_dim, w.mapped_dim,
+    )
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - t0
+
+
+def _measure_point(key, factory, v, machine, quick):
+    w = factory()
+    if quick:
+        w = _reduced(w)
+    sc = analytic_step(w, machine, v)
+    rank = _interior_rank(w)
+    out = {"experiment": key, "workload": w.name, "v_opt": v,
+           "interior_rank": rank,
+           "analytic": {"cpu_side_A": sc.cpu_side, "comm_side_B": sc.comm_side,
+                        "serialized_step_eq3": sc.serialized_step,
+                        "warm_serialized_step": sc.warm_serialized_step}}
+    for blocking in (False, True):
+        run = run_tiled(w, v, machine, blocking=blocking, trace=True)
+        steps = sum(1 for r in run.trace.for_rank(rank, "cpu")
+                    if r.kind == "compute")
+        a, b = run.trace.side_seconds(rank)
+        terms = run.trace.term_seconds(rank)
+        serialized = sum(terms.get(t, 0.0)
+                         for t in ("A1", "A2", "A3", "B2", "B3", "B4")) / steps
+        cp = run.critical_path()
+        out["nonoverlap" if blocking else "overlap"] = {
+            "completion_time": run.completion_time,
+            "steps": steps,
+            "sumA_per_step": a / steps,
+            "sumB_per_step": b / steps,
+            "max_side_per_step": max(a, b) / steps,
+            "eq4_max_side_rel_err":
+                max(a, b) / steps / max(sc.cpu_side, sc.comm_side) - 1.0,
+            "eq3_serialized_per_step": serialized,
+            "eq3_rel_err": serialized / sc.serialized_step - 1.0,
+            "steady_period": steady_period(run.trace, rank=rank),
+            "critical_path_bound": cp.bound,
+            "overlap_efficiency": cp.overlap_efficiency,
+            "trace_records": len(run.trace.records),
+        }
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="shrink workloads 8x (script smoke-test only)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="overhead timing repeats (median reported)")
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_trace.json"))
+    args = parser.parse_args(argv)
+
+    machine = pentium_cluster()
+
+    # -- tracing overhead on experiment (i) at V_opt --------------------------
+    w = paper_experiment_i()
+    if args.quick:
+        w = _reduced(w)
+    v = POINTS[0][2]
+    print(f"overhead: {w.name} V={v}, {args.repeats} repeats ...",
+          file=sys.stderr)
+    t_off, t_on = [], []
+    for _ in range(args.repeats):
+        _, dt = _timed(lambda: run_tiled(w, v, machine, blocking=False))
+        t_off.append(dt)
+        _, dt = _timed(
+            lambda: run_tiled(w, v, machine, blocking=False, trace=True)
+        )
+        t_on.append(dt)
+    t_off, t_on = sorted(t_off), sorted(t_on)
+    med_off = t_off[len(t_off) // 2]
+    med_on = t_on[len(t_on) // 2]
+
+    points = []
+    for key, factory, v_opt in POINTS:
+        print(f"experiment ({key}) at V={v_opt} ...", file=sys.stderr)
+        points.append(_measure_point(key, factory, v_opt, machine, args.quick))
+
+    report = {
+        "machine": "pentium_cluster",
+        "overhead": {
+            "workload": w.name,
+            "v": v,
+            "repeats": args.repeats,
+            "untraced_seconds": round(med_off, 4),
+            "traced_seconds": round(med_on, 4),
+            "overhead_factor": round(med_on / med_off, 3),
+        },
+        "points": points,
+        "quick": args.quick,
+    }
+    pathlib.Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    ok = all(
+        abs(p[sched]["eq4_max_side_rel_err"]) <= 0.05
+        and abs(p[sched]["eq3_rel_err"]) <= 0.05
+        for p in points
+        for sched in ("overlap", "nonoverlap")
+    )
+    print("PASS" if ok else "measured terms off by more than 5%",
+          file=sys.stderr)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -297,20 +297,53 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.experiments.campaign import KERNELS
+
+    if args.kernel not in KERNELS:
+        raise SystemExit(
+            f"unknown kernel {args.kernel!r}; choose from {sorted(KERNELS)}"
+        )
+    extents = [int(x) for x in args.extents.split(",")]
+    procs = tuple(int(x) for x in args.procs.split(","))
+    if len(procs) != len(extents):
+        raise SystemExit("--procs must have one entry per extent")
     w = StencilWorkload(
-        "trace", IterationSpace.from_extents([8, 8, 1024]),
-        sqrt_kernel_3d(), (2, 2, 1), 2,
+        "trace", IterationSpace.from_extents(extents),
+        KERNELS[args.kernel](), procs, len(extents) - 1,
     )
-    run = run_tiled(
-        w, args.v, _machine(args.machine),
-        blocking=args.schedule == "nonoverlap", trace=True,
-    )
+    m = _machine(args.machine)
+    blocking = args.schedule == "nonoverlap"
+    if args.drop_rate > 0.0 or args.jitter > 0.0:
+        from repro.runtime.executor import run_tiled_robust
+        from repro.sim.faults import FaultPlan
+        from repro.sim.reliable import ReliableConfig
+
+        run = run_tiled_robust(
+            w, args.v, m, blocking=blocking, trace=True,
+            faults=FaultPlan(seed=args.seed, drop_prob=args.drop_rate,
+                             jitter=args.jitter),
+            reliable=ReliableConfig(),
+        )
+        status = run.status
+    else:
+        run = run_tiled(w, args.v, m, blocking=blocking, trace=True)
+        status = "completed"
     run.trace.dump_chrome_trace(args.out)
+    lanes = ",".join(run.trace.resources())
     print(
-        f"{run.schedule_name} run: {run.completion_time:.4f} s; "
-        f"{len(run.trace.records)} events -> {args.out} "
+        f"{run.schedule_name} run ({status}): {run.completion_time:.4f} s; "
+        f"{len(run.trace.records)} events on lanes [{lanes}] -> {args.out} "
         "(open in chrome://tracing or Perfetto)"
     )
+    if args.report:
+        cp = run.critical_path()
+        if cp is None:
+            print("no critical path (empty or deadlocked trace)")
+        else:
+            print()
+            print(cp.describe())
+            print("binding chain (latest intervals last):")
+            print(cp.summarize_chain())
     return 0
 
 
@@ -414,11 +447,30 @@ def build_parser() -> argparse.ArgumentParser:
     camp.add_argument("--tolerance", type=float, default=0.02)
     camp.set_defaults(func=_cmd_campaign)
 
-    tr = sub.add_parser("trace", help="dump a Chrome-tracing JSON of a run")
+    tr = sub.add_parser(
+        "trace",
+        help="dump a Perfetto/Chrome-tracing JSON plus critical-path "
+             "report for any kernel/schedule/V point",
+    )
     tr.add_argument("--v", type=int, default=128)
     tr.add_argument("--schedule", default="overlap",
                     choices=("overlap", "nonoverlap"))
     tr.add_argument("--out", default="trace.json")
+    tr.add_argument("--kernel", default="sqrt3d",
+                    help="stencil kernel from the campaign registry")
+    tr.add_argument("--extents", default="8,8,1024",
+                    help="comma-separated iteration-space extents")
+    tr.add_argument("--procs", default="2,2,1",
+                    help="processor grid, one entry per extent")
+    tr.add_argument("--report", action="store_true",
+                    help="print the critical-path / term-attribution report")
+    tr.add_argument("--drop-rate", type=float, default=0.0, metavar="P",
+                    help="inject seeded message drops (ARQ recovers them; "
+                         "retransmits land in the NIC lanes)")
+    tr.add_argument("--jitter", type=float, default=0.0, metavar="S",
+                    help="max per-message latency jitter in seconds")
+    tr.add_argument("--seed", type=int, default=0,
+                    help="fault-plan seed (with --drop-rate/--jitter)")
     tr.set_defaults(func=_cmd_trace)
 
     cg = sub.add_parser("codegen", help="emit tiled-loop / SPMD source")

@@ -15,6 +15,7 @@ import numpy as np
 from repro.kernels.workloads import StencilWorkload
 from repro.model.machine import Machine
 from repro.runtime.program import TiledProgram
+from repro.sim.critical_path import CriticalPath, analyze_critical_path
 from repro.sim.deadlock import RunOutcome, WatchdogConfig
 from repro.sim.faults import FaultPlan
 from repro.sim.mpi import World
@@ -49,6 +50,14 @@ class ExecutionResult:
     @property
     def schedule_name(self) -> str:
         return "non-overlapping" if self.blocking else "overlapping"
+
+    def critical_path(self) -> CriticalPath | None:
+        """Measured binding chain of the run (``None`` when untraced)."""
+        if not self.trace.enabled or not self.trace.records:
+            return None
+        return analyze_critical_path(
+            self.trace, makespan=self.completion_time
+        )
 
 
 def run_tiled(
@@ -129,6 +138,11 @@ class RobustResult:
     @property
     def schedule_name(self) -> str:
         return "non-overlapping" if self.blocking else "overlapping"
+
+    def critical_path(self) -> CriticalPath | None:
+        """The binding chain the watchdog run computed (``None`` when
+        untraced or deadlocked)."""
+        return self.outcome.critical_path
 
 
 def default_watchdog(

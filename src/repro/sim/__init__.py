@@ -1,6 +1,7 @@
 """Deterministic discrete-event cluster simulator with MPI-like messaging."""
 
 from repro.sim.core import AllOf, Effect, Event, Process, Simulator, Timeout, WaitEvent
+from repro.sim.critical_path import CriticalPath, analyze_critical_path
 from repro.sim.deadlock import (
     BlockedRank,
     DeadlockReport,
@@ -26,12 +27,24 @@ from repro.sim.network import Network
 from repro.sim.reliable import ReliableConfig, ReliableStats, ReliableTransport
 from repro.sim.resources import FifoResource
 from repro.sim.steady import SteadyStateReport, analyze, compute_starts, steady_period
-from repro.sim.tracing import CPU_BUSY_KINDS, Trace, TraceRecord
+from repro.sim.tracing import (
+    A_TERMS,
+    B_TERMS,
+    CPU_BUSY_KINDS,
+    KIND_TERMS,
+    RESOURCES,
+    Trace,
+    TraceRecord,
+    merged_length,
+)
 
 __all__ = [
+    "A_TERMS",
     "AllOf",
+    "B_TERMS",
     "BlockedRank",
     "CPU_BUSY_KINDS",
+    "CriticalPath",
     "DeadlockReport",
     "Degradation",
     "Effect",
@@ -39,11 +52,13 @@ __all__ = [
     "FastForwardReport",
     "FaultPlan",
     "FifoResource",
+    "KIND_TERMS",
     "LinkFaults",
     "MessageFate",
     "Network",
     "NodePause",
     "Process",
+    "RESOURCES",
     "Rank",
     "RecvRequest",
     "ReliableConfig",
@@ -61,9 +76,11 @@ __all__ = [
     "WatchdogConfig",
     "World",
     "analyze",
+    "analyze_critical_path",
     "compute_starts",
     "diagnose",
     "fastforward_eligible",
     "fastforward_run",
+    "merged_length",
     "steady_period",
 ]

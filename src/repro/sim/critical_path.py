@@ -1,0 +1,247 @@
+"""Critical-path extraction from a resource-lane trace.
+
+The paper's completion-time model (eq. 4) says a pipelined run is bound
+by whichever side of the overlap is heavier: the CPU side ``ΣA =
+A1+A2+A3`` or the communication side ``ΣB = B1+B2+B3+B4``.  The trace
+records every interval on every resource (CPU, DMA, NIC TX/RX, link), so
+instead of *assuming* which side binds we can walk the happens-before
+chain backwards from the last thing that finished — compute → MPI-buffer
+fill → DMA kernel copy → wire (including ARQ retransmits) → receive-side
+copy — and measure it.
+
+The walk is time-matched: each simulated handoff schedules its successor
+at the instant the predecessor completes, so a record's causal parent is
+a record ending (within float tolerance) where it starts.  When several
+candidates tie, real work beats blocked-wait bookkeeping, a pipeline
+handoff (same message label, different resource) beats coincidence, and
+same-rank beats cross-rank — deterministic, so the same trace always
+yields the same chain.  Gaps (nothing ended where the chain record
+starts) are accounted as idle seconds; ``link`` lane records are skipped
+because they span the whole TX→RX flight and would shadow the real NIC
+stages.
+
+:func:`analyze_critical_path` returns a :class:`CriticalPath`: the
+binding chain, its per-term breakdown, measured per-rank ``(ΣA, ΣB)``,
+which side binds, and the overlap efficiency ``max(ΣA, ΣB) / T`` (1.0
+means the heavier side fully hides the lighter one — the paper's ideal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.tracing import A_TERMS, B_TERMS, Trace, TraceRecord
+
+__all__ = ["CriticalPath", "analyze_critical_path"]
+
+
+@dataclass(frozen=True)
+class CriticalPath:
+    """The measured binding chain of one traced run.
+
+    ``chain`` is earliest-first.  ``term_seconds`` sums the chain's
+    attributed intervals per cost term; ``blocked_seconds`` is chain time
+    spent in blocked-wait records, ``other_seconds`` in unattributed work
+    (ack frames), ``idle_seconds`` in gaps where nothing on any lane
+    ended when the next chain record started.  ``rank_sides`` holds each
+    rank's whole-run measured ``(ΣA, ΣB)`` and ``rank_steps`` its number
+    of compute intervals (steps), so per-step term averages are
+    ``side / steps``.
+    """
+
+    makespan: float
+    chain: tuple[TraceRecord, ...]
+    term_seconds: dict[str, float] = field(default_factory=dict)
+    blocked_seconds: float = 0.0
+    other_seconds: float = 0.0
+    idle_seconds: float = 0.0
+    rank_sides: tuple[tuple[float, float], ...] = ()
+    rank_steps: tuple[int, ...] = ()
+
+    @property
+    def chain_a_seconds(self) -> float:
+        return sum(v for t, v in self.term_seconds.items() if t in A_TERMS)
+
+    @property
+    def chain_b_seconds(self) -> float:
+        return sum(v for t, v in self.term_seconds.items() if t in B_TERMS)
+
+    @property
+    def bound(self) -> str:
+        """``"A"`` (CPU side) or ``"B"`` (communication side), by which
+        side contributes more seconds to the binding chain."""
+        return "A" if self.chain_a_seconds >= self.chain_b_seconds else "B"
+
+    @property
+    def binding_rank(self) -> int:
+        """The rank with the heaviest measured ``max(ΣA, ΣB)``."""
+        if not self.rank_sides:
+            return 0
+        return max(range(len(self.rank_sides)),
+                   key=lambda r: max(self.rank_sides[r]))
+
+    @property
+    def overlap_efficiency(self) -> float:
+        """``max(ΣA, ΣB) / T`` for the binding rank — 1.0 when the run's
+        heavier side fully hides the lighter one (eq. 4's ideal), lower
+        when pipeline stalls stretch the makespan past the work.  Values
+        *above* 1 mean the heavy side overlapped with itself — e.g. a
+        duplex NIC running TX and RX concurrently, or multi-channel DMA —
+        so the run beat eq. (4)'s serialized-B assumption."""
+        if self.makespan <= 0 or not self.rank_sides:
+            return 0.0
+        heaviest = max(max(a, b) for a, b in self.rank_sides)
+        return heaviest / self.makespan
+
+    def describe(self) -> str:
+        """Multi-line text report: verdict, chain breakdown, per-rank
+        measured sides."""
+        lines = [
+            f"critical path over {self.makespan:.6g}s: "
+            f"{self.bound}-bound "
+            f"(chain A={self.chain_a_seconds:.6g}s, "
+            f"B={self.chain_b_seconds:.6g}s), "
+            f"overlap efficiency {self.overlap_efficiency:.3f}"
+        ]
+        if self.term_seconds:
+            terms = ", ".join(
+                f"{t}={self.term_seconds[t]:.6g}s"
+                for t in sorted(self.term_seconds)
+            )
+            lines.append(f"  chain terms: {terms}")
+        overhead = []
+        if self.blocked_seconds > 0:
+            overhead.append(f"blocked={self.blocked_seconds:.6g}s")
+        if self.other_seconds > 0:
+            overhead.append(f"other={self.other_seconds:.6g}s")
+        if self.idle_seconds > 0:
+            overhead.append(f"idle={self.idle_seconds:.6g}s")
+        if overhead:
+            lines.append("  chain overhead: " + ", ".join(overhead))
+        lines.append(f"  chain: {len(self.chain)} intervals")
+        for rank, ((a, b), steps) in enumerate(
+            zip(self.rank_sides, self.rank_steps)
+        ):
+            per_step = ""
+            if steps:
+                per_step = (f" ({steps} steps: A/step={a / steps:.6g}s, "
+                            f"B/step={b / steps:.6g}s)")
+            lines.append(
+                f"  rank {rank}: sumA={a:.6g}s sumB={b:.6g}s{per_step}"
+            )
+        return "\n".join(lines)
+
+    def summarize_chain(self, limit: int = 20) -> str:
+        """The chain itself, one interval per line (latest last)."""
+        records = self.chain
+        lines = []
+        if len(records) > limit:
+            lines.append(f"  ... {len(records) - limit} earlier intervals")
+            records = records[-limit:]
+        for r in records:
+            term = f" [{r.term}]" if r.term else ""
+            label = f" {r.label}" if r.label else ""
+            lines.append(
+                f"  {r.start:.6g} .. {r.end:.6g}  rank{r.rank} "
+                f"{r.resource}:{r.kind}{term}{label}"
+            )
+        return "\n".join(lines)
+
+
+def _is_work(rec: TraceRecord) -> bool:
+    return not rec.kind.startswith("blocked")
+
+
+def analyze_critical_path(
+    trace: Trace,
+    makespan: float | None = None,
+    *,
+    eps: float | None = None,
+) -> CriticalPath:
+    """Walk the trace backwards from its latest interval to t≈0.
+
+    ``makespan`` defaults to the trace's own end time; ``eps`` is the
+    time-matching tolerance (default: 1e-9 of the makespan — the float
+    rounding a resource frontier can accumulate)."""
+    end_time = trace.end_time()
+    span = makespan if makespan is not None else end_time
+    rank_sides = tuple(trace.side_seconds(r) for r in trace.ranks())
+    rank_steps = tuple(
+        sum(1 for r in trace.for_rank(rank, "cpu") if r.kind == "compute")
+        for rank in trace.ranks()
+    )
+    # Post-completion churn (ARQ backoff timers draining after the last
+    # rank finished) can leave records past the makespan; they are not on
+    # the path to completion, so the walk ignores them.
+    cutoff = span * (1.0 + 1e-9) + 1e-12
+    pool = [
+        r for r in trace.records
+        if r.resource != "link" and r.end <= cutoff
+    ]
+    if not pool:
+        return CriticalPath(makespan=span, chain=(),
+                            rank_sides=rank_sides, rank_steps=rank_steps)
+    tol = eps if eps is not None else max(1e-12, abs(span) * 1e-9)
+
+    def preference(rec: TraceRecord, successor: TraceRecord | None):
+        """Sort key among time-tied candidates (max wins)."""
+        handoff = (
+            successor is not None
+            and bool(rec.label)
+            and rec.label == successor.label
+            and rec.resource != successor.resource
+        )
+        same_rank = successor is not None and rec.rank == successor.rank
+        return (_is_work(rec), handoff, same_rank, rec.duration)
+
+    # Seed: the latest-ending interval (ties: prefer real work).
+    cur = max(pool, key=lambda r: (r.end, preference(r, None)))
+    visited = {id(cur)}
+    chain = [cur]
+    idle = 0.0
+    for _ in range(len(pool)):
+        target = cur.start
+        if target <= tol:
+            break
+        exact = [
+            r for r in pool
+            if id(r) not in visited and abs(r.end - target) <= tol
+        ]
+        if exact:
+            nxt = max(exact, key=lambda r: preference(r, cur))
+        else:
+            earlier = [
+                r for r in pool
+                if id(r) not in visited and r.end < target - tol
+            ]
+            if not earlier:
+                idle += target
+                break
+            best_end = max(r.end for r in earlier)
+            tied = [r for r in earlier if abs(r.end - best_end) <= tol]
+            nxt = max(tied, key=lambda r: preference(r, cur))
+            idle += target - nxt.end
+        visited.add(id(nxt))
+        chain.append(nxt)
+        cur = nxt
+    chain.reverse()
+
+    terms: dict[str, float] = {}
+    blocked = other = 0.0
+    for rec in chain:
+        if rec.term:
+            terms[rec.term] = terms.get(rec.term, 0.0) + rec.duration
+        elif _is_work(rec):
+            other += rec.duration
+        else:
+            blocked += rec.duration
+    return CriticalPath(
+        makespan=span,
+        chain=tuple(chain),
+        term_seconds=terms,
+        blocked_seconds=blocked,
+        other_seconds=other,
+        idle_seconds=idle,
+        rank_sides=rank_sides,
+        rank_steps=rank_steps,
+    )

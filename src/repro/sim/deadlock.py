@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.sim.critical_path import CriticalPath
 from repro.sim.mpi import World
 
 __all__ = [
@@ -125,6 +126,10 @@ class RunOutcome:
       exactly-once — only timing degrades);
     * ``"deadlocked"`` — the watchdog detected a wedged pipeline; the
       diagnosis is in ``report``.
+
+    ``critical_path`` is the measured binding chain
+    (:class:`~repro.sim.critical_path.CriticalPath`) — present when the
+    world was built with ``trace=True`` and the run completed.
     """
 
     status: str
@@ -138,6 +143,7 @@ class RunOutcome:
     gave_up: int = 0
     report: DeadlockReport | None = None
     reliable_stats: dict = field(default_factory=dict)
+    critical_path: CriticalPath | None = None
 
     @property
     def completed(self) -> bool:
@@ -154,6 +160,8 @@ class RunOutcome:
         ]
         if self.report is not None:
             lines.append(self.report.describe())
+        if self.critical_path is not None:
+            lines.append(self.critical_path.describe())
         return "\n".join(lines)
 
 

@@ -168,7 +168,9 @@ class World:
         self.num_ranks = num_ranks
         self.sim = Simulator()
         self.faults = faults
-        self.network = Network(self.sim, machine, num_ranks, faults=faults)
+        self.trace = Trace(enabled=trace, num_ranks=num_ranks)
+        self.network = Network(self.sim, machine, num_ranks, faults=faults,
+                               trace=self.trace)
         self.transport = (
             ReliableTransport(self, reliable) if reliable is not None else None
         )
@@ -176,7 +178,6 @@ class World:
             FifoResource(self.sim, f"node{r}.dma", servers=machine.dma_channels)
             for r in range(num_ranks)
         ]
-        self.trace = Trace(enabled=trace)
         # Unmatched delivered messages and posted receives, per destination.
         self._arrived: list[list[_Message]] = [[] for _ in range(num_ranks)]
         self._posted: list[list[RecvRequest]] = [[] for _ in range(num_ranks)]
@@ -296,6 +297,11 @@ class World:
         ):
             if value:
                 self.trace.bump(name, value)
+        critical_path = None
+        if self.trace.enabled and not deadlocked and self.trace.records:
+            from repro.sim.critical_path import analyze_critical_path
+
+            critical_path = analyze_critical_path(self.trace, makespan=end)
         return RunOutcome(
             status=status,
             completion_time=end,
@@ -308,6 +314,7 @@ class World:
             gave_up=rstats.gave_up,
             report=report,
             reliable_stats=rstats.as_dict(),
+            critical_path=critical_path,
         )
 
     # -- message pipeline -----------------------------------------------------
@@ -319,7 +326,11 @@ class World:
         b3 = m.fill_kernel_buffer_time(msg.nbytes) if m.dma else 0.0
         kcopy = self.dma[msg.src].submit(b3)
 
-        def after_kernel_copy(_interval: object) -> None:
+        def after_kernel_copy(interval: object) -> None:
+            if self.trace.enabled and b3 > 0:
+                start, end = interval  # type: ignore[misc]
+                self.trace.add(msg.src, "kernel_copy", start, end,
+                               f"->{msg.dst}", resource="dma", term="B3")
             if send_req is not None:
                 send_req.complete_event.trigger(None)
             if self.transport is not None:
@@ -367,7 +378,15 @@ class World:
         m = self.machine
         b2 = m.fill_kernel_buffer_time(msg.nbytes) if m.dma else 0.0
         rx_copy = self.dma[msg.dst].submit(b2)
-        rx_copy.add_callback(lambda _i: self._deliver(msg))
+
+        def after_rx_copy(interval: object) -> None:
+            if self.trace.enabled and b2 > 0:
+                start, end = interval  # type: ignore[misc]
+                self.trace.add(msg.dst, "kernel_copy", start, end,
+                               f"<-{msg.src}", resource="dma", term="B2")
+            self._deliver(msg)
+
+        rx_copy.add_callback(after_rx_copy)
 
     def _deliver(self, msg: _Message) -> None:
         """Message pipeline finished: release in stream order, then match.
@@ -506,8 +525,10 @@ class Rank:
     def _sim(self) -> Simulator:
         return self.world.sim
 
-    def _trace(self, kind: str, start: float, end: float, label: str = "") -> None:
-        self.world.trace.add(self.rank, kind, start, end, label)
+    def _trace(self, kind: str, start: float, end: float, label: str = "", *,
+               resource: str = "cpu", term: str | None = None) -> None:
+        self.world.trace.add(self.rank, kind, start, end, label,
+                             resource=resource, term=term)
 
 
 class _ComputeEffect(Effect):
@@ -550,11 +571,14 @@ class _IsendEffect(Effect):
         m = w.machine
         msg = w._make_message(self.ctx.rank, self.dst, self.tag, self.payload,
                               self.nbytes)
-        cpu = m.fill_mpi_buffer_time(self.nbytes)
-        if not m.dma:
-            cpu += m.fill_kernel_buffer_time(self.nbytes)
+        a1 = m.fill_mpi_buffer_time(self.nbytes)
+        b3_cpu = m.fill_kernel_buffer_time(self.nbytes) if not m.dma else 0.0
+        cpu = a1 + b3_cpu
         now = self.ctx._sim.now
-        self.ctx._trace("fill_mpi_send", now, now + cpu, f"->{self.dst}")
+        self.ctx._trace("fill_mpi_send", now, now + a1, f"->{self.dst}")
+        if b3_cpu > 0:
+            self.ctx._trace("fill_kernel_send", now + a1, now + cpu,
+                            "B3-on-CPU")
         req = SendRequest(w.sim, f"isend{msg.seq}")
 
         def after_cpu() -> None:
@@ -580,11 +604,14 @@ class _SendEffect(Effect):
         m = w.machine
         msg = w._make_message(self.ctx.rank, self.dst, self.tag, self.payload,
                               self.nbytes)
-        cpu = m.fill_mpi_buffer_time(self.nbytes)
-        if not m.dma:
-            cpu += m.fill_kernel_buffer_time(self.nbytes)
+        a1 = m.fill_mpi_buffer_time(self.nbytes)
+        b3_cpu = m.fill_kernel_buffer_time(self.nbytes) if not m.dma else 0.0
+        cpu = a1 + b3_cpu
         now = self.ctx._sim.now
-        self.ctx._trace("fill_mpi_send", now, now + cpu, f"->{self.dst}")
+        self.ctx._trace("fill_mpi_send", now, now + a1, f"->{self.dst}")
+        if b3_cpu > 0:
+            self.ctx._trace("fill_kernel_send", now + a1, now + cpu,
+                            "B3-on-CPU")
         blocked_from = now + cpu
 
         def on_sent(interval: tuple[float, float]) -> None:
@@ -652,7 +679,8 @@ class _RecvEffect(Effect):
             t = self.ctx._sim.now
             self.ctx._trace("blocked_recv", blocked_from, t, f"<-{self.src}")
             if post_cost > 0:
-                self.ctx._trace("fill_mpi_recv", t, t + post_cost, "B2-on-CPU")
+                self.ctx._trace("fill_kernel_recv", t, t + post_cost,
+                                "B2-on-CPU")
                 w.sim.schedule_call(post_cost, process.resume, payload)
             else:
                 process.resume(payload)
@@ -696,7 +724,7 @@ class _WaitEffect(Effect):
             value = results[0] if self.single else results
 
             if post > 0:
-                self.ctx._trace("fill_mpi_recv", t, t + post, "B2-on-CPU")
+                self.ctx._trace("fill_kernel_recv", t, t + post, "B2-on-CPU")
                 w.sim.schedule_call(post, process.resume, value)
             else:
                 process.resume(value)

@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING, Callable
 from repro.model.machine import Machine
 from repro.sim.core import Event, Simulator
 from repro.sim.resources import FifoResource
+from repro.sim.tracing import Trace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.faults import FaultPlan
@@ -57,6 +58,7 @@ class Network:
         num_nodes: int,
         *,
         faults: "FaultPlan | None" = None,
+        trace: Trace | None = None,
     ):
         if num_nodes <= 0:
             raise ValueError("num_nodes must be positive")
@@ -64,6 +66,7 @@ class Network:
         self.machine = machine
         self.num_nodes = num_nodes
         self.faults = faults
+        self.trace = trace
         self.tx: list[FifoResource] = []
         self.rx: list[FifoResource] = []
         for node in range(num_nodes):
@@ -88,6 +91,10 @@ class Network:
         *,
         on_sent: Callable[[tuple[float, float]], None] | None = None,
         extra_latency: float = 0.0,
+        kind: str = "wire",
+        tx_term: str = "B4",
+        rx_term: str = "B1",
+        label: str = "",
     ) -> Event:
         """Carry ``nbytes`` from ``src`` to ``dst``.
 
@@ -96,6 +103,12 @@ class Network:
         send waits for.  ``extra_latency`` adds per-message switch latency
         (fault-plan jitter).  Self-sends are free (local memory),
         completing immediately.
+
+        ``kind``/``tx_term``/``rx_term``/``label`` control the trace
+        intervals recorded on the ``nic_tx``/``nic_rx``/``link`` lanes:
+        data messages default to the paper's B4 (send wire) and B1
+        (receive wire) terms; the reliability layer passes ``kind="ack"``
+        with empty terms for its NIC-level ack frames.
         """
         self._check_node(src, "src")
         self._check_node(dst, "dst")
@@ -122,15 +135,27 @@ class Network:
         latency = self.machine.network_latency + extra_latency
         tx_done = self.tx[src].submit(wire)
         arrival = Event(self.sim, name=f"msg{self.messages_carried}.arrival")
+        trace = self.trace if self.trace is not None and self.trace.enabled else None
+        lane_label = label or f"{src}->{dst}"
 
         def after_tx(interval: object) -> None:
             start, end = interval  # type: ignore[misc]
+            if trace is not None and end > start:
+                trace.add(src, kind, start, end, lane_label,
+                          resource="nic_tx", term=tx_term)
             if on_sent is not None:
                 on_sent((start, end))
             rx_done = self.rx[dst].submit(wire, not_before=end + latency)
 
             def on_arrival(interval: object) -> None:
-                _s, arr_end = interval  # type: ignore[misc]
+                rx_start, arr_end = interval  # type: ignore[misc]
+                if trace is not None:
+                    if arr_end > rx_start:
+                        trace.add(dst, kind, rx_start, arr_end, lane_label,
+                                  resource="nic_rx", term=rx_term)
+                    if arr_end > start:
+                        trace.add(src, "in_flight", start, arr_end, lane_label,
+                                  resource="link", term="")
                 self._latencies.append(arr_end - submitted_at)
                 arrival.trigger(interval)
 

@@ -190,11 +190,15 @@ class ReliableTransport:
             if fate.duplicated:
                 self.stats.duplicates_wire += 1
                 world.network.duplicates += 1
+            label = (
+                f"retx{attempt} {msg.src}->{msg.dst}" if attempt > 0 else ""
+            )
             for c in range(copies):
                 arrival = world.network.transmit(
                     msg.src, msg.dst, msg.nbytes,
                     on_sent=on_sent if c == 0 else None,
                     extra_latency=fate.extra_latency,
+                    label=label,
                 )
                 arrival.add_callback(
                     lambda _a, corrupt=fate.corrupted: self._on_data(
@@ -245,7 +249,11 @@ class ReliableTransport:
         ):
             self.stats.acks_dropped += 1
             return
-        arrival = world.network.transmit(msg.dst, msg.src, self.config.ack_bytes)
+        arrival = world.network.transmit(
+            msg.dst, msg.src, self.config.ack_bytes,
+            kind="ack", tx_term="", rx_term="",
+            label=f"ack {msg.dst}->{msg.src}",
+        )
         arrival.add_callback(lambda _a: self._on_ack(key))
 
     def _on_ack(self, key: tuple) -> None:

@@ -1,10 +1,32 @@
-"""Execution tracing for the cluster simulator.
+"""Execution tracing for the cluster simulator — every resource, not just CPUs.
 
-Records per-rank CPU activity intervals (compute, MPI-buffer fills,
-blocked waits) so runs can be rendered as Gantt charts (the structure of
-the paper's Figs. 1–4) and summarised as processor-utilisation numbers —
-the paper's "theoretically 100 % processor utilisation" claim for the
-overlapping schedule becomes measurable.
+Records activity intervals on *all* simulated resources: per-rank CPU
+activity (compute, MPI-buffer fills, blocked waits), DMA kernel-buffer
+copies, NIC transmit/receive occupancy and link in-flight segments.  Each
+interval is attributed to one of the paper's per-step cost terms
+(A1/A2/A3 on the CPU side, B1–B4 on the communication side, eq. 4), so a
+run can report *measured* ΣA vs ΣB per rank and per step instead of
+relying on the analytic model — the paper's "theoretically 100 %
+processor utilisation" claim for the overlapping schedule becomes a
+measured artifact.
+
+Lanes (``TraceRecord.resource``):
+
+==========  =============================================================
+resource    intervals recorded
+==========  =============================================================
+``cpu``     compute (A2), MPI-buffer fills (A1/A3), on-CPU kernel copies
+            in the no-DMA ablation (B2/B3), blocked waits (no term)
+``dma``     kernel-buffer copies: send side (B3), receive side (B2)
+``nic_tx``  sender-side wire occupancy (B4), ack frames
+``nic_rx``  receiver-side wire occupancy (B1), ack frames
+``link``    whole-message in-flight span (TX start → RX end), untermed
+==========  =============================================================
+
+Traces render as Gantt charts (:mod:`repro.viz.gantt`, the structure of
+the paper's Figs. 1–4 extended with hardware lanes), export to the
+Chrome-tracing / Perfetto JSON format (one process per resource class),
+and feed the critical-path analyzer (:mod:`repro.sim.critical_path`).
 """
 
 from __future__ import annotations
@@ -12,20 +34,79 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable
 
-__all__ = ["TraceRecord", "Trace", "CPU_BUSY_KINDS"]
+__all__ = [
+    "TraceRecord",
+    "Trace",
+    "CPU_BUSY_KINDS",
+    "RESOURCES",
+    "A_TERMS",
+    "B_TERMS",
+    "KIND_TERMS",
+    "merged_length",
+]
 
-CPU_BUSY_KINDS = frozenset({"compute", "fill_mpi_send", "fill_mpi_recv"})
+#: CPU interval kinds that count as busy time (everything but blocked waits).
+CPU_BUSY_KINDS = frozenset(
+    {"compute", "fill_mpi_send", "fill_mpi_recv",
+     "fill_kernel_send", "fill_kernel_recv"}
+)
+
+#: Known resource classes, in canonical display order.
+RESOURCES = ("cpu", "dma", "nic_tx", "nic_rx", "link")
+
+#: The paper's eq.-(4) cost-term partition.
+A_TERMS = frozenset({"A1", "A2", "A3"})
+B_TERMS = frozenset({"B1", "B2", "B3", "B4"})
+
+#: Default term per interval kind; kinds absent here (blocked waits, link
+#: in-flight spans, ack frames) carry no cost term.
+KIND_TERMS = {
+    "compute": "A2",
+    "fill_mpi_send": "A1",
+    "fill_mpi_recv": "A3",
+    "fill_kernel_send": "B3",
+    "fill_kernel_recv": "B2",
+}
+
+
+def merged_length(intervals: Iterable[tuple[float, float]]) -> float:
+    """Total length of the union of ``(start, end)`` intervals.
+
+    Overlapping or duplicate intervals are counted once — the correct
+    busy-time accounting for a serially-reused resource whose trace may
+    contain overlapping records.
+    """
+    spans = sorted(intervals)
+    total = 0.0
+    cur_start = cur_end = None
+    for start, end in spans:
+        if cur_end is None or start > cur_end:
+            if cur_end is not None:
+                total += cur_end - cur_start
+            cur_start, cur_end = start, end
+        elif end > cur_end:
+            cur_end = end
+    if cur_end is not None:
+        total += cur_end - cur_start
+    return total
 
 
 @dataclass(frozen=True)
 class TraceRecord:
-    """One CPU activity interval on one rank."""
+    """One activity interval on one resource lane of one rank.
+
+    ``resource`` names the lane class (see :data:`RESOURCES`); ``term``
+    is the eq.-(4) cost term the interval is attributed to (``""`` for
+    unattributed intervals such as blocked waits and ack frames).
+    """
 
     rank: int
     kind: str
     start: float
     end: float
     label: str = ""
+    resource: str = "cpu"
+    term: str = ""
 
     @property
     def duration(self) -> float:
@@ -33,12 +114,21 @@ class TraceRecord:
 
 
 class Trace:
-    """Append-only trace of CPU activity intervals, plus named run
+    """Append-only trace of resource activity intervals, plus named run
     counters (retransmits, drops, …) that robustness layers surface here
-    even when interval recording is disabled."""
+    even when interval recording is disabled.
 
-    def __init__(self, enabled: bool = True):
+    ``num_ranks`` (set by :class:`~repro.sim.mpi.World`) declares the
+    world size so fully-idle ranks still appear in :meth:`ranks` and drag
+    :meth:`mean_utilization` down to their true 0 % — without it the rank
+    set is derived from the records and idle ranks silently vanish.
+    """
+
+    def __init__(self, enabled: bool = True, num_ranks: int | None = None):
+        if num_ranks is not None and num_ranks <= 0:
+            raise ValueError("num_ranks must be positive")
         self.enabled = enabled
+        self.num_ranks = num_ranks
         self.records: list[TraceRecord] = []
         self.counters: dict[str, int] = {}
 
@@ -47,30 +137,88 @@ class Trace:
         counters are cheap and drive the robustness reports)."""
         self.counters[name] = self.counters.get(name, 0) + n
 
-    def add(self, rank: int, kind: str, start: float, end: float, label: str = "") -> None:
+    def add(
+        self,
+        rank: int,
+        kind: str,
+        start: float,
+        end: float,
+        label: str = "",
+        *,
+        resource: str = "cpu",
+        term: str | None = None,
+    ) -> None:
+        """Record one interval.  ``term`` defaults to the kind's canonical
+        cost term (:data:`KIND_TERMS`); pass ``""`` to suppress it."""
         if not self.enabled:
             return
         if end < start:
             raise ValueError(f"trace interval ends before it starts: {start}..{end}")
-        self.records.append(TraceRecord(rank, kind, start, end, label))
+        if term is None:
+            term = KIND_TERMS.get(kind, "")
+        self.records.append(
+            TraceRecord(rank, kind, start, end, label, resource, term)
+        )
 
-    def for_rank(self, rank: int) -> list[TraceRecord]:
-        return [r for r in self.records if r.rank == rank]
+    def for_rank(self, rank: int, resource: str | None = None) -> list[TraceRecord]:
+        """Records of one rank, optionally restricted to one lane."""
+        return [
+            r for r in self.records
+            if r.rank == rank and (resource is None or r.resource == resource)
+        ]
 
     def ranks(self) -> list[int]:
+        """All world ranks when ``num_ranks`` is declared (idle ranks
+        included), else the ranks observed in the records."""
+        if self.num_ranks is not None:
+            return list(range(self.num_ranks))
         return sorted({r.rank for r in self.records})
 
-    def busy_time(self, rank: int, kinds: Iterable[str] = CPU_BUSY_KINDS) -> float:
+    def resources(self) -> list[str]:
+        """Resource lanes present in the records, canonical order first."""
+        present = {r.resource for r in self.records}
+        ordered = [res for res in RESOURCES if res in present]
+        return ordered + sorted(present - set(RESOURCES))
+
+    def busy_time(
+        self,
+        rank: int,
+        kinds: Iterable[str] = CPU_BUSY_KINDS,
+        *,
+        resource: str = "cpu",
+    ) -> float:
+        """Union length of the rank's busy intervals on one resource lane.
+
+        Overlapping records are merged before summing, so the result never
+        exceeds the span they cover (raw-duration summation would double
+        count, e.g. a compute interval bracketed by a blocking-send charge).
+        """
         kindset = set(kinds)
-        return sum(r.duration for r in self.for_rank(rank) if r.kind in kindset)
+        return merged_length(
+            (r.start, r.end)
+            for r in self.records
+            if r.rank == rank and r.resource == resource and r.kind in kindset
+        )
 
     def utilization(self, rank: int, horizon: float) -> float:
-        """Fraction of ``[0, horizon]`` rank's CPU spent busy."""
+        """Fraction of ``[0, horizon]`` the rank's CPU spent busy.
+
+        Busy time beyond the horizon is an accounting error (records past
+        the end of the run), not something to clamp away: it raises.
+        """
         if horizon <= 0:
             raise ValueError("horizon must be positive")
-        return min(1.0, self.busy_time(rank) / horizon)
+        busy = self.busy_time(rank)
+        if busy > horizon * (1.0 + 1e-9):
+            raise ValueError(
+                f"rank {rank} busy time {busy:.6g} exceeds horizon "
+                f"{horizon:.6g}; trace records extend past the run end"
+            )
+        return min(busy, horizon) / horizon
 
     def mean_utilization(self, horizon: float) -> float:
+        """Mean CPU utilisation over all world ranks — idle ranks count
+        as 0 % when ``num_ranks`` is declared."""
         ranks = self.ranks()
         if not ranks:
             return 0.0
@@ -79,27 +227,86 @@ class Trace:
     def end_time(self) -> float:
         return max((r.end for r in self.records), default=0.0)
 
+    # -- term attribution ------------------------------------------------------
+
+    def term_seconds(
+        self, rank: int | None = None, *, resource: str | None = None
+    ) -> dict[str, float]:
+        """Total attributed seconds per cost term (A1/A2/A3/B1–B4), for
+        one rank or the whole world.  Unattributed intervals are ignored."""
+        totals: dict[str, float] = {}
+        for r in self.records:
+            if not r.term:
+                continue
+            if rank is not None and r.rank != rank:
+                continue
+            if resource is not None and r.resource != resource:
+                continue
+            totals[r.term] = totals.get(r.term, 0.0) + r.duration
+        return totals
+
+    def side_seconds(self, rank: int | None = None) -> tuple[float, float]:
+        """Measured ``(ΣA, ΣB)`` — the two sides of eq. (4) — for one
+        rank or the whole world.  B terms land on the rank whose hardware
+        performed them (B3/B4 at the sender, B1/B2 at the receiver)."""
+        terms = self.term_seconds(rank)
+        a = sum(v for t, v in terms.items() if t in A_TERMS)
+        b = sum(v for t, v in terms.items() if t in B_TERMS)
+        return a, b
+
     # -- export ----------------------------------------------------------------
 
+    _RESOURCE_LABELS = {
+        "cpu": "CPU",
+        "dma": "DMA engine",
+        "nic_tx": "NIC transmit",
+        "nic_rx": "NIC receive",
+        "link": "network link",
+    }
+
     def to_chrome_trace(self, *, time_unit: float = 1e-6) -> list[dict]:
-        """The trace as Chrome-tracing-format events (one complete 'X'
-        event per record; ``chrome://tracing`` / Perfetto render it).
+        """The trace as Chrome-tracing-format events: one process per
+        resource class (named via ``process_name``/``thread_name``
+        metadata events), one thread per rank, one complete 'X' event per
+        record (``chrome://tracing`` / Perfetto render it).
 
         ``time_unit`` converts simulation seconds to the format's
         microsecond timestamps (default: 1 sim second = 1e6 µs).
         """
-        return [
-            {
+        resources = self.resources()
+        pids = {res: k for k, res in enumerate(resources)}
+        events: list[dict] = []
+        threads = sorted({(pids[r.resource], r.rank) for r in self.records})
+        for res in resources:
+            events.append({
+                "name": "process_name",
+                "ph": "M",
+                "pid": pids[res],
+                "tid": 0,
+                "args": {"name": self._RESOURCE_LABELS.get(res, res)},
+            })
+        for pid, rank in threads:
+            events.append({
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": rank,
+                "args": {"name": f"rank {rank}"},
+            })
+        for r in self.records:
+            ev = {
                 "name": r.label or r.kind,
                 "cat": r.kind,
                 "ph": "X",
-                "pid": 0,
+                "pid": pids[r.resource],
                 "tid": r.rank,
                 "ts": r.start / time_unit,
                 "dur": r.duration / time_unit,
             }
-            for r in self.records
-        ]
+            if r.term:
+                ev["args"] = {"term": r.term}
+            events.append(ev)
+        return events
 
     def dump_chrome_trace(self, path: str, *, time_unit: float = 1e-6) -> None:
         """Write the Chrome-tracing JSON to ``path``."""

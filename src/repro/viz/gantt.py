@@ -6,13 +6,20 @@ computation, MPI-buffer fills and blocked communication.  The difference
 between the two schedules is immediately visible — the non-overlapping
 run shows wide blocked stretches between compute bursts, the overlapping
 run a dense compute band.
+
+Traces recorded with the resource lanes (DMA engines, NIC TX/RX, network
+links) additionally render one hardware row per active lane under each
+rank's CPU row, so the B-side pipeline — kernel copies, wire time,
+retransmits and acks — is visible in the same time frame as the CPU.
 """
 
 from __future__ import annotations
 
-from repro.sim.tracing import Trace
+from math import ceil
 
-__all__ = ["GANTT_GLYPHS", "render_gantt", "render_utilization"]
+from repro.sim.tracing import Trace, TraceRecord
+
+__all__ = ["GANTT_GLYPHS", "HW_GLYPHS", "render_gantt", "render_utilization"]
 
 # Priority-ordered: when several activities share a bin the most
 # interesting one wins.
@@ -20,14 +27,64 @@ GANTT_GLYPHS = (
     ("compute", "#"),
     ("fill_mpi_send", "s"),
     ("fill_mpi_recv", "r"),
+    ("fill_kernel_send", "k"),
+    ("fill_kernel_recv", "k"),
     ("blocked_recv", "."),
     ("blocked_send", "."),
     ("blocked_wait", "."),
 )
 
+#: Glyphs for the hardware lanes (DMA / NIC / link rows).
+HW_GLYPHS = (
+    ("kernel_copy", "d"),
+    ("wire", "w"),
+    ("ack", "a"),
+    ("in_flight", "-"),
+)
+
+_LANE_NAMES = {"dma": "dma", "nic_tx": "tx", "nic_rx": "rx", "link": "link"}
+
+
+def _bin_range(
+    rec: TraceRecord, bin_w: float, width: int
+) -> tuple[int, int] | None:
+    """Inclusive bin range covered by the half-open ``[start, end)``
+    interval, or ``None`` when it is empty (zero-duration records paint
+    nothing).  An interval ending exactly on a bin boundary — including
+    the horizon itself — stops in the bin before it."""
+    if rec.end <= rec.start:
+        return None
+    b0 = min(width - 1, int(rec.start / bin_w))
+    b1 = min(width - 1, ceil(rec.end / bin_w) - 1)
+    return b0, max(b0, b1)
+
+
+def _paint_row(
+    records: list[TraceRecord],
+    glyphs: tuple[tuple[str, str], ...],
+    bin_w: float,
+    width: int,
+) -> str:
+    priority = {kind: k for k, (kind, _) in enumerate(glyphs)}
+    glyph = dict(glyphs)
+    cells: list[tuple[int, str]] = [(len(glyphs), " ")] * width
+    for rec in records:
+        if rec.kind not in priority:
+            continue
+        span = _bin_range(rec, bin_w, width)
+        if span is None:
+            continue
+        p = priority[rec.kind]
+        g = glyph[rec.kind]
+        for b in range(span[0], span[1] + 1):
+            if p < cells[b][0]:
+                cells[b] = (p, g)
+    return "".join(c for _, c in cells)
+
 
 def render_gantt(trace: Trace, *, width: int = 100, legend: bool = True) -> str:
-    """Render the trace as one text row per rank over ``width`` time bins."""
+    """Render the trace as text rows over ``width`` time bins: one CPU
+    row per rank, plus one row per hardware lane the rank used."""
     if width <= 0:
         raise ValueError("width must be positive")
     horizon = trace.end_time()
@@ -35,40 +92,51 @@ def render_gantt(trace: Trace, *, width: int = 100, legend: bool = True) -> str:
     if horizon <= 0 or not ranks:
         return "(empty trace)"
     bin_w = horizon / width
-    priority = {kind: k for k, (kind, _) in enumerate(GANTT_GLYPHS)}
-    glyph = dict(GANTT_GLYPHS)
+    hw_lanes = [res for res in trace.resources() if res != "cpu"]
 
     lines = []
     for rank in ranks:
-        cells: list[tuple[int, str]] = [(len(GANTT_GLYPHS), " ")] * width
-        for rec in trace.for_rank(rank):
-            if rec.kind not in priority:
+        row = _paint_row(trace.for_rank(rank, "cpu"), GANTT_GLYPHS,
+                         bin_w, width)
+        lines.append(f"P{rank:<3d} |{row}|")
+        for res in hw_lanes:
+            records = trace.for_rank(rank, res)
+            if not records:
                 continue
-            b0 = min(width - 1, int(rec.start / bin_w))
-            b1 = min(width - 1, int(max(rec.start, rec.end - 1e-15) / bin_w))
-            p = priority[rec.kind]
-            g = glyph[rec.kind]
-            for b in range(b0, b1 + 1):
-                if p < cells[b][0]:
-                    cells[b] = (p, g)
-        lines.append(f"P{rank:<3d} |" + "".join(c for _, c in cells) + "|")
+            row = _paint_row(records, HW_GLYPHS, bin_w, width)
+            lines.append(f" {_LANE_NAMES.get(res, res):<4}|{row}|")
     if legend:
         lines.append(
             "      # compute   s fill MPI send buf   r fill MPI recv buf   "
-            ". blocked (recv/send/wait)"
+            "k kernel copy on CPU   . blocked (recv/send/wait)"
         )
+        if hw_lanes:
+            lines.append(
+                "      d DMA kernel copy   w wire   a ack frame   "
+                "- in flight"
+            )
         lines.append(f"      total simulated time: {horizon:.6g} s")
     return "\n".join(lines)
 
 
 def render_utilization(trace: Trace) -> str:
     """Per-rank CPU utilisation summary (the paper's '100 % utilisation'
-    claim for the overlap schedule, quantified)."""
+    claim for the overlap schedule, quantified), with each rank's
+    measured eq.-(4) sides ΣA / ΣB when the trace carries terms."""
     horizon = trace.end_time()
     if horizon <= 0:
         return "(empty trace)"
-    lines = ["rank  cpu-utilization"]
+    sides = {r: trace.side_seconds(r) for r in trace.ranks()}
+    with_terms = any(a or b for a, b in sides.values())
+    header = "rank  cpu-utilization"
+    if with_terms:
+        header += "      sumA (s)      sumB (s)"
+    lines = [header]
     for rank in trace.ranks():
-        lines.append(f"P{rank:<4d} {trace.utilization(rank, horizon):6.1%}")
+        line = f"P{rank:<4d} {trace.utilization(rank, horizon):6.1%}"
+        if with_terms:
+            a, b = sides[rank]
+            line += f"        {a:12.6g}  {b:12.6g}"
+        lines.append(line)
     lines.append(f"mean  {trace.mean_utilization(horizon):6.1%}")
     return "\n".join(lines)

@@ -20,10 +20,18 @@ GANTT_COLORS = {
     "compute": "#2f7d31",
     "fill_mpi_send": "#f2a33c",
     "fill_mpi_recv": "#e4c441",
+    "fill_kernel_send": "#c97b2f",
+    "fill_kernel_recv": "#c9a12f",
     "blocked_recv": "#b8b8b8",
     "blocked_send": "#a0a0a0",
     "blocked_wait": "#c9c9c9",
+    "kernel_copy": "#7b52ab",
+    "wire": "#1f5fa8",
+    "ack": "#8aa7c6",
+    "in_flight": "#d7e3f0",
 }
+
+_LANE_NAMES = {"dma": "dma", "nic_tx": "tx", "nic_rx": "rx", "link": "link"}
 
 _SERIES_COLORS = ("#c23b22", "#1f5fa8", "#e08b3c", "#4a9a7c")
 
@@ -163,14 +171,37 @@ def gantt_svg(
     row_height: int = 22,
     title: str = "",
 ) -> str:
-    """A Gantt chart of per-rank CPU activity (the Figures 1–4 view)."""
+    """A Gantt chart of per-rank activity (the Figures 1–4 view): one row
+    per rank's CPU, plus one row per hardware lane (DMA, NIC TX/RX, link)
+    the rank used."""
     ranks = trace.ranks()
     horizon = trace.end_time()
     if not ranks or horizon <= 0:
         raise ValueError("empty trace")
+    hw_lanes = [res for res in trace.resources() if res != "cpu"]
+    rows: list[tuple[str, bool, list]] = []
+    for rank in ranks:
+        rows.append((f"P{rank}", True, trace.for_rank(rank, "cpu")))
+        for res in hw_lanes:
+            records = trace.for_rank(rank, res)
+            if records:
+                rows.append((_LANE_NAMES.get(res, res), False, records))
+    used_kinds = {
+        rec.kind for _, _, records in rows for rec in records
+        if rec.kind in GANTT_COLORS
+    }
+    legend_kinds = [k for k in GANTT_COLORS if k in used_kinds]
     ml, mt = 46, 34
     plot_w = width - ml - 12
-    height = mt + row_height * len(ranks) + 52
+    legend_rows = 1
+    lx_probe = ml
+    for kind in legend_kinds:
+        step = 14 + 7 * len(kind) + 16
+        if lx_probe + step > ml + plot_w:
+            legend_rows += 1
+            lx_probe = ml
+        lx_probe += step
+    height = mt + row_height * len(rows) + 38 + 14 * legend_rows
 
     out = _svg_header(width, height, title or "schedule Gantt")
     if title:
@@ -178,40 +209,46 @@ def gantt_svg(
             f'<text x="{width / 2}" y="20" text-anchor="middle" '
             f'font-size="14">{escape(title)}</text>'
         )
-    for row, rank in enumerate(ranks):
+    for row, (label, is_cpu, records) in enumerate(rows):
         y = mt + row * row_height
+        style = "" if is_cpu else ' fill="#777" font-style="italic"'
         out.append(
             f'<text x="{ml - 6}" y="{y + row_height * 0.7}" font-size="11" '
-            f'text-anchor="end">P{rank}</text>'
+            f'text-anchor="end"{style}>{escape(label)}</text>'
         )
         out.append(
             f'<line x1="{ml}" y1="{y + row_height - 1}" x2="{ml + plot_w}" '
             f'y2="{y + row_height - 1}" stroke="#eee"/>'
         )
-        for rec in trace.for_rank(rank):
+        for rec in records:
             color = GANTT_COLORS.get(rec.kind)
             if color is None:
                 continue
             x = ml + rec.start / horizon * plot_w
             w = max(0.5, rec.duration / horizon * plot_w)
+            term = f" {rec.term}" if rec.term else ""
             out.append(
                 f'<rect x="{_fmt(x)}" y="{y + 2}" width="{_fmt(w)}" '
                 f'height="{row_height - 6}" fill="{color}">'
-                f"<title>{escape(rec.kind)} {escape(rec.label)} "
+                f"<title>{escape(rec.kind)}{escape(term)} {escape(rec.label)} "
                 f"[{rec.start:.6g}, {rec.end:.6g}]</title></rect>"
             )
     # Legend + time axis.
-    ly = mt + row_height * len(ranks) + 16
+    ly = mt + row_height * len(rows) + 16
     lx = ml
-    for kind, color in GANTT_COLORS.items():
+    for kind in legend_kinds:
+        step = 14 + 7 * len(kind) + 16
+        if lx + step > ml + plot_w:
+            ly += 14
+            lx = ml
         out.append(
             f'<rect x="{lx}" y="{ly - 9}" width="10" height="10" '
-            f'fill="{color}"/>'
+            f'fill="{GANTT_COLORS[kind]}"/>'
         )
         out.append(
             f'<text x="{lx + 14}" y="{ly}" font-size="10">{kind}</text>'
         )
-        lx += 14 + 7 * len(kind) + 16
+        lx += step
     out.append(
         f'<text x="{ml}" y="{ly + 22}" font-size="10">0 s</text>'
     )

@@ -87,7 +87,13 @@ class TestCampaignAndTrace:
         assert "Perfetto" in capsys.readouterr().out
         events = json.loads(open(out).read())["traceEvents"]
         assert events
-        assert {"name", "ph", "ts", "dur", "tid"} <= set(events[0])
+        xs = [e for e in events if e["ph"] == "X"]
+        assert xs
+        assert {"name", "ph", "ts", "dur", "tid", "pid"} <= set(xs[0])
+        # hardware lanes are present alongside the CPU lane
+        procs = {e["args"]["name"] for e in events
+                 if e["ph"] == "M" and e["name"] == "process_name"}
+        assert "CPU" in procs and "DMA engine" in procs
 
 
 class TestChaosCommand:

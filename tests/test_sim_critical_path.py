@@ -1,0 +1,203 @@
+"""Critical-path extraction: synthetic chains, real runs, eq. (3)/(4) checks."""
+
+import pytest
+
+from repro.experiments.figures import analytic_step
+from repro.ir.loopnest import IterationSpace
+from repro.kernels.stencil import sqrt_kernel_3d
+from repro.kernels.workloads import StencilWorkload, paper_experiment_i
+from repro.model.machine import pentium_cluster
+from repro.runtime.executor import run_tiled, run_tiled_robust
+from repro.sim.critical_path import CriticalPath, analyze_critical_path
+from repro.sim.faults import FaultPlan
+from repro.sim.reliable import ReliableConfig
+from repro.sim.steady import steady_period
+from repro.sim.tracing import Trace
+
+
+class TestSyntheticChains:
+    def test_empty_trace(self):
+        cp = analyze_critical_path(Trace())
+        assert cp.chain == ()
+        assert cp.makespan == 0.0
+        assert cp.overlap_efficiency == 0.0
+
+    def test_single_record(self):
+        t = Trace()
+        t.add(0, "compute", 0.0, 2.0)
+        cp = analyze_critical_path(t)
+        assert len(cp.chain) == 1
+        assert cp.term_seconds == {"A2": 2.0}
+        assert cp.bound == "A"
+        assert cp.idle_seconds == 0.0
+        assert cp.overlap_efficiency == pytest.approx(1.0)
+
+    def test_pipeline_handoff_chain(self):
+        # compute -> fill -> dma -> tx wire -> rx wire -> dma -> compute,
+        # the paper's full send pipeline across two ranks.
+        t = Trace(num_ranks=2)
+        t.add(0, "compute", 0.0, 1.0)
+        t.add(0, "fill_mpi_send", 1.0, 1.2, "m")
+        t.add(0, "kernel_copy", 1.2, 1.5, "m", resource="dma", term="B3")
+        t.add(0, "wire", 1.5, 2.0, "m", resource="nic_tx", term="B4")
+        t.add(0, "in_flight", 1.5, 2.5, "m", resource="link", term="")
+        t.add(1, "wire", 2.0, 2.5, "m", resource="nic_rx", term="B1")
+        t.add(1, "kernel_copy", 2.5, 2.8, "m", resource="dma", term="B2")
+        t.add(1, "compute", 2.8, 3.8)
+        cp = analyze_critical_path(t)
+        assert [r.kind for r in cp.chain] == [
+            "compute", "fill_mpi_send", "kernel_copy", "wire", "wire",
+            "kernel_copy", "compute",
+        ]
+        assert cp.idle_seconds == pytest.approx(0.0)
+        assert cp.chain_a_seconds == pytest.approx(2.2)
+        assert cp.chain_b_seconds == pytest.approx(1.6)
+        assert cp.bound == "A"
+
+    def test_work_preferred_over_blocked(self):
+        t = Trace()
+        t.add(0, "blocked_recv", 0.0, 2.0)
+        t.add(0, "kernel_copy", 1.0, 2.0, resource="dma", term="B2")
+        t.add(0, "compute", 2.0, 3.0)
+        cp = analyze_critical_path(t)
+        assert cp.chain[-2].kind == "kernel_copy"
+        assert cp.blocked_seconds == 0.0
+
+    def test_gap_counted_as_idle(self):
+        t = Trace()
+        t.add(0, "compute", 0.0, 1.0)
+        t.add(0, "compute", 1.5, 3.0)
+        cp = analyze_critical_path(t)
+        assert cp.idle_seconds == pytest.approx(0.5)
+        assert len(cp.chain) == 2
+
+    def test_records_past_makespan_ignored(self):
+        # ARQ backoff churn after the last rank finishes leaves records
+        # past the makespan; they must not seed the walk.
+        t = Trace()
+        t.add(0, "compute", 0.0, 1.0)
+        t.add(0, "wire", 5.0, 6.0, resource="nic_tx", term="B4")
+        cp = analyze_critical_path(t, makespan=1.0)
+        assert [r.kind for r in cp.chain] == ["compute"]
+        assert cp.idle_seconds + sum(
+            r.duration for r in cp.chain
+        ) <= 1.0 + 1e-9
+
+    def test_describe_mentions_bound(self):
+        t = Trace(num_ranks=1)
+        t.add(0, "compute", 0.0, 2.0)
+        cp = analyze_critical_path(t)
+        text = cp.describe()
+        assert "A-bound" in text
+        assert "rank 0" in text
+        assert cp.summarize_chain()
+
+
+class TestRealRuns:
+    def _run(self, blocking: bool):
+        w = StencilWorkload(
+            "cp", IterationSpace.from_extents([8, 8, 2048]),
+            sqrt_kernel_3d(), (2, 2, 1), 2,
+        )
+        return run_tiled(w, 128, pentium_cluster(), blocking=blocking,
+                         trace=True)
+
+    def test_overlap_run_chain_covers_makespan(self):
+        run = self._run(blocking=False)
+        cp = run.critical_path()
+        assert isinstance(cp, CriticalPath)
+        assert cp.makespan == pytest.approx(run.completion_time)
+        on_chain = (cp.chain_a_seconds + cp.chain_b_seconds
+                    + cp.blocked_seconds + cp.other_seconds
+                    + cp.idle_seconds)
+        assert on_chain == pytest.approx(cp.makespan, rel=1e-6)
+        assert cp.rank_steps[0] > 0
+
+    def test_untraced_run_has_no_critical_path(self):
+        w = StencilWorkload(
+            "cp", IterationSpace.from_extents([4, 4, 512]),
+            sqrt_kernel_3d(), (2, 2, 1), 2,
+        )
+        run = run_tiled(w, 64, pentium_cluster(), blocking=False)
+        assert run.critical_path() is None
+
+    def test_run_outcome_carries_critical_path(self):
+        w = StencilWorkload(
+            "cp", IterationSpace.from_extents([4, 4, 1024]),
+            sqrt_kernel_3d(), (2, 2, 1), 2,
+        )
+        run = run_tiled_robust(
+            w, 64, pentium_cluster(), blocking=False, trace=True,
+            faults=FaultPlan(seed=5, drop_prob=0.1),
+            reliable=ReliableConfig(),
+        )
+        assert run.outcome.completed
+        cp = run.outcome.critical_path
+        assert cp is not None
+        assert run.critical_path() is cp
+        assert cp.makespan == pytest.approx(run.completion_time)
+        assert "critical path" in run.outcome.describe()
+
+    def test_untraced_outcome_has_no_critical_path(self):
+        w = StencilWorkload(
+            "cp", IterationSpace.from_extents([4, 4, 512]),
+            sqrt_kernel_3d(), (2, 2, 1), 2,
+        )
+        run = run_tiled_robust(w, 64, pentium_cluster(), blocking=False)
+        assert run.outcome.critical_path is None
+
+
+@pytest.mark.trace
+@pytest.mark.slow
+class TestPaperExperimentI:
+    """Acceptance checks for experiment (i) at its measured t_opt
+    (V=192): measured term attribution vs eq. (4)/(3)."""
+
+    V_OPT = 192
+    INTERIOR_RANK = 5  # coords (1,1) of the 4x4 grid: full neighbour set
+
+    def _sides_per_step(self, run):
+        rank = self.INTERIOR_RANK
+        steps = sum(
+            1 for r in run.trace.for_rank(rank, "cpu") if r.kind == "compute"
+        )
+        a, b = run.trace.side_seconds(rank)
+        return a / steps, b / steps, steps
+
+    def test_overlap_a_bound_and_eq4_terms(self):
+        w = paper_experiment_i()
+        m = pentium_cluster()
+        sc = analytic_step(w, m, self.V_OPT)
+        run = run_tiled(w, self.V_OPT, m, blocking=False, trace=True)
+        cp = run.critical_path()
+        # The chain is CPU work: the overlap schedule is A-bound.
+        assert cp.bound == "A"
+        a, b, _ = self._sides_per_step(run)
+        assert max(a, b) == pytest.approx(
+            max(sc.cpu_side, sc.comm_side), rel=0.05
+        )
+        assert a == pytest.approx(sc.cpu_side, rel=0.05)
+        assert b == pytest.approx(sc.comm_side, rel=0.05)
+        # The steady period tracks the CPU side (comm hides under it).
+        per = steady_period(run.trace, rank=self.INTERIOR_RANK)
+        assert per == pytest.approx(sc.cpu_side, rel=0.05)
+
+    def test_nonoverlap_eq3_step(self):
+        w = paper_experiment_i()
+        m = pentium_cluster()
+        sc = analytic_step(w, m, self.V_OPT)
+        run = run_tiled(w, self.V_OPT, m, blocking=True, trace=True)
+        rank = self.INTERIOR_RANK
+        terms = run.trace.term_seconds(rank)
+        _, _, steps = self._sides_per_step(run)
+        # Eq. (3) step = Tcomp + Tcomm = A1+A2+A3 + B2+B3+B4 (B1 rides
+        # the receiver's NIC under the sender's B4 across the link).
+        measured = sum(
+            terms.get(t, 0.0) for t in ("A1", "A2", "A3", "B2", "B3", "B4")
+        ) / steps
+        assert measured == pytest.approx(sc.serialized_step, rel=0.05)
+        # The observed steady period sits at the warm step (the next
+        # message's B2 overlaps the current blocked send) — costs.py
+        # documents this convergence.
+        per = steady_period(run.trace, rank=rank)
+        assert per == pytest.approx(sc.warm_serialized_step, rel=0.05)

@@ -73,10 +73,16 @@ class TestChromeTraceExport:
         t.add(1, "compute", 1e-6, 3e-6, "tile0")
         t.add(0, "fill_mpi_send", 0.0, 1e-6)
         events = t.to_chrome_trace()
-        assert len(events) == 2
-        ev = events[0]
-        assert ev["ph"] == "X"
+        meta = [e for e in events if e["ph"] == "M"]
+        xs = [e for e in events if e["ph"] == "X"]
+        # one process_name (cpu only) + two thread_name records
+        assert len(meta) == 3
+        assert meta[0]["name"] == "process_name"
+        assert meta[0]["args"]["name"] == "CPU"
+        assert len(xs) == 2
+        ev = xs[0]
         assert ev["tid"] == 1
+        assert ev["pid"] == 0
         assert ev["name"] == "tile0"
         assert ev["ts"] == pytest.approx(1.0)
         assert ev["dur"] == pytest.approx(2.0)
@@ -87,5 +93,7 @@ class TestChromeTraceExport:
         path = tmp_path / "trace.json"
         t.dump_chrome_trace(str(path))
         loaded = json.loads(path.read_text())
-        assert len(loaded["traceEvents"]) == 1
-        assert loaded["traceEvents"][0]["cat"] == "compute"
+        xs = [e for e in loaded["traceEvents"] if e["ph"] == "X"]
+        assert len(xs) == 1
+        assert xs[0]["cat"] == "compute"
+        assert xs[0]["args"]["term"] == "A2"

@@ -1,8 +1,17 @@
-"""Tests for trace collection and utilisation accounting."""
+"""Tests for trace collection, term attribution and utilisation accounting."""
 
 import pytest
 
-from repro.sim.tracing import CPU_BUSY_KINDS, Trace, TraceRecord
+from repro.sim.tracing import (
+    A_TERMS,
+    B_TERMS,
+    CPU_BUSY_KINDS,
+    KIND_TERMS,
+    RESOURCES,
+    Trace,
+    TraceRecord,
+    merged_length,
+)
 
 
 class TestTrace:
@@ -43,9 +52,16 @@ class TestTrace:
         t = Trace()
         t.add(0, "compute", 0.0, 5.0)
         assert t.utilization(0, 10.0) == 0.5
-        assert t.utilization(0, 4.0) == 1.0  # clipped
         with pytest.raises(ValueError):
             t.utilization(0, 0.0)
+
+    def test_utilization_rejects_overrun(self):
+        # Regression: busy time past the horizon used to be clamped to
+        # 100 %, hiding accounting errors; it must raise now.
+        t = Trace()
+        t.add(0, "compute", 0.0, 5.0)
+        with pytest.raises(ValueError, match="exceeds horizon"):
+            t.utilization(0, 4.0)
 
     def test_mean_utilization(self):
         t = Trace()
@@ -55,3 +71,139 @@ class TestTrace:
 
     def test_mean_utilization_empty(self):
         assert Trace().mean_utilization(1.0) == 0.0
+
+
+class TestBusyTimeMerging:
+    def test_overlapping_records_counted_once(self):
+        # Regression: two overlapping compute records used to sum to 3.0
+        # (raw durations) even though they only cover [0, 2.5].
+        t = Trace()
+        t.add(0, "compute", 0.0, 2.0)
+        t.add(0, "compute", 1.5, 2.5)
+        assert t.busy_time(0) == pytest.approx(2.5)
+        assert t.utilization(0, 2.5) == pytest.approx(1.0)
+
+    def test_duplicate_records_counted_once(self):
+        t = Trace()
+        t.add(0, "compute", 0.0, 1.0)
+        t.add(0, "compute", 0.0, 1.0)
+        assert t.busy_time(0) == pytest.approx(1.0)
+
+    def test_merged_length(self):
+        assert merged_length([]) == 0.0
+        assert merged_length([(0.0, 1.0), (2.0, 3.0)]) == pytest.approx(2.0)
+        assert merged_length([(0.0, 2.0), (1.0, 3.0)]) == pytest.approx(3.0)
+        assert merged_length([(0.0, 1.0), (1.0, 2.0)]) == pytest.approx(2.0)
+        assert merged_length([(0.0, 5.0), (1.0, 2.0)]) == pytest.approx(5.0)
+
+
+class TestNumRanks:
+    def test_idle_ranks_counted(self):
+        # Regression: a rank with no CPU records used to vanish from
+        # ranks(), biasing mean_utilization upward.
+        t = Trace(num_ranks=4)
+        t.add(0, "compute", 0.0, 10.0)
+        assert t.ranks() == [0, 1, 2, 3]
+        assert t.mean_utilization(10.0) == pytest.approx(0.25)
+
+    def test_without_num_ranks_ranks_from_records(self):
+        t = Trace()
+        t.add(2, "compute", 0.0, 1.0)
+        assert t.ranks() == [2]
+
+    def test_invalid_num_ranks(self):
+        with pytest.raises(ValueError):
+            Trace(num_ranks=0)
+        with pytest.raises(ValueError):
+            Trace(num_ranks=-1)
+
+
+class TestResourceLanes:
+    def test_default_resource_is_cpu(self):
+        t = Trace()
+        t.add(0, "compute", 0.0, 1.0)
+        assert t.records[0].resource == "cpu"
+
+    def test_for_rank_filters_by_resource(self):
+        t = Trace()
+        t.add(0, "compute", 0.0, 1.0)
+        t.add(0, "kernel_copy", 1.0, 2.0, resource="dma", term="B3")
+        t.add(0, "wire", 2.0, 3.0, resource="nic_tx", term="B4")
+        assert len(t.for_rank(0)) == 3
+        assert [r.kind for r in t.for_rank(0, "dma")] == ["kernel_copy"]
+        assert [r.kind for r in t.for_rank(0, "cpu")] == ["compute"]
+
+    def test_resources_canonical_order(self):
+        t = Trace()
+        t.add(0, "wire", 0.0, 1.0, resource="nic_tx")
+        t.add(0, "compute", 0.0, 1.0)
+        t.add(0, "kernel_copy", 0.0, 1.0, resource="dma")
+        assert t.resources() == ["cpu", "dma", "nic_tx"]
+        for res in t.resources():
+            assert res in RESOURCES
+
+    def test_busy_time_per_resource(self):
+        t = Trace()
+        t.add(0, "compute", 0.0, 1.0)
+        t.add(0, "kernel_copy", 0.0, 4.0, resource="dma")
+        assert t.busy_time(0) == pytest.approx(1.0)
+        assert t.busy_time(0, ["kernel_copy"], resource="dma") == pytest.approx(4.0)
+
+
+class TestTermAttribution:
+    def test_kind_terms_inferred(self):
+        t = Trace()
+        t.add(0, "compute", 0.0, 1.0)
+        t.add(0, "fill_mpi_send", 1.0, 2.0)
+        t.add(0, "blocked_recv", 2.0, 3.0)
+        assert t.records[0].term == "A2"
+        assert t.records[1].term == "A1"
+        assert t.records[2].term == ""
+
+    def test_explicit_term_overrides(self):
+        t = Trace()
+        t.add(0, "kernel_copy", 0.0, 1.0, resource="dma", term="B2")
+        t.add(0, "fill_mpi_send", 1.0, 2.0, term="")
+        assert t.records[0].term == "B2"
+        assert t.records[1].term == ""
+
+    def test_term_seconds(self):
+        t = Trace()
+        t.add(0, "compute", 0.0, 2.0)
+        t.add(0, "fill_mpi_send", 2.0, 3.0)
+        t.add(0, "wire", 3.0, 5.0, resource="nic_tx", term="B4")
+        t.add(1, "compute", 0.0, 4.0)
+        assert t.term_seconds(0) == {"A2": 2.0, "A1": 1.0, "B4": 2.0}
+        assert t.term_seconds() == {"A2": 6.0, "A1": 1.0, "B4": 2.0}
+        assert t.term_seconds(0, resource="cpu") == {"A2": 2.0, "A1": 1.0}
+
+    def test_side_seconds(self):
+        t = Trace()
+        t.add(0, "compute", 0.0, 2.0)          # A2
+        t.add(0, "fill_mpi_send", 2.0, 3.0)    # A1
+        t.add(0, "kernel_copy", 3.0, 4.0, resource="dma", term="B3")
+        t.add(0, "wire", 4.0, 6.0, resource="nic_tx", term="B4")
+        a, b = t.side_seconds(0)
+        assert a == pytest.approx(3.0)
+        assert b == pytest.approx(3.0)
+
+    def test_term_partition_is_consistent(self):
+        assert A_TERMS == {"A1", "A2", "A3"}
+        assert B_TERMS == {"B1", "B2", "B3", "B4"}
+        assert set(KIND_TERMS.values()) <= A_TERMS | B_TERMS
+
+
+class TestChromeExport:
+    def test_metadata_and_events(self):
+        t = Trace()
+        t.add(0, "compute", 0.0, 1e-6)
+        t.add(0, "kernel_copy", 1e-6, 2e-6, resource="dma", term="B3")
+        events = t.to_chrome_trace()
+        meta = [e for e in events if e["ph"] == "M"]
+        xs = [e for e in events if e["ph"] == "X"]
+        names = {e["args"]["name"] for e in meta if e["name"] == "process_name"}
+        assert names == {"CPU", "DMA engine"}
+        assert len(xs) == 2
+        # cpu is pid 0, dma pid 1 (canonical order)
+        assert [e["pid"] for e in xs] == [0, 1]
+        assert xs[1]["args"] == {"term": "B3"}
