@@ -149,6 +149,53 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_scale(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.kernels.workloads import scale_workload
+
+    w = scale_workload(args.grid, args.depth)
+    m = _machine(args.machine)
+    blocking = args.schedule == "nonoverlap"
+    engine = _engine(args)
+    print(
+        f"scale run: {w.num_processors} ranks ({args.grid}x{args.grid} grid), "
+        f"depth {args.depth}, V={args.v}, "
+        f"{'non-overlapping' if blocking else 'overlapping'} schedule",
+        file=sys.stderr,
+    )
+    t0 = time.perf_counter()
+    if args.shards == 1:
+        # Direct run (no engine cache): this command reports throughput,
+        # so a cache-served result would be meaningless.
+        res = run_tiled(w, args.v, m, blocking=blocking,
+                        trace=args.trace, queue=args.queue)
+        rows = [
+            ("completion time (s)", res.completion_time),
+            ("messages", res.messages_sent),
+            ("events", res.event_count),
+        ]
+    else:
+        res = engine.run_sharded(
+            w, args.v, m, blocking=blocking, nshards=args.shards,
+            processes=not args.in_process, trace=args.trace,
+            queue=args.queue,
+        )
+        rows = [
+            ("completion time (s)", res.completion_time),
+            ("messages", res.messages_sent),
+            ("events", res.event_count),
+            ("shards", res.nshards),
+            ("lookahead windows", res.windows),
+        ]
+    wall = time.perf_counter() - t0
+    if res.event_count:
+        rows.append(("wall time (s)", round(wall, 3)))
+        rows.append(("events/sec", round(res.event_count / wall)))
+    print(format_kv(rows))
+    return 0
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.experiments.chaos import chaos_sweep, render_chaos
 
@@ -419,6 +466,30 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--depth", type=int, default=64,
                        help="mapped-dimension extent of the test workload")
     chaos.set_defaults(func=_cmd_chaos)
+
+    scale = sub.add_parser(
+        "scale", help="one cluster-scale run, optionally rank-sharded"
+    )
+    scale.add_argument("--grid", type=_positive_int, default=16,
+                       help="processor mesh side (grid² ranks, default 16)")
+    scale.add_argument("--depth", type=_positive_int, default=128,
+                       help="mapped-dimension extent (default 128)")
+    scale.add_argument("--v", type=_positive_int, default=8, help="tile height")
+    scale.add_argument("--schedule", default="overlap",
+                       choices=("overlap", "nonoverlap"))
+    scale.add_argument("--shards", type=_positive_int, default=1,
+                       help="rank shards; >1 partitions the run over "
+                            "conservative-lookahead shard simulators")
+    scale.add_argument("--in-process", action="store_true",
+                       help="keep all shards in this interpreter "
+                            "(default: one OS process per shard)")
+    scale.add_argument("--queue", default="heap",
+                       choices=("heap", "calendar"),
+                       help="event-queue backend (results identical)")
+    scale.add_argument("--trace", nargs="?", const="streaming",
+                       default=False, choices=("streaming", "full"),
+                       help="trace mode (default off; bare flag = streaming)")
+    scale.set_defaults(func=_cmd_scale)
 
     gantt = sub.add_parser("gantt", help="Gantt charts of both schedules")
     gantt.add_argument("--v", type=int, default=256)

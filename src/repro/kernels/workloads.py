@@ -176,6 +176,21 @@ def paper_experiments() -> tuple[StencilWorkload, StencilWorkload, StencilWorklo
     return (paper_experiment_i(), paper_experiment_ii(), paper_experiment_iii())
 
 
+def scale_workload(grid: int, depth: int = 128) -> StencilWorkload:
+    """A ``grid × grid`` processor mesh (``grid²`` ranks) over a
+    ``grid × grid × depth`` space with the §5 sqrt kernel — the
+    cluster-scale benchmark family (``scripts/bench_scale.py`` and the
+    ``scale`` CLI command): one owned point per rank per step keeps the
+    per-rank work tiny, so throughput is dominated by the event loop."""
+    return StencilWorkload(
+        name=f"scale{grid}x{grid}x{depth}",
+        space=IterationSpace.from_extents([grid, grid, depth]),
+        kernel=sqrt_kernel_3d(),
+        procs_per_dim=(grid, grid, 1),
+        mapped_dim=2,
+    )
+
+
 def example1_workload(processors: int = 10) -> StencilWorkload:
     """Example 1's 10000 × 1000 2-D loop with D = {(1,1),(1,0),(0,1)}.
 

@@ -8,7 +8,7 @@ the simulator-side counterpart of the paper's wall-clock measurements.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -20,6 +20,7 @@ from repro.sim.deadlock import RunOutcome, WatchdogConfig
 from repro.sim.faults import FaultPlan
 from repro.sim.mpi import World
 from repro.sim.reliable import ReliableConfig
+from repro.sim.sharding import ShardedResult, ShardedSimulation
 from repro.sim.tracing import Trace
 
 __all__ = [
@@ -28,6 +29,7 @@ __all__ = [
     "default_watchdog",
     "run_tiled",
     "run_tiled_robust",
+    "run_tiled_sharded",
     "run_schedule_pair",
 ]
 
@@ -46,6 +48,8 @@ class ExecutionResult:
     trace: Trace
     network_stats: dict
     result: np.ndarray | None = None
+    #: Simulator events drained (0 for cache-served engine results).
+    event_count: int = 0
 
     @property
     def schedule_name(self) -> str:
@@ -67,9 +71,10 @@ def run_tiled(
     *,
     blocking: bool,
     numeric: bool = False,
-    trace: bool = False,
+    trace: bool | str = False,
     max_events: int = 50_000_000,
     engine=None,
+    queue: str = "heap",
 ) -> ExecutionResult:
     """Simulate the workload at tile height ``v`` under one schedule.
 
@@ -82,13 +87,18 @@ def run_tiled(
     run through the fast sweep engine — persistent result cache and
     optional steady-state fast-forward; numeric and traced runs always
     execute directly.
+
+    ``trace`` accepts ``False``/``True``/``"full"``/``"streaming"`` (see
+    :class:`~repro.sim.mpi.World`); ``queue`` selects the event-queue
+    backend (``"heap"`` or ``"calendar"``) — results are bit-identical
+    across backends and trace modes.
     """
     if engine is not None and not (numeric or trace):
         return engine.run_tiled(
             workload, v, machine, blocking=blocking, max_events=max_events
         )
     prog = TiledProgram(workload, v, machine, blocking=blocking, numeric=numeric)
-    world = World(machine, prog.num_ranks, trace=trace)
+    world = World(machine, prog.num_ranks, trace=trace, queue=queue)
     completion = world.run(prog.programs(), max_events=max_events)
     util = (
         world.trace.mean_utilization(completion)
@@ -106,7 +116,85 @@ def run_tiled(
         trace=world.trace,
         network_stats=world.network.stats(),
         result=prog.gather() if numeric else None,
+        event_count=world.sim.event_count,
     )
+
+
+def _synthetic_combine(_values):  # pragma: no cover - never called
+    raise RuntimeError(
+        "numeric stencil arithmetic is unavailable inside a shard "
+        "process; sharded runs are timing-only"
+    )
+
+
+class _TiledPrograms:
+    """Picklable zero-argument program factory for sharded runs.
+
+    Holds the run recipe (workload, tile height, machine, schedule) and
+    rebuilds the :class:`TiledProgram` on call, so each shard *process*
+    constructs its own programs instead of pickling generator closures —
+    which cannot be pickled.  Synthetic mode only: numeric state lives in
+    per-rank numpy arrays that a sharded run could not gather, and the
+    kernel's ``combine`` lambda (also unpicklable) is swapped for a stub
+    in transit — timing-only programs never call it.
+    """
+
+    __slots__ = ("workload", "v", "machine", "blocking")
+
+    def __init__(self, workload: StencilWorkload, v: int, machine: Machine,
+                 blocking: bool):
+        self.workload = workload
+        self.v = v
+        self.machine = machine
+        self.blocking = blocking
+
+    def __getstate__(self):
+        kernel = replace(
+            self.workload.kernel, combine=_synthetic_combine,
+            combine_source=None,
+        )
+        workload = replace(self.workload, kernel=kernel)
+        return (workload, self.v, self.machine, self.blocking)
+
+    def __setstate__(self, state):
+        self.workload, self.v, self.machine, self.blocking = state
+
+    def __call__(self):
+        return TiledProgram(
+            self.workload, self.v, self.machine, blocking=self.blocking
+        ).programs()
+
+
+def run_tiled_sharded(
+    workload: StencilWorkload,
+    v: int,
+    machine: Machine,
+    *,
+    blocking: bool,
+    nshards: int,
+    trace: bool | str = False,
+    faults: FaultPlan | None = None,
+    queue: str = "heap",
+    processes: bool = False,
+    max_events: int = 50_000_000,
+) -> ShardedResult:
+    """Simulate the workload with its ranks partitioned over ``nshards``
+    shard simulators (see :mod:`repro.sim.sharding`).
+
+    Timing-only (synthetic) runs: numeric verification needs the global
+    array gather, which stays on :func:`run_tiled`.  Results are
+    bit-identical to the single-process :func:`run_tiled` values for
+    every shard count — completion time, message count, per-rank term
+    and busy-time aggregates.  ``processes=True`` puts each shard in its
+    own OS process; the program factory is rebuilt inside each child.
+    """
+    prog = TiledProgram(workload, v, machine, blocking=blocking)
+    sharded = ShardedSimulation(
+        machine, prog.num_ranks, nshards, trace=trace, faults=faults,
+        queue=queue, processes=processes,
+    )
+    factory = _TiledPrograms(workload, v, machine, blocking)
+    return sharded.run(factory=factory, max_events=max_events)
 
 
 @dataclass(frozen=True)
@@ -126,6 +214,8 @@ class RobustResult:
     trace: Trace
     network_stats: dict
     result: np.ndarray | None = None
+    #: Simulator events drained during the watched run.
+    event_count: int = 0
 
     @property
     def status(self) -> str:
@@ -191,8 +281,9 @@ def run_tiled_robust(
     reliable: ReliableConfig | None = None,
     watchdog: WatchdogConfig | None = None,
     numeric: bool = False,
-    trace: bool = False,
+    trace: bool | str = False,
     max_events: int = 50_000_000,
+    queue: str = "heap",
 ) -> RobustResult:
     """Simulate the workload under fault injection with a live watchdog.
 
@@ -206,7 +297,8 @@ def run_tiled_robust(
     """
     prog = TiledProgram(workload, v, machine, blocking=blocking, numeric=numeric)
     world = World(
-        machine, prog.num_ranks, trace=trace, faults=faults, reliable=reliable
+        machine, prog.num_ranks, trace=trace, faults=faults, reliable=reliable,
+        queue=queue,
     )
     if watchdog is None:
         watchdog = default_watchdog(
@@ -224,6 +316,7 @@ def run_tiled_robust(
         trace=world.trace,
         network_stats=world.network.stats(),
         result=prog.gather() if numeric and outcome.completed else None,
+        event_count=world.sim.event_count,
     )
 
 

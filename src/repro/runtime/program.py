@@ -168,9 +168,19 @@ class TiledProgram:
         self.states: list[RankState] | None = None
         if numeric:
             self.states = [self._make_state(r) for r in range(self.num_ranks)]
+        # Per-tile quantities are identical across ranks and queried once
+        # per tile per rank on the simulation hot path — precompute them.
+        self._tile_points = [
+            self._tile_points_of(m) for m in range(self.tiles_per_rank)
+        ]
+        self._face_bytes = {
+            (dim, m): self._face_bytes_of(dim, m)
+            for dim in self.comm_dims
+            for m in range(self.tiles_per_rank)
+        }
+        self._tile_labels = [f"tile{m}" for m in range(self.tiles_per_rank)]
 
-    def tile_points(self, m: int) -> int:
-        """Iteration points of a rank's m-th tile (last tile clipped)."""
+    def _tile_points_of(self, m: int) -> int:
         lo, hi = self.mapped_ranges[m]
         points = hi - lo + 1
         for k, s in enumerate(self.tile_sides):
@@ -178,12 +188,22 @@ class TiledProgram:
                 points *= s
         return points
 
+    def tile_points(self, m: int) -> int:
+        """Iteration points of a rank's m-th tile (last tile clipped)."""
+        return self._tile_points[m]
+
+    def _face_bytes_of(self, dim: int, m: int) -> float:
+        elements = (
+            self._col_sums[dim] * self._tile_points_of(m)
+            // self.tile_sides[dim]
+        )
+        return self.machine.message_bytes(elements)
+
     def face_bytes(self, dim: int, m: int) -> float:
         """Message bytes for the m-th tile's face in dimension ``dim``
         (the paper's c_k-weighted boundary volume, formula (2) restricted
         to one row of H D)."""
-        elements = self._col_sums[dim] * self.tile_points(m) // self.tile_sides[dim]
-        return self.machine.message_bytes(elements)
+        return self._face_bytes[(dim, m)]
 
     @property
     def num_ranks(self) -> int:
@@ -270,10 +290,11 @@ class TiledProgram:
                     yield ctx.compute_points(
                         self.tile_points(m),
                         fn=lambda m=m: state.compute_tile(md, ranges[m]),
-                        label=f"tile{m}",
+                        label=self._tile_labels[m],
                     )
                 else:
-                    yield ctx.compute_points(self.tile_points(m), label=f"tile{m}")
+                    yield ctx.compute_points(self.tile_points(m),
+                                             label=self._tile_labels[m])
 
                 for dim, _src, dst in neigh.entries:
                     if dst is None:
@@ -346,10 +367,11 @@ class TiledProgram:
                     yield ctx.compute_points(
                         self.tile_points(m),
                         fn=lambda m=m: state.compute_tile(md, ranges[m]),
-                        label=f"tile{m}",
+                        label=self._tile_labels[m],
                     )
                 else:
-                    yield ctx.compute_points(self.tile_points(m), label=f"tile{m}")
+                    yield ctx.compute_points(self.tile_points(m),
+                                             label=self._tile_labels[m])
 
                 if reqs:
                     results = yield ctx.waitall(reqs)

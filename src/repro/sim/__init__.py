@@ -2,6 +2,7 @@
 
 from repro.sim.core import AllOf, Effect, Event, Process, Simulator, Timeout, WaitEvent
 from repro.sim.critical_path import CriticalPath, analyze_critical_path
+from repro.sim.equeue import CalendarQueue, EventQueue, HeapQueue
 from repro.sim.deadlock import (
     BlockedRank,
     DeadlockReport,
@@ -26,6 +27,12 @@ from repro.sim.mpi import Rank, RecvRequest, SendRequest, World
 from repro.sim.network import Network
 from repro.sim.reliable import ReliableConfig, ReliableStats, ReliableTransport
 from repro.sim.resources import FifoResource
+from repro.sim.sharding import (
+    ShardedResult,
+    ShardedSimulation,
+    ShardWorld,
+    shard_bounds,
+)
 from repro.sim.steady import SteadyStateReport, analyze, compute_starts, steady_period
 from repro.sim.tracing import (
     A_TERMS,
@@ -44,14 +51,17 @@ __all__ = [
     "B_TERMS",
     "BlockedRank",
     "CPU_BUSY_KINDS",
+    "CalendarQueue",
     "CriticalPath",
     "DeadlockReport",
     "Degradation",
     "Effect",
     "Event",
+    "EventQueue",
     "FastForwardReport",
     "FaultPlan",
     "FifoResource",
+    "HeapQueue",
     "KIND_TERMS",
     "LinkFaults",
     "MessageFate",
@@ -66,6 +76,9 @@ __all__ = [
     "ReliableTransport",
     "RunOutcome",
     "SendRequest",
+    "ShardWorld",
+    "ShardedResult",
+    "ShardedSimulation",
     "Simulator",
     "SteadyStateReport",
     "Straggler",
@@ -82,5 +95,6 @@ __all__ = [
     "fastforward_eligible",
     "fastforward_run",
     "merged_length",
+    "shard_bounds",
     "steady_period",
 ]

@@ -1,11 +1,22 @@
 """Deterministic discrete-event simulation engine.
 
-The engine is deliberately small: a time-ordered heap of callbacks, plus
+The engine is deliberately small: a time-ordered queue of callbacks, plus
 generator-coroutine *processes*.  A process yields :class:`Effect`
 objects; each effect knows how to arrange the process's resumption (after
 a virtual-time delay, when an event fires, when an MPI request completes,
-…).  Determinism comes from the (time, sequence) heap ordering — equal
+…).  Determinism comes from the (time, sequence) ordering — equal
 timestamps resolve in submission order, so repeated runs are bit-identical.
+
+The pending set lives in a pluggable :class:`~repro.sim.equeue.EventQueue`
+(binary heap by default, bucketed calendar queue for cluster-scale
+worlds); on top of either backend, zero-delay callbacks — the dominant
+event class, every :class:`Event` trigger is one — bypass the queue
+entirely through a same-timestamp FIFO lane.  The lane preserves the
+exact ``(time, seq)`` total order: entries scheduled with ``delay == 0.0``
+execute at the current timestamp, and any queued entry that shares that
+timestamp necessarily carries a smaller sequence number unless it was
+submitted later (the merge in :meth:`Simulator.run` compares sequence
+numbers for exactly this case).
 
 Every simulated cluster node's CPU *is* its process coroutine: charging
 CPU time is yielding a :class:`Timeout`, blocking on communication is
@@ -16,14 +27,20 @@ with the CPU (DMA engines, NICs) is modelled as FIFO resources
 
 from __future__ import annotations
 
+from collections import deque
 from heapq import heappop, heappush
 from typing import Callable, Generator, Iterable
 
+from repro.sim.equeue import CalendarQueue, EventQueue, HeapQueue
+
 __all__ = ["Simulator", "Process", "Effect", "Timeout", "WaitEvent", "AllOf", "Event"]
 
-# Heap entries are (time, seq, fn, arg); argless callbacks carry this
+# Queue entries are (time, seq, fn, arg); argless callbacks carry this
 # sentinel so the event loop can skip building a closure per callback.
 _NO_ARG = object()
+
+# Cache-invalid marker for the peeked queue head in the generic run loop.
+_STALE = object()
 
 
 class Effect:
@@ -57,7 +74,7 @@ class Event:
         waiters, self._waiters = self._waiters, []
         schedule_call = self.sim.schedule_call
         for w in waiters:
-            # Resume via the heap so ordering stays deterministic.
+            # Resume via the scheduler so ordering stays deterministic.
             schedule_call(0.0, w, value)
 
     def add_callback(self, fn: Callable[[object], None]) -> None:
@@ -168,11 +185,39 @@ class Process:
 
 
 class Simulator:
-    """The event loop: a heap of (time, seq, callback, arg)."""
+    """The event loop: (time, seq, callback, arg) entries in a pluggable
+    queue, plus a same-timestamp FIFO lane for zero-delay callbacks.
 
-    def __init__(self) -> None:
+    ``queue`` selects the backend: ``"heap"`` (default — a binary heap
+    drained inline with ``heapq``'s C functions), ``"calendar"`` (a
+    :class:`~repro.sim.equeue.CalendarQueue` for cluster-scale pending
+    sets), or any :class:`~repro.sim.equeue.EventQueue` instance.  All
+    backends produce bit-identical runs; they differ only in throughput
+    profile.
+    """
+
+    __slots__ = ("now", "_heap", "_queue", "_push", "_dq", "_seq",
+                 "processes", "event_count", "last_progress")
+
+    def __init__(self, queue: str | EventQueue = "heap") -> None:
         self.now: float = 0.0
-        self._heap: list[tuple[float, int, Callable, object]] = []
+        if queue == "heap":
+            # Fast path: Simulator.run drains the bare list directly.
+            self._heap: list[tuple] | None = []
+            self._queue: EventQueue | None = None
+        else:
+            if queue == "calendar":
+                queue = CalendarQueue()
+            elif not isinstance(queue, EventQueue):
+                raise ValueError(
+                    f"queue must be 'heap', 'calendar', or an EventQueue, "
+                    f"got {queue!r}"
+                )
+            self._heap = None
+            self._queue = queue
+            self._push = queue.push
+        # Zero-delay lane: (seq, fn, arg) entries at the current time.
+        self._dq: deque[tuple] = deque()
         self._seq = 0
         self.processes: list[Process] = []
         self.event_count = 0
@@ -184,7 +229,12 @@ class Simulator:
         """Run ``fn`` after ``delay`` simulated seconds."""
         if delay < 0:
             raise ValueError(f"cannot schedule in the past (delay={delay})")
-        heappush(self._heap, (self.now + delay, self._seq, fn, _NO_ARG))
+        if delay == 0.0:
+            self._dq.append((self._seq, fn, _NO_ARG))
+        elif self._heap is not None:
+            heappush(self._heap, (self.now + delay, self._seq, fn, _NO_ARG))
+        else:
+            self._push((self.now + delay, self._seq, fn, _NO_ARG))
         self._seq += 1
 
     def schedule_call(self, delay: float, fn: Callable[[object], None],
@@ -196,7 +246,33 @@ class Simulator:
         """
         if delay < 0:
             raise ValueError(f"cannot schedule in the past (delay={delay})")
-        heappush(self._heap, (self.now + delay, self._seq, fn, arg))
+        if delay == 0.0:
+            self._dq.append((self._seq, fn, arg))
+        elif self._heap is not None:
+            heappush(self._heap, (self.now + delay, self._seq, fn, arg))
+        else:
+            self._push((self.now + delay, self._seq, fn, arg))
+        self._seq += 1
+
+    def schedule_call_at(self, when: float, fn: Callable[[object], None],
+                         arg: object) -> None:
+        """Run ``fn(arg)`` at the *absolute* simulated time ``when``.
+
+        ``schedule_call(when - now, ...)`` is not always exact:
+        ``now + (when - now)`` can round one ulp past ``when``.  Callers
+        that must fire at a precomputed instant (the sharded worlds'
+        deferred receiver injections) use this instead.
+        """
+        if when < self.now:
+            raise ValueError(
+                f"cannot schedule in the past (when={when}, now={self.now})"
+            )
+        if when == self.now:
+            self._dq.append((self._seq, fn, arg))
+        elif self._heap is not None:
+            heappush(self._heap, (when, self._seq, fn, arg))
+        else:
+            self._push((when, self._seq, fn, arg))
         self._seq += 1
 
     def spawn(self, name: str, gen: Generator[Effect, object, object]) -> Process:
@@ -206,34 +282,120 @@ class Simulator:
         self.schedule_call(0.0, p.resume, None)
         return p
 
+    # -- queue introspection (backend-agnostic) -------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled-but-unexecuted callbacks."""
+        n = len(self._dq)
+        if self._heap is not None:
+            return n + len(self._heap)
+        return n + len(self._queue)
+
+    def next_time(self) -> float | None:
+        """Timestamp of the earliest pending callback, or ``None``.
+
+        Zero-delay entries execute at the current time, so a non-empty
+        zero-delay lane answers ``now``.
+        """
+        if self._dq:
+            return self.now
+        if self._heap is not None:
+            return self._heap[0][0] if self._heap else None
+        head = self._queue.peek()
+        return head[0] if head is not None else None
+
     def run(self, until: float | None = None, max_events: int = 50_000_000) -> float:
-        """Drain the event heap; returns the final simulation time.
+        """Drain the event queue; returns the final simulation time.
 
         Stops early at ``until`` if given.  ``max_events`` is a runaway
-        guard; exceeding it raises ``RuntimeError``.
+        guard: exactly ``max_events`` callbacks may execute; scheduling
+        pressure beyond that raises ``RuntimeError`` *before* running the
+        offending callback.
         """
         # Local bindings: this loop executes once per simulated event and
         # dominates every experiment's wall-clock time.
-        heap = self._heap
-        pop = heappop
+        dq = self._dq
+        popleft = dq.popleft
         no_arg = _NO_ARG
         count = 0
-        while heap:
-            if until is not None and heap[0][0] > until:
-                self.now = until
-                break
-            t, _seq, fn, arg = pop(heap)
-            self.now = t
-            if arg is no_arg:
-                fn()
-            else:
-                fn(arg)
-            count += 1
-            if count > max_events:
-                self.event_count += count
-                raise RuntimeError(
-                    f"exceeded {max_events} events; likely a livelock"
-                )
+        now = self.now
+        if until is not None and until < now and (dq or self.pending):
+            self.now = until
+            return until
+        if self._heap is not None:
+            heap = self._heap
+            pop = heappop
+            while True:
+                if dq:
+                    # Exact-order merge: a queued entry at the current
+                    # timestamp runs first iff it was submitted first.
+                    if heap and heap[0][0] == now and heap[0][1] < dq[0][0]:
+                        _t, _s, fn, arg = pop(heap)
+                    else:
+                        _s, fn, arg = popleft()
+                elif heap:
+                    t = heap[0][0]
+                    if until is not None and t > until:
+                        self.now = until
+                        break
+                    _t, _s, fn, arg = pop(heap)
+                    now = t
+                    self.now = t
+                else:
+                    break
+                count += 1
+                if count > max_events:
+                    self.event_count += count - 1
+                    raise RuntimeError(
+                        f"exceeded {max_events} events; likely a livelock"
+                    )
+                if arg is no_arg:
+                    fn()
+                else:
+                    fn(arg)
+        else:
+            q = self._queue
+            qpop = q.pop
+            qpeek = q.peek
+            # ``head`` caches q.peek(); it is refreshed after every pop
+            # and may only go stale *upward* in between (pushes can
+            # introduce a smaller minimum).  The merge below tolerates
+            # that: a stale head loses the comparison and the zero-delay
+            # lane runs first, which is correct because later pushes
+            # carry larger sequence numbers.
+            head = _STALE
+            while True:
+                if dq:
+                    if head is _STALE:
+                        head = qpeek()
+                    if head is not None and head[0] == now and head[1] < dq[0][0]:
+                        _t, _s, fn, arg = qpop()
+                        head = _STALE
+                    else:
+                        _s, fn, arg = popleft()
+                else:
+                    if head is _STALE or head is None or until is not None:
+                        head = qpeek()
+                        if head is None:
+                            break
+                        if until is not None and head[0] > until:
+                            self.now = until
+                            break
+                    t, _s, fn, arg = qpop()
+                    head = _STALE
+                    now = t
+                    self.now = t
+                count += 1
+                if count > max_events:
+                    self.event_count += count - 1
+                    raise RuntimeError(
+                        f"exceeded {max_events} events; likely a livelock"
+                    )
+                if arg is no_arg:
+                    fn()
+                else:
+                    fn(arg)
         self.event_count += count
         return self.now
 
@@ -243,7 +405,7 @@ class Simulator:
     def check_all_finished(self) -> None:
         """Raise with a blocked-process report if any process is stuck.
 
-        An empty heap with unfinished processes is a deadlock: every
+        An empty queue with unfinished processes is a deadlock: every
         stuck process is blocked on an event nobody will trigger.
         """
         stuck = self.unfinished_processes()

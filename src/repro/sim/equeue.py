@@ -1,0 +1,340 @@
+"""Pluggable event queues for the simulator core.
+
+The simulator drains ``(time, seq, fn, arg)`` entries in ``(time, seq)``
+order; ``seq`` is a global submission counter, so the order is a strict
+total order and every queue implementation must reproduce it *exactly* —
+the determinism (and bit-identity across queue backends) of every
+experiment depends on it.
+
+Two backends:
+
+* :class:`HeapQueue` — a single binary heap (``heapq``).  O(log n) per
+  operation in C; the best choice for the pending-set sizes of the
+  small-grid experiments, and the reference implementation the
+  differential tests compare against.
+* :class:`CalendarQueue` — a bucketed calendar queue (Brown, CACM 1988).
+  Pending entries are spread over an array of time buckets of uniform
+  ``width``; only the *current* bucket is kept heap-ordered, future
+  in-year buckets are unsorted append targets, and entries beyond the
+  current year land in a fallback overflow heap.  Push and pop are O(1)
+  amortised when the width matches the observed inter-event spacing, so
+  it scales to the pending-set sizes of thousand-rank worlds.  The width
+  is auto-sized from the observed spacing and the queue transparently
+  resizes (re-buckets) when the distribution drifts.
+
+Ordering correctness of :class:`CalendarQueue` rests on three invariants:
+
+1. buckets strictly before the current one are empty and can never
+   receive entries (late pushes clamp into the current bucket, where
+   heap order — not list position — decides retrieval);
+2. every bucket entry's time is inside the current year
+   (``year_start <= t < horizon``), entries at or past the horizon live
+   in the overflow heap, so the current bucket's minimum is the global
+   minimum;
+3. the current bucket is heapified before anything is popped from it.
+
+Empty years are skipped in O(1) by jumping the year window straight to
+the overflow minimum (important for idle-gap-heavy schedules such as
+backoff timers).
+"""
+
+from __future__ import annotations
+
+from heapq import heapify, heappop, heappush
+
+__all__ = ["EventQueue", "HeapQueue", "CalendarQueue"]
+
+#: Queue entries: ``(time, seq, fn, arg)``.  Comparison never reaches
+#: ``fn`` because ``seq`` is unique.
+Entry = tuple
+
+
+class EventQueue:
+    """Interface every simulator queue backend implements.
+
+    ``pop`` must return entries in exact ``(time, seq)`` order; ``peek``
+    returns the entry that the next ``pop`` would return, without
+    removing it (or ``None`` when empty).
+    """
+
+    def push(self, entry: Entry) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def pop(self) -> Entry:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def peek(self) -> Entry | None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def __len__(self) -> int:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+
+class HeapQueue(EventQueue):
+    """The classic single binary heap — the reference backend.
+
+    The simulator's hot loop bypasses these wrappers and operates on
+    :attr:`items` directly with ``heapq``'s C functions; the methods
+    exist so differential tests and generic tooling can drive both
+    backends through one interface.
+    """
+
+    __slots__ = ("items",)
+
+    def __init__(self) -> None:
+        self.items: list[Entry] = []
+
+    def push(self, entry: Entry) -> None:
+        heappush(self.items, entry)
+
+    def pop(self) -> Entry:
+        return heappop(self.items)
+
+    def peek(self) -> Entry | None:
+        return self.items[0] if self.items else None
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __bool__(self) -> bool:
+        return bool(self.items)
+
+
+class CalendarQueue(EventQueue):
+    """Bucketed calendar queue with exact ``(time, seq)`` ordering.
+
+    ``width`` fixes the bucket width up front; when omitted it is sized
+    automatically from the spacing of the first batch of entries and
+    re-estimated on every resize from an exponential moving average of
+    observed pop-to-pop gaps.  ``nbuckets`` is the initial bucket count
+    (grows on resize).  ``bucket_cap`` bounds how crowded the bucket a
+    push lands in may get before a re-bucket with a narrower width is
+    attempted.
+    """
+
+    __slots__ = (
+        "_nb", "_width", "_buckets", "_year_start", "_horizon", "_cur",
+        "_cur_heaped", "_overflow", "_size", "_last_pop_t", "_gap_ema",
+        "resizes", "_resize_floor", "bucket_cap",
+    )
+
+    #: Entries in the bootstrap overflow heap before the width is sized.
+    _BOOT = 32
+    #: Target mean entries per in-year bucket when auto-sizing the width.
+    _LOAD = 4.0
+
+    def __init__(self, width: float | None = None, nbuckets: int = 64,
+                 bucket_cap: int = 64):
+        if width is not None and width <= 0:
+            raise ValueError("bucket width must be positive")
+        if nbuckets < 2:
+            raise ValueError("need at least two buckets")
+        self._nb = nbuckets
+        self._width = float(width) if width is not None else 0.0
+        self._buckets: list[list[Entry]] | None = None
+        self._year_start = 0.0
+        self._horizon = 0.0
+        self._cur = 0
+        self._cur_heaped = False
+        self._overflow: list[Entry] = []
+        self._size = 0
+        self._last_pop_t: float | None = None
+        self._gap_ema: float | None = None
+        self.resizes = 0
+        self._resize_floor = 0
+        self.bucket_cap = bucket_cap
+
+    # -- sizing ---------------------------------------------------------------
+
+    def _estimate_width(self, entries: list[Entry]) -> float:
+        """Bucket width targeting ``_LOAD`` entries per bucket, from the
+        time span of a sample of pending entries."""
+        times = sorted(e[0] for e in entries)
+        span = times[-1] - times[0]
+        if span <= 0.0:
+            # All entries simultaneous: any width works, the current
+            # bucket's heap does the ordering.
+            return self._gap_ema or 1.0
+        return span / max(1.0, len(times) / self._LOAD)
+
+    def _build(self, start: float) -> None:
+        """(Re)build empty buckets with the current width, anchored so
+        that ``start`` falls in bucket 0."""
+        self._buckets = [[] for _ in range(self._nb)]
+        self._year_start = start
+        self._horizon = start + self._nb * self._width
+        self._cur = 0
+        self._cur_heaped = False
+
+    def _rebucket(self, width: float, nbuckets: int) -> None:
+        """Migrate every pending entry into a fresh bucket array."""
+        pending = [e for b in self._buckets for e in b]
+        pending += self._overflow
+        self._overflow = []
+        self._nb = nbuckets
+        self._width = width
+        anchor = min(e[0] for e in pending) if pending else self._year_start
+        self._build(anchor)
+        push = self.push
+        self._size -= len(pending)  # push() re-counts them
+        for e in pending:
+            push(e)
+        self.resizes += 1
+        # Hysteresis: no further resize until the size doubles or halves.
+        self._resize_floor = self._size
+
+    def _maybe_bootstrap(self) -> None:
+        """Size the width from the first batch of entries and move them
+        out of the bootstrap overflow heap into buckets."""
+        if self._width == 0.0:
+            self._width = self._estimate_width(self._overflow)
+        entries, self._overflow = self._overflow, []
+        anchor = min(e[0] for e in entries)
+        self._build(anchor)
+        self._size -= len(entries)
+        push = self.push
+        for e in entries:
+            push(e)
+
+    # -- core operations ------------------------------------------------------
+
+    def push(self, entry: Entry) -> None:
+        self._size += 1
+        if self._buckets is None:
+            # Bootstrap: plain heap until enough entries arrived to size
+            # the width (or a pop forces the issue).
+            heappush(self._overflow, entry)
+            if self._width != 0.0 or len(self._overflow) >= self._BOOT:
+                self._maybe_bootstrap()
+            return
+        t = entry[0]
+        if t >= self._horizon:
+            heappush(self._overflow, entry)
+            return
+        idx = int((t - self._year_start) / self._width)
+        if idx >= self._nb:  # float round-up at the horizon edge
+            idx = self._nb - 1
+        if idx <= self._cur:
+            # Entries at (or numerically before) the drain point clamp
+            # into the current bucket; its heap order keeps them exact.
+            idx = self._cur
+            bucket = self._buckets[idx]
+            if self._cur_heaped:
+                heappush(bucket, entry)
+            else:
+                bucket.append(entry)
+        else:
+            bucket = self._buckets[idx]
+            bucket.append(entry)
+        if (
+            len(bucket) > self.bucket_cap
+            and self._size > 2 * self._resize_floor
+            and self._gap_ema is not None
+        ):
+            in_year = self._size - len(self._overflow)
+            width = self._gap_ema * self._LOAD
+            nb = self._nb
+            while nb * self._LOAD < in_year:
+                nb *= 2
+            if width < self._width or nb > self._nb:
+                self._rebucket(min(width, self._width), nb)
+
+    def _advance_year(self) -> None:
+        """Move the year window forward; jump straight to the overflow
+        minimum when the coming years are empty (idle-gap skip)."""
+        start = self._horizon
+        if self._overflow and self._overflow[0][0] > start:
+            start = self._overflow[0][0]
+        self._build(start)
+        horizon = self._horizon
+        overflow = self._overflow
+        buckets = self._buckets
+        year_start = self._year_start
+        width = self._width
+        nb = self._nb
+        while overflow and overflow[0][0] < horizon:
+            e = heappop(overflow)
+            idx = int((e[0] - year_start) / width)
+            if idx >= nb:
+                idx = nb - 1
+            buckets[idx].append(e)
+
+    def pop(self) -> Entry:
+        if self._size == 0:
+            raise IndexError("pop from an empty CalendarQueue")
+        if self._buckets is None:
+            self._maybe_bootstrap()
+        buckets = self._buckets
+        if self._size == len(self._overflow):
+            self._advance_year()
+            buckets = self._buckets
+        while True:
+            bucket = buckets[self._cur]
+            if bucket:
+                if not self._cur_heaped:
+                    heapify(bucket)
+                    self._cur_heaped = True
+                entry = heappop(bucket)
+                self._size -= 1
+                t = entry[0]
+                last = self._last_pop_t
+                if last is not None:
+                    gap = t - last
+                    if gap > 0.0:
+                        ema = self._gap_ema
+                        self._gap_ema = (
+                            gap if ema is None else ema + 0.125 * (gap - ema)
+                        )
+                self._last_pop_t = t
+                return entry
+            self._cur += 1
+            self._cur_heaped = False
+            if self._cur >= self._nb:
+                self._advance_year()
+                buckets = self._buckets
+
+    def peek(self) -> Entry | None:
+        if self._size == 0:
+            return None
+        if self._buckets is None:
+            return self._overflow[0]
+        if self._size == len(self._overflow):
+            self._advance_year()
+        buckets = self._buckets
+        while True:
+            bucket = buckets[self._cur]
+            if bucket:
+                if not self._cur_heaped:
+                    heapify(bucket)
+                    self._cur_heaped = True
+                return bucket[0]
+            self._cur += 1
+            self._cur_heaped = False
+            if self._cur >= self._nb:
+                self._advance_year()
+                buckets = self._buckets
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def width(self) -> float:
+        """Current bucket width (0.0 while still bootstrapping)."""
+        return self._width
+
+    @property
+    def nbuckets(self) -> int:
+        return self._nb
+
+    @property
+    def overflow_len(self) -> int:
+        """Entries currently parked in the far-future fallback heap."""
+        return len(self._overflow)

@@ -41,6 +41,7 @@ Semantics:
 from __future__ import annotations
 
 import warnings
+from operator import itemgetter
 from typing import TYPE_CHECKING, Callable, Generator, Iterable, Sequence
 
 import numpy as np
@@ -63,6 +64,19 @@ class _StallDetected(Exception):
     """Internal: raised out of the event loop by the watchdog tick."""
 
 
+#: Canonical receiver-side ordering key.  All receiver NIC submissions
+#: landing at one injection instant (``tx_end + network_latency``) are
+#: flushed together, sorted by the sender-side lineage ``(TX submission
+#: instant, pipeline launch instant, source rank)``.  The rule is a
+#: *definition*, not a reconstruction: it depends only on values carried
+#: by the message itself, so a rank-sharded run (:mod:`repro.sim.sharding`)
+#: reproduces the single-process receiver FIFO order exactly, for every
+#: shard count, without seeing the global event cascade.  The stable sort
+#: preserves insertion order for entries whose whole lineage ties —
+#: same-sender entries are already serialised by the TX FIFO.
+_LINEAGE = itemgetter(1, 2, 3)
+
+
 def _copy_payload(payload: object) -> object:
     """Value semantics at the send call, like MPI's buffered sends."""
     if payload is None:
@@ -75,7 +89,8 @@ def _copy_payload(payload: object) -> object:
 
 
 class _Message:
-    __slots__ = ("src", "dst", "tag", "payload", "nbytes", "seq", "stream_seq")
+    __slots__ = ("src", "dst", "tag", "payload", "nbytes", "seq", "stream_seq",
+                 "launch_time")
 
     def __init__(self, src: int, dst: int, tag: int, payload: object, nbytes: float,
                  seq: int, stream_seq: int):
@@ -86,6 +101,10 @@ class _Message:
         self.nbytes = nbytes
         self.seq = seq
         self.stream_seq = stream_seq
+        # Simulation time the send pipeline was launched (B3 submission);
+        # rank-sharded runs use it as an ordering lineage stage when two
+        # wire legs tie exactly (see repro.sim.sharding).
+        self.launch_time = 0.0
 
     @property
     def stream(self) -> tuple[int, int, int]:
@@ -135,10 +154,11 @@ class World:
         machine: Machine,
         num_ranks: int,
         *,
-        trace: bool = False,
+        trace: bool | str = False,
         drop_every_nth: int = 0,
         faults: FaultPlan | None = None,
         reliable: ReliableConfig | None = None,
+        queue: str = "heap",
     ):
         """``faults`` injects seeded message drop/duplicate/corrupt,
         latency jitter, bandwidth-degradation windows and node
@@ -149,7 +169,15 @@ class World:
         pipeline.
 
         ``drop_every_nth > 0`` is the deprecated legacy knob; it now
-        delegates to ``faults=FaultPlan(drop_every_nth=...)``."""
+        delegates to ``faults=FaultPlan(drop_every_nth=...)``.
+
+        ``trace`` selects interval recording: ``False`` (off), ``True``
+        or ``"full"`` (every interval retained — Gantt/Perfetto/critical
+        path), or ``"streaming"`` (intervals folded into O(ranks)
+        aggregates as they close; see
+        :class:`~repro.sim.tracing.Trace`).  ``queue`` selects the
+        simulator's event-queue backend (``"heap"`` or ``"calendar"``,
+        bit-identical results either way)."""
         if num_ranks <= 0:
             raise ValueError("num_ranks must be positive")
         if drop_every_nth < 0:
@@ -166,11 +194,18 @@ class World:
             faults = FaultPlan(drop_every_nth=drop_every_nth)
         self.machine = machine
         self.num_ranks = num_ranks
-        self.sim = Simulator()
+        self.sim = Simulator(queue=queue)
         self.faults = faults
-        self.trace = Trace(enabled=trace, num_ranks=num_ranks)
+        self.trace = Trace(
+            enabled=bool(trace), num_ranks=num_ranks,
+            streaming=(trace == "streaming"),
+        )
         self.network = Network(self.sim, machine, num_ranks, faults=faults,
                                trace=self.trace)
+        if trace == "streaming":
+            # O(ranks)-memory discipline: bound the retained wire-latency
+            # sample alongside the streaming trace aggregates.
+            self.network.cap_latency_samples(65536)
         self.transport = (
             ReliableTransport(self, reliable) if reliable is not None else None
         )
@@ -193,6 +228,14 @@ class World:
         self._stream_next_seq: dict[tuple[int, int, int], int] = {}
         self._stream_expected: dict[tuple[int, int, int], int] = {}
         self._stream_held: dict[tuple[int, int, int], dict[int, _Message]] = {}
+        # Canonical receiver-side ordering (see _unreliable_transmit):
+        # every receiver NIC submission is deferred to tx_end + latency
+        # and flushed in _LINEAGE order.  Needs a positive latency (the
+        # deferral instant) and a dedicated RX unit — deferral must not
+        # change TX/RX contention on a shared half-duplex port — so
+        # half-duplex and zero-latency machines keep the direct path.
+        self._canonical_rx = machine.duplex and machine.network_latency > 0.0
+        self._rx_pending: dict[float, list[tuple]] = {}
 
     # -- program execution ---------------------------------------------------
 
@@ -252,7 +295,7 @@ class World:
         def tick() -> None:
             if not self.sim.unfinished_processes():
                 return  # all done; let the heap drain
-            if not self.sim._heap:
+            if not self.sim.pending:
                 raise _StallDetected  # true quiescence: nothing can unblock
             if self.sim.now - self.sim.last_progress >= wd.stall_time:
                 raise _StallDetected  # churn (timers firing) without progress
@@ -322,13 +365,12 @@ class World:
     def _launch_message(self, msg: _Message, send_req: SendRequest | None,
                         on_sent: Callable[[tuple[float, float]], None] | None) -> None:
         """Start the B3 → B4/B1 → B2 pipeline for a prepared message."""
+        msg.launch_time = self.sim.now
         m = self.machine
         b3 = m.fill_kernel_buffer_time(msg.nbytes) if m.dma else 0.0
-        kcopy = self.dma[msg.src].submit(b3)
-
-        def after_kernel_copy(interval: object) -> None:
+        def after_kernel_copy(interval: tuple) -> None:
             if self.trace.enabled and b3 > 0:
-                start, end = interval  # type: ignore[misc]
+                start, end = interval
                 self.trace.add(msg.src, "kernel_copy", start, end,
                                f"->{msg.dst}", resource="dma", term="B3")
             if send_req is not None:
@@ -338,13 +380,24 @@ class World:
             else:
                 self._unreliable_transmit(msg, on_sent)
 
-        kcopy.add_callback(after_kernel_copy)
+        self.dma[msg.src].submit_call(b3, after_kernel_copy)
 
     def _unreliable_transmit(
         self, msg: _Message,
         on_sent: Callable[[tuple[float, float]], None] | None,
     ) -> None:
-        """Fire-and-forget wire leg: one attempt, faults are fatal."""
+        """Fire-and-forget wire leg: one attempt, faults are fatal.
+
+        On full-duplex machines with positive switch latency the
+        receiver half is *deferred*: instead of submitting to the
+        receiver NIC inside the TX-end event, the submission is grouped
+        under its injection instant ``tx_end + latency`` and flushed in
+        the canonical ``_LINEAGE`` order.  The deferral is a constant
+        shift, and the injection instant is exactly the receive leg's
+        earliest-start bound, so no job start/end time moves; what it
+        buys is a receiver FIFO order defined by message-carried values
+        alone — the property rank-sharded runs need for bit-identity.
+        """
         fate = None
         if self.faults is not None:
             fate = self.faults.message_fate(
@@ -367,26 +420,112 @@ class World:
             # dedup, so the extra copy is discarded at the NIC (MPI
             # matching must not see ghost messages) but still counted.
             self.network.duplicates += 1
-        arrival = self.network.transmit(
-            msg.src, msg.dst, msg.nbytes, on_sent=on_sent,
-            extra_latency=fate.extra_latency if fate is not None else 0.0,
-        )
-        arrival.add_callback(lambda _a: self._receive_copy(msg))
+        extra = fate.extra_latency if fate is not None else 0.0
+        if msg.src == msg.dst or not self._canonical_rx:
+            # Loopback never touches the wire; half-duplex/zero-latency
+            # machines keep the direct submit-at-TX-end path.
+            arrival = self.network.transmit(
+                msg.src, msg.dst, msg.nbytes, on_sent=on_sent,
+                extra_latency=extra,
+            )
+            arrival.add_callback(lambda _a: self._receive_copy(msg))
+            return
+
+        # Sender half of Network.transmit: counters, TX wire leg, trace.
+        # (rx_bytes is bumped by the receiver half at injection.)
+        net = self.network
+        net.messages_carried += 1
+        net.bytes_carried += msg.nbytes
+        net.tx_bytes[msg.src] += msg.nbytes
+        submitted_at = self.sim.now
+        wire = self.machine.transmit_time(msg.nbytes)
+        if self.faults is not None:
+            wire *= self.faults.wire_factor(msg.src, msg.dst, submitted_at)
+        latency = self.machine.network_latency + extra
+        trace = net.trace if net.trace is not None and net.trace.enabled \
+            else None
+        lane_label = f"{msg.src}->{msg.dst}" if trace is not None else ""
+        inject_delay = self.machine.network_latency
+
+        def after_tx(interval: tuple) -> None:
+            start, end = interval
+            if trace is not None and end > start:
+                trace.add(msg.src, "wire", start, end, lane_label,
+                          resource="nic_tx", term="B4")
+            if on_sent is not None:
+                on_sent((start, end))
+            # Injection groups by the *base* latency so fault-plan jitter
+            # (extra) delays the leg's earliest start, not its FIFO slot.
+            entry = (
+                end + inject_delay, submitted_at, msg.launch_time, msg.src,
+                msg.stream_seq, msg.dst, msg.tag, msg.seq, msg.payload,
+                msg.nbytes, wire, end + latency, start,
+            )
+            self._route(entry)
+
+        net.tx[msg.src].submit_call(wire, after_tx)
+
+    def _route(self, entry: tuple) -> None:
+        """Deliver a deferred receiver leg to the world hosting its
+        destination — here, always this world; a shard world forwards
+        cross-shard entries to its coordinator instead."""
+        self._enqueue_rx(entry)
+
+    def _enqueue_rx(self, entry: tuple) -> None:
+        """Group a deferred receiver leg under its injection instant,
+        scheduling the instant's flush on first touch."""
+        t = entry[0]
+        group = self._rx_pending.get(t)
+        if group is None:
+            self._rx_pending[t] = [entry]
+            # Absolute-time scheduling: the flush must fire at exactly
+            # ``t`` — a relative delay could round one ulp past it and
+            # make the receive FIFO's now-clamp bind, shifting the rx
+            # start.
+            self.sim.schedule_call_at(t, self._flush_rx, t)
+        else:
+            group.append(entry)
+
+    def _flush_rx(self, t: float) -> None:
+        entries = self._rx_pending.pop(t)
+        if len(entries) > 1:
+            # Stable: entries whose whole lineage ties keep insertion
+            # order (same-sender entries are serialised by the TX FIFO).
+            entries.sort(key=_LINEAGE)
+        for entry in entries:
+            self._inject_rx(entry)
+
+    def _inject_rx(self, entry: tuple) -> None:
+        """Receiver half of a transmission, run at the injection
+        instant on the world owning the destination rank."""
+        (_t, submitted_at, _launch, src, stream_seq, dst, tag, seq, payload,
+         nbytes, wire, not_before, tx_start) = entry
+        net = self.network
+        net.rx_bytes[dst] += nbytes
+        msg = _Message(src, dst, tag, payload, nbytes, seq, stream_seq)
+
+        def complete(_interval: tuple) -> None:
+            # One scheduler hop, mirroring the arrival event trigger of
+            # the direct path.
+            self.sim.schedule_call(0.0, self._receive_copy, msg)
+
+        label = f"{src}->{dst}" if net.trace is not None and net.trace.enabled \
+            else ""
+        net.rx_leg(src, dst, wire, not_before, tx_start, submitted_at,
+                   complete, label=label)
 
     def _receive_copy(self, msg: _Message) -> None:
         """Receive-side kernel copy (B2) then stream-ordered delivery."""
         m = self.machine
         b2 = m.fill_kernel_buffer_time(msg.nbytes) if m.dma else 0.0
-        rx_copy = self.dma[msg.dst].submit(b2)
-
-        def after_rx_copy(interval: object) -> None:
+        def after_rx_copy(interval: tuple) -> None:
             if self.trace.enabled and b2 > 0:
-                start, end = interval  # type: ignore[misc]
+                start, end = interval
                 self.trace.add(msg.dst, "kernel_copy", start, end,
                                f"<-{msg.src}", resource="dma", term="B2")
             self._deliver(msg)
 
-        rx_copy.add_callback(after_rx_copy)
+        self.dma[msg.dst].submit_call(b2, after_rx_copy)
 
     def _deliver(self, msg: _Message) -> None:
         """Message pipeline finished: release in stream order, then match.
@@ -551,7 +690,8 @@ class _ComputeEffect(Effect):
             # its start (the node is wedged until the pause ends).
             seconds = seconds * plan.compute_factor(self.ctx.rank, now)
             seconds += plan.pause_delay(self.ctx.rank, now)
-        self.ctx._trace("compute", now, now + seconds, self.label)
+        if self.ctx.world.trace.enabled:
+            self.ctx._trace("compute", now, now + seconds, self.label)
         result = self.fn() if self.fn is not None else None
         Timeout(seconds, annotation="compute", result=result).start(process)
 
@@ -575,11 +715,12 @@ class _IsendEffect(Effect):
         b3_cpu = m.fill_kernel_buffer_time(self.nbytes) if not m.dma else 0.0
         cpu = a1 + b3_cpu
         now = self.ctx._sim.now
-        self.ctx._trace("fill_mpi_send", now, now + a1, f"->{self.dst}")
-        if b3_cpu > 0:
-            self.ctx._trace("fill_kernel_send", now + a1, now + cpu,
-                            "B3-on-CPU")
-        req = SendRequest(w.sim, f"isend{msg.seq}")
+        if w.trace.enabled:
+            self.ctx._trace("fill_mpi_send", now, now + a1, f"->{self.dst}")
+            if b3_cpu > 0:
+                self.ctx._trace("fill_kernel_send", now + a1, now + cpu,
+                                "B3-on-CPU")
+        req = SendRequest(w.sim, "isend")
 
         def after_cpu() -> None:
             w._launch_message(msg, req, on_sent=None)
@@ -608,15 +749,18 @@ class _SendEffect(Effect):
         b3_cpu = m.fill_kernel_buffer_time(self.nbytes) if not m.dma else 0.0
         cpu = a1 + b3_cpu
         now = self.ctx._sim.now
-        self.ctx._trace("fill_mpi_send", now, now + a1, f"->{self.dst}")
-        if b3_cpu > 0:
-            self.ctx._trace("fill_kernel_send", now + a1, now + cpu,
-                            "B3-on-CPU")
+        if w.trace.enabled:
+            self.ctx._trace("fill_mpi_send", now, now + a1, f"->{self.dst}")
+            if b3_cpu > 0:
+                self.ctx._trace("fill_kernel_send", now + a1, now + cpu,
+                                "B3-on-CPU")
         blocked_from = now + cpu
 
         def on_sent(interval: tuple[float, float]) -> None:
             _start, end = interval
-            self.ctx._trace("blocked_send", blocked_from, end, f"->{self.dst}")
+            if w.trace.enabled:
+                self.ctx._trace("blocked_send", blocked_from, end,
+                                f"->{self.dst}")
             process.resume(None)
 
         def after_cpu() -> None:
@@ -640,9 +784,9 @@ class _IrecvEffect(Effect):
         m = w.machine
         cpu = m.fill_mpi_buffer_time(self.nbytes)
         now = self.ctx._sim.now
-        self.ctx._trace("fill_mpi_recv", now, now + cpu, f"<-{self.src}")
-        req = RecvRequest(w.sim, self.src, self.tag,
-                          f"irecv@{self.ctx.rank}<-{self.src}")
+        if w.trace.enabled:
+            self.ctx._trace("fill_mpi_recv", now, now + cpu, f"<-{self.src}")
+        req = RecvRequest(w.sim, self.src, self.tag, "irecv")
         if not m.dma:
             # B2 will be paid by the CPU inside wait() once the message is in.
             req.post_cpu_cost = m.fill_kernel_buffer_time(self.nbytes)
@@ -669,15 +813,17 @@ class _RecvEffect(Effect):
         m = w.machine
         cpu = m.fill_mpi_buffer_time(self.nbytes)
         now = self.ctx._sim.now
-        self.ctx._trace("fill_mpi_recv", now, now + cpu, f"<-{self.src}")
-        req = RecvRequest(w.sim, self.src, self.tag,
-                          f"recv@{self.ctx.rank}<-{self.src}")
+        if w.trace.enabled:
+            self.ctx._trace("fill_mpi_recv", now, now + cpu, f"<-{self.src}")
+        req = RecvRequest(w.sim, self.src, self.tag, "recv")
         post_cost = m.fill_kernel_buffer_time(self.nbytes) if not m.dma else 0.0
         blocked_from = now + cpu
 
         def after_delivery(payload: object) -> None:
             t = self.ctx._sim.now
-            self.ctx._trace("blocked_recv", blocked_from, t, f"<-{self.src}")
+            if w.trace.enabled:
+                self.ctx._trace("blocked_recv", blocked_from, t,
+                                f"<-{self.src}")
             if post_cost > 0:
                 self.ctx._trace("fill_kernel_recv", t, t + post_cost,
                                 "B2-on-CPU")
@@ -710,7 +856,7 @@ class _WaitEffect(Effect):
 
         def after_all(_values: object) -> None:
             t = self.ctx._sim.now
-            if t > wait_from:
+            if t > wait_from and w.trace.enabled:
                 self.ctx._trace("blocked_wait", wait_from, t,
                                 f"{len(self.requests)} reqs")
             post = 0.0
@@ -738,6 +884,11 @@ def _when_all(events: list[Event], callback, sim: Simulator) -> None:
     remaining = len(events)
     if remaining == 0:
         sim.schedule(0.0, lambda: callback([]))
+        return
+    if remaining == 1:
+        # Fast path: same registration and resume hops as the generic
+        # counter version, minus the bookkeeping.
+        events[0].add_callback(callback)
         return
     state = {"remaining": remaining}
 

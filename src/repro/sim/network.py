@@ -82,6 +82,35 @@ class Network:
         self.retransmits = 0
         self.duplicates = 0
         self._latencies: list[float] = []
+        # Bounded-memory latency sampling for cluster-scale runs: when
+        # set, only every ``_latency_stride``-th latency is retained and
+        # the stride doubles whenever the sample would exceed the cap —
+        # deterministic decimation, no RNG, quantiles stay representative.
+        self._latency_cap: int | None = None
+        self._latency_stride = 1
+        self._latency_skip = 0
+
+    def cap_latency_samples(self, cap: int) -> None:
+        """Bound the retained wire-latency sample to ~``cap`` entries
+        (deterministic stride decimation).  Engaged by cluster-scale
+        runs so :meth:`stats` stops being O(messages) in memory."""
+        if cap < 2:
+            raise ValueError("latency sample cap must be at least 2")
+        self._latency_cap = cap
+
+    def _record_latency(self, value: float) -> None:
+        if self._latency_cap is None:
+            self._latencies.append(value)
+            return
+        if self._latency_skip > 0:
+            self._latency_skip -= 1
+            return
+        self._latency_skip = self._latency_stride - 1
+        lat = self._latencies
+        lat.append(value)
+        if len(lat) > self._latency_cap:
+            del lat[::2]
+            self._latency_stride *= 2
 
     def transmit(
         self,
@@ -123,46 +152,75 @@ class Network:
         submitted_at = self.sim.now
 
         if src == dst:
-            done = Event(self.sim, name=f"loopback{self.messages_carried}")
+            done = Event(self.sim, name="loopback")
+            now = submitted_at
             if on_sent is not None:
-                self.sim.schedule(0.0, lambda: on_sent((self.sim.now, self.sim.now)))
-            self.sim.schedule(0.0, lambda: done.trigger((self.sim.now, self.sim.now)))
+                self.sim.schedule_call(0.0, on_sent, (now, now))
+            self.sim.schedule_call(0.0, done.trigger, (now, now))
             return done
 
         wire = self.machine.transmit_time(nbytes)
         if self.faults is not None:
             wire *= self.faults.wire_factor(src, dst, submitted_at)
         latency = self.machine.network_latency + extra_latency
-        tx_done = self.tx[src].submit(wire)
-        arrival = Event(self.sim, name=f"msg{self.messages_carried}.arrival")
+        arrival = Event(self.sim, name="arrival")
         trace = self.trace if self.trace is not None and self.trace.enabled else None
-        lane_label = label or f"{src}->{dst}"
+        lane_label = (label or f"{src}->{dst}") if trace is not None else ""
 
-        def after_tx(interval: object) -> None:
-            start, end = interval  # type: ignore[misc]
+        def after_tx(interval: tuple) -> None:
+            start, end = interval
             if trace is not None and end > start:
                 trace.add(src, kind, start, end, lane_label,
                           resource="nic_tx", term=tx_term)
             if on_sent is not None:
                 on_sent((start, end))
-            rx_done = self.rx[dst].submit(wire, not_before=end + latency)
+            self.rx_leg(src, dst, wire, end + latency, start, submitted_at,
+                        arrival.trigger, kind=kind, rx_term=rx_term,
+                        label=lane_label)
 
-            def on_arrival(interval: object) -> None:
-                rx_start, arr_end = interval  # type: ignore[misc]
-                if trace is not None:
-                    if arr_end > rx_start:
-                        trace.add(dst, kind, rx_start, arr_end, lane_label,
-                                  resource="nic_rx", term=rx_term)
-                    if arr_end > start:
-                        trace.add(src, "in_flight", start, arr_end, lane_label,
-                                  resource="link", term="")
-                self._latencies.append(arr_end - submitted_at)
-                arrival.trigger(interval)
-
-            rx_done.add_callback(on_arrival)
-
-        tx_done.add_callback(after_tx)
+        self.tx[src].submit_call(wire, after_tx)
         return arrival
+
+    def rx_leg(
+        self,
+        src: int,
+        dst: int,
+        wire: float,
+        not_before: float,
+        tx_start: float,
+        submitted_at: float,
+        complete: Callable[[tuple[float, float]], None],
+        *,
+        kind: str = "wire",
+        rx_term: str = "B1",
+        label: str = "",
+    ) -> None:
+        """Receiver half of a transmission: occupy ``rx[dst]`` for
+        ``wire`` starting no earlier than ``not_before``, record the
+        ``nic_rx``/``link`` trace intervals and the end-to-end latency
+        sample, then call ``complete((rx_start, arr_end))``.
+
+        Factored out of :meth:`transmit` so a rank-sharded run
+        (:mod:`repro.sim.sharding`) can execute it on the *receiving*
+        shard's network while the TX half ran on the sender's shard.
+        Placement depends only on the relative submission order per
+        ``rx[dst]``, which sharded runs preserve.
+        """
+        trace = self.trace if self.trace is not None and self.trace.enabled else None
+
+        def on_arrival(interval: tuple) -> None:
+            rx_start, arr_end = interval
+            if trace is not None:
+                if arr_end > rx_start:
+                    trace.add(dst, kind, rx_start, arr_end, label,
+                              resource="nic_rx", term=rx_term)
+                if arr_end > tx_start:
+                    trace.add(src, "in_flight", tx_start, arr_end, label,
+                              resource="link", term="")
+            self._record_latency(arr_end - submitted_at)
+            complete(interval)
+
+        self.rx[dst].submit_call(wire, on_arrival, not_before=not_before)
 
     def stats(self) -> dict:
         """Aggregate traffic statistics: totals, per-node bytes, the

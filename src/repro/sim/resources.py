@@ -9,6 +9,8 @@ callbacks.  Busy time is tracked for utilisation reports.
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro.sim.core import Event, Simulator
 
 __all__ = ["FifoResource"]
@@ -40,6 +42,27 @@ class FifoResource:
         self.busy_time = 0.0
         self.jobs_served = 0
 
+    def _place(self, duration: float, not_before: float) -> tuple[float, float]:
+        """Assign the job to the earliest-free server; returns (start, end)."""
+        free = self._free_at
+        # FIFO across servers: the job takes the earliest-free server.
+        if self.servers == 1:
+            k = 0
+            start = free[0]
+        else:
+            k = min(range(self.servers), key=free.__getitem__)
+            start = free[k]
+        if not_before > start:
+            start = not_before
+        now = self.sim.now
+        if now > start:
+            start = now
+        end = start + duration
+        free[k] = end
+        self.busy_time += duration
+        self.jobs_served += 1
+        return start, end
+
     def submit(self, duration: float, not_before: float = 0.0) -> Event:
         """Enqueue a job; returns the event triggered at completion.
 
@@ -48,16 +71,31 @@ class FifoResource:
         """
         if duration < 0:
             raise ValueError(f"negative job duration: {duration}")
-        # FIFO across servers: the job takes the earliest-free server.
-        k = min(range(self.servers), key=lambda i: self._free_at[i])
-        start = max(self._free_at[k], not_before, self.sim.now)
-        end = start + duration
-        self._free_at[k] = end
-        self.busy_time += duration
-        self.jobs_served += 1
-        done = Event(self.sim, name=f"{self.name}.job{self.jobs_served}")
+        start, end = self._place(duration, not_before)
+        done = Event(self.sim, name=self.name)
         self.sim.schedule_call(end - self.sim.now, done.trigger, (start, end))
         return done
+
+    def submit_call(self, duration: float,
+                    callback: "Callable[[tuple[float, float]], None]",
+                    not_before: float = 0.0) -> None:
+        """Like :meth:`submit`, but invokes ``callback((start, end))`` at
+        completion without allocating an :class:`Event`.
+
+        The callback fires through the same two scheduler hops as an
+        event trigger would (completion entry, then a zero-delay entry),
+        so runs are bit-identical whichever form a caller uses — this is
+        the allocation-free fast path for single-waiter pipelines.
+        """
+        if duration < 0:
+            raise ValueError(f"negative job duration: {duration}")
+        start, end = self._place(duration, not_before)
+        self.sim.schedule_call(end - self.sim.now, self._fire,
+                               (callback, start, end))
+
+    def _fire(self, packed: tuple) -> None:
+        callback, start, end = packed
+        self.sim.schedule_call(0.0, callback, (start, end))
 
     @property
     def free_at(self) -> float:

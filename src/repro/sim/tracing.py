@@ -91,7 +91,7 @@ def merged_length(intervals: Iterable[tuple[float, float]]) -> float:
     return total
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceRecord:
     """One activity interval on one resource lane of one rank.
 
@@ -124,13 +124,34 @@ class Trace:
     set is derived from the records and idle ranks silently vanish.
     """
 
-    def __init__(self, enabled: bool = True, num_ranks: int | None = None):
+    def __init__(self, enabled: bool = True, num_ranks: int | None = None,
+                 *, streaming: bool = False):
         if num_ranks is not None and num_ranks <= 0:
             raise ValueError("num_ranks must be positive")
         self.enabled = enabled
         self.num_ranks = num_ranks
+        self.streaming = streaming
         self.records: list[TraceRecord] = []
         self.counters: dict[str, int] = {}
+        # Streaming accumulators: one flat dict per queryable term
+        # aggregation, each folded in record-arrival order so every
+        # aggregate is bit-equal to the full-record fold (same additions,
+        # same order).  Busy time keeps one open union component per rank
+        # ([cur_start, cur_end, closed_total]); ``add`` requires per-rank
+        # nondecreasing starts for busy kinds, which the recording
+        # discipline guarantees (busy intervals start at record time).
+        self._term_total: dict[str, float] = {}
+        self._rank_term: dict[tuple, float] = {}
+        self._res_term: dict[tuple, float] = {}
+        self._rank_res_term: dict[tuple, float] = {}
+        self._busy: dict[int, list[float]] = {}
+        self._max_end = 0.0
+        # Lazy per-rank index over ``records`` (full mode): built on the
+        # first per-rank query and rebuilt whenever records were added
+        # since, so a mean-utilisation sweep over R ranks costs
+        # O(records + R) instead of O(records × R).
+        self._by_rank: dict[int, list[TraceRecord]] = {}
+        self._indexed = 0
 
     def bump(self, name: str, n: int = 1) -> None:
         """Increment a named counter (recorded regardless of ``enabled`` —
@@ -156,16 +177,72 @@ class Trace:
             raise ValueError(f"trace interval ends before it starts: {start}..{end}")
         if term is None:
             term = KIND_TERMS.get(kind, "")
-        self.records.append(
-            TraceRecord(rank, kind, start, end, label, resource, term)
-        )
+        if not self.streaming:
+            self.records.append(
+                TraceRecord(rank, kind, start, end, label, resource, term)
+            )
+            return
+        dur = end - start
+        if term:
+            acc = self._term_total
+            acc[term] = acc.get(term, 0.0) + dur
+            acc = self._rank_term
+            key = (rank, term)
+            acc[key] = acc.get(key, 0.0) + dur
+            acc = self._res_term
+            key = (resource, term)
+            acc[key] = acc.get(key, 0.0) + dur
+            acc = self._rank_res_term
+            key = (rank, resource, term)
+            acc[key] = acc.get(key, 0.0) + dur
+        if resource == "cpu" and kind in CPU_BUSY_KINDS:
+            comp = self._busy.get(rank)
+            if comp is None:
+                self._busy[rank] = [start, end, 0.0]
+            elif start > comp[1]:
+                # Gap: close the open union component, open a new one.
+                comp[2] += comp[1] - comp[0]
+                comp[0] = start
+                comp[1] = end
+            else:
+                if start < comp[0]:
+                    raise ValueError(
+                        "streaming trace requires nondecreasing busy-"
+                        f"interval starts per rank (rank {rank}: {start} "
+                        f"after component starting {comp[0]})"
+                    )
+                if end > comp[1]:
+                    comp[1] = end
+        if end > self._max_end:
+            self._max_end = end
+
+    def _require_records(self, what: str) -> None:
+        if self.streaming:
+            raise RuntimeError(
+                f"{what} needs retained records; this Trace runs in "
+                "streaming mode (O(ranks) aggregates only) — rerun with "
+                'trace="full"'
+            )
+
+    def _rank_records(self, rank: int) -> list[TraceRecord]:
+        """Records of one rank via the lazy index (record order preserved)."""
+        if self._indexed != len(self.records):
+            by_rank: dict[int, list[TraceRecord]] = {}
+            for r in self.records:
+                try:
+                    by_rank[r.rank].append(r)
+                except KeyError:
+                    by_rank[r.rank] = [r]
+            self._by_rank = by_rank
+            self._indexed = len(self.records)
+        return self._by_rank.get(rank, [])
 
     def for_rank(self, rank: int, resource: str | None = None) -> list[TraceRecord]:
         """Records of one rank, optionally restricted to one lane."""
-        return [
-            r for r in self.records
-            if r.rank == rank and (resource is None or r.resource == resource)
-        ]
+        self._require_records("for_rank()")
+        if resource is None:
+            return list(self._rank_records(rank))
+        return [r for r in self._rank_records(rank) if r.resource == resource]
 
     def ranks(self) -> list[int]:
         """All world ranks when ``num_ranks`` is declared (idle ranks
@@ -193,11 +270,22 @@ class Trace:
         exceeds the span they cover (raw-duration summation would double
         count, e.g. a compute interval bracketed by a blocking-send charge).
         """
+        if self.streaming:
+            if resource != "cpu" or set(kinds) != CPU_BUSY_KINDS:
+                raise RuntimeError(
+                    "a streaming Trace only aggregates CPU busy time over "
+                    "the default busy kinds; use full-record mode for "
+                    "custom busy-time queries"
+                )
+            comp = self._busy.get(rank)
+            if comp is None:
+                return 0.0
+            return comp[2] + (comp[1] - comp[0])
         kindset = set(kinds)
         return merged_length(
             (r.start, r.end)
-            for r in self.records
-            if r.rank == rank and r.resource == resource and r.kind in kindset
+            for r in self._rank_records(rank)
+            if r.resource == resource and r.kind in kindset
         )
 
     def utilization(self, rank: int, horizon: float) -> float:
@@ -225,6 +313,8 @@ class Trace:
         return sum(self.utilization(r, horizon) for r in ranks) / len(ranks)
 
     def end_time(self) -> float:
+        if self.streaming:
+            return self._max_end
         return max((r.end for r in self.records), default=0.0)
 
     # -- term attribution ------------------------------------------------------
@@ -234,11 +324,26 @@ class Trace:
     ) -> dict[str, float]:
         """Total attributed seconds per cost term (A1/A2/A3/B1–B4), for
         one rank or the whole world.  Unattributed intervals are ignored."""
+        if self.streaming:
+            if rank is None and resource is None:
+                return dict(self._term_total)
+            if resource is None:
+                return {
+                    t: v for (r, t), v in self._rank_term.items() if r == rank
+                }
+            if rank is None:
+                return {
+                    t: v for (res, t), v in self._res_term.items()
+                    if res == resource
+                }
+            return {
+                t: v for (r, res, t), v in self._rank_res_term.items()
+                if r == rank and res == resource
+            }
         totals: dict[str, float] = {}
-        for r in self.records:
+        records = self.records if rank is None else self._rank_records(rank)
+        for r in records:
             if not r.term:
-                continue
-            if rank is not None and r.rank != rank:
                 continue
             if resource is not None and r.resource != resource:
                 continue
@@ -273,6 +378,7 @@ class Trace:
         ``time_unit`` converts simulation seconds to the format's
         microsecond timestamps (default: 1 sim second = 1e6 µs).
         """
+        self._require_records("Chrome-trace export")
         resources = self.resources()
         pids = {res: k for k, res in enumerate(resources)}
         events: list[dict] = []

@@ -47,6 +47,76 @@ class TestScheduling:
         with pytest.raises(RuntimeError, match="livelock"):
             sim.run(max_events=100)
 
+    @pytest.mark.parametrize("backend", ["heap", "calendar"])
+    def test_max_events_exact_cutoff(self, backend):
+        # Exactly max_events callbacks execute; the next one raises
+        # *before* running, and event_count counts only executed ones.
+        sim = Simulator(queue=backend)
+        ran = []
+
+        def reschedule():
+            ran.append(sim.now)
+            sim.schedule(0.0, reschedule)
+
+        sim.schedule(0.0, reschedule)
+        with pytest.raises(RuntimeError, match="livelock"):
+            sim.run(max_events=7)
+        assert len(ran) == 7
+        assert sim.event_count == 7
+
+    @pytest.mark.parametrize("backend", ["heap", "calendar"])
+    def test_max_events_boundary_completes(self, backend):
+        # A run needing exactly max_events callbacks must NOT raise.
+        sim = Simulator(queue=backend)
+        ran = []
+        for k in range(7):
+            sim.schedule(float(k), lambda k=k: ran.append(k))
+        assert sim.run(max_events=7) == 6.0
+        assert ran == list(range(7))
+        assert sim.event_count == 7
+
+    def test_schedule_call_at_fires_at_exact_instant(self):
+        # schedule_call_at(t, ...) must land at *exactly* t — the
+        # relative form now + (t - now) can round one ulp past t.
+        sim = Simulator()
+        hits = []
+        sim.schedule_call_at(1.5, hits.append, "outer")
+        sim.schedule(
+            1.0, lambda: sim.schedule_call_at(1.5, hits.append, "inner")
+        )
+        t = 0.1 + 0.7  # 0.7999999999999999: now + (t - now) != t
+        sim2 = Simulator()
+        at = []
+        sim2.schedule(
+            0.1, lambda: sim2.schedule_call_at(t, lambda _: at.append(sim2.now),
+                                               None)
+        )
+        assert sim.run() == 1.5
+        assert hits == ["outer", "inner"]
+        sim2.run()
+        assert at == [t]
+
+    def test_schedule_call_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError, match="past"):
+            sim.schedule_call_at(0.5, lambda _: None, None)
+
+    def test_schedule_call_at_current_instant_is_fifo(self):
+        # At the current instant the call joins the zero-delay lane,
+        # after anything already queued there.
+        sim = Simulator()
+        order = []
+
+        def at_t1():
+            sim.schedule_call(0.0, order.append, "queued-first")
+            sim.schedule_call_at(sim.now, order.append, "then-at")
+
+        sim.schedule(1.0, at_t1)
+        sim.run()
+        assert order == ["queued-first", "then-at"]
+
     def test_nested_scheduling_advances_time(self):
         sim = Simulator()
         times = []

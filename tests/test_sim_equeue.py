@@ -1,0 +1,245 @@
+"""Differential and unit tests for the pluggable event queues.
+
+The calendar queue must reproduce the heap's ``(time, seq)`` pop order
+*exactly* — every experiment's bit-identity across queue backends
+depends on it — so the core of this file is randomized differential
+testing: interleaved push/pop schedules drawn from several timestamp
+distributions (uniform, bursty, far-future, simultaneous) executed
+against both backends, plus whole-simulation runs comparing final trace
+state.
+"""
+
+import random
+
+import pytest
+
+from repro.ir.loopnest import IterationSpace
+from repro.kernels.stencil import sqrt_kernel_3d
+from repro.kernels.workloads import StencilWorkload
+from repro.model.machine import pentium_cluster
+from repro.runtime.executor import run_tiled
+from repro.sim.core import Simulator
+from repro.sim.equeue import CalendarQueue, EventQueue, HeapQueue
+
+
+def _drain(q: EventQueue) -> list:
+    out = []
+    while q:
+        out.append(q.pop())
+    return out
+
+
+def _entries(times, start_seq=0):
+    return [(t, start_seq + k, None, None) for k, t in enumerate(times)]
+
+
+class TestHeapQueue:
+    def test_pop_order(self):
+        q = HeapQueue()
+        for e in _entries([3.0, 1.0, 2.0]):
+            q.push(e)
+        assert [e[0] for e in _drain(q)] == [1.0, 2.0, 3.0]
+
+    def test_peek_matches_pop(self):
+        q = HeapQueue()
+        for e in _entries([2.0, 1.0]):
+            q.push(e)
+        assert q.peek() == (1.0, 1, None, None)
+        assert q.pop() == (1.0, 1, None, None)
+        assert len(q) == 1
+
+    def test_empty(self):
+        q = HeapQueue()
+        assert not q
+        assert q.peek() is None
+
+
+class TestCalendarQueue:
+    def test_pop_order_simple(self):
+        q = CalendarQueue()
+        for e in _entries([5.0, 0.5, 2.5, 2.5, 9.0]):
+            q.push(e)
+        assert [e[0] for e in _drain(q)] == [0.5, 2.5, 2.5, 5.0, 9.0]
+
+    def test_seq_breaks_time_ties(self):
+        q = CalendarQueue(width=1.0)
+        q.push((1.0, 7, None, None))
+        q.push((1.0, 3, None, None))
+        q.push((1.0, 5, None, None))
+        assert [e[1] for e in _drain(q)] == [3, 5, 7]
+
+    def test_far_future_entries_use_overflow(self):
+        q = CalendarQueue(width=1.0, nbuckets=4)
+        q.push((0.5, 0, None, None))
+        q.push((1000.0, 1, None, None))  # far past the 4-bucket horizon
+        assert q.overflow_len == 1
+        assert [e[0] for e in _drain(q)] == [0.5, 1000.0]
+
+    def test_idle_gap_skipped(self):
+        # Years between 1.0 and 1e6 are all empty; the pop after the
+        # first entry must jump the window rather than walk buckets.
+        q = CalendarQueue(width=0.25, nbuckets=8)
+        q.push((1.0, 0, None, None))
+        q.push((1e6, 1, None, None))
+        assert q.pop()[0] == 1.0
+        assert q.pop()[0] == 1e6
+
+    def test_late_push_clamps_into_current_bucket(self):
+        q = CalendarQueue(width=1.0, nbuckets=8)
+        for e in _entries([0.5, 5.5]):
+            q.push(e)
+        assert q.pop()[0] == 0.5
+        # 0.1 is numerically before the drain point; it must still pop
+        # before 5.5 (clamped into the current bucket, heap-ordered).
+        q.push((0.1, 2, None, None))
+        assert [e[0] for e in _drain(q)] == [0.1, 5.5]
+
+    def test_bootstrap_without_width(self):
+        q = CalendarQueue()
+        for e in _entries([float(k) for k in range(100)]):
+            q.push(e)
+        assert q.width > 0.0
+        assert [e[0] for e in _drain(q)] == [float(k) for k in range(100)]
+
+    def test_all_simultaneous(self):
+        q = CalendarQueue()
+        for e in _entries([4.25] * 50):
+            q.push(e)
+        assert [e[1] for e in _drain(q)] == list(range(50))
+
+    def test_resize_triggers_and_preserves_order(self):
+        q = CalendarQueue(width=100.0, nbuckets=2, bucket_cap=8)
+        # Tight spacing vs the huge width crowds one bucket; interleave
+        # pops so the gap EMA exists and the resize can fire.
+        rng = random.Random(7)
+        times = sorted(rng.uniform(0, 1) for _ in range(64))
+        out = []
+        for k, t in enumerate(times):
+            q.push((t, k, None, None))
+            if k % 8 == 7:
+                out.append(q.pop())
+        out.extend(_drain(q))
+        assert q.resizes >= 1
+        assert out == sorted(out)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            CalendarQueue(width=0.0)
+        with pytest.raises(ValueError):
+            CalendarQueue(nbuckets=1)
+        with pytest.raises(IndexError):
+            CalendarQueue().pop()
+
+
+def _random_schedule(rng: random.Random, n: int, mode: str):
+    """An interleaved push/pop schedule; yields ('push', entry) and
+    ('pop',) operations with pushes always outnumbering pops so far."""
+    seq = 0
+    live = 0
+    now = 0.0
+    for _ in range(n):
+        if live and rng.random() < 0.4:
+            live -= 1
+            yield ("pop",)
+            continue
+        if mode == "uniform":
+            t = now + rng.uniform(0.0, 10.0)
+        elif mode == "bursty":
+            t = now + (0.0 if rng.random() < 0.5 else rng.uniform(0.0, 1e-3))
+        elif mode == "farfuture":
+            t = now + (rng.uniform(0.0, 1.0) if rng.random() < 0.8
+                       else rng.uniform(1e3, 1e6))
+        else:  # ties
+            t = now + rng.choice([0.0, 0.0, 0.5, 0.5, 1.0])
+        yield ("push", (t, seq, None, None))
+        seq += 1
+        live += 1
+
+
+@pytest.mark.parametrize("mode", ["uniform", "bursty", "farfuture", "ties"])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+class TestDifferential:
+    def test_identical_pop_order(self, mode, seed):
+        rng = random.Random(seed)
+        ops = list(_random_schedule(rng, 600, mode))
+        heap, cal = HeapQueue(), CalendarQueue(nbuckets=4, bucket_cap=8)
+        now = 0.0
+        for op in ops:
+            if op[0] == "push":
+                # Monotonic sim time: pushes are relative to the last pop.
+                entry = (now + op[1][0], op[1][1], None, None)
+                heap.push(entry)
+                cal.push(entry)
+            else:
+                a, b = heap.pop(), cal.pop()
+                assert a == b
+                now = a[0]
+        assert _drain(heap) == _drain(cal)
+
+    def test_peek_agrees(self, mode, seed):
+        rng = random.Random(seed + 100)
+        heap, cal = HeapQueue(), CalendarQueue(nbuckets=4, bucket_cap=8)
+        for op in _random_schedule(rng, 300, mode):
+            if op[0] == "push":
+                heap.push(op[1])
+                cal.push(op[1])
+            else:
+                assert heap.peek() == cal.peek()
+                assert heap.pop() == cal.pop()
+        while heap:
+            assert heap.peek() == cal.peek()
+            assert heap.pop() == cal.pop()
+
+
+class TestSimulatorBackends:
+    def test_simulator_rejects_unknown_backend(self):
+        with pytest.raises(ValueError):
+            Simulator(queue="fibonacci")
+
+    def test_accepts_queue_instance(self):
+        sim = Simulator(queue=CalendarQueue())
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [1.0]
+
+    def test_calendar_run_matches_heap_run(self):
+        order = {}
+        for backend in ("heap", "calendar"):
+            sim = Simulator(queue=backend)
+            log = []
+            rng = random.Random(42)
+
+            def proc(name, sim=sim, log=log, rng=rng):
+                def body():
+                    log.append((sim.now, name))
+                    if len(log) < 400:
+                        sim.schedule(rng.choice([0.0, 0.1, 1.0, 250.0]),
+                                     body)
+                return body
+
+            for k in range(5):
+                sim.schedule(0.0, proc(k))
+            sim.run()
+            order[backend] = log
+        assert order["heap"] == order["calendar"]
+
+    def test_full_run_identical_trace_state(self):
+        """Whole-workload differential: both backends must produce the
+        same completion time, message count and final trace records."""
+        w = StencilWorkload(
+            "equeue-diff", IterationSpace.from_extents([8, 8, 64]),
+            sqrt_kernel_3d(), (2, 2, 1), 2,
+        )
+        m = pentium_cluster()
+        results = {
+            backend: run_tiled(w, 8, m, blocking=False, trace=True,
+                               queue=backend)
+            for backend in ("heap", "calendar")
+        }
+        a, b = results["heap"], results["calendar"]
+        assert repr(a.completion_time) == repr(b.completion_time)
+        assert a.messages_sent == b.messages_sent
+        assert a.event_count == b.event_count
+        assert a.trace.records == b.trace.records
+        assert a.network_stats == b.network_stats

@@ -1,0 +1,88 @@
+"""Streaming-trace parity: O(ranks) aggregates vs full recording.
+
+``trace="streaming"`` folds intervals into per-rank aggregates as they
+close instead of retaining every record.  The contract is *bit-equality*
+with full mode for everything the experiments read — per-rank term
+attribution, busy and side time, counters, utilization — on the paper's
+three experiment workloads, under both schedules, and under seeded
+fault injection.  These tests pin that contract.
+"""
+
+import pytest
+
+from repro.experiments.cli import _workload
+from repro.model.machine import pentium_cluster
+from repro.runtime.executor import run_tiled, run_tiled_robust
+from repro.sim.faults import FaultPlan
+
+
+V = 64
+
+
+def _pair(key, *, blocking):
+    """One workload simulated twice: full trace and streaming trace."""
+    w, m = _workload(key, full=False), pentium_cluster()
+    full = run_tiled(w, V, m, blocking=blocking, trace=True)
+    stream = run_tiled(w, V, m, blocking=blocking, trace="streaming")
+    return w, full, stream
+
+
+def _assert_aggregate_parity(w, full, stream):
+    assert repr(stream.completion_time) == repr(full.completion_time)
+    assert stream.messages_sent == full.messages_sent
+    assert repr(stream.mean_cpu_utilization) == repr(
+        full.mean_cpu_utilization
+    )
+    ft, st = full.trace, stream.trace
+    assert dict(st.counters) == dict(ft.counters)
+    for rank in range(w.num_processors):
+        assert {k: repr(v) for k, v in st.term_seconds(rank).items()} == \
+            {k: repr(v) for k, v in ft.term_seconds(rank).items()}, rank
+        assert repr(st.busy_time(rank)) == repr(ft.busy_time(rank)), rank
+        assert tuple(map(repr, st.side_seconds(rank))) == \
+            tuple(map(repr, ft.side_seconds(rank))), rank
+
+
+@pytest.mark.parametrize("key", ["i", "ii", "iii"])
+class TestExperimentParity:
+    def test_nonoverlapping_schedule(self, key):
+        _assert_aggregate_parity(*_pair(key, blocking=True))
+
+    def test_overlapping_schedule(self, key):
+        _assert_aggregate_parity(*_pair(key, blocking=False))
+
+
+class TestStreamingDiscipline:
+    def test_streaming_retains_no_records(self):
+        _w, full, stream = _pair("i", blocking=False)
+        assert stream.trace.records == []
+        assert len(full.trace.records) > 0
+
+    def test_streaming_flag(self):
+        _w, full, stream = _pair("iii", blocking=True)
+        assert stream.trace.streaming
+        assert not full.trace.streaming
+
+
+class TestFaultInjectionParity:
+    def test_faulted_run_parity(self):
+        # Jitter + degradation windows + seeded drops: fates are keyed
+        # by message identity, so both trace modes see identical runs
+        # and must fold identical aggregates and fault counters.
+        w, m = _workload("i", full=False), pentium_cluster()
+        faults = FaultPlan(seed=7, jitter=2e-5)
+        runs = {
+            mode: run_tiled_robust(w, V, m, blocking=False, faults=faults,
+                                   trace=mode)
+            for mode in (True, "streaming")
+        }
+        full, stream = runs[True], runs["streaming"]
+        assert full.status == stream.status
+        assert repr(stream.completion_time) == repr(full.completion_time)
+        assert stream.outcome.messages_sent == full.outcome.messages_sent
+        ft, st = full.trace, stream.trace
+        assert dict(st.counters) == dict(ft.counters)
+        for rank in range(w.num_processors):
+            assert {k: repr(v) for k, v in st.term_seconds(rank).items()} \
+                == {k: repr(v) for k, v in ft.term_seconds(rank).items()}
+            assert repr(st.busy_time(rank)) == repr(ft.busy_time(rank))
