@@ -1,0 +1,166 @@
+#!/usr/bin/env python
+"""Benchmark the crash-resilient execution layer on the F9 sweep batch.
+
+Times the PR-1 sweep benchmark batch (16×16×16384, both schedules, the
+benchmark height grid) through the engine's worker pool three ways:
+
+* ``plain``      — the unsupervised ``ProcessPoolExecutor`` fan-out
+  (the pre-supervision execution layer, ``supervised=False``),
+* ``supervised`` — the same batch under the crash/hang supervisor
+  (heartbeats, deadlines, retry bookkeeping) with no faults injected —
+  the *overhead* case,
+* ``chaos``      — the supervised batch with a seeded harness-chaos
+  plan that kills workers mid-batch, every casualty respawned and
+  retried — the *recovery-cost* case.
+
+It then kills a journaled sweep halfway and resumes it, reporting the
+"no redundant simulation" accounting (runs served from the journal vs
+re-simulated).
+
+Writes ``BENCH_resilience.json`` at the repository root.  The pass gate
+is the ISSUE-7 acceptance bar: supervision overhead below 5% on the
+fault-free batch (smoke runs use a looser 30% bar — tiny batches are
+dominated by pool startup, which both modes pay but noisily).
+
+Usage:  PYTHONPATH=src python scripts/bench_resilience.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import tempfile
+import time
+
+from repro.experiments.cache import key_digest, run_key
+from repro.experiments.engine import Engine
+from repro.experiments.journal import RunJournal
+from repro.experiments.supervisor import HarnessChaosPlan
+from repro.kernels.workloads import paper_experiment_i
+from repro.model.machine import pentium_cluster
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+# The PR-1 sweep benchmark's height grid (scripts/bench_sweep.py).
+HEIGHTS = [8, 12, 16, 32, 64, 128, 192, 256, 350, 444, 600, 1024, 2048, 4096]
+
+
+def _interleaved_best(reps, *fns):
+    """Best-of-``reps`` wall time per workload, with the workloads
+    interleaved inside each rep so machine-load drift between phases
+    cannot masquerade as overhead."""
+    best = [float("inf")] * len(fns)
+    for _ in range(reps):
+        for i, fn in enumerate(fns):
+            t0 = time.perf_counter()
+            fn()
+            best[i] = min(best[i], time.perf_counter() - t0)
+    return best
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="thin height grid + 1 rep (CI smoke only)")
+    parser.add_argument("--jobs", type=int, default=None)
+    parser.add_argument("--out",
+                        default=str(REPO_ROOT / "BENCH_resilience.json"))
+    args = parser.parse_args(argv)
+
+    heights = HEIGHTS[1::3] if args.smoke else HEIGHTS
+    reps = 1 if args.smoke else 3
+    workload = paper_experiment_i()
+    machine = pentium_cluster()
+    # At least 2: with one job the engine bypasses the pool entirely and
+    # there is no execution layer to measure.
+    jobs = args.jobs or max(2, os.cpu_count() or 1)
+    pairs = [(h, b) for h in heights for b in (True, False)]
+
+    print(f"resilience bench: {len(pairs)} runs, jobs={jobs}, reps={reps}",
+          file=sys.stderr)
+
+    print("plain vs supervised pool (interleaved reps) ...", file=sys.stderr)
+    t_plain, t_sup = _interleaved_best(
+        reps,
+        lambda: Engine(jobs=jobs, cache=None, supervised=False)
+        .run_batch(workload, machine, pairs),
+        lambda: Engine(jobs=jobs, cache=None)
+        .run_batch(workload, machine, pairs),
+    )
+
+    # Recovery cost: seeded worker kills mid-batch (probe the first seed
+    # that actually fells someone, so the number is never vacuous).
+    digests = [
+        key_digest(run_key(workload, h, machine, blocking=b, method="sim"))
+        for h, b in pairs
+    ]
+    plan = None
+    for seed in range(64):
+        candidate = HarnessChaosPlan(seed=seed, kill_prob=0.25)
+        if any(candidate.worker_fate(d, 0) for d in digests):
+            plan = candidate
+            break
+    print(f"supervised pool + worker kills (seed {plan.seed}) ...",
+          file=sys.stderr)
+    chaos_engine = Engine(jobs=jobs, cache=None, harness_chaos=plan)
+    t0 = time.perf_counter()
+    chaos_engine.run_batch(workload, machine, pairs)
+    t_chaos = time.perf_counter() - t0
+    stats = chaos_engine.supervisor_stats
+
+    # Resume accounting: journal half the batch, "crash", resume all.
+    print("killed + resumed sweep ...", file=sys.stderr)
+    with tempfile.TemporaryDirectory() as td:
+        path = os.path.join(td, "campaign.jsonl")
+        survivors = pairs[: len(pairs) // 2]
+        with RunJournal(path) as journal:
+            Engine(jobs=jobs, cache=None, journal=journal).run_batch(
+                workload, machine, survivors
+            )
+        t0 = time.perf_counter()
+        with RunJournal(path) as journal:
+            Engine(jobs=jobs, cache=None, journal=journal).run_batch(
+                workload, machine, pairs
+            )
+            served = journal.stats.served
+        t_resume = time.perf_counter() - t0
+
+    overhead = t_sup / t_plain - 1.0
+    report = {
+        "workload": workload.name,
+        "machine": "pentium_cluster",
+        "heights": list(heights),
+        "runs": len(pairs),
+        "jobs": jobs,
+        "reps": reps,
+        "plain_pool_seconds": round(t_plain, 4),
+        "supervised_seconds": round(t_sup, 4),
+        "supervision_overhead": round(overhead, 4),
+        "chaos_seconds": round(t_chaos, 4),
+        "chaos_recovery_cost": round(t_chaos / t_sup - 1.0, 4),
+        "chaos_crashes_recovered": stats.crashed,
+        "chaos_worker_respawns": stats.respawns,
+        "resume_seconds": round(t_resume, 4),
+        "resume_served_from_journal": served,
+        "resume_resimulated": len(pairs) - served,
+        "smoke": args.smoke,
+    }
+    pathlib.Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+
+    bar = 0.30 if args.smoke else 0.05
+    ok = (
+        overhead < bar
+        and stats.crashed > 0
+        and served == len(pairs) // 2
+    )
+    print("PASS" if ok else f"FAIL (overhead {overhead:.1%}, bar {bar:.0%})",
+          file=sys.stderr)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

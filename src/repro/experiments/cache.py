@@ -35,7 +35,13 @@ from dataclasses import asdict, dataclass, field
 from repro.kernels.workloads import StencilWorkload
 from repro.model.machine import Machine
 
-__all__ = ["CacheStats", "SimCache", "default_cache_dir", "run_key"]
+__all__ = [
+    "CacheStats",
+    "SimCache",
+    "default_cache_dir",
+    "key_digest",
+    "run_key",
+]
 
 CACHE_SCHEMA_VERSION = 1
 
@@ -84,19 +90,33 @@ def run_key(
     return spec
 
 
-def _digest(spec: dict) -> str:
+def key_digest(spec: dict) -> str:
+    """The stable SHA-256 content address of one run-key spec — the
+    entry filename stem, and the key run journals record."""
     canonical = json.dumps(spec, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode()).hexdigest()
 
 
+_digest = key_digest
+
+
 @dataclass
 class CacheStats:
-    """Hit/miss accounting for one cache instance."""
+    """Hit/miss accounting for one cache instance.
+
+    ``corrupt`` counts entries that existed on disk but failed to parse
+    — truncated or half-written JSON, the signature of a crash or disk
+    fault mid-write.  Each one also counts in ``errors`` (any I/O or
+    decode problem) and ``misses`` (the simulation re-runs), but the
+    dedicated counter is the warning signal: a nonzero value on a
+    healthy disk means writes are being interrupted.
+    """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
     errors: int = 0
+    corrupt: int = 0
 
     @property
     def lookups(self) -> int:
@@ -105,7 +125,8 @@ class CacheStats:
     def describe(self) -> str:
         return (
             f"{self.hits} hits / {self.misses} misses"
-            f" ({self.stores} stored, {self.errors} I/O errors)"
+            f" ({self.stores} stored, {self.errors} I/O errors, "
+            f"{self.corrupt} corrupt entries)"
         )
 
 
@@ -143,9 +164,11 @@ class SimCache:
             if not isinstance(payload, dict):
                 raise TypeError("payload must be an object")
         except (ValueError, KeyError, TypeError):
-            # Corrupted entry: fall back to simulation, never crash.
+            # Corrupted (e.g. half-written) entry: fall back to
+            # simulation, never crash.
             self.stats.misses += 1
             self.stats.errors += 1
+            self.stats.corrupt += 1
             return None
         self.stats.hits += 1
         return payload

@@ -36,11 +36,15 @@ __all__ = [
     "CHAOS_VERSION",
     "ChaosPoint",
     "ChaosReport",
+    "HarnessChaosReport",
+    "HarnessScenario",
     "chaos_payload",
     "chaos_spec",
     "chaos_sweep",
     "default_retransmit_timeout",
+    "harness_chaos_report",
     "render_chaos",
+    "render_harness_chaos",
 ]
 
 # Bump when chaos-run semantics change, so cached points are orphaned.
@@ -295,6 +299,244 @@ def chaos_sweep(
         golden_time_overlapping=golden_overlap["completion_time"],
         points=points,
     )
+
+
+# -- harness chaos: fault-inject the *execution layer* itself -----------------
+
+
+@dataclass(frozen=True)
+class HarnessScenario:
+    """Outcome of one harness-chaos recovery scenario.
+
+    ``injected`` counts the faults the seeded plan fired (worker kills,
+    worker hangs, shard deaths, or — for the resume scenario — the runs
+    already journaled before the simulated kill); ``recovered`` counts
+    the recoveries the execution layer performed (retries after crash or
+    timeout, shard respawns, journal-served runs).  ``identical`` is the
+    contract: the disturbed run's results equal the undisturbed golden
+    run's byte for byte.
+    """
+
+    name: str
+    injected: int
+    recovered: int
+    identical: bool
+    detail: str = ""
+
+    def describe(self) -> str:
+        verdict = "bit-identical" if self.identical else "DIVERGED"
+        return (
+            f"{self.name:<13} {self.injected:>8} {self.recovered:>9} "
+            f"{verdict:<13} {self.detail}"
+        )
+
+
+@dataclass(frozen=True)
+class HarnessChaosReport:
+    """Recovery scenarios for the harness itself (see
+    :func:`harness_chaos_report`)."""
+
+    workload_name: str
+    v: int
+    seed: int
+    scenarios: tuple[HarnessScenario, ...]
+
+    @property
+    def all_identical(self) -> bool:
+        """Every scenario recovered to byte-identical results."""
+        return all(s.identical for s in self.scenarios)
+
+
+def _result_bytes(results) -> str:
+    """Canonical JSON of the scalar outcomes — equality here is the
+    "byte-identical" check (floats serialize exactly via repr)."""
+    import json
+
+    return json.dumps(
+        [
+            {
+                "v": r.v,
+                "blocking": r.blocking,
+                "completion_time": r.completion_time,
+                "messages_sent": r.messages_sent,
+                "grain": r.grain,
+            }
+            for r in results
+        ],
+        sort_keys=True,
+    )
+
+
+def harness_chaos_report(
+    workload: StencilWorkload,
+    v: int,
+    machine: Machine,
+    *,
+    seed: int = 0,
+    jobs: int = 2,
+    heights: tuple[int, ...] | None = None,
+    max_events: int = 50_000_000,
+) -> HarnessChaosReport:
+    """Kill and hang the harness at seeded points; prove recovery.
+
+    Four scenarios, each compared byte-for-byte against an undisturbed
+    golden run of the same batch:
+
+    * **worker-kill** — pool workers die (``os._exit``) just before
+      executing seeded task attempts; the supervisor respawns and
+      retries them;
+    * **worker-hang** — pool workers freeze (``SIGSTOP``); the per-task
+      deadline declares them dead and retries elsewhere;
+    * **shard-kill** — a shard process of a sharded run dies mid-window
+      and is respawned + replayed from its window history;
+    * **resume** — a sweep is "killed" halfway (only half the batch was
+      journaled), then restarted with the same journal: the survivors
+      are served without re-simulation and the merged results match.
+
+    The kill/hang seeds are *probed*: starting at ``seed``, the first
+    seed whose plan actually fells at least one task is used, so the
+    scenarios never pass vacuously.
+    """
+    import os
+    import tempfile
+
+    from repro.experiments.cache import key_digest, run_key
+    from repro.experiments.engine import Engine
+    from repro.experiments.journal import RunJournal
+    from repro.experiments.supervisor import HarnessChaosPlan
+    from repro.runtime.executor import run_tiled, run_tiled_sharded
+
+    from repro.experiments.engine import registered_kernels
+
+    if workload.kernel.name not in registered_kernels():
+        raise ValueError(
+            f"kernel {workload.kernel.name!r} is not registered for pool "
+            "fan-out; harness chaos needs real worker processes"
+        )
+    if heights is None:
+        heights = (max(1, v // 2), v)
+    pairs = [(h, b) for h in heights for b in (True, False)]
+    digests = [
+        key_digest(run_key(workload, h, machine, blocking=b, method="sim"))
+        for h, b in pairs
+    ]
+
+    golden = Engine(jobs=jobs, cache=None).run_batch(
+        workload, machine, pairs, max_events=max_events
+    )
+    golden_bytes = _result_bytes(golden)
+    scenarios: list[HarnessScenario] = []
+
+    def probe(kind: str) -> tuple[HarnessChaosPlan, int]:
+        """First seed >= ``seed`` whose plan fells >= 1 task attempt."""
+        for s in range(seed, seed + 64):
+            plan = HarnessChaosPlan(
+                seed=s,
+                kill_prob=0.35 if kind == "kill" else 0.0,
+                hang_prob=0.35 if kind == "hang" else 0.0,
+            )
+            hits = sum(
+                1 for d in digests if plan.worker_fate(d, 0) is not None
+            )
+            if hits:
+                return plan, hits
+        raise RuntimeError("no seed fired within 64 probes")  # pragma: no cover
+
+    # Worker kills: crash recovery via respawn + retry.
+    plan, hits = probe("kill")
+    engine = Engine(jobs=jobs, cache=None, harness_chaos=plan)
+    results = engine.run_batch(workload, machine, pairs, max_events=max_events)
+    scenarios.append(HarnessScenario(
+        name="worker-kill",
+        injected=hits,
+        recovered=engine.supervisor_stats.crashed,
+        identical=_result_bytes(results) == golden_bytes,
+        detail=f"chaos seed {plan.seed}, {engine.supervisor_stats.respawns} "
+               "respawns",
+    ))
+
+    # Worker hangs: deadline detection, kill, retry.
+    plan, hits = probe("hang")
+    engine = Engine(jobs=jobs, cache=None, harness_chaos=plan,
+                    task_timeout=2.0)
+    results = engine.run_batch(workload, machine, pairs, max_events=max_events)
+    scenarios.append(HarnessScenario(
+        name="worker-hang",
+        injected=hits,
+        recovered=engine.supervisor_stats.timed_out,
+        identical=_result_bytes(results) == golden_bytes,
+        detail=f"chaos seed {plan.seed}, task timeout 2.0s",
+    ))
+
+    # Shard death mid-window: respawn + deterministic replay.
+    ref = run_tiled(workload, v, machine, blocking=False,
+                    max_events=max_events)
+    shard_plan = HarnessChaosPlan(seed=seed, shard_kill_prob=0.08)
+    sharded = run_tiled_sharded(
+        workload, v, machine, blocking=False, nshards=2, processes=True,
+        harness_chaos=shard_plan, max_shard_restarts=4,
+        max_events=max_events,
+    )
+    scenarios.append(HarnessScenario(
+        name="shard-kill",
+        injected=sharded.shard_restarts,
+        recovered=sharded.shard_restarts,
+        identical=(
+            sharded.shard_restarts > 0
+            and sharded.completion_time == ref.completion_time
+            and sharded.messages_sent == ref.messages_sent
+        ),
+        detail=f"{sharded.nshards} shards, {sharded.windows} windows",
+    ))
+
+    # Killed sweep + --resume: journal serves the survivors.
+    with tempfile.TemporaryDirectory() as td:
+        path = os.path.join(td, "campaign.jsonl")
+        survivors = pairs[: len(pairs) // 2]
+        with RunJournal(path) as journal:
+            Engine(jobs=jobs, cache=None, journal=journal).run_batch(
+                workload, machine, survivors, max_events=max_events
+            )
+        with RunJournal(path) as journal:  # the restart
+            engine = Engine(jobs=jobs, cache=None, journal=journal)
+            results = engine.run_batch(
+                workload, machine, pairs, max_events=max_events
+            )
+            served = journal.stats.served
+        scenarios.append(HarnessScenario(
+            name="resume",
+            injected=len(survivors),
+            recovered=served,
+            identical=(
+                _result_bytes(results) == golden_bytes
+                and served == len(survivors)
+            ),
+            detail=f"{served}/{len(pairs)} runs served from the journal",
+        ))
+
+    return HarnessChaosReport(
+        workload_name=workload.name,
+        v=v,
+        seed=seed,
+        scenarios=tuple(scenarios),
+    )
+
+
+def render_harness_chaos(report: HarnessChaosReport) -> str:
+    """The harness-chaos scenarios as a fixed-width table."""
+    lines = [
+        f"harness chaos: {report.workload_name} V={report.v} "
+        f"seed={report.seed}",
+        f"{'scenario':<13} {'injected':>8} {'recovered':>9} "
+        f"{'result':<13} detail",
+    ]
+    lines.extend(s.describe() for s in report.scenarios)
+    lines.append(
+        "all scenarios recovered to bit-identical results"
+        if report.all_identical
+        else "RECOVERY FAILURE: a scenario diverged from golden"
+    )
+    return "\n".join(lines)
 
 
 def render_chaos(report: ChaosReport) -> str:

@@ -72,9 +72,20 @@ def _engine(args: argparse.Namespace):
     """The sweep engine configured by the global CLI flags."""
     from repro.experiments.cache import SimCache, default_cache_dir
     from repro.experiments.engine import Engine
+    from repro.experiments.journal import RunJournal
 
     cache = None if args.no_cache else SimCache(default_cache_dir())
-    return Engine(jobs=args.jobs, cache=cache, fastforward=args.fast_forward)
+    journal = None
+    if getattr(args, "resume", None):
+        journal = RunJournal(args.resume)
+        if len(journal):
+            print(
+                f"resuming from {args.resume}: "
+                f"{len(journal)} completed runs on record",
+                file=sys.stderr,
+            )
+    return Engine(jobs=args.jobs, cache=cache, fastforward=args.fast_forward,
+                  journal=journal)
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
@@ -179,7 +190,7 @@ def _cmd_scale(args: argparse.Namespace) -> int:
         res = engine.run_sharded(
             w, args.v, m, blocking=blocking, nshards=args.shards,
             processes=not args.in_process, trace=args.trace,
-            queue=args.queue,
+            queue=args.queue, shard_timeout=args.shard_timeout,
         )
         rows = [
             ("completion time (s)", res.completion_time),
@@ -188,6 +199,8 @@ def _cmd_scale(args: argparse.Namespace) -> int:
             ("shards", res.nshards),
             ("lookahead windows", res.windows),
         ]
+        if res.shard_restarts:
+            rows.append(("shard restarts", res.shard_restarts))
     wall = time.perf_counter() - t0
     if res.event_count:
         rows.append(("wall time (s)", round(wall, 3)))
@@ -203,6 +216,22 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         "chaos-3d", IterationSpace.from_extents([8, 8, args.depth]),
         sqrt_kernel_3d(), (2, 2, 1), 2,
     )
+    if args.harness:
+        from repro.experiments.chaos import (
+            harness_chaos_report,
+            render_harness_chaos,
+        )
+
+        print(
+            f"harness chaos: killing/hanging workers and shards "
+            f"(seed {args.seed}) ...", file=sys.stderr,
+        )
+        report = harness_chaos_report(
+            w, args.v, _machine(args.machine),
+            seed=args.seed, jobs=args.jobs or 2,
+        )
+        print(render_harness_chaos(report))
+        return 0 if report.all_identical else 1
     drop_rates = tuple(float(r) for r in args.drop_rate.split(","))
     print(
         f"chaos sweep over drop rates {list(drop_rates)} "
@@ -422,6 +451,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the persistent simulation result cache",
     )
     parser.add_argument(
+        "--resume", metavar="JOURNAL",
+        help="journal completed runs to this JSONL file and, on restart, "
+             "serve them back instead of re-simulating (crash-safe resume)",
+    )
+    parser.add_argument(
         "--fast-forward", action="store_true",
         help="extrapolate deep pipelines from steady state "
              "(approximate on non-periodic pipelines)",
@@ -451,6 +485,10 @@ def build_parser() -> argparse.ArgumentParser:
     chaos = sub.add_parser(
         "chaos", help="fault-rate sweep with bit-exactness verification"
     )
+    chaos.add_argument("--harness", action="store_true",
+                       help="fault-inject the harness itself (worker "
+                            "kills/hangs, shard death, killed+resumed "
+                            "sweep) and verify bit-identical recovery")
     chaos.add_argument("--seed", type=int, default=0,
                        help="fault-plan seed (fixes the fault stream)")
     chaos.add_argument("--drop-rate", default="0.0,0.01,0.05,0.1",
@@ -483,6 +521,11 @@ def build_parser() -> argparse.ArgumentParser:
     scale.add_argument("--in-process", action="store_true",
                        help="keep all shards in this interpreter "
                             "(default: one OS process per shard)")
+    scale.add_argument("--shard-timeout", type=float, default=None,
+                       metavar="S",
+                       help="declare a silent shard process frozen after "
+                            "this many seconds and respawn+replay it "
+                            "(default: no timeout)")
     scale.add_argument("--queue", default="heap",
                        choices=("heap", "calendar"),
                        help="event-queue backend (results identical)")

@@ -6,7 +6,7 @@ The :class:`Engine` accelerates such batches three ways, all composable
 and all preserving the serial path's results:
 
 1. **Parallel fan-out** — independent runs are distributed over a
-   ``ProcessPoolExecutor`` (``jobs`` workers, default ``os.cpu_count()``)
+   supervised worker pool (``jobs`` workers, default ``os.cpu_count()``)
    with deterministic result ordering.  The simulator is bit-identical
    across replays, so parallel results equal serial results exactly.
 2. **Persistent caching** — outcomes are stored in a content-addressed
@@ -20,6 +20,19 @@ and all preserving the serial path's results:
    ``validate`` mode that cross-checks against full simulation on small
    spaces.
 
+The pool is *supervised* by default (:mod:`repro.experiments.supervisor`):
+worker crashes, hangs and preemptions are recovered by respawn + retry,
+and a task that repeatedly kills its worker is quarantined as a
+structured outcome instead of aborting the batch.  ``supervised=False``
+falls back to a plain ``ProcessPoolExecutor`` (the pre-supervision
+behaviour, kept for overhead benchmarking).
+
+Batches are also *resumable*: give the engine a
+:class:`~repro.experiments.journal.RunJournal` and every completed run
+is appended to an fsynced JSONL file the moment it finishes; a killed
+sweep restarted with the same journal re-simulates only the missing
+runs (CLI: ``--resume``).
+
 Workloads are shipped to worker processes as pure-data specs (kernel
 registry name + extents + grid), since kernels carry closures that do
 not pickle.  Workloads whose kernel is not registered (see
@@ -32,7 +45,7 @@ from __future__ import annotations
 import math
 import os
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import asdict
+from dataclasses import asdict, dataclass
 from typing import Callable, Sequence
 
 from repro.ir.loopnest import IterationSpace
@@ -54,9 +67,18 @@ from repro.sim.fastforward import (
 )
 from repro.sim.tracing import Trace
 
-from repro.experiments.cache import SimCache, run_key
+from repro.experiments.cache import SimCache, key_digest, run_key
+from repro.experiments.journal import RunJournal
+from repro.experiments.supervisor import (
+    HarnessChaosPlan,
+    PoisonTaskError,
+    PoolStats,
+    RetryPolicy,
+    SupervisedPool,
+    TaskOutcome,
+)
 
-__all__ = ["Engine", "register_kernel", "registered_kernels"]
+__all__ = ["Engine", "RunReport", "register_kernel", "registered_kernels"]
 
 # -- kernel registry (cross-process workload reconstruction) -----------------
 
@@ -189,6 +211,30 @@ def _chaos_pool_worker(task: dict) -> dict:
 # -- the engine --------------------------------------------------------------
 
 
+@dataclass(frozen=True)
+class RunReport:
+    """Per-run outcome of :meth:`Engine.run_batch_outcomes`.
+
+    ``source`` says where the payload came from: ``"journal"`` (resumed
+    from a :class:`~repro.experiments.journal.RunJournal`), ``"cache"``
+    (the persistent :class:`SimCache`) or ``"sim"`` (freshly simulated
+    this call).  ``outcome`` carries the supervisor's per-task record
+    for pool-executed runs (``None`` for served/in-process runs);
+    ``result`` is ``None`` exactly when the run ultimately failed.
+    """
+
+    v: int
+    blocking: bool
+    digest: str
+    source: str
+    result: ExecutionResult | None
+    outcome: TaskOutcome | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None
+
+
 class Engine:
     """Accelerated executor for batches of independent simulated runs.
 
@@ -209,6 +255,24 @@ class Engine:
         simulation whenever the space is small enough
         (``validate_max_tiles``); mismatches beyond ``validate_rtol``
         fall back to the full-simulation number.
+    supervised:
+        Run the worker pool under the crash/hang supervisor (default).
+        ``False`` restores the plain ``ProcessPoolExecutor`` fan-out,
+        where one worker death aborts the batch.
+    task_timeout:
+        Wall-clock budget per pool task (supervised mode); ``None``
+        (default) relies on heartbeat monitoring alone.
+    retry:
+        :class:`~repro.experiments.supervisor.RetryPolicy` for crashed or
+        timed-out pool tasks.
+    journal:
+        A :class:`~repro.experiments.journal.RunJournal`; completed runs
+        are appended as they finish and served back on resume, before
+        the cache is even consulted.
+    harness_chaos:
+        A :class:`~repro.experiments.supervisor.HarnessChaosPlan` that
+        deterministically kills/freezes pool workers — test and CI use
+        only.
     """
 
     def __init__(
@@ -220,6 +284,12 @@ class Engine:
         validate: bool = False,
         validate_max_tiles: int = 96,
         validate_rtol: float = 1e-9,
+        supervised: bool = True,
+        task_timeout: float | None = None,
+        retry: RetryPolicy | None = None,
+        journal: RunJournal | None = None,
+        harness_chaos: HarnessChaosPlan | None = None,
+        heartbeat: float = 0.25,
     ):
         if jobs is not None and jobs < 1:
             raise ValueError("jobs must be at least 1")
@@ -229,6 +299,14 @@ class Engine:
         self.validate = validate
         self.validate_max_tiles = validate_max_tiles
         self.validate_rtol = validate_rtol
+        self.supervised = supervised
+        self.task_timeout = task_timeout
+        self.retry = retry
+        self.journal = journal
+        self.harness_chaos = harness_chaos
+        self.heartbeat = heartbeat
+        #: Lifetime supervision accounting across every pool batch.
+        self.supervisor_stats = PoolStats()
 
     # -- public API ----------------------------------------------------------
 
@@ -265,31 +343,84 @@ class Engine:
     ) -> list[ExecutionResult]:
         """Run every ``(v, blocking)`` pair; results in input order.
 
-        Cache hits are served without simulation; misses are fanned out
-        across the worker pool (or run in-process when ``jobs == 1`` or
-        the kernel is not registered) and stored back.
+        Journal and cache hits are served without simulation; misses are
+        fanned out across the worker pool (or run in-process when
+        ``jobs == 1`` or the kernel is not registered) and stored back.
+        Raises :class:`PoisonTaskError` if any run ultimately failed
+        under supervision — *after* every healthy run has been computed,
+        cached and journaled, so a retry resumes from the survivors.
         """
+        reports = self.run_batch_outcomes(
+            workload, machine, pairs, max_events=max_events
+        )
+        failed = [r.outcome for r in reports if not r.ok]
+        if failed:
+            raise PoisonTaskError([o for o in failed if o is not None])
+        return [r.result for r in reports]
+
+    def run_batch_outcomes(
+        self,
+        workload: StencilWorkload,
+        machine: Machine,
+        pairs: Sequence[tuple[int, bool]],
+        *,
+        max_events: int = 50_000_000,
+    ) -> list[RunReport]:
+        """Like :meth:`run_batch`, but never raises for failed runs:
+        every pair gets a structured :class:`RunReport` (source, result,
+        supervisor outcome) in input order."""
         specs = [
             run_key(workload, v, machine, blocking=blocking,
                     method=self._method(workload, v))
             for v, blocking in pairs
         ]
+        digests = [key_digest(spec) for spec in specs]
         payloads: list[dict | None] = [None] * len(pairs)
-        if self.cache is not None:
-            for k, spec in enumerate(specs):
+        sources = ["sim"] * len(pairs)
+        for k, (spec, digest) in enumerate(zip(specs, digests)):
+            if self.journal is not None:
+                payloads[k] = self.journal.get(digest)
+                if payloads[k] is not None:
+                    sources[k] = "journal"
+                    continue
+            if self.cache is not None:
                 payloads[k] = self.cache.get(spec)
+                if payloads[k] is not None:
+                    sources[k] = "cache"
+                    if self.journal is not None:
+                        self.journal.record(digest, payloads[k])
 
         miss_idx = [k for k, p in enumerate(payloads) if p is None]
-        for k, payload in zip(miss_idx, self._execute(workload, machine,
-                                                      [pairs[k] for k in miss_idx],
-                                                      max_events)):
-            payloads[k] = payload
+        outcomes: list[TaskOutcome | None] = [None] * len(pairs)
+        fresh = self._execute(workload, machine,
+                              [pairs[k] for k in miss_idx],
+                              [digests[k] for k in miss_idx], max_events)
+        for k, out in zip(miss_idx, fresh):
+            outcomes[k] = out
+            if not out.ok:
+                continue
+            payloads[k] = out.result
             if self.cache is not None:
-                self.cache.put(specs[k], payload)
+                self.cache.put(specs[k], out.result)
+            if self.journal is not None:
+                self.journal.record(digests[k], out.result)
 
         return [
-            self._to_result(workload, v, blocking, payload)
-            for (v, blocking), payload in zip(pairs, payloads)
+            RunReport(
+                v=v,
+                blocking=blocking,
+                digest=digest,
+                source=source,
+                result=(
+                    self._to_result(workload, v, blocking, payload)
+                    if payload is not None
+                    else None
+                ),
+                outcome=outcome,
+            )
+            for (v, blocking), digest, source, payload, outcome in zip(
+                pairs, digests, sources, payloads, outcomes
+            )
         ]
 
     def run_sharded(
@@ -303,6 +434,8 @@ class Engine:
         processes: bool | None = None,
         trace: bool | str = False,
         queue: str = "heap",
+        shard_timeout: float | None = None,
+        max_shard_restarts: int = 2,
         max_events: int = 50_000_000,
     ):
         """Run *one* giant workload partitioned over shard simulators
@@ -331,6 +464,9 @@ class Engine:
             return run_tiled_sharded(
                 workload, v, machine, blocking=blocking, nshards=nshards,
                 trace=trace, queue=queue, processes=processes,
+                shard_timeout=shard_timeout,
+                max_shard_restarts=max_shard_restarts,
+                harness_chaos=self.harness_chaos,
                 max_events=max_events,
             )
         spec = run_key(workload, v, machine, blocking=blocking,
@@ -354,7 +490,9 @@ class Engine:
                 )
         res = run_tiled_sharded(
             workload, v, machine, blocking=blocking, nshards=nshards,
-            queue=queue, processes=processes, max_events=max_events,
+            queue=queue, processes=processes, shard_timeout=shard_timeout,
+            max_shard_restarts=max_shard_restarts,
+            harness_chaos=self.harness_chaos, max_events=max_events,
         )
         if self.cache is not None:
             stats = dict(res.network_stats)
@@ -398,10 +536,17 @@ class Engine:
                     method=f"chaos{CHAOS_VERSION}", extra=spec)
             for spec in specs
         ]
+        digests = [key_digest(key) for key in keys]
         payloads: list[dict | None] = [None] * len(specs)
-        if self.cache is not None:
-            for k, key in enumerate(keys):
+        for k, (key, digest) in enumerate(zip(keys, digests)):
+            if self.journal is not None:
+                payloads[k] = self.journal.get(digest)
+                if payloads[k] is not None:
+                    continue
+            if self.cache is not None:
                 payloads[k] = self.cache.get(key)
+                if payloads[k] is not None and self.journal is not None:
+                    self.journal.record(digest, payloads[k])
 
         miss_idx = [k for k, p in enumerate(payloads) if p is None]
         if (
@@ -415,10 +560,12 @@ class Engine:
                                   max_events)
                 task["spec"] = specs[k]
                 tasks.append(task)
-            workers = min(self.jobs, len(tasks))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = [pool.submit(_chaos_pool_worker, t) for t in tasks]
-                fresh = [f.result() for f in futures]
+            outcomes = self._pooled(_chaos_pool_worker, tasks,
+                                    [digests[k] for k in miss_idx])
+            bad = [o for o in outcomes if not o.ok]
+            if bad:
+                raise PoisonTaskError(bad)
+            fresh = [o.result for o in outcomes]
         else:
             fresh = [
                 chaos_payload(workload, v, machine, specs[k],
@@ -429,6 +576,8 @@ class Engine:
             payloads[k] = payload
             if self.cache is not None:
                 self.cache.put(keys[k], payload)
+            if self.journal is not None:
+                self.journal.record(digests[k], payload)
         return payloads  # type: ignore[return-value]
 
     # -- internals -----------------------------------------------------------
@@ -456,13 +605,41 @@ class Engine:
             "max_events": max_events,
         }
 
+    def _pooled(self, worker: Callable[[dict], dict], tasks: list[dict],
+                keys: Sequence[str]) -> list[TaskOutcome]:
+        """Fan tasks over the (supervised, by default) worker pool."""
+        workers = min(self.jobs, len(tasks))
+        if not self.supervised:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [pool.submit(worker, t) for t in tasks]
+                results = [f.result() for f in futures]
+            return [
+                TaskOutcome(index=i, key=key, status="ok", result=r,
+                            attempts=1, history=("ok",))
+                for i, (key, r) in enumerate(zip(keys, results))
+            ]
+        with SupervisedPool(
+            worker, workers,
+            task_timeout=self.task_timeout, retry=self.retry,
+            heartbeat=self.heartbeat, chaos=self.harness_chaos,
+        ) as pool:
+            outcomes = pool.run(tasks, keys=list(keys))
+        self.supervisor_stats.merge(pool.stats)
+        return outcomes
+
     def _execute(
         self,
         workload: StencilWorkload,
         machine: Machine,
         pairs: Sequence[tuple[int, bool]],
+        keys: Sequence[str],
         max_events: int,
-    ) -> list[dict]:
+    ) -> list[TaskOutcome]:
+        """Simulate every pair; one :class:`TaskOutcome` per pair.
+
+        In-process execution (single job, lone pair, or unregistered
+        kernel) is unsupervised — a failure there raises naturally, as
+        it would have in a serial run."""
         if (
             self.jobs > 1
             and len(pairs) > 1
@@ -470,18 +647,18 @@ class Engine:
         ):
             tasks = [self._task(workload, machine, v, blocking, max_events)
                      for v, blocking in pairs]
-            workers = min(self.jobs, len(tasks))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = [pool.submit(_pool_worker, t) for t in tasks]
-                return [f.result() for f in futures]
+            return self._pooled(_pool_worker, tasks, keys)
         return [
-            _run_payload(
-                workload, v, machine, blocking=blocking,
-                fastforward=self.fastforward, validate=self.validate,
-                validate_max_tiles=self.validate_max_tiles,
-                validate_rtol=self.validate_rtol, max_events=max_events,
+            TaskOutcome(
+                index=i, key=key, status="ok", attempts=1, history=("ok",),
+                result=_run_payload(
+                    workload, v, machine, blocking=blocking,
+                    fastforward=self.fastforward, validate=self.validate,
+                    validate_max_tiles=self.validate_max_tiles,
+                    validate_rtol=self.validate_rtol, max_events=max_events,
+                ),
             )
-            for v, blocking in pairs
+            for i, ((v, blocking), key) in enumerate(zip(pairs, keys))
         ]
 
     def _to_result(self, workload: StencilWorkload, v: int, blocking: bool,

@@ -1,0 +1,155 @@
+"""Append-only run journals: kill a sweep, resume it, lose nothing.
+
+A :class:`RunJournal` is a JSONL file with one line per completed run —
+the content-addressed key digest (see
+:func:`repro.experiments.cache.run_key`) plus the scalar payload the
+engine would otherwise re-simulate.  The engine appends a line the
+moment a run finishes (flushed and fsynced, so a ``kill -9`` a
+millisecond later loses at most the line being written), and consults
+the journal before the cache on the next start: a killed sweep restarted
+with ``Engine(journal=...)`` / ``--resume`` re-simulates *only* the runs
+that had not completed.
+
+Two properties make this safe:
+
+* **crash-tolerant reads** — a process killed mid-append leaves a
+  truncated final line; loading skips any line that does not parse as a
+  complete entry (counted in :attr:`RunJournal.corrupt_lines`) instead
+  of failing, so a journal is always resumable from whatever prefix
+  survived;
+* **self-contained entries** — payloads live in the journal itself, so
+  resume works even with ``--no-cache`` or a cleared cache directory,
+  and the journal doubles as a byte-exact audit log of the campaign.
+
+The journal is deliberately *not* a cache: entries are keyed by the same
+digests but scoped to one campaign file the user names, so "resume this
+sweep" and "never re-simulate anything anywhere" stay separate concerns.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from dataclasses import dataclass
+
+__all__ = ["JournalStats", "RunJournal"]
+
+JOURNAL_VERSION = 1
+
+
+@dataclass
+class JournalStats:
+    """Accounting for one journal instance."""
+
+    loaded: int = 0
+    corrupt_lines: int = 0
+    served: int = 0
+    recorded: int = 0
+
+    def describe(self) -> str:
+        return (
+            f"{self.loaded} loaded ({self.corrupt_lines} corrupt lines "
+            f"skipped), {self.served} served, {self.recorded} recorded"
+        )
+
+
+class RunJournal:
+    """Durable record of completed runs, keyed by run-key digest.
+
+    Opening a journal replays the existing file (if any); entries whose
+    line is truncated or corrupt — the signature of a crash mid-write —
+    are skipped and counted, never raised.  :meth:`record` appends,
+    flushes and fsyncs one line per completed run.
+    """
+
+    def __init__(self, path: str | os.PathLike, *, fsync: bool = True):
+        self.path = pathlib.Path(path)
+        self.fsync = fsync
+        self.stats = JournalStats()
+        self._entries: dict[str, dict] = {}
+        self._fh = None
+        if self.path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                    digest = entry["key"]
+                    payload = entry["payload"]
+                    if not isinstance(digest, str) or not isinstance(
+                        payload, dict
+                    ):
+                        raise TypeError("malformed journal entry")
+                except (ValueError, KeyError, TypeError):
+                    self.stats.corrupt_lines += 1
+                    continue
+                self._entries[digest] = payload
+        self.stats.loaded = len(self._entries)
+
+    # -- read side -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._entries
+
+    def get(self, digest: str) -> dict | None:
+        """The journaled payload for ``digest``, or ``None``.
+
+        Bumps ``stats.served`` on a hit — the "no redundant simulation"
+        accounting the resume tests pin down.
+        """
+        payload = self._entries.get(digest)
+        if payload is not None:
+            self.stats.served += 1
+        return payload
+
+    # -- write side ----------------------------------------------------------
+
+    def record(self, digest: str, payload: dict) -> None:
+        """Append one completed run (idempotent per digest)."""
+        if digest in self._entries:
+            return
+        self._entries[digest] = payload
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            # A crash mid-append can leave a truncated final line with
+            # no newline; start on a fresh line so the new record never
+            # merges into (and is destroyed by) the corrupt one.
+            needs_newline = False
+            try:
+                with open(self.path, "rb") as tail:
+                    tail.seek(-1, os.SEEK_END)
+                    needs_newline = tail.read(1) != b"\n"
+            except (OSError, ValueError):
+                pass
+            self._fh = open(self.path, "a", encoding="utf-8")
+            if needs_newline:
+                self._fh.write("\n")
+        line = json.dumps(
+            {"v": JOURNAL_VERSION, "key": digest, "payload": payload},
+            separators=(",", ":"),
+        )
+        self._fh.write(line + "\n")
+        self._fh.flush()
+        if self.fsync:
+            os.fsync(self._fh.fileno())
+        self.stats.recorded += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,646 @@
+"""Supervised worker pools: crashes, hangs and preemption as expected events.
+
+The PR-1 engine fans independent simulations over a plain process pool,
+which makes one assumption a long autotuning campaign cannot afford: that
+every worker lives to return its result.  One segfault aborts the whole
+sweep; one wedged worker hangs it forever.  This module replaces that
+assumption with supervision:
+
+* **heartbeats** — every worker runs a daemon thread that pings the
+  coordinator; a frozen process (``SIGSTOP``, kernel stall, swap death)
+  is detected even when no per-task timeout is set;
+* **per-task timeouts** — a task that exceeds its wall-clock budget gets
+  its worker killed and the attempt recorded as ``timeout``;
+* **crash recovery** — a worker that dies mid-task (the in-house
+  equivalent of ``BrokenProcessPool``) is respawned and the task
+  re-dispatched; the rest of the batch never notices;
+* **bounded retry** — failed attempts are retried on an exponential
+  backoff ladder with *deterministic* jitter (a blake2b hash of
+  ``(seed, task key, attempt)``, never wall-clock randomness), so the
+  same seed always produces the same retry schedule;
+* **poison-task quarantine** — a task that kills its worker
+  ``max_attempts`` times in a row is quarantined: the batch completes
+  and the failure surfaces as a structured :class:`TaskOutcome` instead
+  of an exception mid-sweep.
+
+Determinism note: supervision never changes *what* a task computes —
+the simulator is bit-identical across replays, so a task that crashed
+twice and succeeded on attempt three returns exactly the bytes the
+undisturbed run would have.  The harness-chaos tests pin this.
+
+:class:`HarnessChaosPlan` is the seeded fault injector for the harness
+itself (the analogue of :class:`repro.sim.faults.FaultPlan` one level
+up): it kills or freezes workers at deterministic ``(task key, attempt)``
+points and shard processes at deterministic ``(shard, window)`` points,
+so recovery paths are exercised reproducibly in tests, CI and
+``python -m repro chaos --harness``.
+
+Everything here is standard library only and imports nothing from the
+simulator, so shard processes and pool workers can use it without
+circular imports.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import itertools
+import multiprocessing as mp
+import os
+import signal
+import threading
+import time
+from dataclasses import dataclass
+from multiprocessing import connection as mp_connection
+from typing import Any, Callable, Sequence
+
+__all__ = [
+    "HarnessChaosPlan",
+    "PoolStats",
+    "PoisonTaskError",
+    "RetryPolicy",
+    "SupervisedPool",
+    "TaskOutcome",
+]
+
+
+def _unit(seed: int, *key: object) -> float:
+    """A uniform [0, 1) draw, pure in ``(seed, key)`` — the same
+    counter-based scheme as :class:`repro.sim.faults.FaultPlan`, so fates
+    and jitter are independent of interleaving and ``PYTHONHASHSEED``."""
+    material = repr((seed,) + key).encode()
+    digest = hashlib.blake2b(material, digest_size=8).digest()
+    return int.from_bytes(digest, "big") / 2.0**64
+
+
+# -- harness chaos ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HarnessChaosPlan:
+    """Seeded, deterministic fault injection for the *harness* — worker
+    and shard processes, not simulated messages.
+
+    ``kill_prob``/``hang_prob`` decide, per ``(task key, attempt)``,
+    whether a pool worker dies (``os._exit``) or freezes (``SIGSTOP``)
+    just before executing that attempt; ``shard_kill_prob``/
+    ``shard_hang_prob`` decide the same per ``(shard, window)`` for shard
+    processes mid-run.  Fates only fire while ``attempt`` (resp. the
+    shard's ``incarnation``) is below ``max_faults``, so a retried task
+    or respawned shard always makes progress — the default of one fault
+    per victim makes every chaos run terminate while still exercising
+    the full recovery path.
+    """
+
+    seed: int = 0
+    kill_prob: float = 0.0
+    hang_prob: float = 0.0
+    shard_kill_prob: float = 0.0
+    shard_hang_prob: float = 0.0
+    max_faults: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("kill_prob", "hang_prob", "shard_kill_prob",
+                     "shard_hang_prob"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.max_faults < 0:
+            raise ValueError("max_faults must be non-negative")
+
+    @property
+    def active(self) -> bool:
+        return bool(
+            self.max_faults
+            and (self.kill_prob or self.hang_prob
+                 or self.shard_kill_prob or self.shard_hang_prob)
+        )
+
+    def worker_fate(self, key: str, attempt: int) -> str | None:
+        """``"kill"``, ``"hang"`` or ``None`` for one task attempt."""
+        if attempt >= self.max_faults:
+            return None
+        if self._unit("wkill", key, attempt) < self.kill_prob:
+            return "kill"
+        if self._unit("whang", key, attempt) < self.hang_prob:
+            return "hang"
+        return None
+
+    def shard_fate(self, shard: int, window: int, incarnation: int) -> str | None:
+        """``"kill"``, ``"hang"`` or ``None`` for one shard window."""
+        if incarnation >= self.max_faults:
+            return None
+        if self._unit("skill", shard, window) < self.shard_kill_prob:
+            return "kill"
+        if self._unit("shang", shard, window) < self.shard_hang_prob:
+            return "hang"
+        return None
+
+    def _unit(self, *key: object) -> float:
+        return _unit(self.seed, *key)
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "kill_prob": self.kill_prob,
+            "hang_prob": self.hang_prob,
+            "shard_kill_prob": self.shard_kill_prob,
+            "shard_hang_prob": self.shard_hang_prob,
+            "max_faults": self.max_faults,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "HarnessChaosPlan":
+        return HarnessChaosPlan(**data)
+
+
+def apply_worker_fate(fate: str | None) -> None:
+    """Execute a worker fate in the current process (chaos test hook).
+
+    ``"kill"`` exits hard (no cleanup, no exception — exactly what a
+    segfault or OOM kill looks like from the parent); ``"hang"`` freezes
+    the whole process with ``SIGSTOP`` so even heartbeat threads stop,
+    the way a preempted or swap-thrashing worker behaves.
+    """
+    if fate == "kill":
+        os._exit(137)
+    elif fate == "hang":  # pragma: no cover - killed by the supervisor
+        os.kill(os.getpid(), signal.SIGSTOP)
+
+
+# -- retry policy -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with deterministic jitter.
+
+    ``delay(key, attempt)`` is the wait before retry ``attempt`` (1-based
+    over retries; attempt 0 is the original dispatch and never waits):
+    ``base_delay * multiplier**(attempt-1)`` capped at ``max_delay``,
+    then spread by ``±jitter`` (relative) using a blake2b draw keyed on
+    ``(seed, key, attempt)`` — the same seed always yields the same
+    schedule, so retry storms are reproducible in tests and never
+    synchronized across tasks (each key jitters differently).
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def delay(self, key: str, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (>= 1) of task ``key``."""
+        if attempt < 1:
+            return 0.0
+        raw = min(self.base_delay * self.multiplier ** (attempt - 1),
+                  self.max_delay)
+        spread = 2.0 * _unit(self.seed, "backoff", key, attempt) - 1.0
+        return raw * (1.0 + self.jitter * spread)
+
+    def schedule(self, key: str) -> tuple[float, ...]:
+        """The full retry-delay ladder for one task key."""
+        return tuple(
+            self.delay(key, attempt)
+            for attempt in range(1, self.max_attempts)
+        )
+
+
+# -- outcomes -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TaskOutcome:
+    """Structured per-task result of a supervised batch.
+
+    ``status`` is ``"ok"`` (``result`` holds the return value),
+    ``"failed"`` (the task function raised — deterministic, not retried)
+    or ``"quarantined"`` (the task killed/hung its worker
+    ``max_attempts`` times; ``kind`` says how the *last* attempt died).
+    ``history`` records every attempt in order, e.g.
+    ``("crashed", "timeout", "ok")``.
+    """
+
+    index: int
+    key: str
+    status: str
+    result: Any = None
+    error: str | None = None
+    kind: str | None = None
+    attempts: int = 0
+    history: tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def crashed(self) -> bool:
+        """Whether any attempt died with the worker (crash or freeze)."""
+        return any(h in ("crashed", "timeout") for h in self.history)
+
+    def describe(self) -> str:
+        detail = f" [{self.kind}]" if self.kind else ""
+        return (
+            f"task {self.index} ({self.key[:12]}): {self.status}{detail} "
+            f"after {self.attempts} attempt(s) {'/'.join(self.history)}"
+        )
+
+
+@dataclass
+class PoolStats:
+    """Supervision accounting for one pool (or one engine's lifetime)."""
+
+    dispatched: int = 0
+    completed: int = 0
+    failed: int = 0
+    crashed: int = 0
+    timed_out: int = 0
+    retried: int = 0
+    quarantined: int = 0
+    respawns: int = 0
+
+    def merge(self, other: "PoolStats") -> None:
+        for name in self.__dataclass_fields__:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    def describe(self) -> str:
+        return (
+            f"{self.completed}/{self.dispatched} ok, "
+            f"{self.crashed} crashed, {self.timed_out} timed out, "
+            f"{self.retried} retried, {self.quarantined} quarantined, "
+            f"{self.respawns} worker respawns"
+        )
+
+
+class PoisonTaskError(RuntimeError):
+    """A batch finished with quarantined or failed tasks.
+
+    Raised by strict callers (e.g. ``Engine.run_batch``) *after* the
+    batch has completed — every healthy task's result was computed,
+    cached and journaled before this surfaces.
+    """
+
+    def __init__(self, outcomes: Sequence[TaskOutcome]):
+        self.outcomes = tuple(o for o in outcomes if not o.ok)
+        lines = [o.describe() for o in self.outcomes]
+        super().__init__(
+            f"{len(self.outcomes)} task(s) did not complete:\n"
+            + "\n".join(lines)
+        )
+
+
+# -- worker process -----------------------------------------------------------
+
+
+def _worker_main(conn, fn: Callable[[dict], Any], heartbeat: float,
+                 chaos: dict | None) -> None:  # pragma: no cover - child body
+    """Worker loop: receive ``(index, attempt, key, payload)``, run
+    ``fn(payload)``, send back ``("ok", index, result)`` or
+    ``("err", index, message)``.  A daemon thread heartbeats every
+    ``heartbeat`` seconds so the supervisor can tell "slow" from
+    "frozen"."""
+    plan = HarnessChaosPlan.from_dict(chaos) if chaos else None
+    send_lock = threading.Lock()
+    stop = threading.Event()
+
+    def _heartbeat() -> None:
+        while not stop.wait(heartbeat):
+            try:
+                with send_lock:
+                    conn.send(("hb", None, None))
+            except (OSError, ValueError):
+                return
+
+    if heartbeat > 0:
+        threading.Thread(target=_heartbeat, daemon=True).start()
+    try:
+        while True:
+            msg = conn.recv()
+            if msg is None:
+                return
+            index, attempt, key, payload = msg
+            if plan is not None:
+                apply_worker_fate(plan.worker_fate(key, attempt))
+            try:
+                result = fn(payload)
+            except BaseException as exc:
+                import traceback
+
+                with send_lock:
+                    conn.send(("err", index,
+                               f"{exc!r}\n{traceback.format_exc()}"))
+            else:
+                with send_lock:
+                    conn.send(("ok", index, result))
+    except (EOFError, KeyboardInterrupt):
+        return
+    finally:
+        stop.set()
+
+
+# -- the supervised pool ------------------------------------------------------
+
+
+class _WorkerHandle:
+    """Parent-side state of one worker process."""
+
+    __slots__ = ("proc", "conn", "task", "attempt", "deadline", "last_hb")
+
+    def __init__(self, proc, conn):
+        self.proc = proc
+        self.conn = conn
+        self.task: int | None = None       # in-flight task index
+        self.attempt = 0
+        self.deadline = float("inf")       # wall-clock task deadline
+        self.last_hb = time.monotonic()
+
+    @property
+    def idle(self) -> bool:
+        return self.task is None
+
+
+class SupervisedPool:
+    """A process pool that treats worker death as a scheduling event.
+
+    ``fn`` must be a picklable module-level callable taking one payload
+    argument.  :meth:`run` dispatches every payload, supervises the
+    workers (heartbeats, deadlines), retries failed attempts per
+    ``retry`` and returns one :class:`TaskOutcome` per payload, in input
+    order — it never raises for worker failures.
+
+    Parameters
+    ----------
+    workers:
+        Pool size.  Worker processes are started lazily on first
+        :meth:`run` and respawned transparently when they die.
+    task_timeout:
+        Wall-clock budget per attempt; ``None`` disables deadlines
+        (heartbeat monitoring still catches frozen workers).
+    retry:
+        The :class:`RetryPolicy` for crashed/timed-out attempts.
+    heartbeat:
+        Worker heartbeat period in seconds (0 disables).  A worker whose
+        heartbeat goes silent for ``heartbeat_grace`` seconds while a
+        task is in flight is declared frozen and killed.
+    chaos:
+        Optional :class:`HarnessChaosPlan` shipped to workers — test/CI
+        fault injection, never used in production sweeps.
+    mp_context:
+        ``multiprocessing`` start method; default ``fork`` when
+        available (cheap, matches the unsupervised pool), else the
+        platform default.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[dict], Any],
+        workers: int,
+        *,
+        task_timeout: float | None = None,
+        retry: RetryPolicy | None = None,
+        heartbeat: float = 0.25,
+        heartbeat_grace: float | None = None,
+        chaos: HarnessChaosPlan | None = None,
+        mp_context: str | None = None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        if task_timeout is not None and task_timeout <= 0:
+            raise ValueError("task_timeout must be positive")
+        self.fn = fn
+        self.workers = workers
+        self.task_timeout = task_timeout
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.heartbeat = heartbeat
+        self.heartbeat_grace = (
+            heartbeat_grace
+            if heartbeat_grace is not None
+            else max(8.0 * heartbeat, 2.0)
+        )
+        self.chaos = chaos
+        if mp_context is None:
+            mp_context = (
+                "fork" if "fork" in mp.get_all_start_methods() else None
+            )
+        self._ctx = mp.get_context(mp_context)
+        self._pool: list[_WorkerHandle] = []
+        self.stats = PoolStats()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def __enter__(self) -> "SupervisedPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _spawn(self) -> _WorkerHandle:
+        parent, child = self._ctx.Pipe()
+        chaos = self.chaos.to_dict() if self.chaos is not None else None
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(child, self.fn, self.heartbeat, chaos),
+            daemon=True,
+        )
+        proc.start()
+        child.close()
+        return _WorkerHandle(proc, parent)
+
+    def _kill(self, handle: _WorkerHandle) -> None:
+        """Hard-stop one worker: SIGKILL (works on stopped processes
+        too), reap, close the pipe FD."""
+        try:
+            handle.conn.close()
+        except OSError:
+            pass
+        if handle.proc.is_alive():
+            handle.proc.kill()
+        handle.proc.join(timeout=5)
+
+    def close(self) -> None:
+        """Shut the pool down: polite sentinel, then escalate."""
+        for handle in self._pool:
+            try:
+                handle.conn.send(None)
+            except (OSError, ValueError):
+                pass
+        deadline = time.monotonic() + 2.0
+        for handle in self._pool:
+            handle.proc.join(timeout=max(0.0, deadline - time.monotonic()))
+            self._kill(handle)
+        self._pool = []
+
+    # -- supervision loop ----------------------------------------------------
+
+    def run(self, payloads: Sequence[Any],
+            keys: Sequence[str] | None = None) -> list[TaskOutcome]:
+        """Execute every payload under supervision; outcomes in order.
+
+        ``keys`` are stable per-task identifiers (cache digests in the
+        engine); they seed backoff jitter and chaos fates.  Defaults to
+        the task index as a string.
+        """
+        n = len(payloads)
+        if n == 0:
+            return []
+        if keys is None:
+            keys = [str(i) for i in range(n)]
+        if len(keys) != n:
+            raise ValueError("keys must match payloads")
+
+        while len(self._pool) < min(self.workers, n):
+            self._pool.append(self._spawn())
+
+        outcomes: list[TaskOutcome | None] = [None] * n
+        history: list[list[str]] = [[] for _ in range(n)]
+        errors: list[str | None] = [None] * n
+        # Ready queue of (not_before, tiebreak, index, attempt).
+        tiebreak = itertools.count()
+        ready: list[tuple[float, int, int, int]] = [
+            (0.0, next(tiebreak), i, 0) for i in range(n)
+        ]
+        heapq.heapify(ready)
+        done = 0
+        self.stats.dispatched += n
+
+        def settle(index: int, attempt: int, kind: str, error: str) -> None:
+            """Record a dead attempt; retry or quarantine."""
+            history[index].append(kind)
+            errors[index] = error
+            if kind == "crashed":
+                self.stats.crashed += 1
+            else:
+                self.stats.timed_out += 1
+            nxt = attempt + 1
+            if nxt < self.retry.max_attempts:
+                self.stats.retried += 1
+                delay = self.retry.delay(keys[index], nxt)
+                heapq.heappush(
+                    ready,
+                    (time.monotonic() + delay, next(tiebreak), index, nxt),
+                )
+            else:
+                nonlocal done
+                self.stats.quarantined += 1
+                outcomes[index] = TaskOutcome(
+                    index=index, key=keys[index], status="quarantined",
+                    error=error, kind=kind, attempts=attempt + 1,
+                    history=tuple(history[index]),
+                )
+                done += 1
+
+        def reap(handle: _WorkerHandle, kind: str, error: str) -> None:
+            """Kill + respawn one worker, settling its in-flight task."""
+            index, attempt = handle.task, handle.attempt
+            self._kill(handle)
+            self.stats.respawns += 1
+            fresh = self._spawn()
+            self._pool[self._pool.index(handle)] = fresh
+            if index is not None:
+                settle(index, attempt, kind, error)
+
+        while done < n:
+            now = time.monotonic()
+            # Dispatch ready tasks to idle workers.
+            for handle in self._pool:
+                if not handle.idle or not ready or ready[0][0] > now:
+                    continue
+                _, _, index, attempt = heapq.heappop(ready)
+                try:
+                    handle.conn.send(
+                        (index, attempt, keys[index], payloads[index])
+                    )
+                except (OSError, ValueError):
+                    # The worker died while idle; respawn and requeue.
+                    heapq.heappush(ready, (now, next(tiebreak), index, attempt))
+                    reap(handle, "crashed", "worker pipe closed at dispatch")
+                    continue
+                handle.task = index
+                handle.attempt = attempt
+                handle.last_hb = now
+                handle.deadline = (
+                    now + self.task_timeout
+                    if self.task_timeout is not None
+                    else float("inf")
+                )
+
+            # Wait for results/heartbeats or the next deadline.
+            timeout = 0.05
+            busy = [h for h in self._pool if not h.idle]
+            if busy:
+                next_deadline = min(
+                    min(h.deadline for h in busy),
+                    min(h.last_hb + self.heartbeat_grace for h in busy)
+                    if self.heartbeat > 0
+                    else float("inf"),
+                )
+                timeout = max(0.0, min(next_deadline - now, 0.25))
+            elif ready:
+                timeout = max(0.0, min(ready[0][0] - now, 0.25))
+            conns = {h.conn: h for h in self._pool}
+            for conn in mp_connection.wait(list(conns), timeout=timeout):
+                handle = conns[conn]
+                try:
+                    while conn.poll():
+                        tag, index, value = conn.recv()
+                        handle.last_hb = time.monotonic()
+                        if tag == "hb":
+                            continue
+                        assert index == handle.task
+                        handle.task = None
+                        handle.deadline = float("inf")
+                        if tag == "ok":
+                            history[index].append("ok")
+                            self.stats.completed += 1
+                            outcomes[index] = TaskOutcome(
+                                index=index, key=keys[index], status="ok",
+                                result=value, attempts=handle.attempt + 1,
+                                history=tuple(history[index]),
+                            )
+                            done += 1
+                        else:  # deterministic task exception: no retry
+                            history[index].append("exception")
+                            self.stats.failed += 1
+                            outcomes[index] = TaskOutcome(
+                                index=index, key=keys[index], status="failed",
+                                error=value, kind="exception",
+                                attempts=handle.attempt + 1,
+                                history=tuple(history[index]),
+                            )
+                            done += 1
+                except (EOFError, OSError):
+                    reap(handle, "crashed",
+                         f"worker pid {handle.proc.pid} died "
+                         f"(exitcode {handle.proc.exitcode})")
+
+            # Deadlines and silent heartbeats.
+            now = time.monotonic()
+            for handle in list(self._pool):
+                if handle.idle:
+                    continue
+                if now > handle.deadline:
+                    reap(handle, "timeout",
+                         f"task exceeded {self.task_timeout}s budget")
+                elif (
+                    self.heartbeat > 0
+                    and now - handle.last_hb > self.heartbeat_grace
+                ):
+                    reap(handle, "timeout",
+                         f"worker silent for {now - handle.last_hb:.2f}s "
+                         f"(heartbeat grace {self.heartbeat_grace}s); "
+                         "presumed frozen")
+
+        return outcomes  # type: ignore[return-value]

@@ -176,6 +176,9 @@ def run_tiled_sharded(
     faults: FaultPlan | None = None,
     queue: str = "heap",
     processes: bool = False,
+    shard_timeout: float | None = None,
+    max_shard_restarts: int = 2,
+    harness_chaos=None,
     max_events: int = 50_000_000,
 ) -> ShardedResult:
     """Simulate the workload with its ranks partitioned over ``nshards``
@@ -187,11 +190,18 @@ def run_tiled_sharded(
     every shard count — completion time, message count, per-rank term
     and busy-time aggregates.  ``processes=True`` puts each shard in its
     own OS process; the program factory is rebuilt inside each child.
+
+    Process-backed shards are supervised: a shard that dies (or, with
+    ``shard_timeout``, hangs) is respawned and replayed from its window
+    history up to ``max_shard_restarts`` times, preserving bit-identical
+    results; ``harness_chaos`` injects such failures deterministically
+    (tests/CI only).
     """
     prog = TiledProgram(workload, v, machine, blocking=blocking)
     sharded = ShardedSimulation(
         machine, prog.num_ranks, nshards, trace=trace, faults=faults,
-        queue=queue, processes=processes,
+        queue=queue, processes=processes, shard_timeout=shard_timeout,
+        max_shard_restarts=max_shard_restarts, harness_chaos=harness_chaos,
     )
     factory = _TiledPrograms(workload, v, machine, blocking)
     return sharded.run(factory=factory, max_events=max_events)

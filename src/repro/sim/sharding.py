@@ -53,11 +53,22 @@ from repro.sim.faults import FaultPlan
 from repro.sim.mpi import Rank, World
 
 __all__ = [
+    "ShardCrash",
+    "ShardTimeout",
     "ShardWorld",
     "ShardedResult",
     "ShardedSimulation",
     "shard_bounds",
 ]
+
+
+class ShardCrash(RuntimeError):
+    """A shard child process died (pipe EOF / nonzero exit) mid-run."""
+
+
+class ShardTimeout(RuntimeError):
+    """A shard child process went silent past ``shard_timeout`` —
+    presumed frozen (``SIGSTOP``, swap death, kernel stall)."""
 
 #: Cross-shard handoff entries — the deferred receiver legs built by
 #: ``World._unreliable_transmit``, plain tuples so they pickle fast:
@@ -206,6 +217,7 @@ class ShardedResult:
     event_count: int
     windows: int
     nshards: int
+    shard_restarts: int = 0
     counters: dict[str, int] = field(default_factory=dict)
     messages_dropped: int = 0
     messages_corrupted: int = 0
@@ -305,7 +317,14 @@ def _shard_summary(world: ShardWorld) -> dict:
 
 def _shard_main(conn) -> None:  # pragma: no cover - child process body
     """Child-process entry: build the shard from the init message, then
-    serve ``inject``/``advance``/``finish`` commands over the pipe."""
+    serve ``inject``/``advance``/``finish`` commands over the pipe.
+
+    When the init spec carries a harness-chaos plan, the child consults
+    it at every window barrier (each ``advance`` command) and may kill
+    or freeze itself — deterministically in ``(shard, window)``, and
+    only while its ``incarnation`` is below the plan's fault budget, so
+    a respawned shard always completes its replay.
+    """
     try:
         cmd, spec = conn.recv()
         assert cmd == "init"
@@ -316,6 +335,15 @@ def _shard_main(conn) -> None:  # pragma: no cover - child process body
         )
         programs = spec["factory"]()
         world.spawn_owned(programs)
+        plan = None
+        if spec.get("chaos"):
+            # Lazy import: the supervisor is stdlib-only, but keeping it
+            # out of the module top level avoids a cycle with the engine.
+            from repro.experiments.supervisor import HarnessChaosPlan
+
+            plan = HarnessChaosPlan.from_dict(spec["chaos"])
+        incarnation = spec.get("incarnation", 0)
+        window = 0
         while True:
             cmd, payload = conn.recv()
             if cmd == "inject":
@@ -323,6 +351,13 @@ def _shard_main(conn) -> None:  # pragma: no cover - child process body
                     world.inject_batch(payload)
                 conn.send(("ok", None))
             elif cmd == "advance":
+                if plan is not None:
+                    from repro.experiments.supervisor import apply_worker_fate
+
+                    apply_worker_fate(
+                        plan.shard_fate(world.shard_id, window, incarnation)
+                    )
+                window += 1
                 world.sim.run(until=payload)
                 out, world.outbox = world.outbox, []
                 conn.send(
@@ -345,47 +380,126 @@ def _shard_main(conn) -> None:  # pragma: no cover - child process body
 
 
 class _RemoteShard:
-    """Pipe-connected driver handle around a shard child process."""
+    """Pipe-connected driver handle around a shard child process.
 
-    def __init__(self, ctx, spec: dict):
-        self.conn, child = ctx.Pipe()
-        self.proc = ctx.Process(target=_shard_main, args=(child,), daemon=True)
+    The handle is *restartable*: when ``record_history`` is on it keeps
+    the window-barrier command log (every ``inject`` batch and
+    ``advance`` bound, in order) so :meth:`respawn` can kill a dead or
+    frozen child, start a fresh one (``incarnation + 1``) and replay it
+    back to the exact pre-failure state — the simulator's determinism
+    makes the replayed shard bit-identical to the lost one.  Replayed
+    outboxes are discarded: the coordinator already routed them when the
+    original window ran.
+    """
+
+    def __init__(self, ctx, spec: dict, *,
+                 timeout: float | None = None,
+                 record_history: bool = False):
+        self._ctx = ctx
+        self._spec = spec
+        self.timeout = timeout
+        self.record_history = record_history
+        self._history: list[tuple[str, object]] = []
+        self.incarnation = 0
+        self.restarts = 0
+        self._start()
+
+    def _start(self) -> None:
+        self.conn, child = self._ctx.Pipe()
+        self.proc = self._ctx.Process(
+            target=_shard_main, args=(child,), daemon=True
+        )
         self.proc.start()
         child.close()
+        spec = dict(self._spec)
+        spec["incarnation"] = self.incarnation
         self.conn.send(("init", spec))
 
-    def _reply(self):
-        kind, payload = self.conn.recv()
+    def _reply(self, timeout: float | None = None):
+        timeout = timeout if timeout is not None else self.timeout
+        if timeout is not None and not self.conn.poll(timeout):
+            if self.proc.is_alive():
+                raise ShardTimeout(
+                    f"shard pid {self.proc.pid} silent for {timeout}s; "
+                    "presumed frozen"
+                )
+            raise ShardCrash(
+                f"shard pid {self.proc.pid} died "
+                f"(exitcode {self.proc.exitcode})"
+            )
+        try:
+            kind, payload = self.conn.recv()
+        except (EOFError, OSError) as exc:
+            raise ShardCrash(
+                f"shard pid {self.proc.pid} died mid-reply "
+                f"(exitcode {self.proc.exitcode})"
+            ) from exc
         if kind == "error":
             raise RuntimeError(f"shard process failed:\n{payload}")
         return payload
+
+    def _send(self, message) -> None:
+        try:
+            self.conn.send(message)
+        except (OSError, ValueError) as exc:
+            raise ShardCrash(
+                f"shard pid {self.proc.pid} pipe closed at send"
+            ) from exc
+
+    def respawn(self) -> None:
+        """Kill the child, start a fresh incarnation, replay history."""
+        self._kill()
+        self.incarnation += 1
+        self.restarts += 1
+        self._start()
+        for cmd, payload in self._history:
+            self._send((cmd, payload))
+            self._reply()  # replayed outboxes were already routed
 
     def spawn(self, programs) -> None:
         pass  # the child spawned from its factory at init
 
     def inject(self, batch: list[Handoff]) -> None:
-        self.conn.send(("inject", batch))
+        self._send(("inject", batch))
         self._reply()
+        if self.record_history:
+            self._history.append(("inject", batch))
 
     def advance(self, bound: float) -> tuple[float | None, list[Handoff], int]:
-        self.conn.send(("advance", bound))
-        return self._reply()
+        self._send(("advance", bound))
+        state = self._reply()
+        if self.record_history:
+            self._history.append(("advance", bound))
+        return state
 
     def next_time(self) -> float | None:
-        self.conn.send(("next", None))
+        self._send(("next", None))
         return self._reply()
 
     def finish(self) -> dict:
-        self.conn.send(("finish", None))
+        self._send(("finish", None))
         summary = self._reply()
         self.proc.join(timeout=30)
         return summary
 
+    def _kill(self) -> None:
+        """Hard-stop the child: close the pipe FD, then SIGKILL (the
+        only signal a SIGSTOP-frozen process cannot ignore) and reap."""
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        if self.proc.is_alive():
+            self.proc.kill()
+        self.proc.join(timeout=5)
+
     def close(self) -> None:
-        self.conn.close()
+        """Shut down without ever hanging the parent: polite terminate
+        with a bounded join, then escalate to :meth:`_kill`."""
         if self.proc.is_alive():
             self.proc.terminate()
-        self.proc.join(timeout=5)
+            self.proc.join(timeout=2)
+        self._kill()
 
 
 class ShardedSimulation:
@@ -396,6 +510,14 @@ class ShardedSimulation:
     must then come from a picklable zero-argument ``factory``); the
     default runs all shards in this interpreter — same protocol, same
     results, no pickling requirements.
+
+    Process-backed runs are *supervised*: a shard child that dies
+    (``ShardCrash``) or — with ``shard_timeout`` set — goes silent
+    (``ShardTimeout``) is respawned and deterministically replayed from
+    its recorded window history, up to ``max_shard_restarts`` times per
+    shard, with the merged result bit-identical to an undisturbed run.
+    ``harness_chaos`` injects exactly those failures at seeded
+    ``(shard, window)`` points (tests/CI only).
     """
 
     def __init__(
@@ -408,6 +530,9 @@ class ShardedSimulation:
         faults: FaultPlan | None = None,
         queue: str = "heap",
         processes: bool = False,
+        shard_timeout: float | None = None,
+        max_shard_restarts: int = 2,
+        harness_chaos=None,
     ):
         self.machine = machine
         self.num_ranks = num_ranks
@@ -417,6 +542,15 @@ class ShardedSimulation:
         self.faults = faults
         self.queue = queue
         self.processes = processes
+        if shard_timeout is not None and shard_timeout <= 0:
+            raise ValueError("shard_timeout must be positive")
+        if max_shard_restarts < 0:
+            raise ValueError("max_shard_restarts must be non-negative")
+        self.shard_timeout = shard_timeout
+        self.max_shard_restarts = max_shard_restarts
+        self.harness_chaos = harness_chaos
+        #: Shard respawn+replay recoveries performed by the last run.
+        self.shard_restarts = 0
         self._shard_of = [0] * num_ranks
         for k, b in enumerate(self.bounds):
             for r in b:
@@ -485,6 +619,11 @@ class ShardedSimulation:
         import multiprocessing as mp
 
         ctx = mp.get_context("spawn")
+        chaos = (
+            self.harness_chaos.to_dict()
+            if self.harness_chaos is not None
+            else None
+        )
         return [
             _RemoteShard(ctx, {
                 "machine": self.machine,
@@ -495,22 +634,46 @@ class ShardedSimulation:
                 "faults": self.faults,
                 "queue": self.queue,
                 "factory": factory,
-            })
+                "chaos": chaos,
+            }, timeout=self.shard_timeout,
+               record_history=self.max_shard_restarts > 0)
             for b in self.bounds
         ]
 
+    def _call(self, shard, op: str, *args):
+        """One shard command with crash/hang recovery: on
+        :class:`ShardCrash`/:class:`ShardTimeout`, respawn + replay the
+        shard (bounded by ``max_shard_restarts``) and retry the command.
+        In-process shards never raise these, so the fast path is a plain
+        method call."""
+        while True:
+            try:
+                return getattr(shard, op)(*args)
+            except (ShardCrash, ShardTimeout):
+                if (
+                    not isinstance(shard, _RemoteShard)
+                    or not shard.record_history
+                    or shard.restarts >= self.max_shard_restarts
+                ):
+                    raise
+                shard.respawn()
+                self.shard_restarts += 1
+
     def _drive(self, shards: list, max_events: int) -> ShardedResult:
         lookahead = self.machine.network_latency
-        next_times: list[float | None] = [s.next_time() for s in shards]
+        self.shard_restarts = 0
+        next_times: list[float | None] = [
+            self._call(s, "next_time") for s in shards
+        ]
         inboxes: list[list[Handoff]] = [[] for _ in shards]
         windows = 0
         total_events = 0
         while True:
             for k, s in enumerate(shards):
                 if inboxes[k]:
-                    s.inject(inboxes[k])
+                    self._call(s, "inject", inboxes[k])
                     inboxes[k] = []
-                    next_times[k] = s.next_time()
+                    next_times[k] = self._call(s, "next_time")
             pending = [t for t in next_times if t is not None]
             if not pending:
                 break
@@ -521,7 +684,7 @@ class ShardedSimulation:
             windows += 1
             total_events = 0
             for k, s in enumerate(shards):
-                t, outbox, events = s.advance(bound)
+                t, outbox, events = self._call(s, "advance", bound)
                 next_times[k] = t
                 total_events += events
                 for entry in outbox:
@@ -530,7 +693,7 @@ class ShardedSimulation:
                 raise RuntimeError(
                     f"exceeded {max_events} events; likely a livelock"
                 )
-        summaries = [s.finish() for s in shards]
+        summaries = [self._call(s, "finish") for s in shards]
         stuck = [line for s in summaries for line in s["stuck"]]
         if stuck:
             raise RuntimeError(
@@ -584,6 +747,7 @@ class ShardedSimulation:
             event_count=sum(s["event_count"] for s in summaries),
             windows=windows,
             nshards=self.nshards,
+            shard_restarts=self.shard_restarts,
             counters=counters,
             messages_dropped=sum(s["messages_dropped"] for s in summaries),
             messages_corrupted=sum(s["messages_corrupted"] for s in summaries),

@@ -125,3 +125,31 @@ class TestPlanCommand:
     def test_plan_bad_kernel(self):
         with pytest.raises(SystemExit):
             main(["plan", "--kernel", "nope"])
+
+
+class TestResumeFlag:
+    def test_parses_before_subcommand(self):
+        args = build_parser().parse_args(
+            ["--resume", "campaign.jsonl", "figure", "iii"]
+        )
+        assert args.resume == "campaign.jsonl"
+        assert build_parser().parse_args(["figure", "iii"]).resume is None
+
+    def test_harness_and_shard_timeout_flags_parse(self):
+        assert build_parser().parse_args(["chaos", "--harness"]).harness
+        args = build_parser().parse_args(["scale", "--shard-timeout", "2.5"])
+        assert args.shard_timeout == 2.5
+
+    def test_resumed_figure_serves_from_journal(self, capsys, tmp_path):
+        journal = tmp_path / "campaign.jsonl"
+        argv = ["--jobs", "1", "--no-cache", "--resume", str(journal),
+                "figure", "iii", "--heights", "32,64"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert journal.exists() and journal.stat().st_size > 0
+        # The restarted sweep replays the journal instead of simulating.
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert "resuming from" in captured.err
+        assert "4 completed runs on record" in captured.err
+        assert captured.out == first

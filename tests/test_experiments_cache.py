@@ -8,6 +8,7 @@ from repro.experiments.cache import (
     CacheStats,
     SimCache,
     default_cache_dir,
+    key_digest,
     run_key,
 )
 from repro.ir.loopnest import IterationSpace
@@ -85,6 +86,43 @@ class TestSimCache:
         cache._entry_path(spec).write_text(json.dumps({"payload": [1, 2]}))
         assert cache.get(spec) is None
         assert cache.stats.errors == 2
+
+    def test_half_written_entry_is_a_counted_miss(self, tmp_path):
+        """A crash mid-write leaves truncated JSON; reads must treat it
+        as a miss and bump the dedicated corruption counter."""
+        cache = SimCache(tmp_path)
+        spec = run_key(_workload(), 64, pentium_cluster(), blocking=True)
+        cache.put(spec, PAYLOAD)
+        entry = cache._entry_path(spec)
+        raw = entry.read_text()
+        entry.write_text(raw[: len(raw) // 2])  # half-written entry
+        assert cache.get(spec) is None
+        assert cache.stats.corrupt == 1
+        assert cache.stats.errors == 1
+        assert cache.stats.misses == 1
+        assert "1 corrupt" in cache.stats.describe()
+        # Re-simulating and re-storing heals the entry.
+        cache.put(spec, PAYLOAD)
+        assert cache.get(spec) == PAYLOAD
+        assert cache.stats.corrupt == 1
+
+    def test_put_is_atomic_tmp_plus_rename(self, tmp_path):
+        """No reader can ever observe a partial entry: the payload lands
+        under a tmp name and is renamed into place."""
+        cache = SimCache(tmp_path)
+        spec = run_key(_workload(), 64, pentium_cluster(), blocking=True)
+        cache.put(spec, PAYLOAD)
+        leftovers = [
+            p for p in tmp_path.rglob("*") if ".tmp" in p.name
+        ]
+        assert leftovers == []
+        assert cache.get(spec) == PAYLOAD
+
+    def test_key_digest_stable_and_order_independent(self):
+        spec = run_key(_workload(), 64, pentium_cluster(), blocking=True)
+        shuffled = dict(reversed(list(spec.items())))
+        assert key_digest(spec) == key_digest(shuffled)
+        assert len(key_digest(spec)) == 64  # sha256 hex
 
     def test_unwritable_location_never_raises(self, tmp_path):
         blocker = tmp_path / "file"

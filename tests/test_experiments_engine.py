@@ -170,3 +170,127 @@ class TestArguments:
 
     def test_registered_kernels_contains_seed_kernels(self):
         assert "sqrt3d" in registered_kernels()
+
+
+class TestResumableBatches:
+    """Journaled campaigns: kill a sweep, resume, lose nothing."""
+
+    def test_outcomes_report_sources(self, machine, tmp_path):
+        from repro.experiments.journal import RunJournal
+
+        w = _workload("resume-w")
+        with RunJournal(tmp_path / "j.jsonl") as journal:
+            engine = Engine(jobs=1, journal=journal)
+            first = engine.run_batch_outcomes(w, machine, PAIRS)
+            assert [r.source for r in first] == ["sim"] * len(PAIRS)
+            assert all(r.ok for r in first)
+            again = engine.run_batch_outcomes(w, machine, PAIRS)
+            assert [r.source for r in again] == ["journal"] * len(PAIRS)
+        for a, b in zip(first, again):
+            assert a.digest == b.digest
+            assert a.result.completion_time == b.result.completion_time
+
+    def test_resume_does_no_redundant_simulation(self, machine, tmp_path,
+                                                 serial_results):
+        """A sweep killed halfway and restarted with the same journal
+        re-simulates only the missing runs — and the merged results are
+        bit-identical to an undisturbed run."""
+        from repro.experiments.journal import RunJournal
+
+        w = _workload()
+        path = tmp_path / "campaign.jsonl"
+        survivors = PAIRS[: len(PAIRS) // 2]
+        with RunJournal(path) as journal:
+            Engine(jobs=1, journal=journal).run_batch(w, machine, survivors)
+
+        with RunJournal(path) as journal:  # the restart
+            assert journal.stats.loaded == len(survivors)
+            engine = Engine(jobs=1, journal=journal)
+            reports = engine.run_batch_outcomes(w, machine, PAIRS)
+            assert [r.source for r in reports] == (
+                ["journal"] * len(survivors)
+                + ["sim"] * (len(PAIRS) - len(survivors))
+            )
+            assert journal.stats.served == len(survivors)
+        _assert_identical([r.result for r in reports], serial_results)
+
+    def test_cache_hits_are_backfilled_into_journal(self, machine, tmp_path):
+        from repro.experiments.journal import RunJournal
+
+        w = _workload("backfill-w")
+        cache = SimCache(tmp_path / "cache")
+        Engine(jobs=1, cache=cache).run_batch(w, machine, PAIRS)
+        with RunJournal(tmp_path / "j.jsonl") as journal:
+            engine = Engine(jobs=1, cache=cache, journal=journal)
+            reports = engine.run_batch_outcomes(w, machine, PAIRS)
+            assert [r.source for r in reports] == ["cache"] * len(PAIRS)
+            assert journal.stats.recorded == len(PAIRS)
+
+
+class TestSupervisedEngine:
+    """The supervised pool is the default and stays bit-identical."""
+
+    def test_supervised_pool_matches_serial(self, machine, serial_results):
+        engine = Engine(jobs=2)
+        results = engine.run_batch(_workload(), machine, PAIRS)
+        _assert_identical(results, serial_results)
+        assert engine.supervisor_stats.completed == len(PAIRS)
+        assert engine.supervisor_stats.respawns == 0
+
+    def test_unsupervised_pool_matches_serial(self, machine, serial_results):
+        engine = Engine(jobs=2, supervised=False)
+        results = engine.run_batch(_workload(), machine, PAIRS)
+        _assert_identical(results, serial_results)
+
+    @pytest.mark.resilience
+    def test_worker_kills_recovered_bit_identical(self, machine,
+                                                  serial_results):
+        """Seeded worker kills mid-batch: every casualty is respawned
+        and retried, and the results match the undisturbed run."""
+        from repro.experiments.cache import key_digest, run_key
+        from repro.experiments.supervisor import HarnessChaosPlan
+
+        w = _workload()
+        digests = [
+            key_digest(run_key(w, v, machine, blocking=b, method="sim"))
+            for v, b in PAIRS
+        ]
+        plan = None
+        for seed in range(64):
+            candidate = HarnessChaosPlan(seed=seed, kill_prob=0.5)
+            if any(candidate.worker_fate(d, 0) for d in digests):
+                plan = candidate
+                break
+        engine = Engine(jobs=2, harness_chaos=plan)
+        results = engine.run_batch(w, machine, PAIRS)
+        _assert_identical(results, serial_results)
+        assert engine.supervisor_stats.crashed > 0
+        assert engine.supervisor_stats.respawns > 0
+
+    @pytest.mark.resilience
+    def test_poison_task_surfaces_after_healthy_runs_cached(
+            self, machine, tmp_path):
+        """A task that always kills its worker is quarantined; the
+        healthy runs complete and are journaled before the raise."""
+        from repro.experiments.journal import RunJournal
+        from repro.experiments.supervisor import (
+            HarnessChaosPlan,
+            PoisonTaskError,
+            RetryPolicy,
+        )
+
+        w = _workload()
+        plan = HarnessChaosPlan(seed=0, kill_prob=1.0, max_faults=10**9)
+        with RunJournal(tmp_path / "j.jsonl") as journal:
+            engine = Engine(
+                jobs=2, journal=journal, harness_chaos=plan,
+                retry=RetryPolicy(max_attempts=2, base_delay=0.01,
+                                  max_delay=0.02),
+            )
+            with pytest.raises(PoisonTaskError) as excinfo:
+                engine.run_batch(w, machine, PAIRS)
+            assert all(
+                o.status == "quarantined" for o in excinfo.value.outcomes
+            )
+            assert len(excinfo.value.outcomes) == len(PAIRS)
+            assert journal.stats.recorded == 0

@@ -1,0 +1,99 @@
+"""Run journal: durable append, crash-truncated loads, resume accounting."""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments.journal import JOURNAL_VERSION, RunJournal
+
+
+def test_record_and_get_roundtrip(tmp_path):
+    path = tmp_path / "j.jsonl"
+    with RunJournal(path) as j:
+        j.record("d1", {"completion_time": 1.5})
+        j.record("d2", {"completion_time": 2.5})
+        assert len(j) == 2
+        assert "d1" in j and "d3" not in j
+        assert j.get("d1") == {"completion_time": 1.5}
+        assert j.get("d3") is None
+        assert j.stats.recorded == 2
+        assert j.stats.served == 1  # only the d1 hit counts
+
+
+def test_lines_are_versioned_json(tmp_path):
+    path = tmp_path / "j.jsonl"
+    with RunJournal(path) as j:
+        j.record("abc", {"x": 1})
+    (line,) = path.read_text().splitlines()
+    entry = json.loads(line)
+    assert entry == {"v": JOURNAL_VERSION, "key": "abc", "payload": {"x": 1}}
+
+
+def test_record_idempotent_per_digest(tmp_path):
+    path = tmp_path / "j.jsonl"
+    with RunJournal(path) as j:
+        j.record("d", {"x": 1})
+        j.record("d", {"x": 999})  # second write is a no-op
+    assert len(path.read_text().splitlines()) == 1
+    with RunJournal(path) as j:
+        assert j.get("d") == {"x": 1}
+
+
+def test_reopen_resumes_from_file(tmp_path):
+    path = tmp_path / "j.jsonl"
+    with RunJournal(path) as j:
+        j.record("d1", {"x": 1})
+        j.record("d2", {"x": 2})
+    j2 = RunJournal(path)
+    assert j2.stats.loaded == 2
+    assert j2.get("d2") == {"x": 2}
+    j2.record("d3", {"x": 3})
+    j2.close()
+    assert RunJournal(path).stats.loaded == 3
+
+
+def test_truncated_final_line_skipped(tmp_path):
+    """A kill -9 mid-append leaves a half line; the survivors load."""
+    path = tmp_path / "j.jsonl"
+    with RunJournal(path) as j:
+        j.record("d1", {"x": 1})
+        j.record("d2", {"x": 2})
+    raw = path.read_text()
+    path.write_text(raw[: len(raw) - 17])  # chop into the last payload
+    j = RunJournal(path)
+    assert j.stats.loaded == 1
+    assert j.stats.corrupt_lines == 1
+    assert j.get("d1") == {"x": 1}
+    assert j.get("d2") is None
+    # The resumed journal can re-record the lost run.
+    j.record("d2", {"x": 2})
+    j.close()
+    j2 = RunJournal(path)
+    assert j2.stats.loaded == 2 and j2.stats.corrupt_lines == 1
+
+
+def test_malformed_entries_counted_not_raised(tmp_path):
+    path = tmp_path / "j.jsonl"
+    path.write_text(
+        'not json at all\n'
+        '{"v": 1, "key": 42, "payload": {}}\n'        # key not a string
+        '{"v": 1, "key": "ok", "payload": [1, 2]}\n'  # payload not a dict
+        '{"v": 1, "key": "good", "payload": {"x": 1}}\n'
+        '\n'
+    )
+    j = RunJournal(path)
+    assert j.stats.loaded == 1
+    assert j.stats.corrupt_lines == 3
+    assert j.get("good") == {"x": 1}
+
+
+def test_missing_file_starts_empty(tmp_path):
+    j = RunJournal(tmp_path / "fresh.jsonl")
+    assert len(j) == 0 and j.stats.loaded == 0
+    j.close()
+
+
+def test_describe_mentions_counts(tmp_path):
+    with RunJournal(tmp_path / "j.jsonl") as j:
+        j.record("d", {})
+        assert "1 recorded" in j.stats.describe()

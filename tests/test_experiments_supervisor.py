@@ -1,0 +1,233 @@
+"""Supervised worker pool: retry determinism, outcome classification,
+crash/hang/quarantine recovery."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.supervisor import (
+    HarnessChaosPlan,
+    PoisonTaskError,
+    PoolStats,
+    RetryPolicy,
+    SupervisedPool,
+    TaskOutcome,
+)
+
+
+def _square(payload):
+    return payload * payload
+
+
+def _boom(payload):
+    raise ValueError(f"bad payload {payload}")
+
+
+def _slow_square(payload):
+    import time
+
+    time.sleep(payload)
+    return payload
+
+
+# -- retry policy -------------------------------------------------------------
+
+
+class TestRetryPolicy:
+    def test_same_seed_same_schedule(self):
+        a = RetryPolicy(seed=7).schedule("task-a")
+        b = RetryPolicy(seed=7).schedule("task-a")
+        assert a == b
+
+    def test_different_seed_different_schedule(self):
+        a = RetryPolicy(seed=7).schedule("task-a")
+        b = RetryPolicy(seed=8).schedule("task-a")
+        assert a != b
+
+    def test_different_keys_desynchronized(self):
+        p = RetryPolicy(seed=0)
+        assert p.schedule("task-a") != p.schedule("task-b")
+
+    def test_exponential_ladder_capped(self):
+        p = RetryPolicy(max_attempts=6, base_delay=0.1, multiplier=2.0,
+                        max_delay=0.35, jitter=0.0)
+        assert p.schedule("k") == (0.1, 0.2, 0.35, 0.35, 0.35)
+
+    def test_jitter_bounded(self):
+        p = RetryPolicy(base_delay=1.0, multiplier=1.0, max_delay=1.0,
+                        jitter=0.25)
+        for attempt in range(1, 3):
+            d = p.delay("k", attempt)
+            assert 0.75 <= d <= 1.25
+
+    def test_attempt_zero_never_waits(self):
+        assert RetryPolicy().delay("k", 0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=2.0)
+
+
+# -- chaos plan ---------------------------------------------------------------
+
+
+class TestHarnessChaosPlan:
+    def test_deterministic_fates(self):
+        a = HarnessChaosPlan(seed=1, kill_prob=0.5, hang_prob=0.3)
+        b = HarnessChaosPlan(seed=1, kill_prob=0.5, hang_prob=0.3)
+        fates = [(k, att) for k in ("x", "y", "z") for att in range(3)]
+        assert [a.worker_fate(k, t) for k, t in fates] == [
+            b.worker_fate(k, t) for k, t in fates
+        ]
+
+    def test_fault_budget_guards_progress(self):
+        plan = HarnessChaosPlan(seed=0, kill_prob=1.0, max_faults=2)
+        assert plan.worker_fate("k", 0) == "kill"
+        assert plan.worker_fate("k", 1) == "kill"
+        assert plan.worker_fate("k", 2) is None
+        assert plan.shard_fate(0, 5, incarnation=2) is None
+
+    def test_roundtrip(self):
+        plan = HarnessChaosPlan(seed=3, kill_prob=0.1, shard_hang_prob=0.2)
+        assert HarnessChaosPlan.from_dict(plan.to_dict()) == plan
+
+    def test_active(self):
+        assert not HarnessChaosPlan().active
+        assert HarnessChaosPlan(kill_prob=0.1).active
+        assert not HarnessChaosPlan(kill_prob=0.1, max_faults=0).active
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HarnessChaosPlan(kill_prob=1.5)
+        with pytest.raises(ValueError):
+            HarnessChaosPlan(max_faults=-1)
+
+
+# -- outcomes -----------------------------------------------------------------
+
+
+class TestOutcomes:
+    def test_classification_properties(self):
+        ok = TaskOutcome(index=0, key="k", status="ok", result=4,
+                         attempts=1, history=("ok",))
+        crashed = TaskOutcome(index=1, key="k", status="ok", result=4,
+                              attempts=2, history=("crashed", "ok"))
+        timed = TaskOutcome(index=2, key="k", status="quarantined",
+                            kind="timeout", attempts=3,
+                            history=("timeout", "timeout", "timeout"))
+        failed = TaskOutcome(index=3, key="k", status="failed",
+                             kind="exception", attempts=1,
+                             history=("exception",))
+        assert ok.ok and not ok.crashed
+        assert crashed.ok and crashed.crashed
+        assert not timed.ok and timed.crashed
+        assert not failed.ok and not failed.crashed
+
+    def test_poison_error_collects_only_failures(self):
+        ok = TaskOutcome(index=0, key="k", status="ok")
+        bad = TaskOutcome(index=1, key="k", status="quarantined",
+                          kind="crashed", attempts=3)
+        err = PoisonTaskError([ok, bad])
+        assert err.outcomes == (bad,)
+        assert "quarantined" in str(err)
+
+    def test_stats_merge(self):
+        a = PoolStats(dispatched=3, completed=2, crashed=1)
+        b = PoolStats(dispatched=1, completed=1, respawns=2)
+        a.merge(b)
+        assert a.dispatched == 4 and a.completed == 3
+        assert a.crashed == 1 and a.respawns == 2
+        assert "4" in a.describe()
+
+
+# -- the pool -----------------------------------------------------------------
+
+
+class TestSupervisedPool:
+    def test_plain_batch_ordered(self):
+        with SupervisedPool(_square, workers=2) as pool:
+            outcomes = pool.run(list(range(6)))
+        assert [o.result for o in outcomes] == [i * i for i in range(6)]
+        assert all(o.ok and o.history == ("ok",) for o in outcomes)
+        assert pool.stats.completed == 6
+        assert pool.stats.respawns == 0
+
+    def test_task_exception_not_retried(self):
+        with SupervisedPool(_boom, workers=1) as pool:
+            outcomes = pool.run([1])
+        (o,) = outcomes
+        assert o.status == "failed" and o.kind == "exception"
+        assert o.attempts == 1 and "bad payload 1" in o.error
+        assert pool.stats.failed == 1 and pool.stats.retried == 0
+
+    @pytest.mark.resilience
+    def test_worker_kill_recovered(self):
+        chaos = HarnessChaosPlan(seed=0, kill_prob=1.0, max_faults=1)
+        retry = RetryPolicy(base_delay=0.01, max_delay=0.05)
+        with SupervisedPool(_square, workers=2, chaos=chaos,
+                            retry=retry) as pool:
+            outcomes = pool.run([2, 3])
+        assert [o.result for o in outcomes] == [4, 9]
+        assert all(o.history == ("crashed", "ok") for o in outcomes)
+        assert pool.stats.crashed == 2 and pool.stats.respawns == 2
+
+    @pytest.mark.resilience
+    def test_poison_task_quarantined(self):
+        chaos = HarnessChaosPlan(seed=0, kill_prob=1.0, max_faults=99)
+        retry = RetryPolicy(max_attempts=3, base_delay=0.01, max_delay=0.02)
+        with SupervisedPool(_square, workers=1, chaos=chaos,
+                            retry=retry) as pool:
+            outcomes = pool.run([5])
+        (o,) = outcomes
+        assert o.status == "quarantined" and o.kind == "crashed"
+        assert o.attempts == 3
+        assert o.history == ("crashed", "crashed", "crashed")
+        assert pool.stats.quarantined == 1
+
+    @pytest.mark.resilience
+    def test_worker_hang_recovered_by_deadline(self):
+        chaos = HarnessChaosPlan(seed=0, hang_prob=1.0, max_faults=1)
+        retry = RetryPolicy(base_delay=0.01, max_delay=0.05)
+        with SupervisedPool(_square, workers=1, chaos=chaos, retry=retry,
+                            task_timeout=0.5, heartbeat=0.05) as pool:
+            outcomes = pool.run([7])
+        (o,) = outcomes
+        assert o.ok and o.result == 49
+        assert o.history == ("timeout", "ok")
+        assert pool.stats.timed_out == 1
+
+    @pytest.mark.resilience
+    def test_slow_task_times_out(self):
+        retry = RetryPolicy(max_attempts=1)
+        with SupervisedPool(_slow_square, workers=1, retry=retry,
+                            task_timeout=0.2) as pool:
+            outcomes = pool.run([30.0])
+        (o,) = outcomes
+        assert o.status == "quarantined" and o.kind == "timeout"
+
+    def test_empty_batch(self):
+        with SupervisedPool(_square, workers=2) as pool:
+            assert pool.run([]) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SupervisedPool(_square, workers=0)
+        with pytest.raises(ValueError):
+            SupervisedPool(_square, workers=1, task_timeout=0.0)
+        with SupervisedPool(_square, workers=1) as pool:
+            with pytest.raises(ValueError):
+                pool.run([1, 2], keys=["only-one"])
+
+    def test_close_idempotent(self):
+        pool = SupervisedPool(_square, workers=1)
+        assert pool.run([3])[0].result == 9
+        pool.close()
+        pool.close()
+        assert pool.run([4])[0].result == 16  # pool respawns after close
+        pool.close()
