@@ -68,6 +68,27 @@ def _machine(name: str):
     raise SystemExit(f"unknown machine {name!r} (choose pentium or sci)")
 
 
+def _add_topology_arg(p: argparse.ArgumentParser) -> None:
+    from repro.sim.topology import TOPOLOGIES
+
+    p.add_argument(
+        "--topology", default="crossbar", choices=TOPOLOGIES,
+        help="network fabric; crossbar (default) is the historical "
+             "contention-free model, others route per-link hops",
+    )
+
+
+def _topology(args: argparse.Namespace, num_ranks: int):
+    """The fabric selected by ``--topology`` (``None`` for the default
+    crossbar: bit-identical to the pre-topology model)."""
+    name = getattr(args, "topology", None)
+    if not name or name == "crossbar":
+        return None
+    from repro.sim.topology import make_topology
+
+    return make_topology(name, num_ranks)
+
+
 def _engine(args: argparse.Namespace):
     """The sweep engine configured by the global CLI flags."""
     from repro.experiments.cache import SimCache, default_cache_dir
@@ -175,12 +196,19 @@ def _cmd_scale(args: argparse.Namespace) -> int:
         f"{'non-overlapping' if blocking else 'overlapping'} schedule",
         file=sys.stderr,
     )
+    topology = _topology(args, w.num_processors)
+    if topology is not None and args.shards > 1:
+        raise SystemExit(
+            "routed topologies are single-simulator only; drop --shards "
+            "or use --topology crossbar"
+        )
     t0 = time.perf_counter()
     if args.shards == 1:
         # Direct run (no engine cache): this command reports throughput,
         # so a cache-served result would be meaningless.
         res = run_tiled(w, args.v, m, blocking=blocking,
-                        trace=args.trace, queue=args.queue)
+                        trace=args.trace, queue=args.queue,
+                        topology=topology)
         rows = [
             ("completion time (s)", res.completion_time),
             ("messages", res.messages_sent),
@@ -389,6 +417,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     )
     m = _machine(args.machine)
     blocking = args.schedule == "nonoverlap"
+    topology = _topology(args, w.num_processors)
     if args.drop_rate > 0.0 or args.jitter > 0.0:
         from repro.runtime.executor import run_tiled_robust
         from repro.sim.faults import FaultPlan
@@ -399,10 +428,12 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             faults=FaultPlan(seed=args.seed, drop_prob=args.drop_rate,
                              jitter=args.jitter),
             reliable=ReliableConfig(),
+            topology=topology,
         )
         status = run.status
     else:
-        run = run_tiled(w, args.v, m, blocking=blocking, trace=True)
+        run = run_tiled(w, args.v, m, blocking=blocking, trace=True,
+                        topology=topology)
         status = "completed"
     run.trace.dump_chrome_trace(args.out)
     lanes = ",".join(run.trace.resources())
@@ -413,6 +444,65 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     )
     if args.report:
         cp = run.critical_path()
+        if cp is None:
+            print("no critical path (empty or deadlocked trace)")
+        else:
+            print()
+            print(cp.describe())
+            print("binding chain (latest intervals last):")
+            print(cp.summarize_chain())
+    return 0
+
+
+def _cmd_summa(args: argparse.Namespace) -> int:
+    from repro.kernels.gemm import SummaConfig, run_summa
+
+    m = _machine(args.machine)
+    methods = (
+        ("sequential", "pipelined") if args.method == "both"
+        else (args.method,)
+    )
+    faults = reliable = None
+    if args.drop_rate > 0.0 or args.jitter > 0.0:
+        from repro.sim.faults import FaultPlan
+        from repro.sim.reliable import ReliableConfig
+
+        faults = FaultPlan(seed=args.seed, drop_prob=args.drop_rate,
+                           jitter=args.jitter)
+        reliable = ReliableConfig()
+    want_trace = bool(args.trace_out) or args.report
+    last = None
+    by_method = {}
+    for method in methods:
+        cfg = SummaConfig(
+            grid=args.grid, tile_m=args.tile, tile_n=args.tile,
+            tile_k=args.tile, panels=args.panels,
+            segments=args.segments, method=method,
+        )
+        topology = _topology(args, cfg.num_ranks)
+        res = run_summa(cfg, m, topology=topology, trace=want_trace,
+                        faults=faults, reliable=reliable)
+        s = res.network_stats
+        extra = f"; {s['hops']} routed hops" if "hops" in s else ""
+        retx = s.get("retransmits", 0)
+        if retx:
+            extra += f"; {retx} retransmits"
+        print(
+            f"{cfg.describe()} on {args.topology}: "
+            f"{res.completion_time * 1e3:.3f} ms ({res.status}), "
+            f"{res.messages_sent} messages{extra}"
+        )
+        last = res
+        by_method[method] = res
+    if len(by_method) == 2 and by_method["pipelined"].completion_time > 0:
+        speedup = (by_method["sequential"].completion_time
+                   / by_method["pipelined"].completion_time)
+        print(f"pipelined speedup over sequential: {speedup:.3f}x")
+    if args.trace_out and last is not None:
+        last.trace.dump_chrome_trace(args.trace_out)
+        print(f"trace of {last.config.method} run -> {args.trace_out}")
+    if args.report and last is not None:
+        cp = last.critical_path()
         if cp is None:
             print("no critical path (empty or deadlocked trace)")
         else:
@@ -532,6 +622,7 @@ def build_parser() -> argparse.ArgumentParser:
     scale.add_argument("--trace", nargs="?", const="streaming",
                        default=False, choices=("streaming", "full"),
                        help="trace mode (default off; bare flag = streaming)")
+    _add_topology_arg(scale)
     scale.set_defaults(func=_cmd_scale)
 
     gantt = sub.add_parser("gantt", help="Gantt charts of both schedules")
@@ -585,7 +676,39 @@ def build_parser() -> argparse.ArgumentParser:
                     help="max per-message latency jitter in seconds")
     tr.add_argument("--seed", type=int, default=0,
                     help="fault-plan seed (with --drop-rate/--jitter)")
+    _add_topology_arg(tr)
     tr.set_defaults(func=_cmd_trace)
+
+    summa = sub.add_parser(
+        "summa",
+        help="SUMMA GEMM on a 2-D grid: pipelined multicast vs the "
+             "naive sequential broadcast",
+    )
+    summa.add_argument("--grid", type=_positive_int, default=4,
+                       help="process grid side (grid² ranks, default 4)")
+    summa.add_argument("--panels", type=_positive_int, default=8,
+                       help="k-panel steps (default 8)")
+    summa.add_argument("--tile", type=_positive_int, default=64,
+                       help="cubic tile edge: tile_m = tile_n = tile_k")
+    summa.add_argument("--segments", type=_positive_int, default=4,
+                       help="pipeline segments per panel multicast")
+    summa.add_argument("--method", default="both",
+                       choices=("pipelined", "sequential", "both"),
+                       help="broadcast implementation(s) to run")
+    summa.add_argument("--trace-out", metavar="PATH",
+                       help="dump a Perfetto/Chrome trace of the (last) run")
+    summa.add_argument("--report", action="store_true",
+                       help="print the critical-path report (collective "
+                            "legs show up as labelled NIC/link intervals)")
+    summa.add_argument("--drop-rate", type=float, default=0.0, metavar="P",
+                       help="inject seeded message drops on collective legs "
+                            "(ARQ recovers them)")
+    summa.add_argument("--jitter", type=float, default=0.0, metavar="S",
+                       help="max per-message latency jitter in seconds")
+    summa.add_argument("--seed", type=int, default=0,
+                       help="fault-plan seed (with --drop-rate/--jitter)")
+    _add_topology_arg(summa)
+    summa.set_defaults(func=_cmd_summa)
 
     cg = sub.add_parser("codegen", help="emit tiled-loop / SPMD source")
     cg.add_argument("kind", choices=("loops", "mpi", "mpi4py"))

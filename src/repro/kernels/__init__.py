@@ -1,5 +1,12 @@
 """Stencil kernels, sequential references, and the paper's workloads."""
 
+from repro.kernels.gemm import (
+    SummaConfig,
+    SummaResult,
+    run_summa,
+    summa_programs,
+    summa_watchdog,
+)
 from repro.kernels.library import (
     all_library_kernels,
     anisotropic_3d,
@@ -28,6 +35,8 @@ from repro.kernels.workloads import (
 __all__ = [
     "StencilKernel",
     "StencilWorkload",
+    "SummaConfig",
+    "SummaResult",
     "all_library_kernels",
     "allocate_with_halo",
     "anisotropic_3d",
@@ -41,7 +50,10 @@ __all__ = [
     "paper_experiment_ii",
     "paper_experiment_iii",
     "paper_experiments",
+    "run_summa",
     "sequential_reference",
     "sqrt_kernel_3d",
     "sum_kernel_2d",
+    "summa_programs",
+    "summa_watchdog",
 ]

@@ -66,6 +66,13 @@ class Machine:
     duplex: bool = True
     network_latency: float = 0.0
     dma_channels: int = 1
+    barrier_algorithm: str = "rendezvous"
+
+    #: Valid ``barrier_algorithm`` values: ``"rendezvous"`` is the free
+    #: zero-cost rendezvous (the historical behaviour, keeps every golden
+    #: bit-identical); ``"dissemination"`` runs the ceil(log2 n)-round
+    #: dissemination barrier as real messages through the network.
+    BARRIER_ALGORITHMS = ("rendezvous", "dissemination")
 
     def __post_init__(self) -> None:
         require_positive_float(self.t_c, "t_c")
@@ -80,6 +87,11 @@ class Machine:
         require_nonnegative_float(self.fill_kernel_per_byte, "fill_kernel_per_byte")
         require_nonnegative_float(self.network_latency, "network_latency")
         require_positive_int(self.dma_channels, "dma_channels")
+        if self.barrier_algorithm not in self.BARRIER_ALGORITHMS:
+            raise ValueError(
+                f"barrier_algorithm must be one of {self.BARRIER_ALGORITHMS}, "
+                f"got {self.barrier_algorithm!r}"
+            )
 
     # -- cost components ------------------------------------------------------
 

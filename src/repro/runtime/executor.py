@@ -75,6 +75,7 @@ def run_tiled(
     max_events: int = 50_000_000,
     engine=None,
     queue: str = "heap",
+    topology=None,
 ) -> ExecutionResult:
     """Simulate the workload at tile height ``v`` under one schedule.
 
@@ -85,20 +86,23 @@ def run_tiled(
 
     ``engine`` (a :class:`repro.experiments.engine.Engine`) routes the
     run through the fast sweep engine — persistent result cache and
-    optional steady-state fast-forward; numeric and traced runs always
-    execute directly.
+    optional steady-state fast-forward; numeric, traced, and
+    topology-routed runs always execute directly.
 
     ``trace`` accepts ``False``/``True``/``"full"``/``"streaming"`` (see
     :class:`~repro.sim.mpi.World`); ``queue`` selects the event-queue
     backend (``"heap"`` or ``"calendar"``) — results are bit-identical
-    across backends and trace modes.
+    across backends and trace modes.  ``topology`` (a
+    :class:`~repro.sim.topology.Topology`) selects the fabric; ``None``
+    or a crossbar keeps the historical model bit-identically.
     """
-    if engine is not None and not (numeric or trace):
+    if engine is not None and topology is None and not (numeric or trace):
         return engine.run_tiled(
             workload, v, machine, blocking=blocking, max_events=max_events
         )
     prog = TiledProgram(workload, v, machine, blocking=blocking, numeric=numeric)
-    world = World(machine, prog.num_ranks, trace=trace, queue=queue)
+    world = World(machine, prog.num_ranks, trace=trace, queue=queue,
+                  topology=topology)
     completion = world.run(prog.programs(), max_events=max_events)
     util = (
         world.trace.mean_utilization(completion)
@@ -294,6 +298,7 @@ def run_tiled_robust(
     trace: bool | str = False,
     max_events: int = 50_000_000,
     queue: str = "heap",
+    topology=None,
 ) -> RobustResult:
     """Simulate the workload under fault injection with a live watchdog.
 
@@ -308,7 +313,7 @@ def run_tiled_robust(
     prog = TiledProgram(workload, v, machine, blocking=blocking, numeric=numeric)
     world = World(
         machine, prog.num_ranks, trace=trace, faults=faults, reliable=reliable,
-        queue=queue,
+        queue=queue, topology=topology,
     )
     if watchdog is None:
         watchdog = default_watchdog(

@@ -1,5 +1,6 @@
 """Deterministic discrete-event cluster simulator with MPI-like messaging."""
 
+from repro.sim.collectives import COLLECTIVE_TAG_BASE, CollectiveEffect
 from repro.sim.core import AllOf, Effect, Event, Process, Simulator, Timeout, WaitEvent
 from repro.sim.critical_path import CriticalPath, analyze_critical_path
 from repro.sim.equeue import CalendarQueue, EventQueue, HeapQueue
@@ -34,6 +35,15 @@ from repro.sim.sharding import (
     shard_bounds,
 )
 from repro.sim.steady import SteadyStateReport, analyze, compute_starts, steady_period
+from repro.sim.topology import (
+    TOPOLOGIES,
+    Crossbar,
+    FatTree,
+    Mesh2D,
+    Ring,
+    Topology,
+    make_topology,
+)
 from repro.sim.tracing import (
     A_TERMS,
     B_TERMS,
@@ -50,25 +60,31 @@ __all__ = [
     "AllOf",
     "B_TERMS",
     "BlockedRank",
+    "COLLECTIVE_TAG_BASE",
     "CPU_BUSY_KINDS",
     "CalendarQueue",
+    "CollectiveEffect",
     "CriticalPath",
+    "Crossbar",
     "DeadlockReport",
     "Degradation",
     "Effect",
     "Event",
     "EventQueue",
     "FastForwardReport",
+    "FatTree",
     "FaultPlan",
     "FifoResource",
     "HeapQueue",
     "KIND_TERMS",
     "LinkFaults",
+    "Mesh2D",
     "MessageFate",
     "Network",
     "NodePause",
     "Process",
     "RESOURCES",
+    "Ring",
     "Rank",
     "RecvRequest",
     "ReliableConfig",
@@ -82,7 +98,9 @@ __all__ = [
     "Simulator",
     "SteadyStateReport",
     "Straggler",
+    "TOPOLOGIES",
     "Timeout",
+    "Topology",
     "Trace",
     "TraceRecord",
     "WaitEvent",
@@ -94,6 +112,7 @@ __all__ = [
     "diagnose",
     "fastforward_eligible",
     "fastforward_run",
+    "make_topology",
     "merged_length",
     "shard_bounds",
     "steady_period",

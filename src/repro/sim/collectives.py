@@ -1,0 +1,404 @@
+"""Collective operations lowered to point-to-point messages.
+
+Every collective here is an explicit algorithm over the existing
+``send``/``recv`` machinery of :class:`~repro.sim.mpi.Rank` — exactly the
+way MPICH lowers its collectives — so everything the simulator already
+does to point-to-point traffic applies to collective legs for free:
+eq.-(4) cost attribution (A1/A3 on the CPU, B3/B2 on the DMA, B4/B1 on
+the NICs), topology routing and link contention, FaultPlan fates and ARQ
+retransmission, trace lanes, the chaos watchdog, and the critical-path
+analyzer.
+
+Algorithms (the classic ones, chosen for determinism and for matching
+the latency models in the literature):
+
+* :func:`bcast` — binomial tree (ceil(log2 n) rounds, MPICH's
+  ``MPIR_Bcast_binomial``): the root's subtree halves every round.
+* :func:`reduce` — reverse binomial tree toward the root; the combine
+  order is fixed by the tree, so reductions are bit-deterministic.
+* :func:`allreduce` — recursive doubling with the standard non-power-of-2
+  pre/post fold (odd ranks below ``2 * rem`` fold into their even
+  neighbour, doubling runs on the power-of-2 core, results fan back).
+* :func:`gather` — linear: every non-root sends to the root, which posts
+  all receives up front (``irecv`` + ``waitall``).
+* :func:`multicast` — pipelined chain over an ordered group: the payload
+  is cut into ``segments`` equal pieces and forwarded store-and-forward
+  down the chain, so segment ``s`` rides the wire while segment ``s+1``
+  is still arriving — the SUMMA pipelined-multicast primitive.
+* :func:`barrier` — dissemination barrier: round ``k`` sends a zero-byte
+  token to rank ``(i + 2^k) mod n`` and waits for one from
+  ``(i - 2^k) mod n``; after ceil(log2 n) rounds every rank has heard
+  (transitively) from every other.
+
+Tag discipline: collective traffic lives in a reserved tag space above
+:data:`COLLECTIVE_TAG_BASE` (1 << 20), far from any application tag.
+Within one operation the tags are *fixed* — successive collectives of
+the same shape need no sequence numbers because MPI's per-(src, dst,
+tag) non-overtaking FIFO plus SPMD program order already match the
+``k``-th send to the ``k``-th receive on every stream.  Disjoint groups
+running concurrent collectives should pass distinct ``tag`` offsets.
+
+Each rank runs its share of the algorithm as a *sub-process* (spawned
+generator) and the calling program blocks on its completion, so a
+wedged collective shows up in deadlock diagnostics under its own name
+(``rank3.reduce``) with the precise leg it is stuck on.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from repro.sim.core import Effect, Process
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.mpi import Rank
+
+__all__ = [
+    "COLLECTIVE_TAG_BASE",
+    "CollectiveEffect",
+    "bcast",
+    "reduce",
+    "allreduce",
+    "gather",
+    "multicast",
+    "barrier",
+]
+
+#: Base of the reserved tag space for collective traffic.  Application
+#: point-to-point tags must stay below this.
+COLLECTIVE_TAG_BASE = 1 << 20
+
+# Per-operation tag offsets inside the reserved space.  Each operation
+# gets a generous stride so multi-tag algorithms (per-segment multicast
+# tags, per-round barrier tags, the allreduce fold/exchange phases) never
+# collide across operations.
+_TAG_BCAST = COLLECTIVE_TAG_BASE
+_TAG_REDUCE = COLLECTIVE_TAG_BASE + 0x10000
+_TAG_ALLREDUCE = COLLECTIVE_TAG_BASE + 0x20000
+_TAG_GATHER = COLLECTIVE_TAG_BASE + 0x30000
+_TAG_MULTICAST = COLLECTIVE_TAG_BASE + 0x40000
+_TAG_BARRIER = COLLECTIVE_TAG_BASE + 0x50000
+
+
+class CollectiveEffect(Effect):
+    """Runs one rank's share of a collective algorithm as a named
+    sub-process and resumes the caller with the algorithm's result."""
+
+    __slots__ = ("ctx", "name", "gen")
+
+    def __init__(self, ctx: "Rank", name: str, gen):
+        self.ctx = ctx
+        self.name = name
+        self.gen = gen
+
+    def start(self, process: Process) -> None:
+        w = self.ctx.world
+        proc = w.sim.spawn(f"rank{self.ctx.rank}.{self.name}", self.gen)
+        process.waiting_on = self.name
+        proc.done_event.add_callback(process.resume)
+
+
+def _group_pos(ctx: "Rank", group: Sequence[int] | None) -> tuple[tuple[int, ...], int]:
+    """Validate ``group`` (default: all ranks) and locate the caller."""
+    w = ctx.world
+    if group is None:
+        members = tuple(range(w.num_ranks))
+    else:
+        members = tuple(group)
+        if len(set(members)) != len(members):
+            raise ValueError("collective group has duplicate ranks")
+        for r in members:
+            if not 0 <= r < w.num_ranks:
+                raise ValueError(f"group rank {r} outside [0, {w.num_ranks})")
+    if not members:
+        raise ValueError("collective group is empty")
+    try:
+        pos = members.index(ctx.rank)
+    except ValueError:
+        raise ValueError(
+            f"rank {ctx.rank} called a collective on group {members} "
+            "it does not belong to"
+        ) from None
+    return members, pos
+
+
+def _root_pos(members: tuple[int, ...], root: int) -> int:
+    try:
+        return members.index(root)
+    except ValueError:
+        raise ValueError(f"root {root} not in collective group {members}") from None
+
+
+# -- broadcast ----------------------------------------------------------------
+
+
+def bcast(ctx: "Rank", root: int, nbytes: float, payload: object = None,
+          *, group: Sequence[int] | None = None, tag: int = 0) -> Effect:
+    """Binomial-tree broadcast of the root's ``payload`` to every rank of
+    ``group``; yields the payload on every rank.  ``payload`` is only
+    read on the root."""
+    members, pos = _group_pos(ctx, group)
+    root_pos = _root_pos(members, root)
+    return CollectiveEffect(
+        ctx, "bcast",
+        _bcast_gen(ctx, members, pos, root_pos, nbytes, payload,
+                   _TAG_BCAST + tag),
+    )
+
+
+def _bcast_gen(ctx, members, pos, root_pos, nbytes, payload, tag):
+    n = len(members)
+    vrank = (pos - root_pos) % n
+    label = f"bcast {members[root_pos]}*"
+    # Receive from the subtree parent: the lowest set bit of vrank.
+    mask = 1
+    while mask < n:
+        if vrank & mask:
+            src = members[(vrank - mask + root_pos) % n]
+            payload = yield ctx.recv(src, nbytes, tag)
+            break
+        mask <<= 1
+    # Forward to children, farthest subtree first (largest mask).
+    mask >>= 1
+    reqs = []
+    while mask > 0:
+        if vrank + mask < n:
+            dst = members[(vrank + mask + root_pos) % n]
+            reqs.append((yield ctx.isend(dst, nbytes, payload, tag,
+                                         label=label)))
+        mask >>= 1
+    if reqs:
+        yield ctx.waitall(reqs)
+    return payload
+
+
+# -- reduce -------------------------------------------------------------------
+
+
+def reduce(ctx: "Rank", root: int, nbytes: float, payload: object = None,
+           *, op: Callable[[object, object], object] | None = None,
+           group: Sequence[int] | None = None, tag: int = 0) -> Effect:
+    """Reverse-binomial-tree reduction toward ``root``; yields the
+    combined value on the root and ``None`` elsewhere.  ``op(acc, other)``
+    combines two contributions (applied in the fixed tree order —
+    bit-deterministic); with ``op=None`` the payloads are ignored and the
+    reduction is pure synchronisation/traffic."""
+    members, pos = _group_pos(ctx, group)
+    root_pos = _root_pos(members, root)
+    return CollectiveEffect(
+        ctx, "reduce",
+        _reduce_gen(ctx, members, pos, root_pos, nbytes, payload, op,
+                    _TAG_REDUCE + tag),
+    )
+
+
+def _reduce_gen(ctx, members, pos, root_pos, nbytes, payload, op, tag):
+    n = len(members)
+    vrank = (pos - root_pos) % n
+    label = f"reduce *{members[root_pos]}"
+    acc = payload
+    mask = 1
+    while mask < n:
+        if vrank & mask:
+            dst = members[(vrank - mask + root_pos) % n]
+            yield ctx.send(dst, nbytes, acc, tag, label=label)
+            return None
+        vpeer = vrank | mask
+        if vpeer < n:
+            src = members[(vpeer + root_pos) % n]
+            other = yield ctx.recv(src, nbytes, tag)
+            if op is not None:
+                acc = op(acc, other)
+        mask <<= 1
+    return acc
+
+
+# -- allreduce ----------------------------------------------------------------
+
+
+def allreduce(ctx: "Rank", nbytes: float, payload: object = None,
+              *, op: Callable[[object, object], object] | None = None,
+              group: Sequence[int] | None = None, tag: int = 0) -> Effect:
+    """Recursive-doubling allreduce; yields the combined value on every
+    rank.  Non-power-of-2 groups use the standard fold: the odd ranks of
+    the first ``2 * rem`` fold into their even neighbour, doubling runs
+    on the power-of-2 core, and the result fans back out."""
+    members, pos = _group_pos(ctx, group)
+    return CollectiveEffect(
+        ctx, "allreduce",
+        _allreduce_gen(ctx, members, pos, nbytes, payload, op,
+                       _TAG_ALLREDUCE + tag),
+    )
+
+
+def _allreduce_gen(ctx, members, pos, nbytes, payload, op, tag):
+    n = len(members)
+    label = "allreduce"
+    acc = payload
+    pof2 = 1
+    while pof2 * 2 <= n:
+        pof2 *= 2
+    rem = n - pof2
+
+    # Pre-fold: odd ranks below 2*rem contribute to their even neighbour
+    # and sit out the doubling phase.
+    if pos < 2 * rem:
+        if pos % 2:
+            yield ctx.send(members[pos - 1], nbytes, acc, tag, label=label)
+            newpos = -1
+        else:
+            other = yield ctx.recv(members[pos + 1], nbytes, tag)
+            if op is not None:
+                acc = op(acc, other)
+            newpos = pos // 2
+    else:
+        newpos = pos - rem
+
+    if newpos >= 0:
+        mask = 1
+        while mask < pof2:
+            peer_new = newpos ^ mask
+            peer_pos = peer_new * 2 if peer_new < rem else peer_new + rem
+            peer = members[peer_pos]
+            req = yield ctx.isend(peer, nbytes, acc, tag + 1, label=label)
+            other = yield ctx.recv(peer, nbytes, tag + 1)
+            yield ctx.wait(req)
+            if op is not None:
+                acc = op(acc, other)
+            mask <<= 1
+
+    # Post-fold: even ranks hand the finished value back to the odd
+    # neighbour that folded in.
+    if pos < 2 * rem:
+        if pos % 2:
+            acc = yield ctx.recv(members[pos - 1], nbytes, tag + 2)
+        else:
+            yield ctx.send(members[pos + 1], nbytes, acc, tag + 2,
+                           label=label)
+    return acc
+
+
+# -- gather -------------------------------------------------------------------
+
+
+def gather(ctx: "Rank", root: int, nbytes: float, payload: object = None,
+           *, group: Sequence[int] | None = None, tag: int = 0) -> Effect:
+    """Linear gather to ``root``; yields the list of contributions in
+    group order on the root and ``None`` elsewhere."""
+    members, pos = _group_pos(ctx, group)
+    root_pos = _root_pos(members, root)
+    return CollectiveEffect(
+        ctx, "gather",
+        _gather_gen(ctx, members, pos, root_pos, nbytes, payload,
+                    _TAG_GATHER + tag),
+    )
+
+
+def _gather_gen(ctx, members, pos, root_pos, nbytes, payload, tag):
+    n = len(members)
+    label = f"gather *{members[root_pos]}"
+    if pos != root_pos:
+        yield ctx.send(members[root_pos], nbytes, payload, tag, label=label)
+        return None
+    results: list[object] = [None] * n
+    results[pos] = payload
+    reqs = []
+    order = []
+    for p in range(n):
+        if p == root_pos:
+            continue
+        reqs.append((yield ctx.irecv(members[p], nbytes, tag)))
+        order.append(p)
+    values = yield ctx.waitall(reqs)
+    for p, value in zip(order, values):
+        results[p] = value
+    return results
+
+
+# -- pipelined multicast ------------------------------------------------------
+
+
+def multicast(ctx: "Rank", group: Sequence[int], nbytes: float,
+              payload: object = None, *, segments: int = 1,
+              tag: int = 0) -> Effect:
+    """Pipelined-chain multicast: ``group[0]`` is the source, the payload
+    flows down the chain ``group[0] -> group[1] -> ...`` cut into
+    ``segments`` equal pieces, each forwarded as soon as it lands.  With
+    enough segments the chain behaves like a pipeline: total time
+    approaches one traversal plus one segment per extra hop instead of a
+    full payload per hop — the SUMMA pipelined-multicast primitive.
+
+    Yields the payload on every rank of the chain.  The payload *value*
+    rides the first segment (segments model timing, not data layout).
+    ``group`` must be explicit (the chain order is the schedule).
+    """
+    members, pos = _group_pos(ctx, group)
+    if segments < 1:
+        raise ValueError("segments must be at least 1")
+    return CollectiveEffect(
+        ctx, "multicast",
+        _multicast_gen(ctx, members, pos, nbytes, payload, segments,
+                       _TAG_MULTICAST + tag),
+    )
+
+
+def _multicast_gen(ctx, members, pos, nbytes, payload, segments, tag):
+    n = len(members)
+    if n == 1:
+        return payload
+        yield  # pragma: no cover - makes this a generator
+    label = f"mcast {members[0]}*"
+    seg_bytes = nbytes / segments
+    nxt = members[pos + 1] if pos + 1 < n else None
+    prv = members[pos - 1] if pos > 0 else None
+    out = payload
+    reqs = []
+    for s in range(segments):
+        if prv is not None:
+            part = yield ctx.recv(prv, seg_bytes, tag + s)
+            if s == 0:
+                out = part
+        else:
+            part = payload if s == 0 else None
+        if nxt is not None:
+            reqs.append((yield ctx.isend(nxt, seg_bytes, part, tag + s,
+                                         label=label)))
+    if reqs:
+        yield ctx.waitall(reqs)
+    return out
+
+
+# -- dissemination barrier ----------------------------------------------------
+
+
+def barrier(ctx: "Rank", *, group: Sequence[int] | None = None,
+            tag: int = 0) -> Effect:
+    """Dissemination barrier over ``group``: ceil(log2 n) rounds of
+    zero-byte tokens; after round ``k`` every rank has (transitively)
+    heard from the ``2^(k+1)`` ranks behind it.  Unlike the free
+    rendezvous this pays real A1/A3 startup and latency per round — the
+    measurable cost of synchronisation."""
+    members, pos = _group_pos(ctx, group)
+    return CollectiveEffect(
+        ctx, "barrier",
+        _barrier_gen(ctx, members, pos, _TAG_BARRIER + tag),
+    )
+
+
+def _barrier_gen(ctx, members, pos, tag):
+    n = len(members)
+    if n == 1:
+        return None
+        yield  # pragma: no cover - makes this a generator
+    label = "barrier"
+    k = 0
+    dist = 1
+    while dist < n:
+        dst = members[(pos + dist) % n]
+        src = members[(pos - dist) % n]
+        req = yield ctx.isend(dst, 0.0, None, tag + k, label=label)
+        yield ctx.recv(src, 0.0, tag + k)
+        yield ctx.wait(req)
+        dist <<= 1
+        k += 1
+    return None

@@ -16,9 +16,10 @@ candidates tie, real work beats blocked-wait bookkeeping, a pipeline
 handoff (same message label, different resource) beats coincidence, and
 same-rank beats cross-rank — deterministic, so the same trace always
 yields the same chain.  Gaps (nothing ended where the chain record
-starts) are accounted as idle seconds; ``link`` lane records are skipped
-because they span the whole TX→RX flight and would shadow the real NIC
-stages.
+starts) are accounted as idle seconds; ``in_flight`` link records are
+skipped because they span the whole TX→RX flight and would shadow the
+real NIC stages — but routed-topology ``hop`` records are real work on a
+contended link resource, so they participate like any other stage.
 
 :func:`analyze_critical_path` returns a :class:`CriticalPath`: the
 binding chain, its per-term breakdown, measured per-rank ``(ΣA, ΣB)``,
@@ -176,7 +177,8 @@ def analyze_critical_path(
     cutoff = span * (1.0 + 1e-9) + 1e-12
     pool = [
         r for r in trace.records
-        if r.resource != "link" and r.end <= cutoff
+        if not (r.resource == "link" and r.kind == "in_flight")
+        and r.end <= cutoff
     ]
     if not pool:
         return CriticalPath(makespan=span, chain=(),

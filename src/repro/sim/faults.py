@@ -269,7 +269,15 @@ class FaultPlan:
 
     def wire_factor(self, src: int, dst: int, t: float) -> float:
         """Wire-time multiplier for a message submitted on the link at
-        time ``t`` (product of all active degradation windows)."""
+        time ``t`` (product of all active degradation windows).
+
+        Degradations are keyed by the *endpoint pair*, not by physical
+        link: on a routed topology (:mod:`repro.sim.topology`) the factor
+        is evaluated once at wire-leg submission and scales every hop of
+        the route uniformly — a degraded path, not a degraded switch
+        port.  Collective legs are ordinary point-to-point messages here,
+        so per-pair fates and degradations hit them like any other
+        traffic."""
         factor = 1.0
         for d in self.degradations:
             if (

@@ -56,6 +56,7 @@ from repro.sim.tracing import Trace
 
 if TYPE_CHECKING:  # pragma: no cover - deadlock imports this module
     from repro.sim.deadlock import RunOutcome, WatchdogConfig
+    from repro.sim.topology import Topology
 
 __all__ = ["World", "Rank", "SendRequest", "RecvRequest"]
 
@@ -90,10 +91,10 @@ def _copy_payload(payload: object) -> object:
 
 class _Message:
     __slots__ = ("src", "dst", "tag", "payload", "nbytes", "seq", "stream_seq",
-                 "launch_time")
+                 "launch_time", "label")
 
     def __init__(self, src: int, dst: int, tag: int, payload: object, nbytes: float,
-                 seq: int, stream_seq: int):
+                 seq: int, stream_seq: int, label: str = ""):
         self.src = src
         self.dst = dst
         self.tag = tag
@@ -105,6 +106,10 @@ class _Message:
         # rank-sharded runs use it as an ordering lineage stage when two
         # wire legs tie exactly (see repro.sim.sharding).
         self.launch_time = 0.0
+        # Trace-lane label override; collectives stamp their legs (e.g.
+        # "bcast 0*") so traces and critical-path chains name the
+        # operation instead of the bare src->dst pair.
+        self.label = label
 
     @property
     def stream(self) -> tuple[int, int, int]:
@@ -159,6 +164,7 @@ class World:
         faults: FaultPlan | None = None,
         reliable: ReliableConfig | None = None,
         queue: str = "heap",
+        topology: "Topology | None" = None,
     ):
         """``faults`` injects seeded message drop/duplicate/corrupt,
         latency jitter, bandwidth-degradation windows and node
@@ -177,7 +183,13 @@ class World:
         aggregates as they close; see
         :class:`~repro.sim.tracing.Trace`).  ``queue`` selects the
         simulator's event-queue backend (``"heap"`` or ``"calendar"``,
-        bit-identical results either way)."""
+        bit-identical results either way).
+
+        ``topology`` selects the fabric between the NICs
+        (:mod:`repro.sim.topology`): ``None`` or a crossbar keeps the
+        historical non-blocking model bit-identically; a routed topology
+        (ring/mesh/fat-tree) adds per-link FIFO contention and
+        store-and-forward hops to every wire leg."""
         if num_ranks <= 0:
             raise ValueError("num_ranks must be positive")
         if drop_every_nth < 0:
@@ -201,7 +213,7 @@ class World:
             streaming=(trace == "streaming"),
         )
         self.network = Network(self.sim, machine, num_ranks, faults=faults,
-                               trace=self.trace)
+                               trace=self.trace, topology=topology)
         if trace == "streaming":
             # O(ranks)-memory discipline: bound the retained wire-latency
             # sample alongside the streaming trace aggregates.
@@ -234,7 +246,13 @@ class World:
         # deferral instant) and a dedicated RX unit — deferral must not
         # change TX/RX contention on a shared half-duplex port — so
         # half-duplex and zero-latency machines keep the direct path.
-        self._canonical_rx = machine.duplex and machine.network_latency > 0.0
+        # Routed topologies also keep the direct path: their wire legs
+        # traverse link hops inside Network.transmit, and the injection
+        # instant of a routed leg is not a message-carried value (it
+        # depends on link contention), so deferral cannot apply.  Routed
+        # runs are therefore not shardable — enforced by sharding.
+        self._canonical_rx = (machine.duplex and machine.network_latency > 0.0
+                              and not self.network.routed)
         self._rx_pending: dict[float, list[tuple]] = {}
 
     # -- program execution ---------------------------------------------------
@@ -423,10 +441,11 @@ class World:
         extra = fate.extra_latency if fate is not None else 0.0
         if msg.src == msg.dst or not self._canonical_rx:
             # Loopback never touches the wire; half-duplex/zero-latency
-            # machines keep the direct submit-at-TX-end path.
+            # and routed-topology machines keep the direct
+            # submit-at-TX-end path.
             arrival = self.network.transmit(
                 msg.src, msg.dst, msg.nbytes, on_sent=on_sent,
-                extra_latency=extra,
+                extra_latency=extra, label=msg.label,
             )
             arrival.add_callback(lambda _a: self._receive_copy(msg))
             return
@@ -444,7 +463,8 @@ class World:
         latency = self.machine.network_latency + extra
         trace = net.trace if net.trace is not None and net.trace.enabled \
             else None
-        lane_label = f"{msg.src}->{msg.dst}" if trace is not None else ""
+        lane_label = (msg.label or f"{msg.src}->{msg.dst}") \
+            if trace is not None else ""
         inject_delay = self.machine.network_latency
 
         def after_tx(interval: tuple) -> None:
@@ -459,7 +479,7 @@ class World:
             entry = (
                 end + inject_delay, submitted_at, msg.launch_time, msg.src,
                 msg.stream_seq, msg.dst, msg.tag, msg.seq, msg.payload,
-                msg.nbytes, wire, end + latency, start,
+                msg.nbytes, wire, end + latency, start, msg.label,
             )
             self._route(entry)
 
@@ -499,18 +519,19 @@ class World:
         """Receiver half of a transmission, run at the injection
         instant on the world owning the destination rank."""
         (_t, submitted_at, _launch, src, stream_seq, dst, tag, seq, payload,
-         nbytes, wire, not_before, tx_start) = entry
+         nbytes, wire, not_before, tx_start, msg_label) = entry
         net = self.network
         net.rx_bytes[dst] += nbytes
-        msg = _Message(src, dst, tag, payload, nbytes, seq, stream_seq)
+        msg = _Message(src, dst, tag, payload, nbytes, seq, stream_seq,
+                       msg_label)
 
         def complete(_interval: tuple) -> None:
             # One scheduler hop, mirroring the arrival event trigger of
             # the direct path.
             self.sim.schedule_call(0.0, self._receive_copy, msg)
 
-        label = f"{src}->{dst}" if net.trace is not None and net.trace.enabled \
-            else ""
+        label = (msg_label or f"{src}->{dst}") \
+            if net.trace is not None and net.trace.enabled else ""
         net.rx_leg(src, dst, wire, not_before, tx_start, submitted_at,
                    complete, label=label)
 
@@ -570,7 +591,7 @@ class World:
         self._posted[rank].append(req)
 
     def _make_message(self, src: int, dst: int, tag: int, payload: object,
-                      nbytes: float) -> _Message:
+                      nbytes: float, label: str = "") -> _Message:
         if not 0 <= dst < self.num_ranks:
             raise ValueError(f"dst {dst} outside [0, {self.num_ranks})")
         if nbytes < 0:
@@ -582,7 +603,7 @@ class World:
         self._stream_next_seq[key] = stream_seq
         return _Message(
             src, dst, tag, _copy_payload(payload), nbytes, self._msg_seq,
-            stream_seq,
+            stream_seq, label,
         )
 
 
@@ -622,9 +643,11 @@ class Rank:
     # -- non-blocking ----------------------------------------------------------
 
     def isend(self, dst: int, nbytes: float, payload: object = None,
-              tag: int = 0) -> Effect:
-        """Non-blocking send; yields a :class:`SendRequest` after A1."""
-        return _IsendEffect(self, dst, nbytes, payload, tag)
+              tag: int = 0, *, label: str = "") -> Effect:
+        """Non-blocking send; yields a :class:`SendRequest` after A1.
+        ``label`` overrides the NIC/link trace-lane label (collectives
+        stamp their legs with the operation name)."""
+        return _IsendEffect(self, dst, nbytes, payload, tag, label)
 
     def irecv(self, src: int, nbytes: float = 0.0, tag: int = 0) -> Effect:
         """Non-blocking receive; yields a :class:`RecvRequest` after A3.
@@ -645,18 +668,82 @@ class Rank:
     # -- blocking --------------------------------------------------------------
 
     def send(self, dst: int, nbytes: float, payload: object = None,
-             tag: int = 0) -> Effect:
+             tag: int = 0, *, label: str = "") -> Effect:
         """Blocking send: CPU held through A1 (+B3 without DMA) and then
         blocked until the sender-side wire time B4 completes."""
-        return _SendEffect(self, dst, nbytes, payload, tag)
+        return _SendEffect(self, dst, nbytes, payload, tag, label)
 
     def recv(self, src: int, nbytes: float = 0.0, tag: int = 0) -> Effect:
         """Blocking receive: A3 then blocked until delivery; yields payload."""
         return _RecvEffect(self, src, nbytes, tag)
 
     def barrier(self) -> Effect:
-        """Synchronise all ranks of the world."""
+        """Synchronise all ranks of the world.
+
+        With ``machine.barrier_algorithm == "rendezvous"`` (default) this
+        is the historical free rendezvous: zero cost, pure
+        synchronisation.  With ``"dissemination"`` it runs the
+        ceil(log2 n)-round dissemination barrier as real messages —
+        startup, latency, and NIC occupancy all charged."""
+        if self.world.machine.barrier_algorithm == "dissemination":
+            from repro.sim import collectives
+
+            return collectives.barrier(self)
         return _BarrierEffect(self)
+
+    # -- collectives -----------------------------------------------------------
+
+    def bcast(self, root: int, nbytes: float, payload: object = None, *,
+              group: Sequence[int] | None = None, tag: int = 0) -> Effect:
+        """Binomial-tree broadcast (:func:`repro.sim.collectives.bcast`);
+        yields the root's payload on every rank of ``group``."""
+        from repro.sim import collectives
+
+        return collectives.bcast(self, root, nbytes, payload, group=group,
+                                 tag=tag)
+
+    def reduce(self, root: int, nbytes: float, payload: object = None, *,
+               op: Callable[[object, object], object] | None = None,
+               group: Sequence[int] | None = None, tag: int = 0) -> Effect:
+        """Reverse-binomial reduction to ``root``
+        (:func:`repro.sim.collectives.reduce`); yields the combined value
+        on the root, ``None`` elsewhere."""
+        from repro.sim import collectives
+
+        return collectives.reduce(self, root, nbytes, payload, op=op,
+                                  group=group, tag=tag)
+
+    def allreduce(self, nbytes: float, payload: object = None, *,
+                  op: Callable[[object, object], object] | None = None,
+                  group: Sequence[int] | None = None, tag: int = 0) -> Effect:
+        """Recursive-doubling allreduce
+        (:func:`repro.sim.collectives.allreduce`); yields the combined
+        value on every rank."""
+        from repro.sim import collectives
+
+        return collectives.allreduce(self, nbytes, payload, op=op,
+                                     group=group, tag=tag)
+
+    def gather(self, root: int, nbytes: float, payload: object = None, *,
+               group: Sequence[int] | None = None, tag: int = 0) -> Effect:
+        """Linear gather (:func:`repro.sim.collectives.gather`); yields
+        the group-ordered contribution list on the root."""
+        from repro.sim import collectives
+
+        return collectives.gather(self, root, nbytes, payload, group=group,
+                                  tag=tag)
+
+    def multicast(self, group: Sequence[int], nbytes: float,
+                  payload: object = None, *, segments: int = 1,
+                  tag: int = 0) -> Effect:
+        """Pipelined-chain multicast from ``group[0]`` down the chain
+        (:func:`repro.sim.collectives.multicast`), the payload cut into
+        ``segments`` pieces so hops overlap; yields the payload on every
+        rank of the chain."""
+        from repro.sim import collectives
+
+        return collectives.multicast(self, group, nbytes, payload,
+                                     segments=segments, tag=tag)
 
     # -- internals --------------------------------------------------------------
 
@@ -697,20 +784,22 @@ class _ComputeEffect(Effect):
 
 
 class _IsendEffect(Effect):
-    __slots__ = ("ctx", "dst", "nbytes", "payload", "tag")
+    __slots__ = ("ctx", "dst", "nbytes", "payload", "tag", "label")
 
-    def __init__(self, ctx: Rank, dst: int, nbytes: float, payload: object, tag: int):
+    def __init__(self, ctx: Rank, dst: int, nbytes: float, payload: object,
+                 tag: int, label: str = ""):
         self.ctx = ctx
         self.dst = dst
         self.nbytes = nbytes
         self.payload = payload
         self.tag = tag
+        self.label = label
 
     def start(self, process: Process) -> None:
         w = self.ctx.world
         m = w.machine
         msg = w._make_message(self.ctx.rank, self.dst, self.tag, self.payload,
-                              self.nbytes)
+                              self.nbytes, self.label)
         a1 = m.fill_mpi_buffer_time(self.nbytes)
         b3_cpu = m.fill_kernel_buffer_time(self.nbytes) if not m.dma else 0.0
         cpu = a1 + b3_cpu
@@ -731,20 +820,22 @@ class _IsendEffect(Effect):
 
 
 class _SendEffect(Effect):
-    __slots__ = ("ctx", "dst", "nbytes", "payload", "tag")
+    __slots__ = ("ctx", "dst", "nbytes", "payload", "tag", "label")
 
-    def __init__(self, ctx: Rank, dst: int, nbytes: float, payload: object, tag: int):
+    def __init__(self, ctx: Rank, dst: int, nbytes: float, payload: object,
+                 tag: int, label: str = ""):
         self.ctx = ctx
         self.dst = dst
         self.nbytes = nbytes
         self.payload = payload
         self.tag = tag
+        self.label = label
 
     def start(self, process: Process) -> None:
         w = self.ctx.world
         m = w.machine
         msg = w._make_message(self.ctx.rank, self.dst, self.tag, self.payload,
-                              self.nbytes)
+                              self.nbytes, self.label)
         a1 = m.fill_mpi_buffer_time(self.nbytes)
         b3_cpu = m.fill_kernel_buffer_time(self.nbytes) if not m.dma else 0.0
         cpu = a1 + b3_cpu

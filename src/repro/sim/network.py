@@ -7,8 +7,17 @@ switch latency — the receiver's RX for its wire time (B1).  With
 serialises a node's concurrent send and receive: one of the ablation
 knobs for §4's "ideal scheme" discussion (Fig. 3b vs 3c).
 
-The fabric itself is non-blocking (full crossbar, like a switched
-cluster): only the endpoints contend.
+The fabric itself is non-blocking by default (full crossbar, like a
+switched cluster): only the endpoints contend.  Passing a *routed*
+:class:`~repro.sim.topology.Topology` (ring, 2-D mesh, fat-tree) inserts
+the fabric between the NICs: each directed link is its own
+:class:`FifoResource` with per-link bandwidth, a message traverses its
+route store-and-forward after the TX leg and before the RX leg, and
+flows whose routes share a link serialise on it (switch-port
+contention).  Hops are charged to the ``link`` trace lane as ``hop``
+intervals.  The default (``topology=None`` or a
+:class:`~repro.sim.topology.Crossbar`) keeps the original endpoint-only
+path bit-identically.
 
 An optional :class:`~repro.sim.faults.FaultPlan` perturbs the timing
 model: bandwidth-degradation windows scale a message's wire time (both
@@ -31,6 +40,7 @@ from repro.sim.tracing import Trace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.faults import FaultPlan
+    from repro.sim.topology import Topology
 
 __all__ = ["Network"]
 
@@ -59,6 +69,7 @@ class Network:
         *,
         faults: "FaultPlan | None" = None,
         trace: Trace | None = None,
+        topology: "Topology | None" = None,
     ):
         if num_nodes <= 0:
             raise ValueError("num_nodes must be positive")
@@ -74,10 +85,33 @@ class Network:
             rx = tx if not machine.duplex else FifoResource(sim, f"node{node}.rx")
             self.tx.append(tx)
             self.rx.append(rx)
+        # Topology layer: a routed topology puts a FifoResource on every
+        # directed link; a crossbar (or None) adds nothing and keeps the
+        # endpoint-only fast path bit-identical.
+        self.topology = topology
+        self.routed = topology is not None and not topology.is_crossbar
+        if self.routed and topology.num_nodes != num_nodes:
+            raise ValueError(
+                f"topology is sized for {topology.num_nodes} nodes, "
+                f"network has {num_nodes}"
+            )
+        self.links: list[FifoResource] = []
+        self.link_messages: list[int] = []
+        self.link_bytes: list[float] = []
+        if self.routed:
+            for lid in range(topology.num_links):
+                self.links.append(FifoResource(sim, topology.link_name(lid)))
+            self.link_messages = [0] * topology.num_links
+            self.link_bytes = [0.0] * topology.num_links
+        self.hops_routed = 0
         self.messages_carried = 0
         self.bytes_carried = 0.0
         self.tx_bytes = [0.0] * num_nodes
         self.rx_bytes = [0.0] * num_nodes
+        # Self-sends never occupy a NIC or the wire; they are accounted
+        # separately so wire counters describe actual fabric traffic.
+        self.loopback_messages = 0
+        self.loopback_bytes = 0.0
         # Reliability-layer accounting (bumped by ReliableTransport).
         self.retransmits = 0
         self.duplicates = 0
@@ -86,19 +120,40 @@ class Network:
         # set, only every ``_latency_stride``-th latency is retained and
         # the stride doubles whenever the sample would exceed the cap —
         # deterministic decimation, no RNG, quantiles stay representative.
+        # Exact extremes are tracked independently of the retained sample
+        # (decimation may drop the true min/max).
         self._latency_cap: int | None = None
         self._latency_stride = 1
         self._latency_skip = 0
+        self._latency_count = 0
+        self._latency_min = float("inf")
+        self._latency_max = float("-inf")
 
     def cap_latency_samples(self, cap: int) -> None:
         """Bound the retained wire-latency sample to ~``cap`` entries
         (deterministic stride decimation).  Engaged by cluster-scale
-        runs so :meth:`stats` stops being O(messages) in memory."""
+        runs so :meth:`stats` stops being O(messages) in memory.
+
+        Takes effect immediately: samples already accumulated past the
+        cap are decimated now, not on the next append — a late engage
+        (cluster-scale run capping after warm-up traffic) still bounds
+        memory at the call."""
         if cap < 2:
             raise ValueError("latency sample cap must be at least 2")
         self._latency_cap = cap
+        lat = self._latencies
+        while len(lat) > cap:
+            del lat[::2]
+            self._latency_stride *= 2
 
     def _record_latency(self, value: float) -> None:
+        # Exact running extremes, independent of sampling: the decimated
+        # sample can silently drop the true min/max.
+        self._latency_count += 1
+        if value < self._latency_min:
+            self._latency_min = value
+        if value > self._latency_max:
+            self._latency_max = value
         if self._latency_cap is None:
             self._latencies.append(value)
             return
@@ -145,19 +200,25 @@ class Network:
             raise ValueError("nbytes must be non-negative")
         if extra_latency < 0:
             raise ValueError("extra_latency must be non-negative")
-        self.messages_carried += 1
-        self.bytes_carried += nbytes
-        self.tx_bytes[src] += nbytes
-        self.rx_bytes[dst] += nbytes
         submitted_at = self.sim.now
 
         if src == dst:
+            # Loopback never touches a NIC or the wire: account it
+            # separately so `messages`/`bytes`/`tx_bytes`/`rx_bytes`
+            # describe real fabric traffic only.
+            self.loopback_messages += 1
+            self.loopback_bytes += nbytes
             done = Event(self.sim, name="loopback")
             now = submitted_at
             if on_sent is not None:
                 self.sim.schedule_call(0.0, on_sent, (now, now))
             self.sim.schedule_call(0.0, done.trigger, (now, now))
             return done
+
+        self.messages_carried += 1
+        self.bytes_carried += nbytes
+        self.tx_bytes[src] += nbytes
+        self.rx_bytes[dst] += nbytes
 
         wire = self.machine.transmit_time(nbytes)
         if self.faults is not None:
@@ -166,6 +227,37 @@ class Network:
         arrival = Event(self.sim, name="arrival")
         trace = self.trace if self.trace is not None and self.trace.enabled else None
         lane_label = (label or f"{src}->{dst}") if trace is not None else ""
+        route = self.topology.route(src, dst) if self.routed else ()
+
+        def finish_rx(tx_start: float, ready_at: float) -> None:
+            self.rx_leg(src, dst, wire, ready_at, tx_start, submitted_at,
+                        arrival.trigger, kind=kind, rx_term=rx_term,
+                        label=lane_label)
+
+        def forward(hop_idx: int, tx_start: float, ready_at: float) -> None:
+            # Store-and-forward over the route: each directed link is a
+            # FIFO server; the message occupies it for its per-link wire
+            # time, then moves on after the topology's hop latency.
+            if hop_idx >= len(route):
+                finish_rx(tx_start, ready_at + latency)
+                return
+            lid = route[hop_idx]
+            hop_wire = wire * self.topology.link_time_scale(lid)
+            self.hops_routed += 1
+            self.link_messages[lid] += 1
+            self.link_bytes[lid] += nbytes
+
+            def after_hop(interval: tuple) -> None:
+                h_start, h_end = interval
+                if trace is not None and h_end > h_start:
+                    trace.add(src, "hop", h_start, h_end,
+                              f"{lane_label} @{self.topology.link_name(lid)}",
+                              resource="link", term="")
+                forward(hop_idx + 1, tx_start,
+                        h_end + self.topology.hop_latency)
+
+            self.links[lid].submit_call(hop_wire, after_hop,
+                                        not_before=ready_at)
 
         def after_tx(interval: tuple) -> None:
             start, end = interval
@@ -174,9 +266,10 @@ class Network:
                           resource="nic_tx", term=tx_term)
             if on_sent is not None:
                 on_sent((start, end))
-            self.rx_leg(src, dst, wire, end + latency, start, submitted_at,
-                        arrival.trigger, kind=kind, rx_term=rx_term,
-                        label=lane_label)
+            if route:
+                forward(0, start, end + self.topology.hop_latency)
+            else:
+                finish_rx(start, end + latency)
 
         self.tx[src].submit_call(wire, after_tx)
         return arrival
@@ -229,19 +322,27 @@ class Network:
         retransmit/duplicate counters."""
         lat = sorted(self._latencies)
         n = len(lat)
-        return {
+        out = {
             "messages": self.messages_carried,
             "bytes": self.bytes_carried,
             "tx_bytes": tuple(self.tx_bytes),
             "rx_bytes": tuple(self.rx_bytes),
-            "latency_min": lat[0] if n else 0.0,
+            "loopback_messages": self.loopback_messages,
+            "loopback_bytes": self.loopback_bytes,
+            "latency_min": self._latency_min if self._latency_count else 0.0,
             "latency_median": _quantile(lat, 0.5),
             "latency_p95": _quantile(lat, 0.95),
             "latency_p99": _quantile(lat, 0.99),
-            "latency_max": lat[-1] if n else 0.0,
+            "latency_max": self._latency_max if self._latency_count else 0.0,
             "retransmits": self.retransmits,
             "duplicates": self.duplicates,
         }
+        if self.routed:
+            out["topology"] = self.topology.name
+            out["hops"] = self.hops_routed
+            out["link_messages"] = tuple(self.link_messages)
+            out["link_bytes"] = tuple(self.link_bytes)
+        return out
 
     def _check_node(self, node: int, name: str) -> None:
         if not 0 <= node < self.num_nodes:

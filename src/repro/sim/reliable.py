@@ -191,7 +191,8 @@ class ReliableTransport:
                 self.stats.duplicates_wire += 1
                 world.network.duplicates += 1
             label = (
-                f"retx{attempt} {msg.src}->{msg.dst}" if attempt > 0 else ""
+                f"retx{attempt} {msg.src}->{msg.dst}" if attempt > 0
+                else msg.label
             )
             for c in range(copies):
                 arrival = world.network.transmit(

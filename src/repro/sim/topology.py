@@ -1,0 +1,318 @@
+"""Network topologies: links and switches that contend.
+
+The paper's eq.-(4) model charges communication to per-node NIC terms
+(B1/B4) over a non-blocking crossbar — only the endpoints contend.  That
+is exactly :class:`~repro.sim.network.Network`'s default, and it stays
+the default: :class:`Crossbar` has no interior links and leaves every
+existing run bit-identical.
+
+A *routed* topology adds the fabric between the NICs: a set of directed
+links (switch ports), each a :class:`~repro.sim.resources.FifoResource`
+with its own bandwidth, and a deterministic route of link hops per
+``(src, dst)`` pair.  A message then occupies, in order: the sender's TX
+unit (B4 as before), each link of the route (store-and-forward, charged
+to the ``link`` trace lane as ``hop`` intervals), and finally the
+receiver's RX unit (B1).  Two flows whose routes share a link serialise
+on it — switch-port contention, the thing the crossbar model cannot
+express and pipelined-multicast schedules are designed around.
+
+Topologies:
+
+* :class:`Crossbar` — the non-blocking default; zero links, zero hops.
+* :class:`Ring` — ``n`` nodes in a cycle, one directed link per
+  neighbour direction; minimal routing takes the shorter way around
+  (ties go clockwise).
+* :class:`Mesh2D` — ``rows × cols`` grid, links between 4-neighbours,
+  dimension-ordered (column-first) routing.
+* :class:`FatTree` — two-level folded Clos: ``leaf_width`` nodes per
+  edge switch, every edge switch uplinked to every core switch.  Same
+  edge switch: 2 hops; otherwise 4 hops through a deterministically
+  chosen core (``(src + dst) % cores`` — ECMP without randomness).
+
+``bandwidth_scale`` sets per-link bandwidth relative to the NIC: a hop's
+wire time is ``machine.transmit_time(nbytes) * bandwidth_scale``
+(``link_scale`` overrides individual links — e.g. fat-tree uplinks).
+``hop_latency`` adds per-hop switch latency between consecutive hops.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "Topology",
+    "Crossbar",
+    "Ring",
+    "Mesh2D",
+    "FatTree",
+    "make_topology",
+    "TOPOLOGIES",
+]
+
+
+class Topology:
+    """Base class: a named fabric of directed links between ``num_nodes``
+    endpoints (and, for indirect topologies, interior switches).
+
+    Subclasses populate ``_link_names`` (one entry per directed link) and
+    implement :meth:`route`.  Routes are memoised per ``(src, dst)``:
+    they are pure and the simulator queries them once per message.
+    """
+
+    def __init__(self, name: str, num_nodes: int, *,
+                 bandwidth_scale: float = 1.0, hop_latency: float = 0.0,
+                 link_scale: dict[int, float] | None = None):
+        if num_nodes <= 0:
+            raise ValueError("num_nodes must be positive")
+        if bandwidth_scale <= 0:
+            raise ValueError("bandwidth_scale must be positive")
+        if hop_latency < 0:
+            raise ValueError("hop_latency must be non-negative")
+        self.name = name
+        self.num_nodes = num_nodes
+        self.bandwidth_scale = bandwidth_scale
+        self.hop_latency = hop_latency
+        self.link_scale = dict(link_scale) if link_scale else {}
+        self._link_names: list[str] = []
+        self._route_cache: dict[tuple[int, int], tuple[int, ...]] = {}
+
+    # -- interface -----------------------------------------------------------
+
+    @property
+    def num_links(self) -> int:
+        return len(self._link_names)
+
+    @property
+    def is_crossbar(self) -> bool:
+        """A crossbar has no interior links: the network keeps its
+        original endpoint-only path, bit-identically."""
+        return self.num_links == 0
+
+    def link_name(self, link: int) -> str:
+        return self._link_names[link]
+
+    def route(self, src: int, dst: int) -> tuple[int, ...]:
+        """The directed link ids a ``src → dst`` message traverses, in
+        order (empty for a crossbar or a self-send)."""
+        if src == dst:
+            return ()
+        key = (src, dst)
+        hops = self._route_cache.get(key)
+        if hops is None:
+            hops = tuple(self._compute_route(src, dst))
+            self._route_cache[key] = hops
+        return hops
+
+    def link_time_scale(self, link: int) -> float:
+        """Wire-time multiplier of one link relative to the endpoint NIC
+        (hop wire time = ``machine.transmit_time(nbytes) * scale``)."""
+        return self.link_scale.get(link, self.bandwidth_scale)
+
+    def _compute_route(self, src: int, dst: int) -> list[int]:
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def _check(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} outside [0, {self.num_nodes})")
+
+    def describe(self) -> str:
+        return (f"{self.name}: {self.num_nodes} nodes, "
+                f"{self.num_links} directed links")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"<{type(self).__name__} {self.describe()}>"
+
+
+class Crossbar(Topology):
+    """The non-blocking fabric of the paper's model: every pair of nodes
+    has a dedicated path, only the endpoint NICs contend.  No links, no
+    hops — :class:`~repro.sim.network.Network` behaves exactly as it did
+    before the topology layer existed."""
+
+    def __init__(self, num_nodes: int):
+        super().__init__("crossbar", num_nodes)
+
+    def _compute_route(self, src: int, dst: int) -> list[int]:
+        self._check(src)
+        self._check(dst)
+        return []
+
+
+class Ring(Topology):
+    """``n`` nodes in a cycle.  Directed link ``2i`` runs clockwise
+    ``i → i+1 (mod n)``; link ``2i + 1`` runs counter-clockwise
+    ``i → i-1 (mod n)``.  Routing takes the shorter direction; an exact
+    tie (even ``n``, antipodal pair) goes clockwise."""
+
+    def __init__(self, num_nodes: int, *, bandwidth_scale: float = 1.0,
+                 hop_latency: float = 0.0):
+        if num_nodes < 2:
+            raise ValueError("a ring needs at least 2 nodes")
+        super().__init__("ring", num_nodes, bandwidth_scale=bandwidth_scale,
+                         hop_latency=hop_latency)
+        n = num_nodes
+        for i in range(n):
+            self._link_names.append(f"ring.{i}->{(i + 1) % n}")
+            self._link_names.append(f"ring.{i}->{(i - 1) % n}")
+
+    def _compute_route(self, src: int, dst: int) -> list[int]:
+        self._check(src)
+        self._check(dst)
+        n = self.num_nodes
+        forward = (dst - src) % n
+        backward = (src - dst) % n
+        hops = []
+        cur = src
+        if forward <= backward:
+            for _ in range(forward):
+                hops.append(2 * cur)
+                cur = (cur + 1) % n
+        else:
+            for _ in range(backward):
+                hops.append(2 * cur + 1)
+                cur = (cur - 1) % n
+        return hops
+
+
+class Mesh2D(Topology):
+    """``rows × cols`` grid (node ``r * cols + c`` at ``(r, c)``), with a
+    directed link between every pair of 4-neighbours and dimension-ordered
+    routing: first along the row to the target column, then along the
+    column to the target row — deadlock-free and deterministic."""
+
+    def __init__(self, rows: int, cols: int, *, bandwidth_scale: float = 1.0,
+                 hop_latency: float = 0.0):
+        if rows < 1 or cols < 1 or rows * cols < 2:
+            raise ValueError("a mesh needs at least 2 nodes")
+        super().__init__(f"mesh2d[{rows}x{cols}]", rows * cols,
+                         bandwidth_scale=bandwidth_scale,
+                         hop_latency=hop_latency)
+        self.rows = rows
+        self.cols = cols
+        self._edge: dict[tuple[int, int], int] = {}
+        for r in range(rows):
+            for c in range(cols):
+                u = r * cols + c
+                for dr, dc in ((0, 1), (0, -1), (1, 0), (-1, 0)):
+                    rr, cc = r + dr, c + dc
+                    if 0 <= rr < rows and 0 <= cc < cols:
+                        v = rr * cols + cc
+                        self._edge[(u, v)] = len(self._link_names)
+                        self._link_names.append(f"mesh.{u}->{v}")
+
+    @classmethod
+    def square(cls, num_nodes: int, **kw) -> "Mesh2D":
+        """The most-square factoring of ``num_nodes`` (rows ≤ cols)."""
+        r = int(num_nodes**0.5)
+        while r > 1 and num_nodes % r:
+            r -= 1
+        return cls(r, num_nodes // r, **kw)
+
+    def _compute_route(self, src: int, dst: int) -> list[int]:
+        self._check(src)
+        self._check(dst)
+        cols = self.cols
+        r, c = divmod(src, cols)
+        rd, cd = divmod(dst, cols)
+        hops = []
+        while c != cd:
+            step = 1 if cd > c else -1
+            u = r * cols + c
+            c += step
+            hops.append(self._edge[(u, r * cols + c)])
+        while r != rd:
+            step = 1 if rd > r else -1
+            u = r * cols + c
+            r += step
+            hops.append(self._edge[(u, r * cols + c)])
+        return hops
+
+
+class FatTree(Topology):
+    """Two-level folded Clos: ``leaf_width`` nodes per edge switch and
+    ``cores`` core switches, every edge switch uplinked to every core.
+
+    Hops: node → edge (always), then for inter-leaf traffic edge → core
+    → remote edge, then edge → node.  The core for a pair is
+    ``(src + dst) % cores`` — a deterministic stand-in for ECMP hashing.
+    ``up_scale`` sets uplink bandwidth relative to the node links (e.g.
+    ``0.5`` models 2:1 oversubscription at the edge — uplink wire time is
+    ``1 / up_scale`` times the node-link time)."""
+
+    def __init__(self, num_nodes: int, *, leaf_width: int = 4,
+                 cores: int | None = None, bandwidth_scale: float = 1.0,
+                 hop_latency: float = 0.0, up_scale: float = 1.0):
+        if num_nodes < 2:
+            raise ValueError("a fat-tree needs at least 2 nodes")
+        if leaf_width < 1:
+            raise ValueError("leaf_width must be at least 1")
+        if up_scale <= 0:
+            raise ValueError("up_scale must be positive")
+        n_edges = (num_nodes + leaf_width - 1) // leaf_width
+        if cores is None:
+            cores = max(1, n_edges // 2)
+        if cores < 1:
+            raise ValueError("cores must be at least 1")
+        super().__init__(
+            f"fattree[{num_nodes}n/{n_edges}e/{cores}c]", num_nodes,
+            bandwidth_scale=bandwidth_scale, hop_latency=hop_latency,
+        )
+        self.leaf_width = leaf_width
+        self.n_edges = n_edges
+        self.cores = cores
+        self._up: dict[int, int] = {}        # node -> link id (node→edge)
+        self._down: dict[int, int] = {}      # node -> link id (edge→node)
+        self._edge_up: dict[tuple[int, int], int] = {}    # (edge, core)
+        self._core_down: dict[tuple[int, int], int] = {}  # (core, edge)
+        uplink_scale = bandwidth_scale / up_scale
+        for node in range(num_nodes):
+            e = node // leaf_width
+            self._up[node] = len(self._link_names)
+            self._link_names.append(f"ft.n{node}->e{e}")
+            self._down[node] = len(self._link_names)
+            self._link_names.append(f"ft.e{e}->n{node}")
+        for e in range(n_edges):
+            for c in range(cores):
+                lid = len(self._link_names)
+                self._edge_up[(e, c)] = lid
+                self._link_names.append(f"ft.e{e}->c{c}")
+                self.link_scale[lid] = uplink_scale
+                lid = len(self._link_names)
+                self._core_down[(c, e)] = lid
+                self._link_names.append(f"ft.c{c}->e{e}")
+                self.link_scale[lid] = uplink_scale
+
+    def _compute_route(self, src: int, dst: int) -> list[int]:
+        self._check(src)
+        self._check(dst)
+        es, ed = src // self.leaf_width, dst // self.leaf_width
+        if es == ed:
+            return [self._up[src], self._down[dst]]
+        core = (src + dst) % self.cores
+        return [
+            self._up[src],
+            self._edge_up[(es, core)],
+            self._core_down[(core, ed)],
+            self._down[dst],
+        ]
+
+
+#: Factory registry for the CLI and config layers.
+TOPOLOGIES = ("crossbar", "ring", "mesh2d", "fattree")
+
+
+def make_topology(name: str, num_nodes: int, **kw) -> Topology:
+    """Build a topology by registry name (see :data:`TOPOLOGIES`).
+
+    ``mesh2d`` uses the most-square factoring of ``num_nodes``; pass a
+    :class:`Mesh2D` instance directly for an explicit shape.
+    """
+    if name == "crossbar":
+        return Crossbar(num_nodes)
+    if name == "ring":
+        return Ring(num_nodes, **kw)
+    if name == "mesh2d":
+        return Mesh2D.square(num_nodes, **kw)
+    if name == "fattree":
+        return FatTree(num_nodes, **kw)
+    raise ValueError(
+        f"unknown topology {name!r} (choose from {', '.join(TOPOLOGIES)})"
+    )

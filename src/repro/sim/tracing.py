@@ -59,7 +59,8 @@ A_TERMS = frozenset({"A1", "A2", "A3"})
 B_TERMS = frozenset({"B1", "B2", "B3", "B4"})
 
 #: Default term per interval kind; kinds absent here (blocked waits, link
-#: in-flight spans, ack frames) carry no cost term.
+#: in-flight spans, routed-topology ``hop`` intervals, ack frames) carry
+#: no cost term.
 KIND_TERMS = {
     "compute": "A2",
     "fill_mpi_send": "A1",

@@ -153,3 +153,72 @@ class TestResumeFlag:
         assert "resuming from" in captured.err
         assert "4 completed runs on record" in captured.err
         assert captured.out == first
+
+
+class TestSummaCommand:
+    def test_summa_args(self):
+        args = build_parser().parse_args(
+            ["summa", "--grid", "8", "--segments", "2", "--method",
+             "pipelined", "--topology", "mesh2d"]
+        )
+        assert args.grid == 8
+        assert args.segments == 2
+        assert args.topology == "mesh2d"
+
+    def test_topology_choice_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["summa", "--topology", "hypercube"])
+
+    def test_summa_both_methods_print_speedup(self, capsys):
+        assert main(["summa", "--grid", "2", "--panels", "2",
+                     "--tile", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "sequential" in out and "pipelined" in out
+        assert "speedup over sequential" in out
+
+    def test_summa_report_shows_collective_legs(self, capsys):
+        assert main(["summa", "--grid", "2", "--panels", "2", "--tile", "16",
+                     "--method", "pipelined", "--topology", "mesh2d",
+                     "--report"]) == 0
+        out = capsys.readouterr().out
+        assert "routed hops" in out
+        assert "critical path" in out
+        assert "mcast" in out  # labelled collective legs in the chain
+
+    def test_summa_chaos_degrades(self, capsys):
+        assert main(["summa", "--grid", "2", "--panels", "2", "--tile", "16",
+                     "--method", "pipelined", "--drop-rate", "0.05",
+                     "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "degraded" in out or "completed" in out
+
+    def test_summa_trace_out(self, tmp_path, capsys):
+        out_path = tmp_path / "summa.json"
+        assert main(["summa", "--grid", "2", "--panels", "2", "--tile", "16",
+                     "--method", "pipelined", "--trace-out",
+                     str(out_path)]) == 0
+        assert out_path.exists() and out_path.stat().st_size > 0
+
+
+class TestTopologyFlags:
+    def test_scale_topology_parses(self):
+        args = build_parser().parse_args(["scale", "--topology", "ring"])
+        assert args.topology == "ring"
+
+    def test_scale_routed_shards_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["scale", "--grid", "2", "--depth", "8", "--v", "4",
+                  "--topology", "ring", "--shards", "2"])
+
+    def test_scale_routed_run(self, capsys):
+        assert main(["scale", "--grid", "2", "--depth", "8", "--v", "4",
+                     "--topology", "ring"]) == 0
+        assert "completion time" in capsys.readouterr().out
+
+    def test_trace_topology_run(self, tmp_path, capsys):
+        out_path = tmp_path / "t.json"
+        assert main(["trace", "--v", "32", "--topology", "mesh2d",
+                     "--out", str(out_path), "--report"]) == 0
+        out = capsys.readouterr().out
+        assert "link" in out  # the routed lane shows up in the lane list
+        assert out_path.exists()

@@ -1,0 +1,273 @@
+"""Collective operations: value semantics, non-power-of-2 groups,
+determinism, the dissemination barrier, and fault injection on
+collective legs (ARQ recovery and watchdog classification)."""
+
+import operator
+
+import pytest
+
+from repro.model.machine import Machine
+from repro.sim.collectives import COLLECTIVE_TAG_BASE
+from repro.sim.faults import FaultPlan, LinkFaults
+from repro.sim.mpi import World
+from repro.sim.reliable import ReliableConfig
+
+pytestmark = pytest.mark.collectives
+
+
+def _machine(**kw):
+    defaults = dict(t_c=1e-6, t_s=0.0, t_t=1e-6, network_latency=1e-4,
+                    duplex=True, dma=True)
+    defaults.update(kw)
+    return Machine(**defaults)
+
+
+def _run(n, prog_factory, **world_kw):
+    """Run the same program on ``n`` ranks; returns (world, results)."""
+    w = World(_machine(), n, **world_kw)
+    results = {}
+
+    def make(rank):
+        def prog(ctx):
+            results[rank] = yield from prog_factory(ctx)
+            return None
+        return prog
+
+    w.run([make(r) for r in range(n)])
+    return w, results
+
+
+class TestBcast:
+    @pytest.mark.parametrize("n", [2, 3, 5, 8])
+    def test_all_ranks_receive_payload(self, n):
+        def prog(ctx):
+            got = yield ctx.bcast(0, 1000, "panel" if ctx.rank == 0 else None)
+            return got
+
+        _, results = _run(n, prog)
+        assert all(results[r] == "panel" for r in range(n))
+
+    def test_nonzero_root(self):
+        def prog(ctx):
+            return (yield ctx.bcast(2, 500, ctx.rank if ctx.rank == 2 else None))
+
+        _, results = _run(4, prog)
+        assert set(results.values()) == {2}
+
+    def test_subgroup_only(self):
+        group = [1, 3, 5]
+
+        def prog(ctx):
+            if ctx.rank in group:
+                got = yield ctx.bcast(3, 100, "x" if ctx.rank == 3 else None,
+                                      group=group)
+                return got
+            return "outside"
+
+        _, results = _run(6, prog)
+        assert results[1] == results[3] == results[5] == "x"
+        assert results[0] == "outside"
+
+    def test_successive_bcasts_keep_order(self):
+        """Fixed collective tags are safe: the per-stream FIFO plus SPMD
+        program order match the k-th send with the k-th recv."""
+
+        def prog(ctx):
+            first = yield ctx.bcast(0, 100, "a" if ctx.rank == 0 else None)
+            second = yield ctx.bcast(0, 100, "b" if ctx.rank == 0 else None)
+            return (first, second)
+
+        _, results = _run(4, prog)
+        assert all(v == ("a", "b") for v in results.values())
+
+
+class TestReduce:
+    @pytest.mark.parametrize("n", [2, 3, 6, 8])
+    def test_sum_to_root(self, n):
+        def prog(ctx):
+            return (yield ctx.reduce(0, 100, ctx.rank + 1, op=operator.add))
+
+        _, results = _run(n, prog)
+        assert results[0] == n * (n + 1) // 2
+        assert all(results[r] is None for r in range(1, n))
+
+    def test_combine_order_deterministic(self):
+        """op is applied in fixed tree order, so even a non-commutative
+        combine gives the same answer on every run."""
+
+        def prog(ctx):
+            got = yield ctx.reduce(0, 100, (ctx.rank,),
+                                   op=lambda a, b: a + b)
+            return got
+
+        _, first = _run(5, prog)
+        _, second = _run(5, prog)
+        assert first[0] == second[0]
+        assert sorted(first[0]) == [0, 1, 2, 3, 4]
+
+
+class TestAllreduce:
+    @pytest.mark.parametrize("n", [2, 3, 5, 7, 8])
+    def test_everyone_gets_the_sum(self, n):
+        def prog(ctx):
+            return (yield ctx.allreduce(100, ctx.rank + 1, op=operator.add))
+
+        _, results = _run(n, prog)
+        assert set(results.values()) == {n * (n + 1) // 2}
+
+
+class TestGather:
+    def test_root_gets_group_order(self):
+        def prog(ctx):
+            return (yield ctx.gather(1, 100, f"r{ctx.rank}"))
+
+        _, results = _run(4, prog)
+        assert results[1] == ["r0", "r1", "r2", "r3"]
+        assert results[0] is None
+
+
+class TestMulticast:
+    def test_chain_delivers_payload(self):
+        chain = [0, 1, 2, 3]
+
+        def prog(ctx):
+            return (yield ctx.multicast(chain, 1000,
+                                        "seg" if ctx.rank == 0 else None,
+                                        segments=4))
+
+        w, results = _run(4, prog)
+        assert all(results[r] == "seg" for r in range(4))
+        # (n - 1) hops x segments messages.
+        assert w.messages_sent == 3 * 4
+
+    def test_pipelining_beats_whole_panel_chain(self):
+        """Cutting the panel into segments overlaps the chain hops."""
+
+        def makespan(segments):
+            def prog(ctx):
+                yield ctx.multicast([0, 1, 2, 3, 4, 5, 6, 7], 80_000,
+                                    segments=segments)
+                return None
+
+            w, _ = _run(8, prog)
+            return w.sim.now
+
+        assert makespan(8) < makespan(1)
+
+    def test_segment_validation(self):
+        w = World(_machine(), 2)
+
+        def prog(ctx):
+            yield ctx.multicast([0, 1], 100, segments=0)
+
+        with pytest.raises(ValueError):
+            w.run([prog, prog])
+
+    def test_group_membership_validated(self):
+        w = World(_machine(), 3)
+
+        def prog(ctx):
+            yield ctx.multicast([0, 1], 100)
+
+        with pytest.raises(ValueError):
+            # rank 2 is not in the chain but still calls the collective
+            w.run([prog, prog, prog])
+
+    def test_duplicate_group_rejected(self):
+        w = World(_machine(), 2)
+
+        def prog(ctx):
+            yield ctx.multicast([0, 1, 0], 100)
+
+        with pytest.raises(ValueError):
+            w.run([prog, prog])
+
+
+class TestBarrier:
+    def test_dissemination_barrier_synchronises(self):
+        enter, leave = {}, {}
+
+        def make(rank):
+            def prog(ctx):
+                yield ctx.compute_seconds(0.01 * (rank + 1))
+                enter[rank] = ctx.world.sim.now
+                yield ctx.barrier()
+                leave[rank] = ctx.world.sim.now
+            return prog
+
+        m = _machine(barrier_algorithm="dissemination")
+        w = World(m, 5)
+        w.run([make(r) for r in range(5)])
+        slowest = max(enter.values())
+        assert all(t >= slowest for t in leave.values())
+        assert w.messages_sent > 0  # real traffic, unlike the rendezvous
+
+    def test_rendezvous_default_is_free(self):
+        def prog(ctx):
+            yield ctx.barrier()
+
+        w, _ = _run(4, prog)
+        assert w.messages_sent == 0
+
+
+class TestDeterminism:
+    def test_identical_runs_bit_identical(self):
+        def prog(ctx):
+            yield ctx.bcast(0, 5000, None)
+            yield ctx.allreduce(2000, ctx.rank, op=operator.add)
+            yield ctx.multicast(list(range(6)), 3000, segments=3)
+            return None
+
+        w1, _ = _run(6, prog)
+        w2, _ = _run(6, prog)
+        assert w1.sim.now == w2.sim.now
+        assert w1.network.stats() == w2.network.stats()
+
+    def test_tag_space_reserved(self):
+        assert COLLECTIVE_TAG_BASE >= 1 << 20
+
+
+class TestCollectiveFaults:
+    def test_dropped_multicast_hop_recovered_by_arq(self):
+        """A seeded drop on one chain hop retransmits and the payload
+        still reaches the end of the chain."""
+        faults = FaultPlan(
+            seed=3, links=(LinkFaults(src=1, dst=2, drop_prob=0.6),)
+        )
+        m = _machine()
+        w = World(m, 4, faults=faults, reliable=ReliableConfig())
+        results = {}
+
+        def make(rank):
+            def prog(ctx):
+                results[rank] = yield ctx.multicast(
+                    [0, 1, 2, 3], 2000,
+                    "panel" if ctx.rank == 0 else None, segments=4,
+                )
+            return prog
+
+        from repro.sim.deadlock import WatchdogConfig
+
+        outcome = w.run_outcome([make(r) for r in range(4)],
+                                watchdog=WatchdogConfig(stall_time=5.0))
+        assert outcome.status == "degraded"
+        assert w.network.retransmits > 0
+        assert all(results[r] == "panel" for r in range(4))
+
+    def test_killed_reduce_leg_classified_deadlocked(self):
+        """Without ARQ, a reduce whose child->parent message is always
+        dropped wedges; the watchdog names the stuck collective."""
+        faults = FaultPlan(links=(LinkFaults(src=1, dst=0, drop_prob=1.0),))
+        w = World(_machine(), 2, faults=faults)
+
+        def prog(ctx):
+            yield ctx.reduce(0, 1000, ctx.rank, op=operator.add)
+
+        from repro.sim.deadlock import WatchdogConfig
+
+        outcome = w.run_outcome([prog, prog],
+                                watchdog=WatchdogConfig(stall_time=0.5))
+        assert outcome.status == "deadlocked"
+        names = {b.name for b in outcome.report.blocked}
+        assert any("reduce" in n for n in names)
+        assert outcome.report.messages_dropped > 0

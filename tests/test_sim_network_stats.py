@@ -52,7 +52,11 @@ class TestNetworkStats:
         net.transmit(1, 1, 1000)
         sim.run()
         s = net.stats()
-        assert s["messages"] == 1
+        # Self-sends never touch a NIC or the wire: they live in the
+        # loopback counters, not the fabric-traffic ones.
+        assert s["messages"] == 0
+        assert s["loopback_messages"] == 1
+        assert s["loopback_bytes"] == 1000
         assert s["latency_max"] == 0.0  # no wire latency recorded
 
     def test_even_count_median_interpolates(self):
@@ -105,6 +109,60 @@ class TestNetworkStats:
         s = net.stats()
         assert s["retransmits"] == 3
         assert s["duplicates"] == 1
+
+
+def _spread_traffic(net, messages=200):
+    """Queueing behind shared NICs spreads the latency distribution:
+    message k from rank k%3 waits behind its predecessors."""
+    for k in range(messages):
+        net.transmit(k % 3, 3, 500 + 40 * (k % 7))
+
+
+class TestLatencySampleCap:
+    def test_capped_min_max_exact_percentiles_close(self):
+        """Exact extremes survive any decimation: min/max are tracked as
+        running values, not read from the (stride-thinned) sample."""
+        sim = Simulator()
+        full = Network(sim, _machine(), 4)
+        _spread_traffic(full)
+        sim.run()
+
+        sim2 = Simulator()
+        capped = Network(sim2, _machine(), 4)
+        capped.cap_latency_samples(32)
+        _spread_traffic(capped)
+        sim2.run()
+
+        fs, cs = full.stats(), capped.stats()
+        assert len(capped._latencies) <= 32
+        assert cs["latency_min"] == fs["latency_min"]
+        assert cs["latency_max"] == fs["latency_max"]
+        # The decimated sample still estimates the upper tail well.
+        for q in ("latency_median", "latency_p95", "latency_p99"):
+            assert cs[q] == pytest.approx(fs[q], rel=0.15)
+
+    def test_late_cap_decimates_eagerly(self):
+        """Engaging the cap after samples accumulated must shrink the
+        buffer at call time, not on some later record."""
+        sim = Simulator()
+        net = Network(sim, _machine(), 4)
+        _spread_traffic(net, messages=300)
+        sim.run()
+        before = net.stats()
+        assert len(net._latencies) == 300
+
+        net.cap_latency_samples(64)
+        assert len(net._latencies) <= 64
+        assert net._latency_stride > 1
+        after = net.stats()
+        assert after["latency_min"] == before["latency_min"]
+        assert after["latency_max"] == before["latency_max"]
+
+    def test_cap_validation(self):
+        sim = Simulator()
+        net = Network(sim, _machine(), 2)
+        with pytest.raises(ValueError):
+            net.cap_latency_samples(0)
 
 
 class TestFaultyWire:

@@ -1,0 +1,235 @@
+"""Topology fabrics: routing, per-link contention, and the crossbar
+differential — routed fabrics charge hop-by-hop link time, while the
+default crossbar must stay bit-identical to the topology-free model on
+every golden (it takes the same code path, so this is a structural
+invariant, not a tolerance check).
+"""
+
+import pytest
+
+from repro.ir.loopnest import IterationSpace
+from repro.kernels.stencil import sqrt_kernel_3d
+from repro.kernels.workloads import StencilWorkload
+from repro.model.machine import Machine, pentium_cluster
+from repro.runtime.executor import run_tiled, run_tiled_robust
+from repro.sim.core import Simulator
+from repro.sim.network import Network
+from repro.sim.topology import (
+    TOPOLOGIES,
+    Crossbar,
+    FatTree,
+    Mesh2D,
+    Ring,
+    make_topology,
+)
+
+pytestmark = pytest.mark.collectives
+
+
+def _machine(**kw):
+    defaults = dict(t_c=1e-6, t_s=0.0, t_t=1e-6, network_latency=0.0)
+    defaults.update(kw)
+    return Machine(**defaults)
+
+
+class TestCrossbar:
+    def test_no_links(self):
+        t = Crossbar(8)
+        assert t.is_crossbar
+        assert t.num_links == 0
+        assert t.route(0, 7) == ()
+
+    def test_network_treats_crossbar_as_unrouted(self):
+        sim = Simulator()
+        net = Network(sim, _machine(), 4, topology=Crossbar(4))
+        assert not net.routed
+        assert net.links == []
+
+
+class TestRing:
+    def test_link_count(self):
+        assert Ring(6).num_links == 12  # directed, both directions
+
+    def test_shortest_direction(self):
+        t = Ring(8)
+        assert len(t.route(0, 1)) == 1
+        assert len(t.route(0, 7)) == 1  # counter-clockwise is shorter
+        assert len(t.route(0, 3)) == 3
+
+    def test_tie_breaks_clockwise(self):
+        t = Ring(8)
+        hops = t.route(0, 4)
+        assert len(hops) == 4
+        # Clockwise links are the even-numbered ones (2i = i -> i+1).
+        assert all(h % 2 == 0 for h in hops)
+
+    def test_self_route_empty(self):
+        assert Ring(4).route(2, 2) == ()
+
+    def test_route_memoized(self):
+        t = Ring(8)
+        assert t.route(1, 5) is t.route(1, 5)
+
+
+class TestMesh2D:
+    def test_manhattan_length(self):
+        t = Mesh2D(4, 4)
+        # (0,0) -> (2,3): 2 row hops + 3 column hops.
+        assert len(t.route(0, 11)) == 5
+
+    def test_dimension_ordered_deterministic(self):
+        t = Mesh2D(3, 3)
+        assert t.route(0, 8) == t.route(0, 8)
+
+    def test_square_factoring(self):
+        t = Mesh2D.square(12)
+        assert t.num_nodes == 12
+        assert {t.rows, t.cols} == {3, 4}
+
+    def test_square_exact(self):
+        t = Mesh2D.square(16)
+        assert (t.rows, t.cols) == (4, 4)
+
+
+class TestFatTree:
+    def test_route_touches_core_across_leaves(self):
+        t = FatTree(16, leaf_width=4)
+        # Ranks 0 and 5 sit under different edge switches.
+        assert len(t.route(0, 5)) == 4  # up, up, down, down
+
+    def test_same_leaf_stays_local(self):
+        t = FatTree(16, leaf_width=4)
+        assert len(t.route(0, 3)) == 2  # up to edge, down to node
+
+    def test_uplinks_scaled(self):
+        t = FatTree(16, leaf_width=4, up_scale=2.0)
+        scales = {t.link_time_scale(lid) for lid in range(t.num_links)}
+        assert 1.0 in scales and 0.5 in scales
+
+
+class TestFactory:
+    def test_registry_complete(self):
+        for name in TOPOLOGIES:
+            t = make_topology(name, 16)
+            assert t.num_nodes == 16
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            make_topology("torus9d", 8)
+
+    def test_describe_mentions_name(self):
+        for name in TOPOLOGIES:
+            assert name in make_topology(name, 16).describe()
+
+
+class TestRoutedNetwork:
+    def test_hops_counted(self):
+        sim = Simulator()
+        topo = Ring(4)
+        net = Network(sim, _machine(), 4, topology=topo)
+        net.transmit(0, 2, 1000)
+        sim.run()
+        s = net.stats()
+        assert s["hops"] == 2
+        assert sum(s["link_messages"]) == 2
+        assert sum(s["link_bytes"]) == 2000
+        assert s["topology"] == topo.name
+
+    def test_stats_keys_absent_when_unrouted(self):
+        sim = Simulator()
+        net = Network(sim, _machine(), 4)
+        net.transmit(0, 2, 1000)
+        sim.run()
+        assert "hops" not in net.stats()
+
+    def test_shared_link_serializes(self):
+        """Two messages crossing the same ring link contend; on the
+        crossbar they ride independent NIC pairs and finish together."""
+
+        def makespan(topology):
+            sim = Simulator()
+            net = Network(sim, _machine(), 8, topology=topology)
+            done = []
+            # 0->2 and 1->3 clockwise both traverse links 1->2 and 2->3
+            # only partially — but 1->2's leg is shared by both routes.
+            net.transmit(0, 2, 5000).add_callback(lambda iv: done.append(sim.now))
+            net.transmit(1, 3, 5000).add_callback(lambda iv: done.append(sim.now))
+            sim.run()
+            return max(done)
+
+        assert makespan(Ring(8)) > makespan(None)
+
+    def test_routing_slower_than_crossbar_end_to_end(self):
+        w = StencilWorkload(
+            "topo-diff", IterationSpace.from_extents([8, 8, 64]),
+            sqrt_kernel_3d(), (2, 2, 1), 2,
+        )
+        m = pentium_cluster()
+        base = run_tiled(w, 8, m, blocking=False)
+        ring = run_tiled(w, 8, m, blocking=False, topology=Ring(4))
+        assert ring.completion_time > base.completion_time
+
+
+def _reduced(name, extents):
+    return StencilWorkload(
+        name, IterationSpace.from_extents(extents), sqrt_kernel_3d(),
+        (4, 4, 1), 2,
+    )
+
+
+REDUCED = [
+    _reduced("reduced-i", [16, 16, 512]),
+    _reduced("reduced-ii", [16, 16, 1024]),
+    _reduced("reduced-iii", [32, 32, 256]),
+]
+
+
+class TestCrossbarDifferential:
+    """The default fabric must not perturb a single golden bit."""
+
+    @pytest.mark.parametrize("w", REDUCED, ids=lambda w: w.name)
+    @pytest.mark.parametrize("blocking", [False, True],
+                             ids=["overlap", "nonoverlap"])
+    def test_fault_free_bit_identical(self, w, blocking):
+        m = pentium_cluster()
+        base = run_tiled(w, 32, m, blocking=blocking)
+        xbar = run_tiled(w, 32, m, blocking=blocking,
+                         topology=Crossbar(w.num_processors))
+        assert xbar.completion_time == base.completion_time
+        assert xbar.messages_sent == base.messages_sent
+        assert xbar.event_count == base.event_count
+        assert xbar.network_stats == base.network_stats
+
+    @pytest.mark.parametrize("blocking", [False, True],
+                             ids=["overlap", "nonoverlap"])
+    def test_faulted_bit_identical(self, blocking):
+        from repro.sim.faults import FaultPlan
+        from repro.sim.reliable import ReliableConfig
+
+        w = REDUCED[0]
+        m = pentium_cluster()
+        faults = FaultPlan(seed=11, drop_prob=0.02, jitter=1e-5)
+        base = run_tiled_robust(w, 32, m, blocking=blocking, faults=faults,
+                                reliable=ReliableConfig())
+        xbar = run_tiled_robust(w, 32, m, blocking=blocking, faults=faults,
+                                reliable=ReliableConfig(),
+                                topology=Crossbar(w.num_processors))
+        assert xbar.completion_time == base.completion_time
+        assert xbar.status == base.status
+        assert xbar.network_stats == base.network_stats
+
+    def test_traced_bit_identical(self):
+        w = REDUCED[0]
+        m = pentium_cluster()
+        base = run_tiled(w, 32, m, blocking=False, trace=True)
+        xbar = run_tiled(w, 32, m, blocking=False, trace=True,
+                         topology=Crossbar(w.num_processors))
+        assert len(xbar.trace.records) == len(base.trace.records)
+        for a, b in zip(base.trace.records, xbar.trace.records):
+            assert a == b
+
+    def test_world_size_mismatch_rejected(self):
+        w = REDUCED[0]
+        with pytest.raises(ValueError):
+            run_tiled(w, 32, pentium_cluster(), blocking=False,
+                      topology=Ring(3))
