@@ -1,0 +1,259 @@
+#!/usr/bin/env python
+"""Benchmark the model-guided autotuner against the exhaustive V-sweep.
+
+For each paper experiment (i–iii) this script:
+
+* runs the exhaustive 32-point overlap-schedule V-sweep through the
+  engine (fresh cache) and records its simulated tile-steps, wall-clock
+  and optimum;
+* runs ``repro.tuning.tune`` at a 10 % tile-step budget (its own fresh
+  cache, so no work leaks between the two) and records the same;
+* re-runs the tuner against the now-warm cache to measure warm service;
+* gates: the tuner must spend ≤ 10 % of the sweep's tile-steps and find
+  a completion time no worse than the sweep's optimum.
+
+It then runs the non-rectangular shape case — an anisotropic
+8×64×2048 space on 16 processors, where the default 4×4 grid is not
+communication-minimal — and gates that ``tune(shape=True)`` beats the
+best the rectangular V-only sweep can do on the default grid.
+
+Writes ``BENCH_tune.json`` at the repository root.
+
+Usage:  PYTHONPATH=src python scripts/bench_tune.py [--quick]
+
+``--quick`` shrinks the mapped extents 8× (smoke mode: same gates,
+smaller spaces); the published numbers should come from a full run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import shutil
+import sys
+import tempfile
+import time
+
+from repro.experiments.cache import SimCache
+from repro.experiments.engine import Engine
+from repro.ir.loopnest import IterationSpace
+from repro.kernels.stencil import sqrt_kernel_3d
+from repro.kernels.workloads import (
+    StencilWorkload,
+    paper_experiment_i,
+    paper_experiment_ii,
+    paper_experiment_iii,
+)
+from repro.model.machine import pentium_cluster
+from repro.tuning import exhaustive_heights, simulated_tile_steps, tune
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+BUDGET = 0.10
+BASELINE_POINTS = 32
+
+
+def _reduced(w: StencilWorkload, factor: int = 8) -> StencilWorkload:
+    extents = list(w.space.extents)
+    extents[w.mapped_dim] //= factor
+    return StencilWorkload(
+        f"{w.name}-quick", IterationSpace.from_extents(extents),
+        w.kernel, w.procs_per_dim, w.mapped_dim,
+    )
+
+
+def _fresh_engine(tmp: pathlib.Path, tag: str) -> Engine:
+    return Engine(cache=SimCache(tmp / tag))
+
+
+def _sweep_baseline(workload, machine, engine):
+    """Exhaustive overlap-schedule sweep; (heights, steps, best_v, best_t)."""
+    heights = exhaustive_heights(workload, max_points=BASELINE_POINTS)
+    steps = sum(simulated_tile_steps(workload, v) for v in heights)
+    runs = engine.run_batch(workload, machine,
+                            [(v, False) for v in heights])
+    best = min(zip(heights, runs), key=lambda p: (p[1].completion_time, p[0]))
+    return heights, steps, best[0], best[1].completion_time
+
+
+def _bench_experiment(workload, machine, tmp: pathlib.Path) -> dict:
+    sweep_engine = _fresh_engine(tmp, f"{workload.name}-sweep")
+    t0 = time.perf_counter()
+    heights, sweep_steps, sweep_v, sweep_t = _sweep_baseline(
+        workload, machine, sweep_engine
+    )
+    sweep_wall = time.perf_counter() - t0
+
+    tune_engine = _fresh_engine(tmp, f"{workload.name}-tune")
+    t0 = time.perf_counter()
+    result = tune(workload, machine, overlap=True, budget=BUDGET,
+                  engine=tune_engine, baseline_points=BASELINE_POINTS)
+    tune_wall = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    warm = tune(workload, machine, overlap=True, budget=BUDGET,
+                engine=tune_engine, baseline_points=BASELINE_POINTS)
+    warm_wall = time.perf_counter() - t0
+    warm_identical = warm.to_json() == result.to_json()
+    warm_served = warm.sources.get("sim", 0) == 0
+
+    delta = (result.best.completion_time - sweep_t) / sweep_t
+    return {
+        "workload": workload.name,
+        "sweep": {
+            "points": len(heights),
+            "tile_steps": sweep_steps,
+            "v_opt": sweep_v,
+            "t_opt": sweep_t,
+            "wall_seconds": round(sweep_wall, 3),
+        },
+        "tune": {
+            "candidates": len(result.candidates),
+            "tile_steps": result.steps_spent,
+            "probe_steps": result.probe_steps,
+            "steps_ratio": result.steps_ratio,
+            "v_best": result.best.v,
+            "t_best": result.best.completion_time,
+            "model_gap": result.best.model_gap,
+            "wall_seconds": round(tune_wall, 3),
+            "warm_wall_seconds": round(warm_wall, 3),
+            "warm_identical": warm_identical,
+            "warm_served": warm_served,
+        },
+        "completion_delta": delta,
+        "within_budget": result.steps_ratio <= BUDGET + 1e-12,
+        "matches_sweep_optimum": delta <= 1e-12,
+    }
+
+
+def _bench_shape(machine, tmp: pathlib.Path, quick: bool) -> dict:
+    """Non-rectangular case: anisotropic space where the default grid is
+    communication-suboptimal; tune(shape=True) must beat the V-only
+    rectangular sweep on the default grid."""
+    depth = 256 if quick else 2048
+    workload = StencilWorkload(
+        "aniso-8x64", IterationSpace.from_extents([8, 64, depth]),
+        sqrt_kernel_3d(), (4, 4, 1), 2,
+    )
+    sweep_engine = _fresh_engine(tmp, "aniso-sweep")
+    t0 = time.perf_counter()
+    _, sweep_steps, sweep_v, sweep_t = _sweep_baseline(
+        workload, machine, sweep_engine
+    )
+    sweep_wall = time.perf_counter() - t0
+
+    tune_engine = _fresh_engine(tmp, "aniso-tune")
+    t0 = time.perf_counter()
+    result = tune(workload, machine, overlap=True, budget=BUDGET,
+                  shape=True, engine=tune_engine,
+                  baseline_points=BASELINE_POINTS)
+    tune_wall = time.perf_counter() - t0
+
+    delta = (result.best.completion_time - sweep_t) / sweep_t
+    return {
+        "workload": workload.name,
+        "rect_sweep": {
+            "tile_steps": sweep_steps,
+            "v_opt": sweep_v,
+            "t_opt": sweep_t,
+            "wall_seconds": round(sweep_wall, 3),
+        },
+        "tune_shape": {
+            "grid_best": list(result.best.grid),
+            "v_best": result.best.v,
+            "t_best": result.best.completion_time,
+            "tile_steps": result.steps_spent,
+            "steps_ratio": result.steps_ratio,
+            "shape_fraction_bound": result.shape_fraction_bound,
+            "wall_seconds": round(tune_wall, 3),
+        },
+        "completion_delta": delta,
+        "beats_rectangular_sweep": delta < 0,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="8x-reduced extents (smoke mode, same gates)")
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_tune.json"))
+    args = parser.parse_args(argv)
+
+    machine = pentium_cluster()
+    experiments = [paper_experiment_i(), paper_experiment_ii(),
+                   paper_experiment_iii()]
+    if args.quick:
+        experiments = [_reduced(w) for w in experiments]
+
+    tmp = pathlib.Path(tempfile.mkdtemp(prefix="bench-tune-"))
+    try:
+        results = []
+        for w in experiments:
+            print(f"benchmarking {w.name} ...", file=sys.stderr)
+            results.append(_bench_experiment(w, machine, tmp))
+            r = results[-1]
+            print(
+                f"  sweep: V={r['sweep']['v_opt']} in "
+                f"{r['sweep']['tile_steps']} steps / "
+                f"{r['sweep']['wall_seconds']}s; "
+                f"tune: V={r['tune']['v_best']} in "
+                f"{r['tune']['tile_steps']} steps "
+                f"({r['tune']['steps_ratio']:.2%}) / "
+                f"{r['tune']['wall_seconds']}s; "
+                f"delta {r['completion_delta']:+.3%}",
+                file=sys.stderr,
+            )
+        print("benchmarking shape search (aniso) ...", file=sys.stderr)
+        shape = _bench_shape(machine, tmp, args.quick)
+        print(
+            f"  rect sweep: V={shape['rect_sweep']['v_opt']} "
+            f"t={shape['rect_sweep']['t_opt']:.6g}; tune --shape: "
+            f"grid={shape['tune_shape']['grid_best']} "
+            f"V={shape['tune_shape']['v_best']} "
+            f"t={shape['tune_shape']['t_best']:.6g} "
+            f"({shape['completion_delta']:+.2%})",
+            file=sys.stderr,
+        )
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    report = {
+        "benchmark": "model-guided autotuner vs exhaustive sweep",
+        "quick": args.quick,
+        "budget": BUDGET,
+        "baseline_points": BASELINE_POINTS,
+        "experiments": results,
+        "shape_case": shape,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"report written to {args.out}", file=sys.stderr)
+
+    failures = []
+    for r in results:
+        if not r["within_budget"]:
+            failures.append(f"{r['workload']}: spent "
+                            f"{r['tune']['steps_ratio']:.2%} > {BUDGET:.0%}")
+        if not r["matches_sweep_optimum"]:
+            failures.append(f"{r['workload']}: tuner optimum "
+                            f"{r['completion_delta']:+.3%} vs sweep")
+        if not r["tune"]["warm_identical"]:
+            failures.append(f"{r['workload']}: warm re-tune not identical")
+        if not r["tune"]["warm_served"]:
+            failures.append(f"{r['workload']}: warm re-tune re-simulated")
+    if not shape["beats_rectangular_sweep"]:
+        failures.append("shape case: tune --shape did not beat the "
+                        "rectangular sweep")
+    if failures:
+        print("GATE FAILURES:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("all gates passed", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -109,16 +109,31 @@ def _engine(args: argparse.Namespace):
                   journal=journal)
 
 
+def _tuned_heights(workload, machine, engine,
+                   args: argparse.Namespace) -> list[int]:
+    """The candidate heights the autotuner visited (``--tune``): they
+    replace the dense sweep grid, and their simulations are already in
+    the cache, so the subsequent sweep re-simulates nothing."""
+    from repro.tuning import tune
+
+    result = tune(workload, machine, overlap=True,
+                  budget=args.tune_budget, engine=engine)
+    print(result.render(), file=sys.stderr)
+    return sorted({c.v for c in result.candidates})
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     w = _workload(args.experiment, args.full)
     m = _machine(args.machine)
-    heights = (
-        [int(h) for h in args.heights.split(",")]
-        if args.heights
-        else default_heights(w, max_points=args.points)
-    )
+    engine = _engine(args)
+    if args.heights:
+        heights = [int(h) for h in args.heights.split(",")]
+    elif args.tune:
+        heights = _tuned_heights(w, m, engine, args)
+    else:
+        heights = default_heights(w, max_points=args.points)
     print(f"sweeping V over {heights} for {w.name} ...", file=sys.stderr)
-    result = sweep(w, m, heights=heights, engine=_engine(args))
+    result = sweep(w, m, heights=heights, engine=engine)
     print(render_sweep(result))
     print()
     print(plot_sweep(result))
@@ -140,8 +155,11 @@ def _cmd_table12(args: argparse.Namespace) -> int:
     sweeps = []
     for w in workloads:
         print(f"sweeping {w.name} ...", file=sys.stderr)
-        sweeps.append(sweep(w, m, heights=default_heights(w, max_points=args.points),
-                            engine=engine))
+        if args.tune:
+            heights = _tuned_heights(w, m, engine, args)
+        else:
+            heights = default_heights(w, max_points=args.points)
+        sweeps.append(sweep(w, m, heights=heights, engine=engine))
     print(render_table12(table12(workloads, m, sweeps)))
     return 0
 
@@ -454,6 +472,39 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from repro.experiments.campaign import KERNELS
+    from repro.tuning import tune
+
+    if args.kernel not in KERNELS:
+        raise SystemExit(
+            f"unknown kernel {args.kernel!r}; choose from {sorted(KERNELS)}"
+        )
+    extents = [int(x) for x in args.extents.split(",")]
+    procs = tuple(int(x) for x in args.procs.split(","))
+    if len(procs) != len(extents):
+        raise SystemExit("--procs must have one entry per extent")
+    w = StencilWorkload(
+        "tune", IterationSpace.from_extents(extents),
+        KERNELS[args.kernel](), procs, len(extents) - 1,
+    )
+    m = _machine(args.machine)
+    result = tune(
+        w, m,
+        overlap=args.schedule == "overlap",
+        budget=args.budget,
+        shape=args.shape,
+        engine=_engine(args),
+        baseline_points=args.points,
+    )
+    print(result.render())
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(result.to_json(canonical=False))
+        print(f"TuneResult JSON written to {args.json}", file=sys.stderr)
+    return 0
+
+
 def _cmd_summa(args: argparse.Namespace) -> int:
     from repro.kernels.gemm import SummaConfig, run_summa
 
@@ -557,12 +608,23 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument("--full", action="store_true", help="paper-scale depth")
     fig.add_argument("--points", type=int, default=10)
     fig.add_argument("--heights", help="comma-separated explicit V values")
+    fig.add_argument("--tune", action="store_true",
+                     help="pick heights with the model-guided autotuner "
+                          "instead of the dense default grid")
+    fig.add_argument("--tune-budget", type=float, default=0.1,
+                     help="autotuner budget (fraction of the exhaustive "
+                          "sweep's tile-steps, or absolute steps if > 1)")
     fig.add_argument("--svg", help="also write an SVG figure to this path")
     fig.set_defaults(func=_cmd_figure)
 
     t12 = sub.add_parser("table12", help="the Fig. 12 summary table")
     t12.add_argument("--full", action="store_true")
     t12.add_argument("--points", type=int, default=8)
+    t12.add_argument("--tune", action="store_true",
+                     help="pick heights with the model-guided autotuner")
+    t12.add_argument("--tune-budget", type=float, default=0.1,
+                     help="autotuner budget (fraction of the exhaustive "
+                          "sweep's tile-steps, or absolute steps if > 1)")
     t12.set_defaults(func=_cmd_table12)
 
     ex = sub.add_parser("examples", help="Examples 1 and 3 worked numbers")
@@ -616,9 +678,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="declare a silent shard process frozen after "
                             "this many seconds and respawn+replay it "
                             "(default: no timeout)")
-    scale.add_argument("--queue", default="heap",
-                       choices=("heap", "calendar"),
-                       help="event-queue backend (results identical)")
+    scale.add_argument("--queue", default="auto",
+                       choices=("auto", "heap", "calendar"),
+                       help="event-queue backend (results identical; auto "
+                            "picks calendar when the event population "
+                            "warrants it)")
     scale.add_argument("--trace", nargs="?", const="streaming",
                        default=False, choices=("streaming", "full"),
                        help="trace mode (default off; bare flag = streaming)")
@@ -678,6 +742,34 @@ def build_parser() -> argparse.ArgumentParser:
                     help="fault-plan seed (with --drop-rate/--jitter)")
     _add_topology_arg(tr)
     tr.set_defaults(func=_cmd_trace)
+
+    tn = sub.add_parser(
+        "tune",
+        help="model-guided autotuner: find the optimal tile height (and "
+             "optionally processor-grid shape) with a fraction of the "
+             "exhaustive sweep's simulated work",
+    )
+    tn.add_argument("--kernel", default="sqrt3d",
+                    help="stencil kernel from the campaign registry")
+    tn.add_argument("--extents", default="16,16,2048",
+                    help="comma-separated iteration-space extents")
+    tn.add_argument("--procs", default="4,4,1",
+                    help="processor grid, one entry per extent")
+    tn.add_argument("--schedule", default="overlap",
+                    choices=("overlap", "nonoverlap"))
+    tn.add_argument("--budget", type=float, default=0.1,
+                    help="fraction of the exhaustive sweep's simulated "
+                         "tile-steps (<= 1), or an absolute tile-step "
+                         "cap (> 1); default 0.1")
+    tn.add_argument("--shape", action="store_true",
+                    help="also search processor-grid factorisations "
+                         "(coordinate descent on tile shape H)")
+    tn.add_argument("--points", type=int, default=32,
+                    help="exhaustive-sweep grid size the budget is "
+                         "measured against (default 32)")
+    tn.add_argument("--json", metavar="PATH",
+                    help="write the full TuneResult JSON to this path")
+    tn.set_defaults(func=_cmd_tune)
 
     summa = sub.add_parser(
         "summa",

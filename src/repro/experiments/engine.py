@@ -433,7 +433,7 @@ class Engine:
         nshards: int | None = None,
         processes: bool | None = None,
         trace: bool | str = False,
-        queue: str = "heap",
+        queue: str = "auto",
         shard_timeout: float | None = None,
         max_shard_restarts: int = 2,
         max_events: int = 50_000_000,

@@ -228,7 +228,7 @@ def run_summa(
     faults: FaultPlan | None = None,
     reliable: ReliableConfig | None = None,
     watchdog: WatchdogConfig | None = None,
-    queue: str = "heap",
+    queue: str = "auto",
     max_events: int = 50_000_000,
 ) -> SummaResult:
     """Simulate one SUMMA job.

@@ -66,16 +66,27 @@ def cpu_comm_crossover(
     """The tile height where A1+A2+A3 = B1+B2+B3+B4 (§4's case boundary).
 
     Returns None when one side dominates over the whole range — then a
-    single case of eq. (5) applies everywhere.
+    single case of eq. (5) applies everywhere — and likewise for a flat
+    gap (a machine whose two sides are identical at every V): there is
+    no *unique* crossover, so None, never an arbitrary endpoint.
     """
     if hi is None:
         hi = float(workload.space.extents[workload.mapped_dim])
+    if hi <= lo:
+        raise ValueError("hi must exceed lo")
 
     def gap(v: float) -> float:
         sc = workload_step(workload, machine, v)
         return sc.cpu_side - sc.comm_side
 
     g_lo, g_hi = gap(lo), gap(hi)
+    if g_lo == 0 and g_hi == 0:
+        # Both endpoints balanced: either a flat gap (no unique
+        # crossover → None) or a genuine double root at the endpoints;
+        # the midpoint tells the two apart.
+        if gap((lo + hi) / 2) == 0:
+            return None
+        return lo
     if g_lo == 0:
         return lo
     if g_hi == 0:
@@ -87,11 +98,19 @@ def cpu_comm_crossover(
 
 @dataclass(frozen=True)
 class ScheduleModel:
-    """Continuous-V analytic optimum of one schedule."""
+    """Continuous-V analytic optimum of one schedule.
+
+    ``flat`` marks a degenerate machine whose completion-time curve is
+    constant over the bracket (e.g. comm-free workloads where V only
+    rescales identical step counts): ``v_opt`` is then pinned to the
+    lower bound by convention rather than being an arbitrary interior
+    point chosen by the minimiser.
+    """
 
     overlap: bool
     v_opt: float
     t_opt: float
+    flat: bool = False
 
 
 def continuous_optimum(
@@ -112,6 +131,8 @@ def continuous_optimum(
     extent = workload.space.extents[workload.mapped_dim]
     if hi is None:
         hi = float(extent) / 2
+    if hi <= lo:
+        raise ValueError("hi must exceed lo")
 
     cross_tiles = [
         e // s
@@ -138,7 +159,25 @@ def continuous_optimum(
         return nonoverlap_steps(full_upper) * sc.serialized_step
 
     res = minimize_scalar(completion, bounds=(lo, hi), method="bounded")
-    return ScheduleModel(overlap=overlap, v_opt=float(res.x), t_opt=float(res.fun))
+    # Bounded Brent never evaluates the exact endpoints, so a monotone
+    # or flat curve would otherwise return an arbitrary interior point.
+    # Snap to whichever of {lo, interior, hi} is best; ties prefer the
+    # smaller V so degenerate machines get a stable, well-defined answer.
+    candidates = [
+        (lo, float(completion(lo))),
+        (float(res.x), float(res.fun)),
+        (hi, float(completion(hi))),
+    ]
+    t_min = min(t for _, t in candidates)
+    t_max = max(t for _, t in candidates)
+    tol = 1e-12 * max(abs(t_min), 1.0)
+    flat = (t_max - t_min) <= tol and (
+        float(completion((lo + hi) / 2)) - t_min <= tol
+    )
+    v_best, t_best = min((v, t) for v, t in candidates if t <= t_min + tol)
+    return ScheduleModel(
+        overlap=overlap, v_opt=float(v_best), t_opt=float(t_best), flat=flat
+    )
 
 
 def parameter_sensitivity(

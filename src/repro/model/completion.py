@@ -184,13 +184,27 @@ def minimize_completion_over_grain(
 
     Used when the fill costs depend on ``g`` and no closed form exists
     (the paper resorts to experimental tuning for the same reason).
+
+    Degenerate curves return well-defined grains instead of whatever
+    interior point bounded Brent stalls on: a flat ``T`` returns exactly
+    ``lower``, a monotone-decreasing ``T`` (comm-free machines) returns
+    exactly ``upper``, and any tie within relative tolerance prefers the
+    smaller grain.
     """
     require_positive_float(lower, "lower")
     require_positive_float(upper, "upper")
     if upper <= lower:
         raise ValueError("upper must exceed lower")
     res = minimize_scalar(completion, bounds=(lower, upper), method="bounded")
-    return float(res.x), float(res.fun)
+    candidates = [
+        (lower, float(completion(lower))),
+        (float(res.x), float(res.fun)),
+        (upper, float(completion(upper))),
+    ]
+    t_min = min(t for _, t in candidates)
+    tol = 1e-12 * max(abs(t_min), 1.0)
+    g_best, t_best = min((g, t) for g, t in candidates if t <= t_min + tol)
+    return float(g_best), float(t_best)
 
 
 def improvement(t_nonoverlap: float, t_overlap: float) -> float:

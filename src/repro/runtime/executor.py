@@ -74,7 +74,7 @@ def run_tiled(
     trace: bool | str = False,
     max_events: int = 50_000_000,
     engine=None,
-    queue: str = "heap",
+    queue: str = "auto",
     topology=None,
 ) -> ExecutionResult:
     """Simulate the workload at tile height ``v`` under one schedule.
@@ -178,7 +178,7 @@ def run_tiled_sharded(
     nshards: int,
     trace: bool | str = False,
     faults: FaultPlan | None = None,
-    queue: str = "heap",
+    queue: str = "auto",
     processes: bool = False,
     shard_timeout: float | None = None,
     max_shard_restarts: int = 2,
@@ -297,7 +297,7 @@ def run_tiled_robust(
     numeric: bool = False,
     trace: bool | str = False,
     max_events: int = 50_000_000,
-    queue: str = "heap",
+    queue: str = "auto",
     topology=None,
 ) -> RobustResult:
     """Simulate the workload under fault injection with a live watchdog.

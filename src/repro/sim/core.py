@@ -184,24 +184,37 @@ class Process:
         effect.start(self)
 
 
+#: ``queue="auto"`` switches from the binary heap to the calendar queue
+#: once the pending population at a drain reaches this size.  The
+#: calendar backend amortises its bucket bookkeeping only on populations
+#: of roughly a rank-grid's worth of concurrent timers (BENCH_scale.json:
+#: 1.29x vs the heap's 1.04x over seed at 64 ranks); below it the bare
+#: ``heapq`` C path wins.
+AUTO_CALENDAR_MIN_PENDING = 48
+
+
 class Simulator:
     """The event loop: (time, seq, callback, arg) entries in a pluggable
     queue, plus a same-timestamp FIFO lane for zero-delay callbacks.
 
-    ``queue`` selects the backend: ``"heap"`` (default — a binary heap
-    drained inline with ``heapq``'s C functions), ``"calendar"`` (a
-    :class:`~repro.sim.equeue.CalendarQueue` for cluster-scale pending
-    sets), or any :class:`~repro.sim.equeue.EventQueue` instance.  All
-    backends produce bit-identical runs; they differ only in throughput
-    profile.
+    ``queue`` selects the backend: ``"auto"`` (default — start on the
+    binary heap, migrate to a calendar queue when the pending population
+    at a drain reaches :data:`AUTO_CALENDAR_MIN_PENDING`), ``"heap"`` (a
+    binary heap drained inline with ``heapq``'s C functions),
+    ``"calendar"`` (a :class:`~repro.sim.equeue.CalendarQueue` for
+    cluster-scale pending sets), or any
+    :class:`~repro.sim.equeue.EventQueue` instance.  All backends produce
+    bit-identical runs; they differ only in throughput profile, so the
+    auto mode's migration can never change a result.
     """
 
-    __slots__ = ("now", "_heap", "_queue", "_push", "_dq", "_seq",
+    __slots__ = ("now", "_heap", "_queue", "_push", "_auto", "_dq", "_seq",
                  "processes", "event_count", "last_progress")
 
-    def __init__(self, queue: str | EventQueue = "heap") -> None:
+    def __init__(self, queue: str | EventQueue = "auto") -> None:
         self.now: float = 0.0
-        if queue == "heap":
+        self._auto = queue == "auto"
+        if queue == "heap" or self._auto:
             # Fast path: Simulator.run drains the bare list directly.
             self._heap: list[tuple] | None = []
             self._queue: EventQueue | None = None
@@ -210,8 +223,8 @@ class Simulator:
                 queue = CalendarQueue()
             elif not isinstance(queue, EventQueue):
                 raise ValueError(
-                    f"queue must be 'heap', 'calendar', or an EventQueue, "
-                    f"got {queue!r}"
+                    f"queue must be 'auto', 'heap', 'calendar', or an "
+                    f"EventQueue, got {queue!r}"
                 )
             self._heap = None
             self._queue = queue
@@ -305,6 +318,29 @@ class Simulator:
         head = self._queue.peek()
         return head[0] if head is not None else None
 
+    @property
+    def queue_backend(self) -> str:
+        """The backend currently draining entries: ``"heap"``, or the
+        class name of the :class:`~repro.sim.equeue.EventQueue` instance
+        (``"CalendarQueue"`` after an auto migration)."""
+        if self._heap is not None:
+            return "heap"
+        return type(self._queue).__name__
+
+    def _migrate_to_calendar(self) -> None:
+        """Auto mode: move every pending heap entry into a calendar queue.
+
+        Entries are self-contained ``(time, seq, fn, arg)`` tuples and
+        both backends pop in exact ``(time, seq)`` order, so migration
+        cannot reorder anything — results stay bit-identical.
+        """
+        q = CalendarQueue()
+        for entry in self._heap:
+            q.push(entry)
+        self._heap = None
+        self._queue = q
+        self._push = q.push
+
     def run(self, until: float | None = None, max_events: int = 50_000_000) -> float:
         """Drain the event queue; returns the final simulation time.
 
@@ -312,7 +348,19 @@ class Simulator:
         guard: exactly ``max_events`` callbacks may execute; scheduling
         pressure beyond that raises ``RuntimeError`` *before* running the
         offending callback.
+
+        In ``queue="auto"`` mode each drain checks the pending population
+        first and migrates the heap to a calendar queue once it reaches
+        :data:`AUTO_CALENDAR_MIN_PENDING` — a cluster-scale world (one
+        spawned process per rank) crosses the threshold on its very first
+        drain, while the small-grid experiments never leave the heap.
         """
+        if (
+            self._auto
+            and self._heap is not None
+            and len(self._heap) >= AUTO_CALENDAR_MIN_PENDING
+        ):
+            self._migrate_to_calendar()
         # Local bindings: this loop executes once per simulated event and
         # dominates every experiment's wall-clock time.
         dq = self._dq

@@ -94,6 +94,24 @@ class CriticalPath:
         heaviest = max(max(a, b) for a, b in self.rank_sides)
         return heaviest / self.makespan
 
+    def verdict(self) -> dict:
+        """Stable machine-readable verdict of the run — the fields a
+        consumer (e.g. the :mod:`repro.tuning` autotuner) may rely on.
+
+        Keys are frozen: ``bound`` ("A"/"B"), ``chain_a_seconds``,
+        ``chain_b_seconds``, ``overlap_efficiency``, ``binding_rank``
+        and ``makespan``.  JSON-serialisable, deterministic for a given
+        trace, and safe to cache across sessions.
+        """
+        return {
+            "bound": self.bound,
+            "chain_a_seconds": self.chain_a_seconds,
+            "chain_b_seconds": self.chain_b_seconds,
+            "overlap_efficiency": self.overlap_efficiency,
+            "binding_rank": self.binding_rank,
+            "makespan": self.makespan,
+        }
+
     def describe(self) -> str:
         """Multi-line text report: verdict, chain breakdown, per-rank
         measured sides."""

@@ -163,7 +163,7 @@ class World:
         drop_every_nth: int = 0,
         faults: FaultPlan | None = None,
         reliable: ReliableConfig | None = None,
-        queue: str = "heap",
+        queue: str = "auto",
         topology: "Topology | None" = None,
     ):
         """``faults`` injects seeded message drop/duplicate/corrupt,
@@ -182,8 +182,10 @@ class World:
         path), or ``"streaming"`` (intervals folded into O(ranks)
         aggregates as they close; see
         :class:`~repro.sim.tracing.Trace`).  ``queue`` selects the
-        simulator's event-queue backend (``"heap"`` or ``"calendar"``,
-        bit-identical results either way).
+        simulator's event-queue backend (``"auto"`` — the default: heap,
+        upgraded to a calendar queue when the pending population warrants
+        it — or ``"heap"`` / ``"calendar"`` explicitly; bit-identical
+        results in every mode).
 
         ``topology`` selects the fabric between the NICs
         (:mod:`repro.sim.topology`): ``None`` or a crossbar keeps the

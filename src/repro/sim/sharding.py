@@ -130,7 +130,7 @@ class ShardWorld(World):
         *,
         trace: bool | str = False,
         faults: FaultPlan | None = None,
-        queue: str = "heap",
+        queue: str = "auto",
     ):
         if faults is not None and faults.drop_every_nth:
             raise ValueError(
@@ -528,7 +528,7 @@ class ShardedSimulation:
         *,
         trace: bool | str = False,
         faults: FaultPlan | None = None,
-        queue: str = "heap",
+        queue: str = "auto",
         processes: bool = False,
         shard_timeout: float | None = None,
         max_shard_restarts: int = 2,

@@ -120,7 +120,13 @@ def tune_grain(
 ) -> tuple[float, float]:
     """Numerically find the analytic optimal grain ``(g_opt, T_opt)`` for
     either schedule (the paper tunes experimentally; this is the model's
-    counterpart)."""
+    counterpart).
+
+    Inherits the degenerate-curve guarantees of
+    :func:`~repro.model.completion.minimize_completion_over_grain`: flat
+    curves (e.g. comm-free machines with Lemma-1 step counts that cancel
+    the grain dependence) return exactly ``lower``, monotone-decreasing
+    curves return exactly ``upper``, ties prefer the smaller grain."""
     require_positive_int(ndim, "ndim")
     point = overlap_grain_curve_point if overlap else nonoverlap_grain_curve_point
 

@@ -1,0 +1,46 @@
+"""Model-guided autotuner for tile height V and tile shape H.
+
+Replaces the exhaustive V/H sweeps with a search that uses the analytic
+eq.-(3)/(4) model as a prior, the critical-path A/B verdict as a search
+direction, and targeted simulation through the sweep engine as the
+oracle — finding the sweep's optimum with a small fraction of its
+simulated work (see ``docs/tuning.md``).
+
+    from repro.tuning import tune
+    result = tune(workload, machine, overlap=True, budget=0.10)
+    print(result.render())
+"""
+
+from repro.tuning.candidates import (
+    Seed,
+    exhaustive_heights,
+    grid_candidates,
+    grid_comm_volume,
+    height_bounds,
+    rank_grids,
+    regrid,
+    seed_heights,
+    shape_fraction_bound,
+    simulated_tile_steps,
+    sweep_equivalent_steps,
+)
+from repro.tuning.report import CandidateOutcome, TuneResult
+from repro.tuning.search import PROBE_TILES, tune
+
+__all__ = [
+    "CandidateOutcome",
+    "PROBE_TILES",
+    "Seed",
+    "TuneResult",
+    "exhaustive_heights",
+    "grid_candidates",
+    "grid_comm_volume",
+    "height_bounds",
+    "rank_grids",
+    "regrid",
+    "seed_heights",
+    "shape_fraction_bound",
+    "simulated_tile_steps",
+    "sweep_equivalent_steps",
+    "tune",
+]

@@ -1,0 +1,281 @@
+"""Candidate generation for the model-guided autotuner.
+
+The exhaustive baseline the tuner replaces is the paper's "all possible
+values of V" sweep (:func:`repro.experiments.figures.default_heights`
+with a dense 32-point grid).  Its cost is measured in *simulated
+tile-steps* — each run at height ``V`` advances every processor through
+``ceil(extent / V)`` tile steps, so small heights dominate the sweep's
+bill.  The tuner's budget is a fraction of that bill.
+
+Candidates come from the analytic layer, cheapest first:
+
+* the continuous eq.-(3)/(4) optimum (:func:`continuous_optimum`) — the
+  model prior the search refines;
+* the §4 case boundary (:func:`cpu_comm_crossover`), where the step
+  flips between CPU- and communication-bound;
+* the closed-form optimal grain of eq. (5) case 1
+  (:func:`overlap_optimal_grain_closed_form`), converted from tile
+  volume to tile height through the fixed cross-section;
+* the Dinh–Demmel communication-minimal tile shape
+  (:func:`continuous_optimal_sides`) at the model-optimal volume — its
+  mapped-dimension side is the height at which the fixed-shape tile is
+  closest to communication-minimal proportions.
+
+Shape (H) candidates are the processor-grid factorisations of the fixed
+processor count over the non-mapped dimensions, ranked by the analytic
+model; :func:`shape_fraction_bound` records the exact communication
+fraction of the best *general* (possibly skewed) tiling at the same
+volume as an unreachable-by-rectangles lower bound.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.kernels.workloads import StencilWorkload
+from repro.model.analysis import continuous_optimum, cpu_comm_crossover
+from repro.model.completion import overlap_optimal_grain_closed_form
+from repro.model.machine import Machine
+from repro.experiments.figures import analytic_step, analytic_times, default_heights
+from repro.tiling.shape import (
+    continuous_optimal_sides,
+    dependence_column_sums,
+    rectangular_communication_volume,
+)
+
+__all__ = [
+    "Seed",
+    "simulated_tile_steps",
+    "exhaustive_heights",
+    "sweep_equivalent_steps",
+    "height_bounds",
+    "seed_heights",
+    "regrid",
+    "grid_candidates",
+    "grid_comm_volume",
+    "rank_grids",
+    "shape_fraction_bound",
+]
+
+
+@dataclass(frozen=True)
+class Seed:
+    """One proposed tile height and the analytic source that proposed it."""
+
+    v: int
+    origin: str
+
+
+# -- work accounting ---------------------------------------------------------
+
+
+def simulated_tile_steps(workload: StencilWorkload, v: int) -> int:
+    """Simulated work of one run at height ``v``, in tile-steps: every
+    processor advances through ``ceil(extent / v)`` tiles."""
+    if v < 1:
+        raise ValueError("v must be positive")
+    extent = workload.space.extents[workload.mapped_dim]
+    return workload.num_processors * math.ceil(extent / v)
+
+
+def exhaustive_heights(
+    workload: StencilWorkload, max_points: int = 32
+) -> list[int]:
+    """The dense exhaustive baseline the tuner's budget is measured
+    against: the paper's V ∈ [4, k_max/4] grid at ``max_points``
+    resolution."""
+    return default_heights(workload, max_points=max_points)
+
+
+def sweep_equivalent_steps(
+    workload: StencilWorkload, heights: list[int] | None = None,
+    *, max_points: int = 32,
+) -> int:
+    """Total simulated tile-steps of exhaustively sweeping one schedule
+    over ``heights`` (default: the dense exhaustive grid)."""
+    if heights is None:
+        heights = exhaustive_heights(workload, max_points=max_points)
+    return sum(simulated_tile_steps(workload, v) for v in heights)
+
+
+# -- seed heights ------------------------------------------------------------
+
+
+def height_bounds(workload: StencilWorkload) -> tuple[int, int]:
+    """The sweep's search interval ``[lo, hi]`` for tile heights — the
+    paper's V from 4 to a quarter of the mapped extent."""
+    extent = workload.space.extents[workload.mapped_dim]
+    lo = min(4, extent)
+    hi = max(lo, extent // 4)
+    return lo, hi
+
+
+def _clamp(v: float, lo: int, hi: int) -> int:
+    return max(lo, min(hi, round(v)))
+
+
+def seed_heights(
+    workload: StencilWorkload,
+    machine: Machine,
+    *,
+    overlap: bool,
+) -> list[Seed]:
+    """Analytic seed heights, strongest prior first, deduplicated and
+    clamped to :func:`height_bounds`.  Purely analytic — no simulation."""
+    lo, hi = height_bounds(workload)
+    proposals: list[Seed] = []
+
+    model = continuous_optimum(workload, machine, overlap=overlap,
+                               lo=float(lo), hi=float(hi))
+    v_model = _clamp(model.v_opt, lo, hi)
+    proposals.append(Seed(v_model, "model"))
+
+    try:
+        cross = cpu_comm_crossover(workload, machine, lo=float(lo),
+                                   hi=float(hi))
+    except ValueError:
+        cross = None
+    if cross is not None:
+        proposals.append(Seed(_clamp(cross, lo, hi), "crossover"))
+
+    # Closed-form eq.-(5) case-1 grain at the model point, volume → height.
+    ndim = workload.space.ndim
+    cross_area = workload.grain(1)
+    if ndim >= 2 and cross_area > 0:
+        sc = analytic_step(workload, machine, v_model)
+        fill = sc.a1_fill_mpi_send + sc.a3_fill_mpi_recv
+        if fill > 0:
+            g_star = overlap_optimal_grain_closed_form(machine, ndim, fill)
+            proposals.append(Seed(_clamp(g_star / cross_area, lo, hi),
+                                  "closed-form"))
+
+    # Dinh–Demmel communication-minimal shape at the model volume: the
+    # mapped side of the comm-minimal tile of the same volume.
+    c = dependence_column_sums(workload.deps)
+    if any(ck > 0 for k, ck in enumerate(c) if k != workload.mapped_dim):
+        sides = continuous_optimal_sides(
+            workload.deps, float(cross_area * v_model), workload.mapped_dim
+        )
+        v_dd = sides[workload.mapped_dim]
+        if v_dd > 0:
+            proposals.append(Seed(_clamp(v_dd, lo, hi), "comm-min"))
+
+    seen: set[int] = set()
+    out: list[Seed] = []
+    for s in proposals:
+        if s.v not in seen:
+            seen.add(s.v)
+            out.append(s)
+    return out
+
+
+# -- shape (processor-grid) candidates ---------------------------------------
+
+
+def regrid(workload: StencilWorkload, grid: tuple[int, ...]) -> StencilWorkload:
+    """The same job on a different processor grid.  The kernel (and thus
+    the engine's kernel-registry pooling and the cache-key fingerprint)
+    is unchanged; only ``procs_per_dim`` — and therefore the tile
+    cross-section — moves."""
+    if tuple(grid) == workload.procs_per_dim:
+        return workload
+    return StencilWorkload(
+        name=f"{workload.name}@{'x'.join(str(p) for p in grid)}",
+        space=workload.space,
+        kernel=workload.kernel,
+        procs_per_dim=tuple(grid),
+        mapped_dim=workload.mapped_dim,
+    )
+
+
+def grid_candidates(workload: StencilWorkload) -> list[tuple[int, ...]]:
+    """Every factorisation of the processor count over the non-mapped
+    dimensions that divides the extents — the discrete shape (H) axis of
+    the search.  Sorted for determinism."""
+    total = workload.num_processors
+    ndim = workload.space.ndim
+    extents = workload.space.extents
+    out: list[tuple[int, ...]] = []
+
+    def rec(dim: int, remaining: int, acc: list[int]) -> None:
+        if dim == ndim:
+            if remaining == 1:
+                out.append(tuple(acc))
+            return
+        if dim == workload.mapped_dim:
+            rec(dim + 1, remaining, acc + [1])
+            return
+        for d in range(1, remaining + 1):
+            if remaining % d == 0 and extents[dim] % d == 0:
+                rec(dim + 1, remaining // d, acc + [d])
+
+    rec(0, total, [])
+    return sorted(set(out))
+
+
+def grid_comm_volume(
+    workload: StencilWorkload, grid: tuple[int, ...], v: int
+) -> float:
+    """Analytic per-step communication volume (formula (1) restricted to
+    the off-processor faces) of ``grid`` at height ``v``."""
+    sides = regrid(workload, grid).tile_sides(v)
+    return rectangular_communication_volume(
+        [float(s) for s in sides], workload.deps, workload.mapped_dim
+    )
+
+
+def rank_grids(
+    workload: StencilWorkload,
+    machine: Machine,
+    *,
+    overlap: bool,
+) -> list[tuple[tuple[int, ...], float, float]]:
+    """All shape candidates ranked by the analytic model, best first.
+
+    Returns ``(grid, model_t_opt, model_v_opt)`` triples: each grid's
+    continuous-V analytic optimum decides the order the (expensive)
+    simulation oracle visits shapes.  Ties break on the grid tuple so the
+    ranking is deterministic.
+    """
+    ranked = []
+    for grid in grid_candidates(workload):
+        wl = regrid(workload, grid)
+        lo, hi = height_bounds(wl)
+        if hi <= lo:
+            continue
+        model = continuous_optimum(wl, machine, overlap=overlap,
+                                   lo=float(lo), hi=float(hi))
+        ranked.append((grid, model.t_opt, model.v_opt))
+    ranked.sort(key=lambda t: (t[1], t[0]))
+    return ranked
+
+
+def shape_fraction_bound(
+    workload: StencilWorkload, volume: float
+) -> float | None:
+    """Exact communication fraction of the best *general* (possibly
+    skewed) tiling at ``volume`` — the [2]/[11] lower bound no
+    rectangular candidate can beat.  ``None`` when the optimiser finds
+    no legal tiling (degenerate dependence sets)."""
+    from repro.tiling.communication import communication_fraction
+    from repro.tiling.optimize_h import optimize_general_tiling
+
+    try:
+        tiling = optimize_general_tiling(workload.deps, float(volume))
+        return float(
+            communication_fraction(tiling, workload.deps, workload.mapped_dim)
+        )
+    except (ValueError, ZeroDivisionError):
+        return None
+
+
+def model_time(
+    workload: StencilWorkload, machine: Machine, v: int, *, overlap: bool
+) -> float:
+    """The eq.-(3)/(4) analytic completion time of one candidate."""
+    t_non, t_ovl = analytic_times(workload, machine, v)
+    return t_ovl if overlap else t_non
+
+
+__all__.append("model_time")

@@ -1,0 +1,168 @@
+"""Structured results of one autotune run.
+
+A :class:`TuneResult` records everything needed to audit the search:
+every candidate simulated (with its measured time, the analytic model's
+prediction and the gap between them), the simulated tile-steps spent
+against the equivalent exhaustive sweep, and the A/B critical-path
+verdicts that steered the search.
+
+Serialisation is deterministic: :meth:`TuneResult.to_json` sorts keys
+and contains no wall-clock timestamps, so the same search (same seed
+candidates, same budget) produces byte-identical JSON — serial or
+pooled, cold or warm cache (``source`` fields are excluded from the
+canonical form and reported in the aggregate ``sources`` counter
+instead).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+__all__ = ["CandidateOutcome", "TuneResult"]
+
+
+@dataclass(frozen=True)
+class CandidateOutcome:
+    """One simulated candidate: where it came from, what it cost, what
+    the model predicted and what the oracle measured.
+
+    ``model_gap`` is ``(model - measured) / measured`` — positive when
+    the analytic model over-predicts.  ``verdict`` is the critical-path
+    A/B bound when this candidate was probed (``None`` otherwise);
+    ``source`` says where the oracle result came from (``"sim"``,
+    ``"cache"`` or ``"journal"``).
+    """
+
+    grid: tuple[int, ...]
+    v: int
+    origin: str
+    completion_time: float
+    model_time: float
+    tile_steps: int
+    source: str = "sim"
+    verdict: str | None = None
+
+    @property
+    def model_gap(self) -> float:
+        if self.completion_time == 0:
+            return 0.0
+        return (self.model_time - self.completion_time) / self.completion_time
+
+    def to_dict(self, *, canonical: bool = False) -> dict:
+        d = {
+            "grid": list(self.grid),
+            "v": self.v,
+            "origin": self.origin,
+            "completion_time": self.completion_time,
+            "model_time": self.model_time,
+            "model_gap": self.model_gap,
+            "tile_steps": self.tile_steps,
+            "verdict": self.verdict,
+        }
+        if not canonical:
+            d["source"] = self.source
+        return d
+
+
+@dataclass(frozen=True)
+class TuneResult:
+    """Full record of one autotune run."""
+
+    workload: str
+    extents: tuple[int, ...]
+    base_grid: tuple[int, ...]
+    mapped_dim: int
+    overlap: bool
+    baseline_points: int
+    sweep_equivalent_steps: int
+    budget_steps: int
+    steps_spent: int
+    probe_steps: int
+    candidates: tuple[CandidateOutcome, ...]
+    best: CandidateOutcome
+    shape_searched: bool = False
+    shape_fraction_bound: float | None = None
+    sources: dict = field(default_factory=dict)
+
+    @property
+    def steps_ratio(self) -> float:
+        """Simulated work spent, as a fraction of the exhaustive sweep."""
+        if self.sweep_equivalent_steps == 0:
+            return 0.0
+        return self.steps_spent / self.sweep_equivalent_steps
+
+    def to_dict(self, *, canonical: bool = False) -> dict:
+        return {
+            "workload": self.workload,
+            "extents": list(self.extents),
+            "base_grid": list(self.base_grid),
+            "mapped_dim": self.mapped_dim,
+            "overlap": self.overlap,
+            "baseline_points": self.baseline_points,
+            "sweep_equivalent_steps": self.sweep_equivalent_steps,
+            "budget_steps": self.budget_steps,
+            "steps_spent": self.steps_spent,
+            "probe_steps": self.probe_steps,
+            "steps_ratio": self.steps_ratio,
+            "candidates": [
+                c.to_dict(canonical=canonical) for c in self.candidates
+            ],
+            "best": self.best.to_dict(canonical=canonical),
+            "shape_searched": self.shape_searched,
+            "shape_fraction_bound": self.shape_fraction_bound,
+            **({} if canonical else {"sources": dict(self.sources)}),
+        }
+
+    def to_json(self, *, canonical: bool = True) -> str:
+        """Deterministic JSON.  The default canonical form excludes the
+        cache-dependent ``source``/``sources`` fields, so a warm repeat
+        of the same search is byte-identical to the cold run."""
+        return json.dumps(self.to_dict(canonical=canonical), sort_keys=True,
+                          separators=(",", ":"))
+
+    def render(self) -> str:
+        """Human-readable summary."""
+        schedule = "overlapping" if self.overlap else "non-overlapping"
+        lines = [
+            f"autotune {self.workload} ({schedule} schedule, "
+            f"grid {'x'.join(str(p) for p in self.base_grid)})",
+            f"  best: V={self.best.v}"
+            + (
+                f" grid={'x'.join(str(p) for p in self.best.grid)}"
+                if self.best.grid != self.base_grid
+                else ""
+            )
+            + f"  t={self.best.completion_time:.6g}s "
+            f"(model {self.best.model_time:.6g}s, "
+            f"gap {self.best.model_gap:+.2%})",
+            f"  work: {self.steps_spent} tile-steps "
+            f"({self.probe_steps} in verdict probes) vs "
+            f"{self.sweep_equivalent_steps} for the "
+            f"{self.baseline_points}-point exhaustive sweep "
+            f"= {self.steps_ratio:.2%} "
+            f"(budget {self.budget_steps})",
+        ]
+        if self.shape_fraction_bound is not None:
+            lines.append(
+                f"  shape lower bound: comm fraction "
+                f"{self.shape_fraction_bound:.6g} (best general tiling)"
+            )
+        if self.sources:
+            served = ", ".join(
+                f"{k}={v}" for k, v in sorted(self.sources.items())
+            )
+            lines.append(f"  oracle sources: {served}")
+        lines.append(f"  candidates ({len(self.candidates)}):")
+        for c in self.candidates:
+            grid = ""
+            if c.grid != self.base_grid:
+                grid = f" grid={'x'.join(str(p) for p in c.grid)}"
+            verdict = f" [{c.verdict}-bound]" if c.verdict else ""
+            lines.append(
+                f"    V={c.v}{grid} ({c.origin}): "
+                f"t={c.completion_time:.6g}s "
+                f"model={c.model_time:.6g}s "
+                f"gap={c.model_gap:+.2%}{verdict}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,421 @@
+"""Model-guided search over tile height V and processor-grid shape H.
+
+The exhaustive baseline simulates every height on a dense grid; this
+search spends a small fraction of that work by combining three signals:
+
+1. **The analytic model as prior** — :func:`repro.tuning.candidates.seed_heights`
+   proposes the continuous eq.-(3)/(4) optimum, the §4 A/B crossover,
+   the closed-form eq.-(5) grain and the Dinh–Demmel communication-
+   minimal height.  Seeds are simulated first, in one batch.
+2. **The critical-path verdict as search direction** — when the best
+   point sits on the boundary of the evaluated set, a cheap reduced-depth
+   traced probe measures which side of eq. (4) binds: an A-bound (CPU
+   side) step means communication is already hidden, so the search grows
+   V to amortise pipeline fill; a B-bound step means communication
+   dominates, so it shrinks V.  Probes are cached in the SimCache under
+   ``method="verdict1"``.
+3. **Golden-section narrowing** on the bracketed interval, evaluating
+   both interior points per iteration in one engine batch (pool + cache
+   + journal reuse), followed by a **snap** pass over the exhaustive
+   grid points bracketing the continuum optimum — so the tuner's answer
+   is directly comparable to the sweep it replaces.
+
+Shape search (``shape=True``) runs the same V-refinement on the top
+analytically-ranked processor-grid factorisations — coordinate descent
+with the model ordering the H axis and simulation refining the V axis.
+
+**Budget semantics**: ``budget <= 1`` is a fraction of the exhaustive
+sweep's simulated tile-steps; ``budget > 1`` is an absolute tile-step
+cap.  Every oracle evaluation and every verdict probe is charged against
+the budget *regardless of cache hits*, so the candidate sequence — and
+therefore the canonical :class:`TuneResult` — is identical cold or warm.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+
+from repro.experiments.cache import run_key
+from repro.experiments.engine import Engine
+from repro.ir.loopnest import IterationSpace
+from repro.kernels.workloads import StencilWorkload
+from repro.model.machine import Machine
+from repro.runtime.executor import run_tiled
+
+from repro.tuning.candidates import (
+    Seed,
+    height_bounds,
+    model_time,
+    rank_grids,
+    regrid,
+    seed_heights,
+    shape_fraction_bound,
+    simulated_tile_steps,
+    sweep_equivalent_steps,
+    exhaustive_heights,
+)
+from repro.tuning.report import CandidateOutcome, TuneResult
+
+__all__ = ["tune"]
+
+#: Tile steps a reduced-depth verdict probe simulates (past pipeline fill).
+PROBE_TILES = 8
+#: Golden-section stops when the bracket is this fraction of its midpoint.
+_RESOLUTION = 0.04
+_INVPHI = (math.sqrt(5.0) - 1.0) / 2.0
+_MAX_EXPANSIONS = 8
+_MAX_GOLDEN_ROUNDS = 24
+
+
+class _Oracle:
+    """Budgeted, memoised access to the simulation engine.
+
+    Every distinct ``(grid, v)`` is simulated at most once per search;
+    its tile-step cost is charged when first requested — cache hits
+    included, so the search trajectory is cache-independent.
+    """
+
+    def __init__(self, engine: Engine, machine: Machine, *, overlap: bool,
+                 budget_steps: int, max_events: int):
+        self.engine = engine
+        self.machine = machine
+        self.overlap = overlap
+        self.blocking = not overlap
+        self.budget = budget_steps
+        self.max_events = max_events
+        self.spent = 0
+        self.probe_steps = 0
+        #: Steps held back for the final snap pass; ordinary evaluations
+        #: must fit under ``budget - reserved``, snap evaluations ignore it.
+        self.reserved = 0
+        self.memo: dict[tuple[tuple[int, ...], int], CandidateOutcome] = {}
+        self.order: list[tuple[tuple[int, ...], int]] = []
+        self.verdicts: dict[tuple[tuple[int, ...], int], str | None] = {}
+        self.sources: dict[str, int] = {}
+
+    # -- oracle evaluations --------------------------------------------------
+
+    def evaluate(self, workload: StencilWorkload, grid: tuple[int, ...],
+                 seeds: list[Seed], *, ignore_reserve: bool = False) -> None:
+        """Batch-simulate every affordable, not-yet-seen seed."""
+        limit = self.budget if ignore_reserve else self.budget - self.reserved
+        todo: list[tuple[Seed, int]] = []
+        pending: set[int] = set()
+        for seed in seeds:
+            key = (grid, seed.v)
+            if key in self.memo or seed.v in pending:
+                continue
+            cost = simulated_tile_steps(workload, seed.v)
+            first = not self.order and not todo
+            if not first and self.spent + cost > limit:
+                continue
+            self.spent += cost
+            pending.add(seed.v)
+            todo.append((seed, cost))
+        if not todo:
+            return
+        reports = self.engine.run_batch_outcomes(
+            workload, self.machine,
+            [(seed.v, self.blocking) for seed, _ in todo],
+            max_events=self.max_events,
+        )
+        for (seed, cost), rep in zip(todo, reports):
+            if rep.result is None:
+                continue
+            key = (grid, seed.v)
+            self.memo[key] = CandidateOutcome(
+                grid=grid,
+                v=seed.v,
+                origin=seed.origin,
+                completion_time=rep.result.completion_time,
+                model_time=model_time(workload, self.machine, seed.v,
+                                      overlap=self.overlap),
+                tile_steps=cost,
+                source=rep.source,
+            )
+            self.order.append(key)
+            self.sources[rep.source] = self.sources.get(rep.source, 0) + 1
+
+    def time(self, grid: tuple[int, ...], v: int) -> float | None:
+        out = self.memo.get((grid, v))
+        return None if out is None else out.completion_time
+
+    def evaluated_heights(self, grid: tuple[int, ...]) -> list[int]:
+        return sorted(v for g, v in self.memo if g == grid)
+
+    def best_for(self, grid: tuple[int, ...]) -> CandidateOutcome | None:
+        outs = [o for (g, _), o in self.memo.items() if g == grid]
+        if not outs:
+            return None
+        return min(outs, key=lambda o: (o.completion_time, o.v))
+
+    def best_overall(self) -> CandidateOutcome | None:
+        if not self.memo:
+            return None
+        return min(self.memo.values(),
+                   key=lambda o: (o.completion_time, o.v, o.grid))
+
+    # -- verdict probes ------------------------------------------------------
+
+    def probe(self, workload: StencilWorkload, grid: tuple[int, ...],
+              v: int) -> str | None:
+        """The A/B critical-path bound of a reduced-depth traced run.
+
+        The mapped extent is clipped to ``PROBE_TILES`` tiles — enough to
+        reach pipeline steady state — so the probe costs a handful of
+        tile-steps.  Results are cached in the engine's SimCache under
+        ``method="verdict1"``, so repeated tunes probe for free (the
+        budget is still charged, keeping the trajectory deterministic).
+        """
+        key = (grid, v)
+        if key in self.verdicts:
+            return self.verdicts[key]
+        extent = workload.space.extents[workload.mapped_dim]
+        probe_extent = min(extent, v * PROBE_TILES)
+        cost = workload.num_processors * math.ceil(probe_extent / v)
+        if self.order and self.spent + cost > self.budget:
+            return None
+        self.spent += cost
+        self.probe_steps += cost
+
+        if probe_extent == extent:
+            probe_wl = workload
+        else:
+            extents = list(workload.space.extents)
+            extents[workload.mapped_dim] = probe_extent
+            probe_wl = StencilWorkload(
+                name=f"{workload.name}#probe",
+                space=IterationSpace.from_extents(extents),
+                kernel=workload.kernel,
+                procs_per_dim=workload.procs_per_dim,
+                mapped_dim=workload.mapped_dim,
+            )
+        spec = run_key(probe_wl, v, self.machine, blocking=self.blocking,
+                       method="verdict1")
+        cache = self.engine.cache
+        payload = cache.get(spec) if cache is not None else None
+        if payload is None:
+            res = run_tiled(probe_wl, v, self.machine,
+                            blocking=self.blocking, trace=True,
+                            max_events=self.max_events)
+            cp = res.critical_path()
+            payload = cp.verdict() if cp is not None else {"bound": None}
+            if cache is not None:
+                cache.put(spec, payload)
+        bound = payload.get("bound")
+        self.verdicts[key] = bound
+        if key in self.memo and bound is not None:
+            self.memo[key] = replace(self.memo[key], verdict=bound)
+        return bound
+
+
+# -- search phases -----------------------------------------------------------
+
+
+def _expand(oracle: _Oracle, workload: StencilWorkload,
+            grid: tuple[int, ...], lo: int, hi: int, *,
+            use_probes: bool) -> None:
+    """Verdict-steered geometric expansion until the best point is
+    bracketed by worse neighbours (or the domain/budget runs out)."""
+    for _ in range(_MAX_EXPANSIONS):
+        best = oracle.best_for(grid)
+        if best is None:
+            return
+        vs = oracle.evaluated_heights(grid)
+        bound = (
+            oracle.probe(workload, grid, best.v) if use_probes else None
+        )
+        if bound == "A":
+            want_up = True
+        elif bound == "B":
+            want_up = False
+        else:
+            want_up = best.v == max(vs)
+        if want_up:
+            if best.v < max(vs):
+                return  # a worse point above already brackets the optimum
+            nxt = min(hi, best.v * 2)
+        else:
+            if best.v > min(vs):
+                return
+            nxt = max(lo, best.v // 2)
+        if nxt == best.v or (grid, nxt) in oracle.memo:
+            return
+        oracle.evaluate(workload, grid, [Seed(nxt, "expand")])
+        if (grid, nxt) not in oracle.memo:
+            return  # budget refused the expansion
+
+
+def _bracket(oracle: _Oracle, grid: tuple[int, ...], lo: int,
+             hi: int) -> tuple[int, int]:
+    """[largest evaluated below best (or lo), smallest above (or hi)]."""
+    best = oracle.best_for(grid)
+    vs = oracle.evaluated_heights(grid)
+    below = [v for v in vs if v < best.v]
+    above = [v for v in vs if v > best.v]
+    return (below[-1] if below else lo, above[0] if above else hi)
+
+
+def _golden(oracle: _Oracle, workload: StencilWorkload,
+            grid: tuple[int, ...], a: int, b: int) -> None:
+    """Integer golden-section narrowing; both interior points of each
+    iteration go to the engine in one batch."""
+    for _ in range(_MAX_GOLDEN_ROUNDS):
+        if b - a <= max(2, round(_RESOLUTION * 0.5 * (a + b))):
+            return
+        c = round(b - (b - a) * _INVPHI)
+        d = round(a + (b - a) * _INVPHI)
+        c = max(a + 1, min(c, b - 1))
+        d = max(a + 1, min(d, b - 1))
+        if c >= d:
+            d = min(b - 1, c + 1)
+            if c >= d:
+                return
+        oracle.evaluate(workload, grid,
+                        [Seed(c, "golden"), Seed(d, "golden")])
+        fc, fd = oracle.time(grid, c), oracle.time(grid, d)
+        if fc is None or fd is None:
+            return  # budget exhausted mid-narrowing
+        if fc <= fd:
+            b = d
+        else:
+            a = c
+
+
+def _snap(oracle: _Oracle, workload: StencilWorkload,
+          grid: tuple[int, ...], baseline_points: int) -> None:
+    """Evaluate the exhaustive-grid points bracketing the current best,
+    so the tuner's answer is never worse than the sweep's at comparable
+    heights."""
+    best = oracle.best_for(grid)
+    if best is None:
+        return
+    grid_heights = exhaustive_heights(workload, max_points=baseline_points)
+    below = [v for v in grid_heights if v <= best.v]
+    above = [v for v in grid_heights if v >= best.v]
+    snaps = []
+    if below:
+        snaps.append(Seed(below[-1], "snap"))
+    if above:
+        snaps.append(Seed(above[0], "snap"))
+    oracle.evaluate(workload, grid, snaps, ignore_reserve=True)
+
+
+def _search_grid(oracle: _Oracle, workload: StencilWorkload,
+                 grid: tuple[int, ...], *, baseline_points: int,
+                 use_probes: bool) -> None:
+    """The full V-axis search on one processor grid."""
+    wl = regrid(workload, grid)
+    lo, hi = height_bounds(wl)
+    seeds = seed_heights(wl, oracle.machine, overlap=oracle.overlap)
+    if not seeds:
+        seeds = [Seed(max(lo, min(hi, lo)), "fallback")]
+    # A single low-V seed can devour the whole budget (cost ∝ 1/V); cap
+    # any one seed at a quarter of it, but always keep the model prior.
+    cap = max(1, oracle.budget // 4)
+    affordable = [
+        s for s in seeds if simulated_tile_steps(wl, s.v) <= cap
+    ]
+    oracle.evaluate(wl, grid, affordable or seeds[:1])
+    best = oracle.best_for(grid)
+    if best is None:
+        return
+    # Hold back enough budget for the snap pass (~two grid points near
+    # the optimum) so narrowing can never starve it.
+    oracle.reserved = 3 * simulated_tile_steps(wl, best.v)
+    if hi > lo:
+        _expand(oracle, wl, grid, lo, hi, use_probes=use_probes)
+        a, b = _bracket(oracle, grid, lo, hi)
+        _golden(oracle, wl, grid, a, b)
+    oracle.reserved = 0
+    _snap(oracle, wl, grid, baseline_points)
+    best = oracle.best_for(grid)
+    if use_probes and best is not None:
+        oracle.probe(wl, grid, best.v)  # record the verdict at the optimum
+
+
+# -- entry point -------------------------------------------------------------
+
+
+def tune(
+    workload: StencilWorkload,
+    machine: Machine,
+    *,
+    overlap: bool = True,
+    budget: float = 0.10,
+    shape: bool = False,
+    engine: Engine | None = None,
+    baseline_points: int = 32,
+    shape_grids: int = 3,
+    use_probes: bool = True,
+    max_events: int = 50_000_000,
+) -> TuneResult:
+    """Search tile height V (and optionally grid shape H) for the given
+    schedule, spending at most ``budget`` of the exhaustive sweep's
+    simulated tile-steps.
+
+    ``budget <= 1`` is a fraction of the ``baseline_points``-point
+    exhaustive sweep's work; ``budget > 1`` an absolute tile-step cap.
+    ``shape=True`` extends the search to processor-grid factorisations
+    (coordinate descent: the analytic model ranks the shape axis, the
+    simulation oracle refines the V axis on the top ``shape_grids``
+    shapes).  Deterministic: the same arguments produce the same
+    candidate sequence — and byte-identical canonical JSON — whether the
+    engine is serial or pooled, cold or warm.
+    """
+    if budget <= 0:
+        raise ValueError("budget must be positive")
+    if engine is None:
+        engine = Engine(jobs=1, cache=None)
+    sweep_steps = sweep_equivalent_steps(workload, max_points=baseline_points)
+    budget_steps = (
+        int(round(budget * sweep_steps)) if budget <= 1 else int(budget)
+    )
+
+    oracle = _Oracle(engine, machine, overlap=overlap,
+                     budget_steps=budget_steps, max_events=max_events)
+    base_grid = workload.procs_per_dim
+    _search_grid(oracle, workload, base_grid,
+                 baseline_points=baseline_points, use_probes=use_probes)
+
+    fraction_bound = None
+    if shape:
+        ranked = rank_grids(workload, machine, overlap=overlap)
+        tried = {base_grid}
+        for grid, _t_model, _v_model in ranked:
+            if len(tried) > shape_grids:
+                break
+            if grid in tried:
+                continue
+            tried.add(grid)
+            _search_grid(oracle, workload, grid,
+                         baseline_points=baseline_points,
+                         use_probes=use_probes)
+        best = oracle.best_overall()
+        if best is not None:
+            volume = regrid(workload, best.grid).grain(best.v)
+            fraction_bound = shape_fraction_bound(workload, volume)
+
+    best = oracle.best_overall()
+    if best is None:
+        raise RuntimeError("autotuner produced no candidates")
+    candidates = tuple(oracle.memo[key] for key in oracle.order)
+    # Re-read outcomes in evaluation order so later-attached verdicts show.
+    return TuneResult(
+        workload=workload.name,
+        extents=tuple(workload.space.extents),
+        base_grid=base_grid,
+        mapped_dim=workload.mapped_dim,
+        overlap=overlap,
+        baseline_points=baseline_points,
+        sweep_equivalent_steps=sweep_steps,
+        budget_steps=budget_steps,
+        steps_spent=oracle.spent,
+        probe_steps=oracle.probe_steps,
+        candidates=candidates,
+        best=oracle.memo[(best.grid, best.v)],
+        shape_searched=shape,
+        shape_fraction_bound=fraction_bound,
+        sources=dict(sorted(oracle.sources.items())),
+    )

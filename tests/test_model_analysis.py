@@ -107,3 +107,61 @@ class TestSmallWorkload:
         m = pentium_cluster()
         res = continuous_optimum(w, m, overlap=True)
         assert res.t_opt > 0
+
+
+class TestDegenerateMachines:
+    """Crossover and continuous-optimum hardening: machines at the edges
+    of the model (zero latency, comm-free, compute-starved) must return
+    well-defined sentinels instead of solver artefacts."""
+
+    def _w(self):
+        return StencilWorkload(
+            "degen", IterationSpace.from_extents([8, 8, 256]),
+            sqrt_kernel_3d(), (2, 2, 1), 2,
+        )
+
+    def test_zero_latency_machine(self):
+        m = pentium_cluster().with_(t_s=0.0)
+        w = self._w()
+        cross = cpu_comm_crossover(w, m, lo=4.0, hi=64.0)
+        assert cross is None or 4.0 <= cross <= 64.0
+        res = continuous_optimum(w, m, overlap=True, lo=4.0, hi=64.0)
+        assert 4.0 <= res.v_opt <= 64.0 and res.t_opt > 0
+
+    def test_comm_free_machine_has_no_crossover(self):
+        m = pentium_cluster().with_(t_s=0.0, t_t=0.0)
+        w = self._w()
+        # comm side is identically zero: CPU dominates everywhere.
+        assert cpu_comm_crossover(w, m, lo=4.0, hi=64.0) is None
+        res = continuous_optimum(w, m, overlap=True, lo=4.0, hi=64.0)
+        assert 4.0 <= res.v_opt <= 64.0 and res.t_opt > 0
+        assert isinstance(res.flat, bool)
+
+    def test_compute_starved_machine_has_no_crossover(self):
+        # Machine requires t_c > 0; 1e-30 is compute-free for all
+        # practical purposes, so communication dominates everywhere.
+        m = pentium_cluster().with_(t_c=1e-30)
+        w = self._w()
+        assert cpu_comm_crossover(w, m, lo=4.0, hi=64.0) is None
+        res = continuous_optimum(w, m, overlap=True, lo=4.0, hi=64.0)
+        assert 4.0 <= res.v_opt <= 64.0 and res.t_opt > 0
+
+    def test_crossover_rejects_empty_bracket(self):
+        w = self._w()
+        with pytest.raises(ValueError, match="hi must exceed lo"):
+            cpu_comm_crossover(w, pentium_cluster(), lo=64.0, hi=64.0)
+        with pytest.raises(ValueError, match="hi must exceed lo"):
+            continuous_optimum(w, pentium_cluster(), overlap=True,
+                               lo=64.0, hi=4.0)
+
+    def test_endpoint_snap_on_monotone_curve(self):
+        # Over a bracket past the optimum the curve is monotone
+        # increasing; bounded Brent alone would park near-but-not-at the
+        # endpoint, the snap must return the exact bound.
+        w = self._w()
+        m = pentium_cluster()
+        ref = continuous_optimum(w, m, overlap=True, lo=4.0, hi=64.0)
+        hi_bracket = continuous_optimum(
+            w, m, overlap=True, lo=2 * ref.v_opt, hi=4 * ref.v_opt
+        )
+        assert hi_bracket.v_opt == 2 * ref.v_opt

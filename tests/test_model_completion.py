@@ -199,3 +199,95 @@ class TestCase2OptimalGrain:
             overlap_optimal_grain_case2_closed_form(2, 1e-4, 1e-6)
         with pytest.raises(ValueError):
             overlap_optimal_grain_case2_closed_form(3, 0.0, 1e-6)
+
+
+class TestDegenerateCurves:
+    """minimize_completion_over_grain sentinels: flat and monotone
+    curves must return exact endpoints, not bounded-Brent interior
+    artefacts."""
+
+    def test_flat_curve_returns_exact_lower(self):
+        g, t = minimize_completion_over_grain(lambda g: 1.0, 4.0, 4096.0)
+        assert g == 4.0 and t == 1.0
+
+    def test_monotone_decreasing_returns_exact_upper(self):
+        # Comm-free machines: completion only amortises with grain.
+        g, t = minimize_completion_over_grain(lambda g: 1.0 / g, 4.0, 4096.0)
+        assert g == 4096.0 and t == 1.0 / 4096.0
+
+    def test_monotone_increasing_returns_exact_lower(self):
+        g, _ = minimize_completion_over_grain(lambda g: g, 4.0, 4096.0)
+        assert g == 4.0
+
+    def test_tie_prefers_smaller_grain(self):
+        # Concave bump: both endpoints tie at the minimum; smaller wins.
+        g, _ = minimize_completion_over_grain(
+            lambda g: (g - 4.0) * (4096.0 - g), 4.0, 4096.0
+        )
+        assert g == 4.0
+
+    def test_rejects_empty_bracket(self):
+        with pytest.raises(ValueError, match="upper must exceed lower"):
+            minimize_completion_over_grain(lambda g: g, 10.0, 10.0)
+
+
+class TestClosedFormProperties:
+    """The eq.-(5) closed forms must agree with the numeric minimiser
+    across randomised machine perturbations (seeded, no solver luck)."""
+
+    def test_case1_matches_numeric_across_machines(self):
+        import random
+
+        from repro.model.machine import pentium_cluster
+
+        rng = random.Random(20010516)
+        base = pentium_cluster()
+        for _ in range(25):
+            m = base.with_(
+                t_c=base.t_c * 10 ** rng.uniform(-1.5, 1.5),
+                t_s=base.t_s * 10 ** rng.uniform(-1.5, 1.5),
+                t_t=base.t_t * 10 ** rng.uniform(-1.5, 1.5),
+            )
+            n = rng.choice([2, 3, 4])
+            fill = m.t_s * rng.uniform(0.5, 2.0)
+            g_closed = overlap_optimal_grain_closed_form(m, n, fill)
+
+            def completion(g, fill=fill, n=n, t_c=m.t_c):
+                return fill * g ** (-1 / n) + t_c * g ** ((n - 1) / n)
+
+            g_num, t_num = minimize_completion_over_grain(
+                completion, g_closed / 100, g_closed * 100
+            )
+            assert g_closed == pytest.approx(g_num, rel=1e-3)
+            assert completion(g_closed) <= t_num * (1 + 1e-9)
+
+    def test_case2_matches_numeric_across_machines(self):
+        import random
+
+        from repro.model.completion import (
+            overlap_optimal_grain_case2_closed_form,
+        )
+        from repro.model.machine import pentium_cluster
+
+        rng = random.Random(20010517)
+        base = pentium_cluster()
+        for _ in range(25):
+            m = base.with_(
+                t_s=base.t_s * 10 ** rng.uniform(-1.0, 1.0),
+                t_t=base.t_t * 10 ** rng.uniform(-1.0, 1.0),
+            )
+            n = rng.choice([3, 4, 5])
+            kernel_fill = m.t_s * rng.uniform(0.5, 2.0)
+            wire = m.t_t * rng.uniform(10.0, 100.0)
+            g_closed = overlap_optimal_grain_case2_closed_form(
+                n, kernel_fill, wire
+            )
+
+            def completion(g, k=kernel_fill, w=wire, n=n):
+                return k * g ** (-1 / n) + w * g ** ((n - 2) / n)
+
+            g_num, t_num = minimize_completion_over_grain(
+                completion, g_closed / 100, g_closed * 100
+            )
+            assert g_closed == pytest.approx(g_num, rel=1e-3)
+            assert completion(g_closed) <= t_num * (1 + 1e-9)

@@ -18,7 +18,7 @@ from repro.kernels.stencil import sqrt_kernel_3d
 from repro.kernels.workloads import StencilWorkload
 from repro.model.machine import pentium_cluster
 from repro.runtime.executor import run_tiled
-from repro.sim.core import Simulator
+from repro.sim.core import AUTO_CALENDAR_MIN_PENDING, Simulator
 from repro.sim.equeue import CalendarQueue, EventQueue, HeapQueue
 
 
@@ -243,3 +243,74 @@ class TestSimulatorBackends:
         assert a.event_count == b.event_count
         assert a.trace.records == b.trace.records
         assert a.network_stats == b.network_stats
+
+
+class TestAutoQueue:
+    """The ``"auto"`` default: start on the heap, migrate to the
+    calendar queue when the pending population at a drain reaches
+    :data:`~repro.sim.core.AUTO_CALENDAR_MIN_PENDING` — without ever
+    changing a result."""
+
+    def test_default_is_auto_starting_on_heap(self):
+        assert Simulator().queue_backend == "heap"
+
+    def test_small_population_never_leaves_the_heap(self):
+        sim = Simulator()
+        for k in range(AUTO_CALENDAR_MIN_PENDING - 1):
+            sim.schedule(float(k + 1), lambda: None)
+        sim.run()
+        assert sim.queue_backend == "heap"
+
+    def test_large_population_migrates_at_run(self):
+        sim = Simulator()
+        for k in range(AUTO_CALENDAR_MIN_PENDING):
+            sim.schedule(float(k + 1), lambda: None)
+        assert sim.queue_backend == "heap"  # migration happens at run()
+        sim.run()
+        assert sim.queue_backend == "CalendarQueue"
+
+    def test_explicit_heap_never_migrates(self):
+        sim = Simulator(queue="heap")
+        for k in range(4 * AUTO_CALENDAR_MIN_PENDING):
+            sim.schedule(float(k + 1), lambda: None)
+        sim.run()
+        assert sim.queue_backend == "heap"
+
+    def test_auto_run_bit_identical_to_both_backends(self):
+        order = {}
+        for backend in ("auto", "heap", "calendar"):
+            sim = Simulator(queue=backend)
+            log = []
+            rng = random.Random(7)
+
+            def proc(name, sim=sim, log=log, rng=rng):
+                def body():
+                    log.append((sim.now, name))
+                    if len(log) < 600:
+                        sim.schedule(rng.choice([0.0, 0.1, 1.0, 250.0]),
+                                     body)
+                return body
+
+            # Enough initial events to cross the migration threshold.
+            for k in range(AUTO_CALENDAR_MIN_PENDING + 8):
+                sim.schedule(0.0, proc(k))
+            sim.run()
+            order[backend] = log
+        assert order["auto"] == order["heap"] == order["calendar"]
+
+    def test_full_run_auto_matches_heap(self):
+        w = StencilWorkload(
+            "equeue-auto", IterationSpace.from_extents([8, 8, 64]),
+            sqrt_kernel_3d(), (2, 2, 1), 2,
+        )
+        m = pentium_cluster()
+        results = {
+            backend: run_tiled(w, 8, m, blocking=False, trace=True,
+                               queue=backend)
+            for backend in ("auto", "heap")
+        }
+        a, b = results["auto"], results["heap"]
+        assert repr(a.completion_time) == repr(b.completion_time)
+        assert a.messages_sent == b.messages_sent
+        assert a.event_count == b.event_count
+        assert a.trace.records == b.trace.records

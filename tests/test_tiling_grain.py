@@ -95,3 +95,44 @@ class TestGrainTuning:
         with pytest.raises(ValueError):
             tune_grain(m, d, overlap=False, mapped_dim=0, p0=10.0, ndim=2,
                        lower=10.0, upper=5.0)
+
+
+class TestDegenerateMachines:
+    """tune_grain inherits the exact-endpoint guarantees of
+    minimize_completion_over_grain on machines at the model's edges."""
+
+    def test_comm_free_machine_returns_exact_endpoint(self):
+        # t_s = t_t = 0: the curve is pure compute — monotone in g, so
+        # the minimiser must return the exact winning endpoint instead
+        # of a bounded-Brent point just inside it.
+        m = pentium_cluster().with_(t_s=0.0, t_t=0.0)
+        d = DependenceSet([(1, 0, 0), (0, 1, 0), (0, 0, 1)])
+        p0 = lemma1_p0(100.0, 64.0, 3)
+        g_opt, t_opt = tune_grain(
+            m, d, overlap=False, mapped_dim=2, p0=p0, ndim=3,
+            lower=8.0, upper=1e6,
+        )
+        assert g_opt in (8.0, 1e6) and t_opt > 0
+        assert t_opt == nonoverlap_grain_curve_point(m, d, g_opt, 2, p0, 3)
+
+    def test_zero_latency_machine_is_well_defined(self):
+        m = pentium_cluster().with_(t_s=0.0)
+        d = DependenceSet([(1, 0, 0), (0, 1, 0), (0, 0, 1)])
+        p0 = lemma1_p0(100.0, 64.0, 3)
+        for overlap in (True, False):
+            g_opt, t_opt = tune_grain(
+                m, d, overlap=overlap, mapped_dim=2, p0=p0, ndim=3,
+                lower=8.0, upper=1e6,
+            )
+            assert 8.0 <= g_opt <= 1e6 and t_opt > 0
+
+    def test_compute_starved_machine_is_well_defined(self):
+        # Machine requires t_c > 0; 1e-30 is effectively compute-free.
+        m = pentium_cluster().with_(t_c=1e-30)
+        d = DependenceSet([(1, 0, 0), (0, 1, 0), (0, 0, 1)])
+        p0 = lemma1_p0(100.0, 64.0, 3)
+        g_opt, t_opt = tune_grain(
+            m, d, overlap=True, mapped_dim=2, p0=p0, ndim=3,
+            lower=8.0, upper=1e6,
+        )
+        assert 8.0 <= g_opt <= 1e6 and t_opt > 0

@@ -1,0 +1,144 @@
+"""Tests for the autotuner's candidate generation (seeds, grids, work
+accounting)."""
+
+import math
+
+import pytest
+
+from repro.experiments.figures import default_heights
+from repro.ir.loopnest import IterationSpace
+from repro.kernels.stencil import sqrt_kernel_3d
+from repro.kernels.workloads import StencilWorkload
+from repro.model.machine import pentium_cluster
+from repro.tuning import (
+    exhaustive_heights,
+    grid_candidates,
+    grid_comm_volume,
+    height_bounds,
+    rank_grids,
+    regrid,
+    seed_heights,
+    shape_fraction_bound,
+    simulated_tile_steps,
+    sweep_equivalent_steps,
+)
+from repro.tuning.candidates import model_time
+
+
+def _workload(extents=(8, 8, 1024), procs=(2, 2, 1), name="tune-cand"):
+    return StencilWorkload(
+        name, IterationSpace.from_extents(list(extents)),
+        sqrt_kernel_3d(), procs, len(extents) - 1,
+    )
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return pentium_cluster()
+
+
+class TestWorkAccounting:
+    def test_tile_steps_formula(self):
+        w = _workload()
+        assert simulated_tile_steps(w, 64) == 4 * math.ceil(1024 / 64)
+        assert simulated_tile_steps(w, 1000) == 4 * 2  # ceil, not floor
+
+    def test_tile_steps_validation(self):
+        with pytest.raises(ValueError):
+            simulated_tile_steps(_workload(), 0)
+
+    def test_exhaustive_heights_is_the_sweep_grid(self):
+        w = _workload()
+        assert exhaustive_heights(w, max_points=32) == default_heights(
+            w, max_points=32
+        )
+
+    def test_sweep_equivalent_steps_sums_the_grid(self):
+        w = _workload()
+        heights = exhaustive_heights(w)
+        assert sweep_equivalent_steps(w) == sum(
+            simulated_tile_steps(w, v) for v in heights
+        )
+        assert sweep_equivalent_steps(w, [4, 8]) == (
+            simulated_tile_steps(w, 4) + simulated_tile_steps(w, 8)
+        )
+
+
+class TestHeightBounds:
+    def test_paper_interval(self):
+        lo, hi = height_bounds(_workload())
+        assert (lo, hi) == (4, 256)
+
+    def test_shallow_extent_degenerates_gracefully(self):
+        lo, hi = height_bounds(_workload(extents=(8, 8, 2), procs=(2, 2, 1)))
+        assert lo == 2 and hi >= lo
+
+
+class TestSeedHeights:
+    def test_model_prior_comes_first(self, machine):
+        seeds = seed_heights(_workload(), machine, overlap=True)
+        assert seeds and seeds[0].origin == "model"
+
+    def test_within_bounds_and_deduplicated(self, machine):
+        w = _workload()
+        lo, hi = height_bounds(w)
+        for overlap in (True, False):
+            seeds = seed_heights(w, machine, overlap=overlap)
+            vs = [s.v for s in seeds]
+            assert all(lo <= v <= hi for v in vs)
+            assert len(vs) == len(set(vs))
+
+    def test_purely_analytic_origins(self, machine):
+        origins = {s.origin for s in
+                   seed_heights(_workload(), machine, overlap=True)}
+        assert origins <= {"model", "crossover", "closed-form", "comm-min"}
+
+
+class TestGrids:
+    def test_candidates_factorize_processor_count(self):
+        w = _workload(extents=(8, 64, 256), procs=(4, 4, 1))
+        grids = grid_candidates(w)
+        assert grids == sorted(set(grids))
+        for g in grids:
+            assert math.prod(g) == w.num_processors
+            assert g[w.mapped_dim] == 1
+            assert all(e % p == 0 for e, p in zip(w.space.extents, g))
+        assert (4, 4, 1) in grids and (2, 8, 1) in grids
+
+    def test_regrid_preserves_kernel_and_space(self):
+        w = _workload(extents=(8, 64, 256), procs=(4, 4, 1))
+        w2 = regrid(w, (2, 8, 1))
+        assert w2.kernel is w.kernel  # engine pooling keys off the kernel
+        assert w2.space is w.space
+        assert w2.procs_per_dim == (2, 8, 1)
+        assert w2.name == f"{w.name}@2x8x1"
+        assert regrid(w, w.procs_per_dim) is w
+
+    def test_rank_grids_sorted_by_model(self, machine):
+        w = _workload(extents=(8, 64, 256), procs=(4, 4, 1))
+        ranked = rank_grids(w, machine, overlap=True)
+        times = [t for _, t, _ in ranked]
+        assert times == sorted(times)
+        assert {g for g, _, _ in ranked} <= set(grid_candidates(w))
+
+    def test_comm_volume_positive_and_shape_sensitive(self):
+        w = _workload(extents=(8, 64, 256), procs=(4, 4, 1))
+        v44 = grid_comm_volume(w, (4, 4, 1), 16)
+        v28 = grid_comm_volume(w, (2, 8, 1), 16)
+        assert v44 > 0 and v28 > 0
+        assert v44 != v28  # anisotropic space: shape moves the volume
+
+
+class TestShapeBound:
+    def test_fraction_bound_is_a_fraction(self):
+        w = _workload()
+        bound = shape_fraction_bound(w, 1024.0)
+        assert bound is None or 0.0 < bound < 1.0
+
+
+class TestModelTime:
+    def test_positive_and_schedule_sensitive(self, machine):
+        w = _workload()
+        t_ovl = model_time(w, machine, 64, overlap=True)
+        t_non = model_time(w, machine, 64, overlap=False)
+        assert 0 < t_ovl <= t_non

@@ -1,0 +1,161 @@
+"""Tests for the model-guided autotuner (search, budget, determinism)."""
+
+import json
+
+import pytest
+
+from repro.experiments.cache import SimCache
+from repro.experiments.engine import Engine
+from repro.ir.loopnest import IterationSpace
+from repro.kernels.stencil import sqrt_kernel_3d
+from repro.kernels.workloads import StencilWorkload
+from repro.model.machine import pentium_cluster
+from repro.tuning import exhaustive_heights, sweep_equivalent_steps, tune
+
+pytestmark = pytest.mark.tuning
+
+
+def _workload(extents=(8, 8, 1024), procs=(2, 2, 1), name="tune-w"):
+    return StencilWorkload(
+        name, IterationSpace.from_extents(list(extents)),
+        sqrt_kernel_3d(), procs, len(extents) - 1,
+    )
+
+
+def _aniso():
+    """Anisotropic space where the default square grid is
+    communication-suboptimal — the shape search's win case."""
+    return StencilWorkload(
+        "tune-aniso", IterationSpace.from_extents([8, 64, 256]),
+        sqrt_kernel_3d(), (4, 4, 1), 2,
+    )
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return pentium_cluster()
+
+
+@pytest.fixture(scope="module")
+def sweep_best(machine):
+    """The exhaustive 32-point sweep's optimum on the reference workload."""
+    w = _workload()
+    engine = Engine(jobs=1, cache=None)
+    heights = exhaustive_heights(w)
+    runs = engine.run_batch(w, machine, [(v, False) for v in heights])
+    return min(zip(heights, runs),
+               key=lambda p: (p[1].completion_time, p[0]))
+
+
+@pytest.fixture(scope="module")
+def tuned(machine):
+    return tune(_workload(), machine, overlap=True, budget=0.10)
+
+
+class TestFindsSweepOptimum:
+    def test_matches_or_beats_exhaustive_sweep(self, tuned, sweep_best):
+        _, best_run = sweep_best
+        assert tuned.best.completion_time <= best_run.completion_time + 1e-15
+
+    def test_within_ten_percent_of_sweep_work(self, tuned):
+        assert tuned.steps_ratio <= 0.10 + 1e-12
+        assert tuned.steps_spent <= tuned.budget_steps
+        assert tuned.sweep_equivalent_steps == sweep_equivalent_steps(
+            _workload()
+        )
+
+    def test_candidates_audited(self, tuned):
+        assert tuned.candidates
+        assert tuned.best in tuned.candidates
+        assert tuned.steps_spent >= sum(c.tile_steps for c in tuned.candidates)
+        assert {c.origin for c in tuned.candidates} & {"model", "golden"}
+
+    def test_verdict_recorded_at_optimum(self, tuned):
+        assert tuned.best.verdict in ("A", "B")
+
+    def test_nonoverlap_schedule_also_searches(self, machine):
+        res = tune(_workload(), machine, overlap=False, budget=0.10)
+        assert res.overlap is False
+        assert res.steps_ratio <= 0.10 + 1e-12
+
+
+class TestBudgetSemantics:
+    def test_absolute_budget(self, machine):
+        res = tune(_workload(), machine, budget=600)
+        assert res.budget_steps == 600
+
+    def test_rejects_nonpositive_budget(self, machine):
+        with pytest.raises(ValueError):
+            tune(_workload(), machine, budget=0)
+        with pytest.raises(ValueError):
+            tune(_workload(), machine, budget=-0.5)
+
+    def test_tiny_budget_still_returns_a_candidate(self, machine):
+        # The first (model-prior) evaluation is exempt, so even an
+        # absurdly small budget yields an answer instead of an error.
+        res = tune(_workload(), machine, budget=1, use_probes=False)
+        assert res.best is not None and res.candidates
+
+
+class TestDeterminism:
+    def test_serial_vs_pooled_byte_identical(self, machine, tmp_path):
+        w = _workload()
+        serial = tune(w, machine, budget=0.10,
+                      engine=Engine(jobs=1, cache=SimCache(tmp_path / "s")))
+        pooled = tune(w, machine, budget=0.10,
+                      engine=Engine(jobs=2, cache=SimCache(tmp_path / "p")))
+        assert serial.to_json() == pooled.to_json()
+
+    def test_warm_cache_identical_and_fully_served(self, machine, tmp_path):
+        w = _workload()
+        engine = Engine(jobs=1, cache=SimCache(tmp_path / "warm"))
+        cold = tune(w, machine, budget=0.10, engine=engine)
+        warm = tune(w, machine, budget=0.10, engine=engine)
+        assert warm.to_json() == cold.to_json()  # canonical form
+        assert warm.sources.get("sim", 0) == 0  # no re-simulation
+        assert cold.sources.get("sim", 0) > 0
+
+    def test_uncached_repeat_identical(self, machine, tuned):
+        again = tune(_workload(), machine, overlap=True, budget=0.10)
+        assert again.to_json() == tuned.to_json()
+
+
+class TestShapeSearch:
+    @pytest.fixture(scope="class")
+    def shaped(self, machine):
+        return tune(_aniso(), machine, budget=0.10, shape=True)
+
+    def test_beats_rectangular_base_grid(self, machine, shaped):
+        rect = tune(_aniso(), machine, budget=0.10, shape=False)
+        assert shaped.shape_searched and not rect.shape_searched
+        assert shaped.best.completion_time <= rect.best.completion_time
+        # On this anisotropic space the comm-minimal grid strictly wins.
+        assert shaped.best.grid != _aniso().procs_per_dim
+
+    def test_fraction_bound_reported(self, shaped):
+        assert shaped.shape_fraction_bound is None or (
+            0.0 < shaped.shape_fraction_bound < 1.0
+        )
+
+    def test_candidate_grids_are_labelled(self, shaped):
+        grids = {c.grid for c in shaped.candidates}
+        assert len(grids) >= 2  # base grid plus at least one alternative
+
+
+class TestReport:
+    def test_json_round_trip(self, tuned):
+        doc = json.loads(tuned.to_json())
+        assert doc["workload"] == "tune-w"
+        assert doc["best"]["v"] == tuned.best.v
+        assert len(doc["candidates"]) == len(tuned.candidates)
+        assert "sources" not in doc  # canonical form is cache-independent
+
+    def test_non_canonical_json_keeps_sources(self, tuned):
+        doc = json.loads(tuned.to_json(canonical=False))
+        assert "sources" in doc and "source" in doc["best"]
+
+    def test_render_mentions_the_essentials(self, tuned):
+        text = tuned.render()
+        assert "autotune tune-w" in text
+        assert f"V={tuned.best.v}" in text
+        assert "exhaustive sweep" in text
