@@ -189,6 +189,18 @@ def main(argv=None) -> int:
                          "full-record trace (the only trace mode it had), "
                          "'_traceoff_calendar' and '_sharded4' rows "
                          "against the seed's untraced heap loop",
+        "machine_drift": "shared-host throughput drifts +/-15-30% over "
+                         "minutes, so speedup_vs_seed (this run divided "
+                         "by a months-old committed number) conflates "
+                         "code and machine; the trustworthy cross-commit "
+                         "ratio is an interleaved A/B of both checkouts "
+                         "in one loop (see docs/performance.md). "
+                         "Interleaved A/B of the zero-allocation hot "
+                         "path vs the PR-6 core on ranks1024_traceoff "
+                         "measured 1.44x median events/s (paired ratios "
+                         "1.23-1.62), peak RSS unchanged; "
+                         "benchmarks/results/scale_pr6_baseline.json "
+                         "holds the PR-6 same-session absolute numbers",
     }
     result = {"smoke": args.smoke, "configs": configs, "notes": notes}
     Path(args.out).write_text(json.dumps(result, indent=2) + "\n")

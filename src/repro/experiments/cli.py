@@ -337,6 +337,28 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.experiments.profiling import profile_scale_run, render_report
+
+    print(
+        f"profiling: {args.grid}x{args.grid} grid, depth {args.depth}, "
+        f"V={args.v}, {args.schedule} schedule, queue={args.queue}, "
+        f"trace={'on' if args.trace else 'off'} ...",
+        file=sys.stderr,
+    )
+    report = profile_scale_run(
+        args.grid, args.depth, args.v,
+        machine=_machine(args.machine),
+        blocking=args.schedule == "nonoverlap",
+        trace=args.trace,
+        queue=args.queue,
+        top=args.top,
+        sampling=not args.no_sampling,
+    )
+    print(render_report(report))
+    return 0
+
+
 def _cmd_codegen(args: argparse.Namespace) -> int:
     from repro.codegen import generate_spmd_program, generate_tiled_loops
     from repro.tiling.transform import rectangular_tiling
@@ -801,6 +823,30 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fault-plan seed (with --drop-rate/--jitter)")
     _add_topology_arg(summa)
     summa.set_defaults(func=_cmd_summa)
+
+    prof = sub.add_parser(
+        "profile",
+        help="cProfile one cluster-scale run and attribute the time to "
+             "simulator lanes (plus pyinstrument when installed)",
+    )
+    prof.add_argument("--grid", type=_positive_int, default=16,
+                      help="processor mesh side (grid² ranks, default 16)")
+    prof.add_argument("--depth", type=_positive_int, default=64,
+                      help="mapped-dimension extent (default 64)")
+    prof.add_argument("--v", type=_positive_int, default=8,
+                      help="tile height")
+    prof.add_argument("--schedule", default="overlap",
+                      choices=("overlap", "nonoverlap"))
+    prof.add_argument("--queue", default="auto",
+                      choices=("auto", "heap", "calendar"))
+    prof.add_argument("--trace", action="store_true",
+                      help="profile with tracing enabled (shows the "
+                           "tracing lane's cost)")
+    prof.add_argument("--top", type=_positive_int, default=15,
+                      help="rows in the per-function table (default 15)")
+    prof.add_argument("--no-sampling", action="store_true",
+                      help="skip the pyinstrument pass even if installed")
+    prof.set_defaults(func=_cmd_profile)
 
     cg = sub.add_parser("codegen", help="emit tiled-loop / SPMD source")
     cg.add_argument("kind", choices=("loops", "mpi", "mpi4py"))

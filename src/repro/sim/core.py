@@ -44,7 +44,14 @@ _STALE = object()
 
 
 class Effect:
-    """Base class for things a process generator may yield."""
+    """Base class for things a process generator may yield.
+
+    ``__slots__ = ()`` matters: without it every subclass instance would
+    carry a ``__dict__`` no matter what its own ``__slots__`` says, and
+    effects are allocated several times per simulated message.
+    """
+
+    __slots__ = ()
 
     def start(self, process: "Process") -> None:  # pragma: no cover - interface
         raise NotImplementedError
@@ -55,15 +62,23 @@ class Event:
 
     Waiters registered after the trigger resume immediately (at the
     current simulation time).
+
+    The overwhelmingly common case is exactly one waiter (a request
+    completion resuming one process), so the first waiter lives in a
+    dedicated slot and the overflow list is only allocated for the
+    second registration onward.  Trigger resumes go straight onto the
+    simulator's zero-delay lane — the same ``(seq, fn, arg)`` entries
+    ``schedule_call(0.0, ...)`` would append, without the call.
     """
 
-    __slots__ = ("sim", "triggered", "value", "_waiters", "name")
+    __slots__ = ("sim", "triggered", "value", "_waiter1", "_waiters", "name")
 
     def __init__(self, sim: "Simulator", name: str = ""):
         self.sim = sim
         self.triggered = False
         self.value: object = None
-        self._waiters: list[Callable[[object], None]] = []
+        self._waiter1: Callable[[object], None] | None = None
+        self._waiters: list[Callable[[object], None]] | None = None
         self.name = name
 
     def trigger(self, value: object = None) -> None:
@@ -71,17 +86,37 @@ class Event:
             raise RuntimeError(f"event {self.name!r} triggered twice")
         self.triggered = True
         self.value = value
-        waiters, self._waiters = self._waiters, []
-        schedule_call = self.sim.schedule_call
-        for w in waiters:
-            # Resume via the scheduler so ordering stays deterministic.
-            schedule_call(0.0, w, value)
+        sim = self.sim
+        dq = sim._dq
+        seq = sim._seq
+        # Resume via the scheduler so ordering stays deterministic: the
+        # first waiter was registered first, so it takes the smaller seq.
+        w1 = self._waiter1
+        if w1 is not None:
+            self._waiter1 = None
+            dq.append((seq, w1, value))
+            seq += 1
+        rest = self._waiters
+        if rest is not None:
+            self._waiters = None
+            for w in rest:
+                dq.append((seq, w, value))
+                seq += 1
+        sim._seq = seq
 
     def add_callback(self, fn: Callable[[object], None]) -> None:
         if self.triggered:
-            self.sim.schedule_call(0.0, fn, self.value)
+            sim = self.sim
+            sim._dq.append((sim._seq, fn, self.value))
+            sim._seq += 1
+        elif self._waiter1 is None and self._waiters is None:
+            self._waiter1 = fn
         else:
-            self._waiters.append(fn)
+            rest = self._waiters
+            if rest is None:
+                self._waiters = [fn]
+            else:
+                rest.append(fn)
 
 
 class Timeout(Effect):
@@ -102,7 +137,22 @@ class Timeout(Effect):
 
     def start(self, process: "Process") -> None:
         process.waiting_on = self.annotation or f"timeout({self.duration:g})"
-        process.sim.schedule_call(self.duration, process.resume, self.result)
+        # Inlined ``sim.schedule_call(duration, process.resume, result)``
+        # minus the negative-delay check (validated in __init__) and the
+        # per-call bound-method allocation (``process._resume`` is cached).
+        sim = process.sim
+        d = self.duration
+        if d == 0.0:
+            sim._dq.append((sim._seq, process._resume, self.result))
+        else:
+            t = sim.now + d
+            if t == sim.now:
+                sim._dq.append((sim._seq, process._resume, self.result))
+            elif sim._heap is not None:
+                heappush(sim._heap, (t, sim._seq, process._resume, self.result))
+            else:
+                sim._push((t, sim._seq, process._resume, self.result))
+        sim._seq += 1
 
 
 class WaitEvent(Effect):
@@ -150,7 +200,7 @@ class Process:
     """A generator-coroutine process driven by the simulator."""
 
     __slots__ = ("sim", "name", "gen", "finished", "finish_time", "result",
-                 "waiting_on", "done_event")
+                 "waiting_on", "done_event", "_resume", "_send")
 
     def __init__(self, sim: "Simulator", name: str,
                  gen: Generator[Effect, object, object]):
@@ -162,18 +212,24 @@ class Process:
         self.result: object = None
         self.waiting_on: str = "start"
         self.done_event = Event(sim, name=f"{name}.done")
+        # Bound-method caches: ``resume`` is scheduled once per process
+        # step and ``gen.send`` called inside it; binding them per call
+        # would allocate a method object each time.
+        self._resume = self.resume
+        self._send = gen.send
 
     def resume(self, value: object = None) -> None:
         if self.finished:
             raise RuntimeError(f"resuming finished process {self.name}")
         # Any resume is forward progress of some rank: the signal the
         # watchdog uses to tell retry churn from a wedged pipeline.
-        self.sim.last_progress = self.sim.now
+        sim = self.sim
+        sim.last_progress = sim.now
         try:
-            effect = self.gen.send(value)
+            effect = self._send(value)
         except StopIteration as stop:
             self.finished = True
-            self.finish_time = self.sim.now
+            self.finish_time = sim.now
             self.result = stop.value
             self.done_event.trigger(stop.value)
             return
@@ -244,10 +300,18 @@ class Simulator:
             raise ValueError(f"cannot schedule in the past (delay={delay})")
         if delay == 0.0:
             self._dq.append((self._seq, fn, _NO_ARG))
-        elif self._heap is not None:
-            heappush(self._heap, (self.now + delay, self._seq, fn, _NO_ARG))
         else:
-            self._push((self.now + delay, self._seq, fn, _NO_ARG))
+            t = self.now + delay
+            if t == self.now:
+                # Float underflow (delay below one ulp of now): the entry
+                # fires at the current timestamp, so it belongs on the
+                # zero-delay lane — the run loop relies on the queue never
+                # holding an entry at ``now`` that was pushed at ``now``.
+                self._dq.append((self._seq, fn, _NO_ARG))
+            elif self._heap is not None:
+                heappush(self._heap, (t, self._seq, fn, _NO_ARG))
+            else:
+                self._push((t, self._seq, fn, _NO_ARG))
         self._seq += 1
 
     def schedule_call(self, delay: float, fn: Callable[[object], None],
@@ -261,10 +325,14 @@ class Simulator:
             raise ValueError(f"cannot schedule in the past (delay={delay})")
         if delay == 0.0:
             self._dq.append((self._seq, fn, arg))
-        elif self._heap is not None:
-            heappush(self._heap, (self.now + delay, self._seq, fn, arg))
         else:
-            self._push((self.now + delay, self._seq, fn, arg))
+            t = self.now + delay
+            if t == self.now:
+                self._dq.append((self._seq, fn, arg))
+            elif self._heap is not None:
+                heappush(self._heap, (t, self._seq, fn, arg))
+            else:
+                self._push((t, self._seq, fn, arg))
         self._seq += 1
 
     def schedule_call_at(self, when: float, fn: Callable[[object], None],
@@ -292,7 +360,7 @@ class Simulator:
         """Register and start a process at the current time."""
         p = Process(self, name, gen)
         self.processes.append(p)
-        self.schedule_call(0.0, p.resume, None)
+        self.schedule_call(0.0, p._resume, None)
         return p
 
     # -- queue introspection (backend-agnostic) -------------------------------
@@ -374,12 +442,39 @@ class Simulator:
         if self._heap is not None:
             heap = self._heap
             pop = heappop
+            # ``merge`` caches "the heap head shares the current
+            # timestamp".  Pushes can never make it stale: zero-delay and
+            # underflow entries go to the zero-delay lane (see
+            # ``schedule``), so a same-timestamp heap head only appears
+            # when time advances onto simultaneous queued entries — and
+            # the flag is recomputed at every heap pop and time advance.
+            merge = bool(heap) and heap[0][0] == now
             while True:
                 if dq:
+                    if not merge:
+                        # Fast drain: no heap entry shares the current
+                        # timestamp, and pushes during the drain cannot
+                        # create one (zero-delay and underflow entries go
+                        # to the zero-delay lane), so the whole lane runs
+                        # without consulting the heap.
+                        while dq:
+                            _s, fn, arg = popleft()
+                            count += 1
+                            if count > max_events:
+                                self.event_count += count - 1
+                                raise RuntimeError(
+                                    f"exceeded {max_events} events; likely a livelock"
+                                )
+                            if arg is no_arg:
+                                fn()
+                            else:
+                                fn(arg)
+                        continue
                     # Exact-order merge: a queued entry at the current
                     # timestamp runs first iff it was submitted first.
-                    if heap and heap[0][0] == now and heap[0][1] < dq[0][0]:
+                    if heap[0][1] < dq[0][0]:
                         _t, _s, fn, arg = pop(heap)
+                        merge = bool(heap) and heap[0][0] == now
                     else:
                         _s, fn, arg = popleft()
                 elif heap:
@@ -390,6 +485,7 @@ class Simulator:
                     _t, _s, fn, arg = pop(heap)
                     now = t
                     self.now = t
+                    merge = bool(heap) and heap[0][0] == t
                 else:
                     break
                 count += 1
@@ -417,11 +513,33 @@ class Simulator:
                 if dq:
                     if head is _STALE:
                         head = qpeek()
-                    if head is not None and head[0] == now and head[1] < dq[0][0]:
-                        _t, _s, fn, arg = qpop()
-                        head = _STALE
+                    if head is not None and head[0] == now:
+                        if head[1] < dq[0][0]:
+                            _t, _s, fn, arg = qpop()
+                            head = _STALE
+                        else:
+                            _s, fn, arg = popleft()
                     else:
-                        _s, fn, arg = popleft()
+                        # Fast drain: the queue head (if any) is in the
+                        # future and pushes during the drain land at
+                        # future times, so the zero-delay lane runs
+                        # without re-peeking.  A push may still introduce
+                        # a smaller future minimum than the cached head;
+                        # that is fine because ``qpop`` (not the cache)
+                        # decides what runs once the lane is empty.
+                        while dq:
+                            _s, fn, arg = popleft()
+                            count += 1
+                            if count > max_events:
+                                self.event_count += count - 1
+                                raise RuntimeError(
+                                    f"exceeded {max_events} events; likely a livelock"
+                                )
+                            if arg is no_arg:
+                                fn()
+                            else:
+                                fn(arg)
+                        continue
                 else:
                     if head is _STALE or head is None or until is not None:
                         head = qpeek()

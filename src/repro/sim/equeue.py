@@ -57,6 +57,10 @@ class EventQueue:
     removing it (or ``None`` when empty).
     """
 
+    # Empty slots on the base class, or every backend instance would grow
+    # a __dict__ regardless of its own __slots__.
+    __slots__ = ()
+
     def push(self, entry: Entry) -> None:  # pragma: no cover - interface
         raise NotImplementedError
 
@@ -108,16 +112,22 @@ class CalendarQueue(EventQueue):
 
     ``width`` fixes the bucket width up front; when omitted it is sized
     automatically from the spacing of the first batch of entries and
-    re-estimated on every resize from an exponential moving average of
-    observed pop-to-pop gaps.  ``nbuckets`` is the initial bucket count
-    (grows on resize).  ``bucket_cap`` bounds how crowded the bucket a
-    push lands in may get before a re-bucket with a narrower width is
-    attempted.
+    re-estimated on every resize from the *exact* mean advancing-pop gap:
+    an integer counter of time-advancing pops plus the first/last pop
+    timestamps.  Because consecutive gaps telescope, ``(last - first) /
+    advances`` IS the mean positive gap, computed from two floats and an
+    integer — unlike the float EMA it replaced, it cannot drift however
+    many events pass through (the EMA compounded one rounding per pop,
+    and its recency bias let a brief burst of tight timers mis-size the
+    width for the whole remaining run).  ``nbuckets`` is the initial
+    bucket count (grows on resize).  ``bucket_cap`` bounds how crowded
+    the bucket a push lands in may get before a re-bucket with a narrower
+    width is attempted.
     """
 
     __slots__ = (
         "_nb", "_width", "_buckets", "_year_start", "_horizon", "_cur",
-        "_cur_heaped", "_overflow", "_size", "_last_pop_t", "_gap_ema",
+        "_cur_heaped", "_overflow", "_size", "_first_t", "_last_t", "_adv",
         "resizes", "_resize_floor", "bucket_cap",
     )
 
@@ -141,13 +151,26 @@ class CalendarQueue(EventQueue):
         self._cur_heaped = False
         self._overflow: list[Entry] = []
         self._size = 0
-        self._last_pop_t: float | None = None
-        self._gap_ema: float | None = None
+        # Exact gap statistics (see class docstring): first/last pop
+        # timestamps plus an integer count of pops that advanced time.
+        self._first_t: float | None = None
+        self._last_t: float | None = None
+        self._adv = 0
         self.resizes = 0
         self._resize_floor = 0
         self.bucket_cap = bucket_cap
 
     # -- sizing ---------------------------------------------------------------
+
+    @property
+    def _gap_mean(self) -> float | None:
+        """Exact mean of the positive pop-to-pop gaps observed so far
+        (``None`` until time has advanced at least once).  Consecutive
+        gaps telescope, so the whole history reduces to two endpoint
+        timestamps and one integer counter — no running-average drift."""
+        if self._adv == 0:
+            return None
+        return (self._last_t - self._first_t) / self._adv
 
     def _estimate_width(self, entries: list[Entry]) -> float:
         """Bucket width targeting ``_LOAD`` entries per bucket, from the
@@ -157,13 +180,19 @@ class CalendarQueue(EventQueue):
         if span <= 0.0:
             # All entries simultaneous: any width works, the current
             # bucket's heap does the ordering.
-            return self._gap_ema or 1.0
+            return self._gap_mean or 1.0
         return span / max(1.0, len(times) / self._LOAD)
 
     def _build(self, start: float) -> None:
         """(Re)build empty buckets with the current width, anchored so
-        that ``start`` falls in bucket 0."""
-        self._buckets = [[] for _ in range(self._nb)]
+        that ``start`` falls in bucket 0.
+
+        Every call site rebuilds over *drained* buckets (a year advance
+        walks past them all; re-buckets collect then clear them), so the
+        existing lists are recycled instead of reallocated — a year
+        advance costs zero allocations in steady state."""
+        if self._buckets is None or len(self._buckets) != self._nb:
+            self._buckets = [[] for _ in range(self._nb)]
         self._year_start = start
         self._horizon = start + self._nb * self._width
         self._cur = 0
@@ -174,6 +203,8 @@ class CalendarQueue(EventQueue):
         pending = [e for b in self._buckets for e in b]
         pending += self._overflow
         self._overflow = []
+        for b in self._buckets:
+            b.clear()
         self._nb = nbuckets
         self._width = width
         anchor = min(e[0] for e in pending) if pending else self._year_start
@@ -232,10 +263,10 @@ class CalendarQueue(EventQueue):
         if (
             len(bucket) > self.bucket_cap
             and self._size > 2 * self._resize_floor
-            and self._gap_ema is not None
+            and self._adv > 0
         ):
             in_year = self._size - len(self._overflow)
-            width = self._gap_ema * self._LOAD
+            width = self._gap_mean * self._LOAD
             nb = self._nb
             while nb * self._LOAD < in_year:
                 nb *= 2
@@ -280,15 +311,14 @@ class CalendarQueue(EventQueue):
                 entry = heappop(bucket)
                 self._size -= 1
                 t = entry[0]
-                last = self._last_pop_t
-                if last is not None:
-                    gap = t - last
-                    if gap > 0.0:
-                        ema = self._gap_ema
-                        self._gap_ema = (
-                            gap if ema is None else ema + 0.125 * (gap - ema)
-                        )
-                self._last_pop_t = t
+                last = self._last_t
+                if last is None:
+                    self._first_t = self._last_t = t
+                elif t > last:
+                    # Exact integer accounting of advancing pops; the
+                    # mean gap falls out of the endpoints (telescoping).
+                    self._adv += 1
+                    self._last_t = t
                 return entry
             self._cur += 1
             self._cur_heaped = False

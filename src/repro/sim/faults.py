@@ -56,7 +56,7 @@ def _require_prob(value: float, name: str) -> None:
         raise ValueError(f"{name} must be in [0, 1], got {value}")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LinkFaults:
     """Fault parameters for one link; ``None`` endpoints are wildcards.
 
@@ -93,7 +93,7 @@ class LinkFaults:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Degradation:
     """Bandwidth degradation: wire times on the matching link(s) are
     multiplied by ``factor`` for messages submitted in ``[start, end)``."""
@@ -111,7 +111,7 @@ class Degradation:
             raise ValueError("degradation factor must be >= 1")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Straggler:
     """Node ``node`` computes ``factor``× slower during ``[start, end)``."""
 
@@ -127,7 +127,7 @@ class Straggler:
             raise ValueError("straggler factor must be >= 1")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NodePause:
     """Node ``node`` is frozen during ``[start, end)``: compute issued
     inside the window waits for the window to close before starting."""
@@ -141,7 +141,7 @@ class NodePause:
             raise ValueError("pause window must have end > start")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MessageFate:
     """The plan's verdict on one transmission attempt."""
 
@@ -160,7 +160,7 @@ class MessageFate:
 CLEAN_FATE = MessageFate()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FaultPlan:
     """A seeded description of everything unreliable about the cluster.
 

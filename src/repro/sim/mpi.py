@@ -36,11 +36,37 @@ Semantics:
 * ``recv`` (blocking) charges A3 then blocks until the message is
   delivered.
 * Matching is FIFO per (source, tag) — MPI's non-overtaking rule.
+
+Allocation discipline
+---------------------
+
+A simulated message used to allocate roughly a dozen heap objects per
+leg: a fresh :class:`_Message` per side plus one closure per pipeline
+stage (kernel copy → TX → injection → RX → delivery).  In steady state
+none of that survives the message, so the hot path now recycles instead:
+
+* :class:`_Message` records are pooled per :class:`World`
+  (``_acquire_msg`` / ``_release_msg``) and carry their pipeline-stage
+  callbacks as bound methods cached once at construction — scheduling a
+  stage appends an existing object instead of building a closure.
+* ``wait``/``waitall`` bookkeeping lives in pooled :class:`_WaitFrame`
+  records rather than per-call closures.
+* The per-size cost model (A1 / kernel copy / wire time) is memoised on
+  the world, and trace-enabled / transport-active dispatch is resolved
+  once at world construction (``_tr`` / ``_transmit``).
+
+Pooling is disabled automatically when a reliability transport is
+active: :class:`~repro.sim.reliable.ReliableTransport` legitimately
+holds message references across retransmits and dedup checks, so
+recycling underneath it would corrupt them.  Event *ordering* is
+untouched either way — every scheduler hop of the allocating
+implementation is preserved, so runs are bit-identical.
 """
 
 from __future__ import annotations
 
 import warnings
+from heapq import heappush
 from operator import itemgetter
 from typing import TYPE_CHECKING, Callable, Generator, Iterable, Sequence
 
@@ -60,6 +86,11 @@ if TYPE_CHECKING:  # pragma: no cover - deadlock imports this module
 
 __all__ = ["World", "Rank", "SendRequest", "RecvRequest"]
 
+#: Escape hatch: set to ``False`` to force every world onto the
+#: allocate-per-message path (used by the pool-balance tests to prove
+#: pooled and unpooled runs are bit-identical).
+_POOLING = True
+
 
 class _StallDetected(Exception):
     """Internal: raised out of the event loop by the watchdog tick."""
@@ -77,6 +108,10 @@ class _StallDetected(Exception):
 #: same-sender entries are already serialised by the TX FIFO.
 _LINEAGE = itemgetter(1, 2, 3)
 
+#: ``Process.waiting_on`` labels for the common wait widths, built once —
+#: the f-string per wait showed up in cluster-scale profiles.
+_WAIT_LABELS = {n: f"waitall({n})" for n in range(17)}
+
 
 def _copy_payload(payload: object) -> object:
     """Value semantics at the send call, like MPI's buffered sends."""
@@ -90,11 +125,33 @@ def _copy_payload(payload: object) -> object:
 
 
 class _Message:
-    __slots__ = ("src", "dst", "tag", "payload", "nbytes", "seq", "stream_seq",
-                 "launch_time", "label")
+    """One in-flight message, reused across the pipeline stages.
+
+    Instances are pooled per world; the ``cb_*`` slots cache the bound
+    methods that the FIFO resources and the event queue invoke, so a
+    message's whole B3 → B4 → B1 → B2 pipeline schedules without
+    allocating a single closure.  Which fields are meaningful depends on
+    the stage: the sender side fills ``kcopy``/``send_req``/``on_sent``
+    and (on the canonical deferred-RX path) ``tx_submit``/``cur_wire``/
+    ``extra_lat``; the receiver side fills ``tx_submit``/``rx_tx_start``/
+    ``rx_label``.
+    """
+
+    __slots__ = (
+        "src", "dst", "tag", "payload", "nbytes", "seq", "stream_seq",
+        "launch_time", "label", "stream_key", "world", "in_use",
+        # sender-side pipeline state
+        "kcopy", "send_req", "on_sent", "tx_submit", "cur_wire", "extra_lat",
+        # receiver-side pipeline state
+        "rx_tx_start", "rx_label",
+        # bound-method caches (built once, scheduled many times)
+        "cb_after_kernel_copy", "cb_after_tx", "cb_receive_direct",
+        "cb_on_arrival", "cb_after_rx_copy",
+    )
 
     def __init__(self, src: int, dst: int, tag: int, payload: object, nbytes: float,
-                 seq: int, stream_seq: int, label: str = ""):
+                 seq: int, stream_seq: int, label: str = "",
+                 world: "World | None" = None):
         self.src = src
         self.dst = dst
         self.tag = tag
@@ -110,10 +167,118 @@ class _Message:
         # "bcast 0*") so traces and critical-path chains name the
         # operation instead of the bare src->dst pair.
         self.label = label
+        self.stream_key = (src, dst, tag)
+        self.world = world
+        self.in_use = False
+        self.kcopy = 0.0
+        self.send_req: SendRequest | None = None
+        self.on_sent: Callable | None = None
+        self.tx_submit = 0.0
+        self.cur_wire = 0.0
+        self.extra_lat = 0.0
+        self.rx_tx_start = 0.0
+        self.rx_label = ""
+        self.cb_after_kernel_copy = self._after_kernel_copy
+        self.cb_after_tx = self._after_tx
+        self.cb_receive_direct = self._receive_direct
+        self.cb_on_arrival = self._on_arrival
+        self.cb_after_rx_copy = self._after_rx_copy
 
     @property
     def stream(self) -> tuple[int, int, int]:
-        return (self.src, self.dst, self.tag)
+        return self.stream_key
+
+    # -- pipeline-stage callbacks --------------------------------------------
+
+    def _after_kernel_copy(self, interval: tuple) -> None:
+        """B3 done: user buffer reusable; hand off to the wire layer."""
+        w = self.world
+        tr = w._tr
+        if tr is not None and self.kcopy > 0:
+            start, end = interval
+            tr.add(self.src, "kernel_copy", start, end, f"->{self.dst}",
+                   resource="dma", term="B3")
+        req = self.send_req
+        if req is not None:
+            self.send_req = None
+            req.complete_event.trigger(None)
+        w._transmit(self, self.on_sent)
+
+    def _after_tx(self, interval: tuple) -> None:
+        """Sender NIC leg done (canonical deferred-RX path): build the
+        receiver-leg entry and route it; the sender-side record is then
+        dead and returns to the pool — the entry tuple carries every
+        field the receiver half needs."""
+        w = self.world
+        start, end = interval
+        tr = w._tr
+        if tr is not None and end > start:
+            tr.add(self.src, "wire", start, end,
+                   self.label or f"{self.src}->{self.dst}",
+                   resource="nic_tx", term="B4")
+        on_sent = self.on_sent
+        if on_sent is not None:
+            on_sent((start, end))
+        # Injection groups by the *base* latency so fault-plan jitter
+        # (extra_lat) delays the leg's earliest start, not its FIFO slot.
+        lat = w._lat
+        latency = lat + self.extra_lat
+        entry = (
+            end + lat, self.tx_submit, self.launch_time, self.src,
+            self.stream_seq, self.dst, self.tag, self.seq, self.payload,
+            self.nbytes, self.cur_wire, end + latency, start, self.label,
+        )
+        w._route(entry)
+        w._release_msg(self)
+
+    def _receive_direct(self, _arrival: object) -> None:
+        """Arrival callback of the direct (non-deferred) network path."""
+        self.world._receive_copy(self)
+
+    def _on_arrival(self, interval: tuple) -> None:
+        """Receiver NIC leg done — the inlined body of
+        :meth:`Network.rx_leg`'s ``on_arrival`` closure, followed by the
+        same one scheduler hop to the receive-side kernel copy."""
+        w = self.world
+        rx_start, arr_end = interval
+        tr = w._tr
+        if tr is not None:
+            if arr_end > rx_start:
+                tr.add(self.dst, "wire", rx_start, arr_end, self.rx_label,
+                       resource="nic_rx", term="B1")
+            if arr_end > self.rx_tx_start:
+                tr.add(self.src, "in_flight", self.rx_tx_start, arr_end,
+                       self.rx_label, resource="link", term="")
+        w.network._record_latency(arr_end - self.tx_submit)
+        sim = w.sim
+        sim._dq.append((sim._seq, w._rcv_cb, self))
+        sim._seq += 1
+
+    def _after_rx_copy(self, interval: tuple) -> None:
+        """B2 done: deliver in stream order.
+
+        This is :meth:`World._deliver` inlined — the in-order common case
+        releases directly; out-of-order arrivals are held back and their
+        eventual release drains through the same loop.
+        """
+        w = self.world
+        tr = w._tr
+        if tr is not None and self.kcopy > 0:
+            start, end = interval
+            tr.add(self.dst, "kernel_copy", start, end, f"<-{self.src}",
+                   resource="dma", term="B2")
+        key = self.stream_key
+        se = w._stream_expected
+        if self.stream_seq != se.get(key, 1):
+            w._stream_held.setdefault(key, {})[self.stream_seq] = self
+            return
+        w._release(self)
+        held = w._stream_held.get(key)
+        while held:
+            successor = held.pop(se[key], None)
+            if successor is None:
+                break
+            w._release(successor)
 
 
 class SendRequest:
@@ -122,13 +287,11 @@ class SendRequest:
 
     __slots__ = ("complete_event", "post_cpu_cost")
 
+    is_recv = False
+
     def __init__(self, sim: Simulator, name: str):
         self.complete_event = Event(sim, name=name)
         self.post_cpu_cost = 0.0
-
-    @property
-    def is_recv(self) -> bool:
-        return False
 
 
 class RecvRequest:
@@ -138,6 +301,8 @@ class RecvRequest:
     __slots__ = ("src", "tag", "complete_event", "payload", "post_cpu_cost",
                  "post_paid")
 
+    is_recv = True
+
     def __init__(self, sim: Simulator, src: int, tag: int, name: str):
         self.src = src
         self.tag = tag
@@ -146,9 +311,61 @@ class RecvRequest:
         self.post_cpu_cost = 0.0
         self.post_paid = False
 
-    @property
-    def is_recv(self) -> bool:
-        return True
+
+class _WaitFrame:
+    """Pooled bookkeeping record behind ``wait``/``waitall``.
+
+    Replaces the two closures the wait path used to allocate per call
+    (the per-request countdown and the completion body).  Released back
+    to the world's pool *before* resuming the waiting process, so a
+    process that immediately waits again reuses the same frame.
+    """
+
+    __slots__ = ("world", "requests", "single", "wait_from", "remaining",
+                 "process", "rank", "in_use", "cb_one", "cb_done")
+
+    def __init__(self, world: "World"):
+        self.world = world
+        self.requests: list | None = None
+        self.single = False
+        self.wait_from = 0.0
+        self.remaining = 0
+        self.process: Process | None = None
+        self.rank = 0
+        self.in_use = False
+        self.cb_one = self._on_one
+        self.cb_done = self._on_done
+
+    def _on_one(self, _value: object) -> None:
+        self.remaining -= 1
+        if self.remaining == 0:
+            self._on_done(None)
+
+    def _on_done(self, _value: object) -> None:
+        w = self.world
+        t = w.sim.now
+        requests = self.requests
+        if t > self.wait_from and w._tr is not None:
+            w.trace.add(self.rank, "blocked_wait", self.wait_from, t,
+                        f"{len(requests)} reqs")
+        post = 0.0
+        for r in requests:
+            if r.is_recv and not r.post_paid:
+                post += r.post_cpu_cost
+                r.post_paid = True
+        if self.single:
+            r0 = requests[0]
+            value = r0.payload if r0.is_recv else None
+        else:
+            value = [(r.payload if r.is_recv else None) for r in requests]
+        process = self.process
+        rank = self.rank
+        w._release_frame(self)
+        if post > 0:
+            w.trace.add(rank, "fill_kernel_recv", t, t + post, "B2-on-CPU")
+            w.sim.schedule_call(post, process.resume, value)
+        else:
+            process.resume(value)
 
 
 class World:
@@ -256,6 +473,111 @@ class World:
         self._canonical_rx = (machine.duplex and machine.network_latency > 0.0
                               and not self.network.routed)
         self._rx_pending: dict[float, list[tuple]] = {}
+        # -- hot-path dispatch, resolved once --------------------------------
+        # ``_tr`` is the trace when recording, else None — one identity
+        # check replaces ``trace.enabled`` lookups in every stage.
+        # ``_transmit`` is the wire-layer handoff (reliable transport or
+        # the fire-and-forget path), bound here instead of branched per
+        # message.  ``_rcv_cb``/``_lat``/``_dma_on`` hoist per-event
+        # attribute chains.
+        self._tr = self.trace if self.trace.enabled else None
+        self._lat = machine.network_latency
+        self._dma_on = machine.dma
+        self._transmit = (
+            self.transport.start_transfer if self.transport is not None
+            else self._unreliable_transmit
+        )
+        self._rcv_cb = self._receive_copy
+        # Continuation callbacks, bound once instead of per schedule_call
+        # (``w._isend_after_cpu`` as an argument expression allocates a
+        # bound method every time).
+        self._isend_cont = self._isend_after_cpu
+        self._send_cont = self._send_after_cpu
+        self._irecv_cont = self._irecv_after_cpu
+        self._recv_cont = self._recv_after_cpu
+        self._flush_cb = self._flush_rx
+        # Per-size cost memo: (A1 fill, kernel copy, wire time).
+        self._cost_memo: dict[float, tuple[float, float, float]] = {}
+        # Message/wait-frame pools.  Message pooling is bypassed under a
+        # reliability transport, which holds message references across
+        # retransmits and dedup checks (recycling would corrupt them).
+        self._pooling = _POOLING and self.transport is None
+        self._msg_pool: list[_Message] = []
+        self._frame_pool: list[_WaitFrame] = []
+        self.pool_acquired = 0
+        self.pool_released = 0
+        self.pool_created = 0
+        self.frames_acquired = 0
+        self.frames_released = 0
+
+    # -- pools ---------------------------------------------------------------
+
+    def _acquire_msg(self) -> _Message:
+        """A blank message record — recycled when pooling is on."""
+        if not self._pooling:
+            return _Message(0, 0, 0, None, 0.0, 0, 0, world=self)
+        self.pool_acquired += 1
+        pool = self._msg_pool
+        if pool:
+            msg = pool.pop()
+            msg.in_use = True
+            return msg
+        self.pool_created += 1
+        msg = _Message(0, 0, 0, None, 0.0, 0, 0, world=self)
+        msg.in_use = True
+        return msg
+
+    def _release_msg(self, msg: _Message) -> None:
+        """Return a dead message record to the pool, dropping payload and
+        callback references so the pool retains no user data."""
+        if not self._pooling:
+            return
+        if not msg.in_use:
+            raise RuntimeError(
+                f"double release of pooled message seq={msg.seq}"
+            )
+        msg.in_use = False
+        msg.payload = None
+        msg.on_sent = None
+        msg.send_req = None
+        self.pool_released += 1
+        self._msg_pool.append(msg)
+
+    def _acquire_frame(self) -> _WaitFrame:
+        self.frames_acquired += 1
+        pool = self._frame_pool
+        if pool:
+            frame = pool.pop()
+            frame.in_use = True
+            return frame
+        frame = _WaitFrame(self)
+        frame.in_use = True
+        return frame
+
+    def _release_frame(self, frame: _WaitFrame) -> None:
+        if not frame.in_use:
+            raise RuntimeError("double release of pooled wait frame")
+        frame.in_use = False
+        frame.requests = None
+        frame.process = None
+        self.frames_released += 1
+        self._frame_pool.append(frame)
+
+    def _cost(self, nbytes: float) -> tuple[float, float, float]:
+        """Memoised per-size cost triple ``(A1, kernel copy, wire)``.
+
+        Message sizes come from tile volumes, so the distinct-size set is
+        tiny; the memo is still capped as cheap insurance against a
+        pathological caller."""
+        c = self._cost_memo.get(nbytes)
+        if c is None:
+            m = self.machine
+            c = (m.fill_mpi_buffer_time(nbytes),
+                 m.fill_kernel_buffer_time(nbytes),
+                 m.transmit_time(nbytes))
+            if len(self._cost_memo) < 4096:
+                self._cost_memo[nbytes] = c
+        return c
 
     # -- program execution ---------------------------------------------------
 
@@ -385,22 +707,48 @@ class World:
     def _launch_message(self, msg: _Message, send_req: SendRequest | None,
                         on_sent: Callable[[tuple[float, float]], None] | None) -> None:
         """Start the B3 → B4/B1 → B2 pipeline for a prepared message."""
-        msg.launch_time = self.sim.now
-        m = self.machine
-        b3 = m.fill_kernel_buffer_time(msg.nbytes) if m.dma else 0.0
-        def after_kernel_copy(interval: tuple) -> None:
-            if self.trace.enabled and b3 > 0:
-                start, end = interval
-                self.trace.add(msg.src, "kernel_copy", start, end,
-                               f"->{msg.dst}", resource="dma", term="B3")
-            if send_req is not None:
-                send_req.complete_event.trigger(None)
-            if self.transport is not None:
-                self.transport.start_transfer(msg, on_sent)
+        sim = self.sim
+        msg.launch_time = sim.now
+        if self._dma_on:
+            c = self._cost_memo.get(msg.nbytes)
+            b3 = c[1] if c is not None else self._cost(msg.nbytes)[1]
+        else:
+            b3 = 0.0
+        msg.kcopy = b3
+        msg.send_req = send_req
+        msg.on_sent = on_sent
+        # Inlined self.dma[msg.src].submit_call(b3, msg.cb_after_kernel_copy)
+        # — one of the four per-message FIFO legs (see FifoResource).
+        if b3 < 0:
+            raise ValueError(f"negative job duration: {b3}")
+        r = self.dma[msg.src]
+        free = r._free_at
+        if r.servers == 1:
+            k = 0
+            start = free[0]
+        else:
+            k = min(range(r.servers), key=free.__getitem__)
+            start = free[k]
+        now = sim.now
+        if now > start:
+            start = now
+        end = start + b3
+        free[k] = end
+        r.busy_time += b3
+        r.jobs_served += 1
+        delay = end - now
+        packed = (msg.cb_after_kernel_copy, start, end)
+        if delay == 0.0:
+            sim._dq.append((sim._seq, r._fire_cb, packed))
+        else:
+            t = now + delay
+            if t == now:
+                sim._dq.append((sim._seq, r._fire_cb, packed))
+            elif sim._heap is not None:
+                heappush(sim._heap, (t, sim._seq, r._fire_cb, packed))
             else:
-                self._unreliable_transmit(msg, on_sent)
-
-        self.dma[msg.src].submit_call(b3, after_kernel_copy)
+                sim._push((t, sim._seq, r._fire_cb, packed))
+        sim._seq += 1
 
     def _unreliable_transmit(
         self, msg: _Message,
@@ -418,9 +766,10 @@ class World:
         buys is a receiver FIFO order defined by message-carried values
         alone — the property rank-sharded runs need for bit-identity.
         """
+        faults = self.faults
         fate = None
-        if self.faults is not None:
-            fate = self.faults.message_fate(
+        if faults is not None:
+            fate = faults.message_fate(
                 msg.src, msg.dst, msg.tag, msg.stream_seq,
                 attempt=0, global_seq=msg.seq,
             )
@@ -434,6 +783,7 @@ class World:
             if on_sent is not None:
                 now = self.sim.now
                 self.sim.schedule_call(0.0, on_sent, (now, now))
+            self._release_msg(msg)
             return
         if fate is not None and fate.duplicated:
             # Without a reliability layer there is no receiver-side
@@ -449,43 +799,55 @@ class World:
                 msg.src, msg.dst, msg.nbytes, on_sent=on_sent,
                 extra_latency=extra, label=msg.label,
             )
-            arrival.add_callback(lambda _a: self._receive_copy(msg))
+            arrival.add_callback(msg.cb_receive_direct)
             return
 
         # Sender half of Network.transmit: counters, TX wire leg, trace.
         # (rx_bytes is bumped by the receiver half at injection.)
         net = self.network
+        nbytes = msg.nbytes
         net.messages_carried += 1
-        net.bytes_carried += msg.nbytes
-        net.tx_bytes[msg.src] += msg.nbytes
-        submitted_at = self.sim.now
-        wire = self.machine.transmit_time(msg.nbytes)
-        if self.faults is not None:
-            wire *= self.faults.wire_factor(msg.src, msg.dst, submitted_at)
-        latency = self.machine.network_latency + extra
-        trace = net.trace if net.trace is not None and net.trace.enabled \
-            else None
-        lane_label = (msg.label or f"{msg.src}->{msg.dst}") \
-            if trace is not None else ""
-        inject_delay = self.machine.network_latency
-
-        def after_tx(interval: tuple) -> None:
-            start, end = interval
-            if trace is not None and end > start:
-                trace.add(msg.src, "wire", start, end, lane_label,
-                          resource="nic_tx", term="B4")
-            if on_sent is not None:
-                on_sent((start, end))
-            # Injection groups by the *base* latency so fault-plan jitter
-            # (extra) delays the leg's earliest start, not its FIFO slot.
-            entry = (
-                end + inject_delay, submitted_at, msg.launch_time, msg.src,
-                msg.stream_seq, msg.dst, msg.tag, msg.seq, msg.payload,
-                msg.nbytes, wire, end + latency, start, msg.label,
-            )
-            self._route(entry)
-
-        net.tx[msg.src].submit_call(wire, after_tx)
+        net.bytes_carried += nbytes
+        net.tx_bytes[msg.src] += nbytes
+        msg.tx_submit = self.sim.now
+        c = self._cost_memo.get(nbytes)
+        wire = c[2] if c is not None else self._cost(nbytes)[2]
+        if faults is not None:
+            wire *= faults.wire_factor(msg.src, msg.dst, msg.tx_submit)
+        msg.cur_wire = wire
+        msg.extra_lat = extra
+        # Inlined net.tx[msg.src].submit_call(wire, msg.cb_after_tx).
+        if wire < 0:
+            raise ValueError(f"negative job duration: {wire}")
+        sim = self.sim
+        r = net.tx[msg.src]
+        free = r._free_at
+        if r.servers == 1:
+            k = 0
+            start = free[0]
+        else:
+            k = min(range(r.servers), key=free.__getitem__)
+            start = free[k]
+        now = sim.now
+        if now > start:
+            start = now
+        end = start + wire
+        free[k] = end
+        r.busy_time += wire
+        r.jobs_served += 1
+        delay = end - now
+        packed = (msg.cb_after_tx, start, end)
+        if delay == 0.0:
+            sim._dq.append((sim._seq, r._fire_cb, packed))
+        else:
+            t = now + delay
+            if t == now:
+                sim._dq.append((sim._seq, r._fire_cb, packed))
+            elif sim._heap is not None:
+                heappush(sim._heap, (t, sim._seq, r._fire_cb, packed))
+            else:
+                sim._push((t, sim._seq, r._fire_cb, packed))
+        sim._seq += 1
 
     def _route(self, entry: tuple) -> None:
         """Deliver a deferred receiver leg to the world hosting its
@@ -495,25 +857,34 @@ class World:
 
     def _enqueue_rx(self, entry: tuple) -> None:
         """Group a deferred receiver leg under its injection instant,
-        scheduling the instant's flush on first touch."""
+        scheduling the instant's flush on first touch.
+
+        Nearly every instant carries exactly one leg, so the group is
+        stored as the bare entry and only wrapped in a list on the first
+        collision — the singleton path allocates nothing."""
         t = entry[0]
-        group = self._rx_pending.get(t)
+        pending = self._rx_pending
+        group = pending.get(t)
         if group is None:
-            self._rx_pending[t] = [entry]
+            pending[t] = entry
             # Absolute-time scheduling: the flush must fire at exactly
             # ``t`` — a relative delay could round one ulp past it and
             # make the receive FIFO's now-clamp bind, shifting the rx
             # start.
-            self.sim.schedule_call_at(t, self._flush_rx, t)
-        else:
+            self.sim.schedule_call_at(t, self._flush_cb, t)
+        elif type(group) is list:
             group.append(entry)
+        else:
+            pending[t] = [group, entry]
 
     def _flush_rx(self, t: float) -> None:
         entries = self._rx_pending.pop(t)
-        if len(entries) > 1:
-            # Stable: entries whose whole lineage ties keep insertion
-            # order (same-sender entries are serialised by the TX FIFO).
-            entries.sort(key=_LINEAGE)
+        if type(entries) is not list:
+            self._inject_rx(entries)
+            return
+        # Stable: entries whose whole lineage ties keep insertion
+        # order (same-sender entries are serialised by the TX FIFO).
+        entries.sort(key=_LINEAGE)
         for entry in entries:
             self._inject_rx(entry)
 
@@ -524,31 +895,110 @@ class World:
          nbytes, wire, not_before, tx_start, msg_label) = entry
         net = self.network
         net.rx_bytes[dst] += nbytes
-        msg = _Message(src, dst, tag, payload, nbytes, seq, stream_seq,
-                       msg_label)
-
-        def complete(_interval: tuple) -> None:
-            # One scheduler hop, mirroring the arrival event trigger of
-            # the direct path.
-            self.sim.schedule_call(0.0, self._receive_copy, msg)
-
-        label = (msg_label or f"{src}->{dst}") \
-            if net.trace is not None and net.trace.enabled else ""
-        net.rx_leg(src, dst, wire, not_before, tx_start, submitted_at,
-                   complete, label=label)
+        # Inlined _acquire_msg().
+        if self._pooling:
+            self.pool_acquired += 1
+            pool = self._msg_pool
+            if pool:
+                msg = pool.pop()
+                msg.in_use = True
+            else:
+                self.pool_created += 1
+                msg = _Message(0, 0, 0, None, 0.0, 0, 0, world=self)
+                msg.in_use = True
+        else:
+            msg = _Message(0, 0, 0, None, 0.0, 0, 0, world=self)
+        msg.src = src
+        msg.dst = dst
+        msg.tag = tag
+        msg.payload = payload
+        msg.nbytes = nbytes
+        msg.seq = seq
+        msg.stream_seq = stream_seq
+        msg.launch_time = 0.0
+        msg.label = msg_label
+        msg.stream_key = (src, dst, tag)
+        msg.tx_submit = submitted_at
+        msg.rx_tx_start = tx_start
+        msg.rx_label = (msg_label or f"{src}->{dst}") \
+            if self._tr is not None else ""
+        # Inlined net.rx[dst].submit_call(wire, msg.cb_on_arrival,
+        # not_before=not_before) — the only leg with an earliest-start
+        # bound (the injection instant).
+        if wire < 0:
+            raise ValueError(f"negative job duration: {wire}")
+        sim = self.sim
+        r = net.rx[dst]
+        free = r._free_at
+        if r.servers == 1:
+            k = 0
+            start = free[0]
+        else:
+            k = min(range(r.servers), key=free.__getitem__)
+            start = free[k]
+        if not_before > start:
+            start = not_before
+        now = sim.now
+        if now > start:
+            start = now
+        end = start + wire
+        free[k] = end
+        r.busy_time += wire
+        r.jobs_served += 1
+        delay = end - now
+        packed = (msg.cb_on_arrival, start, end)
+        if delay == 0.0:
+            sim._dq.append((sim._seq, r._fire_cb, packed))
+        else:
+            t = now + delay
+            if t == now:
+                sim._dq.append((sim._seq, r._fire_cb, packed))
+            elif sim._heap is not None:
+                heappush(sim._heap, (t, sim._seq, r._fire_cb, packed))
+            else:
+                sim._push((t, sim._seq, r._fire_cb, packed))
+        sim._seq += 1
 
     def _receive_copy(self, msg: _Message) -> None:
         """Receive-side kernel copy (B2) then stream-ordered delivery."""
-        m = self.machine
-        b2 = m.fill_kernel_buffer_time(msg.nbytes) if m.dma else 0.0
-        def after_rx_copy(interval: tuple) -> None:
-            if self.trace.enabled and b2 > 0:
-                start, end = interval
-                self.trace.add(msg.dst, "kernel_copy", start, end,
-                               f"<-{msg.src}", resource="dma", term="B2")
-            self._deliver(msg)
-
-        self.dma[msg.dst].submit_call(b2, after_rx_copy)
+        if self._dma_on:
+            c = self._cost_memo.get(msg.nbytes)
+            b2 = c[1] if c is not None else self._cost(msg.nbytes)[1]
+        else:
+            b2 = 0.0
+        msg.kcopy = b2
+        # Inlined self.dma[msg.dst].submit_call(b2, msg.cb_after_rx_copy).
+        if b2 < 0:
+            raise ValueError(f"negative job duration: {b2}")
+        sim = self.sim
+        r = self.dma[msg.dst]
+        free = r._free_at
+        if r.servers == 1:
+            k = 0
+            start = free[0]
+        else:
+            k = min(range(r.servers), key=free.__getitem__)
+            start = free[k]
+        now = sim.now
+        if now > start:
+            start = now
+        end = start + b2
+        free[k] = end
+        r.busy_time += b2
+        r.jobs_served += 1
+        delay = end - now
+        packed = (msg.cb_after_rx_copy, start, end)
+        if delay == 0.0:
+            sim._dq.append((sim._seq, r._fire_cb, packed))
+        else:
+            t = now + delay
+            if t == now:
+                sim._dq.append((sim._seq, r._fire_cb, packed))
+            elif sim._heap is not None:
+                heappush(sim._heap, (t, sim._seq, r._fire_cb, packed))
+            else:
+                sim._push((t, sim._seq, r._fire_cb, packed))
+        sim._seq += 1
 
     def _deliver(self, msg: _Message) -> None:
         """Message pipeline finished: release in stream order, then match.
@@ -557,7 +1007,7 @@ class World:
         are still in flight is held back until they land — the
         non-overtaking rule.
         """
-        key = msg.stream
+        key = msg.stream_key
         expected = self._stream_expected.get(key, 1)
         if msg.stream_seq != expected:
             self._stream_held.setdefault(key, {})[msg.stream_seq] = msg
@@ -572,23 +1022,33 @@ class World:
             self._release(successor)
 
     def _release(self, msg: _Message) -> None:
-        self._stream_expected[msg.stream] = msg.stream_seq + 1
+        self._stream_expected[msg.stream_key] = msg.stream_seq + 1
         posted = self._posted[msg.dst]
+        src = msg.src
+        tag = msg.tag
         for k, req in enumerate(posted):
-            if req.src == msg.src and req.tag == msg.tag:
+            if req.src == src and req.tag == tag:
                 del posted[k]
-                req.payload = msg.payload
-                req.complete_event.trigger(msg.payload)
+                payload = msg.payload
+                req.payload = payload
+                # The payload is saved and the trigger only enqueues its
+                # waiters, so the record can be recycled before it fires.
+                self._release_msg(msg)
+                req.complete_event.trigger(payload)
                 return
         self._arrived[msg.dst].append(msg)
 
     def _post_receive(self, req: RecvRequest, rank: int) -> None:
         arrived = self._arrived[rank]
+        src = req.src
+        tag = req.tag
         for k, msg in enumerate(arrived):
-            if msg.src == req.src and msg.tag == req.tag:
+            if msg.src == src and msg.tag == tag:
                 del arrived[k]
-                req.payload = msg.payload
-                req.complete_event.trigger(msg.payload)
+                payload = msg.payload
+                req.payload = payload
+                self._release_msg(msg)
+                req.complete_event.trigger(payload)
                 return
         self._posted[rank].append(req)
 
@@ -603,10 +1063,51 @@ class World:
         key = (src, dst, tag)
         stream_seq = self._stream_next_seq.get(key, 0) + 1
         self._stream_next_seq[key] = stream_seq
-        return _Message(
-            src, dst, tag, _copy_payload(payload), nbytes, self._msg_seq,
-            stream_seq, label,
-        )
+        # Inlined _acquire_msg().
+        if self._pooling:
+            self.pool_acquired += 1
+            pool = self._msg_pool
+            if pool:
+                msg = pool.pop()
+                msg.in_use = True
+            else:
+                self.pool_created += 1
+                msg = _Message(0, 0, 0, None, 0.0, 0, 0, world=self)
+                msg.in_use = True
+        else:
+            msg = _Message(0, 0, 0, None, 0.0, 0, 0, world=self)
+        msg.src = src
+        msg.dst = dst
+        msg.tag = tag
+        msg.payload = _copy_payload(payload)
+        msg.nbytes = nbytes
+        msg.seq = self._msg_seq
+        msg.stream_seq = stream_seq
+        msg.launch_time = 0.0
+        msg.label = label
+        msg.stream_key = key
+        return msg
+
+    # -- effect continuations (packed-arg forms of the old closures) ----------
+
+    def _isend_after_cpu(self, packed: tuple) -> None:
+        msg, req, process = packed
+        self._launch_message(msg, req, None)
+        process.resume(req)
+
+    def _send_after_cpu(self, packed: tuple) -> None:
+        msg, on_sent = packed
+        self._launch_message(msg, None, on_sent)
+
+    def _irecv_after_cpu(self, packed: tuple) -> None:
+        req, rank, process = packed
+        self._post_receive(req, rank)
+        process.resume(req)
+
+    def _recv_after_cpu(self, packed: tuple) -> None:
+        req, rank, after_delivery = packed
+        self._post_receive(req, rank)
+        req.complete_event.add_callback(after_delivery)
 
 
 class Rank:
@@ -771,18 +1272,37 @@ class _ComputeEffect(Effect):
         self.label = label
 
     def start(self, process: Process) -> None:
-        now = self.ctx._sim.now
+        ctx = self.ctx
+        w = ctx.world
+        sim = w.sim
+        now = sim.now
         seconds = self.seconds
-        plan = self.ctx.world.faults
+        plan = w.faults
         if plan is not None and plan.has_node_faults:
             # Straggler windows stretch the charge; pause windows delay
             # its start (the node is wedged until the pause ends).
-            seconds = seconds * plan.compute_factor(self.ctx.rank, now)
-            seconds += plan.pause_delay(self.ctx.rank, now)
-        if self.ctx.world.trace.enabled:
-            self.ctx._trace("compute", now, now + seconds, self.label)
+            seconds = seconds * plan.compute_factor(ctx.rank, now)
+            seconds += plan.pause_delay(ctx.rank, now)
+        if w._tr is not None:
+            ctx._trace("compute", now, now + seconds, self.label)
         result = self.fn() if self.fn is not None else None
-        Timeout(seconds, annotation="compute", result=result).start(process)
+        if seconds < 0:
+            raise ValueError(f"negative timeout: {seconds}")
+        # Inlined ``Timeout(seconds, annotation="compute", result).start``
+        # — one compute effect per tile made the Timeout object the last
+        # per-step allocation on the hot path.
+        process.waiting_on = "compute"
+        if seconds == 0.0:
+            sim._dq.append((sim._seq, process._resume, result))
+        else:
+            t = now + seconds
+            if t == now:
+                sim._dq.append((sim._seq, process._resume, result))
+            elif sim._heap is not None:
+                heappush(sim._heap, (t, sim._seq, process._resume, result))
+            else:
+                sim._push((t, sim._seq, process._resume, result))
+        sim._seq += 1
 
 
 class _IsendEffect(Effect):
@@ -798,27 +1318,41 @@ class _IsendEffect(Effect):
         self.label = label
 
     def start(self, process: Process) -> None:
-        w = self.ctx.world
-        m = w.machine
-        msg = w._make_message(self.ctx.rank, self.dst, self.tag, self.payload,
-                              self.nbytes, self.label)
-        a1 = m.fill_mpi_buffer_time(self.nbytes)
-        b3_cpu = m.fill_kernel_buffer_time(self.nbytes) if not m.dma else 0.0
+        ctx = self.ctx
+        w = ctx.world
+        nbytes = self.nbytes
+        msg = w._make_message(ctx.rank, self.dst, self.tag, self.payload,
+                              nbytes, self.label)
+        c = w._cost_memo.get(nbytes)
+        if c is None:
+            c = w._cost(nbytes)
+        a1 = c[0]
+        b3_cpu = 0.0 if w._dma_on else c[1]
         cpu = a1 + b3_cpu
-        now = self.ctx._sim.now
-        if w.trace.enabled:
-            self.ctx._trace("fill_mpi_send", now, now + a1, f"->{self.dst}")
+        sim = w.sim
+        if w._tr is not None:
+            now = sim.now
+            ctx._trace("fill_mpi_send", now, now + a1, f"->{self.dst}")
             if b3_cpu > 0:
-                self.ctx._trace("fill_kernel_send", now + a1, now + cpu,
-                                "B3-on-CPU")
-        req = SendRequest(w.sim, "isend")
-
-        def after_cpu() -> None:
-            w._launch_message(msg, req, on_sent=None)
-            process.resume(req)
-
+                ctx._trace("fill_kernel_send", now + a1, now + cpu,
+                           "B3-on-CPU")
+        req = SendRequest(sim, "isend")
         process.waiting_on = "isend.fill_mpi_buffer"
-        w.sim.schedule(cpu, after_cpu)
+        # Inlined schedule_call(cpu, w._isend_after_cpu, packed).
+        if cpu < 0:
+            raise ValueError(f"cannot schedule in the past (delay={cpu})")
+        packed = (msg, req, process)
+        if cpu == 0.0:
+            sim._dq.append((sim._seq, w._isend_cont, packed))
+        else:
+            t = sim.now + cpu
+            if t == sim.now:
+                sim._dq.append((sim._seq, w._isend_cont, packed))
+            elif sim._heap is not None:
+                heappush(sim._heap, (t, sim._seq, w._isend_cont, packed))
+            else:
+                sim._push((t, sim._seq, w._isend_cont, packed))
+        sim._seq += 1
 
 
 class _SendEffect(Effect):
@@ -834,33 +1368,31 @@ class _SendEffect(Effect):
         self.label = label
 
     def start(self, process: Process) -> None:
-        w = self.ctx.world
-        m = w.machine
-        msg = w._make_message(self.ctx.rank, self.dst, self.tag, self.payload,
-                              self.nbytes, self.label)
-        a1 = m.fill_mpi_buffer_time(self.nbytes)
-        b3_cpu = m.fill_kernel_buffer_time(self.nbytes) if not m.dma else 0.0
+        ctx = self.ctx
+        w = ctx.world
+        nbytes = self.nbytes
+        msg = w._make_message(ctx.rank, self.dst, self.tag, self.payload,
+                              nbytes, self.label)
+        a1, kcopy, _wire = w._cost(nbytes)
+        b3_cpu = 0.0 if w._dma_on else kcopy
         cpu = a1 + b3_cpu
-        now = self.ctx._sim.now
-        if w.trace.enabled:
-            self.ctx._trace("fill_mpi_send", now, now + a1, f"->{self.dst}")
+        now = w.sim.now
+        if w._tr is not None:
+            ctx._trace("fill_mpi_send", now, now + a1, f"->{self.dst}")
             if b3_cpu > 0:
-                self.ctx._trace("fill_kernel_send", now + a1, now + cpu,
-                                "B3-on-CPU")
+                ctx._trace("fill_kernel_send", now + a1, now + cpu,
+                           "B3-on-CPU")
         blocked_from = now + cpu
+        dst = self.dst
 
         def on_sent(interval: tuple[float, float]) -> None:
             _start, end = interval
-            if w.trace.enabled:
-                self.ctx._trace("blocked_send", blocked_from, end,
-                                f"->{self.dst}")
+            if w._tr is not None:
+                ctx._trace("blocked_send", blocked_from, end, f"->{dst}")
             process.resume(None)
 
-        def after_cpu() -> None:
-            w._launch_message(msg, None, on_sent=on_sent)
-
         process.waiting_on = "send(blocking)"
-        w.sim.schedule(cpu, after_cpu)
+        w.sim.schedule_call(cpu, w._send_cont, (msg, on_sent))
 
 
 class _IrecvEffect(Effect):
@@ -873,23 +1405,36 @@ class _IrecvEffect(Effect):
         self.tag = tag
 
     def start(self, process: Process) -> None:
-        w = self.ctx.world
-        m = w.machine
-        cpu = m.fill_mpi_buffer_time(self.nbytes)
-        now = self.ctx._sim.now
-        if w.trace.enabled:
-            self.ctx._trace("fill_mpi_recv", now, now + cpu, f"<-{self.src}")
-        req = RecvRequest(w.sim, self.src, self.tag, "irecv")
-        if not m.dma:
+        ctx = self.ctx
+        w = ctx.world
+        c = w._cost_memo.get(self.nbytes)
+        if c is None:
+            c = w._cost(self.nbytes)
+        a1 = c[0]
+        sim = w.sim
+        if w._tr is not None:
+            now = sim.now
+            ctx._trace("fill_mpi_recv", now, now + a1, f"<-{self.src}")
+        req = RecvRequest(sim, self.src, self.tag, "irecv")
+        if not w._dma_on:
             # B2 will be paid by the CPU inside wait() once the message is in.
-            req.post_cpu_cost = m.fill_kernel_buffer_time(self.nbytes)
-
-        def after_cpu() -> None:
-            w._post_receive(req, self.ctx.rank)
-            process.resume(req)
-
+            req.post_cpu_cost = c[1]
         process.waiting_on = "irecv.prepare_buffer"
-        w.sim.schedule(cpu, after_cpu)
+        # Inlined schedule_call(a1, w._irecv_after_cpu, packed).
+        if a1 < 0:
+            raise ValueError(f"cannot schedule in the past (delay={a1})")
+        packed = (req, ctx.rank, process)
+        if a1 == 0.0:
+            sim._dq.append((sim._seq, w._irecv_cont, packed))
+        else:
+            t = sim.now + a1
+            if t == sim.now:
+                sim._dq.append((sim._seq, w._irecv_cont, packed))
+            elif sim._heap is not None:
+                heappush(sim._heap, (t, sim._seq, w._irecv_cont, packed))
+            else:
+                sim._push((t, sim._seq, w._irecv_cont, packed))
+        sim._seq += 1
 
 
 class _RecvEffect(Effect):
@@ -902,34 +1447,31 @@ class _RecvEffect(Effect):
         self.tag = tag
 
     def start(self, process: Process) -> None:
-        w = self.ctx.world
-        m = w.machine
-        cpu = m.fill_mpi_buffer_time(self.nbytes)
-        now = self.ctx._sim.now
-        if w.trace.enabled:
-            self.ctx._trace("fill_mpi_recv", now, now + cpu, f"<-{self.src}")
+        ctx = self.ctx
+        w = ctx.world
+        a1, kcopy, _wire = w._cost(self.nbytes)
+        cpu = a1
+        now = w.sim.now
+        if w._tr is not None:
+            ctx._trace("fill_mpi_recv", now, now + cpu, f"<-{self.src}")
         req = RecvRequest(w.sim, self.src, self.tag, "recv")
-        post_cost = m.fill_kernel_buffer_time(self.nbytes) if not m.dma else 0.0
+        post_cost = kcopy if not w._dma_on else 0.0
         blocked_from = now + cpu
+        src = self.src
 
         def after_delivery(payload: object) -> None:
-            t = self.ctx._sim.now
-            if w.trace.enabled:
-                self.ctx._trace("blocked_recv", blocked_from, t,
-                                f"<-{self.src}")
+            t = w.sim.now
+            if w._tr is not None:
+                ctx._trace("blocked_recv", blocked_from, t, f"<-{src}")
             if post_cost > 0:
-                self.ctx._trace("fill_kernel_recv", t, t + post_cost,
-                                "B2-on-CPU")
+                ctx._trace("fill_kernel_recv", t, t + post_cost, "B2-on-CPU")
                 w.sim.schedule_call(post_cost, process.resume, payload)
             else:
                 process.resume(payload)
 
-        def after_cpu() -> None:
-            w._post_receive(req, self.ctx.rank)
-            req.complete_event.add_callback(after_delivery)
-
-        process.waiting_on = f"recv(blocking)<-{self.src}"
-        w.sim.schedule(cpu, after_cpu)
+        process.waiting_on = f"recv(blocking)<-{src}"
+        w.sim.schedule_call(cpu, w._recv_cont,
+                            (req, ctx.rank, after_delivery))
 
 
 class _WaitEffect(Effect):
@@ -944,32 +1486,29 @@ class _WaitEffect(Effect):
         self.single = single
 
     def start(self, process: Process) -> None:
-        w = self.ctx.world
-        wait_from = self.ctx._sim.now
-
-        def after_all(_values: object) -> None:
-            t = self.ctx._sim.now
-            if t > wait_from and w.trace.enabled:
-                self.ctx._trace("blocked_wait", wait_from, t,
-                                f"{len(self.requests)} reqs")
-            post = 0.0
-            for r in self.requests:
-                if r.is_recv and not r.post_paid:
-                    post += r.post_cpu_cost
-                    r.post_paid = True
-            results = [
-                (r.payload if r.is_recv else None) for r in self.requests
-            ]
-            value = results[0] if self.single else results
-
-            if post > 0:
-                self.ctx._trace("fill_kernel_recv", t, t + post, "B2-on-CPU")
-                w.sim.schedule_call(post, process.resume, value)
-            else:
-                process.resume(value)
-
-        process.waiting_on = f"waitall({len(self.requests)})"
-        _when_all([r.complete_event for r in self.requests], after_all, w.sim)
+        ctx = self.ctx
+        w = ctx.world
+        requests = self.requests
+        n = len(requests)
+        frame = w._acquire_frame()
+        frame.requests = requests
+        frame.single = self.single
+        frame.wait_from = w.sim.now
+        frame.remaining = n
+        frame.process = process
+        frame.rank = ctx.rank
+        label = _WAIT_LABELS.get(n)
+        process.waiting_on = label if label is not None else f"waitall({n})"
+        # Same registration/hop structure as the old _when_all helper:
+        # empty set resumes via one zero-delay hop, a single request
+        # rides its completion event directly, a group counts down.
+        if n == 0:
+            w.sim.schedule_call(0.0, frame.cb_done, None)
+        elif n == 1:
+            requests[0].complete_event.add_callback(frame.cb_done)
+        else:
+            for r in requests:
+                r.complete_event.add_callback(frame.cb_one)
 
 
 def _when_all(events: list[Event], callback, sim: Simulator) -> None:

@@ -61,6 +61,15 @@ def _quantile(sorted_values: list[float], q: float) -> float:
 class Network:
     """Switched cluster fabric between ``num_nodes`` endpoints."""
 
+    __slots__ = (
+        "sim", "machine", "num_nodes", "faults", "trace", "tx", "rx",
+        "topology", "routed", "links", "link_messages", "link_bytes",
+        "hops_routed", "messages_carried", "bytes_carried", "tx_bytes",
+        "rx_bytes", "loopback_messages", "loopback_bytes", "retransmits",
+        "duplicates", "_latencies", "_latency_cap", "_latency_stride",
+        "_latency_skip", "_latency_count", "_latency_min", "_latency_max",
+    )
+
     def __init__(
         self,
         sim: Simulator,

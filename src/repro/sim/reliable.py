@@ -37,7 +37,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (mpi imports us)
 __all__ = ["ReliableConfig", "ReliableStats", "ReliableTransport"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReliableConfig:
     """Parameters of the ack/timeout/retransmit protocol.
 
@@ -74,7 +74,7 @@ class ReliableConfig:
         return total
 
 
-@dataclass
+@dataclass(slots=True)
 class ReliableStats:
     """Counters of one transport instance (surfaced through
     :class:`~repro.sim.tracing.Trace` counters and ``RunOutcome``)."""
@@ -130,18 +130,19 @@ class _Transfer:
         self.next_timeout = timeout
 
 
-@dataclass
+@dataclass(slots=True)
 class ReliableTransport:
     """The ARQ engine wired into one :class:`World`."""
 
     world: "World"
     config: ReliableConfig
     stats: ReliableStats = field(default_factory=ReliableStats)
-
-    def __post_init__(self) -> None:
-        self._pending: dict[tuple, _Transfer] = {}
-        self._received: set[tuple] = set()
-        self._acks_sent_for: dict[tuple, int] = {}
+    _pending: dict[tuple, _Transfer] = field(
+        default_factory=dict, init=False, repr=False, compare=False)
+    _received: set[tuple] = field(
+        default_factory=set, init=False, repr=False, compare=False)
+    _acks_sent_for: dict[tuple, int] = field(
+        default_factory=dict, init=False, repr=False, compare=False)
 
     # -- sender side ---------------------------------------------------------
 

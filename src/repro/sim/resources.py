@@ -9,6 +9,7 @@ callbacks.  Busy time is tracked for utilisation reports.
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Callable
 
 from repro.sim.core import Event, Simulator
@@ -30,7 +31,8 @@ class FifoResource:
     parallel.
     """
 
-    __slots__ = ("sim", "name", "_free_at", "busy_time", "jobs_served", "servers")
+    __slots__ = ("sim", "name", "_free_at", "busy_time", "jobs_served",
+                 "servers", "_fire_cb")
 
     def __init__(self, sim: Simulator, name: str, servers: int = 1):
         if servers < 1:
@@ -41,6 +43,8 @@ class FifoResource:
         self._free_at = [0.0] * servers
         self.busy_time = 0.0
         self.jobs_served = 0
+        # Bound once: scheduled as the completion callback of every job.
+        self._fire_cb = self._fire
 
     def _place(self, duration: float, not_before: float) -> tuple[float, float]:
         """Assign the job to the earliest-free server; returns (start, end)."""
@@ -85,17 +89,54 @@ class FifoResource:
         The callback fires through the same two scheduler hops as an
         event trigger would (completion entry, then a zero-delay entry),
         so runs are bit-identical whichever form a caller uses — this is
-        the allocation-free fast path for single-waiter pipelines.
+        the allocation-free fast path for single-waiter pipelines.  Both
+        hops are inlined here and in :meth:`_fire`: this method runs four
+        times per simulated message (both DMA legs and both NIC legs), so
+        the ``_place`` + ``schedule_call`` call overhead it used to pay
+        was the single largest constant factor in the event loop.
         """
         if duration < 0:
             raise ValueError(f"negative job duration: {duration}")
-        start, end = self._place(duration, not_before)
-        self.sim.schedule_call(end - self.sim.now, self._fire,
-                               (callback, start, end))
+        # Inlined _place(): assign the earliest-free server in FIFO order.
+        sim = self.sim
+        free = self._free_at
+        if self.servers == 1:
+            k = 0
+            start = free[0]
+        else:
+            k = min(range(self.servers), key=free.__getitem__)
+            start = free[k]
+        if not_before > start:
+            start = not_before
+        now = sim.now
+        if now > start:
+            start = now
+        end = start + duration
+        free[k] = end
+        self.busy_time += duration
+        self.jobs_served += 1
+        # Inlined schedule_call(end - now, self._fire, ...): the delay
+        # arithmetic (now + (end - now), not end) is kept bit-exact.
+        delay = end - now
+        packed = (callback, start, end)
+        if delay == 0.0:
+            sim._dq.append((sim._seq, self._fire_cb, packed))
+        else:
+            t = now + delay
+            if t == now:
+                sim._dq.append((sim._seq, self._fire_cb, packed))
+            elif sim._heap is not None:
+                heappush(sim._heap, (t, sim._seq, self._fire_cb, packed))
+            else:
+                sim._push((t, sim._seq, self._fire_cb, packed))
+        sim._seq += 1
 
     def _fire(self, packed: tuple) -> None:
         callback, start, end = packed
-        self.sim.schedule_call(0.0, callback, (start, end))
+        # Inlined schedule_call(0.0, callback, (start, end)).
+        sim = self.sim
+        sim._dq.append((sim._seq, callback, (start, end)))
+        sim._seq += 1
 
     @property
     def free_at(self) -> float:

@@ -125,6 +125,12 @@ class Trace:
     set is derived from the records and idle ranks silently vanish.
     """
 
+    __slots__ = (
+        "enabled", "num_ranks", "streaming", "records", "counters",
+        "_term_total", "_rank_term", "_res_term", "_rank_res_term",
+        "_busy", "_max_end", "_by_rank", "_indexed",
+    )
+
     def __init__(self, enabled: bool = True, num_ranks: int | None = None,
                  *, streaming: bool = False):
         if num_ranks is not None and num_ranks <= 0:
